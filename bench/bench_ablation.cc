@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation study: which pieces of the statistical profile actually
+ * buy the accuracy? Each ablation removes one ingredient of the
+ * SMART-HLS model and measures the IPC error on the baseline machine:
+ *
+ *  - full:          the complete k=1 model (reference);
+ *  - no-deps:       dependency distances dropped (every operand
+ *                   ready at dispatch) — tests the RAW modeling;
+ *  - no-branches:   all branches flagged correct — tests the branch
+ *                   characteristics;
+ *  - no-caches:     all accesses flagged hits — tests the cache
+ *                   characteristics;
+ *  - k=0:           the SFG replaced by a bag of blocks — tests the
+ *                   control-flow context (Figure 4's axis);
+ *  - naive-fifo:    delayed-update FIFO without the cycle-structured
+ *                   fetch model (immediate update) — the section
+ *                   2.1.3 axis.
+ *
+ * This is the design-choice evidence DESIGN.md points at: every
+ * ingredient carries weight on the workloads that stress it.
+ */
+
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+
+core::SyntheticTrace
+ablate(const core::SyntheticTrace &trace, bool dropDeps,
+       bool dropBranches, bool dropCaches)
+{
+    core::SyntheticTrace out = trace;
+    for (core::SynthInst &si : out.insts) {
+        if (dropDeps) {
+            si.depDist[0] = 0;
+            si.depDist[1] = 0;
+        }
+        if (dropBranches) {
+            si.outcome = cpu::BranchOutcome::Correct;
+        }
+        if (dropCaches) {
+            si.il1Miss = si.il2Miss = si.itlbMiss = false;
+            si.dl1Miss = si.dl2Miss = si.dtlbMiss = false;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: IPC error when one profile ingredient "
+                "is removed");
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+
+    TextTable table;
+    table.setHeader({"benchmark", "full", "no deps", "no branches",
+                     "no caches", "k=0", "immediate-update"});
+    std::vector<double> sums(6, 0.0);
+    int n = 0;
+    for (const Benchmark &bench : suitePrograms()) {
+        const core::SimResult eds = runEds(bench, cfg);
+
+        StatSimKnobs knobs;
+        const auto profile = profileFor(bench, cfg, knobs);
+        core::GenerationOptions gopts;
+        gopts.reductionFactor = knobs.reductionFactor;
+        const core::SyntheticTrace full =
+            core::generateSyntheticTrace(*profile, gopts);
+
+        auto errOf = [&](const core::SyntheticTrace &t) {
+            return absoluteError(
+                core::simulateSyntheticTrace(t, cfg).ipc, eds.ipc);
+        };
+
+        const double eFull = errOf(full);
+        const double eDeps = errOf(ablate(full, true, false, false));
+        const double eBr = errOf(ablate(full, false, true, false));
+        const double eCache = errOf(ablate(full, false, false, true));
+
+        StatSimKnobs k0 = knobs;
+        k0.order = 0;
+        const double eK0 =
+            absoluteError(runStatSim(bench, cfg, k0).ipc, eds.ipc);
+
+        StatSimKnobs imm = knobs;
+        imm.branchMode = core::BranchProfilingMode::ImmediateUpdate;
+        const double eImm =
+            absoluteError(runStatSim(bench, cfg, imm).ipc, eds.ipc);
+
+        table.addRow({bench.name, TextTable::pct(eFull),
+                      TextTable::pct(eDeps), TextTable::pct(eBr),
+                      TextTable::pct(eCache), TextTable::pct(eK0),
+                      TextTable::pct(eImm)});
+        const double errs[6] = {eFull, eDeps, eBr, eCache, eK0, eImm};
+        for (int i = 0; i < 6; ++i)
+            sums[i] += errs[i];
+        ++n;
+    }
+    std::vector<std::string> avg = {"average"};
+    for (double s : sums)
+        avg.push_back(TextTable::pct(s / n));
+    table.addRow(std::move(avg));
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: every ablation hurts somewhere — "
+                 "dependencies dominate for high-ILP codes, branch "
+                 "flags for mispredict-heavy codes, cache flags for "
+                 "memory-bound codes; the full model is the best "
+                 "all-rounder.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension experiment (beyond the paper's evaluation): the paper
+ * notes the framework "could be extended to ... in-order execution"
+ * (section 2.1.1). With register renaming still assumed, the RAW-only
+ * profile suffices; this bench measures how well the same statistical
+ * profiles predict an in-order-issue variant of the baseline machine,
+ * and whether the out-of-order vs in-order IPC *gap* — the kind of
+ * early design question statistical simulation targets — is
+ * predicted faithfully.
+ */
+
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ssim;
+    using namespace ssim::experiments;
+
+    printBanner(std::cout,
+                "Extension: in-order issue prediction accuracy");
+    cpu::CoreConfig ooo = cpu::CoreConfig::baseline();
+    cpu::CoreConfig ino = ooo;
+    ino.inOrderIssue = true;
+
+    TextTable table;
+    table.setHeader({"benchmark", "in-order IPC (EDS)",
+                     "in-order IPC (SS)", "abs error",
+                     "OoO/in-order gap (EDS)", "gap (SS)",
+                     "gap rel error"});
+    double sumErr = 0.0, sumGap = 0.0;
+    int n = 0;
+    for (const Benchmark &bench : suitePrograms()) {
+        const core::SimResult edsO = runEds(bench, ooo);
+        const core::SimResult edsI = runEds(bench, ino);
+        const core::SimResult ssO = runStatSim(bench, ooo);
+        const core::SimResult ssI = runStatSim(bench, ino);
+
+        const double err = absoluteError(ssI.ipc, edsI.ipc);
+        const double gapEds = edsO.ipc / edsI.ipc;
+        const double gapSs = ssO.ipc / ssI.ipc;
+        const double gapErr =
+            std::abs(gapSs - gapEds) / gapEds;
+        table.addRow({bench.name, TextTable::num(edsI.ipc, 2),
+                      TextTable::num(ssI.ipc, 2),
+                      TextTable::pct(err),
+                      TextTable::num(gapEds, 2),
+                      TextTable::num(gapSs, 2),
+                      TextTable::pct(gapErr)});
+        sumErr += err;
+        sumGap += gapErr;
+        ++n;
+    }
+    table.addRow({"average", "", "", TextTable::pct(sumErr / n), "",
+                  "", TextTable::pct(sumGap / n)});
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: the unmodified RAW-only profile "
+                 "predicts the in-order machine with accuracy "
+                 "comparable to the out-of-order case, and the "
+                 "out-of-order speedup factor is tracked closely.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 6 (and section 4.2.3): absolute accuracy of statistical
+ * simulation on the baseline configuration — IPC (left graph), EPC
+ * (right graph) and the derived EDP errors. The paper reports average
+ * errors of 6.6% (IPC), 4% (EPC) and 11% (EDP).
+ */
+
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ssim;
+    using namespace ssim::experiments;
+
+    printBanner(std::cout,
+                "Figure 6: absolute IPC and EPC accuracy "
+                "(+ section 4.2.3 EDP)");
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+
+    TextTable table;
+    table.setHeader({"benchmark", "IPC (SS)", "IPC (EDS)", "IPC err",
+                     "EPC (SS)", "EPC (EDS)", "EPC err", "EDP err"});
+    double sumIpc = 0.0, sumEpc = 0.0, sumEdp = 0.0;
+    double maxIpc = 0.0, maxEpc = 0.0, maxEdp = 0.0;
+    int n = 0;
+    for (const Benchmark &bench : suitePrograms()) {
+        const core::SimResult eds = runEds(bench, cfg);
+        const core::SimResult ss = runStatSim(bench, cfg);
+
+        const double ipcErr = absoluteError(ss.ipc, eds.ipc);
+        const double epcErr = absoluteError(ss.epc, eds.epc);
+        const double edpErr = absoluteError(ss.edp, eds.edp);
+        table.addRow({bench.name, TextTable::num(ss.ipc, 2),
+                      TextTable::num(eds.ipc, 2),
+                      TextTable::pct(ipcErr),
+                      TextTable::num(ss.epc, 1),
+                      TextTable::num(eds.epc, 1),
+                      TextTable::pct(epcErr),
+                      TextTable::pct(edpErr)});
+        sumIpc += ipcErr;
+        sumEpc += epcErr;
+        sumEdp += edpErr;
+        maxIpc = std::max(maxIpc, ipcErr);
+        maxEpc = std::max(maxEpc, epcErr);
+        maxEdp = std::max(maxEdp, edpErr);
+        ++n;
+    }
+    table.addRow({"average", "", "", TextTable::pct(sumIpc / n), "",
+                  "", TextTable::pct(sumEpc / n),
+                  TextTable::pct(sumEdp / n)});
+    table.addRow({"max", "", "", TextTable::pct(maxIpc), "", "",
+                  TextTable::pct(maxEpc), TextTable::pct(maxEdp)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: 6.6% average / 14.2% max IPC "
+                 "error; 4% average EPC error; 11% average EDP "
+                 "error.\n";
+    return 0;
+}

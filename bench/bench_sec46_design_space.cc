@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Section 4.6: design space exploration. The paper evaluates 1,792
+ * design points (RUU x LSQ x decode x issue x commit widths) with
+ * statistical simulation, picks the EDP-optimal point, and verifies
+ * with detailed simulation that the pick is (near-)optimal.
+ *
+ * We sweep the same 1,792-point space with statistical simulation.
+ * Full execution-driven validation of every point is infeasible here
+ * (it is exactly the cost the technique exists to avoid — the paper
+ * burned it once to make the point), so validation samples the space:
+ * the SS-chosen optimum is compared by EDS against the SS top-10 and
+ * a spread of random points, reporting how close the pick is to the
+ * best EDS EDP among the sampled candidates.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/random.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+
+struct Point
+{
+    cpu::CoreConfig cfg;
+    std::string name;
+};
+
+std::vector<Point>
+designSpace()
+{
+    const std::vector<uint32_t> ruus = {8, 16, 32, 48, 64, 96, 128};
+    const std::vector<uint32_t> lsqs = {4, 8, 16, 24, 32, 48, 64};
+    const std::vector<uint32_t> widths = {2, 4, 6, 8};
+    std::vector<Point> points;
+    for (size_t ri = 0; ri < ruus.size(); ++ri) {
+        for (size_t li = 0; li <= ri; ++li) {
+            for (uint32_t dw : widths) {
+                for (uint32_t iw : widths) {
+                    for (uint32_t cw : widths) {
+                        cpu::CoreConfig cfg =
+                            cpu::CoreConfig::baseline();
+                        cfg.ruuSize = ruus[ri];
+                        cfg.lsqSize = lsqs[li];
+                        cfg.decodeWidth = dw;
+                        cfg.issueWidth = iw;
+                        cfg.commitWidth = cw;
+                        points.push_back(
+                            {cfg, "ruu" + std::to_string(ruus[ri]) +
+                                  "/lsq" + std::to_string(lsqs[li]) +
+                                  "/d" + std::to_string(dw) + "i" +
+                                  std::to_string(iw) + "c" +
+                                  std::to_string(cw)});
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Section 4.6: EDP-optimal design identification");
+    const std::vector<Point> space = designSpace();
+    std::cout << "design space: " << space.size() << " points\n";
+
+    const auto &suite = suitePrograms();
+    const bool quick = quickMode();
+    const size_t benchCount = quick ? 3 : suite.size();
+
+    TextTable table;
+    table.setHeader({"benchmark", "SS-optimal point", "SS EDP",
+                     "EDS EDP @ pick", "best sampled EDS EDP",
+                     "pick vs best"});
+
+    for (size_t b = 0; b < benchCount; ++b) {
+        const Benchmark &bench = suite[b];
+
+        // One profile and synthetic trace serve the whole sweep
+        // (predictor/caches are fixed across these design points).
+        StatSimKnobs knobs;
+        const auto profile = profileFor(
+            bench, cpu::CoreConfig::baseline(), knobs);
+        core::GenerationOptions gopts;
+        gopts.reductionFactor = std::max<uint64_t>(
+            2, profile->instructions / 25000);
+        const core::SyntheticTrace trace =
+            core::generateSyntheticTrace(*profile, gopts);
+
+        std::vector<double> edp(space.size());
+        for (size_t p = 0; p < space.size(); ++p) {
+            edp[p] = core::simulateSyntheticTrace(
+                trace, space[p].cfg).edp;
+        }
+
+        // Rank by SS EDP.
+        std::vector<size_t> order(space.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t c) { return edp[a] < edp[c]; });
+        const size_t pick = order[0];
+
+        // Validate by EDS over the SS top-10 plus random samples.
+        std::vector<size_t> candidates(order.begin(),
+                                       order.begin() + 10);
+        Rng rng(1234 + b);
+        for (int i = 0; i < (quick ? 5 : 20); ++i)
+            candidates.push_back(rng.below(space.size()));
+
+        double edsAtPick = 0.0;
+        double bestEds = 1e300;
+        for (size_t p : candidates) {
+            const double e = runEds(bench, space[p].cfg).edp;
+            if (p == pick)
+                edsAtPick = e;
+            bestEds = std::min(bestEds, e);
+        }
+
+        const double gap = (edsAtPick - bestEds) / bestEds;
+        table.addRow({bench.name, space[pick].name,
+                      TextTable::num(edp[pick], 2),
+                      TextTable::num(edsAtPick, 2),
+                      TextTable::num(bestEds, 2),
+                      "+" + TextTable::pct(gap, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): the SS-identified design "
+                 "is the true optimum or within ~1% of it — a region "
+                 "of energy-efficient designs is found at a tiny "
+                 "fraction of the detailed-simulation cost.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 1 + Table 2: the benchmark suite with baseline IPC, and the
+ * baseline machine configuration the other experiments assume.
+ */
+
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ssim;
+    using namespace ssim::experiments;
+
+    printBanner(std::cout, "Table 2: baseline configuration");
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    TextTable conf;
+    conf.setHeader({"parameter", "value"});
+    conf.addRow({"instruction cache",
+                 std::to_string(cfg.il1.sizeBytes / 1024) + "KB, " +
+                 std::to_string(cfg.il1.assoc) + "-way, " +
+                 std::to_string(cfg.il1.lineBytes) + "B lines, " +
+                 std::to_string(cfg.il1.latency) + " cycle"});
+    conf.addRow({"data cache",
+                 std::to_string(cfg.dl1.sizeBytes / 1024) + "KB, " +
+                 std::to_string(cfg.dl1.assoc) + "-way, " +
+                 std::to_string(cfg.dl1.lineBytes) + "B lines, " +
+                 std::to_string(cfg.dl1.latency) + " cycles"});
+    conf.addRow({"unified L2",
+                 std::to_string(cfg.l2.sizeBytes / 1024) + "KB, " +
+                 std::to_string(cfg.l2.assoc) + "-way, " +
+                 std::to_string(cfg.l2.lineBytes) + "B lines, " +
+                 std::to_string(cfg.l2.latency) + " cycles"});
+    conf.addRow({"I/D-TLB", std::to_string(cfg.itlb.entries) +
+                 " entries, " + std::to_string(cfg.itlb.missPenalty) +
+                 " cycle miss penalty"});
+    conf.addRow({"memory",
+                 std::to_string(cfg.memLatency) + " cycles"});
+    conf.addRow({"branch predictor",
+                 "hybrid: 8K bimodal + 8Kx8K local (xor), "
+                 "512-entry 4-way BTB, 64-entry RAS"});
+    conf.addRow({"misprediction penalty",
+                 std::to_string(cfg.mispredictPenalty) + " cycles"});
+    conf.addRow({"IFQ", std::to_string(cfg.ifqSize) + " entries"});
+    conf.addRow({"RUU / LSQ", std::to_string(cfg.ruuSize) + " / " +
+                 std::to_string(cfg.lsqSize) + " entries"});
+    conf.addRow({"width", std::to_string(cfg.decodeWidth) +
+                 " decode (fetch speed = " +
+                 std::to_string(cfg.fetchSpeed) + "), " +
+                 std::to_string(cfg.issueWidth) + " issue, " +
+                 std::to_string(cfg.commitWidth) + " commit"});
+    conf.print(std::cout);
+
+    printBanner(std::cout,
+                "Table 1: benchmarks and baseline IPC");
+    TextTable table;
+    table.setHeader({"benchmark", "archetype", "static insts",
+                     "blocks", "dynamic insts", "IPC"});
+    for (const Benchmark &bench : suitePrograms()) {
+        const core::SimResult res = runEds(bench, cfg);
+        table.addRow({bench.name, bench.archetype,
+                      std::to_string(bench.program.size()),
+                      std::to_string(bench.program.numBlocks()),
+                      std::to_string(res.stats.committed),
+                      TextTable::num(res.ipc, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

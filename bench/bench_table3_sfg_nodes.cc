@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 3: the number of distinct qualified basic blocks
+ * ((k+1)-grams) in the SFG as a function of its order k — the memory
+ * footprint argument for modest k.
+ */
+
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ssim;
+    using namespace ssim::experiments;
+
+    printBanner(std::cout, "Table 3: SFG size vs order k");
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+
+    TextTable table;
+    table.setHeader({"benchmark", "k=0", "k=1", "k=2", "k=3"});
+    for (const Benchmark &bench : suitePrograms()) {
+        std::vector<std::string> row = {bench.name};
+        for (int k : {0, 1, 2, 3}) {
+            StatSimKnobs knobs;
+            knobs.order = k;
+            const auto profile = profileFor(bench, cfg, knobs);
+            row.push_back(
+                std::to_string(profile->qualifiedBlockCount()));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: counts grow moderately with k "
+                 "(control flow constrains the histories that "
+                 "actually occur), unlike the state explosion of "
+                 "fully qualified instruction schemes.\n";
+    return 0;
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Table 4: relative accuracy of statistical simulation — the error in
+ * predicted *trends* when moving between neighbouring design points,
+ * for five architectural parameters: window size, processor width,
+ * IFQ size, branch predictor size and cache size. Each cell is the
+ * relative error RE (section 4.5) averaged over the benchmark suite.
+ *
+ * As in the paper, the statistical profile is re-measured whenever
+ * the branch predictor or cache configuration changes and reused
+ * otherwise.
+ */
+
+#include <functional>
+#include <iostream>
+
+#include "experiments/harness.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+
+struct Metric
+{
+    const char *name;
+    std::function<double(const core::SimResult &)> get;
+};
+
+const Metric IpcM{"IPC", [](const core::SimResult &r) {
+    return r.ipc; }};
+const Metric EpcM{"EPC", [](const core::SimResult &r) {
+    return r.epc; }};
+const Metric RuuOccM{"RUU occupancy", [](const core::SimResult &r) {
+    return r.stats.avgRuuOccupancy(); }};
+const Metric LsqOccM{"LSQ occupancy", [](const core::SimResult &r) {
+    return r.stats.avgLsqOccupancy(); }};
+const Metric IfqOccM{"IFQ occupancy", [](const core::SimResult &r) {
+    return r.stats.avgIfqOccupancy(); }};
+const Metric BandwidthM{"execution bandwidth",
+                        [](const core::SimResult &r) {
+    return r.stats.executionBandwidth(); }};
+
+Metric
+powerMetric(const char *name, cpu::PowerUnit unit)
+{
+    return {name, [unit](const core::SimResult &r) {
+        return r.power.of(unit);
+    }};
+}
+
+/** One sweep family: named design points over one parameter. */
+struct Sweep
+{
+    std::string title;
+    std::vector<std::string> pointNames;
+    std::vector<cpu::CoreConfig> points;
+    std::vector<Metric> metrics;
+};
+
+void
+runSweep(const Sweep &sweep)
+{
+    printBanner(std::cout, "Table 4: sensitivity to " + sweep.title);
+
+    const auto &suite = suitePrograms();
+    const size_t np = sweep.points.size();
+
+    // results[point][metric] summed over benchmarks (SS and EDS).
+    std::vector<std::vector<RunningStats>> relErr(
+        np - 1, std::vector<RunningStats>(sweep.metrics.size()));
+
+    for (const Benchmark &bench : suite) {
+        std::vector<core::SimResult> eds(np), ss(np);
+        for (size_t p = 0; p < np; ++p) {
+            eds[p] = runEds(bench, sweep.points[p]);
+            ss[p] = runStatSim(bench, sweep.points[p]);
+        }
+        for (size_t p = 0; p + 1 < np; ++p) {
+            for (size_t m = 0; m < sweep.metrics.size(); ++m) {
+                const auto &get = sweep.metrics[m].get;
+                relErr[p][m].add(relativeError(
+                    get(ss[p]), get(ss[p + 1]),
+                    get(eds[p]), get(eds[p + 1])));
+            }
+        }
+    }
+
+    TextTable table;
+    std::vector<std::string> header = {"metric"};
+    for (size_t p = 0; p + 1 < np; ++p)
+        header.push_back(sweep.pointNames[p] + " -> " +
+                         sweep.pointNames[p + 1]);
+    table.setHeader(std::move(header));
+    for (size_t m = 0; m < sweep.metrics.size(); ++m) {
+        std::vector<std::string> row = {sweep.metrics[m].name};
+        for (size_t p = 0; p + 1 < np; ++p)
+            row.push_back(TextTable::pct(relErr[p][m].mean()));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = quickMode();
+    const cpu::CoreConfig base = cpu::CoreConfig::baseline();
+
+    // ---- window size (LSQ = RUU / 2) ----
+    {
+        Sweep sweep;
+        sweep.title = "window size (RUU 8..128, LSQ = RUU/2)";
+        const std::vector<uint32_t> sizes =
+            quick ? std::vector<uint32_t>{16, 64, 128}
+                  : std::vector<uint32_t>{8, 16, 32, 48, 64, 96, 128};
+        for (uint32_t s : sizes) {
+            cpu::CoreConfig cfg = base;
+            cfg.ruuSize = s;
+            cfg.lsqSize = std::max(4u, s / 2);
+            sweep.points.push_back(cfg);
+            sweep.pointNames.push_back(std::to_string(s));
+        }
+        sweep.metrics = {IpcM, RuuOccM, LsqOccM, EpcM,
+                         powerMetric("RUU power", cpu::PowerUnit::Ruu),
+                         powerMetric("LSQ power",
+                                     cpu::PowerUnit::Lsq)};
+        runSweep(sweep);
+    }
+
+    // ---- processor width ----
+    {
+        Sweep sweep;
+        sweep.title = "processor width (decode = issue = commit)";
+        const std::vector<uint32_t> widths =
+            quick ? std::vector<uint32_t>{2, 8}
+                  : std::vector<uint32_t>{2, 4, 6, 8};
+        for (uint32_t w : widths) {
+            cpu::CoreConfig cfg = base;
+            cfg.decodeWidth = cfg.issueWidth = cfg.commitWidth = w;
+            sweep.points.push_back(cfg);
+            sweep.pointNames.push_back(std::to_string(w));
+        }
+        sweep.metrics = {IpcM, BandwidthM, EpcM,
+                         powerMetric("fetch power",
+                                     cpu::PowerUnit::ICache),
+                         powerMetric("dispatch power",
+                                     cpu::PowerUnit::Rename),
+                         powerMetric("issue power",
+                                     cpu::PowerUnit::IssueSel)};
+        runSweep(sweep);
+    }
+
+    // ---- instruction fetch queue size ----
+    {
+        Sweep sweep;
+        sweep.title = "instruction fetch queue size";
+        const std::vector<uint32_t> sizes =
+            quick ? std::vector<uint32_t>{4, 32}
+                  : std::vector<uint32_t>{4, 8, 16, 32};
+        for (uint32_t s : sizes) {
+            cpu::CoreConfig cfg = base;
+            cfg.ifqSize = s;
+            sweep.points.push_back(cfg);
+            sweep.pointNames.push_back(std::to_string(s));
+        }
+        sweep.metrics = {IpcM, EpcM, IfqOccM};
+        runSweep(sweep);
+    }
+
+    // ---- branch predictor size ----
+    {
+        Sweep sweep;
+        sweep.title = "branch predictor size";
+        const std::vector<int> factors =
+            quick ? std::vector<int>{-2, 0, 2}
+                  : std::vector<int>{-2, -1, 0, 1, 2};
+        for (int f : factors) {
+            cpu::CoreConfig cfg = base;
+            cfg.bpred = cfg.bpred.scaled(f);
+            sweep.points.push_back(cfg);
+            sweep.pointNames.push_back(
+                f == 0 ? "base" : (f < 0
+                    ? "base/" + std::to_string(1 << -f)
+                    : "base*" + std::to_string(1 << f)));
+        }
+        sweep.metrics = {IpcM, EpcM, RuuOccM,
+                         powerMetric("RUU power", cpu::PowerUnit::Ruu),
+                         LsqOccM,
+                         powerMetric("LSQ power", cpu::PowerUnit::Lsq),
+                         IfqOccM,
+                         powerMetric("fetch power",
+                                     cpu::PowerUnit::ICache),
+                         powerMetric("bpred power",
+                                     cpu::PowerUnit::Bpred)};
+        runSweep(sweep);
+    }
+
+    // ---- cache configuration size ----
+    {
+        Sweep sweep;
+        sweep.title = "cache configuration size (L1 I/D and L2)";
+        const std::vector<double> factors =
+            quick ? std::vector<double>{0.25, 1.0, 4.0}
+                  : std::vector<double>{0.25, 0.5, 1.0, 2.0, 4.0};
+        for (double f : factors) {
+            cpu::CoreConfig cfg = base;
+            cfg.il1 = cfg.il1.scaled(f);
+            cfg.dl1 = cfg.dl1.scaled(f);
+            cfg.l2 = cfg.l2.scaled(f);
+            sweep.points.push_back(cfg);
+            sweep.pointNames.push_back(
+                f == 1.0 ? "base" : (f < 1.0
+                    ? "base/" + std::to_string(
+                          static_cast<int>(1.0 / f))
+                    : "base*" + std::to_string(
+                          static_cast<int>(f))));
+        }
+        sweep.metrics = {IpcM, EpcM, RuuOccM,
+                         powerMetric("RUU power", cpu::PowerUnit::Ruu),
+                         LsqOccM,
+                         powerMetric("LSQ power", cpu::PowerUnit::Lsq),
+                         IfqOccM,
+                         powerMetric("icache power",
+                                     cpu::PowerUnit::ICache),
+                         powerMetric("dcache power",
+                                     cpu::PowerUnit::DCache),
+                         powerMetric("L2 power", cpu::PowerUnit::L2)};
+        runSweep(sweep);
+    }
+
+    std::cout << "\nExpected shape: relative errors are small "
+                 "(generally below a few percent), well under the "
+                 "absolute errors — the property that makes "
+                 "statistical simulation useful for design-space "
+                 "exploration.\n";
+    return 0;
+}

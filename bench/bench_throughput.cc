@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator throughput microbenchmarks (google-benchmark): functional
+ * emulation, statistical profiling, execution-driven simulation and
+ * synthetic-trace simulation, in instructions per second. These back
+ * the section 4.1 speed claims with measured rates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/statsim.hh"
+#include "cpu/eds_frontend.hh"
+#include "cpu/pipeline/ooo_core.hh"
+#include "isa/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+
+const isa::Program &
+prog()
+{
+    static const isa::Program p = workloads::build("zip", 1);
+    return p;
+}
+
+const cpu::CoreConfig &
+cfg()
+{
+    static const cpu::CoreConfig c = cpu::CoreConfig::baseline();
+    return c;
+}
+
+void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    const uint64_t n = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        isa::Emulator emu(prog());
+        benchmark::DoNotOptimize(emu.run(n));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_FunctionalEmulation)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StatisticalProfiling(benchmark::State &state)
+{
+    const uint64_t n = static_cast<uint64_t>(state.range(0));
+    core::ProfileOptions opts;
+    opts.maxInsts = n;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::buildProfile(prog(), cfg(), opts));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_StatisticalProfiling)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ExecutionDrivenSimulation(benchmark::State &state)
+{
+    const uint64_t n = static_cast<uint64_t>(state.range(0));
+    cpu::EdsOptions opts;
+    opts.maxInsts = n;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::runExecutionDriven(prog(), cfg(), opts));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ExecutionDrivenSimulation)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SyntheticTraceSimulation(benchmark::State &state)
+{
+    static const core::SyntheticTrace trace = [] {
+        core::ProfileOptions popts;
+        popts.maxInsts = 400000;
+        const core::StatisticalProfile profile =
+            core::buildProfile(prog(), cfg(), popts);
+        core::GenerationOptions gopts;
+        gopts.reductionFactor = 4;   // ~100K synthetic instructions
+        return core::generateSyntheticTrace(profile, gopts);
+    }();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::simulateSyntheticTrace(trace, cfg()));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_SyntheticTraceSimulation)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SyntheticTraceGeneration(benchmark::State &state)
+{
+    static const core::StatisticalProfile profile = [] {
+        core::ProfileOptions popts;
+        popts.maxInsts = 400000;
+        return core::buildProfile(prog(), cfg(), popts);
+    }();
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 4;
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        gopts.seed = ++seed;
+        benchmark::DoNotOptimize(
+            core::generateSyntheticTrace(profile, gopts));
+    }
+}
+BENCHMARK(BM_SyntheticTraceGeneration)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

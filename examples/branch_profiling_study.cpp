@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Branch profiling study: demonstrates why delayed update matters
+ * (the paper's second contribution). For one workload, the example
+ * reports the misprediction rate seen by an execution-driven run and
+ * by the two profiling styles, across predictor flavours and sizes —
+ * the kind of study the profiling infrastructure makes cheap.
+ *
+ * Usage: branch_profiling_study [workload]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/profiler.hh"
+#include "core/statsim.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+
+double
+profiledRate(const isa::Program &prog, const cpu::CoreConfig &cfg,
+             core::BranchProfilingMode mode)
+{
+    core::ProfileOptions opts;
+    opts.branchMode = mode;
+    return core::buildProfile(prog, cfg, opts).mispredictsPerKilo();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "chess";
+    const isa::Program prog = workloads::build(name);
+
+    struct Flavour
+    {
+        std::string label;
+        cpu::BpredConfig bpred;
+    };
+    std::vector<Flavour> flavours;
+    {
+        cpu::BpredConfig hybrid;   // Table 2 default
+        flavours.push_back({"hybrid 8K (base)", hybrid});
+        flavours.push_back({"hybrid 2K", hybrid.scaled(-2)});
+        flavours.push_back({"hybrid 32K", hybrid.scaled(2)});
+        cpu::BpredConfig bimodal;
+        bimodal.kind = cpu::BpredKind::Bimodal;
+        flavours.push_back({"bimodal 8K", bimodal});
+        cpu::BpredConfig twoLevel;
+        twoLevel.kind = cpu::BpredKind::TwoLevel;
+        flavours.push_back({"two-level 8Kx8K", twoLevel});
+        cpu::BpredConfig taken;
+        taken.kind = cpu::BpredKind::Taken;
+        flavours.push_back({"static taken", taken});
+    }
+
+    std::cout << "branch behaviour of '" << name
+              << "' (mispredictions per 1000 instructions)\n\n";
+    TextTable table;
+    table.setHeader({"predictor", "execution-driven",
+                     "immediate profiling", "delayed profiling"});
+    for (const Flavour &f : flavours) {
+        cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+        cfg.bpred = f.bpred;
+        const core::SimResult eds =
+            core::runExecutionDriven(prog, cfg);
+        const double imm = profiledRate(
+            prog, cfg, core::BranchProfilingMode::ImmediateUpdate);
+        const double del = profiledRate(
+            prog, cfg, core::BranchProfilingMode::DelayedUpdate);
+        table.addRow({f.label,
+                      TextTable::num(eds.stats.mispredictsPerKilo(),
+                                     2),
+                      TextTable::num(imm, 2),
+                      TextTable::num(del, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nDelayed-update profiling (FIFO sized like the "
+                 "IFQ, squash-and-replay on mispredicts) tracks the "
+                 "pipeline's view of the predictor; immediate update "
+                 "is systematically optimistic for history-based "
+                 "predictors.\n";
+    return 0;
+}

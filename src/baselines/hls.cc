@@ -1,0 +1,260 @@
+#include "hls.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ssim::baselines
+{
+
+using core::StatisticalProfile;
+using core::SynthInst;
+using core::SyntheticTrace;
+
+HlsProfile
+HlsProfile::fromProfile(const StatisticalProfile &profile)
+{
+    HlsProfile hls;
+    hls.benchmark = profile.benchmark;
+    hls.instructions = profile.instructions;
+
+    std::array<uint64_t, isa::NumInstClasses> classCounts{};
+    uint64_t blocks = 0;
+    double sizeSum = 0.0, sizeSqSum = 0.0;
+    uint64_t branches = 0, taken = 0, mispredict = 0, redirect = 0;
+    uint64_t il1Acc = 0, il1Miss = 0, il2Miss = 0, itlbMiss = 0;
+    uint64_t loads = 0, dl1Miss = 0, dl2Miss = 0, dtlbMiss = 0;
+
+    // Node entry statistics cover every dynamic block exactly once.
+    for (const auto &[gram, node] : profile.nodes) {
+        const core::QBlockStats &qb = node.entryStats;
+        const uint64_t occ = qb.occurrences;
+        if (occ == 0)
+            continue;
+        const uint32_t blockId = StatisticalProfile::blockOf(gram);
+        const core::BlockShape &shape = profile.shapes[blockId];
+
+        blocks += occ;
+        sizeSum += static_cast<double>(occ) * shape.size();
+        sizeSqSum += static_cast<double>(occ) * shape.size() *
+            shape.size();
+
+        for (size_t i = 0; i < shape.size(); ++i) {
+            classCounts[static_cast<int>(shape[i].cls)] += occ;
+            if (i < qb.slots.size()) {
+                const core::SlotStats &ss = qb.slots[i];
+                for (const auto &dist : ss.depDist) {
+                    for (const auto &[value, count] : dist.entries())
+                        hls.depDist.record(value, count);
+                }
+                il1Acc += ss.il1Access;
+                il1Miss += ss.il1Miss;
+                il2Miss += ss.il2Miss;
+                itlbMiss += ss.itlbMiss;
+                if (shape[i].isLoad) {
+                    loads += occ;
+                    dl1Miss += ss.dl1Miss;
+                    dl2Miss += ss.dl2Miss;
+                    dtlbMiss += ss.dtlbMiss;
+                }
+            }
+        }
+        branches += qb.branch.count;
+        taken += qb.branch.taken;
+        mispredict += qb.branch.mispredict;
+        redirect += qb.branch.redirect;
+    }
+
+    uint64_t totalInsts = 0;
+    for (uint64_t c : classCounts)
+        totalInsts += c;
+    if (totalInsts > 0) {
+        for (int c = 0; c < isa::NumInstClasses; ++c) {
+            hls.mix[c] = static_cast<double>(classCounts[c]) /
+                static_cast<double>(totalInsts);
+        }
+    }
+
+    if (blocks > 0) {
+        hls.meanBlockSize = sizeSum / static_cast<double>(blocks);
+        const double var = sizeSqSum / static_cast<double>(blocks) -
+            hls.meanBlockSize * hls.meanBlockSize;
+        hls.stddevBlockSize = std::sqrt(std::max(0.0, var));
+    }
+
+    auto ratio = [](uint64_t num, uint64_t den) {
+        return den ? static_cast<double>(num) / den : 0.0;
+    };
+    hls.takenProb = ratio(taken, branches);
+    hls.mispredictProb = ratio(mispredict, branches);
+    hls.redirectProb = ratio(redirect, branches);
+    hls.il1AccessProb = ratio(il1Acc, profile.instructions);
+    hls.il1MissProb = ratio(il1Miss, il1Acc);
+    hls.il2MissProb = ratio(il2Miss, il1Miss);
+    hls.itlbMissProb = ratio(itlbMiss, il1Acc);
+    hls.dl1MissProb = ratio(dl1Miss, loads);
+    hls.dl2MissProb = ratio(dl2Miss, dl1Miss);
+    hls.dtlbMissProb = ratio(dtlbMiss, loads);
+    return hls;
+}
+
+namespace
+{
+
+/** Static shape of one synthetic HLS block. */
+struct HlsBlock
+{
+    std::vector<isa::InstClass> classes;
+    uint32_t takenSucc = 0;
+    uint32_t notTakenSucc = 0;
+};
+
+/** Operand count for an instruction class in the mini ISA. */
+int
+srcsForClass(isa::InstClass cls)
+{
+    using isa::InstClass;
+    switch (cls) {
+      case InstClass::Load:
+        return 1;
+      case InstClass::Store:
+      case InstClass::IntCondBranch:
+      case InstClass::FpCondBranch:
+        return 2;
+      case InstClass::IndirectBranch:
+        return 1;
+      case InstClass::FpSqrt:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+bool
+classHasDest(isa::InstClass cls)
+{
+    using isa::InstClass;
+    switch (cls) {
+      case InstClass::Store:
+      case InstClass::IntCondBranch:
+      case InstClass::FpCondBranch:
+      case InstClass::IndirectBranch:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+SyntheticTrace
+generateHlsTrace(const HlsProfile &profile, const HlsOptions &opts)
+{
+    Rng rng(opts.seed);
+    SyntheticTrace trace;
+    trace.benchmark = profile.benchmark + "(hls)";
+    trace.reductionFactor = opts.reductionFactor;
+    trace.seed = opts.seed;
+
+    // All instruction slots draw from the overall mix — HLS assigns
+    // instructions to blocks "randomly based on the overall
+    // instruction mix distribution" with no sequence modeling.
+    auto drawClass = [&rng, &profile]() {
+        double u = rng.uniform();
+        for (int c = 0; c < isa::NumInstClasses; ++c) {
+            u -= profile.mix[c];
+            if (u <= 0.0)
+                return static_cast<isa::InstClass>(c);
+        }
+        return isa::InstClass::IntAlu;
+    };
+
+    // Build the 100 synthetic blocks and their random successors.
+    std::vector<HlsBlock> blocks(opts.numBlocks);
+    for (uint32_t b = 0; b < opts.numBlocks; ++b) {
+        const double drawn =
+            rng.gaussian(profile.meanBlockSize, profile.stddevBlockSize);
+        const int size = std::max(1, static_cast<int>(
+            std::llround(drawn)));
+        HlsBlock &blk = blocks[b];
+        for (int i = 0; i < size; ++i)
+            blk.classes.push_back(drawClass());
+        blk.takenSucc = static_cast<uint32_t>(
+            rng.below(opts.numBlocks));
+        blk.notTakenSucc = static_cast<uint32_t>(
+            rng.below(opts.numBlocks));
+    }
+
+    const uint64_t target = std::max<uint64_t>(
+        1, profile.instructions /
+               std::max<uint64_t>(1, opts.reductionFactor));
+
+    uint32_t cur = 0;
+    while (trace.insts.size() < target) {
+        const HlsBlock &blk = blocks[cur];
+        bool takenExit = false;
+        for (size_t i = 0; i < blk.classes.size() && !takenExit;
+             ++i) {
+            const isa::InstClass cls = blk.classes[i];
+            SynthInst si;
+            si.cls = cls;
+            si.isLoad = cls == isa::InstClass::Load;
+            si.isStore = cls == isa::InstClass::Store;
+            si.isCtrl = cls == isa::InstClass::IntCondBranch ||
+                cls == isa::InstClass::FpCondBranch ||
+                cls == isa::InstClass::IndirectBranch;
+            si.hasDest = classHasDest(cls);
+            si.numSrcs = static_cast<uint8_t>(srcsForClass(cls));
+            si.blockId = cur;
+
+            for (int p = 0; p < si.numSrcs; ++p) {
+                if (profile.depDist.empty())
+                    break;
+                for (int attempt = 0; attempt < 1000; ++attempt) {
+                    const uint32_t d = profile.depDist.sample(rng);
+                    if (d == 0)
+                        break;
+                    if (d > trace.insts.size())
+                        continue;
+                    if (trace.insts[trace.insts.size() - d].hasDest) {
+                        si.depDist[p] = static_cast<uint16_t>(d);
+                        break;
+                    }
+                }
+            }
+
+            si.il1Access = rng.chance(profile.il1AccessProb);
+            if (si.il1Access) {
+                si.il1Miss = rng.chance(profile.il1MissProb);
+                if (si.il1Miss)
+                    si.il2Miss = rng.chance(profile.il2MissProb);
+                si.itlbMiss = rng.chance(profile.itlbMissProb);
+            }
+            if (si.isLoad) {
+                si.dl1Miss = rng.chance(profile.dl1MissProb);
+                if (si.dl1Miss)
+                    si.dl2Miss = rng.chance(profile.dl2MissProb);
+                si.dtlbMiss = rng.chance(profile.dtlbMissProb);
+            }
+            if (si.isCtrl) {
+                si.taken = rng.chance(profile.takenProb);
+                takenExit = si.taken;
+                const double u = rng.uniform();
+                if (u < profile.mispredictProb)
+                    si.outcome = cpu::BranchOutcome::Mispredict;
+                else if (u < profile.mispredictProb +
+                             profile.redirectProb)
+                    si.outcome = cpu::BranchOutcome::FetchRedirect;
+            }
+            trace.insts.push_back(si);
+        }
+        // A taken branch leaves through the taken arc; otherwise the
+        // block falls through.
+        cur = takenExit ? blk.takenSucc : blk.notTakenSucc;
+    }
+    return trace;
+}
+
+} // namespace ssim::baselines

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The HLS statistical workload model (Oskin, Chong and Farrens,
+ * ISCA 2000), implemented as the paper's section 5 describes it for
+ * the Figure 7 comparison:
+ *
+ *  - one hundred synthetic basic blocks whose sizes are drawn from a
+ *    normal distribution over the average dynamic block size;
+ *  - instructions assigned randomly from the overall instruction mix
+ *    (no per-block sequence modeling — the key contrast with the SFG);
+ *  - branch predictability and cache behaviour applied as single
+ *    program-wide probabilities;
+ *  - dependencies drawn from one aggregate distance distribution.
+ *
+ * The generated trace runs on the same synthetic-trace simulator as
+ * SMART-HLS traces, so Figure 7 compares workload models only.
+ */
+
+#ifndef SSIM_BASELINES_HLS_HH
+#define SSIM_BASELINES_HLS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/profile.hh"
+#include "core/synth_trace.hh"
+#include "util/distribution.hh"
+
+namespace ssim::baselines
+{
+
+/** Aggregate (program-wide) statistics the HLS model uses. */
+struct HlsProfile
+{
+    std::string benchmark;
+    uint64_t instructions = 0;
+
+    double meanBlockSize = 0.0;
+    double stddevBlockSize = 0.0;
+
+    /** Overall instruction mix (by paper class). */
+    std::array<double, isa::NumInstClasses> mix{};
+
+    /** Aggregate RAW distance distribution (all operands pooled). */
+    DiscreteDistribution depDist;
+
+    // Program-wide branch probabilities.
+    double takenProb = 0.0;
+    double mispredictProb = 0.0;
+    double redirectProb = 0.0;
+
+    // Program-wide cache/TLB probabilities.
+    double il1AccessProb = 0.0;
+    double il1MissProb = 0.0;   ///< conditional on an access
+    double il2MissProb = 0.0;   ///< conditional on an L1 miss
+    double itlbMissProb = 0.0;  ///< conditional on an access
+    double dl1MissProb = 0.0;   ///< per load
+    double dl2MissProb = 0.0;   ///< conditional on an L1 miss
+    double dtlbMissProb = 0.0;  ///< per load
+
+    /** Collapse a (any-order) statistical profile into HLS form. */
+    static HlsProfile fromProfile(
+        const core::StatisticalProfile &profile);
+};
+
+/** HLS synthetic trace generation controls. */
+struct HlsOptions
+{
+    uint32_t numBlocks = 100;       ///< per the HLS paper
+    uint64_t reductionFactor = 1000;
+    uint64_t seed = 1;
+};
+
+/** Generate an HLS synthetic trace from aggregate statistics. */
+core::SyntheticTrace generateHlsTrace(const HlsProfile &profile,
+                                      const HlsOptions &opts = {});
+
+} // namespace ssim::baselines
+
+#endif // SSIM_BASELINES_HLS_HH

@@ -1,0 +1,297 @@
+#include "generator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ssim::core
+{
+
+namespace
+{
+
+/** One node of the reduced statistical flow graph. */
+struct ReducedNode
+{
+    uint32_t blockId = 0;            ///< current block (gram tail)
+    int64_t occurrences = 0;         ///< reduced, decremented on visit
+    const QBlockStats *entryStats = nullptr;
+
+    struct ReducedEdge
+    {
+        uint32_t destNode = 0;
+        uint64_t count = 0;
+        const QBlockStats *stats = nullptr;
+    };
+    std::vector<ReducedEdge> edges;
+    WeightedPicker edgePicker;
+};
+
+/** The generation walk state and emission helpers. */
+class Generator
+{
+  public:
+    Generator(const StatisticalProfile &profile,
+              const GenerationOptions &opts)
+        : profile_(&profile), opts_(opts), rng_(opts.seed)
+    {
+        buildReducedGraph();
+        // The expected synthetic trace length: a 1/R fraction of the
+        // profiled stream.
+        target_ = std::max<uint64_t>(
+            1, profile.instructions / std::max<uint64_t>(
+                   1, opts.reductionFactor));
+    }
+
+    SyntheticTrace
+    run()
+    {
+        SyntheticTrace trace;
+        trace.benchmark = profile_->benchmark;
+        trace.reductionFactor = opts_.reductionFactor;
+        trace.seed = opts_.seed;
+
+        if (nodes_.empty())
+            return trace;
+
+        while (trace.insts.size() < target_) {
+            // Step 1: pick a start node by occurrence; terminate when
+            // all occurrences are exhausted.
+            const int64_t start = pickStartNode();
+            if (start < 0)
+                break;
+            walk(static_cast<size_t>(start), trace);
+        }
+        return trace;
+    }
+
+  private:
+    void
+    buildReducedGraph()
+    {
+        const uint64_t r = std::max<uint64_t>(1, opts_.reductionFactor);
+
+        // Canonical (sorted) node order: generation must be a pure
+        // function of the profile's content, independent of hash-map
+        // iteration order (so a saved/reloaded profile reproduces the
+        // same trace for the same seed).
+        std::vector<const Gram *> grams;
+        grams.reserve(profile_->nodes.size());
+        for (const auto &[gram, node] : profile_->nodes) {
+            if (node.occurrences / r > 0)
+                grams.push_back(&gram);
+        }
+        std::sort(grams.begin(), grams.end(),
+                  [](const Gram *a, const Gram *b) { return *a < *b; });
+
+        std::unordered_map<Gram, uint32_t, GramHash> index;
+        for (const Gram *gram : grams) {
+            const auto &node = profile_->nodes.at(*gram);
+            const uint32_t idx = static_cast<uint32_t>(nodes_.size());
+            index.emplace(*gram, idx);
+            ReducedNode rn;
+            rn.blockId = StatisticalProfile::blockOf(*gram);
+            rn.occurrences =
+                static_cast<int64_t>(node.occurrences / r);
+            rn.entryStats = &node.entryStats;
+            nodes_.push_back(std::move(rn));
+        }
+
+        // Surviving edges (both endpoints alive), in ascending
+        // next-block order for the same reason.
+        for (const Gram *gram : grams) {
+            const auto &node = profile_->nodes.at(*gram);
+            ReducedNode &rn = nodes_[index.at(*gram)];
+            std::vector<uint32_t> nextBlocks;
+            nextBlocks.reserve(node.edges.size());
+            for (const auto &[nextBlock, edge] : node.edges)
+                nextBlocks.push_back(nextBlock);
+            std::sort(nextBlocks.begin(), nextBlocks.end());
+            for (uint32_t nextBlock : nextBlocks) {
+                if (profile_->order == 0)
+                    continue;  // k = 0: no edges by definition
+                const auto &edge = node.edges.at(nextBlock);
+                Gram destGram = *gram;
+                destGram.erase(destGram.begin());
+                destGram.push_back(nextBlock);
+                const auto dit = index.find(destGram);
+                if (dit == index.end())
+                    continue;
+                rn.edges.push_back({dit->second, edge.count,
+                                    &edge.stats});
+            }
+            std::vector<uint64_t> weights;
+            weights.reserve(rn.edges.size());
+            for (const auto &e : rn.edges)
+                weights.push_back(e.count);
+            rn.edgePicker.build(weights);
+        }
+    }
+
+    /** Pick a node weighted by remaining occurrences; -1 when dry. */
+    int64_t
+    pickStartNode()
+    {
+        std::vector<uint64_t> weights(nodes_.size());
+        for (size_t i = 0; i < nodes_.size(); ++i) {
+            weights[i] = nodes_[i].occurrences > 0
+                ? static_cast<uint64_t>(nodes_[i].occurrences) : 0;
+        }
+        WeightedPicker picker;
+        picker.build(weights);
+        if (picker.totalWeight() == 0)
+            return -1;
+        return static_cast<int64_t>(picker.pick(rng_));
+    }
+
+    /** Walk from @p start until a dead end or the length target. */
+    void
+    walk(size_t start, SyntheticTrace &trace)
+    {
+        size_t cur = start;
+        // Step 2: decrement and emit via the node's entry statistics
+        // (the restart has no incoming edge to condition on).
+        --nodes_[cur].occurrences;
+        emitBlock(nodes_[cur].blockId, *nodes_[cur].entryStats, trace);
+
+        while (trace.insts.size() < target_) {
+            ReducedNode &node = nodes_[cur];
+            // Step 9: dead end -> restart at step 1.
+            if (node.edges.empty())
+                return;
+            const size_t pick = node.edgePicker.pick(rng_);
+            const ReducedNode::ReducedEdge &edge = node.edges[pick];
+            if (nodes_[edge.destNode].occurrences <= 0) {
+                // Destination is exhausted; restart keeps the total
+                // emission bounded by the reduced occurrence budget.
+                return;
+            }
+            cur = edge.destNode;
+            --nodes_[cur].occurrences;
+            emitBlock(nodes_[cur].blockId, *edge.stats, trace);
+        }
+    }
+
+    /** Steps 3-8: emit one basic block instance. */
+    void
+    emitBlock(uint32_t blockId, const QBlockStats &stats,
+              SyntheticTrace &trace)
+    {
+        const BlockShape &shape = profile_->shapes[blockId];
+        const uint64_t occ = std::max<uint64_t>(1, stats.occurrences);
+
+        for (size_t i = 0; i < shape.size(); ++i) {
+            const SlotShape &slot = shape[i];
+            SynthInst si;
+            si.cls = slot.cls;
+            si.numSrcs = slot.numSrcs;
+            si.hasDest = slot.hasDest;
+            si.isLoad = slot.isLoad;
+            si.isStore = slot.isStore;
+            si.isCtrl = slot.isCtrl;
+            si.blockId = blockId;
+
+            const SlotStats *ss =
+                i < stats.slots.size() ? &stats.slots[i] : nullptr;
+
+            // Step 4: dependency distances.
+            if (ss) {
+                for (int p = 0; p < slot.numSrcs; ++p)
+                    si.depDist[p] =
+                        sampleDependency(ss->depDist[p], trace);
+            }
+
+            // Steps 5 and 7: cache and TLB hit/miss flags.
+            if (ss) {
+                const double pAccess =
+                    static_cast<double>(ss->il1Access) / occ;
+                si.il1Access = rng_.chance(pAccess);
+                if (si.il1Access && ss->il1Access > 0) {
+                    const double pMiss =
+                        static_cast<double>(ss->il1Miss) / ss->il1Access;
+                    si.il1Miss = rng_.chance(pMiss);
+                    if (si.il1Miss && ss->il1Miss > 0) {
+                        si.il2Miss = rng_.chance(
+                            static_cast<double>(ss->il2Miss) /
+                            ss->il1Miss);
+                    }
+                    si.itlbMiss = rng_.chance(
+                        static_cast<double>(ss->itlbMiss) /
+                        ss->il1Access);
+                }
+                if (slot.isLoad) {
+                    si.dl1Miss = rng_.chance(
+                        static_cast<double>(ss->dl1Miss) / occ);
+                    if (si.dl1Miss && ss->dl1Miss > 0) {
+                        si.dl2Miss = rng_.chance(
+                            static_cast<double>(ss->dl2Miss) /
+                            ss->dl1Miss);
+                    }
+                    si.dtlbMiss = rng_.chance(
+                        static_cast<double>(ss->dtlbMiss) / occ);
+                }
+            }
+
+            // Step 6: the terminating branch's characteristics.
+            if (slot.isCtrl && ss && stats.branch.count > 0) {
+                const BranchStats &b = stats.branch;
+                const double total = static_cast<double>(b.count);
+                si.taken = rng_.chance(b.taken / total);
+                const double u = rng_.uniform();
+                const double pMis = b.mispredict / total;
+                const double pRedir = b.redirect / total;
+                if (u < pMis)
+                    si.outcome = cpu::BranchOutcome::Mispredict;
+                else if (u < pMis + pRedir)
+                    si.outcome = cpu::BranchOutcome::FetchRedirect;
+                else
+                    si.outcome = cpu::BranchOutcome::Correct;
+            }
+
+            trace.insts.push_back(si);  // step 8
+        }
+    }
+
+    /**
+     * Step 4: sample a dependency distance, retrying when the chosen
+     * producer cannot produce a register value (branch/store).
+     */
+    uint16_t
+    sampleDependency(const DiscreteDistribution &dist,
+                     const SyntheticTrace &trace)
+    {
+        if (dist.empty())
+            return 0;
+        const size_t pos = trace.insts.size();
+        for (uint32_t attempt = 0;
+             attempt < opts_.maxDependencyRetries; ++attempt) {
+            const uint32_t d = dist.sample(rng_);
+            if (d == 0)
+                return 0;  // explicitly "no dependency"
+            if (d > pos)
+                continue;  // would reach before the trace start
+            if (trace.insts[pos - d].hasDest)
+                return static_cast<uint16_t>(d);
+        }
+        return 0;  // squash the dependency (paper: after 1000 tries)
+    }
+
+    const StatisticalProfile *profile_;
+    GenerationOptions opts_;
+    Rng rng_;
+    std::vector<ReducedNode> nodes_;
+    uint64_t target_ = 0;
+};
+
+} // namespace
+
+SyntheticTrace
+generateSyntheticTrace(const StatisticalProfile &profile,
+                       const GenerationOptions &opts)
+{
+    Generator gen(profile, opts);
+    return gen.run();
+}
+
+} // namespace ssim::core

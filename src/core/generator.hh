@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic trace generation (section 2.2): reduce the SFG by the
+ * trace reduction factor R, then random-walk it with the paper's
+ * nine-step algorithm, emitting annotated synthetic instructions.
+ */
+
+#ifndef SSIM_CORE_GENERATOR_HH
+#define SSIM_CORE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "profile.hh"
+#include "synth_trace.hh"
+#include "util/random.hh"
+
+namespace ssim::core
+{
+
+/** Generation controls. */
+struct GenerationOptions
+{
+    /**
+     * Trace reduction factor R: node occurrences are divided by R and
+     * zero-occurrence nodes removed (typical paper values: 1e3..1e5;
+     * pick R so the synthetic trace has 1e5..1e6 instructions).
+     */
+    uint64_t reductionFactor = 1000;
+
+    /** Random seed (each seed yields an independent trace). */
+    uint64_t seed = 1;
+
+    /**
+     * Maximum resampling attempts when a drawn dependency lands on an
+     * instruction without a destination register (step 4; the paper
+     * uses 1000, after which the dependency is dropped).
+     */
+    uint32_t maxDependencyRetries = 1000;
+};
+
+/** Run the reduction + generation algorithm over @p profile. */
+SyntheticTrace generateSyntheticTrace(const StatisticalProfile &profile,
+                                      const GenerationOptions &opts = {});
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_GENERATOR_HH

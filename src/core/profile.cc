@@ -1,0 +1,82 @@
+#include "profile.hh"
+
+#include <algorithm>
+
+namespace ssim::core
+{
+
+SfgBuilder::SfgBuilder(StatisticalProfile &profile)
+    : profile_(&profile),
+      gramSize_(std::max(profile.order, 1)),
+      useEdges_(profile.order >= 1)
+{
+}
+
+SfgBuilder::BlockStats
+SfgBuilder::startBlock(uint32_t blockId, size_t blockLen)
+{
+    if (history_.size() == gramSize_)
+        history_.erase(history_.begin());
+    history_.push_back(blockId);
+    if (history_.size() < gramSize_)
+        return {};
+
+    BlockStats out;
+
+    if (useEdges_ && !prevGram_.empty()) {
+        StatisticalProfile::Node &prev = profile_->nodes[prevGram_];
+        StatisticalProfile::Edge &edge = prev.edges[blockId];
+        ++edge.count;
+        edge.stats.ensureSlots(blockLen);
+        ++edge.stats.occurrences;
+        out.edge = &edge.stats;
+    }
+
+    StatisticalProfile::Node &node = profile_->nodes[history_];
+    ++node.occurrences;
+    node.entryStats.ensureSlots(blockLen);
+    ++node.entryStats.occurrences;
+    out.node = &node.entryStats;
+
+    prevGram_ = history_;
+    ++profile_->dynamicBlocks;
+    return out;
+}
+
+size_t
+StatisticalProfile::qualifiedBlockCount() const
+{
+    if (order == 0)
+        return nodes.size();
+    size_t n = 0;
+    for (const auto &[gram, node] : nodes)
+        n += node.edges.size();
+    return n;
+}
+
+BranchStats
+StatisticalProfile::totalBranchStats() const
+{
+    // Node entry statistics hold the k-gram marginal, so summing them
+    // covers every recorded event exactly once.
+    BranchStats total;
+    for (const auto &[gram, node] : nodes) {
+        total.count += node.entryStats.branch.count;
+        total.taken += node.entryStats.branch.taken;
+        total.redirect += node.entryStats.branch.redirect;
+        total.mispredict += node.entryStats.branch.mispredict;
+    }
+    return total;
+}
+
+double
+StatisticalProfile::mispredictsPerKilo() const
+{
+    if (instructions == 0)
+        return 0.0;
+    const BranchStats total = totalBranchStats();
+    return 1000.0 * static_cast<double>(total.mispredict) /
+        static_cast<double>(instructions);
+}
+
+} // namespace ssim::core

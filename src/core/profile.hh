@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The statistical profile (step 1 of Figure 1): a statistical flow
+ * graph of order k plus, per *qualified basic block* (a basic block
+ * together with its history of k preceding blocks, i.e. an edge of the
+ * k-SFG), the microarchitecture-independent characteristics
+ * (instruction types, operand counts, dependency-distance
+ * distributions) and the microarchitecture-dependent locality
+ * characteristics (branch and cache probabilities, section 2.1.2).
+ *
+ * Node layout: a node is keyed by the gram of the k most recent basic
+ * blocks (k >= 1); an edge is labelled with the next block and carries
+ * the (k+1)-gram statistics the paper writes as
+ * Prob[. | B_n, B_{n-1} ... B_{n-k}]. Each node additionally keeps
+ * "entry" statistics conditioned on its own k-gram, used when the
+ * generation algorithm (re)starts a walk at that node (step 1/2).
+ * k = 0 degenerates to per-block statistics with no edges.
+ */
+
+#ifndef SSIM_CORE_PROFILE_HH
+#define SSIM_CORE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "isa/program.hh"
+#include "util/distribution.hh"
+
+namespace ssim::core
+{
+
+/** Dependency distances are capped here (section 2.1.1). */
+constexpr uint32_t MaxDependencyDistance = 512;
+
+/** Basic-block history gram (most recent block last). */
+using Gram = std::vector<uint32_t>;
+
+/** FNV-1a hash over the gram contents. */
+struct GramHash
+{
+    size_t
+    operator()(const Gram &g) const
+    {
+        uint64_t h = 1469598103934665603ULL;
+        for (uint32_t v : g) {
+            h ^= v;
+            h *= 1099511628211ULL;
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+/** Static shape of one instruction slot within a basic block. */
+struct SlotShape
+{
+    isa::InstClass cls = isa::InstClass::IntAlu;
+    uint8_t numSrcs = 0;
+    bool hasDest = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isCtrl = false;
+};
+
+/** Static shape of one basic block (instruction classes, operands). */
+using BlockShape = std::vector<SlotShape>;
+
+/** Per-slot dynamic statistics of a qualified basic block. */
+struct SlotStats
+{
+    /**
+     * RAW dependency distance per source operand; value 0 encodes
+     * "no producer", other values are capped at MaxDependencyDistance.
+     */
+    DiscreteDistribution depDist[2];
+
+    // I-side locality events (denominator: QB occurrences; the L1
+    // access only happens on a fetch-line change, L2 events are
+    // conditional on an L1 miss).
+    uint64_t il1Access = 0;
+    uint64_t il1Miss = 0;
+    uint64_t il2Miss = 0;
+    uint64_t itlbMiss = 0;
+
+    // D-side locality events for loads (denominator: occurrences;
+    // L2 events conditional on an L1 miss).
+    uint64_t dl1Miss = 0;
+    uint64_t dl2Miss = 0;
+    uint64_t dtlbMiss = 0;
+};
+
+/** Terminal-branch statistics of a qualified basic block. */
+struct BranchStats
+{
+    uint64_t count = 0;       ///< recorded branch events
+    uint64_t taken = 0;
+    uint64_t redirect = 0;    ///< BTB-miss fetch redirections
+    uint64_t mispredict = 0;
+};
+
+/** All statistics attached to one qualified basic block. */
+struct QBlockStats
+{
+    uint64_t occurrences = 0;
+    std::vector<SlotStats> slots;
+    BranchStats branch;
+
+    /** Make sure the slot vector covers @p n instructions. */
+    void ensureSlots(size_t n)
+    {
+        if (slots.size() < n)
+            slots.resize(n);
+    }
+};
+
+/** The complete statistical profile of one program execution. */
+class StatisticalProfile
+{
+  public:
+    /** Outgoing SFG edge: next block plus (k+1)-gram statistics. */
+    struct Edge
+    {
+        uint64_t count = 0;
+        QBlockStats stats;
+    };
+
+    /** SFG node: a k-gram of basic blocks. */
+    struct Node
+    {
+        uint64_t occurrences = 0;
+        QBlockStats entryStats;   ///< k-gram marginal statistics
+        std::unordered_map<uint32_t, Edge> edges;  ///< by next block
+    };
+
+    int order = 1;                     ///< the k of the SFG
+    std::string benchmark;
+    uint64_t instructions = 0;         ///< profiled dynamic instructions
+    uint64_t dynamicBlocks = 0;
+    std::vector<BlockShape> shapes;    ///< per static block
+
+    std::unordered_map<Gram, Node, GramHash> nodes;
+
+    /** Number of SFG nodes (distinct k-grams; k = 0: blocks). */
+    size_t nodeCount() const { return nodes.size(); }
+
+    /**
+     * Number of distinct qualified basic blocks, i.e. distinct
+     * (k+1)-grams — the statistic Table 3 reports. For k = 0 this is
+     * the number of distinct blocks.
+     */
+    size_t qualifiedBlockCount() const;
+
+    /** Aggregate branch-event totals over the whole profile. */
+    BranchStats totalBranchStats() const;
+
+    /** Profiled branch mispredictions per 1000 instructions (Fig 3). */
+    double mispredictsPerKilo() const;
+
+    /** Current block of a node gram (its last element). */
+    static uint32_t blockOf(const Gram &g) { return g.back(); }
+};
+
+/**
+ * Incrementally builds the SFG of a profile from the dynamic basic
+ * block stream. Factored out of the profiler so the graph
+ * construction is directly testable against the paper's Figure 2
+ * example ('AABAABCABC').
+ */
+class SfgBuilder
+{
+  public:
+    /** Statistics targets for the block that just started. */
+    struct BlockStats
+    {
+        QBlockStats *node = nullptr;  ///< k-gram entry statistics
+        QBlockStats *edge = nullptr;  ///< (k+1)-gram edge statistics
+    };
+
+    explicit SfgBuilder(StatisticalProfile &profile);
+
+    /**
+     * Record that the dynamic stream entered @p blockId (whose shape
+     * has @p blockLen instructions). Returns the node/edge statistics
+     * the caller should accumulate the block's events into; both are
+     * null while the history is still warming up (the first k-1
+     * blocks), and edge is null for k = 0.
+     */
+    BlockStats startBlock(uint32_t blockId, size_t blockLen);
+
+  private:
+    StatisticalProfile *profile_;
+    size_t gramSize_;
+    bool useEdges_;
+    Gram history_;
+    Gram prevGram_;
+};
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_PROFILE_HH

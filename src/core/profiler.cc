@@ -1,0 +1,377 @@
+#include "profiler.hh"
+
+#include <deque>
+#include <memory>
+
+#include "cpu/bpred/branch_unit.hh"
+#include "cpu/cache/hierarchy.hh"
+#include "isa/emulator.hh"
+#include "util/logging.hh"
+
+namespace ssim::core
+{
+
+namespace
+{
+
+using cpu::BranchOutcome;
+using cpu::BranchPrediction;
+using cpu::BranchUnit;
+using cpu::Ras;
+
+/** One instruction inside the delayed-update FIFO. */
+struct FifoEntry
+{
+    bool isBranch = false;
+    uint32_t pc = 0;
+    bool taken = false;
+    uint32_t nextPc = 0;
+    BranchOutcome outcome = BranchOutcome::Correct;
+    Ras::State ras{0, 0};     ///< RAS state right after the lookup
+    QBlockStats *nodeStats = nullptr;
+    QBlockStats *edgeStats = nullptr;
+};
+
+/** Record a resolved branch event into node and edge statistics. */
+void
+recordBranchEvent(QBlockStats *nodeStats, QBlockStats *edgeStats,
+                  bool taken, BranchOutcome outcome)
+{
+    for (QBlockStats *qb : {nodeStats, edgeStats}) {
+        if (!qb)
+            continue;
+        BranchStats &b = qb->branch;
+        ++b.count;
+        if (taken)
+            ++b.taken;
+        if (outcome == BranchOutcome::Mispredict)
+            ++b.mispredict;
+        else if (outcome == BranchOutcome::FetchRedirect)
+            ++b.redirect;
+    }
+}
+
+/**
+ * The delayed-update FIFO of section 2.1.3. Lookup on insertion with
+ * stale predictor state; update on removal; squash-and-replay on a
+ * misprediction detected at removal.
+ */
+class DelayedUpdateFifo
+{
+  public:
+    DelayedUpdateFifo(const isa::Program &prog, BranchUnit &bpred,
+                      uint32_t capacity, uint32_t fetchSpeed,
+                      uint32_t decodeWidth)
+        : prog_(&prog), bpred_(&bpred),
+          capacity_(std::max(1u, capacity)),
+          fetchSpeed_(std::max(1u, fetchSpeed)),
+          decodeWidth_(std::max(1u, decodeWidth))
+    {
+    }
+
+    /**
+     * Insert one instruction, mirroring the fetch engine's cycle
+     * structure: a fetch cycle ends after fetchSpeed x decodeWidth
+     * instructions, after fetchSpeed taken branches, or when the FIFO
+     * (the IFQ) is full; each cycle boundary dispatches — i.e.
+     * removes and updates — up to decodeWidth instructions. For codes
+     * with few taken branches the FIFO runs at full IFQ capacity, the
+     * paper's model; dense taken branches throttle fetch and shorten
+     * the effective lookup->update delay, as they do in the pipeline.
+     */
+    void
+    insert(FifoEntry e)
+    {
+        if (fetchedThisCycle_ >= fetchSpeed_ * decodeWidth_ ||
+            takenThisCycle_ >= fetchSpeed_) {
+            endCycle();
+        }
+        while (fifo_.size() >= capacity_)
+            endCycle();
+        if (e.isBranch)
+            lookup(e);
+        const bool taken = e.isBranch && e.taken;
+        fifo_.push_back(e);
+        ++fetchedThisCycle_;
+        if (taken)
+            ++takenThisCycle_;
+    }
+
+    /** Flush remaining entries at end of stream. */
+    void
+    drain()
+    {
+        while (!fifo_.empty())
+            removeOldest();
+    }
+
+  private:
+    void
+    lookup(FifoEntry &e)
+    {
+        const isa::Instruction &inst = prog_->text[e.pc];
+        const BranchPrediction pred = bpred_->predict(e.pc, inst);
+        e.ras = bpred_->rasState();
+        e.outcome = BranchUnit::classify(inst, pred, e.taken, e.nextPc,
+                                         e.pc + 1);
+    }
+
+    void
+    removeOldest()
+    {
+        FifoEntry e = fifo_.front();
+        fifo_.pop_front();
+        if (!e.isBranch)
+            return;
+
+        bpred_->update(e.pc, prog_->text[e.pc], e.taken, e.nextPc);
+        recordBranchEvent(e.nodeStats, e.edgeStats, e.taken, e.outcome);
+
+        if (e.outcome == BranchOutcome::Mispredict) {
+            // The younger FIFO residents were looked up with the
+            // pre-recovery state; squash them and replay with fresh
+            // lookups through the normal cycle-structured insertion,
+            // as the refetched instructions would be.
+            bpred_->repairRas(e.ras);
+            std::deque<FifoEntry> squashed;
+            squashed.swap(fifo_);
+            fetchedThisCycle_ = 0;
+            takenThisCycle_ = 0;
+            for (FifoEntry &s : squashed)
+                insert(s);
+        }
+    }
+
+    /** One cycle boundary: dispatch up to decodeWidth instructions. */
+    void
+    endCycle()
+    {
+        fetchedThisCycle_ = 0;
+        takenThisCycle_ = 0;
+        for (uint32_t i = 0; i < decodeWidth_ && !fifo_.empty(); ++i)
+            removeOldest();
+    }
+
+    const isa::Program *prog_;
+    BranchUnit *bpred_;
+    uint32_t capacity_;
+    uint32_t fetchSpeed_;
+    uint32_t decodeWidth_;
+    uint32_t fetchedThisCycle_ = 0;
+    uint32_t takenThisCycle_ = 0;
+    std::deque<FifoEntry> fifo_;
+};
+
+/** Build the static per-block shapes. */
+std::vector<BlockShape>
+buildShapes(const isa::Program &prog)
+{
+    std::vector<BlockShape> shapes(prog.numBlocks());
+    for (size_t b = 0; b < prog.numBlocks(); ++b) {
+        const isa::BasicBlock &bb = prog.blocks()[b];
+        BlockShape shape(bb.size());
+        for (uint32_t i = 0; i < bb.size(); ++i) {
+            const isa::Instruction &inst = prog.text[bb.first + i];
+            SlotShape &s = shape[i];
+            s.cls = isa::classOf(inst.op);
+            s.numSrcs = static_cast<uint8_t>(isa::numSrcRegs(inst));
+            s.hasDest = isa::destReg(inst).valid();
+            s.isLoad = isa::isLoad(inst.op);
+            s.isStore = isa::isStore(inst.op);
+            s.isCtrl = isa::isControlFlow(inst.op);
+        }
+        shapes[b] = std::move(shape);
+    }
+    return shapes;
+}
+
+} // namespace
+
+StatisticalProfile
+buildProfile(const isa::Program &prog, const cpu::CoreConfig &cfg,
+             const ProfileOptions &opts)
+{
+    fatalIf(opts.order < 0 || opts.order > 8,
+            "unsupported SFG order");
+
+    StatisticalProfile profile;
+    profile.order = opts.order;
+    profile.benchmark = prog.name;
+    profile.shapes = buildShapes(prog);
+
+    isa::Emulator emu(prog);
+    cpu::MemoryHierarchy mem(cfg);
+    BranchUnit bpred(cfg.bpred);
+
+    if (opts.skipInsts > 0 && opts.warmupDuringSkip) {
+        // Functional warming: keep the locality structures hot so a
+        // mid-stream profiling window measures steady-state miss
+        // rates (cold structures would dominate short windows).
+        uint64_t line = ~0ull;
+        for (uint64_t i = 0; i < opts.skipInsts && !emu.halted();
+             ++i) {
+            const uint32_t pc = emu.pc();
+            const isa::Instruction &inst = prog.text[pc];
+            if (!opts.perfectCaches) {
+                const uint64_t thisLine =
+                    isa::instAddr(pc) / cfg.il1.lineBytes;
+                if (thisLine != line) {
+                    line = thisLine;
+                    mem.instAccess(isa::instAddr(pc));
+                }
+            }
+            const bool ctrl = isa::isControlFlow(inst.op) &&
+                inst.op != isa::Opcode::HALT;
+            const isa::ExecutedInst rec = emu.step();
+            if (rec.isMem && !opts.perfectCaches)
+                mem.dataAccess(rec.memAddr, isa::isStore(inst.op));
+            if (ctrl && !opts.perfectBpred)
+                bpred.update(pc, inst, rec.taken, rec.nextPc);
+        }
+    } else {
+        emu.run(opts.skipInsts);
+    }
+    DelayedUpdateFifo fifo(prog, bpred, cfg.ifqSize, cfg.fetchSpeed,
+                           cfg.decodeWidth);
+
+    const bool delayed =
+        opts.branchMode == BranchProfilingMode::DelayedUpdate;
+
+    SfgBuilder sfg(profile);
+    QBlockStats *nodeStats = nullptr;
+    QBlockStats *edgeStats = nullptr;
+
+    // Dynamic RAW tracking: register -> dynamic index of last writer.
+    uint64_t lastWriter[2][isa::NumIntRegs] = {};
+    uint64_t dynIdx = 0;
+    uint64_t lastLine = ~0ull;
+
+    uint64_t executed = 0;
+    while (!emu.halted()) {
+        const uint32_t pc = emu.pc();
+        if (prog.isLeader(pc)) {
+            if (executed >= opts.maxInsts)
+                break;
+            const uint32_t blockId = prog.blockOf(pc);
+            const SfgBuilder::BlockStats bs = sfg.startBlock(
+                blockId, profile.shapes[blockId].size());
+            nodeStats = bs.node;
+            edgeStats = bs.edge;
+        }
+        const isa::Instruction &inst = prog.text[pc];
+        const uint32_t slot = pc - prog.blocks()[prog.blockOf(pc)].first;
+        ++dynIdx;
+
+        // Dependency distances (microarchitecture-independent).
+        if (nodeStats) {
+            const int nsrcs = isa::numSrcRegs(inst);
+            for (int s = 0; s < nsrcs; ++s) {
+                const isa::RegRef r = isa::srcReg(inst, s);
+                uint32_t dist = 0;
+                if (r.valid() &&
+                    !(r.space == isa::RegSpace::Int &&
+                      r.index == isa::RegZero)) {
+                    const uint64_t w =
+                        lastWriter[static_cast<int>(r.space)][r.index];
+                    if (w != 0) {
+                        const uint64_t d = dynIdx - w;
+                        dist = static_cast<uint32_t>(
+                            std::min<uint64_t>(d, MaxDependencyDistance));
+                    }
+                }
+                nodeStats->slots[slot].depDist[s].record(dist);
+                if (edgeStats)
+                    edgeStats->slots[slot].depDist[s].record(dist);
+            }
+        }
+
+        // I-side locality events, on each fetch-line change (the same
+        // policy the execution-driven fetch engine uses).
+        if (!opts.perfectCaches && nodeStats) {
+            const uint64_t addr = isa::instAddr(pc);
+            const uint64_t line = addr / cfg.il1.lineBytes;
+            if (line != lastLine) {
+                lastLine = line;
+                const cpu::MemAccessResult res = mem.instAccess(addr);
+                for (QBlockStats *qb : {nodeStats, edgeStats}) {
+                    if (!qb)
+                        continue;
+                    SlotStats &ss = qb->slots[slot];
+                    ++ss.il1Access;
+                    if (res.l1Miss)
+                        ++ss.il1Miss;
+                    if (res.l2Miss)
+                        ++ss.il2Miss;
+                    if (res.tlbMiss)
+                        ++ss.itlbMiss;
+                }
+            }
+        }
+
+        const bool ctrl = isa::isControlFlow(inst.op);
+        const bool isHalt = inst.op == isa::Opcode::HALT;
+
+        const isa::ExecutedInst rec = emu.step();
+        ++executed;
+
+        // D-side locality events.
+        if (rec.isMem && !opts.perfectCaches) {
+            const cpu::MemAccessResult res =
+                mem.dataAccess(rec.memAddr, isa::isStore(inst.op));
+            if (isa::isLoad(inst.op) && nodeStats) {
+                for (QBlockStats *qb : {nodeStats, edgeStats}) {
+                    if (!qb)
+                        continue;
+                    SlotStats &ss = qb->slots[slot];
+                    if (res.l1Miss)
+                        ++ss.dl1Miss;
+                    if (res.l2Miss)
+                        ++ss.dl2Miss;
+                    if (res.tlbMiss)
+                        ++ss.dtlbMiss;
+                }
+            }
+        }
+
+        // Branch characteristics.
+        if (ctrl && !isHalt && nodeStats) {
+            if (opts.perfectBpred) {
+                recordBranchEvent(nodeStats, edgeStats, rec.taken,
+                                  BranchOutcome::Correct);
+            } else if (!delayed) {
+                const BranchPrediction pred = bpred.predict(pc, inst);
+                const BranchOutcome outcome = BranchUnit::classify(
+                    inst, pred, rec.taken, rec.nextPc, pc + 1);
+                bpred.update(pc, inst, rec.taken, rec.nextPc);
+                recordBranchEvent(nodeStats, edgeStats, rec.taken,
+                                  outcome);
+            } else {
+                FifoEntry e;
+                e.isBranch = true;
+                e.pc = pc;
+                e.taken = rec.taken;
+                e.nextPc = rec.nextPc;
+                e.nodeStats = nodeStats;
+                e.edgeStats = edgeStats;
+                fifo.insert(e);
+            }
+        } else if (delayed && !opts.perfectBpred) {
+            FifoEntry e;
+            e.pc = pc;
+            fifo.insert(e);
+        }
+
+        // RAW tracking update.
+        const isa::RegRef d = isa::destReg(inst);
+        if (d.valid() &&
+            !(d.space == isa::RegSpace::Int && d.index == isa::RegZero)) {
+            lastWriter[static_cast<int>(d.space)][d.index] = dynIdx;
+        }
+    }
+
+    fifo.drain();
+    profile.instructions = executed;
+    return profile;
+}
+
+} // namespace ssim::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The statistical profiler (the paper's microarchitecture-independent
+ * profiling tool plus the specialized simulation of locality events,
+ * Figure 1, step 1).
+ *
+ * One functional pass over the program collects, per qualified basic
+ * block: instruction classes and operand counts (static), dependency
+ * distance distributions (RAW, capped at 512), cache/TLB events from
+ * the same cache models the execution-driven simulator uses, and
+ * branch events from the same BranchUnit.
+ *
+ * Branch profiling supports both immediate update (predictor updated
+ * right after each lookup) and the paper's delayed update (section
+ * 2.1.3): lookups happen when an instruction enters a FIFO sized like
+ * the instruction fetch queue, updates happen when it leaves, and a
+ * misprediction detected at removal squashes and replays the FIFO
+ * contents with fresh lookups.
+ */
+
+#ifndef SSIM_CORE_PROFILER_HH
+#define SSIM_CORE_PROFILER_HH
+
+#include <cstdint>
+
+#include "cpu/config.hh"
+#include "isa/program.hh"
+#include "profile.hh"
+
+namespace ssim::core
+{
+
+/** When the branch predictor is updated during profiling. */
+enum class BranchProfilingMode : uint8_t
+{
+    ImmediateUpdate,
+    DelayedUpdate,
+};
+
+/** Profiling controls. */
+struct ProfileOptions
+{
+    int order = 1;                 ///< SFG order k
+    BranchProfilingMode branchMode = BranchProfilingMode::DelayedUpdate;
+    uint64_t skipInsts = 0;        ///< fast-forward before profiling
+    uint64_t maxInsts = ~0ull;     ///< profile at most this many
+    /**
+     * Warm the caches and branch predictor functionally while
+     * skipping, so a profile of a mid-stream window measures warm
+     * locality behaviour (matching the execution-driven sampler).
+     */
+    bool warmupDuringSkip = true;
+    bool perfectCaches = false;    ///< record every access as a hit
+    bool perfectBpred = false;     ///< record every branch as correct
+};
+
+/**
+ * Build a statistical profile of @p prog.
+ *
+ * @param cfg supplies the branch predictor and cache configurations
+ *        (microarchitecture-dependent characteristics are measured for
+ *        these specific structures, section 2.1.2) and the IFQ size
+ *        used as the delayed-update FIFO depth.
+ */
+StatisticalProfile buildProfile(const isa::Program &prog,
+                                const cpu::CoreConfig &cfg,
+                                const ProfileOptions &opts = {});
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_PROFILER_HH

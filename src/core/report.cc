@@ -1,0 +1,127 @@
+#include "report.hh"
+
+#include "power/power_model.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+namespace ssim::core
+{
+
+void
+printSummary(std::ostream &os, const std::string &label,
+             const SimResult &res)
+{
+    printBanner(os, label + ": summary");
+    TextTable t;
+    t.setHeader({"metric", "value"});
+    t.addRow({"IPC", TextTable::num(res.ipc)});
+    t.addRow({"EPC (W)", TextTable::num(res.epc, 2)});
+    t.addRow({"EDP", TextTable::num(res.edp, 2)});
+    t.addRow({"cycles", std::to_string(res.stats.cycles)});
+    t.addRow({"instructions committed",
+              std::to_string(res.stats.committed)});
+    t.addRow({"branches", std::to_string(res.stats.branches)});
+    t.addRow({"taken rate", res.stats.branches
+        ? TextTable::pct(static_cast<double>(
+              res.stats.takenBranches) / res.stats.branches)
+        : "-"});
+    t.addRow({"mispredicts / 1K insts",
+              TextTable::num(res.stats.mispredictsPerKilo(), 2)});
+    t.addRow({"fetch redirects", std::to_string(
+        res.stats.fetchRedirects)});
+    t.addRow({"loads", std::to_string(res.stats.loads)});
+    t.addRow({"stores", std::to_string(res.stats.stores)});
+    t.print(os);
+}
+
+void
+printPipelineReport(std::ostream &os, const SimResult &res,
+                    const cpu::CoreConfig &cfg)
+{
+    printBanner(os, "pipeline activity");
+    const double cycles =
+        std::max<double>(1.0, static_cast<double>(res.stats.cycles));
+    TextTable t;
+    t.setHeader({"stage/structure", "per cycle", "capacity",
+                 "utilisation"});
+    auto row = [&](const char *name, double perCycle, double cap) {
+        t.addRow({name, TextTable::num(perCycle, 2),
+                  TextTable::num(cap, 0),
+                  TextTable::pct(perCycle / cap)});
+    };
+    row("fetch", res.stats.fetched / cycles,
+        static_cast<double>(cfg.decodeWidth * cfg.fetchSpeed));
+    row("dispatch", res.stats.dispatched / cycles,
+        static_cast<double>(cfg.decodeWidth));
+    row("issue", res.stats.issued / cycles,
+        static_cast<double>(cfg.issueWidth));
+    row("commit", res.stats.committed / cycles,
+        static_cast<double>(cfg.commitWidth));
+    row("IFQ occupancy", res.stats.avgIfqOccupancy(),
+        static_cast<double>(cfg.ifqSize));
+    row("RUU occupancy", res.stats.avgRuuOccupancy(),
+        static_cast<double>(cfg.ruuSize));
+    row("LSQ occupancy", res.stats.avgLsqOccupancy(),
+        static_cast<double>(cfg.lsqSize));
+    t.print(os);
+}
+
+void
+printPowerReport(std::ostream &os, const SimResult &res,
+                 const cpu::CoreConfig &cfg)
+{
+    printBanner(os, "power breakdown (cc3 conditional clocking)");
+    const power::PowerModel model(cfg);
+    TextTable t;
+    t.setHeader({"unit", "avg (W)", "peak (W)", "share"});
+    for (int u = 0; u < cpu::NumPowerUnits; ++u) {
+        const auto unit = static_cast<cpu::PowerUnit>(u);
+        t.addRow({cpu::powerUnitName(unit),
+                  TextTable::num(res.power.unitAvg[u], 2),
+                  TextTable::num(model.maxPowerOf(unit), 2),
+                  TextTable::pct(res.power.unitAvg[u] /
+                                 std::max(res.power.total, 1e-9))});
+    }
+    t.addRow({"clock", TextTable::num(res.power.clockAvg, 2), "-",
+              TextTable::pct(res.power.clockAvg /
+                             std::max(res.power.total, 1e-9))});
+    t.addRow({"total", TextTable::num(res.power.total, 2),
+              TextTable::num(model.peakPower(), 2), "100.0%"});
+    t.print(os);
+}
+
+void
+printFullReport(std::ostream &os, const std::string &label,
+                const SimResult &res, const cpu::CoreConfig &cfg)
+{
+    printSummary(os, label, res);
+    printPipelineReport(os, res, cfg);
+    printPowerReport(os, res, cfg);
+}
+
+void
+printComparison(std::ostream &os, const SimResult &predicted,
+                const SimResult &reference)
+{
+    printBanner(os, "prediction vs reference");
+    TextTable t;
+    t.setHeader({"metric", "predicted", "reference", "abs error"});
+    auto row = [&](const char *name, double a, double b,
+                   int precision = 3) {
+        t.addRow({name, TextTable::num(a, precision),
+                  TextTable::num(b, precision),
+                  TextTable::pct(absoluteError(a, b))});
+    };
+    row("IPC", predicted.ipc, reference.ipc);
+    row("EPC (W)", predicted.epc, reference.epc, 2);
+    row("EDP", predicted.edp, reference.edp, 2);
+    row("mispredicts/1K", predicted.stats.mispredictsPerKilo(),
+        reference.stats.mispredictsPerKilo(), 2);
+    row("RUU occupancy", predicted.stats.avgRuuOccupancy(),
+        reference.stats.avgRuuOccupancy(), 1);
+    row("IFQ occupancy", predicted.stats.avgIfqOccupancy(),
+        reference.stats.avgIfqOccupancy(), 1);
+    t.print(os);
+}
+
+} // namespace ssim::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Human-readable reports for simulation results: the headline
+ * metrics, the pipeline activity summary, and the per-unit power
+ * breakdown (Wattch-style tabulation). Used by the CLI's --report
+ * flag and handy for debugging accuracy deltas between the
+ * statistical and execution-driven simulators.
+ */
+
+#ifndef SSIM_CORE_REPORT_HH
+#define SSIM_CORE_REPORT_HH
+
+#include <ostream>
+
+#include "cpu/config.hh"
+#include "statsim.hh"
+
+namespace ssim::core
+{
+
+/** Print headline metrics (IPC/EPC/EDP, cycles, event rates). */
+void printSummary(std::ostream &os, const std::string &label,
+                  const SimResult &res);
+
+/** Print fetch/dispatch/issue/commit bandwidth and occupancies. */
+void printPipelineReport(std::ostream &os, const SimResult &res,
+                         const cpu::CoreConfig &cfg);
+
+/** Print the per-unit average power breakdown with peak budgets. */
+void printPowerReport(std::ostream &os, const SimResult &res,
+                      const cpu::CoreConfig &cfg);
+
+/** All three reports. */
+void printFullReport(std::ostream &os, const std::string &label,
+                     const SimResult &res, const cpu::CoreConfig &cfg);
+
+/** Side-by-side comparison of two runs with absolute errors. */
+void printComparison(std::ostream &os, const SimResult &predicted,
+                     const SimResult &reference);
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_REPORT_HH

@@ -1,0 +1,200 @@
+#include "serialize.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ssim::core
+{
+
+namespace
+{
+
+constexpr const char *Magic = "ssim-profile";
+constexpr int Version = 1;
+
+void
+writeDistribution(std::ostream &os, const DiscreteDistribution &d)
+{
+    const auto &entries = d.entries();
+    os << entries.size();
+    for (const auto &[value, count] : entries)
+        os << ' ' << value << ' ' << count;
+    os << '\n';
+}
+
+DiscreteDistribution
+readDistribution(std::istream &is)
+{
+    size_t n = 0;
+    is >> n;
+    DiscreteDistribution d;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t value;
+        uint64_t count;
+        is >> value >> count;
+        d.record(value, count);
+    }
+    return d;
+}
+
+void
+writeSlot(std::ostream &os, const SlotStats &s)
+{
+    os << s.il1Access << ' ' << s.il1Miss << ' ' << s.il2Miss << ' '
+       << s.itlbMiss << ' ' << s.dl1Miss << ' ' << s.dl2Miss << ' '
+       << s.dtlbMiss << '\n';
+    writeDistribution(os, s.depDist[0]);
+    writeDistribution(os, s.depDist[1]);
+}
+
+SlotStats
+readSlot(std::istream &is)
+{
+    SlotStats s;
+    is >> s.il1Access >> s.il1Miss >> s.il2Miss >> s.itlbMiss >>
+        s.dl1Miss >> s.dl2Miss >> s.dtlbMiss;
+    s.depDist[0] = readDistribution(is);
+    s.depDist[1] = readDistribution(is);
+    return s;
+}
+
+void
+writeQBlock(std::ostream &os, const QBlockStats &qb)
+{
+    os << qb.occurrences << ' ' << qb.branch.count << ' '
+       << qb.branch.taken << ' ' << qb.branch.redirect << ' '
+       << qb.branch.mispredict << ' ' << qb.slots.size() << '\n';
+    for (const SlotStats &s : qb.slots)
+        writeSlot(os, s);
+}
+
+QBlockStats
+readQBlock(std::istream &is)
+{
+    QBlockStats qb;
+    size_t nslots = 0;
+    is >> qb.occurrences >> qb.branch.count >> qb.branch.taken >>
+        qb.branch.redirect >> qb.branch.mispredict >> nslots;
+    qb.slots.reserve(nslots);
+    for (size_t i = 0; i < nslots; ++i)
+        qb.slots.push_back(readSlot(is));
+    return qb;
+}
+
+} // namespace
+
+void
+saveProfile(const StatisticalProfile &profile, std::ostream &os)
+{
+    os << Magic << ' ' << Version << '\n';
+    os << profile.order << ' ' << profile.instructions << ' '
+       << profile.dynamicBlocks << '\n';
+    os << profile.benchmark << '\n';
+
+    os << profile.shapes.size() << '\n';
+    for (const BlockShape &shape : profile.shapes) {
+        os << shape.size();
+        for (const SlotShape &s : shape) {
+            os << ' ' << static_cast<int>(s.cls) << ' '
+               << static_cast<int>(s.numSrcs) << ' ' << s.hasDest
+               << ' ' << s.isLoad << ' ' << s.isStore << ' '
+               << s.isCtrl;
+        }
+        os << '\n';
+    }
+
+    os << profile.nodes.size() << '\n';
+    for (const auto &[gram, node] : profile.nodes) {
+        os << gram.size();
+        for (uint32_t g : gram)
+            os << ' ' << g;
+        os << ' ' << node.occurrences << ' ' << node.edges.size()
+           << '\n';
+        writeQBlock(os, node.entryStats);
+        for (const auto &[next, edge] : node.edges) {
+            os << next << ' ' << edge.count << '\n';
+            writeQBlock(os, edge.stats);
+        }
+    }
+}
+
+StatisticalProfile
+loadProfile(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    fatalIf(magic != Magic, "not a ssim profile");
+    fatalIf(version != Version, "unsupported profile version " +
+            std::to_string(version));
+
+    StatisticalProfile profile;
+    is >> profile.order >> profile.instructions >>
+        profile.dynamicBlocks;
+    is >> std::ws;
+    std::getline(is, profile.benchmark);
+
+    size_t nshapes = 0;
+    is >> nshapes;
+    profile.shapes.resize(nshapes);
+    for (BlockShape &shape : profile.shapes) {
+        size_t n = 0;
+        is >> n;
+        shape.resize(n);
+        for (SlotShape &s : shape) {
+            int cls, numSrcs;
+            is >> cls >> numSrcs >> s.hasDest >> s.isLoad >>
+                s.isStore >> s.isCtrl;
+            s.cls = static_cast<isa::InstClass>(cls);
+            s.numSrcs = static_cast<uint8_t>(numSrcs);
+        }
+    }
+
+    size_t nnodes = 0;
+    is >> nnodes;
+    for (size_t i = 0; i < nnodes; ++i) {
+        size_t gramLen = 0;
+        is >> gramLen;
+        Gram gram(gramLen);
+        for (uint32_t &g : gram)
+            is >> g;
+        StatisticalProfile::Node node;
+        size_t nedges = 0;
+        is >> node.occurrences >> nedges;
+        node.entryStats = readQBlock(is);
+        for (size_t e = 0; e < nedges; ++e) {
+            uint32_t next = 0;
+            StatisticalProfile::Edge edge;
+            is >> next >> edge.count;
+            edge.stats = readQBlock(is);
+            node.edges.emplace(next, std::move(edge));
+        }
+        profile.nodes.emplace(std::move(gram), std::move(node));
+    }
+    fatalIf(!is, "truncated or malformed profile");
+    return profile;
+}
+
+void
+saveProfileFile(const StatisticalProfile &profile,
+                const std::string &path)
+{
+    std::ofstream os(path);
+    fatalIf(!os, "cannot write profile to " + path);
+    saveProfile(profile, os);
+    fatalIf(!os, "write error on " + path);
+}
+
+StatisticalProfile
+loadProfileFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatalIf(!is, "cannot read profile from " + path);
+    return loadProfile(is);
+}
+
+} // namespace ssim::core

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Statistical profile (de)serialization.
+ *
+ * Profiling is the one pass over the full program execution; saving
+ * the profile lets a design-space exploration reuse it across
+ * processes and machines (the paper's amortization argument). The
+ * format is a line-oriented text format, versioned, and fully
+ * round-trip tested.
+ */
+
+#ifndef SSIM_CORE_SERIALIZE_HH
+#define SSIM_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "profile.hh"
+
+namespace ssim::core
+{
+
+/** Write @p profile to @p os. */
+void saveProfile(const StatisticalProfile &profile, std::ostream &os);
+
+/**
+ * Read a profile written by saveProfile.
+ * Calls fatal() on malformed or version-mismatched input.
+ */
+StatisticalProfile loadProfile(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveProfileFile(const StatisticalProfile &profile,
+                     const std::string &path);
+StatisticalProfile loadProfileFile(const std::string &path);
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_SERIALIZE_HH

@@ -1,0 +1,52 @@
+#include "statsim.hh"
+
+#include "cpu/pipeline/ooo_core.hh"
+#include "sts_frontend.hh"
+
+namespace ssim::core
+{
+
+SimResult
+scoreRun(const cpu::SimStats &stats, const cpu::CoreConfig &cfg)
+{
+    SimResult res;
+    res.stats = stats;
+    const power::PowerModel model(cfg);
+    res.power = model.evaluate(stats);
+    res.ipc = stats.ipc();
+    res.epc = res.power.total;
+    res.edp = power::PowerModel::energyDelayProduct(res.epc, res.ipc);
+    return res;
+}
+
+SimResult
+runExecutionDriven(const isa::Program &prog, const cpu::CoreConfig &cfg,
+                   const cpu::EdsOptions &opts)
+{
+    cpu::EdsFrontend frontend(prog, cfg, opts);
+    cpu::OoOCore core(cfg, frontend);
+    return scoreRun(core.run(), cfg);
+}
+
+SimResult
+simulateSyntheticTrace(const SyntheticTrace &trace,
+                       const cpu::CoreConfig &cfg)
+{
+    StsFrontend frontend(trace, cfg);
+    cpu::OoOCore core(cfg, frontend);
+    return scoreRun(core.run(), cfg);
+}
+
+SimResult
+runStatisticalSimulation(const isa::Program &prog,
+                         const cpu::CoreConfig &cfg,
+                         const StatSimOptions &opts)
+{
+    const StatisticalProfile profile =
+        buildProfile(prog, cfg, opts.profile);
+    const SyntheticTrace trace =
+        generateSyntheticTrace(profile, opts.generation);
+    return simulateSyntheticTrace(trace, cfg);
+}
+
+} // namespace ssim::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * High-level statistical simulation API tying the three steps of
+ * Figure 1 together: profile -> generate -> simulate, plus the
+ * execution-driven reference simulation used for validation.
+ *
+ * This is the main entry point a downstream user of the library needs:
+ *
+ * @code
+ *   using namespace ssim;
+ *   isa::Program prog = workloads::build("zip");
+ *   cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+ *
+ *   core::StatSimOptions opts;
+ *   core::SimResult ss = core::runStatisticalSimulation(prog, cfg, opts);
+ *   core::SimResult eds = core::runExecutionDriven(prog, cfg);
+ *   // compare ss.ipc vs eds.ipc, ss.epc vs eds.epc, ...
+ * @endcode
+ */
+
+#ifndef SSIM_CORE_STATSIM_HH
+#define SSIM_CORE_STATSIM_HH
+
+#include <cstdint>
+
+#include "cpu/config.hh"
+#include "cpu/eds_frontend.hh"
+#include "cpu/pipeline/sim_stats.hh"
+#include "generator.hh"
+#include "isa/program.hh"
+#include "power/power_model.hh"
+#include "profiler.hh"
+#include "synth_trace.hh"
+
+namespace ssim::core
+{
+
+/** Combined timing + power outcome of one simulation. */
+struct SimResult
+{
+    cpu::SimStats stats;
+    power::PowerReport power;
+
+    double ipc = 0.0;
+    double epc = 0.0;    ///< energy per cycle (average Watts)
+    double edp = 0.0;    ///< EPC / IPC^2 (section 4.2.3)
+};
+
+/** Everything controlling a statistical simulation run. */
+struct StatSimOptions
+{
+    ProfileOptions profile;
+    GenerationOptions generation;
+};
+
+/** Score a finished core run with the power model. */
+SimResult scoreRun(const cpu::SimStats &stats,
+                   const cpu::CoreConfig &cfg);
+
+/** Reference execution-driven simulation (sim-outorder analogue). */
+SimResult runExecutionDriven(const isa::Program &prog,
+                             const cpu::CoreConfig &cfg,
+                             const cpu::EdsOptions &opts = {});
+
+/** Simulate an already-generated synthetic trace on @p cfg. */
+SimResult simulateSyntheticTrace(const SyntheticTrace &trace,
+                                 const cpu::CoreConfig &cfg);
+
+/**
+ * The full three-step statistical simulation: build the statistical
+ * profile for @p cfg's predictor/cache structures, generate a
+ * synthetic trace, and simulate it.
+ */
+SimResult runStatisticalSimulation(const isa::Program &prog,
+                                   const cpu::CoreConfig &cfg,
+                                   const StatSimOptions &opts = {});
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_STATSIM_HH

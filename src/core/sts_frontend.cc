@@ -1,0 +1,169 @@
+#include "sts_frontend.hh"
+
+#include <algorithm>
+
+namespace ssim::core
+{
+
+using cpu::BranchOutcome;
+using cpu::DispatchAction;
+using cpu::DynInst;
+using cpu::MemEvent;
+using cpu::PowerUnit;
+using cpu::SimStats;
+
+StsFrontend::StsFrontend(const SyntheticTrace &trace,
+                         const cpu::CoreConfig &cfg)
+    : trace_(&trace), cfg_(cfg)
+{
+}
+
+void
+StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+                        uint64_t cycle, SimStats &stats)
+{
+    if (cycle < stallUntil_)
+        return;
+
+    // Fetch at fetchSpeed times the core width, like the
+    // execution-driven frontend.
+    uint32_t budget =
+        std::min(maxSlots, cfg_.decodeWidth * cfg_.fetchSpeed);
+    uint32_t takenSeen = 0;
+
+    while (budget > 0) {
+        if (cursor_ >= trace_->insts.size())
+            return;  // wrong-path: wait for recovery; else: done
+        const size_t pos = cursor_;
+        const SynthInst &si = trace_->insts[cursor_++];
+
+        DynInst di;
+        di.seq = nextSeq_++;
+        if (!wrongPathMode_)
+            seqOfPos_[pos % PosRing] = di.seq;
+        di.pc = si.blockId;
+        di.cls = si.cls;
+        di.numSrcs = si.numSrcs;
+        di.hasDest = si.hasDest;
+        di.isLoad = si.isLoad;
+        di.isStore = si.isStore;
+        di.isCtrl = si.isCtrl;
+        di.wrongPath = wrongPathMode_;
+        di.taken = si.taken;
+        di.outcome = si.outcome;
+        di.dl1Miss = si.dl1Miss;
+        di.dl2Miss = si.dl2Miss;
+        di.dtlbMiss = si.dtlbMiss;
+        for (int p = 0; p < di.numSrcs; ++p) {
+            const uint16_t d = si.depDist[p];
+            di.srcProducer[p] = (d != 0 && d <= pos)
+                ? seqOfPos_[(pos - d) % PosRing] : 0;
+        }
+
+        // I-side flags (step 7): stall fetch past the hit latency.
+        uint32_t extraStall = 0;
+        if (si.il1Access) {
+            stats.touch(PowerUnit::ICache, cycle);
+            stats.touch(PowerUnit::ITlb, cycle);
+            if (si.il1Miss) {
+                stats.touch(PowerUnit::L2, cycle);
+                extraStall += cfg_.l2.latency;
+                if (si.il2Miss)
+                    extraStall += cfg_.memLatency;
+            }
+            if (si.itlbMiss)
+                extraStall += cfg_.itlb.missPenalty;
+        }
+
+        if (di.isCtrl) {
+            stats.touch(PowerUnit::Bpred, cycle);
+            if (!wrongPathMode_ &&
+                di.outcome != BranchOutcome::Correct) {
+                // Subsequent trace entries play the incorrect path and
+                // are re-fetched from resumeCursor_ after the squash.
+                resumeCursor_ = cursor_;
+                wrongPathMode_ = true;
+            }
+            if (di.taken)
+                ++takenSeen;
+        }
+
+        ifq.push_back(di);
+        ++stats.fetched;
+        --budget;
+
+        if (takenSeen >= cfg_.fetchSpeed)
+            return;
+        if (extraStall > 0) {
+            stallUntil_ = cycle + extraStall;
+            return;
+        }
+    }
+}
+
+DispatchAction
+StsFrontend::atDispatch(DynInst &di, uint64_t cycle, SimStats &stats)
+{
+    if (!di.isCtrl || di.wrongPath)
+        return DispatchAction::None;
+
+    stats.touch(PowerUnit::Bpred, cycle);  // dispatch-time update
+
+    if (di.outcome == BranchOutcome::FetchRedirect) {
+        cursor_ = resumeCursor_;
+        wrongPathMode_ = false;
+        stallUntil_ = std::max(stallUntil_,
+                               cycle + cfg_.redirectPenalty);
+        return DispatchAction::SquashIfq;
+    }
+    if (di.outcome == BranchOutcome::Mispredict)
+        return DispatchAction::EnterWrongPath;
+    return DispatchAction::None;
+}
+
+void
+StsFrontend::recover(const DynInst &branch, uint64_t cycle)
+{
+    (void)branch;
+    cursor_ = resumeCursor_;
+    wrongPathMode_ = false;
+    stallUntil_ = cycle + cfg_.mispredictPenalty;
+}
+
+MemEvent
+StsFrontend::loadAccess(const DynInst &di)
+{
+    MemEvent ev;
+    ev.latency = cfg_.dl1.latency;
+    if (di.wrongPath)
+        return ev;
+    ev.l1Miss = di.dl1Miss;
+    ev.l2Access = di.dl1Miss;
+    ev.l2Miss = di.dl2Miss;
+    ev.tlbMiss = di.dtlbMiss;
+    if (di.dl1Miss) {
+        ev.latency += cfg_.l2.latency;
+        if (di.dl2Miss)
+            ev.latency += cfg_.memLatency;
+    }
+    if (di.dtlbMiss)
+        ev.latency += cfg_.dtlb.missPenalty;
+    return ev;
+}
+
+MemEvent
+StsFrontend::storeAccess(const DynInst &di)
+{
+    (void)di;
+    MemEvent ev;
+    ev.latency = cfg_.dl1.latency;
+    return ev;
+}
+
+bool
+StsFrontend::done() const
+{
+    return !wrongPathMode_ && cursor_ >= trace_->insts.size();
+}
+
+} // namespace ssim::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic trace frontend (Figure 1, step 3): drives the same
+ * out-of-order core as the execution-driven frontend, but from a
+ * synthetic trace. It models no branch predictors and no caches — all
+ * locality behaviour comes from the trace's annotated flags
+ * (section 2.3):
+ *
+ *  - a flagged mispredicted branch makes fetch continue with upcoming
+ *    trace instructions *as if they were wrong-path* (to model
+ *    resource contention); when the branch resolves they are squashed
+ *    and the same instructions are re-fetched as the correct path;
+ *  - load latencies follow the D-cache/D-TLB flags;
+ *  - I-cache flags stall the fetch engine.
+ */
+
+#ifndef SSIM_CORE_STS_FRONTEND_HH
+#define SSIM_CORE_STS_FRONTEND_HH
+
+#include <cstdint>
+
+#include "cpu/config.hh"
+#include "cpu/pipeline/frontend.hh"
+#include "synth_trace.hh"
+
+namespace ssim::core
+{
+
+/** Synthetic-trace instruction source. */
+class StsFrontend : public cpu::Frontend
+{
+  public:
+    StsFrontend(const SyntheticTrace &trace,
+                const cpu::CoreConfig &cfg);
+
+    void fetchCycle(std::deque<cpu::DynInst> &ifq, uint32_t maxSlots,
+                    uint64_t cycle, cpu::SimStats &stats) override;
+    cpu::DispatchAction atDispatch(cpu::DynInst &di, uint64_t cycle,
+                                   cpu::SimStats &stats) override;
+    void recover(const cpu::DynInst &branch, uint64_t cycle) override;
+    cpu::MemEvent loadAccess(const cpu::DynInst &di) override;
+    cpu::MemEvent storeAccess(const cpu::DynInst &di) override;
+    bool done() const override;
+
+  private:
+    const SyntheticTrace *trace_;
+    cpu::CoreConfig cfg_;
+
+    uint64_t nextSeq_ = 1;
+    size_t cursor_ = 0;
+    size_t resumeCursor_ = 0;
+    bool wrongPathMode_ = false;
+    uint64_t stallUntil_ = 0;
+
+    /**
+     * Sequence number of the correct-path fetch of each recent trace
+     * position. Dependencies are distances in trace positions, and a
+     * position can be fetched more than once (wrong-path fill is
+     * squashed and re-fetched), so producers must be resolved by
+     * position, not by arithmetic on sequence numbers. Sized to cover
+     * the maximum dependency distance plus a block of slack.
+     */
+    static constexpr size_t PosRing = 1024;
+    uint64_t seqOfPos_[PosRing] = {};
+};
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_STS_FRONTEND_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The synthetic trace (Figure 1, step 2 output): a sequence of
+ * statistically generated instructions annotated with everything the
+ * synthetic trace simulator needs — instruction class, dependency
+ * distances, cache hit/miss flags and branch outcome flags.
+ */
+
+#ifndef SSIM_CORE_SYNTH_TRACE_HH
+#define SSIM_CORE_SYNTH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/bpred/branch_unit.hh"
+#include "isa/isa.hh"
+
+namespace ssim::core
+{
+
+/** One synthetic instruction. */
+struct SynthInst
+{
+    isa::InstClass cls = isa::InstClass::IntAlu;
+    uint8_t numSrcs = 0;
+    bool hasDest = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isCtrl = false;
+
+    /**
+     * RAW dependency distances (0 = none): this instruction depends on
+     * the instruction `dist` positions earlier in the trace.
+     */
+    uint16_t depDist[2] = {0, 0};
+
+    // I-side flags (step 7 of the generation algorithm).
+    bool il1Access = false;   ///< fetch touches a new cache line
+    bool il1Miss = false;
+    bool il2Miss = false;
+    bool itlbMiss = false;
+
+    // D-side flags for loads (step 5).
+    bool dl1Miss = false;
+    bool dl2Miss = false;
+    bool dtlbMiss = false;
+
+    // Branch flags for block-terminating branches (step 6).
+    bool taken = false;
+    cpu::BranchOutcome outcome = cpu::BranchOutcome::Correct;
+
+    uint32_t blockId = 0;     ///< originating static block (debugging)
+};
+
+/** A complete synthetic trace. */
+struct SyntheticTrace
+{
+    std::string benchmark;
+    uint64_t reductionFactor = 0;
+    uint64_t seed = 0;
+    std::vector<SynthInst> insts;
+
+    size_t size() const { return insts.size(); }
+};
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_SYNTH_TRACE_HH

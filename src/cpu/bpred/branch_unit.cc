@@ -1,0 +1,190 @@
+#include "branch_unit.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+Btb::Btb(uint32_t entries, uint32_t assoc)
+    : assoc_(assoc)
+{
+    panicIf(entries == 0 || assoc == 0, "empty BTB");
+    sets_ = std::bit_floor(std::max(1u, entries / assoc));
+    setMask_ = sets_ - 1;
+    entries_.resize(sets_ * assoc_);
+}
+
+bool
+Btb::lookup(uint32_t pc, uint32_t &target) const
+{
+    const uint32_t base = setOf(pc) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.pc == pc) {
+            target = e.target;
+            const_cast<Entry &>(e).lru = ++tick_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(uint32_t pc, uint32_t target)
+{
+    const uint32_t base = setOf(pc) * assoc_;
+    Entry *victim = &entries_[base];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lru = ++tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lru = ++tick_;
+}
+
+Ras::Ras(uint32_t entries)
+    : stack_(std::max(1u, entries), 0)
+{
+}
+
+void
+Ras::push(uint32_t returnPc)
+{
+    stack_[top_] = returnPc;
+    top_ = (top_ + 1) % stack_.size();
+    if (depth_ < stack_.size())
+        ++depth_;
+}
+
+uint32_t
+Ras::pop()
+{
+    if (depth_ == 0)
+        return 0;
+    top_ = (top_ + static_cast<uint32_t>(stack_.size()) - 1) %
+        stack_.size();
+    --depth_;
+    return stack_[top_];
+}
+
+BranchUnit::BranchUnit(const BpredConfig &cfg)
+    : direction_(makeDirectionPredictor(cfg)),
+      btb_(cfg.btbEntries, cfg.btbAssoc),
+      ras_(cfg.rasEntries)
+{
+}
+
+BranchPrediction
+BranchUnit::predict(uint32_t pc, const isa::Instruction &inst)
+{
+    using namespace isa;
+    panicIf(!isControlFlow(inst.op), "predicting a non-branch");
+
+    BranchPrediction pred;
+    const Ras::State rasBefore = ras_.save();
+    pred.rasTop = static_cast<int>(rasBefore.top);
+
+    const uint32_t fallThrough = pc + 1;
+
+    if (isCondBranch(inst.op)) {
+        pred.predTaken = direction_->predict(pc);
+        uint32_t target;
+        if (btb_.lookup(pc, target)) {
+            pred.targetValid = true;
+            pred.predTarget = target;
+        }
+        pred.fetchNext = (pred.predTaken && pred.targetValid)
+            ? pred.predTarget : fallThrough;
+    } else if (isDirectJump(inst.op)) {
+        pred.predTaken = true;
+        uint32_t target;
+        if (btb_.lookup(pc, target)) {
+            pred.targetValid = true;
+            pred.predTarget = target;
+        }
+        pred.fetchNext = pred.targetValid ? pred.predTarget
+            : fallThrough;
+        if (isCall(inst.op))
+            ras_.push(fallThrough);
+    } else if (isReturn(inst.op)) {
+        pred.predTaken = true;
+        if (!ras_.empty()) {
+            pred.targetValid = true;
+            pred.predTarget = ras_.pop();
+        }
+        pred.fetchNext = pred.targetValid ? pred.predTarget
+            : fallThrough;
+    } else if (isIndirectBranch(inst.op)) {
+        // JR / ICALL: target from the BTB.
+        pred.predTaken = true;
+        uint32_t target;
+        if (btb_.lookup(pc, target)) {
+            pred.targetValid = true;
+            pred.predTarget = target;
+        }
+        pred.fetchNext = pred.targetValid ? pred.predTarget
+            : fallThrough;
+        if (isCall(inst.op))
+            ras_.push(fallThrough);
+    } else {
+        // HALT: fetch stops; treat as fall-through.
+        pred.fetchNext = fallThrough;
+    }
+    return pred;
+}
+
+void
+BranchUnit::update(uint32_t pc, const isa::Instruction &inst, bool taken,
+                   uint32_t actualNext)
+{
+    using namespace isa;
+    if (isCondBranch(inst.op))
+        direction_->update(pc, taken);
+    if (taken && inst.op != Opcode::HALT)
+        btb_.update(pc, actualNext);
+}
+
+BranchOutcome
+BranchUnit::classify(const isa::Instruction &inst,
+                     const BranchPrediction &pred, bool actualTaken,
+                     uint32_t actualNext, uint32_t fallThrough)
+{
+    using namespace isa;
+
+    if (inst.op == Opcode::HALT)
+        return BranchOutcome::Correct;
+
+    if (pred.fetchNext == actualNext)
+        return BranchOutcome::Correct;
+
+    if (isCondBranch(inst.op)) {
+        if (pred.predTaken != actualTaken)
+            return BranchOutcome::Mispredict;
+        // Direction right but fetch went the wrong way: the taken
+        // target was missing from the BTB.
+        return BranchOutcome::FetchRedirect;
+    }
+    if (isDirectJump(inst.op)) {
+        // Direction is trivially correct; only the target was missing.
+        return BranchOutcome::FetchRedirect;
+    }
+    // Indirect branches (JR/ICALL/RET): any target miss is a full
+    // misprediction (section 2.1.2).
+    (void)fallThrough;
+    return BranchOutcome::Mispredict;
+}
+
+} // namespace ssim::cpu

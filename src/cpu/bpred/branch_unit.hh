@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The complete front-end branch unit: direction predictor + BTB + RAS,
+ * plus the outcome classification the paper's branch characteristics
+ * are built from (section 2.1.2):
+ *
+ *  - correct:   fetch followed the architecturally correct path;
+ *  - redirect:  a BTB miss on a *direct* branch with a correct
+ *               taken/not-taken prediction (fixed cheaply at decode);
+ *  - mispredict: a wrong direction on a conditional branch, or a
+ *               missing/wrong target for an indirect branch.
+ *
+ * The same unit is used by the execution-driven frontend and by the
+ * branch profiler, so profiled characteristics and simulated behaviour
+ * agree by construction.
+ */
+
+#ifndef SSIM_CPU_BPRED_BRANCH_UNIT_HH
+#define SSIM_CPU_BPRED_BRANCH_UNIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/bpred/direction.hh"
+#include "cpu/config.hh"
+#include "isa/isa.hh"
+
+namespace ssim::cpu
+{
+
+/** What the fetch engine does with a control-flow instruction. */
+struct BranchPrediction
+{
+    bool predTaken = false;    ///< predicted direction
+    bool targetValid = false;  ///< BTB/RAS produced a target
+    uint32_t predTarget = 0;   ///< predicted target (instruction index)
+    uint32_t fetchNext = 0;    ///< PC fetch will follow
+    int rasTop = 0;            ///< RAS top-of-stack before this branch
+};
+
+/** Outcome classes used for the paper's three branch probabilities. */
+enum class BranchOutcome : uint8_t
+{
+    Correct,
+    FetchRedirect,
+    Mispredict,
+};
+
+/** Branch target buffer: set-associative, LRU, taken branches only. */
+class Btb
+{
+  public:
+    Btb(uint32_t entries, uint32_t assoc);
+
+    /** Look up a target for @p pc. Returns false on miss. */
+    bool lookup(uint32_t pc, uint32_t &target) const;
+
+    /** Insert/refresh the mapping pc -> target. */
+    void update(uint32_t pc, uint32_t target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t pc = 0;
+        uint32_t target = 0;
+        uint64_t lru = 0;
+    };
+
+    uint32_t setOf(uint32_t pc) const { return pc & setMask_; }
+
+    std::vector<Entry> entries_;
+    uint32_t sets_;
+    uint32_t assoc_;
+    uint32_t setMask_;
+    mutable uint64_t tick_ = 0;
+};
+
+/** Return address stack with top-of-stack pointer repair. */
+class Ras
+{
+  public:
+    explicit Ras(uint32_t entries);
+
+    void push(uint32_t returnPc);
+    uint32_t pop();
+    bool empty() const { return depth_ == 0; }
+
+    /** Snapshot for repair on misprediction recovery. */
+    struct State { uint32_t top; uint32_t depth; };
+    State save() const { return {top_, depth_}; }
+    void restore(State s) { top_ = s.top; depth_ = s.depth; }
+
+  private:
+    std::vector<uint32_t> stack_;
+    uint32_t top_ = 0;    ///< index of the next free slot
+    uint32_t depth_ = 0;  ///< valid entries (saturates at capacity)
+};
+
+/**
+ * Composite branch unit.
+ *
+ * predict() is called at fetch (it speculatively pushes/pops the RAS);
+ * update() is called at dispatch for correct-path branches only
+ * (dispatch-time speculative update, the most aggressive scheme in
+ * SimpleScalar and the one Table 2 configures).
+ */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BpredConfig &cfg);
+
+    /**
+     * Predict the control flow of @p inst at @p pc.
+     * Non-control-flow instructions must not be passed in.
+     */
+    BranchPrediction predict(uint32_t pc, const isa::Instruction &inst);
+
+    /** Train direction predictor and BTB with the resolved outcome. */
+    void update(uint32_t pc, const isa::Instruction &inst, bool taken,
+                uint32_t actualNext);
+
+    /** Repair the RAS top-of-stack after a misprediction recovery. */
+    void repairRas(Ras::State state) { ras_.restore(state); }
+
+    /** Snapshot the RAS for later repair. */
+    Ras::State rasState() const { return ras_.save(); }
+
+    /**
+     * Classify a prediction against the architected outcome
+     * (shared by the EDS frontend and the branch profiler).
+     */
+    static BranchOutcome classify(const isa::Instruction &inst,
+                                  const BranchPrediction &pred,
+                                  bool actualTaken, uint32_t actualNext,
+                                  uint32_t fallThrough);
+
+  private:
+    std::unique_ptr<DirectionPredictor> direction_;
+    Btb btb_;
+    Ras ras_;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_BPRED_BRANCH_UNIT_HH

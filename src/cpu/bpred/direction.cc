@@ -1,0 +1,134 @@
+#include "direction.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+namespace
+{
+
+/** Round @p v down to a power of two (minimum 1) for masking. */
+uint32_t
+maskFor(uint32_t entries)
+{
+    panicIf(entries == 0, "predictor table with zero entries");
+    return std::bit_floor(entries) - 1;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(uint32_t entries)
+    : table_(std::bit_floor(entries), SatCounter2(1)),
+      mask_(maskFor(entries))
+{
+}
+
+bool
+BimodalPredictor::predict(uint32_t pc)
+{
+    return table_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(uint32_t pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+}
+
+TwoLevelPredictor::TwoLevelPredictor(uint32_t l1Entries,
+                                     uint32_t l2Entries,
+                                     uint32_t historyBits, bool xorPc)
+    : historyTable_(std::bit_floor(l1Entries), 0),
+      patternTable_(std::bit_floor(l2Entries), SatCounter2(1)),
+      l1Mask_(maskFor(l1Entries)),
+      l2Mask_(maskFor(l2Entries)),
+      historyMask_((1u << historyBits) - 1),
+      xorPc_(xorPc)
+{
+}
+
+uint32_t
+TwoLevelPredictor::l2Index(uint32_t pc) const
+{
+    uint32_t history = historyTable_[pc & l1Mask_] & historyMask_;
+    if (xorPc_)
+        history ^= pc;
+    return history & l2Mask_;
+}
+
+bool
+TwoLevelPredictor::predict(uint32_t pc)
+{
+    return patternTable_[l2Index(pc)].taken();
+}
+
+void
+TwoLevelPredictor::update(uint32_t pc, bool taken)
+{
+    patternTable_[l2Index(pc)].update(taken);
+    uint32_t &hist = historyTable_[pc & l1Mask_];
+    hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+HybridPredictor::HybridPredictor(std::unique_ptr<DirectionPredictor> a,
+                                 std::unique_ptr<DirectionPredictor> b,
+                                 uint32_t chooserEntries)
+    : a_(std::move(a)), b_(std::move(b)),
+      chooser_(std::bit_floor(chooserEntries), SatCounter2(1)),
+      mask_(maskFor(chooserEntries))
+{
+}
+
+bool
+HybridPredictor::predict(uint32_t pc)
+{
+    const bool useA = chooser_[pc & mask_].taken();
+    const bool predA = a_->predict(pc);
+    const bool predB = b_->predict(pc);
+    return useA ? predA : predB;
+}
+
+void
+HybridPredictor::update(uint32_t pc, bool taken)
+{
+    const bool predA = a_->predict(pc);
+    const bool predB = b_->predict(pc);
+    // Train the chooser toward the component that was right.
+    if (predA != predB)
+        chooser_[pc & mask_].update(predA == taken);
+    a_->update(pc, taken);
+    b_->update(pc, taken);
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const BpredConfig &cfg)
+{
+    switch (cfg.kind) {
+      case BpredKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(cfg.bimodalEntries);
+      case BpredKind::TwoLevel:
+        return std::make_unique<TwoLevelPredictor>(
+            cfg.l1Entries, cfg.l2Entries, cfg.historyBits, cfg.xorPc);
+      case BpredKind::Hybrid:
+        return std::make_unique<HybridPredictor>(
+            std::make_unique<TwoLevelPredictor>(
+                cfg.l1Entries, cfg.l2Entries, cfg.historyBits,
+                cfg.xorPc),
+            std::make_unique<BimodalPredictor>(cfg.bimodalEntries),
+            cfg.chooserEntries);
+      case BpredKind::Taken:
+        return std::make_unique<TakenPredictor>();
+      case BpredKind::Perfect:
+        // Perfect prediction is handled by the frontends, which bypass
+        // the predictor entirely; a static component keeps the object
+        // model uniform.
+        return std::make_unique<TakenPredictor>();
+      default:
+        panic("unknown BpredKind");
+    }
+}
+
+} // namespace ssim::cpu

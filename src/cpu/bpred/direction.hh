@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Direction predictors: bimodal, two-level local, and the hybrid
+ * selector of Table 2 (8K bimodal + 8Kx8K local, local history XORed
+ * with the branch PC, chosen by an 8K-entry meta predictor).
+ *
+ * Direction predictors only see conditional branches; target
+ * prediction is the BTB/RAS's job (see branch_unit.hh).
+ */
+
+#ifndef SSIM_CPU_BPRED_DIRECTION_HH
+#define SSIM_CPU_BPRED_DIRECTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/config.hh"
+
+namespace ssim::cpu
+{
+
+/** Two-bit saturating counter. */
+class SatCounter2
+{
+  public:
+    explicit SatCounter2(uint8_t initial = 1) : value_(initial) {}
+
+    bool taken() const { return value_ >= 2; }
+
+    void update(bool t)
+    {
+        if (t) {
+            if (value_ < 3)
+                ++value_;
+        } else {
+            if (value_ > 0)
+                --value_;
+        }
+    }
+
+    uint8_t raw() const { return value_; }
+
+  private:
+    uint8_t value_;
+};
+
+/**
+ * Interface for conditional-branch direction predictors.
+ *
+ * The update() carries the prediction made earlier so that hybrid
+ * predictors can train their chooser on which component was right.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(uint32_t pc) = 0;
+
+    /** Train with the resolved outcome. */
+    virtual void update(uint32_t pc, bool taken) = 0;
+};
+
+/** One table of 2-bit counters indexed by PC. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(uint32_t entries);
+
+    bool predict(uint32_t pc) override;
+    void update(uint32_t pc, bool taken) override;
+
+  private:
+    uint32_t index(uint32_t pc) const { return pc & mask_; }
+
+    std::vector<SatCounter2> table_;
+    uint32_t mask_;
+};
+
+/**
+ * Two-level local predictor: a per-branch history table feeding a
+ * pattern history table of 2-bit counters; the history may be XORed
+ * with the branch PC before indexing (Table 2 does).
+ */
+class TwoLevelPredictor : public DirectionPredictor
+{
+  public:
+    TwoLevelPredictor(uint32_t l1Entries, uint32_t l2Entries,
+                      uint32_t historyBits, bool xorPc);
+
+    bool predict(uint32_t pc) override;
+    void update(uint32_t pc, bool taken) override;
+
+  private:
+    uint32_t l2Index(uint32_t pc) const;
+
+    std::vector<uint32_t> historyTable_;
+    std::vector<SatCounter2> patternTable_;
+    uint32_t l1Mask_;
+    uint32_t l2Mask_;
+    uint32_t historyMask_;
+    bool xorPc_;
+};
+
+/**
+ * Hybrid predictor: chooser of 2-bit counters selects between two
+ * component predictors per lookup; both components always train.
+ */
+class HybridPredictor : public DirectionPredictor
+{
+  public:
+    HybridPredictor(std::unique_ptr<DirectionPredictor> a,
+                    std::unique_ptr<DirectionPredictor> b,
+                    uint32_t chooserEntries);
+
+    bool predict(uint32_t pc) override;
+    void update(uint32_t pc, bool taken) override;
+
+  private:
+    std::unique_ptr<DirectionPredictor> a_;
+    std::unique_ptr<DirectionPredictor> b_;
+    std::vector<SatCounter2> chooser_;
+    uint32_t mask_;
+};
+
+/** Static predict-taken. */
+class TakenPredictor : public DirectionPredictor
+{
+  public:
+    bool predict(uint32_t) override { return true; }
+    void update(uint32_t, bool) override {}
+};
+
+/** Build the direction predictor described by @p cfg. */
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    const BpredConfig &cfg);
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_BPRED_DIRECTION_HH

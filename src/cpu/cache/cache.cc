@@ -1,0 +1,87 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), assoc_(cfg.assoc), lineBytes_(cfg.lineBytes)
+{
+    panicIf(cfg.lineBytes == 0 || cfg.assoc == 0, "degenerate cache");
+    sets_ = std::bit_floor(std::max(1u, cfg.numSets()));
+    setMask_ = sets_ - 1;
+    lines_.resize(static_cast<size_t>(sets_) * assoc_);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    const uint64_t la = lineAddr(addr);
+    const uint32_t base = setOf(la) * assoc_;
+    Line *victim = &lines_[base];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == la) {
+            line.lru = ++tick_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = la;
+    victim->lru = ++tick_;
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t la = lineAddr(addr);
+    const uint32_t base = setOf(la) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == la)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+double
+Cache::missRate() const
+{
+    const uint64_t total = hits_ + misses_;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : tags_(CacheConfig{cfg.entries * cfg.pageBytes, cfg.assoc,
+                        cfg.pageBytes, cfg.missPenalty}),
+      pageBytes_(cfg.pageBytes)
+{
+}
+
+bool
+Tlb::access(uint64_t addr)
+{
+    return tags_.access(addr);
+}
+
+} // namespace ssim::cpu

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Set-associative cache and TLB tag models.
+ *
+ * These are tag-only models: they track which lines are resident (LRU
+ * replacement) and report hit/miss; data contents live in the
+ * functional emulator. Both the execution-driven simulator and the
+ * cache profiler (the sim-cache analogue) use the same classes.
+ */
+
+#ifndef SSIM_CPU_CACHE_CACHE_HH
+#define SSIM_CPU_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hh"
+
+namespace ssim::cpu
+{
+
+/** Tag-only set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access the line containing @p addr; allocate on miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without allocating or touching LRU state. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate all lines. */
+    void flush();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+    /** Miss rate over all accesses so far. */
+    double missRate() const;
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const { return addr / lineBytes_; }
+    uint32_t setOf(uint64_t lineAddress) const
+    {
+        return static_cast<uint32_t>(lineAddress) & setMask_;
+    }
+
+    CacheConfig cfg_;
+    std::vector<Line> lines_;
+    uint32_t sets_;
+    uint32_t assoc_;
+    uint32_t setMask_;
+    uint32_t lineBytes_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** TLB: a Cache over page numbers. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /** Access the page containing @p addr. @return true on hit. */
+    bool access(uint64_t addr);
+
+    uint64_t hits() const { return tags_.hits(); }
+    uint64_t misses() const { return tags_.misses(); }
+    double missRate() const { return tags_.missRate(); }
+
+  private:
+    Cache tags_;
+    uint32_t pageBytes_;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_CACHE_CACHE_HH

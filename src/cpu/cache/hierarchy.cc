@@ -1,0 +1,55 @@
+#include "hierarchy.hh"
+
+namespace ssim::cpu
+{
+
+MemoryHierarchy::MemoryHierarchy(const CoreConfig &cfg)
+    : cfg_(cfg), il1_(cfg.il1), dl1_(cfg.dl1), l2_(cfg.l2),
+      itlb_(cfg.itlb), dtlb_(cfg.dtlb)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::instAccess(uint64_t addr)
+{
+    MemAccessResult res;
+    res.latency = cfg_.il1.latency;
+    res.tlbMiss = !itlb_.access(addr);
+    if (res.tlbMiss)
+        res.latency += cfg_.itlb.missPenalty;
+    res.l1Miss = !il1_.access(addr);
+    if (res.l1Miss) {
+        ++l2InstAcc_;
+        res.latency += cfg_.l2.latency;
+        res.l2Miss = !l2_.access(addr);
+        if (res.l2Miss) {
+            ++l2InstMiss_;
+            res.latency += cfg_.memLatency;
+        }
+    }
+    return res;
+}
+
+MemAccessResult
+MemoryHierarchy::dataAccess(uint64_t addr, bool isStore)
+{
+    (void)isStore;  // write-allocate: stores behave like loads here
+    MemAccessResult res;
+    res.latency = cfg_.dl1.latency;
+    res.tlbMiss = !dtlb_.access(addr);
+    if (res.tlbMiss)
+        res.latency += cfg_.dtlb.missPenalty;
+    res.l1Miss = !dl1_.access(addr);
+    if (res.l1Miss) {
+        ++l2DataAcc_;
+        res.latency += cfg_.l2.latency;
+        res.l2Miss = !l2_.access(addr);
+        if (res.l2Miss) {
+            ++l2DataMiss_;
+            res.latency += cfg_.memLatency;
+        }
+    }
+    return res;
+}
+
+} // namespace ssim::cpu

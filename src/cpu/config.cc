@@ -1,0 +1,78 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+CacheConfig
+CacheConfig::scaled(double factor) const
+{
+    CacheConfig c = *this;
+    c.sizeBytes = static_cast<uint32_t>(
+        std::max(1.0, std::round(sizeBytes * factor)));
+    // Keep at least one set.
+    c.sizeBytes = std::max(c.sizeBytes, c.assoc * c.lineBytes);
+    return c;
+}
+
+BpredConfig
+BpredConfig::scaled(int log2Factor) const
+{
+    BpredConfig b = *this;
+    auto scale = [log2Factor](uint32_t v) {
+        if (log2Factor >= 0)
+            return std::max<uint32_t>(4, v << log2Factor);
+        return std::max<uint32_t>(4, v >> (-log2Factor));
+    };
+    b.bimodalEntries = scale(bimodalEntries);
+    b.l1Entries = scale(l1Entries);
+    b.l2Entries = scale(l2Entries);
+    b.chooserEntries = scale(chooserEntries);
+    b.historyBits = static_cast<uint32_t>(
+        std::max(4.0, std::log2(static_cast<double>(b.l2Entries))));
+    return b;
+}
+
+CoreConfig
+CoreConfig::baseline()
+{
+    CoreConfig cfg;
+    cfg.name = "baseline8w";
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::simpleScalarDefault()
+{
+    CoreConfig cfg;
+    cfg.name = "simplescalar";
+    cfg.ifqSize = 4;
+    cfg.ruuSize = 16;
+    cfg.lsqSize = 8;
+    cfg.decodeWidth = 4;
+    cfg.issueWidth = 4;
+    cfg.commitWidth = 4;
+    cfg.fetchSpeed = 1;
+    cfg.mispredictPenalty = 3;
+    cfg.il1 = {16 * 1024, 1, 32, 1};
+    cfg.dl1 = {16 * 1024, 4, 32, 1};
+    cfg.l2 = {256 * 1024, 4, 64, 6};
+    cfg.memLatency = 18;
+    cfg.bpred.kind = BpredKind::Bimodal;
+    cfg.bpred.bimodalEntries = 2048;
+    cfg.bpred.btbEntries = 512;
+    cfg.bpred.btbAssoc = 4;
+    cfg.bpred.rasEntries = 8;
+    cfg.fu.intAluCount = 4;
+    cfg.fu.ldStCount = 2;
+    cfg.fu.fpAluCount = 4;
+    cfg.fu.intMultCount = 1;
+    cfg.fu.fpMultCount = 1;
+    return cfg;
+}
+
+} // namespace ssim::cpu

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Microarchitecture configuration (the knobs of Table 2) and presets.
+ *
+ * Every structure the paper sweeps in its evaluation — RUU/LSQ size,
+ * pipeline widths, IFQ size, branch predictor sizes, cache sizes — is
+ * a field here so the experiment harness can express each design point
+ * as a plain value.
+ */
+
+#ifndef SSIM_CPU_CONFIG_HH
+#define SSIM_CPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ssim::cpu
+{
+
+/** Set-associative cache parameters. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 0;
+    uint32_t assoc = 1;
+    uint32_t lineBytes = 32;
+    uint32_t latency = 1;     ///< hit latency in cycles
+
+    uint32_t numSets() const { return sizeBytes / (assoc * lineBytes); }
+
+    /** Return a copy scaled by a power-of-two factor (sets scale). */
+    CacheConfig scaled(double factor) const;
+};
+
+/** TLB parameters. */
+struct TlbConfig
+{
+    uint32_t entries = 32;
+    uint32_t assoc = 8;
+    uint32_t pageBytes = 4096;
+    uint32_t missPenalty = 30;  ///< cycles added on a TLB miss
+};
+
+/** Direction predictor flavours. */
+enum class BpredKind : uint8_t
+{
+    Hybrid,    ///< bimodal + two-level local with a chooser (Table 2)
+    Bimodal,
+    TwoLevel,
+    Taken,     ///< static predict-taken
+    Perfect,   ///< oracle (used for Figure 4's perfect-bpred runs)
+};
+
+/** Branch predictor parameters. */
+struct BpredConfig
+{
+    BpredKind kind = BpredKind::Hybrid;
+    uint32_t bimodalEntries = 8192;
+    uint32_t l1Entries = 8192;      ///< two-level: history table entries
+    uint32_t l2Entries = 8192;      ///< two-level: pattern table entries
+    uint32_t historyBits = 13;      ///< two-level local history length
+    bool xorPc = true;              ///< xor history with branch PC
+    uint32_t chooserEntries = 8192;
+    uint32_t btbEntries = 512;
+    uint32_t btbAssoc = 4;
+    uint32_t rasEntries = 64;
+
+    /** Return a copy with all predictor tables scaled by 2^log2. */
+    BpredConfig scaled(int log2Factor) const;
+};
+
+/** Functional-unit latencies (cycles) and counts. */
+struct FuConfig
+{
+    uint32_t intAluCount = 8;
+    uint32_t ldStCount = 4;
+    uint32_t fpAluCount = 2;
+    uint32_t intMultCount = 2;
+    uint32_t fpMultCount = 2;
+
+    uint32_t intAluLat = 1;
+    uint32_t intMultLat = 3;
+    uint32_t intDivLat = 20;     ///< non-pipelined
+    uint32_t fpAluLat = 2;
+    uint32_t fpMultLat = 4;
+    uint32_t fpDivLat = 12;      ///< non-pipelined
+    uint32_t fpSqrtLat = 24;     ///< non-pipelined
+    uint32_t agenLat = 1;        ///< address generation before cache
+};
+
+/** Complete core configuration. */
+struct CoreConfig
+{
+    std::string name = "baseline";
+
+    // Pipeline shape.
+    uint32_t ifqSize = 32;
+    uint32_t ruuSize = 128;
+    uint32_t lsqSize = 32;
+    uint32_t decodeWidth = 8;
+    uint32_t issueWidth = 8;
+    uint32_t commitWidth = 8;
+    uint32_t fetchSpeed = 2;    ///< taken-branch-limited accesses/cycle
+
+    // Recovery penalties (cycles of fetch stall).
+    uint32_t mispredictPenalty = 14;
+    uint32_t redirectPenalty = 2;
+
+    // Memory system.
+    CacheConfig il1{8 * 1024, 2, 32, 1};
+    CacheConfig dl1{16 * 1024, 4, 32, 2};
+    CacheConfig l2{1024 * 1024, 4, 64, 20};
+    TlbConfig itlb;
+    TlbConfig dtlb;
+    uint32_t memLatency = 150;
+
+    BpredConfig bpred;
+    FuConfig fu;
+
+    // Idealizations used by the evaluation (Figures 4 and 5).
+    bool perfectCaches = false;
+    bool perfectBpred = false;
+
+    /**
+     * In-order issue (the paper's section 2.1.1 extension note):
+     * instructions issue strictly in program order, stalling at the
+     * first non-ready instruction. Register renaming is still
+     * assumed, so the RAW-only dependency profile remains sufficient.
+     */
+    bool inOrderIssue = false;
+
+    /** The paper's baseline 8-way configuration (Table 2). */
+    static CoreConfig baseline();
+
+    /**
+     * A SimpleScalar-like default configuration (4-wide, 16-entry RUU,
+     * 8-entry LSQ, smaller predictor), used for the HLS comparison
+     * (section 4.3 uses SimpleScalar's baseline rather than Table 2).
+     */
+    static CoreConfig simpleScalarDefault();
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_CONFIG_HH

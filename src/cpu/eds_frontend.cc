@@ -1,0 +1,290 @@
+#include "eds_frontend.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+EdsFrontend::EdsFrontend(const isa::Program &prog, const CoreConfig &cfg,
+                         EdsOptions opts)
+    : prog_(&prog), cfg_(cfg), opts_(opts), emu_(prog),
+      bpred_(cfg.bpred), mem_(cfg)
+{
+    fastForward();
+    fetchPc_ = emu_.pc();
+}
+
+void
+EdsFrontend::fastForward()
+{
+    uint64_t line = ~0ull;
+    for (uint64_t i = 0; i < opts_.skipInsts && !emu_.halted(); ++i) {
+        const uint32_t pc = emu_.pc();
+        const isa::Instruction &inst = prog_->text[pc];
+        if (opts_.warmupDuringSkip) {
+            const uint64_t thisLine =
+                isa::instAddr(pc) / cfg_.il1.lineBytes;
+            if (thisLine != line) {
+                line = thisLine;
+                mem_.instAccess(isa::instAddr(pc));
+            }
+        }
+        const bool ctrl = isa::isControlFlow(inst.op);
+        BranchPrediction pred;
+        if (opts_.warmupDuringSkip && ctrl && !cfg_.perfectBpred)
+            pred = bpred_.predict(pc, inst);
+        const isa::ExecutedInst rec = emu_.step();
+        if (opts_.warmupDuringSkip) {
+            if (rec.isMem)
+                mem_.dataAccess(rec.memAddr, isa::isStore(inst.op));
+            if (ctrl && !cfg_.perfectBpred)
+                bpred_.update(pc, inst, rec.taken, rec.nextPc);
+        }
+    }
+}
+
+void
+EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+                        uint64_t cycle, SimStats &stats)
+{
+    if (cycle < stallUntil_ || fetchDone_ || wrongPathStalled_)
+        return;
+
+    // The front end runs at fetchSpeed times the core width
+    // (sim-outorder's -fetch:speed), which keeps the IFQ full.
+    uint32_t budget =
+        std::min(maxSlots, cfg_.decodeWidth * cfg_.fetchSpeed);
+    uint32_t takenSeen = 0;
+
+    while (budget > 0) {
+        if (fetchPc_ >= prog_->text.size()) {
+            panicIf(!wrongPathFetch_,
+                    "correct-path fetch ran off the text segment");
+            wrongPathStalled_ = true;
+            return;
+        }
+        const isa::Instruction &inst = prog_->text[fetchPc_];
+        if (wrongPathFetch_ && inst.op == isa::Opcode::HALT) {
+            wrongPathStalled_ = true;
+            return;
+        }
+
+        // I-cache / I-TLB access on each fetch-line change.
+        uint32_t extraStall = 0;
+        if (!cfg_.perfectCaches) {
+            const uint64_t addr = isa::instAddr(fetchPc_);
+            const uint64_t thisLine = addr / cfg_.il1.lineBytes;
+            if (thisLine != lastFetchLine_) {
+                lastFetchLine_ = thisLine;
+                const MemAccessResult res = mem_.instAccess(addr);
+                stats.touch(PowerUnit::ICache, cycle);
+                stats.touch(PowerUnit::ITlb, cycle);
+                if (res.l1Miss)
+                    stats.touch(PowerUnit::L2, cycle);
+                extraStall = res.latency - cfg_.il1.latency;
+            }
+        }
+
+        DynInst di;
+        di.seq = nextSeq_++;
+        di.pc = fetchPc_;
+        di.op = inst.op;
+        di.cls = isa::classOf(inst.op);
+        di.numSrcs = static_cast<uint8_t>(isa::numSrcRegs(inst));
+        di.hasDest = isa::destReg(inst).valid();
+        di.isLoad = isa::isLoad(inst.op);
+        di.isStore = isa::isStore(inst.op);
+        di.isCtrl = isa::isControlFlow(inst.op);
+        di.wrongPath = wrongPathFetch_;
+
+        uint32_t next = fetchPc_ + 1;
+
+        if (di.isCtrl) {
+            BranchPrediction pred;
+            if (!cfg_.perfectBpred) {
+                pred = bpred_.predict(fetchPc_, inst);
+                stats.touch(PowerUnit::Bpred, cycle);
+            }
+            if (!wrongPathFetch_) {
+                panicIf(emu_.pc() != fetchPc_,
+                        "fetch/execute desynchronized");
+                const isa::ExecutedInst rec = emu_.step();
+                di.taken = rec.taken;
+                di.actualNext = rec.nextPc;
+                if (cfg_.perfectBpred) {
+                    pred.predTaken = rec.taken;
+                    pred.targetValid = true;
+                    pred.predTarget = rec.nextPc;
+                    pred.fetchNext = rec.nextPc;
+                }
+                if (inst.op == isa::Opcode::HALT) {
+                    di.outcome = BranchOutcome::Correct;
+                    fetchDone_ = true;
+                    ifq.push_back(di);
+                    ++stats.fetched;
+                    return;
+                }
+                di.outcome = BranchUnit::classify(
+                    inst, pred, rec.taken, rec.nextPc, fetchPc_ + 1);
+                if (di.outcome == BranchOutcome::Correct) {
+                    next = rec.nextPc;
+                } else {
+                    // Fetch continues down the (wrong) predicted path
+                    // until the event is handled at dispatch
+                    // (redirect) or resolution (mispredict).
+                    next = pred.fetchNext;
+                    wrongPathFetch_ = true;
+                    rasCkpt_ = bpred_.rasState();
+                }
+            } else {
+                di.outcome = BranchOutcome::Correct;
+                next = cfg_.perfectBpred ? fetchPc_ + 1 : pred.fetchNext;
+            }
+            if (next != fetchPc_ + 1)
+                ++takenSeen;
+        } else if (!wrongPathFetch_) {
+            panicIf(emu_.pc() != fetchPc_,
+                    "fetch/execute desynchronized");
+            const isa::ExecutedInst rec = emu_.step();
+            di.memAddr = rec.memAddr;
+            di.memBytes = rec.memBytes;
+        }
+
+        if (!di.wrongPath &&
+            ++correctPathDelivered_ >= opts_.maxInsts) {
+            fetchDone_ = true;
+        }
+
+        ifq.push_back(di);
+        ++stats.fetched;
+        fetchPc_ = next;
+        --budget;
+
+        if (fetchDone_)
+            return;
+        if (takenSeen >= cfg_.fetchSpeed)
+            return;
+        if (extraStall > 0) {
+            stallUntil_ = cycle + extraStall;
+            return;
+        }
+    }
+}
+
+void
+EdsFrontend::fillDeps(DynInst &di) const
+{
+    const isa::Instruction &inst = prog_->text[di.pc];
+    for (int s = 0; s < di.numSrcs; ++s) {
+        const isa::RegRef r = isa::srcReg(inst, s);
+        if (!r.valid() ||
+            (r.space == isa::RegSpace::Int && r.index == isa::RegZero)) {
+            di.srcProducer[s] = 0;
+            continue;
+        }
+        di.srcProducer[s] =
+            renameMap_[static_cast<int>(r.space)][r.index];
+    }
+}
+
+void
+EdsFrontend::updateRenameMap(const DynInst &di)
+{
+    const isa::Instruction &inst = prog_->text[di.pc];
+    const isa::RegRef d = isa::destReg(inst);
+    if (!d.valid() ||
+        (d.space == isa::RegSpace::Int && d.index == isa::RegZero)) {
+        return;
+    }
+    renameMap_[static_cast<int>(d.space)][d.index] = di.seq;
+}
+
+DispatchAction
+EdsFrontend::atDispatch(DynInst &di, uint64_t cycle, SimStats &stats)
+{
+    fillDeps(di);
+    updateRenameMap(di);
+
+    if (di.wrongPath || !di.isCtrl)
+        return DispatchAction::None;
+
+    const isa::Instruction &inst = prog_->text[di.pc];
+    if (!cfg_.perfectBpred && inst.op != isa::Opcode::HALT) {
+        // Dispatch-time speculative update (section 2.1.3).
+        bpred_.update(di.pc, inst, di.taken, di.actualNext);
+        stats.touch(PowerUnit::Bpred, cycle);
+    }
+
+    if (di.outcome == BranchOutcome::FetchRedirect) {
+        wrongPathFetch_ = false;
+        wrongPathStalled_ = false;
+        fetchPc_ = di.actualNext;
+        stallUntil_ = std::max(stallUntil_,
+                               cycle + cfg_.redirectPenalty);
+        bpred_.repairRas(rasCkpt_);
+        lastFetchLine_ = ~0ull;
+        return DispatchAction::SquashIfq;
+    }
+    if (di.outcome == BranchOutcome::Mispredict) {
+        std::memcpy(renameCkpt_, renameMap_, sizeof(renameMap_));
+        return DispatchAction::EnterWrongPath;
+    }
+    return DispatchAction::None;
+}
+
+void
+EdsFrontend::recover(const DynInst &branch, uint64_t cycle)
+{
+    wrongPathFetch_ = false;
+    wrongPathStalled_ = false;
+    fetchPc_ = branch.actualNext;
+    stallUntil_ = cycle + cfg_.mispredictPenalty;
+    std::memcpy(renameMap_, renameCkpt_, sizeof(renameMap_));
+    bpred_.repairRas(rasCkpt_);
+    lastFetchLine_ = ~0ull;
+}
+
+MemEvent
+EdsFrontend::loadAccess(const DynInst &di)
+{
+    MemEvent ev;
+    if (cfg_.perfectCaches || di.memAddr == 0) {
+        ev.latency = cfg_.dl1.latency;
+        return ev;
+    }
+    const MemAccessResult res = mem_.dataAccess(di.memAddr, false);
+    ev.l1Miss = res.l1Miss;
+    ev.l2Access = res.l1Miss;
+    ev.l2Miss = res.l2Miss;
+    ev.tlbMiss = res.tlbMiss;
+    ev.latency = res.latency;
+    return ev;
+}
+
+MemEvent
+EdsFrontend::storeAccess(const DynInst &di)
+{
+    MemEvent ev;
+    if (cfg_.perfectCaches || di.memAddr == 0) {
+        ev.latency = cfg_.dl1.latency;
+        return ev;
+    }
+    const MemAccessResult res = mem_.dataAccess(di.memAddr, true);
+    ev.l1Miss = res.l1Miss;
+    ev.l2Access = res.l1Miss;
+    ev.l2Miss = res.l2Miss;
+    ev.tlbMiss = res.tlbMiss;
+    ev.latency = res.latency;
+    return ev;
+}
+
+bool
+EdsFrontend::done() const
+{
+    return fetchDone_;
+}
+
+} // namespace ssim::cpu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution-driven frontend: couples the functional emulator with real
+ * branch predictors and a real cache hierarchy, and follows predicted
+ * (hence possibly wrong) paths.
+ *
+ * Semantics (mirroring sim-outorder):
+ *  - fetch follows the predicted next PC; the architecturally correct
+ *    path is executed functionally as correct-path instructions are
+ *    fetched, which is when mispredictions become known internally —
+ *    the *timing* of redirects (dispatch) and misprediction recoveries
+ *    (branch resolution at writeback) is unchanged;
+ *  - the branch predictor is looked up at fetch and updated at
+ *    dispatch (dispatch-time speculative update, Table 2), so lookups
+ *    naturally see the delayed state the paper's section 2.1.3 models;
+ *  - wrong-path instructions are fetched from the real static program
+ *    at predicted PCs, access the I-cache, occupy pipeline resources,
+ *    and are squashed on recovery; their loads do not access the
+ *    D-cache (no functional wrong-path state is maintained).
+ */
+
+#ifndef SSIM_CPU_EDS_FRONTEND_HH
+#define SSIM_CPU_EDS_FRONTEND_HH
+
+#include <cstdint>
+
+#include "cpu/bpred/branch_unit.hh"
+#include "cpu/cache/hierarchy.hh"
+#include "cpu/config.hh"
+#include "cpu/pipeline/frontend.hh"
+#include "isa/emulator.hh"
+#include "isa/program.hh"
+
+namespace ssim::cpu
+{
+
+/** Sampling controls for execution-driven runs. */
+struct EdsOptions
+{
+    uint64_t skipInsts = 0;       ///< fast-forward before timing
+    uint64_t maxInsts = ~0ull;    ///< stop fetching after this many
+    bool warmupDuringSkip = true; ///< warm caches/bpred while skipping
+};
+
+/** Execution-driven instruction source. */
+class EdsFrontend : public Frontend
+{
+  public:
+    EdsFrontend(const isa::Program &prog, const CoreConfig &cfg,
+                EdsOptions opts = {});
+
+    void fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+                    uint64_t cycle, SimStats &stats) override;
+    DispatchAction atDispatch(DynInst &di, uint64_t cycle,
+                              SimStats &stats) override;
+    void recover(const DynInst &branch, uint64_t cycle) override;
+    MemEvent loadAccess(const DynInst &di) override;
+    MemEvent storeAccess(const DynInst &di) override;
+    bool done() const override;
+
+    /** The hierarchy, for inspecting miss rates in tests. */
+    const MemoryHierarchy &hierarchy() const { return mem_; }
+
+  private:
+    void fillDeps(DynInst &di) const;
+    void updateRenameMap(const DynInst &di);
+    void fastForward();
+
+    const isa::Program *prog_;
+    CoreConfig cfg_;
+    EdsOptions opts_;
+    isa::Emulator emu_;
+    BranchUnit bpred_;
+    MemoryHierarchy mem_;
+
+    uint64_t nextSeq_ = 1;
+    uint32_t fetchPc_ = 0;
+    uint64_t stallUntil_ = 0;
+    bool wrongPathFetch_ = false;
+    bool wrongPathStalled_ = false;
+    bool fetchDone_ = false;
+    uint64_t correctPathDelivered_ = 0;
+    uint64_t lastFetchLine_ = ~0ull;
+
+    /** Rename map: architectural register -> seq of last writer. */
+    uint64_t renameMap_[2][isa::NumIntRegs] = {};
+    uint64_t renameCkpt_[2][isa::NumIntRegs] = {};
+    Ras::State rasCkpt_{0, 0};
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_EDS_FRONTEND_HH

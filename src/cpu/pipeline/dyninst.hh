@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The dynamic instruction record flowing through the pipeline.
+ *
+ * Both frontends produce DynInsts: the execution-driven frontend fills
+ * them from functional execution plus real predictor/cache lookups;
+ * the synthetic-trace frontend fills them from the annotated flags of
+ * the synthetic trace. The out-of-order core is agnostic.
+ */
+
+#ifndef SSIM_CPU_PIPELINE_DYNINST_HH
+#define SSIM_CPU_PIPELINE_DYNINST_HH
+
+#include <cstdint>
+
+#include "cpu/bpred/branch_unit.hh"
+#include "isa/isa.hh"
+
+namespace ssim::cpu
+{
+
+/** Maximum register source operands per instruction. */
+constexpr int MaxSrcs = 2;
+
+/** Summary of a data-side memory access for the timing model. */
+struct MemEvent
+{
+    bool l1Miss = false;
+    bool l2Access = false;
+    bool l2Miss = false;
+    bool tlbMiss = false;
+    uint32_t latency = 0;
+};
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    uint64_t seq = 0;          ///< global fetch-order sequence number
+    uint32_t pc = 0;           ///< instruction index (synthetic: pseudo)
+    isa::Opcode op = isa::Opcode::NOP;
+    isa::InstClass cls = isa::InstClass::IntAlu;
+
+    uint8_t numSrcs = 0;
+    /** Sequence numbers of producing instructions; 0 = no dependency. */
+    uint64_t srcProducer[MaxSrcs] = {0, 0};
+    bool hasDest = false;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isCtrl = false;
+    bool wrongPath = false;
+
+    // Control flow (valid when isCtrl).
+    bool taken = false;
+    BranchOutcome outcome = BranchOutcome::Correct;
+    int rasTop = 0;            ///< RAS repair token (EDS only)
+    uint32_t actualNext = 0;   ///< architected next PC (EDS only)
+
+    // Memory (valid when isLoad/isStore).
+    uint64_t memAddr = 0;      ///< 0 for synthetic / wrong-path ops
+    uint8_t memBytes = 0;
+    // Synthetic-trace cache annotations (loads; step 5 of the
+    // generation algorithm).
+    bool dl1Miss = false;
+    bool dl2Miss = false;
+    bool dtlbMiss = false;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_PIPELINE_DYNINST_HH

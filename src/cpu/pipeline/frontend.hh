@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The frontend interface that decouples the out-of-order core from the
+ * instruction source.
+ *
+ * Two implementations exist:
+ *  - EdsFrontend (execution-driven): functional emulator + branch
+ *    predictors + caches, following predicted (possibly wrong) paths;
+ *  - StsFrontend (synthetic trace): replays a statistically generated
+ *    trace using its annotated hit/miss/mispredict flags, modeling no
+ *    predictors and no caches (section 2.3 of the paper).
+ */
+
+#ifndef SSIM_CPU_PIPELINE_FRONTEND_HH
+#define SSIM_CPU_PIPELINE_FRONTEND_HH
+
+#include <deque>
+
+#include "dyninst.hh"
+#include "sim_stats.hh"
+
+namespace ssim::cpu
+{
+
+/** What the core must do after dispatching an instruction. */
+enum class DispatchAction : uint8_t
+{
+    None,
+    /**
+     * Fetch redirection: the remaining (younger) IFQ contents are on
+     * a stale path; the core drops them. The frontend has already
+     * redirected its fetch PC and charged the redirect penalty.
+     */
+    SquashIfq,
+    /**
+     * Full misprediction: subsequently fetched instructions are
+     * wrong-path until the core calls recover() when this branch
+     * resolves at writeback.
+     */
+    EnterWrongPath,
+};
+
+/** Instruction source driving the core. */
+class Frontend
+{
+  public:
+    virtual ~Frontend() = default;
+
+    /**
+     * Fetch up to @p maxSlots instructions into @p ifq for this cycle,
+     * honouring taken-branch limits and I-cache miss stalls.
+     */
+    virtual void fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+                            uint64_t cycle, SimStats &stats) = 0;
+
+    /**
+     * Notification that @p di is entering the window. The frontend
+     * finalizes the record (functional execution / flag application,
+     * dependency resolution, predictor update) and reports events.
+     */
+    virtual DispatchAction atDispatch(DynInst &di, uint64_t cycle,
+                                      SimStats &stats) = 0;
+
+    /**
+     * The mispredicted branch @p branch resolved at @p cycle: restore
+     * the correct path and charge the misprediction penalty.
+     */
+    virtual void recover(const DynInst &branch, uint64_t cycle) = 0;
+
+    /** Timing and miss classification of a load issued now. */
+    virtual MemEvent loadAccess(const DynInst &di) = 0;
+
+    /** A store reached commit (EDS writes the D-cache here). */
+    virtual MemEvent storeAccess(const DynInst &di) = 0;
+
+    /** No further instructions will ever be produced. */
+    virtual bool done() const = 0;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_PIPELINE_FRONTEND_HH

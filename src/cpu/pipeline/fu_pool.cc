@@ -1,0 +1,126 @@
+#include "fu_pool.hh"
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+FuType
+fuTypeFor(isa::InstClass cls)
+{
+    using isa::InstClass;
+    switch (cls) {
+      case InstClass::Load:
+      case InstClass::Store:
+        return FuType::LdSt;
+      case InstClass::FpAlu:
+      case InstClass::FpCondBranch:
+        return FuType::FpAlu;
+      case InstClass::IntMult:
+      case InstClass::IntDiv:
+        return FuType::IntMult;
+      case InstClass::FpMult:
+      case InstClass::FpDiv:
+      case InstClass::FpSqrt:
+        return FuType::FpMult;
+      default:
+        return FuType::IntAlu;
+    }
+}
+
+uint32_t
+fuLatencyFor(isa::InstClass cls, const FuConfig &cfg)
+{
+    using isa::InstClass;
+    switch (cls) {
+      case InstClass::Load:
+      case InstClass::Store:
+        return cfg.agenLat;   // cache latency is added separately
+      case InstClass::IntMult:
+        return cfg.intMultLat;
+      case InstClass::IntDiv:
+        return cfg.intDivLat;
+      case InstClass::FpAlu:
+      case InstClass::FpCondBranch:
+        return cfg.fpAluLat;
+      case InstClass::FpMult:
+        return cfg.fpMultLat;
+      case InstClass::FpDiv:
+        return cfg.fpDivLat;
+      case InstClass::FpSqrt:
+        return cfg.fpSqrtLat;
+      default:
+        return cfg.intAluLat;
+    }
+}
+
+bool
+fuNonPipelined(isa::InstClass cls)
+{
+    using isa::InstClass;
+    return cls == InstClass::IntDiv || cls == InstClass::FpDiv ||
+        cls == InstClass::FpSqrt;
+}
+
+PowerUnit
+fuPowerUnitFor(isa::InstClass cls)
+{
+    switch (fuTypeFor(cls)) {
+      case FuType::IntAlu:
+      case FuType::LdSt:
+        return PowerUnit::IntAlu;
+      case FuType::IntMult:
+        return PowerUnit::IntMult;
+      case FuType::FpAlu:
+        return PowerUnit::FpAlu;
+      case FuType::FpMult:
+        return PowerUnit::FpMult;
+      default:
+        return PowerUnit::IntAlu;
+    }
+}
+
+FuPool::FuPool(const FuConfig &cfg)
+    : cfg_(cfg)
+{
+    auto setup = [this](FuType t, uint32_t count) {
+        TypeState &st = types_[static_cast<int>(t)];
+        st.count = count;
+        st.busyUntil.assign(count, 0);
+    };
+    setup(FuType::IntAlu, cfg.intAluCount);
+    setup(FuType::LdSt, cfg.ldStCount);
+    setup(FuType::FpAlu, cfg.fpAluCount);
+    setup(FuType::IntMult, cfg.intMultCount);
+    setup(FuType::FpMult, cfg.fpMultCount);
+}
+
+void
+FuPool::beginCycle(uint64_t cycle)
+{
+    cycle_ = cycle;
+    for (TypeState &st : types_)
+        st.usedThisCycle = 0;
+}
+
+bool
+FuPool::acquire(isa::InstClass cls)
+{
+    TypeState &st = types_[static_cast<int>(fuTypeFor(cls))];
+    if (st.usedThisCycle >= st.count)
+        return false;
+    // Find a unit that is not occupied by a non-pipelined op.
+    for (uint32_t i = 0; i < st.count; ++i) {
+        if (st.busyUntil[i] <= cycle_) {
+            ++st.usedThisCycle;
+            if (fuNonPipelined(cls))
+                st.busyUntil[i] = cycle_ + fuLatencyFor(cls, cfg_);
+            else
+                st.busyUntil[i] = cycle_ + 1;  // issue slot this cycle
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ssim::cpu

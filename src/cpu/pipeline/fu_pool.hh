@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional unit pool: counts, latencies, and pipelining per Table 2
+ * (8 integer ALUs, 4 load/store units, 2 FP adders, 2 integer and 2 FP
+ * multiply/divide units). Divides and square roots occupy their unit
+ * for the full latency (non-pipelined); everything else is pipelined.
+ */
+
+#ifndef SSIM_CPU_PIPELINE_FU_POOL_HH
+#define SSIM_CPU_PIPELINE_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "cpu/pipeline/sim_stats.hh"
+#include "isa/isa.hh"
+
+namespace ssim::cpu
+{
+
+/** Functional unit classes. */
+enum class FuType : uint8_t
+{
+    IntAlu,
+    LdSt,
+    FpAlu,
+    IntMult,
+    FpMult,
+    NumTypes
+};
+
+/** Map an instruction class onto the unit that executes it. */
+FuType fuTypeFor(isa::InstClass cls);
+
+/** Execution latency of an instruction class (loads add cache time). */
+uint32_t fuLatencyFor(isa::InstClass cls, const FuConfig &cfg);
+
+/** True for classes that occupy their unit for the whole latency. */
+bool fuNonPipelined(isa::InstClass cls);
+
+/** Power unit charged for executing an instruction class. */
+PowerUnit fuPowerUnitFor(isa::InstClass cls);
+
+/**
+ * Per-cycle FU arbiter. beginCycle() resets issue slots; acquire()
+ * claims a unit of the given type for an instruction class.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuConfig &cfg);
+
+    /** Start a new cycle. */
+    void beginCycle(uint64_t cycle);
+
+    /**
+     * Try to claim a unit for @p cls in the current cycle.
+     * @return true on success.
+     */
+    bool acquire(isa::InstClass cls);
+
+  private:
+    struct TypeState
+    {
+        uint32_t count = 0;
+        uint32_t usedThisCycle = 0;
+        std::vector<uint64_t> busyUntil;  ///< for non-pipelined ops
+    };
+
+    FuConfig cfg_;
+    TypeState types_[static_cast<int>(FuType::NumTypes)];
+    uint64_t cycle_ = 0;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_PIPELINE_FU_POOL_HH

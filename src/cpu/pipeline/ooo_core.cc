@@ -1,0 +1,368 @@
+#include "ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ssim::cpu
+{
+
+OoOCore::OoOCore(const CoreConfig &cfg, Frontend &frontend)
+    : cfg_(cfg), frontend_(&frontend), fuPool_(cfg.fu)
+{
+    fatalIf(cfg.ruuSize == 0 || cfg.lsqSize == 0 || cfg.ifqSize == 0,
+            "zero-sized pipeline structure");
+    fatalIf(cfg.lsqSize > cfg.ruuSize,
+            "LSQ larger than RUU is not supported");
+    ruu_.resize(cfg.ruuSize);
+    lsq_.resize(cfg.lsqSize);
+}
+
+bool
+OoOCore::drained() const
+{
+    return frontend_->done() && ifq_.empty() && ruuCount_ == 0;
+}
+
+const SimStats &
+OoOCore::run(uint64_t maxCycles)
+{
+    uint64_t lastCommitted = 0;
+    uint64_t lastProgress = 0;
+    while (!drained() && now_ < maxCycles) {
+        cycle();
+        if (stats_.committed != lastCommitted) {
+            lastCommitted = stats_.committed;
+            lastProgress = now_;
+        }
+        panicIf(now_ - lastProgress > 200000,
+                "pipeline made no progress for 200k cycles");
+    }
+    return stats_;
+}
+
+void
+OoOCore::cycle()
+{
+    fuPool_.beginCycle(now_);
+    commitStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+
+    stats_.ruuOccAccum += ruuCount_;
+    stats_.lsqOccAccum += lsqCount_;
+    stats_.ifqOccAccum += ifq_.size();
+    ++now_;
+    ++stats_.cycles;
+}
+
+void
+OoOCore::commitStage()
+{
+    uint32_t committed = 0;
+    while (committed < cfg_.commitWidth && ruuCount_ > 0) {
+        RuuEntry &e = ruu_[ruuIndex(ruuHead_)];
+        if (!e.completed)
+            break;
+        panicIf(e.di.wrongPath, "wrong-path instruction at commit");
+
+        if (e.di.isStore) {
+            const MemEvent ev = frontend_->storeAccess(e.di);
+            accountMemEvent(ev);
+            ++stats_.stores;
+        }
+        if (e.di.isLoad)
+            ++stats_.loads;
+        if (e.di.hasDest)
+            stats_.touch(PowerUnit::RegFile, now_);
+        if (e.di.isCtrl) {
+            ++stats_.branches;
+            if (e.di.taken)
+                ++stats_.takenBranches;
+            if (e.di.outcome == BranchOutcome::Mispredict)
+                ++stats_.mispredicts;
+            else if (e.di.outcome == BranchOutcome::FetchRedirect)
+                ++stats_.fetchRedirects;
+        }
+
+        if (e.lsqIdx >= 0) {
+            lsq_[lsqIndex(lsqHead_)].valid = false;
+            ++lsqHead_;
+            --lsqCount_;
+        }
+        seqToRuu_.erase(e.di.seq);
+        e.valid = false;
+        ++ruuHead_;
+        --ruuCount_;
+        ++stats_.committed;
+        ++committed;
+    }
+}
+
+void
+OoOCore::wake(RuuEntry &producer)
+{
+    for (const auto &[idx, seq] : producer.consumers) {
+        RuuEntry &c = ruu_[idx];
+        if (!c.valid || c.di.seq != seq)
+            continue;  // consumer was squashed
+        panicIf(c.srcsPending == 0, "waking a ready instruction");
+        if (--c.srcsPending == 0 && !c.issued)
+            readyList_.emplace_back(c.di.seq, idx);
+    }
+    producer.consumers.clear();
+}
+
+void
+OoOCore::writebackStage()
+{
+    while (!completions_.empty() && completions_.top().when <= now_) {
+        const Completion ev = completions_.top();
+        completions_.pop();
+        RuuEntry &e = ruu_[ev.ruuIdx];
+        if (!e.valid || e.di.seq != ev.seq)
+            continue;  // squashed in flight
+        e.completed = true;
+        stats_.touch(PowerUnit::ResultBus, now_);
+        if (e.di.hasDest)
+            stats_.touch(PowerUnit::Ruu, now_);
+        wake(e);
+
+        if (e.di.isCtrl && !e.di.wrongPath &&
+            e.di.outcome == BranchOutcome::Mispredict) {
+            recoverFrom(e);
+        }
+    }
+}
+
+bool
+OoOCore::loadMayIssue(const LsqEntry &load, bool &forwarded) const
+{
+    forwarded = false;
+    if (load.addr == 0)
+        return true;  // synthetic or wrong-path load: flags only
+
+    // Scan older stores, youngest first, for an overlap.
+    for (uint64_t pos = lsqTail_; pos-- > lsqHead_;) {
+        const LsqEntry &st = lsq_[lsqIndex(pos)];
+        if (!st.valid || !st.isStore || st.seq >= load.seq)
+            continue;
+        if (st.addr == 0)
+            continue;
+        const bool overlap = st.addr < load.addr + load.bytes &&
+            load.addr < st.addr + st.bytes;
+        if (!overlap)
+            continue;
+        const RuuEntry &producer = ruu_[st.ruuIdx];
+        if (!producer.completed)
+            return false;  // store data not ready yet
+        forwarded = true;
+        return true;
+    }
+    return true;
+}
+
+bool
+OoOCore::tryIssue(RuuEntry &e, uint32_t idx)
+{
+    bool forwarded = false;
+    if (e.di.isLoad && e.lsqIdx >= 0 &&
+        !loadMayIssue(lsq_[e.lsqIdx], forwarded)) {
+        return false;
+    }
+    if (!fuPool_.acquire(e.di.cls))
+        return false;
+
+    uint32_t latency = fuLatencyFor(e.di.cls, cfg_.fu);
+    if (e.di.isLoad) {
+        stats_.touch(PowerUnit::Lsq, now_);
+        if (forwarded) {
+            latency += 1;  // store buffer bypass
+        } else {
+            const MemEvent ev = frontend_->loadAccess(e.di);
+            accountMemEvent(ev);
+            latency += ev.latency;
+        }
+    } else if (e.di.isStore) {
+        stats_.touch(PowerUnit::Lsq, now_);
+    }
+
+    e.issued = true;
+    completions_.push({now_ + latency, idx, e.di.seq});
+    ++stats_.issued;
+    stats_.touch(PowerUnit::IssueSel, now_);
+    stats_.touch(PowerUnit::Ruu, now_);  // operand read
+    stats_.touch(fuPowerUnitFor(e.di.cls), now_);
+    return true;
+}
+
+void
+OoOCore::issueStage()
+{
+    if (cfg_.inOrderIssue) {
+        issueStageInOrder();
+        return;
+    }
+    if (readyList_.empty())
+        return;
+    std::sort(readyList_.begin(), readyList_.end());
+
+    uint32_t issuedNow = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < readyList_.size(); ++i) {
+        const auto [seq, idx] = readyList_[i];
+        RuuEntry &e = ruu_[idx];
+        if (!e.valid || e.di.seq != seq || e.issued)
+            continue;  // squashed or stale
+        if (issuedNow >= cfg_.issueWidth || !tryIssue(e, idx)) {
+            readyList_[keep++] = readyList_[i];
+            continue;
+        }
+        ++issuedNow;
+    }
+    readyList_.resize(keep);
+}
+
+void
+OoOCore::issueStageInOrder()
+{
+    // Strict program-order issue: walk from the oldest instruction
+    // and stop at the first that cannot issue this cycle.
+    readyList_.clear();   // the ready list is unused in this mode
+    uint32_t issuedNow = 0;
+    for (uint64_t pos = ruuHead_;
+         pos < ruuTail_ && issuedNow < cfg_.issueWidth; ++pos) {
+        RuuEntry &e = ruu_[ruuIndex(pos)];
+        if (!e.valid)
+            continue;
+        if (e.issued)
+            continue;
+        if (e.srcsPending > 0 || !tryIssue(e, ruuIndex(pos)))
+            break;   // head-of-line blocking
+        ++issuedNow;
+    }
+}
+
+void
+OoOCore::dispatchStage()
+{
+    uint32_t dispatched = 0;
+    while (dispatched < cfg_.decodeWidth && !ifq_.empty()) {
+        DynInst &head = ifq_.front();
+        const bool needsLsq = head.isLoad || head.isStore;
+        if (ruuFull() || (needsLsq && lsqFull()))
+            break;
+
+        DynInst di = head;
+        ifq_.pop_front();
+
+        const DispatchAction action =
+            frontend_->atDispatch(di, now_, stats_);
+
+        const uint32_t idx = ruuIndex(ruuTail_);
+        RuuEntry &e = ruu_[idx];
+        e.di = di;
+        e.valid = true;
+        e.issued = false;
+        e.completed = false;
+        e.srcsPending = 0;
+        e.lsqIdx = -1;
+        e.consumers.clear();
+
+        for (int s = 0; s < di.numSrcs; ++s) {
+            const uint64_t prodSeq = di.srcProducer[s];
+            if (prodSeq == 0)
+                continue;
+            auto it = seqToRuu_.find(prodSeq);
+            if (it == seqToRuu_.end())
+                continue;  // producer already committed
+            RuuEntry &producer = ruu_[it->second];
+            if (!producer.valid || producer.di.seq != prodSeq ||
+                producer.completed) {
+                continue;
+            }
+            ++e.srcsPending;
+            producer.consumers.emplace_back(idx, di.seq);
+        }
+
+        if (needsLsq) {
+            const uint32_t li = lsqIndex(lsqTail_);
+            lsq_[li] = {di.seq, idx, true, di.isStore, di.memAddr,
+                        di.memBytes};
+            e.lsqIdx = static_cast<int>(li);
+            ++lsqTail_;
+            ++lsqCount_;
+        }
+
+        seqToRuu_[di.seq] = idx;
+        ++ruuTail_;
+        ++ruuCount_;
+        if (e.srcsPending == 0)
+            readyList_.emplace_back(di.seq, idx);
+
+        ++dispatched;
+        ++stats_.dispatched;
+        stats_.touch(PowerUnit::Rename, now_);
+
+        if (action == DispatchAction::SquashIfq) {
+            ifq_.clear();
+            break;
+        }
+    }
+}
+
+void
+OoOCore::fetchStage()
+{
+    if (ifq_.size() >= cfg_.ifqSize)
+        return;
+    const uint32_t slots =
+        cfg_.ifqSize - static_cast<uint32_t>(ifq_.size());
+    frontend_->fetchCycle(ifq_, slots, now_, stats_);
+}
+
+void
+OoOCore::recoverFrom(const RuuEntry &branch)
+{
+    const uint64_t branchSeq = branch.di.seq;
+
+    // Squash RUU entries younger than the branch.
+    while (ruuCount_ > 0) {
+        RuuEntry &e = ruu_[ruuIndex(ruuTail_ - 1)];
+        if (e.di.seq <= branchSeq)
+            break;
+        seqToRuu_.erase(e.di.seq);
+        e.valid = false;
+        --ruuTail_;
+        --ruuCount_;
+    }
+    // Squash LSQ entries younger than the branch.
+    while (lsqCount_ > 0) {
+        LsqEntry &e = lsq_[lsqIndex(lsqTail_ - 1)];
+        if (e.seq <= branchSeq)
+            break;
+        e.valid = false;
+        --lsqTail_;
+        --lsqCount_;
+    }
+    // Drop stale ready entries.
+    std::erase_if(readyList_, [branchSeq](const auto &p) {
+        return p.first > branchSeq;
+    });
+
+    ifq_.clear();
+    frontend_->recover(branch.di, now_);
+}
+
+void
+OoOCore::accountMemEvent(const MemEvent &ev)
+{
+    stats_.touch(PowerUnit::DCache, now_);
+    stats_.touch(PowerUnit::DTlb, now_);
+    if (ev.l2Access)
+        stats_.touch(PowerUnit::L2, now_);
+}
+
+} // namespace ssim::cpu

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Superscalar out-of-order core in the style of SimpleScalar's
+ * sim-outorder: instruction fetch queue (IFQ), register update unit
+ * (RUU, a unified window/reorder structure), load/store queue (LSQ),
+ * functional unit pool, and a five-stage cycle loop
+ * (commit <- writeback <- issue <- dispatch <- fetch).
+ *
+ * The core is frontend-agnostic: the execution-driven frontend and the
+ * synthetic-trace frontend both drive it (section 2.3: "the synthetic
+ * trace simulator is a modified version of sim-outorder").
+ */
+
+#ifndef SSIM_CPU_PIPELINE_OOO_CORE_HH
+#define SSIM_CPU_PIPELINE_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "cpu/pipeline/dyninst.hh"
+#include "cpu/pipeline/frontend.hh"
+#include "cpu/pipeline/fu_pool.hh"
+#include "cpu/pipeline/sim_stats.hh"
+
+namespace ssim::cpu
+{
+
+/** The cycle-accurate out-of-order engine. */
+class OoOCore
+{
+  public:
+    OoOCore(const CoreConfig &cfg, Frontend &frontend);
+
+    /**
+     * Run until the frontend is exhausted and the pipeline drains,
+     * or until @p maxCycles elapse.
+     * @return the collected statistics.
+     */
+    const SimStats &run(uint64_t maxCycles = ~0ull);
+
+    /** Simulate one clock cycle. */
+    void cycle();
+
+    /** True when no work remains anywhere in the machine. */
+    bool drained() const;
+
+    const SimStats &stats() const { return stats_; }
+
+  private:
+    struct RuuEntry
+    {
+        DynInst di;
+        bool valid = false;
+        bool issued = false;
+        bool completed = false;
+        uint8_t srcsPending = 0;
+        int lsqIdx = -1;
+        /** Dependents to wake: (ruu index, seq for validation). */
+        std::vector<std::pair<uint32_t, uint64_t>> consumers;
+    };
+
+    struct LsqEntry
+    {
+        uint64_t seq = 0;
+        uint32_t ruuIdx = 0;
+        bool valid = false;
+        bool isStore = false;
+        uint64_t addr = 0;
+        uint8_t bytes = 0;
+    };
+
+    /** Pending completion event. */
+    struct Completion
+    {
+        uint64_t when;
+        uint32_t ruuIdx;
+        uint64_t seq;
+        bool operator>(const Completion &o) const { return when > o.when; }
+    };
+
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void issueStageInOrder();
+    void dispatchStage();
+    void fetchStage();
+
+    /** Try to issue one entry; returns false if it must wait. */
+    bool tryIssue(RuuEntry &e, uint32_t idx);
+
+    bool ruuFull() const { return ruuCount_ == cfg_.ruuSize; }
+    bool lsqFull() const { return lsqCount_ == cfg_.lsqSize; }
+    uint32_t ruuIndex(uint64_t pos) const { return pos % cfg_.ruuSize; }
+    uint32_t lsqIndex(uint64_t pos) const { return pos % cfg_.lsqSize; }
+
+    /** Squash everything younger than @p branch and restart fetch. */
+    void recoverFrom(const RuuEntry &branch);
+
+    /** True if the load at @p lsqIdx may issue; sets forwarding. */
+    bool loadMayIssue(const LsqEntry &load, bool &forwarded) const;
+
+    void wake(RuuEntry &producer);
+    void accountMemEvent(const MemEvent &ev);
+
+    CoreConfig cfg_;
+    Frontend *frontend_;
+    FuPool fuPool_;
+    SimStats stats_;
+
+    std::deque<DynInst> ifq_;
+
+    std::vector<RuuEntry> ruu_;
+    uint64_t ruuHead_ = 0;   ///< absolute position of oldest entry
+    uint64_t ruuTail_ = 0;   ///< absolute position one past youngest
+    uint32_t ruuCount_ = 0;
+
+    std::vector<LsqEntry> lsq_;
+    uint64_t lsqHead_ = 0;
+    uint64_t lsqTail_ = 0;
+    uint32_t lsqCount_ = 0;
+
+    std::unordered_map<uint64_t, uint32_t> seqToRuu_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions_;
+    /** Ready-to-issue candidates: (seq, ruu index). */
+    std::vector<std::pair<uint64_t, uint32_t>> readyList_;
+
+    uint64_t now_ = 0;
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_PIPELINE_OOO_CORE_HH

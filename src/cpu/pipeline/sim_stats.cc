@@ -1,0 +1,30 @@
+#include "sim_stats.hh"
+
+namespace ssim::cpu
+{
+
+const char *
+powerUnitName(PowerUnit u)
+{
+    switch (u) {
+      case PowerUnit::Bpred:     return "bpred";
+      case PowerUnit::ICache:    return "icache";
+      case PowerUnit::ITlb:      return "itlb";
+      case PowerUnit::Rename:    return "rename";
+      case PowerUnit::IssueSel:  return "issue";
+      case PowerUnit::Ruu:       return "ruu";
+      case PowerUnit::Lsq:       return "lsq";
+      case PowerUnit::RegFile:   return "regfile";
+      case PowerUnit::IntAlu:    return "intalu";
+      case PowerUnit::IntMult:   return "intmult";
+      case PowerUnit::FpAlu:     return "fpalu";
+      case PowerUnit::FpMult:    return "fpmult";
+      case PowerUnit::DCache:    return "dcache";
+      case PowerUnit::DTlb:      return "dtlb";
+      case PowerUnit::L2:        return "l2";
+      case PowerUnit::ResultBus: return "resultbus";
+      default:                   return "?";
+    }
+}
+
+} // namespace ssim::cpu

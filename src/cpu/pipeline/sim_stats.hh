@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Timing and activity statistics collected by the out-of-order core.
+ *
+ * Activity counters are kept per power unit so the Wattch-style power
+ * model (src/power) can apply cc3 clock gating afterwards: an idle
+ * unit burns 10% of its maximum power, an active one scales linearly
+ * with port utilisation. The core records, per unit, the total access
+ * count and the number of cycles with at least one access.
+ */
+
+#ifndef SSIM_CPU_PIPELINE_SIM_STATS_HH
+#define SSIM_CPU_PIPELINE_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace ssim::cpu
+{
+
+/** Structures tracked for power estimation. */
+enum class PowerUnit : uint8_t
+{
+    Bpred,
+    ICache,
+    ITlb,
+    Rename,     ///< dispatch/decode logic
+    IssueSel,   ///< selection + wakeup logic
+    Ruu,        ///< window storage (operands, tags, results)
+    Lsq,
+    RegFile,
+    IntAlu,
+    IntMult,
+    FpAlu,
+    FpMult,
+    DCache,
+    DTlb,
+    L2,
+    ResultBus,
+    NumUnits
+};
+
+constexpr int NumPowerUnits = static_cast<int>(PowerUnit::NumUnits);
+
+/** Name of a power unit, for reports. */
+const char *powerUnitName(PowerUnit u);
+
+/** Everything a simulation run reports. */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t fetched = 0;
+    uint64_t dispatched = 0;
+    uint64_t issued = 0;
+
+    uint64_t branches = 0;        ///< committed control-flow insts
+    uint64_t takenBranches = 0;
+    uint64_t mispredicts = 0;     ///< committed mispredicted branches
+    uint64_t fetchRedirects = 0;
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    // Occupancy accumulators (divide by cycles for averages).
+    uint64_t ruuOccAccum = 0;
+    uint64_t lsqOccAccum = 0;
+    uint64_t ifqOccAccum = 0;
+
+    // Per-unit activity for the power model.
+    std::array<uint64_t, NumPowerUnits> unitAccesses{};
+    std::array<uint64_t, NumPowerUnits> unitActiveCycles{};
+    std::array<uint64_t, NumPowerUnits> lastActiveCycle{};
+
+    /** Record @p count accesses to @p unit during @p cycle. */
+    void
+    touch(PowerUnit u, uint64_t cycle, uint64_t count = 1)
+    {
+        const int i = static_cast<int>(u);
+        unitAccesses[i] += count;
+        // Cycle 0 needs the +1 bias so the first cycle registers.
+        if (lastActiveCycle[i] != cycle + 1) {
+            lastActiveCycle[i] = cycle + 1;
+            ++unitActiveCycles[i];
+        }
+    }
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committed) / cycles : 0.0;
+    }
+
+    double avgRuuOccupancy() const
+    {
+        return cycles ? static_cast<double>(ruuOccAccum) / cycles : 0.0;
+    }
+
+    double avgLsqOccupancy() const
+    {
+        return cycles ? static_cast<double>(lsqOccAccum) / cycles : 0.0;
+    }
+
+    double avgIfqOccupancy() const
+    {
+        return cycles ? static_cast<double>(ifqOccAccum) / cycles : 0.0;
+    }
+
+    /** Issued instructions per cycle ("execution bandwidth"). */
+    double executionBandwidth() const
+    {
+        return cycles ? static_cast<double>(issued) / cycles : 0.0;
+    }
+
+    double mispredictsPerKilo() const
+    {
+        return committed
+            ? 1000.0 * static_cast<double>(mispredicts) / committed
+            : 0.0;
+    }
+};
+
+} // namespace ssim::cpu
+
+#endif // SSIM_CPU_PIPELINE_SIM_STATS_HH

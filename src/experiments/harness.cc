@@ -1,0 +1,121 @@
+#include "harness.hh"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "workloads/workload.hh"
+
+namespace ssim::experiments
+{
+
+uint64_t
+workloadScale()
+{
+    const char *env = std::getenv("SSIM_SCALE");
+    if (!env)
+        return 1;
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<uint64_t>(v) : 1;
+}
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("SSIM_QUICK");
+    return env && std::atoi(env) != 0;
+}
+
+const std::vector<Benchmark> &
+suitePrograms()
+{
+    static const std::vector<Benchmark> suite = [] {
+        std::vector<Benchmark> out;
+        const uint64_t scale = workloadScale();
+        for (const auto &info : workloads::suite()) {
+            out.push_back({info.name, info.archetype,
+                           workloads::build(info.name, scale)});
+        }
+        return out;
+    }();
+    return suite;
+}
+
+core::SimResult
+runEds(const Benchmark &bench, cpu::CoreConfig cfg, bool perfectCaches,
+       bool perfectBpred)
+{
+    cfg.perfectCaches = perfectCaches;
+    cfg.perfectBpred = perfectBpred;
+    return core::runExecutionDriven(bench.program, cfg);
+}
+
+namespace
+{
+
+/** Profile identity: everything the profile depends on. */
+std::string
+profileKey(const Benchmark &bench, const cpu::CoreConfig &cfg,
+           const StatSimKnobs &knobs)
+{
+    std::ostringstream key;
+    key << bench.name << '|' << knobs.order << '|'
+        << static_cast<int>(knobs.branchMode) << '|'
+        << knobs.perfectCaches << knobs.perfectBpred << '|'
+        << cfg.ifqSize << '|' << cfg.fetchSpeed << '|'
+        << cfg.decodeWidth << '|'
+        << static_cast<int>(cfg.bpred.kind) << ':'
+        << cfg.bpred.bimodalEntries << ':' << cfg.bpred.l1Entries
+        << ':' << cfg.bpred.l2Entries << ':' << cfg.bpred.historyBits
+        << ':' << cfg.bpred.chooserEntries << ':'
+        << cfg.bpred.btbEntries << ':' << cfg.bpred.rasEntries << '|'
+        << cfg.il1.sizeBytes << ':' << cfg.il1.assoc << ':'
+        << cfg.il1.lineBytes << '|' << cfg.dl1.sizeBytes << ':'
+        << cfg.dl1.assoc << ':' << cfg.dl1.lineBytes << '|'
+        << cfg.l2.sizeBytes << ':' << cfg.l2.assoc << ':'
+        << cfg.l2.lineBytes << '|' << cfg.itlb.entries << ':'
+        << cfg.dtlb.entries;
+    return key.str();
+}
+
+} // namespace
+
+std::shared_ptr<const core::StatisticalProfile>
+profileFor(const Benchmark &bench, const cpu::CoreConfig &cfg,
+           const StatSimKnobs &knobs)
+{
+    static std::map<std::string,
+                    std::shared_ptr<const core::StatisticalProfile>>
+        cache;
+    const std::string key = profileKey(bench, cfg, knobs);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    core::ProfileOptions opts;
+    opts.order = knobs.order;
+    opts.branchMode = knobs.branchMode;
+    opts.perfectCaches = knobs.perfectCaches;
+    opts.perfectBpred = knobs.perfectBpred;
+    auto profile = std::make_shared<core::StatisticalProfile>(
+        core::buildProfile(bench.program, cfg, opts));
+    cache.emplace(key, profile);
+    return profile;
+}
+
+core::SimResult
+runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
+           const StatSimKnobs &knobs)
+{
+    cfg.perfectCaches = knobs.perfectCaches;
+    cfg.perfectBpred = knobs.perfectBpred;
+    const auto profile = profileFor(bench, cfg, knobs);
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = knobs.reductionFactor;
+    gopts.seed = knobs.seed;
+    const core::SyntheticTrace trace =
+        core::generateSyntheticTrace(*profile, gopts);
+    return core::simulateSyntheticTrace(trace, cfg);
+}
+
+} // namespace ssim::experiments

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared experiment harness used by every bench binary: the benchmark
+ * suite (built once per process), cached statistical profiles, and
+ * standard run wrappers for execution-driven and statistical
+ * simulation.
+ *
+ * Environment knobs:
+ *  - SSIM_SCALE: multiplies workload input sizes (default 1);
+ *  - SSIM_QUICK: nonzero trims expensive sweeps for smoke runs.
+ */
+
+#ifndef SSIM_EXPERIMENTS_HARNESS_HH
+#define SSIM_EXPERIMENTS_HARNESS_HH
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/statsim.hh"
+#include "isa/program.hh"
+
+namespace ssim::experiments
+{
+
+/** Workload scale from SSIM_SCALE (default 1). */
+uint64_t workloadScale();
+
+/** True when SSIM_QUICK is set to a nonzero value. */
+bool quickMode();
+
+/** One suite benchmark. */
+struct Benchmark
+{
+    std::string name;
+    std::string archetype;
+    isa::Program program;
+};
+
+/** The ten-workload suite, built once per process. */
+const std::vector<Benchmark> &suitePrograms();
+
+/** Knobs for one statistical simulation run. */
+struct StatSimKnobs
+{
+    int order = 1;
+    core::BranchProfilingMode branchMode =
+        core::BranchProfilingMode::DelayedUpdate;
+    uint64_t reductionFactor = 20;
+    uint64_t seed = 1;
+    bool perfectCaches = false;
+    bool perfectBpred = false;
+};
+
+/** Execution-driven reference run (honours perfect-structure knobs). */
+core::SimResult runEds(const Benchmark &bench,
+                       cpu::CoreConfig cfg,
+                       bool perfectCaches = false,
+                       bool perfectBpred = false);
+
+/**
+ * Profile @p bench for @p cfg (cached: repeated calls with the same
+ * benchmark and an equivalent profiling configuration reuse the
+ * profile, which is how a designer amortizes profiling across a
+ * design-space sweep — a new profile is only needed when the
+ * predictor or cache configuration changes).
+ */
+std::shared_ptr<const core::StatisticalProfile> profileFor(
+    const Benchmark &bench, const cpu::CoreConfig &cfg,
+    const StatSimKnobs &knobs);
+
+/** Full statistical simulation (profile -> generate -> simulate). */
+core::SimResult runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
+                           const StatSimKnobs &knobs = {});
+
+/** Wall-clock helper. */
+template <typename F>
+double
+wallSeconds(F &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // namespace ssim::experiments
+
+#endif // SSIM_EXPERIMENTS_HARNESS_HH

@@ -1,0 +1,499 @@
+#include "assembler.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ssim::isa
+{
+
+Assembler::Assembler(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Label
+Assembler::newLabel()
+{
+    labelPos_.push_back(~0u);
+    return Label{static_cast<uint32_t>(labelPos_.size() - 1)};
+}
+
+void
+Assembler::bind(Label l)
+{
+    panicIf(!l.valid(), "binding an invalid label");
+    panicIf(labelPos_[l.id] != ~0u, "label bound twice");
+    labelPos_[l.id] = pc();
+}
+
+Label
+Assembler::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+Assembler::emit(Instruction inst)
+{
+    text_.push_back(inst);
+}
+
+void
+Assembler::emitBranch(Opcode op, uint8_t rs1, uint8_t rs2, Label target)
+{
+    panicIf(!target.valid(), "branch to invalid label");
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    fixups_.emplace_back(pc(), target.id);
+    emit(inst);
+}
+
+// ---- integer ALU ------------------------------------------------------
+
+void Assembler::nop() { emit({Opcode::NOP, 0, 0, 0, 0, 0}); }
+
+void
+Assembler::add(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::ADD, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::sub(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SUB, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::and_(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::AND, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::or_(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::OR, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::xor_(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::XOR, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::sll(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SLL, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::srl(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SRL, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::sra(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SRA, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::slt(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SLT, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::sltu(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::SLTU, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::addi(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::ADDI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::andi(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::ANDI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::ori(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::ORI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::xori(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::XORI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::slli(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SLLI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::srli(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SRLI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::srai(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SRAI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::slti(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SLTI, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::li(uint8_t rd, int64_t imm)
+{
+    emit({Opcode::LI, rd, 0, 0, imm, 0});
+}
+
+void
+Assembler::mov(uint8_t rd, uint8_t rs1)
+{
+    emit({Opcode::MOV, rd, rs1, 0, 0, 0});
+}
+
+void
+Assembler::mul(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::MUL, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::div(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::DIV, rd, rs1, rs2, 0, 0});
+}
+
+void
+Assembler::rem(uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    emit({Opcode::REM, rd, rs1, rs2, 0, 0});
+}
+
+// ---- floating point ----------------------------------------------------
+
+void
+Assembler::fadd(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FADD, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fsub(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FSUB, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fmin(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FMIN, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fmax(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FMAX, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fabs_(uint8_t fd, uint8_t fs1)
+{
+    emit({Opcode::FABS, fd, fs1, 0, 0, 0});
+}
+
+void
+Assembler::fneg(uint8_t fd, uint8_t fs1)
+{
+    emit({Opcode::FNEG, fd, fs1, 0, 0, 0});
+}
+
+void
+Assembler::fmov(uint8_t fd, uint8_t fs1)
+{
+    emit({Opcode::FMOV, fd, fs1, 0, 0, 0});
+}
+
+void
+Assembler::fli(uint8_t fd, double value)
+{
+    int64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    emit({Opcode::FLI, fd, 0, 0, bits, 0});
+}
+
+void
+Assembler::fcvtif(uint8_t fd, uint8_t rs1)
+{
+    emit({Opcode::FCVTIF, fd, rs1, 0, 0, 0});
+}
+
+void
+Assembler::fcvtfi(uint8_t rd, uint8_t fs1)
+{
+    emit({Opcode::FCVTFI, rd, fs1, 0, 0, 0});
+}
+
+void
+Assembler::fcmplt(uint8_t rd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FCMPLT, rd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fmul(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FMUL, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fdiv(uint8_t fd, uint8_t fs1, uint8_t fs2)
+{
+    emit({Opcode::FDIV, fd, fs1, fs2, 0, 0});
+}
+
+void
+Assembler::fsqrt(uint8_t fd, uint8_t fs1)
+{
+    emit({Opcode::FSQRT, fd, fs1, 0, 0, 0});
+}
+
+// ---- memory -------------------------------------------------------------
+
+void
+Assembler::lb(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::LB, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::lw(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::LW, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::ld(uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::LD, rd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::fld(uint8_t fd, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::FLD, fd, rs1, 0, imm, 0});
+}
+
+void
+Assembler::sb(uint8_t rs2, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SB, 0, rs1, rs2, imm, 0});
+}
+
+void
+Assembler::sw(uint8_t rs2, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SW, 0, rs1, rs2, imm, 0});
+}
+
+void
+Assembler::sd(uint8_t rs2, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::SD, 0, rs1, rs2, imm, 0});
+}
+
+void
+Assembler::fsd(uint8_t fs2, uint8_t rs1, int64_t imm)
+{
+    emit({Opcode::FSD, 0, rs1, fs2, imm, 0});
+}
+
+// ---- control flow ---------------------------------------------------------
+
+void
+Assembler::beq(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BEQ, rs1, rs2, target);
+}
+
+void
+Assembler::bne(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BNE, rs1, rs2, target);
+}
+
+void
+Assembler::blt(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BLT, rs1, rs2, target);
+}
+
+void
+Assembler::bge(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BGE, rs1, rs2, target);
+}
+
+void
+Assembler::bltu(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BLTU, rs1, rs2, target);
+}
+
+void
+Assembler::bgeu(uint8_t rs1, uint8_t rs2, Label target)
+{
+    emitBranch(Opcode::BGEU, rs1, rs2, target);
+}
+
+void
+Assembler::fblt(uint8_t fs1, uint8_t fs2, Label target)
+{
+    emitBranch(Opcode::FBLT, fs1, fs2, target);
+}
+
+void
+Assembler::fbge(uint8_t fs1, uint8_t fs2, Label target)
+{
+    emitBranch(Opcode::FBGE, fs1, fs2, target);
+}
+
+void
+Assembler::fbeq(uint8_t fs1, uint8_t fs2, Label target)
+{
+    emitBranch(Opcode::FBEQ, fs1, fs2, target);
+}
+
+void
+Assembler::jmp(Label target)
+{
+    emitBranch(Opcode::JMP, 0, 0, target);
+}
+
+void
+Assembler::call(Label target)
+{
+    panicIf(!target.valid(), "call to invalid label");
+    Instruction inst;
+    inst.op = Opcode::CALL;
+    inst.rd = RegRa;
+    fixups_.emplace_back(pc(), target.id);
+    emit(inst);
+}
+
+void
+Assembler::jr(uint8_t rs1)
+{
+    emit({Opcode::JR, 0, rs1, 0, 0, 0});
+}
+
+void
+Assembler::icall(uint8_t rs1)
+{
+    emit({Opcode::ICALL, RegRa, rs1, 0, 0, 0});
+}
+
+void
+Assembler::ret()
+{
+    emit({Opcode::RET, 0, RegRa, 0, 0, 0});
+}
+
+void
+Assembler::halt()
+{
+    emit({Opcode::HALT, 0, 0, 0, 0, 0});
+}
+
+void
+Assembler::la(uint8_t rd, Label codeLabel)
+{
+    panicIf(!codeLabel.valid(), "la of invalid label");
+    Instruction inst;
+    inst.op = Opcode::LI;
+    inst.rd = rd;
+    laFixups_.emplace_back(pc(), codeLabel.id);
+    indirectTargets_.push_back(codeLabel.id);
+    emit(inst);
+}
+
+// ---- data -------------------------------------------------------------
+
+void
+Assembler::addData(uint64_t offset, std::vector<uint8_t> bytes)
+{
+    blobs_.push_back({offset, std::move(bytes)});
+}
+
+void
+Assembler::addWords(uint64_t offset, const std::vector<int64_t> &words)
+{
+    std::vector<uint8_t> bytes(words.size() * 8);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    addData(offset, std::move(bytes));
+}
+
+void
+Assembler::addDoubles(uint64_t offset, const std::vector<double> &vals)
+{
+    std::vector<uint8_t> bytes(vals.size() * 8);
+    std::memcpy(bytes.data(), vals.data(), bytes.size());
+    addData(offset, std::move(bytes));
+}
+
+Program
+Assembler::finish()
+{
+    for (const auto &[instIdx, labelId] : fixups_) {
+        panicIf(labelPos_[labelId] == ~0u,
+                "unbound label referenced by instruction " +
+                std::to_string(instIdx) + " in " + name_);
+        text_[instIdx].target = labelPos_[labelId];
+    }
+    for (const auto &[instIdx, labelId] : laFixups_) {
+        panicIf(labelPos_[labelId] == ~0u,
+                "unbound label in la() in " + name_);
+        text_[instIdx].imm = labelPos_[labelId];
+    }
+
+    Program prog;
+    prog.name = std::move(name_);
+    prog.text = std::move(text_);
+    prog.dataSize = dataSize_;
+    prog.data = std::move(blobs_);
+
+    std::vector<uint32_t> extraLeaders;
+    extraLeaders.reserve(indirectTargets_.size());
+    for (uint32_t labelId : indirectTargets_)
+        extraLeaders.push_back(labelPos_[labelId]);
+
+    prog.finalize(std::move(extraLeaders));
+    return prog;
+}
+
+} // namespace ssim::isa

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Programmatic assembler for the mini ISA.
+ *
+ * Workloads are written against this builder: it provides one method
+ * per opcode, forward-referencing labels with a fixup pass, and pseudo
+ * instructions (la) for materializing code addresses used by indirect
+ * calls and jump tables. Labels whose address is materialized are
+ * recorded and become basic-block leaders at finalize time.
+ */
+
+#ifndef SSIM_ISA_ASSEMBLER_HH
+#define SSIM_ISA_ASSEMBLER_HH
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "program.hh"
+
+namespace ssim::isa
+{
+
+/** Opaque label handle. */
+struct Label
+{
+    uint32_t id = ~0u;
+    bool valid() const { return id != ~0u; }
+};
+
+/**
+ * Builder producing a finalized Program.
+ *
+ * Typical use:
+ * @code
+ *   Assembler as("loop_demo");
+ *   Label top = as.newLabel();
+ *   as.li(3, 0);
+ *   as.bind(top);
+ *   as.addi(3, 3, 1);
+ *   as.slti(4, 3, 100);
+ *   as.bne(4, RegZero, top);
+ *   as.halt();
+ *   Program prog = as.finish();
+ * @endcode
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name);
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the current position. */
+    void bind(Label l);
+
+    /** Create and immediately bind a label. */
+    Label here();
+
+    /** Current instruction index. */
+    uint32_t pc() const { return static_cast<uint32_t>(text_.size()); }
+
+    // ---- integer ALU -------------------------------------------------
+    void nop();
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void and_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void or_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sll(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void srl(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sra(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void slt(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sltu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void addi(uint8_t rd, uint8_t rs1, int64_t imm);
+    void andi(uint8_t rd, uint8_t rs1, int64_t imm);
+    void ori(uint8_t rd, uint8_t rs1, int64_t imm);
+    void xori(uint8_t rd, uint8_t rs1, int64_t imm);
+    void slli(uint8_t rd, uint8_t rs1, int64_t imm);
+    void srli(uint8_t rd, uint8_t rs1, int64_t imm);
+    void srai(uint8_t rd, uint8_t rs1, int64_t imm);
+    void slti(uint8_t rd, uint8_t rs1, int64_t imm);
+    void li(uint8_t rd, int64_t imm);
+    void mov(uint8_t rd, uint8_t rs1);
+    void mul(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void div(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void rem(uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    // ---- floating point ----------------------------------------------
+    void fadd(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fsub(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fmin(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fmax(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fabs_(uint8_t fd, uint8_t fs1);
+    void fneg(uint8_t fd, uint8_t fs1);
+    void fmov(uint8_t fd, uint8_t fs1);
+    void fli(uint8_t fd, double value);
+    void fcvtif(uint8_t fd, uint8_t rs1);
+    void fcvtfi(uint8_t rd, uint8_t fs1);
+    void fcmplt(uint8_t rd, uint8_t fs1, uint8_t fs2);
+    void fmul(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fdiv(uint8_t fd, uint8_t fs1, uint8_t fs2);
+    void fsqrt(uint8_t fd, uint8_t fs1);
+
+    // ---- memory (address = intReg[rs1] + imm) ------------------------
+    void lb(uint8_t rd, uint8_t rs1, int64_t imm = 0);
+    void lw(uint8_t rd, uint8_t rs1, int64_t imm = 0);
+    void ld(uint8_t rd, uint8_t rs1, int64_t imm = 0);
+    void fld(uint8_t fd, uint8_t rs1, int64_t imm = 0);
+    void sb(uint8_t rs2, uint8_t rs1, int64_t imm = 0);
+    void sw(uint8_t rs2, uint8_t rs1, int64_t imm = 0);
+    void sd(uint8_t rs2, uint8_t rs1, int64_t imm = 0);
+    void fsd(uint8_t fs2, uint8_t rs1, int64_t imm = 0);
+
+    // ---- control flow ------------------------------------------------
+    void beq(uint8_t rs1, uint8_t rs2, Label target);
+    void bne(uint8_t rs1, uint8_t rs2, Label target);
+    void blt(uint8_t rs1, uint8_t rs2, Label target);
+    void bge(uint8_t rs1, uint8_t rs2, Label target);
+    void bltu(uint8_t rs1, uint8_t rs2, Label target);
+    void bgeu(uint8_t rs1, uint8_t rs2, Label target);
+    void fblt(uint8_t fs1, uint8_t fs2, Label target);
+    void fbge(uint8_t fs1, uint8_t fs2, Label target);
+    void fbeq(uint8_t fs1, uint8_t fs2, Label target);
+    void jmp(Label target);
+    void call(Label target);
+    void jr(uint8_t rs1);
+    void icall(uint8_t rs1);
+    void ret();
+    void halt();
+
+    // ---- pseudo instructions -----------------------------------------
+    /**
+     * Materialize the *instruction index* of a label into an integer
+     * register (for jump tables / indirect calls: jr/icall jump to
+     * instruction indices). Marks the label as an indirect target.
+     */
+    void la(uint8_t rd, Label codeLabel);
+
+    // ---- data segment -------------------------------------------------
+    /** Set the data segment size in bytes. */
+    void setDataSize(uint64_t bytes) { dataSize_ = bytes; }
+
+    /** Add an initial data blob at the given data-segment offset. */
+    void addData(uint64_t offset, std::vector<uint8_t> bytes);
+
+    /** Convenience: place an array of 64-bit words. */
+    void addWords(uint64_t offset, const std::vector<int64_t> &words);
+
+    /** Convenience: place an array of doubles. */
+    void addDoubles(uint64_t offset, const std::vector<double> &vals);
+
+    /**
+     * Apply fixups, run basic-block analysis and return the Program.
+     * The assembler must not be reused afterwards.
+     */
+    Program finish();
+
+  private:
+    void emit(Instruction inst);
+    void emitBranch(Opcode op, uint8_t rs1, uint8_t rs2, Label target);
+
+    std::string name_;
+    std::vector<Instruction> text_;
+    std::vector<uint32_t> labelPos_;       // per label id; ~0u = unbound
+    std::vector<std::pair<uint32_t, uint32_t>> fixups_;  // (inst, label)
+    std::vector<std::pair<uint32_t, uint32_t>> laFixups_; // (inst, label)
+    std::vector<uint32_t> indirectTargets_; // label ids used by la()
+    uint64_t dataSize_ = 1 << 20;
+    std::vector<DataBlob> blobs_;
+};
+
+} // namespace ssim::isa
+
+#endif // SSIM_ISA_ASSEMBLER_HH

@@ -1,0 +1,380 @@
+#include "emulator.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ssim::isa
+{
+
+Emulator::Emulator(const Program &prog)
+    : prog_(&prog)
+{
+    fatalIf(!prog.finalized(), "emulating a non-finalized program");
+    reset();
+}
+
+void
+Emulator::reset()
+{
+    pc_ = 0;
+    halted_ = false;
+    instCount_ = 0;
+    std::memset(intRegs_, 0, sizeof(intRegs_));
+    std::memset(fpRegs_, 0, sizeof(fpRegs_));
+    mem_.assign(prog_->dataSize, 0);
+    for (const DataBlob &blob : prog_->data) {
+        fatalIf(blob.offset + blob.bytes.size() > mem_.size(),
+                "initial data blob outside the data segment");
+        std::memcpy(mem_.data() + blob.offset, blob.bytes.data(),
+                    blob.bytes.size());
+    }
+    // Stack grows down from the top of the data segment.
+    intRegs_[RegSp] = static_cast<int64_t>(prog_->dataSize - 64);
+}
+
+uint64_t
+Emulator::effectiveAddr(const Instruction &inst) const
+{
+    return static_cast<uint64_t>(readInt(inst.rs1) + inst.imm);
+}
+
+void
+Emulator::checkRange(uint64_t offset, int bytes) const
+{
+    panicIf(offset + static_cast<uint64_t>(bytes) > mem_.size(),
+            "data access out of range: offset " +
+            std::to_string(offset) + " in " + prog_->name);
+}
+
+uint64_t
+Emulator::loadMem(uint64_t offset, int bytes, bool signExtend) const
+{
+    checkRange(offset, bytes);
+    uint64_t raw = 0;
+    std::memcpy(&raw, mem_.data() + offset, bytes);
+    if (signExtend && bytes < 8) {
+        const int shift = 64 - 8 * bytes;
+        raw = static_cast<uint64_t>(
+            (static_cast<int64_t>(raw << shift)) >> shift);
+    }
+    return raw;
+}
+
+void
+Emulator::storeMem(uint64_t offset, int bytes, uint64_t value)
+{
+    checkRange(offset, bytes);
+    std::memcpy(mem_.data() + offset, &value, bytes);
+}
+
+uint64_t
+Emulator::peek64(uint64_t offset) const
+{
+    return loadMem(offset, 8, false);
+}
+
+ExecutedInst
+Emulator::step()
+{
+    ExecutedInst rec;
+    if (halted_) {
+        rec.pc = pc_;
+        rec.nextPc = pc_;
+        rec.halted = true;
+        return rec;
+    }
+
+    panicIf(pc_ >= prog_->text.size(), "PC out of text segment");
+    const Instruction &inst = prog_->text[pc_];
+    rec.pc = pc_;
+    uint32_t next = pc_ + 1;
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::ADD:
+        writeInt(inst.rd, readInt(inst.rs1) + readInt(inst.rs2));
+        break;
+      case Opcode::SUB:
+        writeInt(inst.rd, readInt(inst.rs1) - readInt(inst.rs2));
+        break;
+      case Opcode::AND:
+        writeInt(inst.rd, readInt(inst.rs1) & readInt(inst.rs2));
+        break;
+      case Opcode::OR:
+        writeInt(inst.rd, readInt(inst.rs1) | readInt(inst.rs2));
+        break;
+      case Opcode::XOR:
+        writeInt(inst.rd, readInt(inst.rs1) ^ readInt(inst.rs2));
+        break;
+      case Opcode::SLL:
+        writeInt(inst.rd, readInt(inst.rs1) <<
+                 (readInt(inst.rs2) & 63));
+        break;
+      case Opcode::SRL:
+        writeInt(inst.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(readInt(inst.rs1)) >>
+            (readInt(inst.rs2) & 63)));
+        break;
+      case Opcode::SRA:
+        writeInt(inst.rd, readInt(inst.rs1) >>
+                 (readInt(inst.rs2) & 63));
+        break;
+      case Opcode::SLT:
+        writeInt(inst.rd, readInt(inst.rs1) < readInt(inst.rs2));
+        break;
+      case Opcode::SLTU:
+        writeInt(inst.rd,
+                 static_cast<uint64_t>(readInt(inst.rs1)) <
+                 static_cast<uint64_t>(readInt(inst.rs2)));
+        break;
+      case Opcode::ADDI:
+        writeInt(inst.rd, readInt(inst.rs1) + inst.imm);
+        break;
+      case Opcode::ANDI:
+        writeInt(inst.rd, readInt(inst.rs1) & inst.imm);
+        break;
+      case Opcode::ORI:
+        writeInt(inst.rd, readInt(inst.rs1) | inst.imm);
+        break;
+      case Opcode::XORI:
+        writeInt(inst.rd, readInt(inst.rs1) ^ inst.imm);
+        break;
+      case Opcode::SLLI:
+        writeInt(inst.rd, readInt(inst.rs1) << (inst.imm & 63));
+        break;
+      case Opcode::SRLI:
+        writeInt(inst.rd, static_cast<int64_t>(
+            static_cast<uint64_t>(readInt(inst.rs1)) >>
+            (inst.imm & 63)));
+        break;
+      case Opcode::SRAI:
+        writeInt(inst.rd, readInt(inst.rs1) >> (inst.imm & 63));
+        break;
+      case Opcode::SLTI:
+        writeInt(inst.rd, readInt(inst.rs1) < inst.imm);
+        break;
+      case Opcode::LI:
+        writeInt(inst.rd, inst.imm);
+        break;
+      case Opcode::MOV:
+        writeInt(inst.rd, readInt(inst.rs1));
+        break;
+      case Opcode::MUL:
+        writeInt(inst.rd, readInt(inst.rs1) * readInt(inst.rs2));
+        break;
+      case Opcode::DIV:
+        {
+            const int64_t d = readInt(inst.rs2);
+            writeInt(inst.rd, d == 0 ? -1 : readInt(inst.rs1) / d);
+        }
+        break;
+      case Opcode::REM:
+        {
+            const int64_t d = readInt(inst.rs2);
+            writeInt(inst.rd,
+                     d == 0 ? readInt(inst.rs1) : readInt(inst.rs1) % d);
+        }
+        break;
+
+      case Opcode::FADD:
+        fpRegs_[inst.rd] = fpRegs_[inst.rs1] + fpRegs_[inst.rs2];
+        break;
+      case Opcode::FSUB:
+        fpRegs_[inst.rd] = fpRegs_[inst.rs1] - fpRegs_[inst.rs2];
+        break;
+      case Opcode::FMIN:
+        fpRegs_[inst.rd] = std::fmin(fpRegs_[inst.rs1],
+                                     fpRegs_[inst.rs2]);
+        break;
+      case Opcode::FMAX:
+        fpRegs_[inst.rd] = std::fmax(fpRegs_[inst.rs1],
+                                     fpRegs_[inst.rs2]);
+        break;
+      case Opcode::FABS:
+        fpRegs_[inst.rd] = std::fabs(fpRegs_[inst.rs1]);
+        break;
+      case Opcode::FNEG:
+        fpRegs_[inst.rd] = -fpRegs_[inst.rs1];
+        break;
+      case Opcode::FMOV:
+        fpRegs_[inst.rd] = fpRegs_[inst.rs1];
+        break;
+      case Opcode::FLI:
+        {
+            double v;
+            std::memcpy(&v, &inst.imm, sizeof(v));
+            fpRegs_[inst.rd] = v;
+        }
+        break;
+      case Opcode::FCVTIF:
+        fpRegs_[inst.rd] = static_cast<double>(readInt(inst.rs1));
+        break;
+      case Opcode::FCVTFI:
+        writeInt(inst.rd, static_cast<int64_t>(fpRegs_[inst.rs1]));
+        break;
+      case Opcode::FCMPLT:
+        writeInt(inst.rd, fpRegs_[inst.rs1] < fpRegs_[inst.rs2]);
+        break;
+      case Opcode::FMUL:
+        fpRegs_[inst.rd] = fpRegs_[inst.rs1] * fpRegs_[inst.rs2];
+        break;
+      case Opcode::FDIV:
+        fpRegs_[inst.rd] = fpRegs_[inst.rs2] == 0.0
+            ? 0.0 : fpRegs_[inst.rs1] / fpRegs_[inst.rs2];
+        break;
+      case Opcode::FSQRT:
+        fpRegs_[inst.rd] = std::sqrt(std::fabs(fpRegs_[inst.rs1]));
+        break;
+
+      case Opcode::LB: case Opcode::LW: case Opcode::LD:
+        {
+            const uint64_t offset = effectiveAddr(inst);
+            const int bytes = memAccessBytes(inst.op);
+            writeInt(inst.rd, static_cast<int64_t>(
+                loadMem(offset, bytes, true)));
+            rec.isMem = true;
+            rec.memAddr = DataBase + offset;
+            rec.memBytes = static_cast<uint8_t>(bytes);
+        }
+        break;
+      case Opcode::FLD:
+        {
+            const uint64_t offset = effectiveAddr(inst);
+            const uint64_t raw = loadMem(offset, 8, false);
+            double v;
+            std::memcpy(&v, &raw, sizeof(v));
+            fpRegs_[inst.rd] = v;
+            rec.isMem = true;
+            rec.memAddr = DataBase + offset;
+            rec.memBytes = 8;
+        }
+        break;
+      case Opcode::SB: case Opcode::SW: case Opcode::SD:
+        {
+            const uint64_t offset = effectiveAddr(inst);
+            const int bytes = memAccessBytes(inst.op);
+            storeMem(offset, bytes,
+                     static_cast<uint64_t>(readInt(inst.rs2)));
+            rec.isMem = true;
+            rec.memAddr = DataBase + offset;
+            rec.memBytes = static_cast<uint8_t>(bytes);
+        }
+        break;
+      case Opcode::FSD:
+        {
+            const uint64_t offset = effectiveAddr(inst);
+            uint64_t raw;
+            std::memcpy(&raw, &fpRegs_[inst.rs2], sizeof(raw));
+            storeMem(offset, 8, raw);
+            rec.isMem = true;
+            rec.memAddr = DataBase + offset;
+            rec.memBytes = 8;
+        }
+        break;
+
+      case Opcode::BEQ:
+        rec.taken = readInt(inst.rs1) == readInt(inst.rs2);
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::BNE:
+        rec.taken = readInt(inst.rs1) != readInt(inst.rs2);
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::BLT:
+        rec.taken = readInt(inst.rs1) < readInt(inst.rs2);
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::BGE:
+        rec.taken = readInt(inst.rs1) >= readInt(inst.rs2);
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::BLTU:
+        rec.taken = static_cast<uint64_t>(readInt(inst.rs1)) <
+            static_cast<uint64_t>(readInt(inst.rs2));
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::BGEU:
+        rec.taken = static_cast<uint64_t>(readInt(inst.rs1)) >=
+            static_cast<uint64_t>(readInt(inst.rs2));
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::FBLT:
+        rec.taken = fpRegs_[inst.rs1] < fpRegs_[inst.rs2];
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::FBGE:
+        rec.taken = fpRegs_[inst.rs1] >= fpRegs_[inst.rs2];
+        if (rec.taken)
+            next = inst.target;
+        break;
+      case Opcode::FBEQ:
+        rec.taken = fpRegs_[inst.rs1] == fpRegs_[inst.rs2];
+        if (rec.taken)
+            next = inst.target;
+        break;
+
+      case Opcode::JMP:
+        rec.taken = true;
+        next = inst.target;
+        break;
+      case Opcode::CALL:
+        writeInt(RegRa, pc_ + 1);
+        rec.taken = true;
+        next = inst.target;
+        break;
+      case Opcode::JR:
+        rec.taken = true;
+        next = static_cast<uint32_t>(readInt(inst.rs1));
+        break;
+      case Opcode::ICALL:
+        {
+            const uint32_t dest =
+                static_cast<uint32_t>(readInt(inst.rs1));
+            writeInt(RegRa, pc_ + 1);
+            rec.taken = true;
+            next = dest;
+        }
+        break;
+      case Opcode::RET:
+        rec.taken = true;
+        next = static_cast<uint32_t>(readInt(RegRa));
+        break;
+
+      case Opcode::HALT:
+        halted_ = true;
+        rec.halted = true;
+        next = pc_;
+        break;
+
+      default:
+        panic("unimplemented opcode in emulator");
+    }
+
+    rec.nextPc = next;
+    pc_ = next;
+    ++instCount_;
+    return rec;
+}
+
+uint64_t
+Emulator::run(uint64_t maxInsts)
+{
+    uint64_t n = 0;
+    while (n < maxInsts && !halted_) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace ssim::isa

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * In-order functional emulator for the mini ISA.
+ *
+ * The emulator is the architectural reference: the execution-driven
+ * simulator dispatches instructions through it in program order, and
+ * the statistical profiler walks the same committed stream. It never
+ * executes wrong paths — wrong-path effects are modeled by the fetch
+ * engine, which only needs static decode (see cpu/eds_frontend).
+ */
+
+#ifndef SSIM_ISA_EMULATOR_HH
+#define SSIM_ISA_EMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program.hh"
+
+namespace ssim::isa
+{
+
+/** Result of functionally executing one instruction. */
+struct ExecutedInst
+{
+    uint32_t pc = 0;        ///< instruction index executed
+    uint32_t nextPc = 0;    ///< architecturally correct next index
+    bool taken = false;     ///< control flow left the fall-through path
+    bool isMem = false;     ///< load or store
+    uint64_t memAddr = 0;   ///< effective byte address (DataBase-relative
+                            ///< offsets are translated to full addresses)
+    uint8_t memBytes = 0;   ///< access size
+    bool halted = false;    ///< this instruction was HALT
+};
+
+/**
+ * Functional state: PC, register files, flat data memory.
+ */
+class Emulator
+{
+  public:
+    /** Bind to a finalized program and reset state. */
+    explicit Emulator(const Program &prog);
+
+    /** Reset registers, memory image and PC. */
+    void reset();
+
+    /** True once HALT has executed. */
+    bool halted() const { return halted_; }
+
+    /** Current PC (instruction index). */
+    uint32_t pc() const { return pc_; }
+
+    /** Number of instructions retired so far. */
+    uint64_t instCount() const { return instCount_; }
+
+    /**
+     * Execute the instruction at the current PC and advance.
+     * Calling step() after HALT returns a record with halted set.
+     */
+    ExecutedInst step();
+
+    /** Run up to @p maxInsts instructions; returns how many ran. */
+    uint64_t run(uint64_t maxInsts);
+
+    /** Architectural integer register read (r0 reads as zero). */
+    int64_t intReg(int idx) const { return intRegs_[idx]; }
+
+    /** Architectural FP register read. */
+    double fpReg(int idx) const { return fpRegs_[idx]; }
+
+    /** The program being executed. */
+    const Program &program() const { return *prog_; }
+
+    /** Data memory peek, for tests. */
+    uint64_t peek64(uint64_t offset) const;
+
+  private:
+    int64_t readInt(uint8_t r) const { return intRegs_[r]; }
+    void writeInt(uint8_t r, int64_t v)
+    {
+        if (r != RegZero)
+            intRegs_[r] = v;
+    }
+
+    uint64_t effectiveAddr(const Instruction &inst) const;
+    void checkRange(uint64_t offset, int bytes) const;
+    uint64_t loadMem(uint64_t offset, int bytes, bool signExtend) const;
+    void storeMem(uint64_t offset, int bytes, uint64_t value);
+
+    const Program *prog_;
+    uint32_t pc_;
+    bool halted_;
+    uint64_t instCount_;
+    int64_t intRegs_[NumIntRegs];
+    double fpRegs_[NumFpRegs];
+    std::vector<uint8_t> mem_;
+};
+
+} // namespace ssim::isa
+
+#endif // SSIM_ISA_EMULATOR_HH

@@ -1,0 +1,331 @@
+#include "isa.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ssim::isa
+{
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::Load:           return "load";
+      case InstClass::Store:          return "store";
+      case InstClass::IntCondBranch:  return "int cond branch";
+      case InstClass::FpCondBranch:   return "fp cond branch";
+      case InstClass::IndirectBranch: return "indirect branch";
+      case InstClass::IntAlu:         return "int alu";
+      case InstClass::IntMult:        return "int mult";
+      case InstClass::IntDiv:         return "int div";
+      case InstClass::FpAlu:          return "fp alu";
+      case InstClass::FpMult:         return "fp mult";
+      case InstClass::FpDiv:          return "fp div";
+      case InstClass::FpSqrt:         return "fp sqrt";
+      default:                        return "?";
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:    return "nop";
+      case Opcode::ADD:    return "add";
+      case Opcode::SUB:    return "sub";
+      case Opcode::AND:    return "and";
+      case Opcode::OR:     return "or";
+      case Opcode::XOR:    return "xor";
+      case Opcode::SLL:    return "sll";
+      case Opcode::SRL:    return "srl";
+      case Opcode::SRA:    return "sra";
+      case Opcode::SLT:    return "slt";
+      case Opcode::SLTU:   return "sltu";
+      case Opcode::ADDI:   return "addi";
+      case Opcode::ANDI:   return "andi";
+      case Opcode::ORI:    return "ori";
+      case Opcode::XORI:   return "xori";
+      case Opcode::SLLI:   return "slli";
+      case Opcode::SRLI:   return "srli";
+      case Opcode::SRAI:   return "srai";
+      case Opcode::SLTI:   return "slti";
+      case Opcode::LI:     return "li";
+      case Opcode::MOV:    return "mov";
+      case Opcode::MUL:    return "mul";
+      case Opcode::DIV:    return "div";
+      case Opcode::REM:    return "rem";
+      case Opcode::FADD:   return "fadd";
+      case Opcode::FSUB:   return "fsub";
+      case Opcode::FMIN:   return "fmin";
+      case Opcode::FMAX:   return "fmax";
+      case Opcode::FABS:   return "fabs";
+      case Opcode::FNEG:   return "fneg";
+      case Opcode::FMOV:   return "fmov";
+      case Opcode::FLI:    return "fli";
+      case Opcode::FCVTIF: return "fcvt.i.f";
+      case Opcode::FCVTFI: return "fcvt.f.i";
+      case Opcode::FCMPLT: return "fcmplt";
+      case Opcode::FMUL:   return "fmul";
+      case Opcode::FDIV:   return "fdiv";
+      case Opcode::FSQRT:  return "fsqrt";
+      case Opcode::LB:     return "lb";
+      case Opcode::LW:     return "lw";
+      case Opcode::LD:     return "ld";
+      case Opcode::FLD:    return "fld";
+      case Opcode::SB:     return "sb";
+      case Opcode::SW:     return "sw";
+      case Opcode::SD:     return "sd";
+      case Opcode::FSD:    return "fsd";
+      case Opcode::BEQ:    return "beq";
+      case Opcode::BNE:    return "bne";
+      case Opcode::BLT:    return "blt";
+      case Opcode::BGE:    return "bge";
+      case Opcode::BLTU:   return "bltu";
+      case Opcode::BGEU:   return "bgeu";
+      case Opcode::FBLT:   return "fblt";
+      case Opcode::FBGE:   return "fbge";
+      case Opcode::FBEQ:   return "fbeq";
+      case Opcode::JMP:    return "jmp";
+      case Opcode::CALL:   return "call";
+      case Opcode::JR:     return "jr";
+      case Opcode::ICALL:  return "icall";
+      case Opcode::RET:    return "ret";
+      case Opcode::HALT:   return "halt";
+      default:             return "?";
+    }
+}
+
+InstClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LW: case Opcode::LD:
+      case Opcode::FLD:
+        return InstClass::Load;
+      case Opcode::SB: case Opcode::SW: case Opcode::SD:
+      case Opcode::FSD:
+        return InstClass::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return InstClass::IntCondBranch;
+      case Opcode::FBLT: case Opcode::FBGE: case Opcode::FBEQ:
+        return InstClass::FpCondBranch;
+      case Opcode::JR: case Opcode::ICALL: case Opcode::RET:
+        return InstClass::IndirectBranch;
+      case Opcode::MUL:
+        return InstClass::IntMult;
+      case Opcode::DIV: case Opcode::REM:
+        return InstClass::IntDiv;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FABS: case Opcode::FNEG:
+      case Opcode::FMOV: case Opcode::FLI: case Opcode::FCVTIF:
+      case Opcode::FCVTFI: case Opcode::FCMPLT:
+        return InstClass::FpAlu;
+      case Opcode::FMUL:
+        return InstClass::FpMult;
+      case Opcode::FDIV:
+        return InstClass::FpDiv;
+      case Opcode::FSQRT:
+        return InstClass::FpSqrt;
+      default:
+        // NOP, integer ALU ops, LI/MOV, and the direct unconditional
+        // JMP/CALL/HALT (see DESIGN.md on branch classification).
+        return InstClass::IntAlu;
+    }
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::FBLT: case Opcode::FBGE: case Opcode::FBEQ:
+      case Opcode::JMP: case Opcode::CALL: case Opcode::JR:
+      case Opcode::ICALL: case Opcode::RET: case Opcode::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    const InstClass c = classOf(op);
+    return c == InstClass::IntCondBranch || c == InstClass::FpCondBranch;
+}
+
+bool
+isIndirectBranch(Opcode op)
+{
+    return classOf(op) == InstClass::IndirectBranch;
+}
+
+bool
+isDirectJump(Opcode op)
+{
+    return op == Opcode::JMP || op == Opcode::CALL;
+}
+
+bool
+isCall(Opcode op)
+{
+    return op == Opcode::CALL || op == Opcode::ICALL;
+}
+
+bool
+isReturn(Opcode op)
+{
+    return op == Opcode::RET;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return classOf(op) == InstClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return classOf(op) == InstClass::Store;
+}
+
+namespace
+{
+
+/** Operand shape: which of rd/rs1/rs2 are used and in which file. */
+struct OperandShape
+{
+    RegSpace dest;
+    RegSpace src1;
+    RegSpace src2;
+};
+
+OperandShape
+shapeOf(Opcode op)
+{
+    const RegSpace I = RegSpace::Int;
+    const RegSpace F = RegSpace::Fp;
+    const RegSpace N = RegSpace::None;
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::JMP:
+        return {N, N, N};
+      case Opcode::LI:
+        return {I, N, N};
+      case Opcode::CALL:
+        return {I, N, N};  // writes r1
+      case Opcode::MOV:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+        return {I, I, N};
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MUL: case Opcode::DIV:
+      case Opcode::REM:
+        return {I, I, I};
+      case Opcode::FLI:
+        return {F, N, N};
+      case Opcode::FABS: case Opcode::FNEG: case Opcode::FMOV:
+      case Opcode::FSQRT:
+        return {F, F, N};
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FMUL: case Opcode::FDIV:
+        return {F, F, F};
+      case Opcode::FCVTIF:
+        return {F, I, N};
+      case Opcode::FCVTFI:
+        return {I, F, N};
+      case Opcode::FCMPLT:
+        return {I, F, F};
+      case Opcode::LB: case Opcode::LW: case Opcode::LD:
+        return {I, I, N};
+      case Opcode::FLD:
+        return {F, I, N};
+      case Opcode::SB: case Opcode::SW: case Opcode::SD:
+        return {N, I, I};  // rs1 = base, rs2 = data
+      case Opcode::FSD:
+        return {N, I, F};  // rs1 = base, rs2 = fp data
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return {N, I, I};
+      case Opcode::FBLT: case Opcode::FBGE: case Opcode::FBEQ:
+        return {N, F, F};
+      case Opcode::JR:
+        return {N, I, N};
+      case Opcode::ICALL:
+        return {I, I, N};  // writes r1, jumps via rs1
+      case Opcode::RET:
+        return {N, I, N};  // reads r1 (assembler sets rs1 = RegRa)
+      default:
+        return {N, N, N};
+    }
+}
+
+} // namespace
+
+int
+numSrcRegs(const Instruction &inst)
+{
+    const OperandShape s = shapeOf(inst.op);
+    int n = 0;
+    if (s.src1 != RegSpace::None)
+        ++n;
+    if (s.src2 != RegSpace::None)
+        ++n;
+    return n;
+}
+
+RegRef
+srcReg(const Instruction &inst, int i)
+{
+    const OperandShape s = shapeOf(inst.op);
+    if (i == 0 && s.src1 != RegSpace::None)
+        return {s.src1, inst.rs1};
+    if (s.src2 != RegSpace::None &&
+        ((i == 0 && s.src1 == RegSpace::None) || i == 1)) {
+        return {s.src2, inst.rs2};
+    }
+    return {};
+}
+
+RegRef
+destReg(const Instruction &inst)
+{
+    const OperandShape s = shapeOf(inst.op);
+    if (s.dest == RegSpace::None)
+        return {};
+    return {s.dest, inst.rd};
+}
+
+int
+memAccessBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::SB: return 1;
+      case Opcode::LW: case Opcode::SW: return 4;
+      case Opcode::LD: case Opcode::SD:
+      case Opcode::FLD: case Opcode::FSD: return 8;
+      default:
+        panic("memAccessBytes on non-memory opcode");
+    }
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s rd=%u rs1=%u rs2=%u imm=%lld tgt=%u",
+                  opcodeName(inst.op), inst.rd, inst.rs1, inst.rs2,
+                  static_cast<long long>(inst.imm), inst.target);
+    return buf;
+}
+
+} // namespace ssim::isa

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The miniature RISC ISA all workloads are written in.
+ *
+ * The ISA is deliberately small but covers every instruction class the
+ * paper's statistical profile distinguishes (section 2.1.1): load,
+ * store, integer conditional branch, floating-point conditional
+ * branch, indirect branch, integer alu, integer multiply, integer
+ * divide, floating-point alu, floating-point multiply, floating-point
+ * divide and floating-point square root.
+ *
+ * 32 integer registers (r0 hardwired to zero, r1 = return address,
+ * r2 = stack pointer) and 32 floating-point registers. Instructions
+ * occupy 4 bytes of the text segment for I-cache purposes; the program
+ * counter is an instruction index.
+ */
+
+#ifndef SSIM_ISA_ISA_HH
+#define SSIM_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ssim::isa
+{
+
+/** Number of architectural integer (and FP) registers. */
+constexpr int NumIntRegs = 32;
+constexpr int NumFpRegs = 32;
+
+/** Register aliases used by the calling convention. */
+constexpr uint8_t RegZero = 0;
+constexpr uint8_t RegRa = 1;
+constexpr uint8_t RegSp = 2;
+
+/** Byte address of the first text-segment instruction. */
+constexpr uint64_t TextBase = 0x0040'0000;
+
+/** Byte address of the data segment (heap + stack live here). */
+constexpr uint64_t DataBase = 0x1000'0000;
+
+/** Bytes per instruction (for I-cache/TLB addressing). */
+constexpr uint64_t InstBytes = 4;
+
+/**
+ * The paper's 12 instruction classes (section 2.1.1). Every opcode
+ * maps onto exactly one class; direct unconditional jumps/calls are
+ * classified as IntAlu for the instruction mix (the taxonomy has no
+ * unconditional-branch class) but still terminate basic blocks.
+ */
+enum class InstClass : uint8_t
+{
+    Load,
+    Store,
+    IntCondBranch,
+    FpCondBranch,
+    IndirectBranch,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    FpSqrt,
+    NumClasses
+};
+
+/** Number of distinct instruction classes. */
+constexpr int NumInstClasses =
+    static_cast<int>(InstClass::NumClasses);
+
+/** Human-readable class name ("load", "int alu", ...). */
+const char *instClassName(InstClass c);
+
+/** Opcodes of the mini ISA. */
+enum class Opcode : uint8_t
+{
+    // Integer ALU.
+    NOP,
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    LI,      ///< rd = imm
+    MOV,     ///< rd = rs1
+    // Integer multiply / divide.
+    MUL, DIV, REM,
+    // Floating point.
+    FADD, FSUB, FMIN, FMAX, FABS, FNEG, FMOV,
+    FLI,     ///< fd = immediate double (bit pattern in imm)
+    FCVTIF,  ///< fd = (double) rs1
+    FCVTFI,  ///< rd = (int64) fs1
+    FCMPLT,  ///< rd = fs1 < fs2
+    FMUL, FDIV, FSQRT,
+    // Memory. Address = intReg[rs1] + imm.
+    LB, LW, LD, FLD,
+    SB, SW, SD, FSD,
+    // Control flow. Conditional targets are instruction indices.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,   ///< int conditional
+    FBLT, FBGE, FBEQ,                 ///< fp conditional
+    JMP,     ///< direct unconditional jump
+    CALL,    ///< direct call, writes return address to r1
+    JR,      ///< indirect jump to intReg[rs1]
+    ICALL,   ///< indirect call to intReg[rs1], writes r1
+    RET,     ///< indirect jump to intReg[r1]
+    HALT,    ///< stop the program
+    NumOpcodes
+};
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Map opcode -> paper instruction class. */
+InstClass classOf(Opcode op);
+
+/** True for every opcode that may change the PC non-sequentially. */
+bool isControlFlow(Opcode op);
+
+/** True for conditional branches (int or fp). */
+bool isCondBranch(Opcode op);
+
+/** True for JR/ICALL/RET. */
+bool isIndirectBranch(Opcode op);
+
+/** True for direct unconditional JMP/CALL. */
+bool isDirectJump(Opcode op);
+
+/** True for CALL/ICALL (pushes the return-address stack). */
+bool isCall(Opcode op);
+
+/** True for RET (pops the return-address stack). */
+bool isReturn(Opcode op);
+
+/** True for LB/LW/LD/FLD. */
+bool isLoad(Opcode op);
+
+/** True for SB/SW/SD/FSD. */
+bool isStore(Opcode op);
+
+/** Which register file a register operand lives in. */
+enum class RegSpace : uint8_t { Int, Fp, None };
+
+/** A register reference: file + index. */
+struct RegRef
+{
+    RegSpace space = RegSpace::None;
+    uint8_t index = 0;
+
+    bool valid() const { return space != RegSpace::None; }
+    bool operator==(const RegRef &) const = default;
+};
+
+/**
+ * One static instruction.
+ *
+ * @c target holds the instruction-index destination of direct control
+ * flow (filled in by the assembler's fixup pass).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+    uint32_t target = 0;
+
+    /** Paper instruction class. */
+    InstClass instClass() const { return classOf(op); }
+};
+
+/** Number of register source operands (0..2). */
+int numSrcRegs(const Instruction &inst);
+
+/** The i-th source register (i < numSrcRegs). */
+RegRef srcReg(const Instruction &inst, int i);
+
+/** Destination register, or an invalid RegRef for none. */
+RegRef destReg(const Instruction &inst);
+
+/** Byte address of the instruction at index @p pc. */
+inline uint64_t
+instAddr(uint64_t pc)
+{
+    return TextBase + pc * InstBytes;
+}
+
+/** Memory access size in bytes for a load/store opcode. */
+int memAccessBytes(Opcode op);
+
+/** One-line disassembly, for debugging and error messages. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace ssim::isa
+
+#endif // SSIM_ISA_ISA_HH

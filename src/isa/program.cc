@@ -1,0 +1,50 @@
+#include "program.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ssim::isa
+{
+
+void
+Program::finalize(std::vector<uint32_t> extraLeaders)
+{
+    fatalIf(text.empty(), "finalizing an empty program");
+    const uint32_t n = static_cast<uint32_t>(text.size());
+
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (uint32_t i = 0; i < n; ++i) {
+        const Instruction &inst = text[i];
+        if (!isControlFlow(inst.op))
+            continue;
+        if (i + 1 < n)
+            leader[i + 1] = true;
+        if ((isCondBranch(inst.op) || isDirectJump(inst.op))) {
+            panicIf(inst.target >= n, "branch target out of range: " +
+                    disassemble(inst));
+            leader[inst.target] = true;
+        }
+    }
+    for (uint32_t pc : extraLeaders) {
+        panicIf(pc >= n, "extra leader out of range");
+        leader[pc] = true;
+    }
+
+    blocks_.clear();
+    blockOf_.assign(n, InvalidBasicBlock);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            bb.last = i;
+            blocks_.push_back(bb);
+        } else {
+            blocks_.back().last = i;
+        }
+        blockOf_[i] = static_cast<BasicBlockId>(blocks_.size() - 1);
+    }
+}
+
+} // namespace ssim::isa

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static program container plus basic-block analysis.
+ *
+ * A Program is the unit both the execution-driven simulator and the
+ * statistical profiler operate on. finalize() performs the static
+ * analysis that identifies basic-block leaders; the dynamic basic
+ * block stream observed by the profiler is derived from those leaders.
+ */
+
+#ifndef SSIM_ISA_PROGRAM_HH
+#define SSIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa.hh"
+
+namespace ssim::isa
+{
+
+/** Identifier of a static basic block (index into Program::blocks). */
+using BasicBlockId = uint32_t;
+
+/** Sentinel for "no basic block". */
+constexpr BasicBlockId InvalidBasicBlock = ~0u;
+
+/** A contiguous range of instructions with a single entry and exit. */
+struct BasicBlock
+{
+    uint32_t first = 0;  ///< index of the leader instruction
+    uint32_t last = 0;   ///< index of the final instruction (inclusive)
+
+    uint32_t size() const { return last - first + 1; }
+};
+
+/** One blob of initial data copied into memory before execution. */
+struct DataBlob
+{
+    uint64_t offset = 0;  ///< byte offset within the data segment
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * A complete static program: text, initial data and block structure.
+ */
+class Program
+{
+  public:
+    /** Program name (used by the workload registry and reports). */
+    std::string name;
+
+    /** The text segment. */
+    std::vector<Instruction> text;
+
+    /** Size of the data segment in bytes. */
+    uint64_t dataSize = 1 << 20;
+
+    /** Initial data image blobs. */
+    std::vector<DataBlob> data;
+
+    /**
+     * Run the basic-block analysis. Must be called once after the
+     * text segment is complete and before execution or profiling.
+     *
+     * Leaders are: instruction 0, every direct control-flow target,
+     * and every instruction following a control-flow instruction.
+     * Indirect branch targets are call sites' return points and
+     * function entries, which are already leaders through the other
+     * two rules as long as indirect jumps only target function
+     * entries or jump-table labels created through the assembler
+     * (which records them as targets).
+     */
+    void finalize(std::vector<uint32_t> extraLeaders = {});
+
+    /** True once finalize() ran. */
+    bool finalized() const { return !blockOf_.empty(); }
+
+    /** Number of static basic blocks. */
+    size_t numBlocks() const { return blocks_.size(); }
+
+    /** Block table. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Map instruction index -> containing basic block. */
+    BasicBlockId blockOf(uint32_t pc) const { return blockOf_[pc]; }
+
+    /** True if @p pc is a basic-block leader. */
+    bool isLeader(uint32_t pc) const
+    {
+        return blocks_[blockOf_[pc]].first == pc;
+    }
+
+    /** Convenience: number of static instructions. */
+    size_t size() const { return text.size(); }
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<BasicBlockId> blockOf_;
+};
+
+} // namespace ssim::isa
+
+#endif // SSIM_ISA_PROGRAM_HH

@@ -1,0 +1,149 @@
+#include "power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ssim::power
+{
+
+using cpu::PowerUnit;
+
+namespace
+{
+
+/** Square-root array scaling against a reference design point. */
+double
+arrayScale(double value, double reference, double exponent = 0.5)
+{
+    if (reference <= 0.0)
+        return 1.0;
+    return std::pow(value / reference, exponent);
+}
+
+} // namespace
+
+PowerModel::PowerModel(const cpu::CoreConfig &cfg)
+{
+    auto set = [this](PowerUnit u, double maxW, double ports) {
+        maxPower_[static_cast<int>(u)] = maxW;
+        ports_[static_cast<int>(u)] = std::max(1.0, ports);
+    };
+
+    const double width8 = cfg.decodeWidth / 8.0;
+    const double issue8 = cfg.issueWidth / 8.0;
+    const double commit8 = cfg.commitWidth / 8.0;
+
+    // Front end.
+    const double bpredBits =
+        2.0 * (cfg.bpred.bimodalEntries + cfg.bpred.l2Entries +
+               cfg.bpred.chooserEntries) +
+        static_cast<double>(cfg.bpred.l1Entries) * cfg.bpred.historyBits;
+    set(PowerUnit::Bpred,
+        1.6 * arrayScale(bpredBits, 2.0 * 24576 + 8192.0 * 13) +
+        0.5 * arrayScale(cfg.bpred.btbEntries, 512),
+        4.0);
+    set(PowerUnit::ICache,
+        3.0 * arrayScale(cfg.il1.sizeBytes, 8 * 1024) *
+        arrayScale(cfg.il1.lineBytes, 32, 0.25),
+        cfg.fetchSpeed);
+    set(PowerUnit::ITlb, 0.3 * arrayScale(cfg.itlb.entries, 32),
+        cfg.fetchSpeed);
+
+    // Dispatch / window / register state.
+    set(PowerUnit::Rename, 1.8 * std::pow(width8, 1.5),
+        cfg.decodeWidth);
+    set(PowerUnit::IssueSel,
+        2.5 * issue8 * arrayScale(cfg.ruuSize, 128), cfg.issueWidth);
+    set(PowerUnit::Ruu,
+        7.0 * std::pow(cfg.ruuSize / 128.0, 0.8) *
+        std::pow(issue8, 0.5),
+        2.0 * cfg.issueWidth);
+    set(PowerUnit::Lsq,
+        2.0 * std::pow(cfg.lsqSize / 32.0, 0.8) *
+        std::pow(cfg.fu.ldStCount / 4.0, 0.5),
+        cfg.fu.ldStCount);
+    set(PowerUnit::RegFile, 4.0 * commit8, cfg.commitWidth);
+
+    // Execution units.
+    set(PowerUnit::IntAlu, 0.8 * cfg.fu.intAluCount,
+        cfg.fu.intAluCount);
+    set(PowerUnit::IntMult, 1.2 * cfg.fu.intMultCount,
+        cfg.fu.intMultCount);
+    set(PowerUnit::FpAlu, 1.5 * cfg.fu.fpAluCount, cfg.fu.fpAluCount);
+    set(PowerUnit::FpMult, 2.0 * cfg.fu.fpMultCount,
+        cfg.fu.fpMultCount);
+
+    // Data memory.
+    set(PowerUnit::DCache,
+        5.0 * arrayScale(cfg.dl1.sizeBytes, 16 * 1024) *
+        arrayScale(cfg.fu.ldStCount, 4),
+        cfg.fu.ldStCount);
+    set(PowerUnit::DTlb, 0.3 * arrayScale(cfg.dtlb.entries, 32),
+        cfg.fu.ldStCount);
+    set(PowerUnit::L2, 4.0 * arrayScale(cfg.l2.sizeBytes, 1024 * 1024),
+        1.0);
+    set(PowerUnit::ResultBus, 2.5 * issue8, cfg.issueWidth);
+
+    issueWidth_ = cfg.issueWidth;
+
+    // Clock tree: proportional to the capacitance of everything else.
+    double sum = 0.0;
+    for (double p : maxPower_)
+        sum += p;
+    clockMax_ = 0.45 * sum;
+}
+
+double
+PowerModel::peakPower() const
+{
+    double sum = clockMax_;
+    for (double p : maxPower_)
+        sum += p;
+    return sum;
+}
+
+PowerReport
+PowerModel::evaluate(const cpu::SimStats &stats) const
+{
+    PowerReport rep;
+    if (stats.cycles == 0)
+        return rep;
+    const double cycles = static_cast<double>(stats.cycles);
+
+    double sum = 0.0;
+    for (int i = 0; i < cpu::NumPowerUnits; ++i) {
+        const double accesses =
+            static_cast<double>(stats.unitAccesses[i]);
+        const double activeCycles = std::min(
+            static_cast<double>(stats.unitActiveCycles[i]), cycles);
+        const double idleCycles = cycles - activeCycles;
+        // Active cycles: linear in port utilisation; idle cycles: 10%.
+        const double utilisation =
+            std::min(accesses / (ports_[i] * cycles), 1.0);
+        const double avg = maxPower_[i] *
+            (utilisation + IdleFactor * idleCycles / cycles);
+        rep.unitAvg[i] = avg;
+        sum += avg;
+    }
+
+    // Clock: base 60% plus 40% scaled with machine activity.
+    const double pipelineUtil = std::min(1.0,
+        static_cast<double>(stats.issued) / cycles / issueWidth_);
+    rep.clockAvg = clockMax_ * (0.6 + 0.4 * pipelineUtil);
+    sum += rep.clockAvg;
+
+    rep.total = sum;
+    return rep;
+}
+
+double
+PowerModel::energyDelayProduct(double epc, double ipc)
+{
+    if (ipc <= 0.0)
+        return 0.0;
+    return epc / (ipc * ipc);
+}
+
+} // namespace ssim::power

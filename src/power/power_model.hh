@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wattch-style architectural power model (cf. Brooks et al., ISCA
+ * 2000), as used by the paper to estimate energy per cycle (EPC).
+ *
+ * Each microarchitectural unit gets a maximum power budget derived
+ * from its configured size/width through capacitance-like scaling
+ * rules calibrated to a 0.18 um, 1.2 GHz design (the paper's
+ * technology point). Conditional clocking follows Wattch's most
+ * aggressive "cc3" style: a unit that is unused in a cycle consumes
+ * 10% of its maximum power; a unit used for a fraction x of its ports
+ * consumes x of its maximum power.
+ *
+ * The model is driven purely by the per-unit activity counts the core
+ * collects (SimStats), so execution-driven and synthetic-trace
+ * simulation are scored by exactly the same rules — the arrangement
+ * the paper uses when it bolts Wattch onto both simulators.
+ */
+
+#ifndef SSIM_POWER_POWER_MODEL_HH
+#define SSIM_POWER_POWER_MODEL_HH
+
+#include <array>
+
+#include "cpu/config.hh"
+#include "cpu/pipeline/sim_stats.hh"
+
+namespace ssim::power
+{
+
+/** Fraction of max power an idle, clock-gated unit still burns. */
+constexpr double IdleFactor = 0.10;
+
+/** Average power broken down by unit. */
+struct PowerReport
+{
+    std::array<double, cpu::NumPowerUnits> unitAvg{};  ///< Watts
+    double clockAvg = 0.0;
+    double total = 0.0;      ///< EPC: average Watts over the run
+
+    /** Convenience accessor. */
+    double of(cpu::PowerUnit u) const
+    {
+        return unitAvg[static_cast<int>(u)];
+    }
+
+    /** Fetch unit power as reported in Table 4 (I-cache + bpred). */
+    double fetchUnit() const
+    {
+        return of(cpu::PowerUnit::ICache) + of(cpu::PowerUnit::ITlb) +
+            of(cpu::PowerUnit::Bpred);
+    }
+};
+
+/** Per-configuration power model. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const cpu::CoreConfig &cfg);
+
+    /** Maximum power budget of a unit (Watts). */
+    double maxPowerOf(cpu::PowerUnit u) const
+    {
+        return maxPower_[static_cast<int>(u)];
+    }
+
+    /** Ports assumed for utilisation scaling of a unit. */
+    double portsOf(cpu::PowerUnit u) const
+    {
+        return ports_[static_cast<int>(u)];
+    }
+
+    /** Peak power of the whole core (including clock). */
+    double peakPower() const;
+
+    /** Apply cc3 gating to the recorded activity. */
+    PowerReport evaluate(const cpu::SimStats &stats) const;
+
+    /** Energy-delay product: EPC * CPI^2 = EPC / IPC^2 (section 4.2.3). */
+    static double energyDelayProduct(double epc, double ipc);
+
+  private:
+    std::array<double, cpu::NumPowerUnits> maxPower_{};
+    std::array<double, cpu::NumPowerUnits> ports_{};
+    double clockMax_ = 0.0;
+    double issueWidth_ = 8.0;
+};
+
+} // namespace ssim::power
+
+#endif // SSIM_POWER_POWER_MODEL_HH

@@ -1,0 +1,274 @@
+#include "simpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/statsim.hh"
+#include "isa/emulator.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ssim::sampling
+{
+
+BbvData
+collectBbvs(const isa::Program &prog, uint64_t intervalLength,
+            uint32_t projectedDims, uint64_t seed)
+{
+    fatalIf(intervalLength == 0, "zero BBV interval");
+    BbvData out;
+    out.intervalLength = intervalLength;
+
+    // Deterministic random projection matrix: blocks x dims.
+    Rng rng(seed);
+    const size_t numBlocks = prog.numBlocks();
+    std::vector<double> projection(numBlocks * projectedDims);
+    for (double &p : projection)
+        p = rng.uniform();
+
+    isa::Emulator emu(prog);
+    std::vector<uint64_t> counts(numBlocks, 0);
+    uint64_t inInterval = 0;
+
+    auto flush = [&]() {
+        if (inInterval == 0)
+            return;
+        FeatureVector v(projectedDims, 0.0);
+        for (size_t b = 0; b < numBlocks; ++b) {
+            if (counts[b] == 0)
+                continue;
+            const double weight = static_cast<double>(counts[b]) /
+                static_cast<double>(inInterval);
+            for (uint32_t d = 0; d < projectedDims; ++d)
+                v[d] += weight * projection[b * projectedDims + d];
+        }
+        out.vectors.push_back(std::move(v));
+        std::fill(counts.begin(), counts.end(), 0);
+        inInterval = 0;
+    };
+
+    while (!emu.halted()) {
+        const uint32_t pc = emu.pc();
+        if (prog.isLeader(pc))
+            ++counts[prog.blockOf(pc)];
+        emu.step();
+        if (++inInterval >= intervalLength)
+            flush();
+    }
+    flush();
+    return out;
+}
+
+namespace
+{
+
+double
+sqDist(const FeatureVector &a, const FeatureVector &b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+Clustering
+kmeans(const std::vector<FeatureVector> &data, uint32_t k,
+       uint64_t seed, uint32_t iterations)
+{
+    Clustering out;
+    out.k = k;
+    if (data.empty() || k == 0)
+        return out;
+    k = std::min<uint32_t>(k, static_cast<uint32_t>(data.size()));
+    out.k = k;
+
+    // k-means++-style seeding, deterministic.
+    Rng rng(seed);
+    out.centroids.clear();
+    out.centroids.push_back(data[rng.below(data.size())]);
+    while (out.centroids.size() < k) {
+        std::vector<double> d2(data.size());
+        double total = 0.0;
+        for (size_t i = 0; i < data.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : out.centroids)
+                best = std::min(best, sqDist(data[i], c));
+            d2[i] = best;
+            total += best;
+        }
+        size_t pick = 0;
+        if (total > 0.0) {
+            double u = rng.uniform() * total;
+            for (size_t i = 0; i < data.size(); ++i) {
+                u -= d2[i];
+                if (u <= 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.below(data.size());
+        }
+        out.centroids.push_back(data[pick]);
+    }
+
+    out.assignment.assign(data.size(), 0);
+    const size_t dims = data[0].size();
+    for (uint32_t iter = 0; iter < iterations; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < data.size(); ++i) {
+            uint32_t best = 0;
+            double bestD = std::numeric_limits<double>::max();
+            for (uint32_t c = 0; c < k; ++c) {
+                const double d = sqDist(data[i], out.centroids[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    best = c;
+                }
+            }
+            if (out.assignment[i] != best) {
+                out.assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        std::vector<FeatureVector> sums(
+            k, FeatureVector(dims, 0.0));
+        std::vector<uint64_t> counts(k, 0);
+        for (size_t i = 0; i < data.size(); ++i) {
+            const uint32_t c = out.assignment[i];
+            ++counts[c];
+            for (size_t d = 0; d < dims; ++d)
+                sums[c][d] += data[i][d];
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;  // keep the old centroid for empty clusters
+            for (size_t d = 0; d < dims; ++d)
+                out.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+        if (!changed)
+            break;
+    }
+    out.bic = bicScore(data, out);
+    return out;
+}
+
+double
+bicScore(const std::vector<FeatureVector> &data,
+         const Clustering &clustering)
+{
+    // Pelleg & Moore's x-means BIC with identical spherical variance,
+    // the formulation the SimPoint tool uses.
+    const size_t n = data.size();
+    if (n == 0 || clustering.k == 0)
+        return -std::numeric_limits<double>::max();
+    const size_t dims = data[0].size();
+    const uint32_t k = clustering.k;
+
+    double distortion = 0.0;
+    std::vector<uint64_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t c = clustering.assignment[i];
+        ++counts[c];
+        distortion += sqDist(data[i], clustering.centroids[c]);
+    }
+    const double denom = static_cast<double>(n) - k;
+    const double variance = denom > 0.0
+        ? std::max(distortion / (denom * dims), 1e-12) : 1e-12;
+
+    double logLikelihood = 0.0;
+    for (uint32_t c = 0; c < k; ++c) {
+        const double nc = static_cast<double>(counts[c]);
+        if (nc <= 0.0)
+            continue;
+        logLikelihood += nc * std::log(nc / static_cast<double>(n));
+    }
+    logLikelihood -= static_cast<double>(n) * dims / 2.0 *
+        std::log(2.0 * M_PI * variance);
+    logLikelihood -= distortion / (2.0 * variance);
+
+    const double numParams = k * (dims + 1.0);
+    return logLikelihood -
+        numParams / 2.0 * std::log(static_cast<double>(n));
+}
+
+std::vector<SimPoint>
+pickSimPoints(const BbvData &bbvs, uint32_t maxK, uint64_t seed)
+{
+    if (bbvs.vectors.empty())
+        return {};
+
+    Clustering best;
+    double bestBic = -std::numeric_limits<double>::max();
+    for (uint32_t k = 1; k <= maxK; ++k) {
+        const Clustering c = kmeans(bbvs.vectors, k, seed + k);
+        if (c.bic > bestBic) {
+            bestBic = c.bic;
+            best = c;
+        }
+    }
+
+    std::vector<SimPoint> points;
+    const size_t n = bbvs.vectors.size();
+    for (uint32_t c = 0; c < best.k; ++c) {
+        uint64_t count = 0;
+        uint32_t rep = 0;
+        double repDist = std::numeric_limits<double>::max();
+        for (size_t i = 0; i < n; ++i) {
+            if (best.assignment[i] != c)
+                continue;
+            ++count;
+            const double d =
+                sqDist(bbvs.vectors[i], best.centroids[c]);
+            if (d < repDist) {
+                repDist = d;
+                rep = static_cast<uint32_t>(i);
+            }
+        }
+        if (count == 0)
+            continue;
+        points.push_back({rep, static_cast<double>(count) /
+                               static_cast<double>(n)});
+    }
+    return points;
+}
+
+SampledResult
+simulateSimPoints(const isa::Program &prog, const cpu::CoreConfig &cfg,
+                  const std::vector<SimPoint> &points,
+                  uint64_t intervalLength)
+{
+    SampledResult out;
+    double weightedCpi = 0.0;
+    double weightedEpc = 0.0;
+    double totalWeight = 0.0;
+    for (const SimPoint &p : points) {
+        cpu::EdsOptions opts;
+        opts.skipInsts =
+            static_cast<uint64_t>(p.interval) * intervalLength;
+        opts.maxInsts = intervalLength;
+        opts.warmupDuringSkip = true;
+        const core::SimResult res =
+            core::runExecutionDriven(prog, cfg, opts);
+        if (res.ipc > 0.0) {
+            weightedCpi += p.weight / res.ipc;
+            weightedEpc += p.weight * res.epc;
+            totalWeight += p.weight;
+            out.simulatedInstructions += res.stats.committed;
+        }
+    }
+    if (totalWeight > 0.0 && weightedCpi > 0.0) {
+        out.ipc = totalWeight / weightedCpi;
+        out.epc = weightedEpc / totalWeight;
+    }
+    return out;
+}
+
+} // namespace ssim::sampling

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SimPoint-style representative sampling (Sherwood et al., ASPLOS
+ * 2002), used as the comparison point of the paper's Figure 8:
+ * basic-block vectors per fixed-length interval, random projection to
+ * a low dimension, k-means clustering with BIC model selection, and
+ * weighted execution-driven simulation of the representative
+ * intervals.
+ */
+
+#ifndef SSIM_SAMPLING_SIMPOINT_HH
+#define SSIM_SAMPLING_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "isa/program.hh"
+
+namespace ssim::sampling
+{
+
+/** One interval's projected basic-block vector. */
+using FeatureVector = std::vector<double>;
+
+/** Basic-block vector collection result. */
+struct BbvData
+{
+    uint64_t intervalLength = 0;
+    /** Per interval: normalized, projected execution frequencies. */
+    std::vector<FeatureVector> vectors;
+};
+
+/**
+ * Run the program functionally and collect one BBV per interval of
+ * @p intervalLength instructions, randomly projected to
+ * @p projectedDims dimensions (seeded, deterministic).
+ */
+BbvData collectBbvs(const isa::Program &prog, uint64_t intervalLength,
+                    uint32_t projectedDims = 15, uint64_t seed = 1);
+
+/** k-means clustering result. */
+struct Clustering
+{
+    uint32_t k = 0;
+    std::vector<uint32_t> assignment;   ///< per interval
+    std::vector<FeatureVector> centroids;
+    double bic = 0.0;
+};
+
+/** Lloyd's algorithm with deterministic seeding. */
+Clustering kmeans(const std::vector<FeatureVector> &data, uint32_t k,
+                  uint64_t seed = 1, uint32_t iterations = 60);
+
+/** Bayesian information criterion for a clustering (higher better). */
+double bicScore(const std::vector<FeatureVector> &data,
+                const Clustering &clustering);
+
+/** A chosen simulation point. */
+struct SimPoint
+{
+    uint32_t interval = 0;   ///< interval index to simulate
+    double weight = 0.0;     ///< fraction of execution it represents
+};
+
+/**
+ * Full SimPoint selection: cluster the BBVs for k = 1..maxK, keep the
+ * best BIC, return the interval closest to each centroid with its
+ * cluster's weight.
+ */
+std::vector<SimPoint> pickSimPoints(const BbvData &bbvs,
+                                    uint32_t maxK = 10,
+                                    uint64_t seed = 1);
+
+/** Weighted metrics from simulating the chosen points. */
+struct SampledResult
+{
+    double ipc = 0.0;
+    double epc = 0.0;
+    uint64_t simulatedInstructions = 0;
+};
+
+/**
+ * Execution-driven simulation of each simulation point (with
+ * functional cache/predictor warming during the fast-forward),
+ * combined by weight. CPI and power are weighted per the SimPoint
+ * methodology.
+ */
+SampledResult simulateSimPoints(const isa::Program &prog,
+                                const cpu::CoreConfig &cfg,
+                                const std::vector<SimPoint> &points,
+                                uint64_t intervalLength);
+
+} // namespace ssim::sampling
+
+#endif // SSIM_SAMPLING_SIMPOINT_HH

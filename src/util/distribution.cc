@@ -1,0 +1,118 @@
+#include "distribution.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace ssim
+{
+
+void
+DiscreteDistribution::record(uint32_t value, uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    frozen_ = false;
+    total_ += weight;
+    // Common case: repeated values arrive in bursts; check the last
+    // entry before searching.
+    if (!values_.empty() && values_.back().first == value) {
+        values_.back().second += weight;
+        return;
+    }
+    for (auto &kv : values_) {
+        if (kv.first == value) {
+            kv.second += weight;
+            return;
+        }
+    }
+    values_.emplace_back(value, weight);
+}
+
+uint64_t
+DiscreteDistribution::countOf(uint32_t value) const
+{
+    for (const auto &kv : values_)
+        if (kv.first == value)
+            return kv.second;
+    return 0;
+}
+
+double
+DiscreteDistribution::probabilityOf(uint32_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(countOf(value)) /
+        static_cast<double>(total_);
+}
+
+double
+DiscreteDistribution::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &kv : values_)
+        acc += static_cast<double>(kv.first) *
+            static_cast<double>(kv.second);
+    return acc / static_cast<double>(total_);
+}
+
+void
+DiscreteDistribution::freeze() const
+{
+    std::sort(values_.begin(), values_.end());
+    cumulative_.resize(values_.size());
+    uint64_t acc = 0;
+    for (size_t i = 0; i < values_.size(); ++i) {
+        acc += values_[i].second;
+        cumulative_[i] = acc;
+    }
+    frozen_ = true;
+}
+
+uint32_t
+DiscreteDistribution::sample(Rng &rng) const
+{
+    panicIf(total_ == 0, "sampling an empty DiscreteDistribution");
+    if (!frozen_)
+        freeze();
+    const uint64_t target = rng.below(total_) + 1;
+    const auto it = std::lower_bound(cumulative_.begin(),
+                                     cumulative_.end(), target);
+    return values_[static_cast<size_t>(
+        it - cumulative_.begin())].first;
+}
+
+const std::vector<std::pair<uint32_t, uint64_t>> &
+DiscreteDistribution::entries() const
+{
+    if (!frozen_)
+        freeze();
+    return values_;
+}
+
+void
+WeightedPicker::build(const std::vector<uint64_t> &weights)
+{
+    cumulative_.resize(weights.size());
+    uint64_t acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cumulative_[i] = acc;
+    }
+    total_ = acc;
+}
+
+size_t
+WeightedPicker::pick(Rng &rng) const
+{
+    panicIf(total_ == 0, "picking from an all-zero WeightedPicker");
+    const uint64_t target = rng.below(total_) + 1;
+    const auto it = std::lower_bound(cumulative_.begin(),
+                                     cumulative_.end(), target);
+    return static_cast<size_t>(it - cumulative_.begin());
+}
+
+} // namespace ssim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Discrete empirical distributions with CDF sampling.
+ *
+ * The statistical profile stores many small distributions (dependency
+ * distances per operand, node occurrences, transition probabilities).
+ * DiscreteDistribution is a sparse counter map over small integer
+ * domains with O(n) cumulative sampling after a one-time freeze.
+ */
+
+#ifndef SSIM_UTIL_DISTRIBUTION_HH
+#define SSIM_UTIL_DISTRIBUTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "random.hh"
+
+namespace ssim
+{
+
+/**
+ * Sparse counted distribution over non-negative integer values.
+ *
+ * Accumulate with record(); sample with sample() which lazily builds a
+ * cumulative table. Recording after sampling invalidates and rebuilds
+ * the table on the next sample.
+ */
+class DiscreteDistribution
+{
+  public:
+    /** Add one observation of @p value (optionally weighted). */
+    void record(uint32_t value, uint64_t weight = 1);
+
+    /** Total number of recorded observations. */
+    uint64_t totalCount() const { return total_; }
+
+    /** True if no observations were recorded. */
+    bool empty() const { return total_ == 0; }
+
+    /** Number of distinct values observed. */
+    size_t distinctValues() const { return values_.size(); }
+
+    /** Count recorded for a specific value (0 if absent). */
+    uint64_t countOf(uint32_t value) const;
+
+    /** Probability of a specific value. */
+    double probabilityOf(uint32_t value) const;
+
+    /** Mean of the distribution. */
+    double mean() const;
+
+    /**
+     * Draw a value according to the empirical probabilities.
+     * Must not be called on an empty distribution.
+     */
+    uint32_t sample(Rng &rng) const;
+
+    /** Visit (value, count) pairs in ascending value order. */
+    const std::vector<std::pair<uint32_t, uint64_t>> &entries() const;
+
+  private:
+    void freeze() const;
+
+    // (value, count), kept sorted by value once frozen.
+    mutable std::vector<std::pair<uint32_t, uint64_t>> values_;
+    mutable std::vector<uint64_t> cumulative_;
+    mutable bool frozen_ = false;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Cumulative alias-free sampler over externally-stored weights.
+ *
+ * Used for picking SFG nodes by occurrence and outgoing edges by
+ * transition probability where the weights live in the graph itself.
+ */
+class WeightedPicker
+{
+  public:
+    /** Rebuild from a weight vector; zero weights are legal. */
+    void build(const std::vector<uint64_t> &weights);
+
+    /** Total weight (0 means nothing can be drawn). */
+    uint64_t totalWeight() const { return total_; }
+
+    /**
+     * Draw an index with probability weight[i]/total.
+     * Must not be called when totalWeight() is zero.
+     */
+    size_t pick(Rng &rng) const;
+
+  private:
+    std::vector<uint64_t> cumulative_;
+    uint64_t total_ = 0;
+};
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_DISTRIBUTION_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs);
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef SSIM_UTIL_LOGGING_HH
+#define SSIM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ssim
+{
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *prefix, const std::string &msg);
+
+/**
+ * Abort with a message. Call when an internal invariant is violated,
+ * i.e., a simulator bug; never for user errors.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit with an error message. Call when the simulation cannot continue
+ * because of a user-level error (bad configuration, invalid argument).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status. */
+void inform(const std::string &msg);
+
+/** Panic unless the condition holds. */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** Fatal unless the condition holds. */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_LOGGING_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulator take an explicit Rng so
+ * that every experiment is reproducible bit-for-bit from its seed.
+ * The generator is xoshiro256**, seeded through splitmix64.
+ */
+
+#ifndef SSIM_UTIL_RANDOM_HH
+#define SSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace ssim
+{
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Small, fast, and with well-understood statistical quality; more than
+ * adequate for Monte Carlo synthetic trace generation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using rejection-free scaling. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw with success probability p. */
+    bool chance(double p);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+  private:
+    uint64_t s_[4];
+    double cachedGaussian_;
+    bool haveCachedGaussian_;
+};
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_RANDOM_HH

@@ -1,0 +1,71 @@
+#include "statistics.hh"
+
+#include <algorithm>
+
+namespace ssim
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double
+RunningStats::cov() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stddev() / m;
+}
+
+double
+absoluteError(double predicted, double reference)
+{
+    if (reference == 0.0)
+        return 0.0;
+    return std::abs(predicted - reference) / std::abs(reference);
+}
+
+double
+relativeError(double predictedA, double predictedB,
+              double referenceA, double referenceB)
+{
+    if (predictedA == 0.0 || referenceA == 0.0 || referenceB == 0.0)
+        return 0.0;
+    const double predictedTrend = predictedB / predictedA;
+    const double referenceTrend = referenceB / referenceA;
+    return std::abs(predictedTrend - referenceTrend) /
+        std::abs(referenceTrend);
+}
+
+double
+meanOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+} // namespace ssim

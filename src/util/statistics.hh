@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Summary statistics used throughout the evaluation harness:
+ * running mean/stddev, coefficient of variation, and the error
+ * metrics defined in the paper (absolute error AE, relative error RE).
+ */
+
+#ifndef SSIM_UTIL_STATISTICS_HH
+#define SSIM_UTIL_STATISTICS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ssim
+{
+
+/** Welford running mean / variance accumulator. */
+class RunningStats
+{
+  public:
+    /** Add a sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample standard deviation (0 for n < 2). */
+    double stddev() const;
+
+    /** Coefficient of variation: stddev / mean. */
+    double cov() const;
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Absolute prediction error of the paper (section 4.2):
+ * AE = |M_ss - M_eds| / M_eds.
+ */
+double absoluteError(double predicted, double reference);
+
+/**
+ * Relative prediction error of the paper (section 4.5) for a move from
+ * design point A to design point B:
+ * RE = |(B_ss/A_ss) - (B_eds/A_eds)| / (B_eds/A_eds).
+ */
+double relativeError(double predictedA, double predictedB,
+                     double referenceA, double referenceB);
+
+/** Arithmetic mean of a vector (0 when empty). */
+double meanOf(const std::vector<double> &xs);
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_STATISTICS_HH

@@ -1,0 +1,84 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ssim
+{
+
+void
+TextTable::setHeader(std::vector<std::string> labels)
+{
+    header_ = std::move(labels);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const size_t ncols = std::max(header_.size(), [&] {
+        size_t n = 0;
+        for (const auto &r : rows_)
+            n = std::max(n, r.size());
+        return n;
+    }());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < ncols)
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += widths[i] + (i + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "=== " << title << " ===" << '\n';
+}
+
+} // namespace ssim

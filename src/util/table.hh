@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal ASCII table printer for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of its paper exhibit
+ * through this class so all outputs share one layout.
+ */
+
+#ifndef SSIM_UTIL_TABLE_HH
+#define SSIM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssim
+{
+
+/** Column-aligned ASCII table. */
+class TextTable
+{
+  public:
+    /** Set header labels (also fixes the column count). */
+    void setHeader(std::vector<std::string> labels);
+
+    /** Append a row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a value as a percentage, e.g. 6.6%. */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_TABLE_HH

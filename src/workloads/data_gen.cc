@@ -1,0 +1,67 @@
+#include "data_gen.hh"
+
+namespace ssim::workloads
+{
+
+std::vector<uint8_t>
+makeText(size_t bytes, uint64_t seed)
+{
+    static const char *vocabulary[] = {
+        "the", "quick", "brown", "fox", "jumps", "over", "lazy",
+        "dog", "pack", "my", "box", "with", "five", "dozen",
+        "liquor", "jugs", "compiler", "register", "pipeline",
+        "cache", "branch", "predictor", "simulation", "trace",
+        "statistical", "flow", "graph", "basic", "block", "and",
+        "of", "to", "in", "a", "is", "for", "on", "as", "by",
+    };
+    constexpr size_t vocabSize =
+        sizeof(vocabulary) / sizeof(vocabulary[0]);
+
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(bytes + 16);
+    while (out.size() < bytes) {
+        const char *word = vocabulary[rng.below(vocabSize)];
+        for (const char *p = word; *p; ++p)
+            out.push_back(static_cast<uint8_t>(*p));
+        out.push_back(rng.chance(0.12) ? '\n' : ' ');
+    }
+    out.resize(bytes);
+    if (!out.empty())
+        out[bytes - 1] = '\n';
+    return out;
+}
+
+std::vector<uint8_t>
+makeRunsData(size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(bytes + 64);
+    while (out.size() < bytes) {
+        if (rng.chance(0.6)) {
+            const uint8_t value = static_cast<uint8_t>(rng.below(32));
+            const size_t run = 2 + rng.below(40);
+            for (size_t i = 0; i < run; ++i)
+                out.push_back(value);
+        } else {
+            const size_t noise = 1 + rng.below(8);
+            for (size_t i = 0; i < noise; ++i)
+                out.push_back(static_cast<uint8_t>(rng.below(256)));
+        }
+    }
+    out.resize(bytes);
+    return out;
+}
+
+std::vector<uint8_t>
+makeRandomBytes(size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(bytes);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.below(256));
+    return out;
+}
+
+} // namespace ssim::workloads

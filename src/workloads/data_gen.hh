@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Deterministic input-data generators shared by the workload builders.
+ */
+
+#ifndef SSIM_WORKLOADS_DATA_GEN_HH
+#define SSIM_WORKLOADS_DATA_GEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace ssim::workloads
+{
+
+/**
+ * Text-like bytes: words of letters separated by spaces/newlines,
+ * drawn from a small vocabulary so repetitions occur (gives LZ
+ * compressors something to find).
+ */
+std::vector<uint8_t> makeText(size_t bytes, uint64_t seed);
+
+/** Runs of repeated bytes interleaved with noise (RLE-friendly). */
+std::vector<uint8_t> makeRunsData(size_t bytes, uint64_t seed);
+
+/** Uniform random bytes. */
+std::vector<uint8_t> makeRandomBytes(size_t bytes, uint64_t seed);
+
+} // namespace ssim::workloads
+
+#endif // SSIM_WORKLOADS_DATA_GEN_HH

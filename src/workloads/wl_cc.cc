@@ -1,0 +1,361 @@
+/**
+ * @file
+ * "cc" — gcc archetype: a tokenizer plus shunting-yard expression
+ * compiler/evaluator over generated source text. Characterized by a
+ * large number of distinct basic blocks, a jump-table dispatch
+ * (indirect branches), and call-heavy operator application.
+ */
+
+#include <functional>
+#include <string>
+
+#include "data_gen.hh"
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+namespace
+{
+
+/** Generate deterministic "x3 = 12 + 4 * ( x1 - 3 ) ;" statements. */
+std::vector<uint8_t>
+makeSource(size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::string out;
+    out.reserve(bytes + 128);
+
+    std::function<void(int)> expr = [&](int depth) {
+        auto factor = [&](int d) {
+            const double u = rng.uniform();
+            if (d <= 0 || u < 0.45) {
+                out += std::to_string(rng.below(1000));
+            } else if (u < 0.8) {
+                out += "x" + std::to_string(rng.below(32));
+            } else {
+                out += "( ";
+                expr(d - 1);
+                out += " )";
+            }
+        };
+        const int terms = 1 + static_cast<int>(rng.below(3));
+        factor(depth - 1);
+        for (int i = 0; i < terms; ++i) {
+            static const char *ops[] = {" + ", " - ", " * ", " / "};
+            out += ops[rng.below(4)];
+            factor(depth - 1);
+        }
+    };
+
+    while (out.size() < bytes) {
+        out += "x" + std::to_string(rng.below(32)) + " = ";
+        expr(3);
+        out += " ;\n";
+    }
+    return {out.begin(), out.end()};
+}
+
+} // namespace
+
+isa::Program
+buildCc(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    const uint64_t n = 48 * 1024 * scale;
+    const uint64_t clsBase = (n + 0xfffULL) & ~0xfffULL;
+    const uint64_t precBase = clsBase + 128;
+    const uint64_t jtBase = precBase + 128;
+    const uint64_t varsBase = jtBase + 64;
+    const uint64_t opStackBase = varsBase + 256;
+    const uint64_t valStackBase = opStackBase + 512;
+
+    Assembler as("cc");
+    as.setDataSize(valStackBase + 4096);
+
+    const std::vector<uint8_t> src = makeSource(n, inputSeed(0x9cc, variant));
+    const uint64_t srcLen = src.size();
+    as.addData(0, src);
+
+    // Character classes: 0 space, 1 digit, 2 letter, 3 operator,
+    // 4 '=', 5 ';', 6 other.
+    std::vector<uint8_t> cls(128, 6);
+    cls[static_cast<int>(' ')] = 0;
+    cls[static_cast<int>('\n')] = 0;
+    cls[static_cast<int>('\t')] = 0;
+    for (char ch = '0'; ch <= '9'; ++ch)
+        cls[static_cast<int>(ch)] = 1;
+    for (char ch = 'a'; ch <= 'z'; ++ch)
+        cls[static_cast<int>(ch)] = 2;
+    for (char ch : {'+', '-', '*', '/', '(', ')'})
+        cls[static_cast<int>(ch)] = 3;
+    cls[static_cast<int>('=')] = 4;
+    cls[static_cast<int>(';')] = 5;
+    as.addData(clsBase, cls);
+
+    std::vector<uint8_t> prec(128, 0);
+    prec[static_cast<int>('+')] = 1;
+    prec[static_cast<int>('-')] = 1;
+    prec[static_cast<int>('*')] = 2;
+    prec[static_cast<int>('/')] = 2;
+    as.addData(precBase, prec);
+
+    const uint8_t pos = 3, limit = 4, c = 5, chCls = 6;
+    const uint8_t t1 = 7, t2 = 8, t3 = 9;
+    const uint8_t num = 10, opSp = 11, valSp = 12, target = 13;
+    const uint8_t state = 14, opReg = 16, va = 17, vb = 18, t4 = 19;
+
+    Label mainLoop = as.newLabel();
+    Label done = as.newLabel();
+    Label hSpace = as.newLabel();
+    Label hDigit = as.newLabel();
+    Label hLetter = as.newLabel();
+    Label hOp = as.newLabel();
+    Label hEq = as.newLabel();
+    Label hSemi = as.newLabel();
+    Label hOther = as.newLabel();
+    Label applyOp = as.newLabel();
+    Label init = as.newLabel();
+
+    as.jmp(init);
+
+    // ---- applyOp: pop two values, apply opReg, push the result ----
+    {
+        Label notAdd = as.newLabel(), notSub = as.newLabel();
+        Label notMul = as.newLabel(), divOk = as.newLabel();
+        Label apDone = as.newLabel();
+        as.bind(applyOp);
+        as.addi(valSp, valSp, -8);
+        as.ld(vb, valSp, 0);
+        as.addi(valSp, valSp, -8);
+        as.ld(va, valSp, 0);
+        as.li(t4, '+');
+        as.bne(opReg, t4, notAdd);
+        as.add(va, va, vb);
+        as.jmp(apDone);
+        as.bind(notAdd);
+        as.li(t4, '-');
+        as.bne(opReg, t4, notSub);
+        as.sub(va, va, vb);
+        as.jmp(apDone);
+        as.bind(notSub);
+        as.li(t4, '*');
+        as.bne(opReg, t4, notMul);
+        as.mul(va, va, vb);
+        as.jmp(apDone);
+        as.bind(notMul);
+        as.bne(vb, RegZero, divOk);
+        as.li(vb, 1);
+        as.bind(divOk);
+        as.div(va, va, vb);
+        as.bind(apDone);
+        as.sd(va, valSp, 0);
+        as.addi(valSp, valSp, 8);
+        as.ret();
+    }
+
+    // ---- simple handlers ----
+    as.bind(hSpace);
+    as.addi(pos, pos, 1);
+    as.jmp(mainLoop);
+
+    as.bind(hOther);
+    as.addi(pos, pos, 1);
+    as.jmp(mainLoop);
+
+    as.bind(hEq);
+    as.li(state, 1);
+    as.addi(pos, pos, 1);
+    as.jmp(mainLoop);
+
+    // ---- number literal ----
+    {
+        Label digLoop = as.newLabel(), digDone = as.newLabel();
+        as.bind(hDigit);
+        as.li(num, 0);
+        as.bind(digLoop);
+        as.lb(c, pos, 0);
+        as.addi(t1, c, -'0');
+        as.slti(t2, t1, 0);
+        as.bne(t2, RegZero, digDone);
+        as.slti(t2, t1, 10);
+        as.beq(t2, RegZero, digDone);
+        as.li(t3, 10);
+        as.mul(num, num, t3);
+        as.add(num, num, t1);
+        as.addi(pos, pos, 1);
+        as.jmp(digLoop);
+        as.bind(digDone);
+        as.sd(num, valSp, 0);
+        as.addi(valSp, valSp, 8);
+        as.jmp(mainLoop);
+    }
+
+    // ---- identifier: assignment target or variable read ----
+    {
+        Label digLoop = as.newLabel(), digDone = as.newLabel();
+        Label varRead = as.newLabel();
+        as.bind(hLetter);
+        as.addi(pos, pos, 1);     // skip the 'x'
+        as.li(num, 0);
+        as.bind(digLoop);
+        as.lb(c, pos, 0);
+        as.addi(t1, c, -'0');
+        as.slti(t2, t1, 0);
+        as.bne(t2, RegZero, digDone);
+        as.slti(t2, t1, 10);
+        as.beq(t2, RegZero, digDone);
+        as.li(t3, 10);
+        as.mul(num, num, t3);
+        as.add(num, num, t1);
+        as.addi(pos, pos, 1);
+        as.jmp(digLoop);
+        as.bind(digDone);
+        as.andi(num, num, 31);
+        as.bne(state, RegZero, varRead);
+        as.mov(target, num);
+        as.li(state, 1);
+        as.jmp(mainLoop);
+        as.bind(varRead);
+        as.slli(t1, num, 3);
+        as.ld(t1, t1, static_cast<int64_t>(varsBase));
+        as.sd(t1, valSp, 0);
+        as.addi(valSp, valSp, 8);
+        as.jmp(mainLoop);
+    }
+
+    // ---- operators and parentheses ----
+    {
+        Label pushOp = as.newLabel(), flushLoop = as.newLabel();
+        Label rparen = as.newLabel(), rpLoop = as.newLabel();
+        Label rpDone = as.newLabel(), rpPop = as.newLabel();
+        as.bind(hOp);
+        as.mov(t3, c);
+        as.li(t1, '(');
+        as.beq(c, t1, pushOp);
+        as.li(t1, ')');
+        as.beq(c, t1, rparen);
+        as.lb(t2, c, static_cast<int64_t>(precBase));
+        as.bind(flushLoop);
+        as.li(t1, static_cast<int64_t>(opStackBase));
+        as.beq(opSp, t1, pushOp);
+        as.lb(opReg, opSp, -1);
+        as.li(t1, '(');
+        as.beq(opReg, t1, pushOp);
+        as.lb(t1, opReg, static_cast<int64_t>(precBase));
+        as.blt(t1, t2, pushOp);
+        as.addi(opSp, opSp, -1);
+        as.call(applyOp);
+        as.jmp(flushLoop);
+        as.bind(pushOp);
+        as.sb(t3, opSp, 0);
+        as.addi(opSp, opSp, 1);
+        as.addi(pos, pos, 1);
+        as.jmp(mainLoop);
+
+        as.bind(rparen);
+        as.bind(rpLoop);
+        as.li(t1, static_cast<int64_t>(opStackBase));
+        as.beq(opSp, t1, rpDone);   // tolerate unbalanced input
+        as.lb(opReg, opSp, -1);
+        as.li(t1, '(');
+        as.beq(opReg, t1, rpPop);
+        as.addi(opSp, opSp, -1);
+        as.call(applyOp);
+        as.jmp(rpLoop);
+        as.bind(rpPop);
+        as.addi(opSp, opSp, -1);    // discard the '('
+        as.bind(rpDone);
+        as.addi(pos, pos, 1);
+        as.jmp(mainLoop);
+    }
+
+    // ---- statement end: flush, assign to the target variable ----
+    {
+        Label smLoop = as.newLabel(), smFlush = as.newLabel();
+        Label smStore = as.newLabel(), smAssign = as.newLabel();
+        as.bind(hSemi);
+        as.bind(smLoop);
+        as.li(t1, static_cast<int64_t>(opStackBase));
+        as.beq(opSp, t1, smFlush);
+        as.lb(opReg, opSp, -1);
+        as.addi(opSp, opSp, -1);
+        as.call(applyOp);
+        as.jmp(smLoop);
+        as.bind(smFlush);
+        // Pop the result if the value stack is non-empty.
+        as.li(t1, static_cast<int64_t>(valStackBase));
+        as.bne(valSp, t1, smStore);
+        as.li(t2, 0);
+        as.jmp(smAssign);
+        as.bind(smStore);
+        as.addi(valSp, valSp, -8);
+        as.ld(t2, valSp, 0);
+        as.bind(smAssign);
+        as.slli(t1, target, 3);
+        as.sd(t2, t1, static_cast<int64_t>(varsBase));
+        as.li(state, 0);
+        // Reset the value stack between statements.
+        as.li(valSp, static_cast<int64_t>(valStackBase));
+        as.addi(pos, pos, 1);
+        as.jmp(mainLoop);
+    }
+
+    // ---- init: build the dispatch jump table, clear variables ----
+    as.bind(init);
+    as.li(t2, static_cast<int64_t>(jtBase));
+    as.la(t1, hSpace);
+    as.sd(t1, t2, 0);
+    as.la(t1, hDigit);
+    as.sd(t1, t2, 8);
+    as.la(t1, hLetter);
+    as.sd(t1, t2, 16);
+    as.la(t1, hOp);
+    as.sd(t1, t2, 24);
+    as.la(t1, hEq);
+    as.sd(t1, t2, 32);
+    as.la(t1, hSemi);
+    as.sd(t1, t2, 40);
+    as.la(t1, hOther);
+    as.sd(t1, t2, 48);
+    as.la(t1, hOther);
+    as.sd(t1, t2, 56);
+
+    as.li(t1, 0);
+    {
+        Label vInit = as.newLabel(), vInitEnd = as.newLabel();
+        as.bind(vInit);
+        as.slti(t2, t1, 32);
+        as.beq(t2, RegZero, vInitEnd);
+        as.slli(t3, t1, 3);
+        as.sd(t1, t3, static_cast<int64_t>(varsBase));
+        as.addi(t1, t1, 1);
+        as.jmp(vInit);
+        as.bind(vInitEnd);
+    }
+
+    as.li(pos, 0);
+    as.li(limit, static_cast<int64_t>(srcLen));
+    as.li(opSp, static_cast<int64_t>(opStackBase));
+    as.li(valSp, static_cast<int64_t>(valStackBase));
+    as.li(target, 0);
+    as.li(state, 0);
+
+    // ---- main dispatch loop ----
+    as.bind(mainLoop);
+    as.bge(pos, limit, done);
+    as.lb(c, pos, 0);
+    as.andi(c, c, 127);
+    as.lb(chCls, c, static_cast<int64_t>(clsBase));
+    as.slli(t1, chCls, 3);
+    as.ld(t1, t1, static_cast<int64_t>(jtBase));
+    as.jr(t1);
+
+    as.bind(done);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * "chess" — crafty archetype: depth-limited negamax search over a 4x4
+ * board game with a line-based evaluation function. Dominated by
+ * recursion (calls/returns exercising the RAS), short loops and
+ * data-dependent branches.
+ */
+
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildChess(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    constexpr uint64_t boardBase = 0;      // 16 cells, 1 byte each
+    constexpr uint64_t linesBase = 64;     // 10 lines x 4 cell indices
+    constexpr uint64_t weightBase = 128;   // score per line count
+    constexpr uint64_t resultBase = 192;
+
+    Assembler as("chess");
+    as.setDataSize(1 << 16);
+
+    // Rows, columns and both diagonals of the 4x4 board.
+    std::vector<uint8_t> lines;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            lines.push_back(static_cast<uint8_t>(4 * r + c));
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            lines.push_back(static_cast<uint8_t>(4 * r + c));
+    for (int i = 0; i < 4; ++i)
+        lines.push_back(static_cast<uint8_t>(5 * i));
+    for (int i = 0; i < 4; ++i)
+        lines.push_back(static_cast<uint8_t>(3 * i + 3));
+    as.addData(linesBase, lines);
+    as.addWords(weightBase, {0, 1, 4, 16, 64});
+
+    // Register conventions:
+    //   r3/r4: arguments (player, depth); r5: return value
+    //   r6-r15: caller-clobbered temporaries
+    //   r20-r23: callee-saved locals of negamax
+    const uint8_t aPlayer = 3, aDepth = 4, ret = 5;
+    const uint8_t t1 = 6, t2 = 7, t3 = 8, t4 = 9, c1 = 10, c2 = 11;
+    const uint8_t lineI = 12, cellJ = 13, score = 14, wB = 15;
+    const uint8_t sCell = 20, sBest = 21, sPlayer = 22, sDepth = 23;
+    const uint8_t gGame = 24, gTotal = 25, gSeed = 26, gI = 27;
+
+    Label negamax = as.newLabel();
+    Label evalFn = as.newLabel();
+    Label mainStart = as.newLabel();
+
+    as.jmp(mainStart);
+
+    // ---- eval(player=r3) -> r5 (leaf function) ----
+    as.bind(evalFn);
+    as.li(score, 0);
+    as.li(wB, weightBase);
+    as.li(lineI, 0);
+    Label evLine = as.newLabel();
+    Label evLineEnd = as.newLabel();
+    Label evCell = as.newLabel();
+    Label evCellEnd = as.newLabel();
+    Label evNot1 = as.newLabel();
+    Label evNext = as.newLabel();
+    as.bind(evLine);
+    as.slti(t1, lineI, 10);
+    as.beq(t1, RegZero, evLineEnd);
+    as.li(c1, 0);
+    as.li(c2, 0);
+    as.li(cellJ, 0);
+    as.bind(evCell);
+    as.slti(t1, cellJ, 4);
+    as.beq(t1, RegZero, evCellEnd);
+    as.slli(t1, lineI, 2);
+    as.add(t1, t1, cellJ);
+    as.lb(t2, t1, linesBase);          // cell index
+    as.lb(t3, t2, boardBase);          // cell contents
+    as.li(t4, 1);
+    as.bne(t3, t4, evNot1);
+    as.addi(c1, c1, 1);
+    as.jmp(evNext);
+    as.bind(evNot1);
+    as.beq(t3, RegZero, evNext);
+    as.addi(c2, c2, 1);
+    as.bind(evNext);
+    as.addi(cellJ, cellJ, 1);
+    as.jmp(evCell);
+    as.bind(evCellEnd);
+    // score += weight[c1] - weight[c2]
+    as.slli(t1, c1, 3);
+    as.add(t1, t1, wB);
+    as.ld(t2, t1, 0);
+    as.slli(t1, c2, 3);
+    as.add(t1, t1, wB);
+    as.ld(t3, t1, 0);
+    as.sub(t2, t2, t3);
+    as.add(score, score, t2);
+    as.addi(lineI, lineI, 1);
+    as.jmp(evLine);
+    as.bind(evLineEnd);
+    // Negate for player 2 (score is from player 1's viewpoint).
+    Label evP1 = as.newLabel();
+    as.li(t1, 2);
+    as.bne(aPlayer, t1, evP1);
+    as.sub(score, RegZero, score);
+    as.bind(evP1);
+    as.mov(ret, score);
+    as.ret();
+
+    // ---- negamax(player=r3, depth=r4) -> r5 ----
+    as.bind(negamax);
+    // Tail-call eval at depth 0 (no frame pushed yet).
+    Label body = as.newLabel();
+    as.bne(aDepth, RegZero, body);
+    as.jmp(evalFn);
+    as.bind(body);
+    as.addi(RegSp, RegSp, -40);
+    as.sd(RegRa, RegSp, 0);
+    as.sd(sCell, RegSp, 8);
+    as.sd(sBest, RegSp, 16);
+    as.sd(sPlayer, RegSp, 24);
+    as.sd(sDepth, RegSp, 32);
+    as.mov(sPlayer, aPlayer);
+    as.mov(sDepth, aDepth);
+    as.li(sBest, -100000);
+    as.li(sCell, 0);
+
+    Label moveLoop = as.newLabel();
+    Label moveEnd = as.newLabel();
+    Label moveNext = as.newLabel();
+    Label noImprove = as.newLabel();
+    as.bind(moveLoop);
+    as.slti(t1, sCell, 16);
+    as.beq(t1, RegZero, moveEnd);
+    as.lb(t2, sCell, boardBase);
+    as.bne(t2, RegZero, moveNext);
+    as.sb(sPlayer, sCell, boardBase);  // make the move
+    as.li(t1, 3);
+    as.sub(aPlayer, t1, sPlayer);      // opponent
+    as.addi(aDepth, sDepth, -1);
+    as.call(negamax);
+    as.sub(ret, RegZero, ret);         // negate the child score
+    as.sb(RegZero, sCell, boardBase);  // undo the move
+    as.bge(sBest, ret, noImprove);
+    as.mov(sBest, ret);
+    as.bind(noImprove);
+    as.bind(moveNext);
+    as.addi(sCell, sCell, 1);
+    as.jmp(moveLoop);
+    as.bind(moveEnd);
+
+    // No legal move (full board): fall back to the evaluation.
+    Label haveScore = as.newLabel();
+    as.li(t1, -100000);
+    as.bne(sBest, t1, haveScore);
+    as.mov(aPlayer, sPlayer);
+    as.call(evalFn);
+    as.mov(sBest, ret);
+    as.bind(haveScore);
+
+    as.mov(ret, sBest);
+    as.ld(RegRa, RegSp, 0);
+    as.ld(sCell, RegSp, 8);
+    as.ld(sBest, RegSp, 16);
+    as.ld(sPlayer, RegSp, 24);
+    as.ld(sDepth, RegSp, 32);
+    as.addi(RegSp, RegSp, 40);
+    as.ret();
+
+    // ---- main: play a series of randomized games ----
+    as.bind(mainStart);
+    const int64_t games = static_cast<int64_t>(5 * scale);
+    as.li(gGame, 0);
+    as.li(gTotal, 0);
+    as.li(gSeed, static_cast<int64_t>(
+        inputSeed(0x2b5e1, variant) & 0x7fffffff));
+
+    Label gameLoop = as.newLabel();
+    Label gameEnd = as.newLabel();
+    as.bind(gameLoop);
+    as.li(t1, games);
+    as.bge(gGame, t1, gameEnd);
+
+    // Clear the board.
+    as.li(t1, 0);
+    Label clearLoop = as.newLabel();
+    Label clearEnd = as.newLabel();
+    as.bind(clearLoop);
+    as.slti(t2, t1, 16);
+    as.beq(t2, RegZero, clearEnd);
+    as.sb(RegZero, t1, boardBase);
+    as.addi(t1, t1, 1);
+    as.jmp(clearLoop);
+    as.bind(clearEnd);
+
+    // Prefill 6 cells pseudo-randomly (skip occupied cells).
+    as.li(gI, 0);
+    Label fillLoop = as.newLabel();
+    Label fillEnd = as.newLabel();
+    Label fillSkip = as.newLabel();
+    as.bind(fillLoop);
+    as.slti(t1, gI, 6);
+    as.beq(t1, RegZero, fillEnd);
+    as.li(t1, 1103515245);
+    as.mul(gSeed, gSeed, t1);
+    as.addi(gSeed, gSeed, 12345);
+    as.srli(t2, gSeed, 16);
+    as.andi(t2, t2, 15);               // cell
+    as.lb(t3, t2, boardBase);
+    as.bne(t3, RegZero, fillSkip);
+    as.andi(t4, gI, 1);
+    as.addi(t4, t4, 1);                // player 1 or 2
+    as.sb(t4, t2, boardBase);
+    as.bind(fillSkip);
+    as.addi(gI, gI, 1);
+    as.jmp(fillLoop);
+    as.bind(fillEnd);
+
+    as.li(aPlayer, 1);
+    as.li(aDepth, 3);
+    as.call(negamax);
+    as.add(gTotal, gTotal, ret);
+
+    as.addi(gGame, gGame, 1);
+    as.jmp(gameLoop);
+    as.bind(gameEnd);
+
+    as.li(t1, resultBase);
+    as.sd(gTotal, t1, 0);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

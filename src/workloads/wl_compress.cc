@@ -1,0 +1,185 @@
+/**
+ * @file
+ * "compress" — bzip2 archetype: run-length encoding followed by a
+ * move-to-front transform and a frequency histogram. Dominated by
+ * store traffic (the MTF table shifting) and short data-dependent
+ * loops.
+ */
+
+#include "data_gen.hh"
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildCompress(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    const uint64_t n = 32 * 1024 * scale;
+    const uint64_t rleBase = (n + 0xfff) & ~0xfffULL;
+    const uint64_t rleCap = 2 * n + 64;
+    const uint64_t mtfTable = rleBase + rleCap;            // 256 bytes
+    const uint64_t mtfOut = mtfTable + 256;
+    const uint64_t histBase = mtfOut + rleCap;             // 256 x 8B
+
+    Assembler as("compress");
+    as.setDataSize(histBase + 256 * 8 + 64);
+    as.addData(0, makeRunsData(n, inputSeed(0xC0135, variant)));
+
+    const uint8_t pos = 3, limit = 4, rle = 5, val = 6, run = 7;
+    const uint8_t t1 = 8, t2 = 9, t3 = 10;
+    const uint8_t mtfB = 11, outP = 12, end = 13, sym = 14;
+    const uint8_t idx = 15, acc = 16;
+
+    // ---- Phase 1: RLE: emit (value, runLength<=255) byte pairs. ----
+    as.li(pos, 0);
+    as.li(limit, static_cast<int64_t>(n));
+    as.li(rle, static_cast<int64_t>(rleBase));
+
+    Label rleLoop = as.newLabel();
+    Label rleEnd = as.newLabel();
+    Label runLoop = as.newLabel();
+    Label runEnd = as.newLabel();
+
+    as.bind(rleLoop);
+    as.bge(pos, limit, rleEnd);
+    as.lb(val, pos, 0);
+    as.li(run, 1);
+    as.addi(pos, pos, 1);
+
+    as.bind(runLoop);
+    as.bge(pos, limit, runEnd);
+    as.slti(t1, run, 255);
+    as.beq(t1, RegZero, runEnd);
+    as.lb(t2, pos, 0);
+    as.bne(t2, val, runEnd);
+    as.addi(run, run, 1);
+    as.addi(pos, pos, 1);
+    as.jmp(runLoop);
+    as.bind(runEnd);
+
+    as.sb(val, rle, 0);
+    as.sb(run, rle, 1);
+    as.addi(rle, rle, 2);
+    as.jmp(rleLoop);
+    as.bind(rleEnd);
+
+    // ---- Phase 2: move-to-front over the RLE byte stream. ----
+    as.li(mtfB, static_cast<int64_t>(mtfTable));
+    as.li(t1, 0);
+    Label initLoop = as.newLabel();
+    Label initEnd = as.newLabel();
+    as.bind(initLoop);
+    as.slti(t2, t1, 256);
+    as.beq(t2, RegZero, initEnd);
+    as.add(t3, mtfB, t1);
+    as.sb(t1, t3, 0);
+    as.addi(t1, t1, 1);
+    as.jmp(initLoop);
+    as.bind(initEnd);
+
+    as.li(pos, static_cast<int64_t>(rleBase));
+    as.mov(end, rle);                    // end of the RLE stream
+    as.li(outP, static_cast<int64_t>(mtfOut));
+
+    Label mtfLoop = as.newLabel();
+    Label mtfEnd = as.newLabel();
+    Label findLoop = as.newLabel();
+    Label shiftLoop = as.newLabel();
+    Label shiftDone = as.newLabel();
+    Label found = as.newLabel();
+
+    as.bind(mtfLoop);
+    as.bge(pos, end, mtfEnd);
+    as.lb(sym, pos, 0);
+    as.andi(sym, sym, 255);
+    as.addi(pos, pos, 1);
+
+    // Find the symbol's current index (always terminates: the table
+    // is a permutation of 0..255).
+    as.li(idx, 0);
+    as.bind(findLoop);
+    as.add(t1, mtfB, idx);
+    as.lb(t2, t1, 0);
+    as.andi(t2, t2, 255);
+    as.beq(t2, sym, found);
+    as.addi(idx, idx, 1);
+    as.jmp(findLoop);
+    as.bind(found);
+
+    // Shift table[0..idx-1] up one slot; put the symbol in front.
+    as.mov(t3, idx);
+    as.bind(shiftLoop);
+    as.beq(t3, RegZero, shiftDone);
+    as.add(t1, mtfB, t3);
+    as.lb(t2, t1, -1);
+    as.sb(t2, t1, 0);
+    as.addi(t3, t3, -1);
+    as.jmp(shiftLoop);
+    as.bind(shiftDone);
+    as.sb(sym, mtfB, 0);
+
+    as.sb(idx, outP, 0);
+    as.addi(outP, outP, 1);
+    as.jmp(mtfLoop);
+    as.bind(mtfEnd);
+
+    // ---- Phase 3: histogram of MTF indices + weighted cost sum. ----
+    const uint8_t histB = 17;
+    as.li(histB, static_cast<int64_t>(histBase));
+    as.li(t1, 0);
+    Label hInit = as.newLabel();
+    Label hInitEnd = as.newLabel();
+    as.bind(hInit);
+    as.slti(t2, t1, 256);
+    as.beq(t2, RegZero, hInitEnd);
+    as.slli(t3, t1, 3);
+    as.add(t3, t3, histB);
+    as.sd(RegZero, t3, 0);
+    as.addi(t1, t1, 1);
+    as.jmp(hInit);
+    as.bind(hInitEnd);
+
+    as.li(pos, static_cast<int64_t>(mtfOut));
+    as.mov(end, outP);
+    Label hLoop = as.newLabel();
+    Label hEnd = as.newLabel();
+    as.bind(hLoop);
+    as.bge(pos, end, hEnd);
+    as.lb(sym, pos, 0);
+    as.andi(sym, sym, 255);
+    as.slli(t1, sym, 3);
+    as.add(t1, t1, histB);
+    as.ld(t2, t1, 0);
+    as.addi(t2, t2, 1);
+    as.sd(t2, t1, 0);
+    as.addi(pos, pos, 1);
+    as.jmp(hLoop);
+    as.bind(hEnd);
+
+    // Weighted "cost" reduction: acc = sum i * hist[i].
+    as.li(t1, 0);
+    as.li(acc, 0);
+    Label sLoop = as.newLabel();
+    Label sEnd = as.newLabel();
+    as.bind(sLoop);
+    as.slti(t2, t1, 256);
+    as.beq(t2, RegZero, sEnd);
+    as.slli(t3, t1, 3);
+    as.add(t3, t3, histB);
+    as.ld(t2, t3, 0);
+    as.mul(t2, t2, t1);
+    as.add(acc, acc, t2);
+    as.addi(t1, t1, 1);
+    as.jmp(sLoop);
+    as.bind(sEnd);
+    as.sd(acc, histB, 2040);
+
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

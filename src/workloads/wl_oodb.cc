@@ -1,0 +1,153 @@
+/**
+ * @file
+ * "oodb" — vortex archetype: an object store with a chained hash
+ * index and pointer-chasing field traversals across a 512 KB object
+ * arena (larger than the L1 D-cache, so queries miss frequently).
+ *
+ * Object layout (64 bytes): +0 key, +8 val, +16 next, +24/+32 fields.
+ */
+
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildOodb(uint64_t scale, uint64_t variant)
+{
+    const int64_t baseSeed = static_cast<int64_t>(
+        inputSeed(0xdb5eed, variant) & 0x7fffffff);
+    using namespace isa;
+
+    constexpr int64_t tblBase = 0;             // 1024 buckets x 8B
+    constexpr int64_t objBase = 8192;
+    constexpr int64_t numObjects = 8192;       // 512 KB arena
+    constexpr int64_t resultBase = objBase + numObjects * 64;
+
+    Assembler as("oodb");
+    as.setDataSize(resultBase + 64);
+
+    const uint8_t i = 3, seed = 4, key = 5, addr = 6;
+    const uint8_t t1 = 7, t2 = 8, t3 = 9, bucket = 10, entry = 11;
+    const uint8_t q = 12, queries = 13, acc = 14, depth = 15, j = 16;
+    const uint8_t qseed = 17;
+
+    const int64_t lcgMul = 1103515245;
+
+    auto lcg = [&](uint8_t s) {
+        as.li(t1, lcgMul);
+        as.mul(s, s, t1);
+        as.addi(s, s, 12345);
+    };
+
+    // ---- build phase: allocate and index numObjects objects ----
+    as.li(i, 0);
+    as.li(seed, baseSeed);
+    {
+        Label build = as.newLabel(), buildEnd = as.newLabel();
+        as.bind(build);
+        as.li(t2, numObjects);
+        as.bge(i, t2, buildEnd);
+        lcg(seed);
+        as.srli(key, seed, 12);
+        as.li(t2, 0xfffff);
+        as.and_(key, key, t2);
+
+        as.slli(addr, i, 6);
+        as.addi(addr, addr, objBase);
+        as.sd(key, addr, 0);
+        as.sd(i, addr, 8);
+        as.sd(seed, addr, 24);
+        as.srli(t2, seed, 8);
+        as.sd(t2, addr, 32);
+
+        // Head-insert into the hash chain.
+        as.andi(bucket, key, 1023);
+        as.slli(t2, bucket, 3);
+        as.ld(t3, t2, tblBase);
+        as.sd(t3, addr, 16);
+        as.sd(addr, t2, tblBase);
+
+        as.addi(i, i, 1);
+        as.jmp(build);
+        as.bind(buildEnd);
+    }
+
+    // ---- query phase ----
+    // Queries regenerate the build-time key sequence (restarting the
+    // LCG), so most lookups hit; every miss is an honest chain walk.
+    as.li(q, 0);
+    as.li(queries, static_cast<int64_t>(15000 * scale));
+    as.li(acc, 0);
+    as.li(qseed, baseSeed);
+    {
+        Label qLoop = as.newLabel(), qEnd = as.newLabel();
+        Label walk = as.newLabel(), walkNext = as.newLabel();
+        Label found = as.newLabel(), notFound = as.newLabel();
+        Label chase = as.newLabel(), chaseEnd = as.newLabel();
+        Label reseed = as.newLabel(), noReseed = as.newLabel();
+
+        as.bind(qLoop);
+        as.bge(q, queries, qEnd);
+
+        // Restart the key sequence every numObjects queries.
+        as.li(t2, numObjects - 1);
+        as.and_(t3, q, t2);
+        as.bne(t3, RegZero, noReseed);
+        as.bind(reseed);
+        as.li(qseed, baseSeed);
+        as.bind(noReseed);
+
+        lcg(qseed);
+        as.srli(key, qseed, 12);
+        as.li(t2, 0xfffff);
+        as.and_(key, key, t2);
+
+        as.andi(bucket, key, 1023);
+        as.slli(t2, bucket, 3);
+        as.ld(entry, t2, tblBase);
+
+        as.bind(walk);
+        as.beq(entry, RegZero, notFound);
+        as.ld(t3, entry, 0);
+        as.beq(t3, key, found);
+        as.bind(walkNext);
+        as.ld(entry, entry, 16);
+        as.jmp(walk);
+
+        as.bind(found);
+        // Pointer chase: derive successive object slots from the
+        // stored value and sum one field from each.
+        as.ld(j, entry, 8);
+        as.li(depth, 0);
+        as.bind(chase);
+        as.li(t2, 8);
+        as.bge(depth, t2, chaseEnd);
+        as.li(t2, numObjects - 1);
+        as.and_(j, j, t2);
+        as.slli(t3, j, 6);
+        as.ld(t2, t3, objBase + 24);
+        as.add(acc, acc, t2);
+        // j = j * 13 + depth + 1
+        as.li(t2, 13);
+        as.mul(j, j, t2);
+        as.add(j, j, depth);
+        as.addi(j, j, 1);
+        as.addi(depth, depth, 1);
+        as.jmp(chase);
+        as.bind(chaseEnd);
+
+        as.bind(notFound);
+        as.addi(q, q, 1);
+        as.jmp(qLoop);
+        as.bind(qEnd);
+    }
+
+    as.li(t1, resultBase);
+    as.sd(acc, t1, 0);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * "parse" — parser archetype: word tokenizing over text with a
+ * chained-hash dictionary and byte-wise string comparison inner
+ * loops. Dominated by short unpredictable loops and pointer walks.
+ *
+ * Dictionary record layout (48 bytes):
+ *   +0  next record address (0 terminates the chain)
+ *   +8  occurrence count
+ *   +16 word length
+ *   +24 word bytes (up to 24)
+ */
+
+#include "data_gen.hh"
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildParse(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    const uint64_t n = 96 * 1024 * scale;
+    const uint64_t tblBase = (n + 0xfffULL) & ~0xfffULL;  // 1024 x 8B
+    const uint64_t heapBase = tblBase + 1024 * 8;
+    const uint64_t heapCap = 64 * 1024;
+    const uint64_t heapEnd = heapBase + heapCap - 48;
+    const uint64_t resultBase = heapBase + heapCap;
+
+    Assembler as("parse");
+    as.setDataSize(resultBase + 64);
+    as.addData(0, makeText(n, inputSeed(0x9a15e, variant)));
+
+    const uint8_t pos = 3, limit = 4, c = 5, start = 6, len = 7;
+    const uint8_t hash = 8, t1 = 9, t2 = 10, t3 = 11, entry = 12;
+    const uint8_t heap = 13, i = 14, acc = 15, bucket = 16;
+
+    Label mainLoop = as.newLabel();
+    Label advance = as.newLabel();
+    Label wordLoop = as.newLabel();
+    Label wordDone = as.newLabel();
+    Label lenOk = as.newLabel();
+    Label chainLoop = as.newLabel();
+    Label chainNext = as.newLabel();
+    Label cmpLoop = as.newLabel();
+    Label matched = as.newLabel();
+    Label insert = as.newLabel();
+    Label copyLoop = as.newLabel();
+    Label copyDone = as.newLabel();
+    Label countPhase = as.newLabel();
+    Label cbLoop = as.newLabel();
+    Label cbEnd = as.newLabel();
+    Label ceLoop = as.newLabel();
+    Label ceEnd = as.newLabel();
+
+    as.li(pos, 0);
+    as.li(limit, static_cast<int64_t>(n));
+    as.li(heap, static_cast<int64_t>(heapBase));
+
+    as.bind(mainLoop);
+    as.bge(pos, limit, countPhase);
+    as.lb(c, pos, 0);
+    as.addi(t1, c, -'a');
+    as.slti(t2, t1, 0);
+    as.bne(t2, RegZero, advance);
+    as.slti(t2, t1, 26);
+    as.beq(t2, RegZero, advance);
+
+    // A word starts here: scan it and hash it.
+    as.mov(start, pos);
+    as.li(hash, 0);
+    as.bind(wordLoop);
+    as.bge(pos, limit, wordDone);
+    as.lb(c, pos, 0);
+    as.addi(t1, c, -'a');
+    as.slti(t2, t1, 0);
+    as.bne(t2, RegZero, wordDone);
+    as.slti(t2, t1, 26);
+    as.beq(t2, RegZero, wordDone);
+    as.slli(t2, hash, 5);       // hash = hash * 31 + c
+    as.sub(hash, t2, hash);
+    as.add(hash, hash, c);
+    as.addi(pos, pos, 1);
+    as.jmp(wordLoop);
+    as.bind(wordDone);
+
+    as.sub(len, pos, start);
+    as.slti(t2, len, 25);
+    as.bne(t2, RegZero, lenOk);
+    as.li(len, 24);
+    as.bind(lenOk);
+
+    as.andi(bucket, hash, 1023);
+    as.slli(t1, bucket, 3);
+    as.ld(entry, t1, static_cast<int64_t>(tblBase));
+
+    as.bind(chainLoop);
+    as.beq(entry, RegZero, insert);
+    as.ld(t2, entry, 16);
+    as.bne(t2, len, chainNext);
+    as.li(i, 0);
+    as.bind(cmpLoop);
+    as.bge(i, len, matched);
+    as.add(t2, start, i);
+    as.lb(t2, t2, 0);
+    as.add(t3, entry, i);
+    as.lb(t3, t3, 24);
+    as.bne(t2, t3, chainNext);
+    as.addi(i, i, 1);
+    as.jmp(cmpLoop);
+    as.bind(chainNext);
+    as.ld(entry, entry, 0);
+    as.jmp(chainLoop);
+
+    as.bind(matched);
+    as.ld(t2, entry, 8);
+    as.addi(t2, t2, 1);
+    as.sd(t2, entry, 8);
+    as.jmp(mainLoop);
+
+    as.bind(insert);
+    as.li(t1, static_cast<int64_t>(heapEnd));
+    as.bge(heap, t1, mainLoop);     // heap full: drop the word
+    as.slli(t1, bucket, 3);
+    as.ld(t2, t1, static_cast<int64_t>(tblBase));
+    as.sd(t2, heap, 0);
+    as.sd(heap, t1, static_cast<int64_t>(tblBase));
+    as.li(t2, 1);
+    as.sd(t2, heap, 8);
+    as.sd(len, heap, 16);
+    as.li(i, 0);
+    as.bind(copyLoop);
+    as.bge(i, len, copyDone);
+    as.add(t2, start, i);
+    as.lb(t2, t2, 0);
+    as.add(t3, heap, i);
+    as.sb(t2, t3, 24);
+    as.addi(i, i, 1);
+    as.jmp(copyLoop);
+    as.bind(copyDone);
+    as.addi(heap, heap, 48);
+    as.jmp(mainLoop);
+
+    as.bind(advance);
+    as.addi(pos, pos, 1);
+    as.jmp(mainLoop);
+
+    // ---- reduction: weighted count over all chains ----
+    as.bind(countPhase);
+    as.li(acc, 0);
+    as.li(bucket, 0);
+    as.bind(cbLoop);
+    as.slti(t1, bucket, 1024);
+    as.beq(t1, RegZero, cbEnd);
+    as.slli(t1, bucket, 3);
+    as.ld(entry, t1, static_cast<int64_t>(tblBase));
+    as.bind(ceLoop);
+    as.beq(entry, RegZero, ceEnd);
+    as.ld(t2, entry, 8);
+    as.ld(t3, entry, 16);
+    as.mul(t2, t2, t3);
+    as.add(acc, acc, t2);
+    as.ld(entry, entry, 0);
+    as.jmp(ceLoop);
+    as.bind(ceEnd);
+    as.addi(bucket, bucket, 1);
+    as.jmp(cbLoop);
+    as.bind(cbEnd);
+    as.li(t1, static_cast<int64_t>(resultBase));
+    as.sd(acc, t1, 0);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

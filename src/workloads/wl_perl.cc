@@ -1,0 +1,296 @@
+/**
+ * @file
+ * "perl" — perlbmk archetype: a register-based bytecode interpreter
+ * with a 16-way indirect dispatch table, running a bubble-sort +
+ * checksum bytecode program over freshly randomized data each
+ * repetition. Dominated by indirect branches (the dispatch `jr`) and
+ * interpreter-table loads.
+ *
+ * Bytecode format: 4 bytes per instruction {op, a, b, c}; registers
+ * live in memory (32 x 8B) as do the VM's 256 data words.
+ */
+
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+namespace
+{
+
+// VM opcodes.
+enum VmOp : uint8_t
+{
+    vHALT = 0, vLI, vMOV, vADD, vSUB, vMUL, vJMP, vJLT, vJGE,
+    vLD, vST, vADDI, vAND, vXOR, vJNE, vSRL
+};
+
+/** The bubble-sort + checksum program (see indices in comments). */
+std::vector<uint8_t>
+makeBytecode()
+{
+    std::vector<uint8_t> bc;
+    auto emit = [&bc](uint8_t op, uint8_t a, uint8_t b, uint8_t c) {
+        bc.push_back(op);
+        bc.push_back(a);
+        bc.push_back(b);
+        bc.push_back(c);
+    };
+    emit(vLI, 2, 128, 0);    //  0: n = 128
+    emit(vLI, 6, 1, 0);      //  1: one = 1
+    emit(vSUB, 8, 2, 6);     //  2: nm1 = n - 1
+    emit(vLI, 0, 0, 0);      //  3: i = 0
+    emit(vJGE, 0, 8, 18);    //  4: while (i < nm1)
+    emit(vLI, 1, 0, 0);      //  5:   j = 0
+    emit(vSUB, 5, 8, 0);     //  6:   limit = nm1 - i
+    emit(vJGE, 1, 5, 16);    //  7:   while (j < limit)
+    emit(vLD, 3, 1, 0);      //  8:     a = mem[j]
+    emit(vADDI, 5, 1, 1);    //  9:     jp = j + 1
+    emit(vLD, 4, 5, 0);      // 10:     b = mem[j+1]
+    emit(vJLT, 3, 4, 14);    // 11:     if (a >= b) swap:
+    emit(vST, 4, 1, 0);      // 12:       mem[j] = b
+    emit(vST, 3, 5, 0);      // 13:       mem[j+1] = a
+    emit(vADD, 1, 1, 6);     // 14:     ++j
+    emit(vJMP, 0, 0, 6);     // 15:   (recompute limit -> loop)
+    emit(vADD, 0, 0, 6);     // 16:   ++i
+    emit(vJMP, 0, 0, 4);     // 17: loop
+    emit(vLI, 7, 0, 0);      // 18: sum = 0
+    emit(vLI, 0, 0, 0);      // 19: i = 0
+    emit(vJGE, 0, 2, 25);    // 20: while (i < n)
+    emit(vLD, 3, 0, 0);      // 21:   v = mem[i]
+    emit(vXOR, 7, 7, 3);     // 22:   sum ^= v
+    emit(vADD, 0, 0, 6);     // 23:   ++i
+    emit(vJMP, 0, 0, 20);    // 24: loop
+    emit(vST, 7, 6, 199);    // 25: mem[200] = sum
+    emit(vHALT, 0, 0, 0);    // 26
+    return bc;
+}
+
+} // namespace
+
+isa::Program
+buildPerl(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    constexpr int64_t bcBase = 0;
+    constexpr int64_t vregsBase = 1024;      // 32 x 8B
+    constexpr int64_t vmemBase = 2048;       // 256 x 8B
+    constexpr int64_t jtBase = 8192;         // 16 x 8B
+    constexpr int64_t resultBase = 8448;
+
+    Assembler as("perl");
+    as.setDataSize(16 * 1024);
+    as.addData(bcBase, makeBytecode());
+
+    const uint8_t vpc = 3, op = 5, ra = 6, rb = 7, rc = 8;
+    const uint8_t t1 = 9, t2 = 10, t3 = 11, va = 12, vb = 13;
+    const uint8_t rep = 14, seed = 15, i = 16, reps = 17, acc = 18;
+
+    Label vmLoop = as.newLabel();
+    Label repLoop = as.newLabel();
+    Label repNext = as.newLabel();
+    Label allDone = as.newLabel();
+    Label init = as.newLabel();
+
+    Label handlers[16];
+    for (auto &h : handlers)
+        h = as.newLabel();
+
+    as.jmp(init);
+
+    // Helpers working on VM register slots.
+    auto loadVreg = [&](uint8_t dst, uint8_t idxReg) {
+        as.slli(t1, idxReg, 3);
+        as.ld(dst, t1, vregsBase);
+    };
+    auto storeVreg = [&](uint8_t src, uint8_t idxReg) {
+        as.slli(t1, idxReg, 3);
+        as.sd(src, t1, vregsBase);
+    };
+
+    // ---- VM instruction handlers ----
+    as.bind(handlers[vHALT]);
+    as.jmp(repNext);
+
+    as.bind(handlers[vLI]);
+    storeVreg(rb, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vMOV]);
+    loadVreg(va, rb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vADD]);
+    loadVreg(va, rb);
+    loadVreg(vb, rc);
+    as.add(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vSUB]);
+    loadVreg(va, rb);
+    loadVreg(vb, rc);
+    as.sub(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vMUL]);
+    loadVreg(va, rb);
+    loadVreg(vb, rc);
+    as.mul(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vJMP]);
+    as.mov(vpc, rc);
+    as.jmp(vmLoop);
+
+    {
+        Label skip = as.newLabel();
+        as.bind(handlers[vJLT]);
+        loadVreg(va, ra);
+        loadVreg(vb, rb);
+        as.bge(va, vb, skip);
+        as.mov(vpc, rc);
+        as.bind(skip);
+        as.jmp(vmLoop);
+    }
+    {
+        Label skip = as.newLabel();
+        as.bind(handlers[vJGE]);
+        loadVreg(va, ra);
+        loadVreg(vb, rb);
+        as.blt(va, vb, skip);
+        as.mov(vpc, rc);
+        as.bind(skip);
+        as.jmp(vmLoop);
+    }
+    {
+        Label skip = as.newLabel();
+        as.bind(handlers[vJNE]);
+        loadVreg(va, ra);
+        loadVreg(vb, rb);
+        as.beq(va, vb, skip);
+        as.mov(vpc, rc);
+        as.bind(skip);
+        as.jmp(vmLoop);
+    }
+
+    as.bind(handlers[vLD]);
+    loadVreg(va, rb);
+    as.add(va, va, rc);
+    as.andi(va, va, 255);
+    as.slli(va, va, 3);
+    as.ld(va, va, vmemBase);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vST]);
+    loadVreg(va, rb);
+    as.add(va, va, rc);
+    as.andi(va, va, 255);
+    as.slli(vb, va, 3);
+    loadVreg(va, ra);
+    as.sd(va, vb, vmemBase);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vADDI]);
+    loadVreg(va, rb);
+    as.add(va, va, rc);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vAND]);
+    loadVreg(va, rb);
+    loadVreg(vb, rc);
+    as.and_(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vXOR]);
+    loadVreg(va, rb);
+    loadVreg(vb, rc);
+    as.xor_(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    as.bind(handlers[vSRL]);
+    loadVreg(va, rb);
+    as.andi(vb, rc, 63);
+    as.srl(va, va, vb);
+    storeVreg(va, ra);
+    as.jmp(vmLoop);
+
+    // ---- init: dispatch table, repetition loop ----
+    as.bind(init);
+    as.li(t2, jtBase);
+    for (int h = 0; h < 16; ++h) {
+        as.la(t1, handlers[h]);
+        as.sd(t1, t2, h * 8);
+    }
+    as.li(rep, 0);
+    as.li(reps, static_cast<int64_t>(std::max<uint64_t>(1, scale)));
+    as.li(seed, static_cast<int64_t>(
+        inputSeed(0x5eed, variant) & 0x7fffffff));
+    as.li(acc, 0);
+
+    as.bind(repLoop);
+    as.bge(rep, reps, allDone);
+
+    // Refill the VM's data array with LCG values.
+    as.li(i, 0);
+    {
+        Label fill = as.newLabel(), fillEnd = as.newLabel();
+        as.bind(fill);
+        as.slti(t1, i, 128);
+        as.beq(t1, RegZero, fillEnd);
+        as.li(t1, 1103515245);
+        as.mul(seed, seed, t1);
+        as.addi(seed, seed, 12345);
+        as.srli(t2, seed, 16);
+        as.andi(t2, t2, 1023);
+        as.slli(t3, i, 3);
+        as.sd(t2, t3, vmemBase);
+        as.addi(i, i, 1);
+        as.jmp(fill);
+        as.bind(fillEnd);
+    }
+
+    as.li(vpc, 0);
+
+    // ---- dispatch loop ----
+    as.bind(vmLoop);
+    as.slli(t1, vpc, 2);
+    as.lb(op, t1, bcBase + 0);
+    as.lb(ra, t1, bcBase + 1);
+    as.lb(rb, t1, bcBase + 2);
+    as.lb(rc, t1, bcBase + 3);
+    // lb sign-extends; operand bytes are unsigned.
+    as.andi(ra, ra, 255);
+    as.andi(rb, rb, 255);
+    as.andi(rc, rc, 255);
+    as.addi(vpc, vpc, 1);
+    as.andi(op, op, 15);
+    as.slli(t2, op, 3);
+    as.ld(t2, t2, jtBase);
+    as.jr(t2);
+
+    as.bind(repNext);
+    // Fold the VM checksum into an accumulator.
+    as.li(t1, vmemBase + 200 * 8);
+    as.ld(t2, t1, 0);
+    as.add(acc, acc, t2);
+    as.addi(rep, rep, 1);
+    as.jmp(repLoop);
+
+    as.bind(allDone);
+    as.li(t1, resultBase);
+    as.sd(acc, t1, 0);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

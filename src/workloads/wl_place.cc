@@ -1,0 +1,208 @@
+/**
+ * @file
+ * "place" — twolf archetype: simulated-annealing placement on a 64x64
+ * grid. Random cell swaps with a neighbour-difference cost function
+ * and a temperature-controlled accept branch that is intrinsically
+ * hard to predict.
+ */
+
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildPlace(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    constexpr int64_t gridBase = 0;        // 64x64 byte cells
+    constexpr int64_t resultBase = 8192;
+
+    Assembler as("place");
+    as.setDataSize(16 * 1024);
+
+    const uint8_t it = 3, iters = 4, seed = 5;
+    const uint8_t t1 = 6, t2 = 7, t3 = 8;
+    const uint8_t p1 = 10, p2 = 11, v1 = 12, v2 = 13;
+    const uint8_t before = 14, after = 15, temp = 16;
+    const uint8_t x = 17, y = 18;
+    const uint8_t aP = 20, aV = 21, rCost = 22;  // localCost arg/ret
+
+    Label localCost = as.newLabel();
+    Label mainStart = as.newLabel();
+    as.jmp(mainStart);
+
+    // ---- localCost(aP = cell index, aV = value) -> rCost ----
+    // Sum of |aV - neighbour| over the up-to-4 neighbours.
+    {
+        Label noLeft = as.newLabel(), noRight = as.newLabel();
+        Label noUp = as.newLabel(), noDown = as.newLabel();
+        Label lOk = as.newLabel(), rOk = as.newLabel();
+        Label uOk = as.newLabel(), dOk = as.newLabel();
+        as.bind(localCost);
+        as.andi(x, aP, 63);
+        as.srli(y, aP, 6);
+        as.li(rCost, 0);
+
+        as.beq(x, RegZero, noLeft);
+        as.lb(t1, aP, gridBase - 1);
+        as.sub(t1, aV, t1);
+        as.bge(t1, RegZero, lOk);
+        as.sub(t1, RegZero, t1);
+        as.bind(lOk);
+        as.add(rCost, rCost, t1);
+        as.bind(noLeft);
+
+        as.slti(t2, x, 63);
+        as.beq(t2, RegZero, noRight);
+        as.lb(t1, aP, gridBase + 1);
+        as.sub(t1, aV, t1);
+        as.bge(t1, RegZero, rOk);
+        as.sub(t1, RegZero, t1);
+        as.bind(rOk);
+        as.add(rCost, rCost, t1);
+        as.bind(noRight);
+
+        as.beq(y, RegZero, noUp);
+        as.lb(t1, aP, gridBase - 64);
+        as.sub(t1, aV, t1);
+        as.bge(t1, RegZero, uOk);
+        as.sub(t1, RegZero, t1);
+        as.bind(uOk);
+        as.add(rCost, rCost, t1);
+        as.bind(noUp);
+
+        as.slti(t2, y, 63);
+        as.beq(t2, RegZero, noDown);
+        as.lb(t1, aP, gridBase + 64);
+        as.sub(t1, aV, t1);
+        as.bge(t1, RegZero, dOk);
+        as.sub(t1, RegZero, t1);
+        as.bind(dOk);
+        as.add(rCost, rCost, t1);
+        as.bind(noDown);
+        as.ret();
+    }
+
+    as.bind(mainStart);
+    as.li(seed, static_cast<int64_t>(
+        inputSeed(0x7201f, variant) & 0x7fffffff));
+    as.li(it, 0);
+    as.li(iters, static_cast<int64_t>(20000 * scale));
+    as.li(temp, 200);
+
+    // Initialize the grid with LCG values.
+    {
+        Label fill = as.newLabel(), fillEnd = as.newLabel();
+        as.li(t1, 0);
+        as.bind(fill);
+        as.li(t2, 4096);
+        as.bge(t1, t2, fillEnd);
+        as.li(t2, 1103515245);
+        as.mul(seed, seed, t2);
+        as.addi(seed, seed, 12345);
+        as.srli(t2, seed, 16);
+        as.andi(t2, t2, 63);
+        as.sb(t2, t1, gridBase);
+        as.addi(t1, t1, 1);
+        as.jmp(fill);
+        as.bind(fillEnd);
+    }
+
+    // ---- annealing loop ----
+    {
+        Label loop = as.newLabel(), loopEnd = as.newLabel();
+        Label accept = as.newLabel(), next = as.newLabel();
+        Label noDecay = as.newLabel();
+        as.bind(loop);
+        as.bge(it, iters, loopEnd);
+
+        // Pick two random cells.
+        as.li(t1, 1103515245);
+        as.mul(seed, seed, t1);
+        as.addi(seed, seed, 12345);
+        as.srli(p1, seed, 16);
+        as.andi(p1, p1, 4095);
+        as.li(t1, 1103515245);
+        as.mul(seed, seed, t1);
+        as.addi(seed, seed, 12345);
+        as.srli(p2, seed, 16);
+        as.andi(p2, p2, 4095);
+        as.lb(v1, p1, gridBase);
+        as.lb(v2, p2, gridBase);
+
+        // Cost before and after the hypothetical swap.
+        as.mov(aP, p1);
+        as.mov(aV, v1);
+        as.call(localCost);
+        as.mov(before, rCost);
+        as.mov(aP, p2);
+        as.mov(aV, v2);
+        as.call(localCost);
+        as.add(before, before, rCost);
+        as.mov(aP, p1);
+        as.mov(aV, v2);
+        as.call(localCost);
+        as.mov(after, rCost);
+        as.mov(aP, p2);
+        as.mov(aV, v1);
+        as.call(localCost);
+        as.add(after, after, rCost);
+
+        as.sub(t1, after, before);
+        as.blt(t1, RegZero, accept);
+        // Metropolis-style probabilistic accept.
+        as.li(t1, 1103515245);
+        as.mul(seed, seed, t1);
+        as.addi(seed, seed, 12345);
+        as.srli(t2, seed, 20);
+        as.andi(t2, t2, 255);
+        as.blt(t2, temp, accept);
+        as.jmp(next);
+        as.bind(accept);
+        as.sb(v2, p1, gridBase);
+        as.sb(v1, p2, gridBase);
+        as.bind(next);
+
+        // Cool down once every 1024 iterations.
+        as.andi(t2, it, 1023);
+        as.bne(t2, RegZero, noDecay);
+        as.slti(t3, temp, 2);
+        as.bne(t3, RegZero, noDecay);
+        as.addi(temp, temp, -1);
+        as.bind(noDecay);
+
+        as.addi(it, it, 1);
+        as.jmp(loop);
+        as.bind(loopEnd);
+    }
+
+    // Final cost sweep over the whole grid.
+    {
+        Label sweep = as.newLabel(), sweepEnd = as.newLabel();
+        const uint8_t acc = 23;
+        as.li(acc, 0);
+        as.li(t1, 0);
+        as.bind(sweep);
+        as.li(t2, 4096);
+        as.bge(t1, t2, sweepEnd);
+        as.mov(aP, t1);
+        as.lb(aV, t1, gridBase);
+        as.mov(t3, t1);
+        as.call(localCost);
+        as.mov(t1, t3);
+        as.add(acc, acc, rCost);
+        as.addi(t1, t1, 1);
+        as.jmp(sweep);
+        as.bind(sweepEnd);
+        as.li(t1, resultBase);
+        as.sd(acc, t1, 0);
+    }
+
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

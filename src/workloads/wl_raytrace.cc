@@ -1,0 +1,160 @@
+/**
+ * @file
+ * "raytrace" — eon archetype: a sphere-intersection ray caster.
+ * Dominated by floating-point multiply/divide/sqrt chains with a
+ * hit/miss branch per sphere.
+ */
+
+#include "data_gen.hh"
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildRaytrace(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    constexpr int width = 80;
+    const int height = static_cast<int>(32 * scale);
+    constexpr int numSpheres = 24;
+    constexpr uint64_t sphBase = 0;              // cx,cy,cz,r doubles
+    const uint64_t imgBase = 4096;
+
+    Assembler as("raytrace");
+    as.setDataSize(imgBase + static_cast<uint64_t>(width) * height +
+                   4096);
+
+    // Scene: a deterministic cloud of spheres in front of the camera.
+    {
+        Rng rng(inputSeed(0xe01, variant));
+        std::vector<double> spheres;
+        for (int s = 0; s < numSpheres; ++s) {
+            spheres.push_back(rng.uniform() * 8.0 - 4.0);   // cx
+            spheres.push_back(rng.uniform() * 6.0 - 3.0);   // cy
+            spheres.push_back(4.0 + rng.uniform() * 14.0);  // cz
+            spheres.push_back(0.4 + rng.uniform() * 1.2);   // radius
+        }
+        as.addDoubles(sphBase, spheres);
+    }
+
+    const uint8_t y = 3, x = 4, s = 5, t1 = 6, t2 = 7, pix = 8;
+    // FP registers.
+    const uint8_t dx = 1, dy = 2, dz = 3, tmin = 4;
+    const uint8_t cx = 5, cy = 6, cz = 7, rr = 8;
+    const uint8_t f1 = 10, f2 = 11, f3 = 12, f4 = 13;
+    const uint8_t kZero = 20, kBig = 21, kEps = 22, kOne = 23;
+    const uint8_t kHalfW = 24, kW = 25, kHalfH = 26, kH = 27;
+    const uint8_t kShade = 28;
+
+    as.fli(kZero, 0.0);
+    as.fli(kBig, 1e30);
+    as.fli(kEps, 1e-3);
+    as.fli(kOne, 1.0);
+    as.fli(kHalfW, width / 2.0);
+    as.fli(kW, static_cast<double>(width));
+    as.fli(kHalfH, height / 2.0);
+    as.fli(kH, static_cast<double>(height));
+    as.fli(kShade, 255.0);
+
+    Label yLoop = as.newLabel();
+    Label yEnd = as.newLabel();
+    Label xLoop = as.newLabel();
+    Label xEnd = as.newLabel();
+    Label sLoop = as.newLabel();
+    Label sEnd = as.newLabel();
+    Label sSkip = as.newLabel();
+    Label miss = as.newLabel();
+    Label havePix = as.newLabel();
+
+    as.li(y, 0);
+    as.bind(yLoop);
+    as.li(t1, height);
+    as.bge(y, t1, yEnd);
+    as.li(x, 0);
+    as.bind(xLoop);
+    as.li(t1, width);
+    as.bge(x, t1, xEnd);
+
+    // Ray direction: ((x - W/2)/W, (y - H/2)/H, 1), normalized.
+    as.fcvtif(dx, x);
+    as.fsub(dx, dx, kHalfW);
+    as.fdiv(dx, dx, kW);
+    as.fcvtif(dy, y);
+    as.fsub(dy, dy, kHalfH);
+    as.fdiv(dy, dy, kH);
+    as.fmov(dz, kOne);
+    as.fmul(f1, dx, dx);
+    as.fmul(f2, dy, dy);
+    as.fadd(f1, f1, f2);
+    as.fadd(f1, f1, kOne);        // dz^2 == 1
+    as.fsqrt(f1, f1);
+    as.fdiv(dx, dx, f1);
+    as.fdiv(dy, dy, f1);
+    as.fdiv(dz, dz, f1);
+
+    as.fmov(tmin, kBig);
+    as.li(s, 0);
+    as.bind(sLoop);
+    as.li(t1, numSpheres);
+    as.bge(s, t1, sEnd);
+    as.slli(t1, s, 5);            // 4 doubles per sphere
+    as.fld(cx, t1, sphBase + 0);
+    as.fld(cy, t1, sphBase + 8);
+    as.fld(cz, t1, sphBase + 16);
+    as.fld(rr, t1, sphBase + 24);
+
+    // dot = d . c;  cc = c . c - r^2;  disc = dot^2 - cc
+    as.fmul(f1, dx, cx);
+    as.fmul(f2, dy, cy);
+    as.fadd(f1, f1, f2);
+    as.fmul(f2, dz, cz);
+    as.fadd(f1, f1, f2);          // f1 = dot
+    as.fmul(f2, cx, cx);
+    as.fmul(f3, cy, cy);
+    as.fadd(f2, f2, f3);
+    as.fmul(f3, cz, cz);
+    as.fadd(f2, f2, f3);
+    as.fmul(f3, rr, rr);
+    as.fsub(f2, f2, f3);          // f2 = cc - r^2
+    as.fmul(f3, f1, f1);
+    as.fsub(f3, f3, f2);          // f3 = disc
+    as.fblt(f3, kZero, sSkip);
+    as.fsqrt(f3, f3);
+    as.fsub(f4, f1, f3);          // nearest root
+    as.fblt(f4, kEps, sSkip);
+    as.fbge(f4, tmin, sSkip);
+    as.fmov(tmin, f4);
+    as.bind(sSkip);
+    as.addi(s, s, 1);
+    as.jmp(sLoop);
+    as.bind(sEnd);
+
+    // Shade: 255 / (1 + t) on a hit, 0 on a miss.
+    as.fbge(tmin, kBig, miss);
+    as.fadd(f1, tmin, kOne);
+    as.fdiv(f1, kShade, f1);
+    as.fcvtfi(pix, f1);
+    as.jmp(havePix);
+    as.bind(miss);
+    as.li(pix, 0);
+    as.bind(havePix);
+
+    as.li(t1, width);
+    as.mul(t2, y, t1);
+    as.add(t2, t2, x);
+    as.sb(pix, t2, static_cast<int64_t>(imgBase));
+
+    as.addi(x, x, 1);
+    as.jmp(xLoop);
+    as.bind(xEnd);
+    as.addi(y, y, 1);
+    as.jmp(yLoop);
+    as.bind(yEnd);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

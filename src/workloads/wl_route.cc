@@ -1,0 +1,171 @@
+/**
+ * @file
+ * "route" — vpr archetype: breadth-first maze routing on a 64x64 grid
+ * with random obstacles. Wavefront expansion with a circular work
+ * queue, bounds checks and visited tests — irregular loads/stores and
+ * branchy inner loops.
+ */
+
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildRoute(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    constexpr int64_t occBase = 0;         // 4096 occupancy bytes
+    constexpr int64_t distBase = 4096;     // 4096 wave-distance bytes
+    constexpr int64_t queueBase = 8192;    // 4096 x 8B work queue
+    constexpr int64_t resultBase = queueBase + 4096 * 8;
+
+    Assembler as("route");
+    as.setDataSize(resultBase + 64);
+
+    const uint8_t net = 3, nets = 4, seed = 5;
+    const uint8_t t1 = 6, t2 = 7, t3 = 8;
+    const uint8_t src = 9, dst = 10, qh = 11, qt = 12;
+    const uint8_t cur = 13, x = 14, y = 15, d = 16, pops = 17;
+    const uint8_t acc = 18, nb = 19;
+
+    auto lcg = [&]() {
+        as.li(t1, 1103515245);
+        as.mul(seed, seed, t1);
+        as.addi(seed, seed, 12345);
+    };
+
+    /** Visit neighbour `nb`: mark and enqueue if free and unseen. */
+    auto tryNeighbour = [&]() {
+        Label skip = as.newLabel();
+        as.lb(t1, nb, occBase);
+        as.bne(t1, RegZero, skip);
+        as.lb(t1, nb, distBase);
+        as.bne(t1, RegZero, skip);
+        as.sb(d, nb, distBase);
+        as.slli(t1, qt, 3);
+        as.sd(nb, t1, queueBase);
+        as.addi(qt, qt, 1);
+        as.bind(skip);
+    };
+
+    // ---- obstacles: ~25% of cells occupied ----
+    as.li(seed, static_cast<int64_t>(
+        inputSeed(0x60075, variant) & 0x7fffffff));
+    {
+        Label fill = as.newLabel(), fillEnd = as.newLabel();
+        as.li(t2, 0);
+        as.bind(fill);
+        as.li(t3, 4096);
+        as.bge(t2, t3, fillEnd);
+        lcg();
+        as.srli(t3, seed, 16);
+        as.andi(t3, t3, 3);
+        as.slti(t3, t3, 1);          // occupied iff the draw was 0
+        as.sb(t3, t2, occBase);
+        as.addi(t2, t2, 1);
+        as.jmp(fill);
+        as.bind(fillEnd);
+    }
+
+    // ---- route a series of nets ----
+    as.li(net, 0);
+    as.li(nets, static_cast<int64_t>(24 * scale));
+    as.li(acc, 0);
+    {
+        Label netLoop = as.newLabel(), netEnd = as.newLabel();
+        Label clr = as.newLabel(), clrEnd = as.newLabel();
+        Label bfsLoop = as.newLabel(), bfsEnd = as.newLabel();
+        Label nLeft = as.newLabel(), nRight = as.newLabel();
+        Label nUp = as.newLabel(), nDown = as.newLabel();
+
+        as.bind(netLoop);
+        as.bge(net, nets, netEnd);
+
+        // Clear the wave distances (8 bytes per store).
+        as.li(t2, 0);
+        as.bind(clr);
+        as.li(t1, 512);
+        as.bge(t2, t1, clrEnd);
+        as.slli(t3, t2, 3);
+        as.sd(RegZero, t3, distBase);
+        as.addi(t2, t2, 1);
+        as.jmp(clr);
+        as.bind(clrEnd);
+
+        // Random terminals; force both cells free.
+        lcg();
+        as.srli(src, seed, 16);
+        as.andi(src, src, 4095);
+        lcg();
+        as.srli(dst, seed, 16);
+        as.andi(dst, dst, 4095);
+        as.sb(RegZero, src, occBase);
+        as.sb(RegZero, dst, occBase);
+
+        as.li(t1, 1);
+        as.sb(t1, src, distBase);
+        as.li(qh, 0);
+        as.li(qt, 0);
+        as.slli(t1, qt, 3);
+        as.sd(src, t1, queueBase);
+        as.addi(qt, qt, 1);
+        as.li(pops, 0);
+
+        as.bind(bfsLoop);
+        as.bge(qh, qt, bfsEnd);
+        as.li(t1, 900);
+        as.bge(pops, t1, bfsEnd);
+        as.slli(t1, qh, 3);
+        as.ld(cur, t1, queueBase);
+        as.addi(qh, qh, 1);
+        as.addi(pops, pops, 1);
+        as.beq(cur, dst, bfsEnd);
+
+        as.andi(x, cur, 63);
+        as.srli(y, cur, 6);
+        as.lb(d, cur, distBase);
+        as.addi(d, d, 1);
+        as.andi(d, d, 255);
+
+        as.beq(x, RegZero, nLeft);
+        as.addi(nb, cur, -1);
+        tryNeighbour();
+        as.bind(nLeft);
+
+        as.slti(t1, x, 63);
+        as.beq(t1, RegZero, nRight);
+        as.addi(nb, cur, 1);
+        tryNeighbour();
+        as.bind(nRight);
+
+        as.beq(y, RegZero, nUp);
+        as.addi(nb, cur, -64);
+        tryNeighbour();
+        as.bind(nUp);
+
+        as.slti(t1, y, 63);
+        as.beq(t1, RegZero, nDown);
+        as.addi(nb, cur, 64);
+        tryNeighbour();
+        as.bind(nDown);
+
+        as.jmp(bfsLoop);
+        as.bind(bfsEnd);
+
+        as.lb(t1, dst, distBase);
+        as.add(acc, acc, t1);
+        as.addi(net, net, 1);
+        as.jmp(netLoop);
+        as.bind(netEnd);
+    }
+
+    as.li(t1, resultBase);
+    as.sd(acc, t1, 0);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * "zip" — gzip archetype: LZ77 compression with a hash-chain match
+ * search. Dominated by byte loads, a data-dependent match-length inner
+ * loop, and hash-table stores.
+ */
+
+#include "data_gen.hh"
+#include "isa/assembler.hh"
+#include "workload.hh"
+
+namespace ssim::workloads
+{
+
+isa::Program
+buildZip(uint64_t scale, uint64_t variant)
+{
+    using namespace isa;
+
+    const uint64_t n = 96 * 1024 * scale;
+    const uint64_t hashBase = (n + 8192 + 0xfff) & ~0xfffULL;
+    const uint64_t hashBytes = 4096 * 8;
+    const uint64_t outBase = hashBase + hashBytes;
+
+    Assembler as("zip");
+    as.setDataSize(outBase + n + 4096);
+    as.addData(0, makeText(n, inputSeed(0x21575, variant)));
+
+    const uint8_t pos = 3, limit = 4, hashB = 6, out = 7;
+    const uint8_t c0 = 8, c1 = 9, c2 = 10, h = 11, cand = 12;
+    const uint8_t len = 13, t1 = 14, t2 = 15, t3 = 16, dist = 17;
+
+    as.li(pos, 0);
+    as.li(limit, static_cast<int64_t>(n - 3));
+    as.li(hashB, static_cast<int64_t>(hashBase));
+    as.li(out, static_cast<int64_t>(outBase));
+
+    Label mainLoop = as.newLabel();
+    Label endMain = as.newLabel();
+    Label noMatch = as.newLabel();
+    Label cmpLoop = as.newLabel();
+    Label cmpDone = as.newLabel();
+    Label literal = as.newLabel();
+    Label advance = as.newLabel();
+
+    as.bind(mainLoop);
+    as.bge(pos, limit, endMain);
+
+    as.lb(c0, pos, 0);
+    as.lb(c1, pos, 1);
+    as.lb(c2, pos, 2);
+
+    // h = ((c0 * 129 + c1) * 129 + c2) & 4095
+    as.slli(t1, c0, 7);
+    as.add(t1, t1, c0);
+    as.add(t1, t1, c1);
+    as.slli(t2, t1, 7);
+    as.add(t1, t2, t1);
+    as.add(t1, t1, c2);
+    as.andi(h, t1, 4095);
+
+    // cand = hash[h]; hash[h] = pos + 1
+    as.slli(t1, h, 3);
+    as.add(t1, t1, hashB);
+    as.ld(cand, t1, 0);
+    as.addi(t2, pos, 1);
+    as.sd(t2, t1, 0);
+
+    as.li(len, 0);
+    as.beq(cand, RegZero, noMatch);
+    as.addi(cand, cand, -1);
+    as.sub(dist, pos, cand);
+    as.li(t1, 8192);
+    as.bge(dist, t1, noMatch);
+    as.beq(dist, RegZero, noMatch);
+
+    as.bind(cmpLoop);
+    as.slti(t1, len, 64);
+    as.beq(t1, RegZero, cmpDone);
+    as.add(t2, pos, len);
+    as.bge(t2, limit, cmpDone);
+    as.add(t3, cand, len);
+    as.lb(t3, t3, 0);
+    as.lb(t2, t2, 0);
+    as.bne(t2, t3, cmpDone);
+    as.addi(len, len, 1);
+    as.jmp(cmpLoop);
+    as.bind(cmpDone);
+
+    as.bind(noMatch);
+    as.slti(t1, len, 4);
+    as.bne(t1, RegZero, literal);
+
+    // Emit a (distance, length) token and skip the match.
+    as.slli(t1, dist, 8);
+    as.or_(t1, t1, len);
+    as.sw(t1, out, 0);
+    as.addi(out, out, 4);
+    as.add(pos, pos, len);
+    as.jmp(advance);
+
+    as.bind(literal);
+    as.sb(c0, out, 0);
+    as.addi(out, out, 1);
+    as.addi(pos, pos, 1);
+
+    as.bind(advance);
+    as.jmp(mainLoop);
+
+    as.bind(endMain);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace ssim::workloads

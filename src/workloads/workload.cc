@@ -1,0 +1,62 @@
+#include "workload.hh"
+
+#include "util/logging.hh"
+
+namespace ssim::workloads
+{
+
+const std::vector<WorkloadInfo> &
+suite()
+{
+    static const std::vector<WorkloadInfo> workloads = {
+        {"compress", "bzip2",
+         "RLE + move-to-front byte compression"},
+        {"chess", "crafty",
+         "recursive negamax search over a small board game"},
+        {"raytrace", "eon",
+         "sphere-intersection ray caster (FP heavy)"},
+        {"cc", "gcc",
+         "tokenizer + expression compiler with jump-table dispatch"},
+        {"zip", "gzip",
+         "LZ77 compression with hash-chain match search"},
+        {"parse", "parser",
+         "word tokenizer with chained-hash dictionary"},
+        {"perl", "perlbmk",
+         "bytecode interpreter with indirect dispatch"},
+        {"place", "twolf",
+         "simulated-annealing placement with random swaps"},
+        {"oodb", "vortex",
+         "object store with hash index and pointer-chasing queries"},
+        {"route", "vpr",
+         "breadth-first maze router over a grid"},
+    };
+    return workloads;
+}
+
+isa::Program
+build(const std::string &name, uint64_t scale, uint64_t variant)
+{
+    if (name == "compress")
+        return buildCompress(scale, variant);
+    if (name == "chess")
+        return buildChess(scale, variant);
+    if (name == "raytrace")
+        return buildRaytrace(scale, variant);
+    if (name == "cc")
+        return buildCc(scale, variant);
+    if (name == "zip")
+        return buildZip(scale, variant);
+    if (name == "parse")
+        return buildParse(scale, variant);
+    if (name == "perl")
+        return buildPerl(scale, variant);
+    if (name == "place")
+        return buildPlace(scale, variant);
+    if (name == "oodb")
+        return buildOodb(scale, variant);
+    if (name == "route")
+        return buildRoute(scale, variant);
+    fatal("unknown workload: " + name);
+}
+
+} // namespace ssim::workloads

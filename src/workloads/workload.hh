@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The benchmark suite: ten workloads written in the mini ISA, one per
+ * SPECint2000 archetype of the paper's Table 1. Each workload is a
+ * real program (loops, calls, recursion, data-dependent control flow)
+ * built through the assembler; inputs are deterministic and seeded.
+ *
+ * | name     | archetype | stresses                                  |
+ * |----------|-----------|-------------------------------------------|
+ * | compress | bzip2     | RLE/MTF byte processing, store traffic    |
+ * | chess    | crafty    | recursive game search, calls/returns      |
+ * | raytrace | eon       | FP mult/div/sqrt pipelines                |
+ * | cc       | gcc       | many blocks, jump-table token dispatch    |
+ * | zip      | gzip      | LZ77 hash-chain matching, inner loops     |
+ * | parse    | parser    | tokenizing, chained-hash dictionary       |
+ * | perl     | perlbmk   | bytecode interpreter, indirect branches   |
+ * | place    | twolf     | simulated annealing, unpredictable accept |
+ * | oodb     | vortex    | object DB, pointer chasing                |
+ * | route    | vpr       | maze routing wavefront over a grid        |
+ */
+
+#ifndef SSIM_WORKLOADS_WORKLOAD_HH
+#define SSIM_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ssim::workloads
+{
+
+/** Registry entry describing one workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string archetype;     ///< SPECint2000 benchmark it mirrors
+    std::string description;
+};
+
+/** All available workloads, in suite order. */
+const std::vector<WorkloadInfo> &suite();
+
+/**
+ * Build a workload program by name.
+ *
+ * @param scale multiplies the input size / iteration count; scale 1
+ *        yields roughly 0.5-3 million dynamic instructions.
+ * @param variant selects an alternative input data set (different
+ *        text/seeds, identical code) — the "reference vs train
+ *        input" axis for input-sensitivity studies. Variant 0 is the
+ *        default input used throughout the evaluation.
+ */
+isa::Program build(const std::string &name, uint64_t scale = 1,
+                   uint64_t variant = 0);
+
+/** Mix an input variant into a data-generation seed. */
+inline uint64_t
+inputSeed(uint64_t base, uint64_t variant)
+{
+    return base + variant * 0x9e3779b97f4a7c15ULL;
+}
+
+// Individual builders (each in its own translation unit).
+isa::Program buildCompress(uint64_t scale, uint64_t variant = 0);
+isa::Program buildChess(uint64_t scale, uint64_t variant = 0);
+isa::Program buildRaytrace(uint64_t scale, uint64_t variant = 0);
+isa::Program buildCc(uint64_t scale, uint64_t variant = 0);
+isa::Program buildZip(uint64_t scale, uint64_t variant = 0);
+isa::Program buildParse(uint64_t scale, uint64_t variant = 0);
+isa::Program buildPerl(uint64_t scale, uint64_t variant = 0);
+isa::Program buildPlace(uint64_t scale, uint64_t variant = 0);
+isa::Program buildOodb(uint64_t scale, uint64_t variant = 0);
+isa::Program buildRoute(uint64_t scale, uint64_t variant = 0);
+
+} // namespace ssim::workloads
+
+#endif // SSIM_WORKLOADS_WORKLOAD_HH

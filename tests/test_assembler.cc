@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the assembler (label fixups, data placement) and the
+ * basic-block analysis of Program::finalize.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+
+namespace
+{
+
+using namespace ssim::isa;
+
+TEST(Assembler, ForwardLabelFixup)
+{
+    Assembler as("t");
+    Label target = as.newLabel();
+    as.li(3, 1);
+    as.jmp(target);
+    as.li(3, 2);       // skipped
+    as.bind(target);
+    as.halt();
+    Program prog = as.finish();
+
+    EXPECT_EQ(prog.text[1].target, 3u);
+}
+
+TEST(Assembler, BackwardLabelFixup)
+{
+    Assembler as("t");
+    as.li(3, 0);
+    Label top = as.here();
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 5);
+    as.bne(4, RegZero, top);
+    as.halt();
+    Program prog = as.finish();
+
+    EXPECT_EQ(prog.text[3].target, 1u);
+}
+
+TEST(Assembler, RetReadsRa)
+{
+    Assembler as("t");
+    as.ret();
+    as.halt();
+    Program prog = as.finish();
+    EXPECT_EQ(prog.text[0].rs1, RegRa);
+}
+
+TEST(Assembler, LaMaterializesInstructionIndex)
+{
+    Assembler as("t");
+    Label fn = as.newLabel();
+    as.la(3, fn);
+    as.jmp(fn);
+    as.nop();
+    as.bind(fn);
+    as.halt();
+    Program prog = as.finish();
+
+    EXPECT_EQ(prog.text[0].op, Opcode::LI);
+    EXPECT_EQ(prog.text[0].imm, 3);
+}
+
+TEST(Assembler, LaTargetBecomesLeader)
+{
+    Assembler as("t");
+    Label fn = as.newLabel();
+    as.la(3, fn);
+    as.jr(3);
+    as.nop();          // unreachable filler, same block as...
+    as.nop();
+    as.bind(fn);       // ...must still start a new block here
+    as.halt();
+    Program prog = as.finish();
+
+    EXPECT_TRUE(prog.isLeader(4));
+}
+
+TEST(Assembler, DataWordsRoundTrip)
+{
+    Assembler as("t");
+    as.addWords(64, {1, -2, 300});
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+
+    EXPECT_EQ(static_cast<int64_t>(emu.peek64(64)), 1);
+    EXPECT_EQ(static_cast<int64_t>(emu.peek64(72)), -2);
+    EXPECT_EQ(static_cast<int64_t>(emu.peek64(80)), 300);
+}
+
+TEST(Assembler, DataDoublesRoundTrip)
+{
+    Assembler as("t");
+    as.addDoubles(0, {3.25});
+    as.fld(1, RegZero, 0);
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    emu.run(10);
+    EXPECT_DOUBLE_EQ(emu.fpReg(1), 3.25);
+}
+
+TEST(BasicBlocks, StraightLineIsOneBlock)
+{
+    Assembler as("t");
+    as.li(3, 1);
+    as.addi(3, 3, 1);
+    as.halt();
+    Program prog = as.finish();
+
+    // HALT is control flow, so the block ends there; the whole
+    // program is blocks {0..2}.
+    EXPECT_EQ(prog.numBlocks(), 1u);
+    EXPECT_EQ(prog.blockOf(0), prog.blockOf(2));
+}
+
+TEST(BasicBlocks, BranchTargetStartsBlock)
+{
+    Assembler as("t");
+    Label skip = as.newLabel();
+    as.li(3, 1);               // 0  block A
+    as.beq(3, RegZero, skip);  // 1  block A (terminator)
+    as.li(4, 2);               // 2  block B (after control flow)
+    as.bind(skip);
+    as.halt();                 // 3  block C (branch target)
+    Program prog = as.finish();
+
+    EXPECT_EQ(prog.numBlocks(), 3u);
+    EXPECT_TRUE(prog.isLeader(0));
+    EXPECT_TRUE(prog.isLeader(2));
+    EXPECT_TRUE(prog.isLeader(3));
+    EXPECT_FALSE(prog.isLeader(1));
+}
+
+TEST(BasicBlocks, BlockSizesCoverProgram)
+{
+    Assembler as("t");
+    Label top = as.newLabel();
+    as.li(3, 0);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 3);
+    as.bne(4, RegZero, top);
+    as.halt();
+    Program prog = as.finish();
+
+    size_t covered = 0;
+    for (const BasicBlock &bb : prog.blocks())
+        covered += bb.size();
+    EXPECT_EQ(covered, prog.size());
+}
+
+TEST(BasicBlocks, FallThroughIntoLeader)
+{
+    // A branch target in the middle of straight-line code splits the
+    // block; the first block then has a non-control-flow terminator.
+    Assembler as("t");
+    Label mid = as.newLabel();
+    as.li(3, 0);       // 0 block A
+    as.bind(mid);
+    as.addi(3, 3, 1);  // 1 block B (target of the jump below)
+    as.slti(4, 3, 2);  // 2 block B
+    as.bne(4, RegZero, mid);  // 3 block B terminator
+    as.halt();         // 4 block C
+    Program prog = as.finish();
+
+    EXPECT_EQ(prog.numBlocks(), 3u);
+    const BasicBlock &a = prog.blocks()[prog.blockOf(0)];
+    EXPECT_EQ(a.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Configuration tests: the Table 2 baseline preset, the
+ * SimpleScalar-like preset used by the HLS comparison, and the
+ * scaling helpers the sweeps rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/config.hh"
+
+namespace
+{
+
+using namespace ssim::cpu;
+
+TEST(Config, BaselineMatchesTable2)
+{
+    const CoreConfig cfg = CoreConfig::baseline();
+    EXPECT_EQ(cfg.il1.sizeBytes, 8u * 1024);
+    EXPECT_EQ(cfg.il1.assoc, 2u);
+    EXPECT_EQ(cfg.il1.lineBytes, 32u);
+    EXPECT_EQ(cfg.il1.latency, 1u);
+    EXPECT_EQ(cfg.dl1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.dl1.assoc, 4u);
+    EXPECT_EQ(cfg.dl1.latency, 2u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(cfg.l2.assoc, 4u);
+    EXPECT_EQ(cfg.l2.lineBytes, 64u);
+    EXPECT_EQ(cfg.l2.latency, 20u);
+    EXPECT_EQ(cfg.itlb.entries, 32u);
+    EXPECT_EQ(cfg.itlb.assoc, 8u);
+    EXPECT_EQ(cfg.itlb.pageBytes, 4096u);
+    EXPECT_EQ(cfg.memLatency, 150u);
+    EXPECT_EQ(cfg.mispredictPenalty, 14u);
+    EXPECT_EQ(cfg.ifqSize, 32u);
+    EXPECT_EQ(cfg.ruuSize, 128u);
+    EXPECT_EQ(cfg.lsqSize, 32u);
+    EXPECT_EQ(cfg.decodeWidth, 8u);
+    EXPECT_EQ(cfg.issueWidth, 8u);
+    EXPECT_EQ(cfg.commitWidth, 8u);
+    EXPECT_EQ(cfg.fetchSpeed, 2u);
+    EXPECT_EQ(cfg.fu.intAluCount, 8u);
+    EXPECT_EQ(cfg.fu.ldStCount, 4u);
+    EXPECT_EQ(cfg.fu.fpAluCount, 2u);
+    EXPECT_EQ(cfg.fu.intMultCount, 2u);
+    EXPECT_EQ(cfg.fu.fpMultCount, 2u);
+}
+
+TEST(Config, BaselinePredictorMatchesTable2)
+{
+    const BpredConfig b = CoreConfig::baseline().bpred;
+    EXPECT_EQ(b.kind, BpredKind::Hybrid);
+    EXPECT_EQ(b.bimodalEntries, 8192u);
+    EXPECT_EQ(b.l1Entries, 8192u);
+    EXPECT_EQ(b.l2Entries, 8192u);
+    EXPECT_EQ(b.chooserEntries, 8192u);
+    EXPECT_TRUE(b.xorPc);
+    EXPECT_EQ(b.btbEntries, 512u);
+    EXPECT_EQ(b.btbAssoc, 4u);
+    EXPECT_EQ(b.rasEntries, 64u);
+}
+
+TEST(Config, SimpleScalarPresetIsSmaller)
+{
+    const CoreConfig ss = CoreConfig::simpleScalarDefault();
+    const CoreConfig base = CoreConfig::baseline();
+    EXPECT_LT(ss.ruuSize, base.ruuSize);
+    EXPECT_LT(ss.decodeWidth, base.decodeWidth);
+    EXPECT_LT(ss.ifqSize, base.ifqSize);
+    EXPECT_EQ(ss.bpred.kind, BpredKind::Bimodal);
+}
+
+TEST(Config, BpredScalingIsSymmetric)
+{
+    const BpredConfig base = CoreConfig::baseline().bpred;
+    const BpredConfig up = base.scaled(2);
+    const BpredConfig down = base.scaled(-2);
+    EXPECT_EQ(up.bimodalEntries, base.bimodalEntries * 4);
+    EXPECT_EQ(down.bimodalEntries, base.bimodalEntries / 4);
+    EXPECT_EQ(up.scaled(-2).bimodalEntries, base.bimodalEntries);
+}
+
+TEST(Config, BpredScalingAdjustsHistoryBits)
+{
+    const BpredConfig base = CoreConfig::baseline().bpred;
+    const BpredConfig up = base.scaled(1);
+    // History length follows log2 of the pattern table.
+    EXPECT_EQ(up.historyBits, base.historyBits + 1);
+}
+
+TEST(Config, CacheScalingFloorsAtOneSet)
+{
+    const CacheConfig base{8 * 1024, 2, 32, 1};
+    const CacheConfig tiny = base.scaled(1e-6);
+    EXPECT_GE(tiny.sizeBytes, tiny.assoc * tiny.lineBytes);
+    EXPECT_GE(tiny.numSets(), 1u);
+}
+
+TEST(Config, NumSetsArithmetic)
+{
+    const CacheConfig cfg{16 * 1024, 4, 32, 2};
+    EXPECT_EQ(cfg.numSets(), 128u);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Execution-driven simulator tests: architectural equivalence with
+ * the functional emulator (committed counts), perfect-structure
+ * idealizations, sampling options, and microarchitectural trends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/statsim.hh"
+#include "cpu/eds_frontend.hh"
+#include "cpu/pipeline/ooo_core.hh"
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using core::SimResult;
+
+cpu::CoreConfig
+baseline()
+{
+    return cpu::CoreConfig::baseline();
+}
+
+SimResult
+runEds(const isa::Program &prog, const cpu::CoreConfig &cfg,
+       cpu::EdsOptions opts = {})
+{
+    return core::runExecutionDriven(prog, cfg, opts);
+}
+
+TEST(Eds, CommitsExactlyTheFunctionalStream)
+{
+    // The timing simulator must retire precisely the instructions the
+    // functional emulator executes — the fundamental correctness
+    // invariant of execute-at-fetch simulation.
+    const isa::Program prog = workloads::build("route", 1);
+    isa::Emulator emu(prog);
+    emu.run(~0ull);
+    const SimResult res = runEds(prog, baseline());
+    EXPECT_EQ(res.stats.committed, emu.instCount());
+}
+
+TEST(Eds, WrongPathFetchesExceedCommits)
+{
+    const isa::Program prog = workloads::build("chess", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 100000;
+    const SimResult res = runEds(prog, baseline(), opts);
+    EXPECT_GT(res.stats.fetched, res.stats.committed);
+    EXPECT_GT(res.stats.mispredicts, 0u);
+}
+
+TEST(Eds, PerfectBpredRemovesAllMispredicts)
+{
+    const isa::Program prog = workloads::build("chess", 1);
+    cpu::CoreConfig cfg = baseline();
+    cfg.perfectBpred = true;
+    cpu::EdsOptions opts;
+    opts.maxInsts = 100000;
+    const SimResult res = runEds(prog, cfg, opts);
+    EXPECT_EQ(res.stats.mispredicts, 0u);
+    EXPECT_EQ(res.stats.fetchRedirects, 0u);
+    EXPECT_EQ(res.stats.fetched, res.stats.committed);
+}
+
+TEST(Eds, PerfectBpredNeverSlower)
+{
+    const isa::Program prog = workloads::build("parse", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 150000;
+    cpu::CoreConfig real = baseline();
+    cpu::CoreConfig perfect = baseline();
+    perfect.perfectBpred = true;
+    EXPECT_GE(runEds(prog, perfect, opts).ipc,
+              runEds(prog, real, opts).ipc);
+}
+
+TEST(Eds, PerfectCachesNeverSlower)
+{
+    const isa::Program prog = workloads::build("oodb", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 150000;
+    cpu::CoreConfig real = baseline();
+    cpu::CoreConfig perfect = baseline();
+    perfect.perfectCaches = true;
+    EXPECT_GE(runEds(prog, perfect, opts).ipc,
+              runEds(prog, real, opts).ipc);
+}
+
+TEST(Eds, MaxInstsBoundsTheRun)
+{
+    const isa::Program prog = workloads::build("zip", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 50000;
+    const SimResult res = runEds(prog, baseline(), opts);
+    EXPECT_EQ(res.stats.committed, 50000u);
+}
+
+TEST(Eds, SkipThenMeasureMatchesFunctionalSuffix)
+{
+    const isa::Program prog = workloads::build("place", 1);
+    isa::Emulator emu(prog);
+    emu.run(~0ull);
+    const uint64_t total = emu.instCount();
+
+    cpu::EdsOptions opts;
+    opts.skipInsts = total / 2;
+    const SimResult res = runEds(prog, baseline(), opts);
+    EXPECT_EQ(res.stats.committed, total - total / 2);
+}
+
+TEST(Eds, BiggerWindowNeverHurts)
+{
+    const isa::Program prog = workloads::build("raytrace", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 150000;
+    cpu::CoreConfig small = baseline();
+    small.ruuSize = 16;
+    small.lsqSize = 8;
+    cpu::CoreConfig large = baseline();
+    const double ipcSmall = runEds(prog, small, opts).ipc;
+    const double ipcLarge = runEds(prog, large, opts).ipc;
+    EXPECT_GE(ipcLarge, ipcSmall * 0.99);
+    EXPECT_GT(ipcLarge, ipcSmall);   // raytrace has MLP to expose
+}
+
+TEST(Eds, WiderMachineNeverSlower)
+{
+    const isa::Program prog = workloads::build("compress", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 150000;
+    cpu::CoreConfig narrow = baseline();
+    narrow.decodeWidth = narrow.issueWidth = narrow.commitWidth = 2;
+    EXPECT_GT(runEds(prog, baseline(), opts).ipc,
+              runEds(prog, narrow, opts).ipc);
+}
+
+TEST(Eds, LargerCachesReduceMissLatencyImpact)
+{
+    const isa::Program prog = workloads::build("oodb", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 200000;
+    cpu::CoreConfig tiny = baseline();
+    tiny.dl1 = tiny.dl1.scaled(0.25);
+    EXPECT_GE(runEds(prog, baseline(), opts).ipc,
+              runEds(prog, tiny, opts).ipc);
+}
+
+TEST(Eds, StoreLoadForwardingObserved)
+{
+    // A tight store->load same-address sequence must not pay the
+    // memory round trip (the LSQ forwards).
+    isa::Assembler as("fwd");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.li(4, 1000);
+    as.li(5, 512);
+    as.bind(top);
+    as.sd(3, 5, 0);
+    as.ld(6, 5, 0);    // forwarded from the store
+    as.addi(3, 6, 1);
+    as.blt(3, 4, top);
+    as.halt();
+    const isa::Program prog = as.finish();
+    const SimResult res = runEds(prog, baseline());
+    // Around 6-8 cycles per iteration; far below an L1-miss chain.
+    const double perIter =
+        static_cast<double>(res.stats.cycles) / 1000.0;
+    EXPECT_LT(perIter, 12.0);
+}
+
+TEST(Eds, IpcWithinMachineBounds)
+{
+    for (const char *name : {"zip", "cc", "perl"}) {
+        const isa::Program prog = workloads::build(name, 1);
+        cpu::EdsOptions opts;
+        opts.maxInsts = 100000;
+        const SimResult res = runEds(prog, baseline(), opts);
+        EXPECT_GT(res.ipc, 0.05) << name;
+        EXPECT_LE(res.ipc, 8.0) << name;
+    }
+}
+
+TEST(Eds, DeterministicAcrossRuns)
+{
+    const isa::Program prog = workloads::build("parse", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 80000;
+    const SimResult a = runEds(prog, baseline(), opts);
+    const SimResult b = runEds(prog, baseline(), opts);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_DOUBLE_EQ(a.epc, b.epc);
+}
+
+TEST(Eds, BranchStatsConsistent)
+{
+    const isa::Program prog = workloads::build("cc", 1);
+    cpu::EdsOptions opts;
+    opts.maxInsts = 100000;
+    const SimResult res = runEds(prog, baseline(), opts);
+    EXPECT_LE(res.stats.mispredicts + res.stats.fetchRedirects,
+              res.stats.branches);
+    EXPECT_LE(res.stats.takenBranches, res.stats.branches);
+    EXPECT_GT(res.stats.branches, 0u);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Execution-driven frontend edge cases, exercised with hand-crafted
+ * programs: BTB-driven fetch redirects, indirect-branch target
+ * mispredictions, RAS behaviour under recursion, and recovery paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/statsim.hh"
+#include "isa/assembler.hh"
+
+namespace
+{
+
+using namespace ssim;
+using core::SimResult;
+
+cpu::CoreConfig
+baseline()
+{
+    return cpu::CoreConfig::baseline();
+}
+
+SimResult
+runEds(const isa::Program &prog,
+       const cpu::CoreConfig &cfg = baseline())
+{
+    return core::runExecutionDriven(prog, cfg);
+}
+
+TEST(EdsEdge, ColdDirectJumpIsRedirectNotMispredict)
+{
+    // A direct jump misses the BTB only on first sight: the first
+    // encounter is a fetch redirection, later ones are free.
+    isa::Assembler as("jmp");
+    isa::Label top = as.newLabel(), body = as.newLabel();
+    as.li(3, 0);
+    as.bind(top);
+    as.jmp(body);
+    as.nop();           // skipped
+    as.bind(body);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 100);
+    as.bne(4, isa::RegZero, top);
+    as.halt();
+    const SimResult res = runEds(as.finish());
+    EXPECT_GE(res.stats.fetchRedirects, 1u);
+    EXPECT_LT(res.stats.fetchRedirects, 5u);
+}
+
+TEST(EdsEdge, AlternatingIndirectTargetMispredicts)
+{
+    // A jr alternating between two targets defeats a single-target
+    // BTB entry: roughly half the executions mispredict.
+    isa::Assembler as("jr2");
+    isa::Label top = as.newLabel(), t1 = as.newLabel();
+    isa::Label t2 = as.newLabel(), join = as.newLabel();
+    isa::Label pick2 = as.newLabel(), doJump = as.newLabel();
+    as.li(3, 0);                 // counter
+    as.bind(top);
+    as.andi(6, 3, 1);
+    as.bne(6, isa::RegZero, pick2);
+    as.la(7, t1);
+    as.jmp(doJump);
+    as.bind(pick2);
+    as.la(7, t2);
+    as.bind(doJump);
+    as.jr(7);
+    as.bind(t1);
+    as.addi(4, 4, 1);
+    as.jmp(join);
+    as.bind(t2);
+    as.addi(5, 5, 1);
+    as.bind(join);
+    as.addi(3, 3, 1);
+    as.slti(6, 3, 400);
+    as.bne(6, isa::RegZero, top);
+    as.halt();
+    const SimResult res = runEds(as.finish());
+    // ~400 jr executions; at least a third mispredict.
+    EXPECT_GT(res.stats.mispredicts, 130u);
+}
+
+TEST(EdsEdge, RasMakesRecursiveReturnsCheap)
+{
+    // Deep self-recursion: every ret target comes off the RAS; with
+    // a 64-entry RAS and depth 32, returns predict perfectly after
+    // warmup.
+    isa::Assembler as("rec");
+    isa::Label fn = as.newLabel(), down = as.newLabel();
+    isa::Label main = as.newLabel();
+    as.jmp(main);
+    as.bind(fn);
+    as.beq(3, isa::RegZero, down);
+    as.addi(isa::RegSp, isa::RegSp, -8);
+    as.sd(isa::RegRa, isa::RegSp, 0);
+    as.addi(3, 3, -1);
+    as.call(fn);
+    as.ld(isa::RegRa, isa::RegSp, 0);
+    as.addi(isa::RegSp, isa::RegSp, 8);
+    as.bind(down);
+    as.ret();
+    as.bind(main);
+    as.li(5, 0);
+    isa::Label loop = as.newLabel();
+    as.bind(loop);
+    as.li(3, 32);
+    as.call(fn);
+    as.addi(5, 5, 1);
+    as.slti(6, 5, 50);
+    as.bne(6, isa::RegZero, loop);
+    as.halt();
+    const SimResult res = runEds(as.finish());
+    // ~1650 rets + calls; very few mispredicts once warm.
+    EXPECT_LT(res.stats.mispredictsPerKilo(), 25.0);
+}
+
+TEST(EdsEdge, TinyIfqStillDrains)
+{
+    isa::Assembler as("tiny");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 2000);
+    as.bne(4, isa::RegZero, top);
+    as.halt();
+    const isa::Program prog = as.finish();
+    cpu::CoreConfig cfg = baseline();
+    cfg.ifqSize = 1;
+    const SimResult res = runEds(prog, cfg);
+    EXPECT_EQ(res.stats.committed, 2 + 3 * 2000ull);
+    EXPECT_LE(res.ipc, 1.01);   // one instruction per fetch cycle
+}
+
+TEST(EdsEdge, SingleEntryWindow)
+{
+    isa::Assembler as("ruu1");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 500);
+    as.bne(4, isa::RegZero, top);
+    as.halt();
+    const isa::Program prog = as.finish();
+    cpu::CoreConfig cfg = baseline();
+    cfg.ruuSize = 1;
+    cfg.lsqSize = 1;
+    const SimResult res = runEds(prog, cfg);
+    EXPECT_EQ(res.stats.committed, 2 + 3 * 500ull);
+    EXPECT_LE(res.stats.avgRuuOccupancy(), 1.0);
+}
+
+TEST(EdsEdge, LsqPressureBoundsInFlightMemOps)
+{
+    // A burst of independent stores through a 4-entry LSQ.
+    isa::Assembler as("lsq");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.li(5, 4096);
+    as.bind(top);
+    as.sd(3, 5, 0);
+    as.sd(3, 5, 8);
+    as.sd(3, 5, 16);
+    as.sd(3, 5, 24);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 500);
+    as.bne(4, isa::RegZero, top);
+    as.halt();
+    const isa::Program prog = as.finish();
+    cpu::CoreConfig cfg = baseline();
+    cfg.lsqSize = 4;
+    const SimResult res = runEds(prog, cfg);
+    EXPECT_EQ(res.stats.stores, 2000u);
+    EXPECT_LE(res.stats.avgLsqOccupancy(), 4.0);
+}
+
+TEST(EdsEdge, BackToBackMispredictsRecoverCleanly)
+{
+    // A data-dependent branch flipping pseudo-randomly every
+    // iteration: constant mispredict pressure with immediate
+    // re-mispredicts after recovery.
+    isa::Assembler as("flip");
+    isa::Label top = as.newLabel(), odd = as.newLabel();
+    isa::Label join = as.newLabel();
+    as.li(3, 0);
+    as.li(7, 0x51ab5);
+    as.bind(top);
+    as.li(8, 1103515245);
+    as.mul(7, 7, 8);
+    as.addi(7, 7, 12345);
+    as.srli(8, 7, 17);
+    as.andi(8, 8, 1);
+    as.bne(8, isa::RegZero, odd);
+    as.addi(4, 4, 1);
+    as.jmp(join);
+    as.bind(odd);
+    as.addi(5, 5, 1);
+    as.bind(join);
+    as.addi(3, 3, 1);
+    as.slti(8, 3, 3000);
+    as.bne(8, isa::RegZero, top);
+    as.halt();
+    const SimResult res = runEds(as.finish());
+    EXPECT_EQ(res.stats.committed, res.stats.committed);
+    EXPECT_GT(res.stats.mispredicts, 800u);   // ~50% of 3000
+    // IPC collapses under the mispredict penalty but stays sane.
+    EXPECT_GT(res.ipc, 0.2);
+    EXPECT_LT(res.ipc, 4.0);
+}
+
+} // namespace

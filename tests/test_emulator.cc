@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Functional emulator tests: per-opcode semantics, memory access
+ * records, control flow, calls/returns, and the zero register.
+ */
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+
+namespace
+{
+
+using namespace ssim::isa;
+
+/** Run a tiny program to completion and return the emulator. */
+Emulator
+runProgram(Assembler &as, uint64_t maxInsts = 10000)
+{
+    // Deque: stable addresses keep every emulator's Program valid.
+    static std::deque<Program> keep;
+    keep.push_back(as.finish());
+    Emulator emu(keep.back());
+    emu.run(maxInsts);
+    return emu;
+}
+
+/** Binary integer ALU semantics, parameterized. */
+struct AluCase
+{
+    Opcode op;
+    int64_t a, b, expect;
+};
+
+class IntAluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(IntAluSemantics, ComputesExpected)
+{
+    const AluCase c = GetParam();
+    Assembler as("alu");
+    as.li(3, c.a);
+    as.li(4, c.b);
+    // Emit through the public API by matching the opcode.
+    switch (c.op) {
+      case Opcode::ADD: as.add(5, 3, 4); break;
+      case Opcode::SUB: as.sub(5, 3, 4); break;
+      case Opcode::AND: as.and_(5, 3, 4); break;
+      case Opcode::OR: as.or_(5, 3, 4); break;
+      case Opcode::XOR: as.xor_(5, 3, 4); break;
+      case Opcode::SLL: as.sll(5, 3, 4); break;
+      case Opcode::SRL: as.srl(5, 3, 4); break;
+      case Opcode::SRA: as.sra(5, 3, 4); break;
+      case Opcode::SLT: as.slt(5, 3, 4); break;
+      case Opcode::SLTU: as.sltu(5, 3, 4); break;
+      case Opcode::MUL: as.mul(5, 3, 4); break;
+      case Opcode::DIV: as.div(5, 3, 4); break;
+      case Opcode::REM: as.rem(5, 3, 4); break;
+      default: FAIL() << "unsupported case";
+    }
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), c.expect)
+        << opcodeName(c.op) << " " << c.a << ", " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Emulator, IntAluSemantics,
+    ::testing::Values(
+        AluCase{Opcode::ADD, 7, 5, 12},
+        AluCase{Opcode::ADD, -7, 5, -2},
+        AluCase{Opcode::SUB, 7, 5, 2},
+        AluCase{Opcode::SUB, 5, 7, -2},
+        AluCase{Opcode::AND, 0b1100, 0b1010, 0b1000},
+        AluCase{Opcode::OR, 0b1100, 0b1010, 0b1110},
+        AluCase{Opcode::XOR, 0b1100, 0b1010, 0b0110},
+        AluCase{Opcode::SLL, 3, 4, 48},
+        AluCase{Opcode::SRL, 48, 4, 3},
+        AluCase{Opcode::SRA, -16, 2, -4},
+        AluCase{Opcode::SLT, 3, 4, 1},
+        AluCase{Opcode::SLT, 4, 3, 0},
+        AluCase{Opcode::SLT, -1, 0, 1},
+        AluCase{Opcode::SLTU, -1, 0, 0},  // unsigned: huge >= 0
+        AluCase{Opcode::MUL, 7, 6, 42},
+        AluCase{Opcode::MUL, -7, 6, -42},
+        AluCase{Opcode::DIV, 42, 6, 7},
+        AluCase{Opcode::DIV, -42, 6, -7},
+        AluCase{Opcode::DIV, 42, 0, -1},   // defined: no trap
+        AluCase{Opcode::REM, 43, 6, 1},
+        AluCase{Opcode::REM, 43, 0, 43}));
+
+TEST(Emulator, ImmediateForms)
+{
+    Assembler as("imm");
+    as.li(3, 100);
+    as.addi(4, 3, -1);
+    as.andi(5, 3, 0x6);
+    as.ori(6, 3, 0x3);
+    as.xori(7, 3, 0xFF);
+    as.slli(8, 3, 2);
+    as.srli(9, 3, 2);
+    as.srai(10, 3, 1);
+    as.slti(11, 3, 101);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(4), 99);
+    EXPECT_EQ(emu.intReg(5), 100 & 6);
+    EXPECT_EQ(emu.intReg(6), 100 | 3);
+    EXPECT_EQ(emu.intReg(7), 100 ^ 255);
+    EXPECT_EQ(emu.intReg(8), 400);
+    EXPECT_EQ(emu.intReg(9), 25);
+    EXPECT_EQ(emu.intReg(10), 50);
+    EXPECT_EQ(emu.intReg(11), 1);
+}
+
+TEST(Emulator, ZeroRegisterIsImmutable)
+{
+    Assembler as("zero");
+    as.li(RegZero, 42);
+    as.addi(3, RegZero, 1);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(RegZero), 0);
+    EXPECT_EQ(emu.intReg(3), 1);
+}
+
+TEST(Emulator, LoadStoreRoundTrip)
+{
+    Assembler as("mem");
+    as.li(3, 0x1122334455667788LL);
+    as.li(4, 128);
+    as.sd(3, 4, 0);
+    as.ld(5, 4, 0);
+    as.lw(6, 4, 0);
+    as.lb(7, 4, 0);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), 0x1122334455667788LL);
+    EXPECT_EQ(emu.intReg(6), 0x55667788);
+    EXPECT_EQ(emu.intReg(7), static_cast<int8_t>(0x88));
+}
+
+TEST(Emulator, ByteLoadSignExtends)
+{
+    Assembler as("sext");
+    as.li(3, 0xFF);
+    as.li(4, 64);
+    as.sb(3, 4, 0);
+    as.lb(5, 4, 0);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), -1);
+}
+
+TEST(Emulator, MemRecordHasDataAddress)
+{
+    Assembler as("addr");
+    as.li(3, 200);
+    as.ld(4, 3, 16);
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    emu.step();  // li
+    const ExecutedInst rec = emu.step();
+    EXPECT_TRUE(rec.isMem);
+    EXPECT_EQ(rec.memAddr, DataBase + 216);
+    EXPECT_EQ(rec.memBytes, 8);
+}
+
+TEST(Emulator, FloatingPointPipeline)
+{
+    Assembler as("fp");
+    as.fli(1, 2.0);
+    as.fli(2, 8.0);
+    as.fadd(3, 1, 2);    // 10
+    as.fsub(4, 2, 1);    // 6
+    as.fmul(5, 1, 2);    // 16
+    as.fdiv(6, 2, 1);    // 4
+    as.fsqrt(7, 2);      // ~2.828
+    as.fneg(8, 1);       // -2
+    as.fabs_(9, 8);      // 2
+    as.fcvtfi(3, 3);     // int 10 (int r3)
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_DOUBLE_EQ(emu.fpReg(3), 10.0);
+    EXPECT_DOUBLE_EQ(emu.fpReg(4), 6.0);
+    EXPECT_DOUBLE_EQ(emu.fpReg(5), 16.0);
+    EXPECT_DOUBLE_EQ(emu.fpReg(6), 4.0);
+    EXPECT_NEAR(emu.fpReg(7), 2.8284271, 1e-6);
+    EXPECT_DOUBLE_EQ(emu.fpReg(9), 2.0);
+    EXPECT_EQ(emu.intReg(3), 10);
+}
+
+TEST(Emulator, FpCompareAndBranch)
+{
+    Assembler as("fcmp");
+    Label less = as.newLabel();
+    as.fli(1, 1.0);
+    as.fli(2, 2.0);
+    as.fcmplt(3, 1, 2);
+    as.fblt(1, 2, less);
+    as.li(4, 99);        // skipped
+    as.bind(less);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(3), 1);
+    EXPECT_EQ(emu.intReg(4), 0);
+}
+
+TEST(Emulator, ConditionalBranchTakenAndNotTaken)
+{
+    Assembler as("br");
+    Label skip = as.newLabel();
+    as.li(3, 5);
+    as.li(4, 5);
+    as.beq(3, 4, skip);  // taken
+    as.li(5, 1);         // skipped
+    as.bind(skip);
+    as.bne(3, 4, skip);  // not taken
+    as.li(6, 2);         // executed
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), 0);
+    EXPECT_EQ(emu.intReg(6), 2);
+}
+
+TEST(Emulator, BranchRecordsTakenFlag)
+{
+    Assembler as("takerec");
+    Label skip = as.newLabel();
+    as.beq(RegZero, RegZero, skip);
+    as.nop();
+    as.bind(skip);
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    const ExecutedInst rec = emu.step();
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(rec.nextPc, 2u);
+}
+
+TEST(Emulator, CallPushesReturnAddressAndRetReturns)
+{
+    Assembler as("call");
+    Label fn = as.newLabel();
+    Label main = as.newLabel();
+    as.jmp(main);
+    as.bind(fn);
+    as.li(5, 7);
+    as.ret();
+    as.bind(main);
+    as.call(fn);
+    as.addi(5, 5, 1);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), 8);
+}
+
+TEST(Emulator, IndirectCallViaRegister)
+{
+    Assembler as("icall");
+    Label fn = as.newLabel();
+    Label main = as.newLabel();
+    as.jmp(main);
+    as.bind(fn);
+    as.li(5, 11);
+    as.ret();
+    as.bind(main);
+    as.la(6, fn);
+    as.icall(6);
+    as.addi(5, 5, 2);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(5), 13);
+}
+
+TEST(Emulator, NestedCallsWithStack)
+{
+    // f(x) = x + 1; g(x) = f(x) * 2 with a saved return address.
+    Assembler as("nest");
+    Label f = as.newLabel(), g = as.newLabel(), main = as.newLabel();
+    as.jmp(main);
+    as.bind(f);
+    as.addi(3, 3, 1);
+    as.ret();
+    as.bind(g);
+    as.addi(RegSp, RegSp, -8);
+    as.sd(RegRa, RegSp, 0);
+    as.call(f);
+    as.slli(3, 3, 1);
+    as.ld(RegRa, RegSp, 0);
+    as.addi(RegSp, RegSp, 8);
+    as.ret();
+    as.bind(main);
+    as.li(3, 20);
+    as.call(g);
+    as.halt();
+    Emulator emu = runProgram(as);
+    EXPECT_EQ(emu.intReg(3), 42);
+}
+
+TEST(Emulator, HaltStopsExecution)
+{
+    Assembler as("halt");
+    as.li(3, 1);
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    emu.run(100);
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.instCount(), 2u);
+    // Stepping after HALT is a no-op that reports halted.
+    const ExecutedInst rec = emu.step();
+    EXPECT_TRUE(rec.halted);
+    EXPECT_EQ(emu.instCount(), 2u);
+}
+
+TEST(Emulator, ResetRestoresInitialState)
+{
+    Assembler as("reset");
+    as.li(3, 9);
+    as.li(4, 100);
+    as.sd(3, 4, 0);
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    emu.run(100);
+    EXPECT_EQ(emu.peek64(100), 9u);
+    emu.reset();
+    EXPECT_FALSE(emu.halted());
+    EXPECT_EQ(emu.pc(), 0u);
+    EXPECT_EQ(emu.intReg(3), 0);
+    EXPECT_EQ(emu.peek64(100), 0u);
+}
+
+TEST(Emulator, StackPointerInitialized)
+{
+    Assembler as("sp");
+    as.halt();
+    Program prog = as.finish();
+    Emulator emu(prog);
+    EXPECT_EQ(emu.intReg(RegSp),
+              static_cast<int64_t>(prog.dataSize - 64));
+}
+
+TEST(Emulator, CountingLoopRunsExactIterations)
+{
+    Assembler as("loop");
+    Label top = as.newLabel();
+    as.li(3, 0);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.slti(4, 3, 1000);
+    as.bne(4, RegZero, top);
+    as.halt();
+    Emulator emu = runProgram(as, 100000);
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.intReg(3), 1000);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Synthetic trace generation tests: reduction factor semantics,
+ * trace-length targeting, instruction-mix preservation, dependency
+ * validity (step 4's producer rule), flag probabilities and
+ * seed-to-seed variation.
+ */
+
+#include <array>
+#include <gtest/gtest.h>
+
+#include "core/generator.hh"
+#include "core/profiler.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+const isa::Program &
+zipProgram()
+{
+    static const isa::Program prog = workloads::build("zip", 1);
+    return prog;
+}
+
+const StatisticalProfile &
+zipProfile()
+{
+    static const StatisticalProfile profile = [] {
+        ProfileOptions opts;
+        opts.maxInsts = 400000;
+        return buildProfile(zipProgram(),
+                            cpu::CoreConfig::baseline(), opts);
+    }();
+    return profile;
+}
+
+TEST(Generator, TraceLengthMatchesReductionFactor)
+{
+    for (uint64_t r : {10ull, 50ull, 200ull}) {
+        GenerationOptions opts;
+        opts.reductionFactor = r;
+        const SyntheticTrace trace =
+            generateSyntheticTrace(zipProfile(), opts);
+        const double expected =
+            static_cast<double>(zipProfile().instructions) / r;
+        EXPECT_NEAR(static_cast<double>(trace.size()), expected,
+                    0.1 * expected + 50)
+            << "R=" << r;
+    }
+}
+
+TEST(Generator, MixMatchesProfile)
+{
+    // Aggregate instruction class frequencies of the synthetic trace
+    // must match the profiled program's mix.
+    GenerationOptions opts;
+    opts.reductionFactor = 10;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+
+    std::array<double, isa::NumInstClasses> synthMix{};
+    for (const SynthInst &si : trace.insts)
+        synthMix[static_cast<int>(si.cls)] += 1.0;
+    for (double &v : synthMix)
+        v /= static_cast<double>(trace.size());
+
+    std::array<double, isa::NumInstClasses> profMix{};
+    double total = 0.0;
+    for (const auto &[gram, node] : zipProfile().nodes) {
+        const auto &shape = zipProfile().shapes[
+            StatisticalProfile::blockOf(gram)];
+        for (const auto &slot : shape) {
+            profMix[static_cast<int>(slot.cls)] +=
+                static_cast<double>(node.entryStats.occurrences);
+            total += static_cast<double>(node.entryStats.occurrences);
+        }
+    }
+    for (double &v : profMix)
+        v /= total;
+
+    for (int c = 0; c < isa::NumInstClasses; ++c)
+        EXPECT_NEAR(synthMix[c], profMix[c], 0.03)
+            << isa::instClassName(static_cast<isa::InstClass>(c));
+}
+
+TEST(Generator, DependenciesNeverPointAtStoresOrBranches)
+{
+    // Step 4 of the algorithm: a dependency must come from an
+    // instruction that produces a register value.
+    GenerationOptions opts;
+    opts.reductionFactor = 20;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const SynthInst &si = trace.insts[i];
+        for (int p = 0; p < si.numSrcs; ++p) {
+            const uint16_t d = si.depDist[p];
+            if (d == 0)
+                continue;
+            ASSERT_LE(d, i);
+            EXPECT_TRUE(trace.insts[i - d].hasDest)
+                << "at " << i << " dist " << d;
+        }
+    }
+}
+
+TEST(Generator, DependencyDistancesBounded)
+{
+    GenerationOptions opts;
+    opts.reductionFactor = 20;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+    for (const SynthInst &si : trace.insts)
+        for (int p = 0; p < si.numSrcs; ++p)
+            EXPECT_LE(si.depDist[p], MaxDependencyDistance);
+}
+
+TEST(Generator, BranchFlagRatesTrackProfile)
+{
+    GenerationOptions opts;
+    opts.reductionFactor = 10;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+
+    uint64_t branches = 0, taken = 0, mispredicted = 0;
+    for (const SynthInst &si : trace.insts) {
+        if (!si.isCtrl)
+            continue;
+        ++branches;
+        taken += si.taken;
+        mispredicted +=
+            si.outcome == cpu::BranchOutcome::Mispredict;
+    }
+    ASSERT_GT(branches, 100u);
+
+    const BranchStats prof = zipProfile().totalBranchStats();
+    const double profTaken = static_cast<double>(prof.taken) /
+        prof.count;
+    const double profMis = static_cast<double>(prof.mispredict) /
+        prof.count;
+    EXPECT_NEAR(static_cast<double>(taken) / branches, profTaken,
+                0.05);
+    EXPECT_NEAR(static_cast<double>(mispredicted) / branches, profMis,
+                0.02);
+}
+
+TEST(Generator, CacheFlagRatesTrackProfile)
+{
+    GenerationOptions opts;
+    opts.reductionFactor = 10;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+
+    uint64_t loads = 0, dl1 = 0;
+    for (const SynthInst &si : trace.insts) {
+        if (si.isLoad) {
+            ++loads;
+            dl1 += si.dl1Miss;
+        }
+    }
+    ASSERT_GT(loads, 100u);
+
+    uint64_t profLoads = 0, profDl1 = 0;
+    for (const auto &[gram, node] : zipProfile().nodes) {
+        const auto &shape = zipProfile().shapes[
+            StatisticalProfile::blockOf(gram)];
+        const auto &qb = node.entryStats;
+        for (size_t i = 0; i < shape.size() && i < qb.slots.size();
+             ++i) {
+            if (shape[i].isLoad) {
+                profLoads += qb.occurrences;
+                profDl1 += qb.slots[i].dl1Miss;
+            }
+        }
+    }
+    const double profRate = static_cast<double>(profDl1) / profLoads;
+    EXPECT_NEAR(static_cast<double>(dl1) / loads, profRate,
+                0.02 + profRate * 0.25);
+}
+
+TEST(Generator, SeedsProduceDifferentTraces)
+{
+    GenerationOptions a, b;
+    a.reductionFactor = b.reductionFactor = 50;
+    a.seed = 1;
+    b.seed = 2;
+    const SyntheticTrace ta = generateSyntheticTrace(zipProfile(), a);
+    const SyntheticTrace tb = generateSyntheticTrace(zipProfile(), b);
+    // Same statistical target, different realizations.
+    bool differ = ta.size() != tb.size();
+    for (size_t i = 0; !differ && i < ta.size() && i < tb.size(); ++i)
+        differ = ta.insts[i].blockId != tb.insts[i].blockId;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Generator, SameSeedIsDeterministic)
+{
+    GenerationOptions opts;
+    opts.reductionFactor = 50;
+    opts.seed = 7;
+    const SyntheticTrace ta =
+        generateSyntheticTrace(zipProfile(), opts);
+    const SyntheticTrace tb =
+        generateSyntheticTrace(zipProfile(), opts);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta.insts[i].blockId, tb.insts[i].blockId);
+        EXPECT_EQ(ta.insts[i].taken, tb.insts[i].taken);
+    }
+}
+
+TEST(Generator, ReductionRemovesRareNodes)
+{
+    // With a huge R, only the hottest blocks survive into the trace.
+    GenerationOptions opts;
+    opts.reductionFactor = zipProfile().instructions / 100;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+    EXPECT_LE(trace.size(), 200u);
+}
+
+TEST(Generator, ZeroOrderProfileStillGenerates)
+{
+    ProfileOptions popts;
+    popts.order = 0;
+    popts.maxInsts = 100000;
+    const StatisticalProfile p0 = buildProfile(
+        zipProgram(), cpu::CoreConfig::baseline(), popts);
+    GenerationOptions gopts;
+    gopts.reductionFactor = 10;
+    const SyntheticTrace trace = generateSyntheticTrace(p0, gopts);
+    EXPECT_GT(trace.size(), 1000u);
+}
+
+TEST(Generator, EmptyProfileYieldsEmptyTrace)
+{
+    StatisticalProfile empty;
+    empty.order = 1;
+    const SyntheticTrace trace = generateSyntheticTrace(empty);
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Generator, BlocksAreEmittedWhole)
+{
+    // Every emitted block instance must appear as a contiguous run
+    // with the static block's instruction classes.
+    GenerationOptions opts;
+    opts.reductionFactor = 40;
+    const SyntheticTrace trace =
+        generateSyntheticTrace(zipProfile(), opts);
+    size_t i = 0;
+    while (i < trace.size()) {
+        const uint32_t blockId = trace.insts[i].blockId;
+        const auto &shape = zipProfile().shapes[blockId];
+        ASSERT_LE(i + shape.size(), trace.size() + shape.size());
+        for (size_t j = 0; j < shape.size() && i + j < trace.size();
+             ++j) {
+            ASSERT_EQ(trace.insts[i + j].blockId, blockId);
+            ASSERT_EQ(trace.insts[i + j].cls, shape[j].cls);
+        }
+        i += shape.size();
+    }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment harness tests: suite construction, profile caching
+ * semantics (reuse across core-shape changes, invalidation on
+ * predictor/cache changes) and run wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/harness.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+
+TEST(Harness, SuiteHasAllTenBenchmarks)
+{
+    const auto &suite = suitePrograms();
+    ASSERT_EQ(suite.size(), 10u);
+    for (const Benchmark &bench : suite) {
+        EXPECT_TRUE(bench.program.finalized());
+        EXPECT_FALSE(bench.archetype.empty());
+    }
+}
+
+TEST(Harness, ProfileCacheReusesAcrossCoreShape)
+{
+    // Window/width changes do not affect the profile: the cache must
+    // hand back the same object (the paper's amortization argument).
+    const Benchmark &bench = suitePrograms().front();
+    StatSimKnobs knobs;
+    cpu::CoreConfig a = cpu::CoreConfig::baseline();
+    cpu::CoreConfig b = a;
+    b.ruuSize = 32;
+    b.issueWidth = 4;
+    const auto pa = profileFor(bench, a, knobs);
+    const auto pb = profileFor(bench, b, knobs);
+    EXPECT_EQ(pa.get(), pb.get());
+}
+
+TEST(Harness, ProfileCacheInvalidatesOnPredictorChange)
+{
+    const Benchmark &bench = suitePrograms().front();
+    StatSimKnobs knobs;
+    cpu::CoreConfig a = cpu::CoreConfig::baseline();
+    cpu::CoreConfig b = a;
+    b.bpred = b.bpred.scaled(1);
+    EXPECT_NE(profileFor(bench, a, knobs).get(),
+              profileFor(bench, b, knobs).get());
+}
+
+TEST(Harness, ProfileCacheInvalidatesOnCacheChange)
+{
+    const Benchmark &bench = suitePrograms().front();
+    StatSimKnobs knobs;
+    cpu::CoreConfig a = cpu::CoreConfig::baseline();
+    cpu::CoreConfig b = a;
+    b.dl1 = b.dl1.scaled(2.0);
+    EXPECT_NE(profileFor(bench, a, knobs).get(),
+              profileFor(bench, b, knobs).get());
+}
+
+TEST(Harness, ProfileCacheInvalidatesOnIfqChange)
+{
+    // The delayed-update FIFO depth follows the IFQ, so the branch
+    // characteristics change with it.
+    const Benchmark &bench = suitePrograms().front();
+    StatSimKnobs knobs;
+    cpu::CoreConfig a = cpu::CoreConfig::baseline();
+    cpu::CoreConfig b = a;
+    b.ifqSize = 8;
+    EXPECT_NE(profileFor(bench, a, knobs).get(),
+              profileFor(bench, b, knobs).get());
+}
+
+TEST(Harness, KnobsDistinguishProfiles)
+{
+    const Benchmark &bench = suitePrograms().front();
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    StatSimKnobs k1;
+    StatSimKnobs k2;
+    k2.order = 2;
+    StatSimKnobs k3;
+    k3.branchMode = core::BranchProfilingMode::ImmediateUpdate;
+    EXPECT_NE(profileFor(bench, cfg, k1).get(),
+              profileFor(bench, cfg, k2).get());
+    EXPECT_NE(profileFor(bench, cfg, k1).get(),
+              profileFor(bench, cfg, k3).get());
+}
+
+TEST(Harness, RunnersProduceConsistentResults)
+{
+    const Benchmark &bench = suitePrograms()[9];  // route (small)
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const core::SimResult eds = runEds(bench, cfg);
+    const core::SimResult ss = runStatSim(bench, cfg);
+    EXPECT_GT(eds.ipc, 0.0);
+    EXPECT_GT(ss.ipc, 0.0);
+    EXPECT_GT(eds.epc, 0.0);
+    EXPECT_GT(ss.epc, 0.0);
+}
+
+TEST(Harness, WallSecondsMeasuresSomething)
+{
+    volatile uint64_t acc = 0;
+    const double sec = wallSeconds([&] {
+        for (int i = 0; i < 1000000; ++i)
+            acc += i;
+    });
+    EXPECT_GE(sec, 0.0);
+    EXPECT_LT(sec, 10.0);
+}
+
+} // namespace

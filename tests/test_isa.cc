@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the ISA definition: instruction classification,
+ * operand shapes and helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace
+{
+
+using namespace ssim::isa;
+
+TEST(InstClass, TwelveClassesExist)
+{
+    // The paper's section 2.1.1 taxonomy has exactly 12 classes.
+    EXPECT_EQ(NumInstClasses, 12);
+}
+
+TEST(InstClass, LoadOpcodes)
+{
+    for (Opcode op : {Opcode::LB, Opcode::LW, Opcode::LD, Opcode::FLD}) {
+        EXPECT_EQ(classOf(op), InstClass::Load) << opcodeName(op);
+        EXPECT_TRUE(isLoad(op));
+        EXPECT_FALSE(isStore(op));
+    }
+}
+
+TEST(InstClass, StoreOpcodes)
+{
+    for (Opcode op : {Opcode::SB, Opcode::SW, Opcode::SD, Opcode::FSD}) {
+        EXPECT_EQ(classOf(op), InstClass::Store) << opcodeName(op);
+        EXPECT_TRUE(isStore(op));
+        EXPECT_FALSE(isLoad(op));
+    }
+}
+
+TEST(InstClass, IntConditionalBranches)
+{
+    for (Opcode op : {Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+                      Opcode::BGE, Opcode::BLTU, Opcode::BGEU}) {
+        EXPECT_EQ(classOf(op), InstClass::IntCondBranch);
+        EXPECT_TRUE(isCondBranch(op));
+        EXPECT_TRUE(isControlFlow(op));
+        EXPECT_FALSE(isIndirectBranch(op));
+    }
+}
+
+TEST(InstClass, FpConditionalBranches)
+{
+    for (Opcode op : {Opcode::FBLT, Opcode::FBGE, Opcode::FBEQ}) {
+        EXPECT_EQ(classOf(op), InstClass::FpCondBranch);
+        EXPECT_TRUE(isCondBranch(op));
+    }
+}
+
+TEST(InstClass, IndirectBranches)
+{
+    for (Opcode op : {Opcode::JR, Opcode::ICALL, Opcode::RET}) {
+        EXPECT_EQ(classOf(op), InstClass::IndirectBranch);
+        EXPECT_TRUE(isIndirectBranch(op));
+        EXPECT_FALSE(isCondBranch(op));
+    }
+}
+
+TEST(InstClass, DirectJumpsClassifiedAsIntAlu)
+{
+    // The 12-class taxonomy has no unconditional-branch class; direct
+    // jumps count as integer ALU in the mix but still end blocks.
+    for (Opcode op : {Opcode::JMP, Opcode::CALL}) {
+        EXPECT_EQ(classOf(op), InstClass::IntAlu);
+        EXPECT_TRUE(isControlFlow(op));
+        EXPECT_TRUE(isDirectJump(op));
+    }
+}
+
+TEST(InstClass, ArithmeticClasses)
+{
+    EXPECT_EQ(classOf(Opcode::MUL), InstClass::IntMult);
+    EXPECT_EQ(classOf(Opcode::DIV), InstClass::IntDiv);
+    EXPECT_EQ(classOf(Opcode::REM), InstClass::IntDiv);
+    EXPECT_EQ(classOf(Opcode::FADD), InstClass::FpAlu);
+    EXPECT_EQ(classOf(Opcode::FMUL), InstClass::FpMult);
+    EXPECT_EQ(classOf(Opcode::FDIV), InstClass::FpDiv);
+    EXPECT_EQ(classOf(Opcode::FSQRT), InstClass::FpSqrt);
+}
+
+TEST(InstClass, CallAndReturnPredicates)
+{
+    EXPECT_TRUE(isCall(Opcode::CALL));
+    EXPECT_TRUE(isCall(Opcode::ICALL));
+    EXPECT_FALSE(isCall(Opcode::RET));
+    EXPECT_TRUE(isReturn(Opcode::RET));
+    EXPECT_FALSE(isReturn(Opcode::JR));
+}
+
+TEST(Operands, ThreeRegisterAlu)
+{
+    Instruction inst{Opcode::ADD, 5, 6, 7, 0, 0};
+    EXPECT_EQ(numSrcRegs(inst), 2);
+    EXPECT_EQ(srcReg(inst, 0), (RegRef{RegSpace::Int, 6}));
+    EXPECT_EQ(srcReg(inst, 1), (RegRef{RegSpace::Int, 7}));
+    EXPECT_EQ(destReg(inst), (RegRef{RegSpace::Int, 5}));
+}
+
+TEST(Operands, LoadImmediateHasNoSources)
+{
+    Instruction inst{Opcode::LI, 4, 0, 0, 42, 0};
+    EXPECT_EQ(numSrcRegs(inst), 0);
+    EXPECT_TRUE(destReg(inst).valid());
+}
+
+TEST(Operands, StoreHasTwoSourcesNoDest)
+{
+    Instruction inst{Opcode::SD, 0, 3, 4, 8, 0};
+    EXPECT_EQ(numSrcRegs(inst), 2);
+    EXPECT_FALSE(destReg(inst).valid());
+    EXPECT_EQ(srcReg(inst, 0).space, RegSpace::Int);
+    EXPECT_EQ(srcReg(inst, 1).space, RegSpace::Int);
+}
+
+TEST(Operands, FpStoreMixesRegisterFiles)
+{
+    Instruction inst{Opcode::FSD, 0, 3, 4, 8, 0};
+    EXPECT_EQ(srcReg(inst, 0).space, RegSpace::Int);  // base address
+    EXPECT_EQ(srcReg(inst, 1).space, RegSpace::Fp);   // data
+}
+
+TEST(Operands, LoadHasOneSource)
+{
+    Instruction inst{Opcode::LD, 5, 3, 0, 16, 0};
+    EXPECT_EQ(numSrcRegs(inst), 1);
+    EXPECT_EQ(srcReg(inst, 0), (RegRef{RegSpace::Int, 3}));
+    EXPECT_EQ(destReg(inst), (RegRef{RegSpace::Int, 5}));
+}
+
+TEST(Operands, FpLoadWritesFpFile)
+{
+    Instruction inst{Opcode::FLD, 5, 3, 0, 0, 0};
+    EXPECT_EQ(destReg(inst), (RegRef{RegSpace::Fp, 5}));
+}
+
+TEST(Operands, CallWritesReturnAddress)
+{
+    Instruction inst{Opcode::CALL, RegRa, 0, 0, 0, 7};
+    EXPECT_EQ(destReg(inst), (RegRef{RegSpace::Int, RegRa}));
+    EXPECT_EQ(numSrcRegs(inst), 0);
+}
+
+TEST(Operands, ReturnReadsReturnAddress)
+{
+    Instruction inst{Opcode::RET, 0, RegRa, 0, 0, 0};
+    EXPECT_EQ(numSrcRegs(inst), 1);
+    EXPECT_EQ(srcReg(inst, 0), (RegRef{RegSpace::Int, RegRa}));
+}
+
+TEST(Operands, FpCompareWritesIntFile)
+{
+    Instruction inst{Opcode::FCMPLT, 5, 2, 3, 0, 0};
+    EXPECT_EQ(destReg(inst), (RegRef{RegSpace::Int, 5}));
+    EXPECT_EQ(srcReg(inst, 0).space, RegSpace::Fp);
+    EXPECT_EQ(srcReg(inst, 1).space, RegSpace::Fp);
+    EXPECT_EQ(classOf(Opcode::FCMPLT), InstClass::FpAlu);
+}
+
+TEST(MemAccess, SizesMatchOpcodes)
+{
+    EXPECT_EQ(memAccessBytes(Opcode::LB), 1);
+    EXPECT_EQ(memAccessBytes(Opcode::LW), 4);
+    EXPECT_EQ(memAccessBytes(Opcode::LD), 8);
+    EXPECT_EQ(memAccessBytes(Opcode::FLD), 8);
+    EXPECT_EQ(memAccessBytes(Opcode::SB), 1);
+    EXPECT_EQ(memAccessBytes(Opcode::SW), 4);
+}
+
+TEST(Addresses, InstAddrIsInTextSegment)
+{
+    EXPECT_EQ(instAddr(0), TextBase);
+    EXPECT_EQ(instAddr(10), TextBase + 10 * InstBytes);
+    EXPECT_LT(instAddr(1u << 20), DataBase);
+}
+
+TEST(Disassemble, ContainsMnemonic)
+{
+    Instruction inst{Opcode::ADDI, 3, 4, 0, -5, 0};
+    const std::string text = disassemble(inst);
+    EXPECT_NE(text.find("addi"), std::string::npos);
+    EXPECT_NE(text.find("-5"), std::string::npos);
+}
+
+/** Every opcode maps to some class and has a printable name. */
+class AllOpcodes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllOpcodes, HasNameAndClass)
+{
+    const Opcode op = static_cast<Opcode>(GetParam());
+    EXPECT_STRNE(opcodeName(op), "?");
+    EXPECT_LT(static_cast<int>(classOf(op)), NumInstClasses);
+}
+
+TEST_P(AllOpcodes, OperandShapeIsConsistent)
+{
+    const Opcode op = static_cast<Opcode>(GetParam());
+    Instruction inst;
+    inst.op = op;
+    inst.rd = 5;
+    inst.rs1 = 6;
+    inst.rs2 = 7;
+    const int n = numSrcRegs(inst);
+    ASSERT_GE(n, 0);
+    ASSERT_LE(n, 2);
+    for (int i = 0; i < n; ++i)
+        EXPECT_TRUE(srcReg(inst, i).valid());
+    // Out-of-range source queries return invalid refs.
+    EXPECT_FALSE(srcReg(inst, n).valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Isa, AllOpcodes,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+} // namespace

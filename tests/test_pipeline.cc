@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Out-of-order core tests. The core is driven through hand-crafted
+ * synthetic traces (the StsFrontend), which makes every pipeline
+ * behaviour — width limits, dependency serialization, functional unit
+ * contention, flag-driven memory latencies, misprediction recovery —
+ * directly observable and assertable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sts_frontend.hh"
+#include "core/synth_trace.hh"
+#include "cpu/pipeline/ooo_core.hh"
+
+namespace
+{
+
+using namespace ssim;
+using core::SynthInst;
+using core::SyntheticTrace;
+using cpu::BranchOutcome;
+using cpu::CoreConfig;
+using cpu::OoOCore;
+using cpu::SimStats;
+
+SynthInst
+alu(uint16_t dep = 0, isa::InstClass cls = isa::InstClass::IntAlu)
+{
+    SynthInst si;
+    si.cls = cls;
+    si.hasDest = true;
+    si.numSrcs = dep ? 1 : 0;
+    si.depDist[0] = dep;
+    return si;
+}
+
+SynthInst
+load(bool l1Miss = false, bool l2Miss = false, bool tlbMiss = false,
+     uint16_t dep = 0)
+{
+    SynthInst si;
+    si.cls = isa::InstClass::Load;
+    si.isLoad = true;
+    si.hasDest = true;
+    si.numSrcs = dep ? 1 : 0;
+    si.depDist[0] = dep;
+    si.dl1Miss = l1Miss;
+    si.dl2Miss = l2Miss;
+    si.dtlbMiss = tlbMiss;
+    return si;
+}
+
+SynthInst
+branch(bool taken, BranchOutcome outcome = BranchOutcome::Correct)
+{
+    SynthInst si;
+    si.cls = isa::InstClass::IntCondBranch;
+    si.isCtrl = true;
+    si.numSrcs = 0;
+    si.taken = taken;
+    si.outcome = outcome;
+    return si;
+}
+
+SyntheticTrace
+traceOf(std::vector<SynthInst> insts)
+{
+    SyntheticTrace trace;
+    trace.benchmark = "unit";
+    trace.insts = std::move(insts);
+    return trace;
+}
+
+SimStats
+runTrace(const SyntheticTrace &trace, const CoreConfig &cfg)
+{
+    core::StsFrontend frontend(trace, cfg);
+    OoOCore core(cfg, frontend);
+    return core.run();
+}
+
+TEST(Pipeline, CommitsEveryCorrectPathInstruction)
+{
+    std::vector<SynthInst> insts(500, alu());
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_EQ(stats.committed, 500u);
+}
+
+TEST(Pipeline, IndependentOpsReachMachineWidth)
+{
+    std::vector<SynthInst> insts(4000, alu());
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_GT(stats.ipc(), 7.0);
+    EXPECT_LE(stats.ipc(), 8.0 + 1e-9);
+}
+
+TEST(Pipeline, DependentChainSerializes)
+{
+    std::vector<SynthInst> insts(2000, alu(1));
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_NEAR(stats.ipc(), 1.0, 0.05);
+}
+
+TEST(Pipeline, DependenceDistanceTwoDoublesThroughput)
+{
+    // Two interleaved chains: IPC ~ 2.
+    std::vector<SynthInst> insts(2000, alu(2));
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_NEAR(stats.ipc(), 2.0, 0.1);
+}
+
+TEST(Pipeline, NonPipelinedDividerSerializesAtItsLatency)
+{
+    // A dependent chain of integer divides: one result every
+    // intDivLat cycles.
+    std::vector<SynthInst> insts(
+        200, alu(1, isa::InstClass::IntDiv));
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_NEAR(stats.ipc(), 1.0 / cfg.fu.intDivLat, 0.01);
+}
+
+TEST(Pipeline, PipelinedMultiplierOverlapsIndependentOps)
+{
+    // Independent multiplies: 2 units, pipelined -> 2/cycle.
+    std::vector<SynthInst> insts(
+        2000, alu(0, isa::InstClass::IntMult));
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_NEAR(stats.ipc(), 2.0, 0.1);
+}
+
+TEST(Pipeline, NonPipelinedFpDivideBlocksItsUnit)
+{
+    // Independent FP divides on 2 non-pipelined units:
+    // 2 per fpDivLat cycles.
+    std::vector<SynthInst> insts(
+        400, alu(0, isa::InstClass::FpDiv));
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_NEAR(stats.ipc(), 2.0 / cfg.fu.fpDivLat, 0.02);
+}
+
+TEST(Pipeline, LoadThroughputBoundedByPorts)
+{
+    std::vector<SynthInst> insts(2000, load());
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_NEAR(stats.ipc(), cfg.fu.ldStCount, 0.3);
+}
+
+TEST(Pipeline, L1MissLatencyOnDependentLoads)
+{
+    // load -> consumer chains; every load misses L1 and hits L2.
+    std::vector<SynthInst> insts;
+    for (int i = 0; i < 200; ++i) {
+        insts.push_back(load(true, false, false, i ? 2 : 0));
+        insts.push_back(alu(1));
+    }
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    // Each pair costs about agen + dl1 + l2 latency cycles.
+    const double perPair = static_cast<double>(stats.cycles) / 200.0;
+    const double expected = cfg.fu.agenLat + cfg.dl1.latency +
+        cfg.l2.latency + cfg.fu.intAluLat;
+    EXPECT_NEAR(perPair, expected, 3.0);
+}
+
+TEST(Pipeline, TlbMissAddsPenalty)
+{
+    std::vector<SynthInst> chainHit, chainTlb;
+    for (int i = 0; i < 100; ++i) {
+        chainHit.push_back(load(false, false, false, i ? 1 : 0));
+        chainTlb.push_back(load(false, false, true, i ? 1 : 0));
+    }
+    const CoreConfig cfg = CoreConfig::baseline();
+    const uint64_t cyclesHit =
+        runTrace(traceOf(chainHit), cfg).cycles;
+    const uint64_t cyclesTlb =
+        runTrace(traceOf(chainTlb), cfg).cycles;
+    EXPECT_GT(cyclesTlb, cyclesHit + 100 * (cfg.dtlb.missPenalty - 1));
+}
+
+TEST(Pipeline, SmallWindowLimitsIlp)
+{
+    std::vector<SynthInst> insts(2000, alu());
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.ruuSize = 4;
+    cfg.lsqSize = 4;
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_LE(stats.ipc(), 4.2);
+    EXPECT_LE(stats.avgRuuOccupancy(), 4.0);
+}
+
+TEST(Pipeline, MispredictionCostsPenalty)
+{
+    // One mispredicted branch per 20 instructions vs none.
+    std::vector<SynthInst> clean, noisy;
+    for (int i = 0; i < 2000; ++i) {
+        if (i % 20 == 19) {
+            clean.push_back(branch(true, BranchOutcome::Correct));
+            noisy.push_back(branch(true, BranchOutcome::Mispredict));
+        } else {
+            clean.push_back(alu());
+            noisy.push_back(alu());
+        }
+    }
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats sClean = runTrace(traceOf(clean), cfg);
+    const SimStats sNoisy = runTrace(traceOf(noisy), cfg);
+    EXPECT_EQ(sNoisy.committed, 2000u);
+    EXPECT_EQ(sNoisy.mispredicts, 100u);
+    // Each mispredict costs at least the configured restart penalty.
+    EXPECT_GT(sNoisy.cycles,
+              sClean.cycles + 100 * cfg.mispredictPenalty);
+}
+
+TEST(Pipeline, FetchRedirectCheaperThanMispredict)
+{
+    auto make = [](BranchOutcome outcome) {
+        std::vector<SynthInst> insts;
+        for (int i = 0; i < 2000; ++i) {
+            insts.push_back(i % 10 == 9 ? branch(true, outcome)
+                                        : alu());
+        }
+        return traceOf(insts);
+    };
+    const CoreConfig cfg = CoreConfig::baseline();
+    const uint64_t redirect =
+        runTrace(make(BranchOutcome::FetchRedirect), cfg).cycles;
+    const uint64_t mispredict =
+        runTrace(make(BranchOutcome::Mispredict), cfg).cycles;
+    const uint64_t correct =
+        runTrace(make(BranchOutcome::Correct), cfg).cycles;
+    EXPECT_LT(correct, redirect);
+    EXPECT_LT(redirect, mispredict);
+}
+
+TEST(Pipeline, TakenBranchesThrottleFetch)
+{
+    // All-taken branches: at most fetchSpeed taken branches per
+    // fetch cycle.
+    std::vector<SynthInst> insts(2000, branch(true));
+    CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_LE(stats.ipc(), static_cast<double>(cfg.fetchSpeed) + 0.1);
+}
+
+TEST(Pipeline, ICacheMissFlagsStallFetch)
+{
+    std::vector<SynthInst> hits(1000, alu());
+    for (auto &si : hits)
+        si.il1Access = true;
+    std::vector<SynthInst> misses = hits;
+    for (size_t i = 0; i < misses.size(); i += 50)
+        misses[i].il1Miss = true;
+    const CoreConfig cfg = CoreConfig::baseline();
+    const uint64_t cyclesHits = runTrace(traceOf(hits), cfg).cycles;
+    const uint64_t cyclesMisses =
+        runTrace(traceOf(misses), cfg).cycles;
+    // Part of each stall is hidden by the IFQ; most of it must show.
+    EXPECT_GT(cyclesMisses,
+              cyclesHits + 20 * (cfg.l2.latency - 5));
+}
+
+TEST(Pipeline, WrongPathInstructionsNeverCommit)
+{
+    std::vector<SynthInst> insts;
+    for (int i = 0; i < 500; ++i) {
+        insts.push_back(i % 25 == 24
+            ? branch(true, BranchOutcome::Mispredict) : alu(1));
+    }
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    // Every trace instruction commits exactly once even though many
+    // were also fetched as wrong-path fill.
+    EXPECT_EQ(stats.committed, 500u);
+    EXPECT_GT(stats.fetched, stats.committed);
+}
+
+TEST(Pipeline, OccupancyStatisticsAreBounded)
+{
+    std::vector<SynthInst> insts(3000, alu(3));
+    const CoreConfig cfg = CoreConfig::baseline();
+    const SimStats stats = runTrace(traceOf(insts), cfg);
+    EXPECT_GT(stats.avgRuuOccupancy(), 0.0);
+    EXPECT_LE(stats.avgRuuOccupancy(), cfg.ruuSize);
+    EXPECT_LE(stats.avgIfqOccupancy(), cfg.ifqSize);
+    EXPECT_LE(stats.avgLsqOccupancy(), cfg.lsqSize);
+}
+
+TEST(Pipeline, PowerActivityIsRecorded)
+{
+    std::vector<SynthInst> insts(200, load());
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    using cpu::PowerUnit;
+    EXPECT_GT(stats.unitAccesses[static_cast<int>(PowerUnit::Rename)],
+              0u);
+    EXPECT_GT(stats.unitAccesses[static_cast<int>(PowerUnit::DCache)],
+              0u);
+    EXPECT_GT(stats.unitAccesses[static_cast<int>(PowerUnit::Lsq)],
+              0u);
+    EXPECT_LE(stats.unitActiveCycles[static_cast<int>(
+                  PowerUnit::DCache)],
+              stats.cycles);
+}
+
+TEST(Pipeline, NarrowMachineIsSlower)
+{
+    std::vector<SynthInst> insts(3000, alu());
+    CoreConfig wide = CoreConfig::baseline();
+    CoreConfig narrow = CoreConfig::baseline();
+    narrow.decodeWidth = narrow.issueWidth = narrow.commitWidth = 2;
+    const double ipcWide = runTrace(traceOf(insts), wide).ipc();
+    const double ipcNarrow = runTrace(traceOf(insts), narrow).ipc();
+    EXPECT_GT(ipcWide, 3.0 * ipcNarrow / 2.0);
+    EXPECT_LE(ipcNarrow, 2.0 + 1e-9);
+}
+
+TEST(Pipeline, EmptyTraceDrainsImmediately)
+{
+    const SimStats stats = runTrace(traceOf({}),
+                                    CoreConfig::baseline());
+    EXPECT_EQ(stats.committed, 0u);
+}
+
+TEST(Pipeline, MispredictAtTraceEndStillRecovers)
+{
+    std::vector<SynthInst> insts(50, alu());
+    insts.push_back(branch(true, BranchOutcome::Mispredict));
+    const SimStats stats = runTrace(traceOf(insts),
+                                    CoreConfig::baseline());
+    EXPECT_EQ(stats.committed, 51u);
+    EXPECT_EQ(stats.mispredicts, 1u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Power model tests: cc3 conditional clocking semantics, size/width
+ * scaling monotonicity, and the EDP metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace
+{
+
+using namespace ssim;
+using cpu::CoreConfig;
+using cpu::PowerUnit;
+using cpu::SimStats;
+using power::PowerModel;
+using power::PowerReport;
+
+SimStats
+idleStats(uint64_t cycles)
+{
+    SimStats s;
+    s.cycles = cycles;
+    return s;
+}
+
+TEST(Power, IdleUnitBurnsTenPercent)
+{
+    const CoreConfig cfg = CoreConfig::baseline();
+    const PowerModel model(cfg);
+    const PowerReport rep = model.evaluate(idleStats(1000));
+    for (int u = 0; u < cpu::NumPowerUnits; ++u) {
+        EXPECT_NEAR(rep.unitAvg[u],
+                    power::IdleFactor *
+                        model.maxPowerOf(static_cast<PowerUnit>(u)),
+                    1e-9);
+    }
+}
+
+TEST(Power, FullyBusyUnitReachesMax)
+{
+    const CoreConfig cfg = CoreConfig::baseline();
+    const PowerModel model(cfg);
+    SimStats s = idleStats(1000);
+    const int alu = static_cast<int>(PowerUnit::IntAlu);
+    s.unitAccesses[alu] =
+        1000 * static_cast<uint64_t>(model.portsOf(PowerUnit::IntAlu));
+    s.unitActiveCycles[alu] = 1000;
+    const PowerReport rep = model.evaluate(s);
+    EXPECT_NEAR(rep.unitAvg[alu], model.maxPowerOf(PowerUnit::IntAlu),
+                1e-9);
+}
+
+TEST(Power, HalfUtilisationScalesLinearly)
+{
+    const CoreConfig cfg = CoreConfig::baseline();
+    const PowerModel model(cfg);
+    SimStats s = idleStats(1000);
+    const int dc = static_cast<int>(PowerUnit::DCache);
+    s.unitAccesses[dc] = 500 *
+        static_cast<uint64_t>(model.portsOf(PowerUnit::DCache));
+    s.unitActiveCycles[dc] = 500;
+    const PowerReport rep = model.evaluate(s);
+    const double max = model.maxPowerOf(PowerUnit::DCache);
+    // Half the cycles at full tilt, half idle at 10%.
+    EXPECT_NEAR(rep.unitAvg[dc], 0.5 * max + 0.5 * 0.1 * max, 1e-9);
+}
+
+TEST(Power, BiggerCachesBurnMore)
+{
+    CoreConfig small = CoreConfig::baseline();
+    CoreConfig large = CoreConfig::baseline();
+    large.dl1 = large.dl1.scaled(4.0);
+    large.l2 = large.l2.scaled(4.0);
+    EXPECT_GT(PowerModel(large).maxPowerOf(PowerUnit::DCache),
+              PowerModel(small).maxPowerOf(PowerUnit::DCache));
+    EXPECT_GT(PowerModel(large).maxPowerOf(PowerUnit::L2),
+              PowerModel(small).maxPowerOf(PowerUnit::L2));
+}
+
+TEST(Power, BiggerWindowBurnsMore)
+{
+    CoreConfig small = CoreConfig::baseline();
+    small.ruuSize = 32;
+    CoreConfig large = CoreConfig::baseline();
+    large.ruuSize = 128;
+    EXPECT_GT(PowerModel(large).maxPowerOf(PowerUnit::Ruu),
+              PowerModel(small).maxPowerOf(PowerUnit::Ruu));
+    EXPECT_GT(PowerModel(large).maxPowerOf(PowerUnit::IssueSel),
+              PowerModel(small).maxPowerOf(PowerUnit::IssueSel));
+}
+
+TEST(Power, WiderMachineBurnsMore)
+{
+    CoreConfig narrow = CoreConfig::baseline();
+    narrow.decodeWidth = narrow.issueWidth = narrow.commitWidth = 2;
+    const CoreConfig wide = CoreConfig::baseline();
+    EXPECT_GT(PowerModel(wide).maxPowerOf(PowerUnit::Rename),
+              PowerModel(narrow).maxPowerOf(PowerUnit::Rename));
+    EXPECT_GT(PowerModel(wide).maxPowerOf(PowerUnit::RegFile),
+              PowerModel(narrow).maxPowerOf(PowerUnit::RegFile));
+    EXPECT_GT(PowerModel(wide).peakPower(),
+              PowerModel(narrow).peakPower());
+}
+
+TEST(Power, BiggerPredictorBurnsMore)
+{
+    CoreConfig small = CoreConfig::baseline();
+    small.bpred = small.bpred.scaled(-2);
+    CoreConfig large = CoreConfig::baseline();
+    large.bpred = large.bpred.scaled(2);
+    EXPECT_GT(PowerModel(large).maxPowerOf(PowerUnit::Bpred),
+              PowerModel(small).maxPowerOf(PowerUnit::Bpred));
+}
+
+TEST(Power, PeakPowerInPlausibleRange)
+{
+    // 0.18um, 1.2 GHz, 8-wide: tens of Watts, not hundreds.
+    const PowerModel model(CoreConfig::baseline());
+    EXPECT_GT(model.peakPower(), 30.0);
+    EXPECT_LT(model.peakPower(), 150.0);
+}
+
+TEST(Power, FetchUnitAggregatesFrontEnd)
+{
+    const PowerModel model(CoreConfig::baseline());
+    SimStats s = idleStats(100);
+    const PowerReport rep = model.evaluate(s);
+    EXPECT_NEAR(rep.fetchUnit(),
+                rep.unitAvg[static_cast<int>(PowerUnit::ICache)] +
+                rep.unitAvg[static_cast<int>(PowerUnit::ITlb)] +
+                rep.unitAvg[static_cast<int>(PowerUnit::Bpred)],
+                1e-12);
+}
+
+TEST(Power, TotalIsSumOfUnitsPlusClock)
+{
+    const PowerModel model(CoreConfig::baseline());
+    SimStats s = idleStats(500);
+    s.unitAccesses[static_cast<int>(PowerUnit::IntAlu)] = 800;
+    s.unitActiveCycles[static_cast<int>(PowerUnit::IntAlu)] = 400;
+    const PowerReport rep = model.evaluate(s);
+    double sum = rep.clockAvg;
+    for (double v : rep.unitAvg)
+        sum += v;
+    EXPECT_NEAR(rep.total, sum, 1e-9);
+}
+
+TEST(Power, ZeroCyclesYieldsZeroReport)
+{
+    const PowerModel model(CoreConfig::baseline());
+    const PowerReport rep = model.evaluate(SimStats{});
+    EXPECT_DOUBLE_EQ(rep.total, 0.0);
+}
+
+TEST(Power, EnergyDelayProduct)
+{
+    EXPECT_DOUBLE_EQ(PowerModel::energyDelayProduct(20.0, 2.0), 5.0);
+    EXPECT_DOUBLE_EQ(PowerModel::energyDelayProduct(20.0, 0.0), 0.0);
+    // EDP = EPC * CPI^2: lower IPC quadratically worsens EDP.
+    EXPECT_GT(PowerModel::energyDelayProduct(20.0, 1.0),
+              PowerModel::energyDelayProduct(20.0, 2.0));
+}
+
+TEST(Power, UtilisationClampsAtPorts)
+{
+    const PowerModel model(CoreConfig::baseline());
+    SimStats s = idleStats(10);
+    const int alu = static_cast<int>(PowerUnit::IntAlu);
+    s.unitAccesses[alu] = 1000000;   // absurd over-count
+    s.unitActiveCycles[alu] = 10;
+    const PowerReport rep = model.evaluate(s);
+    EXPECT_LE(rep.unitAvg[alu],
+              model.maxPowerOf(PowerUnit::IntAlu) + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Statistical flow graph construction tests, anchored on the paper's
+ * Figure 2 example: the basic block sequence 'AABAABCABC' and its
+ * first- and second-order SFGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profile.hh"
+
+namespace
+{
+
+using namespace ssim::core;
+
+constexpr uint32_t A = 0, B = 1, C = 2;
+
+/** Build an SFG of the given order from a block-id sequence. */
+StatisticalProfile
+fromSequence(int order, const std::vector<uint32_t> &blocks)
+{
+    StatisticalProfile profile;
+    profile.order = order;
+    profile.shapes.assign(3, BlockShape(1));
+    SfgBuilder builder(profile);
+    for (uint32_t b : blocks)
+        builder.startBlock(b, 1);
+    return profile;
+}
+
+const std::vector<uint32_t> Fig2 = {A, A, B, A, A, B, C, A, B, C};
+
+TEST(Sfg, FirstOrderNodeOccurrences)
+{
+    // Figure 2, k = 1: nodes A(5), B(3), C(2).
+    const StatisticalProfile p = fromSequence(1, Fig2);
+    ASSERT_EQ(p.nodeCount(), 3u);
+    EXPECT_EQ(p.nodes.at({A}).occurrences, 5u);
+    EXPECT_EQ(p.nodes.at({B}).occurrences, 3u);
+    EXPECT_EQ(p.nodes.at({C}).occurrences, 2u);
+}
+
+TEST(Sfg, FirstOrderTransitionProbabilities)
+{
+    // Figure 2, k = 1: from A: A 40%, B 60%; from B: A 33%, C 66%;
+    // from C: A 100%.
+    const StatisticalProfile p = fromSequence(1, Fig2);
+    const auto &nodeA = p.nodes.at({A});
+    ASSERT_EQ(nodeA.edges.size(), 2u);
+    EXPECT_EQ(nodeA.edges.at(A).count, 2u);   // 2/5 = 40%
+    EXPECT_EQ(nodeA.edges.at(B).count, 3u);   // 3/5 = 60%
+
+    const auto &nodeB = p.nodes.at({B});
+    EXPECT_EQ(nodeB.edges.at(A).count, 1u);   // 33%
+    EXPECT_EQ(nodeB.edges.at(C).count, 2u);   // 66%
+
+    const auto &nodeC = p.nodes.at({C});
+    ASSERT_EQ(nodeC.edges.size(), 1u);
+    EXPECT_EQ(nodeC.edges.at(A).count, 1u);   // the final C has no
+                                              // successor
+}
+
+TEST(Sfg, SecondOrderNodes)
+{
+    // Figure 2, k = 2: nodes AA(2), AB(3), BA(1), BC(2), CA(1).
+    const StatisticalProfile p = fromSequence(2, Fig2);
+    ASSERT_EQ(p.nodeCount(), 5u);
+    EXPECT_EQ(p.nodes.at({A, A}).occurrences, 2u);
+    EXPECT_EQ(p.nodes.at({A, B}).occurrences, 3u);
+    EXPECT_EQ(p.nodes.at({B, A}).occurrences, 1u);
+    EXPECT_EQ(p.nodes.at({B, C}).occurrences, 2u);
+    EXPECT_EQ(p.nodes.at({C, A}).occurrences, 1u);
+}
+
+TEST(Sfg, SecondOrderTransitions)
+{
+    // Figure 2, k = 2: AA -B-> AB (100%); AB -A-> BA (33%),
+    // AB -C-> BC (66%); BC -A-> CA (100%); BA -A-> AA (100%);
+    // CA -B-> AB (100%).
+    const StatisticalProfile p = fromSequence(2, Fig2);
+    EXPECT_EQ(p.nodes.at({A, A}).edges.at(B).count, 2u);
+    EXPECT_EQ(p.nodes.at({A, B}).edges.at(A).count, 1u);
+    EXPECT_EQ(p.nodes.at({A, B}).edges.at(C).count, 2u);
+    EXPECT_EQ(p.nodes.at({B, C}).edges.at(A).count, 1u);
+    EXPECT_EQ(p.nodes.at({B, A}).edges.at(A).count, 1u);
+    EXPECT_EQ(p.nodes.at({C, A}).edges.at(B).count, 1u);
+}
+
+TEST(Sfg, ZeroOrderHasNoEdges)
+{
+    const StatisticalProfile p = fromSequence(0, Fig2);
+    ASSERT_EQ(p.nodeCount(), 3u);
+    for (const auto &[gram, node] : p.nodes)
+        EXPECT_TRUE(node.edges.empty());
+    EXPECT_EQ(p.nodes.at({A}).occurrences, 5u);
+}
+
+TEST(Sfg, QualifiedBlockCountGrowsWithOrder)
+{
+    // Table 3's metric: distinct (k+1)-grams, monotone in k.
+    const size_t q0 = fromSequence(0, Fig2).qualifiedBlockCount();
+    const size_t q1 = fromSequence(1, Fig2).qualifiedBlockCount();
+    const size_t q2 = fromSequence(2, Fig2).qualifiedBlockCount();
+    EXPECT_EQ(q0, 3u);   // distinct blocks
+    EXPECT_EQ(q1, 5u);   // AA, AB, BA, BC, CA
+    EXPECT_EQ(q2, 6u);   // AAB, ABA, ABC, BAA, BCA, CAB
+    EXPECT_LE(q0, q1);
+    EXPECT_LE(q1, q2);
+}
+
+TEST(Sfg, HigherOrderWarmupSkipsPrefix)
+{
+    // With k = 2 the first complete gram needs two blocks: the very
+    // first block contributes to no node.
+    const StatisticalProfile p = fromSequence(2, {A, B, C});
+    EXPECT_EQ(p.nodeCount(), 2u);   // AB, BC
+    EXPECT_EQ(p.dynamicBlocks, 2u);
+}
+
+TEST(Sfg, EntryStatsCoverEveryDynamicBlock)
+{
+    const StatisticalProfile p = fromSequence(1, Fig2);
+    uint64_t total = 0;
+    for (const auto &[gram, node] : p.nodes)
+        total += node.entryStats.occurrences;
+    EXPECT_EQ(total, Fig2.size());
+}
+
+TEST(Sfg, EdgeCountsSumToTransitions)
+{
+    const StatisticalProfile p = fromSequence(1, Fig2);
+    uint64_t total = 0;
+    for (const auto &[gram, node] : p.nodes)
+        for (const auto &[next, edge] : node.edges)
+            total += edge.count;
+    EXPECT_EQ(total, Fig2.size() - 1);   // N blocks, N-1 transitions
+}
+
+TEST(Sfg, SelfLoopHandled)
+{
+    const StatisticalProfile p = fromSequence(1, {A, A, A, A});
+    EXPECT_EQ(p.nodes.at({A}).occurrences, 4u);
+    EXPECT_EQ(p.nodes.at({A}).edges.at(A).count, 3u);
+}
+
+TEST(QBlockStats, EnsureSlotsGrowsMonotonically)
+{
+    QBlockStats qb;
+    qb.ensureSlots(3);
+    EXPECT_EQ(qb.slots.size(), 3u);
+    qb.ensureSlots(2);
+    EXPECT_EQ(qb.slots.size(), 3u);
+    qb.ensureSlots(5);
+    EXPECT_EQ(qb.slots.size(), 5u);
+}
+
+TEST(GramHash, DistinguishesOrderAndContent)
+{
+    GramHash h;
+    EXPECT_NE(h({A, B}), h({B, A}));
+    EXPECT_NE(h({A}), h({A, A}));
+    EXPECT_EQ(h({A, B, C}), h({A, B, C}));
+}
+
+} // namespace

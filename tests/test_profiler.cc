@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Statistical profiler tests: dependency distances, cache/branch
+ * event recording, immediate vs delayed branch profiling, the perfect
+ * structure idealizations, and sampling windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "core/statsim.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+/** Simple counted loop: ~6 instructions per iteration. */
+isa::Program
+loopProgram(int iterations)
+{
+    isa::Assembler as("loop");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.li(4, iterations);
+    as.bind(top);
+    as.addi(3, 3, 1);          // RAW on r3, distance = loop body
+    as.slti(5, 3, 1 << 30);
+    as.add(6, 5, 3);           // RAW distances 1 and 2
+    as.blt(3, 4, top);
+    as.halt();
+    return as.finish();
+}
+
+cpu::CoreConfig
+cfg()
+{
+    return cpu::CoreConfig::baseline();
+}
+
+TEST(Profiler, CountsInstructionsAndBlocks)
+{
+    const isa::Program prog = loopProgram(1000);
+    const StatisticalProfile p = buildProfile(prog, cfg());
+    // 2 setup + 1000 x 4 body + final halt block of 1.
+    EXPECT_EQ(p.instructions, 2u + 4000u + 1u);
+    EXPECT_GT(p.dynamicBlocks, 1000u);
+}
+
+TEST(Profiler, ShapesMatchProgramBlocks)
+{
+    const isa::Program prog = loopProgram(10);
+    const StatisticalProfile p = buildProfile(prog, cfg());
+    ASSERT_EQ(p.shapes.size(), prog.numBlocks());
+    for (size_t b = 0; b < prog.numBlocks(); ++b)
+        EXPECT_EQ(p.shapes[b].size(), prog.blocks()[b].size());
+}
+
+TEST(Profiler, DependencyDistancesInLoop)
+{
+    const isa::Program prog = loopProgram(500);
+    const StatisticalProfile p = buildProfile(prog, cfg());
+
+    // Find the loop body block's stats (the node with the highest
+    // occurrence count).
+    const QBlockStats *body = nullptr;
+    for (const auto &[gram, node] : p.nodes) {
+        if (!body ||
+            node.entryStats.occurrences > body->occurrences) {
+            body = &node.entryStats;
+        }
+    }
+    ASSERT_NE(body, nullptr);
+    ASSERT_EQ(body->slots.size(), 4u);
+
+    // Slot 1 (slti) depends on the addi right before it: distance 1.
+    EXPECT_GT(body->slots[1].depDist[0].probabilityOf(1), 0.9);
+    // Slot 2 (add) reads r5 (distance 1) and r3 (distance 2).
+    EXPECT_GT(body->slots[2].depDist[0].probabilityOf(1), 0.9);
+    EXPECT_GT(body->slots[2].depDist[1].probabilityOf(2), 0.9);
+    // Slot 0 (addi r3) depends on the previous iteration: distance 4.
+    EXPECT_GT(body->slots[0].depDist[0].probabilityOf(4), 0.9);
+}
+
+TEST(Profiler, DistancesAreCapped)
+{
+    // A value produced once and consumed after a very long loop must
+    // be recorded as the cap, not dropped.
+    isa::Assembler as("cap");
+    isa::Label top = as.newLabel();
+    as.li(7, 99);              // produced once
+    as.li(3, 0);
+    as.li(4, 2000);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.blt(3, 4, top);
+    as.add(8, 7, 7);           // distance way beyond 512
+    as.halt();
+    const isa::Program prog = as.finish();
+    const StatisticalProfile p = buildProfile(prog, cfg());
+
+    bool sawCap = false;
+    for (const auto &[gram, node] : p.nodes) {
+        for (const auto &slot : node.entryStats.slots) {
+            for (const auto &d : slot.depDist) {
+                if (d.countOf(MaxDependencyDistance) > 0)
+                    sawCap = true;
+                for (const auto &[v, c] : d.entries())
+                    EXPECT_LE(v, MaxDependencyDistance);
+            }
+        }
+    }
+    EXPECT_TRUE(sawCap);
+}
+
+TEST(Profiler, TakenProbabilityOfLoopBranch)
+{
+    const isa::Program prog = loopProgram(200);
+    const StatisticalProfile p = buildProfile(prog, cfg());
+    const BranchStats total = p.totalBranchStats();
+    // 200 branch executions, 199 taken.
+    EXPECT_EQ(total.count, 200u);
+    EXPECT_EQ(total.taken, 199u);
+}
+
+TEST(Profiler, PerfectBpredRecordsNoMispredicts)
+{
+    const isa::Program prog = loopProgram(300);
+    ProfileOptions opts;
+    opts.perfectBpred = true;
+    const StatisticalProfile p = buildProfile(prog, cfg(), opts);
+    const BranchStats total = p.totalBranchStats();
+    EXPECT_EQ(total.mispredict, 0u);
+    EXPECT_EQ(total.redirect, 0u);
+    EXPECT_EQ(total.taken, 299u);   // taken still recorded
+}
+
+TEST(Profiler, PerfectCachesRecordNoMisses)
+{
+    const isa::Program prog = loopProgram(300);
+    ProfileOptions opts;
+    opts.perfectCaches = true;
+    const StatisticalProfile p = buildProfile(prog, cfg(), opts);
+    for (const auto &[gram, node] : p.nodes) {
+        for (const auto &slot : node.entryStats.slots) {
+            EXPECT_EQ(slot.il1Miss, 0u);
+            EXPECT_EQ(slot.dl1Miss, 0u);
+            EXPECT_EQ(slot.il1Access, 0u);
+        }
+    }
+}
+
+TEST(Profiler, MaxInstsStopsAtBlockBoundary)
+{
+    const isa::Program prog = loopProgram(100000);
+    ProfileOptions opts;
+    opts.maxInsts = 5000;
+    const StatisticalProfile p = buildProfile(prog, cfg(), opts);
+    EXPECT_GE(p.instructions, 5000u);
+    EXPECT_LT(p.instructions, 5010u);
+}
+
+TEST(Profiler, SkipInstsFastForwards)
+{
+    const isa::Program prog = loopProgram(1000);
+    ProfileOptions opts;
+    opts.skipInsts = 2000;
+    const StatisticalProfile p = buildProfile(prog, cfg(), opts);
+    EXPECT_LT(p.instructions, 2500u);
+    EXPECT_GT(p.instructions, 1000u);
+}
+
+TEST(Profiler, ColdLoopHasICacheMissThenHits)
+{
+    const isa::Program prog = loopProgram(1000);
+    const StatisticalProfile p = buildProfile(prog, cfg());
+    uint64_t acc = 0, miss = 0;
+    for (const auto &[gram, node] : p.nodes) {
+        for (const auto &slot : node.entryStats.slots) {
+            acc += slot.il1Access;
+            miss += slot.il1Miss;
+        }
+    }
+    EXPECT_GT(acc, 0u);
+    // A tiny loop misses only on the cold start.
+    EXPECT_LE(miss, 4u);
+}
+
+TEST(Profiler, DelayedWorseOrEqualToImmediateOnLoopPhases)
+{
+    // The delayed FIFO can only see staler state, so for
+    // history-sensitive codes it should never report substantially
+    // fewer mispredictions than immediate update does.
+    const auto &bench = workloads::build("chess", 1);
+    ProfileOptions imm;
+    imm.branchMode = BranchProfilingMode::ImmediateUpdate;
+    imm.maxInsts = 300000;
+    ProfileOptions del;
+    del.branchMode = BranchProfilingMode::DelayedUpdate;
+    del.maxInsts = 300000;
+    const double immRate =
+        buildProfile(bench, cfg(), imm).mispredictsPerKilo();
+    const double delRate =
+        buildProfile(bench, cfg(), del).mispredictsPerKilo();
+    EXPECT_GE(delRate, immRate * 0.95);
+}
+
+TEST(Profiler, DelayedMatchesExecutionDrivenRate)
+{
+    // The headline claim of section 2.1.3 (Figure 3): delayed-update
+    // profiling reproduces the execution-driven misprediction rate.
+    const auto &bench = workloads::build("zip", 1);
+    ProfileOptions opts;
+    opts.maxInsts = 400000;
+    const double profiled =
+        buildProfile(bench, cfg(), opts).mispredictsPerKilo();
+
+    cpu::EdsOptions eopts;
+    eopts.maxInsts = 400000;
+    const SimResult eds = runExecutionDriven(bench, cfg(), eopts);
+    EXPECT_NEAR(profiled, eds.stats.mispredictsPerKilo(),
+                0.15 * eds.stats.mispredictsPerKilo() + 0.5);
+}
+
+TEST(Profiler, HigherOrderRefinesStatistics)
+{
+    const auto &bench = workloads::build("route", 1);
+    ProfileOptions o1, o2;
+    o1.order = 1;
+    o1.maxInsts = 200000;
+    o2.order = 2;
+    o2.maxInsts = 200000;
+    const StatisticalProfile p1 = buildProfile(bench, cfg(), o1);
+    const StatisticalProfile p2 = buildProfile(bench, cfg(), o2);
+    EXPECT_GE(p2.nodeCount(), p1.nodeCount());
+    EXPECT_GE(p2.qualifiedBlockCount(), p1.qualifiedBlockCount());
+    // Both see the same dynamic stream.
+    EXPECT_EQ(p1.instructions, p2.instructions);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property sweeps over the timing model (parameterized gtest):
+ * microarchitectural monotonicity laws that must hold for every
+ * point of a parameter sweep, checked on synthetic traces so the
+ * suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sts_frontend.hh"
+#include "cpu/pipeline/ooo_core.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace ssim;
+using core::SynthInst;
+using core::SyntheticTrace;
+using cpu::CoreConfig;
+
+/** A mixed trace with tunable dependency tightness and event rates. */
+SyntheticTrace
+mixedTrace(size_t n, double depProb, double missProb,
+           double mispredictProb, uint64_t seed)
+{
+    Rng rng(seed);
+    SyntheticTrace trace;
+    for (size_t i = 0; i < n; ++i) {
+        SynthInst si;
+        const double u = rng.uniform();
+        if (u < 0.15) {
+            si.cls = isa::InstClass::Load;
+            si.isLoad = true;
+            si.hasDest = true;
+            si.dl1Miss = rng.chance(missProb);
+        } else if (u < 0.22) {
+            si.cls = isa::InstClass::Store;
+            si.isStore = true;
+        } else if (u < 0.40) {
+            si.cls = isa::InstClass::IntCondBranch;
+            si.isCtrl = true;
+            si.taken = rng.chance(0.4);
+            if (rng.chance(mispredictProb))
+                si.outcome = cpu::BranchOutcome::Mispredict;
+        } else {
+            si.cls = isa::InstClass::IntAlu;
+            si.hasDest = true;
+        }
+        if (!si.isCtrl && rng.chance(depProb) && i > 0) {
+            si.numSrcs = 1;
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                const uint16_t d = static_cast<uint16_t>(
+                    1 + rng.below(std::min<size_t>(i, 24)));
+                if (trace.insts[i - d].hasDest) {
+                    si.depDist[0] = d;
+                    break;
+                }
+            }
+            if (si.depDist[0] == 0)
+                si.numSrcs = 0;
+        }
+        trace.insts.push_back(si);
+    }
+    return trace;
+}
+
+double
+ipcOf(const SyntheticTrace &trace, const CoreConfig &cfg)
+{
+    core::StsFrontend frontend(trace, cfg);
+    cpu::OoOCore core(cfg, frontend);
+    return core.run().ipc();
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    SyntheticTrace trace_ =
+        mixedTrace(6000, 0.5, 0.1, 0.03, GetParam());
+};
+
+TEST_P(SeededProperty, IpcMonotoneInWindowSize)
+{
+    double prev = 0.0;
+    for (uint32_t ruu : {8u, 16u, 32u, 64u, 128u}) {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.ruuSize = ruu;
+        cfg.lsqSize = std::max(4u, ruu / 2);
+        const double ipc = ipcOf(trace_, cfg);
+        EXPECT_GE(ipc, prev * 0.995) << "ruu=" << ruu;
+        prev = ipc;
+    }
+}
+
+TEST_P(SeededProperty, IpcMonotoneInWidth)
+{
+    double prev = 0.0;
+    for (uint32_t w : {1u, 2u, 4u, 8u}) {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.decodeWidth = cfg.issueWidth = cfg.commitWidth = w;
+        const double ipc = ipcOf(trace_, cfg);
+        EXPECT_GE(ipc, prev * 0.995) << "width=" << w;
+        EXPECT_LE(ipc, w + 1e-9);
+        prev = ipc;
+    }
+}
+
+TEST_P(SeededProperty, IpcFallsWithMispredictPenalty)
+{
+    double prev = 1e9;
+    for (uint32_t penalty : {2u, 8u, 14u, 28u}) {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.mispredictPenalty = penalty;
+        const double ipc = ipcOf(trace_, cfg);
+        EXPECT_LE(ipc, prev * 1.005) << "penalty=" << penalty;
+        prev = ipc;
+    }
+}
+
+TEST_P(SeededProperty, IpcFallsWithMemoryLatency)
+{
+    double prev = 1e9;
+    for (uint32_t lat : {40u, 150u, 400u}) {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.memLatency = lat;
+        // Make some L1 misses reach memory.
+        SyntheticTrace t = trace_;
+        for (auto &si : t.insts)
+            si.dl2Miss = si.dl1Miss;
+        const double ipc = ipcOf(t, cfg);
+        EXPECT_LE(ipc, prev * 1.005) << "mem=" << lat;
+        prev = ipc;
+    }
+}
+
+TEST_P(SeededProperty, InOrderNeverBeatsOutOfOrder)
+{
+    CoreConfig ooo = CoreConfig::baseline();
+    CoreConfig ino = ooo;
+    ino.inOrderIssue = true;
+    EXPECT_LE(ipcOf(trace_, ino), ipcOf(trace_, ooo) * 1.005);
+}
+
+TEST_P(SeededProperty, MoreMispredictsNeverHelp)
+{
+    const SyntheticTrace clean =
+        mixedTrace(6000, 0.5, 0.1, 0.0, GetParam());
+    const SyntheticTrace noisy =
+        mixedTrace(6000, 0.5, 0.1, 0.10, GetParam());
+    const CoreConfig cfg = CoreConfig::baseline();
+    EXPECT_GE(ipcOf(clean, cfg), ipcOf(noisy, cfg));
+}
+
+TEST_P(SeededProperty, TighterDependenciesNeverHelp)
+{
+    const SyntheticTrace loose =
+        mixedTrace(6000, 0.1, 0.05, 0.02, GetParam());
+    const SyntheticTrace tight =
+        mixedTrace(6000, 0.9, 0.05, 0.02, GetParam());
+    const CoreConfig cfg = CoreConfig::baseline();
+    EXPECT_GE(ipcOf(loose, cfg), ipcOf(tight, cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeededProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Report rendering tests: the text reports must include every
+ * section, every power unit and internally consistent numbers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "core/statsim.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+const SimResult &
+result()
+{
+    static const SimResult res = [] {
+        cpu::EdsOptions opts;
+        opts.maxInsts = 50000;
+        return runExecutionDriven(workloads::build("route", 1),
+                                  cpu::CoreConfig::baseline(), opts);
+    }();
+    return res;
+}
+
+TEST(Report, SummaryContainsHeadlineMetrics)
+{
+    std::ostringstream os;
+    printSummary(os, "test", result());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("IPC"), std::string::npos);
+    EXPECT_NE(out.find("EPC"), std::string::npos);
+    EXPECT_NE(out.find("EDP"), std::string::npos);
+    EXPECT_NE(out.find("mispredicts"), std::string::npos);
+    EXPECT_NE(out.find("test: summary"), std::string::npos);
+}
+
+TEST(Report, PipelineSectionsListEveryStage)
+{
+    std::ostringstream os;
+    printPipelineReport(os, result(), cpu::CoreConfig::baseline());
+    const std::string out = os.str();
+    for (const char *stage : {"fetch", "dispatch", "issue", "commit",
+                              "IFQ", "RUU", "LSQ"}) {
+        EXPECT_NE(out.find(stage), std::string::npos) << stage;
+    }
+}
+
+TEST(Report, PowerBreakdownListsEveryUnit)
+{
+    std::ostringstream os;
+    printPowerReport(os, result(), cpu::CoreConfig::baseline());
+    const std::string out = os.str();
+    for (int u = 0; u < cpu::NumPowerUnits; ++u) {
+        EXPECT_NE(out.find(cpu::powerUnitName(
+                      static_cast<cpu::PowerUnit>(u))),
+                  std::string::npos);
+    }
+    EXPECT_NE(out.find("clock"), std::string::npos);
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST(Report, FullReportConcatenatesSections)
+{
+    std::ostringstream os;
+    printFullReport(os, "full", result(),
+                    cpu::CoreConfig::baseline());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("summary"), std::string::npos);
+    EXPECT_NE(out.find("pipeline activity"), std::string::npos);
+    EXPECT_NE(out.find("power breakdown"), std::string::npos);
+}
+
+TEST(Report, ComparisonShowsErrors)
+{
+    std::ostringstream os;
+    printComparison(os, result(), result());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("abs error"), std::string::npos);
+    // Self-comparison: all errors are 0.0%.
+    EXPECT_NE(out.find("0.0%"), std::string::npos);
+}
+
+} // namespace

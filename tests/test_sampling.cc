@@ -1,0 +1,174 @@
+/**
+ * @file
+ * SimPoint substrate tests: BBV collection, k-means (with synthetic
+ * ground-truth clusters), BIC model selection, representative
+ * selection and weighted sampled simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/statsim.hh"
+#include "sampling/simpoint.hh"
+#include "util/random.hh"
+#include "util/statistics.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::sampling;
+
+std::vector<FeatureVector>
+gaussianClusters(int perCluster, const std::vector<FeatureVector>
+                 &centers, double spread, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<FeatureVector> data;
+    for (const auto &c : centers) {
+        for (int i = 0; i < perCluster; ++i) {
+            FeatureVector v(c.size());
+            for (size_t d = 0; d < c.size(); ++d)
+                v[d] = c[d] + rng.gaussian(0.0, spread);
+            data.push_back(std::move(v));
+        }
+    }
+    return data;
+}
+
+TEST(Kmeans, RecoversSeparatedClusters)
+{
+    const std::vector<FeatureVector> centers = {
+        {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    const auto data = gaussianClusters(40, centers, 0.3, 5);
+    const Clustering c = kmeans(data, 3, 7);
+    // All points from one generator cluster share an assignment.
+    for (int g = 0; g < 3; ++g) {
+        const uint32_t label = c.assignment[g * 40];
+        for (int i = 1; i < 40; ++i)
+            EXPECT_EQ(c.assignment[g * 40 + i], label);
+    }
+}
+
+TEST(Kmeans, MoreClustersNeverIncreaseDistortion)
+{
+    const std::vector<FeatureVector> centers = {
+        {0.0, 0.0}, {5.0, 5.0}};
+    const auto data = gaussianClusters(50, centers, 1.0, 9);
+    auto distortion = [&](const Clustering &c) {
+        double acc = 0.0;
+        for (size_t i = 0; i < data.size(); ++i) {
+            double d = 0.0;
+            for (size_t j = 0; j < data[i].size(); ++j) {
+                const double diff =
+                    data[i][j] - c.centroids[c.assignment[i]][j];
+                d += diff * diff;
+            }
+            acc += d;
+        }
+        return acc;
+    };
+    const double d1 = distortion(kmeans(data, 1, 3));
+    const double d4 = distortion(kmeans(data, 4, 3));
+    EXPECT_LE(d4, d1 + 1e-9);
+}
+
+TEST(Kmeans, DeterministicForSeed)
+{
+    const auto data = gaussianClusters(
+        30, {{0.0, 0.0}, {4.0, 4.0}}, 0.5, 11);
+    const Clustering a = kmeans(data, 2, 42);
+    const Clustering b = kmeans(data, 2, 42);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Kmeans, HandlesKLargerThanData)
+{
+    const std::vector<FeatureVector> data = {{0.0}, {1.0}};
+    const Clustering c = kmeans(data, 10, 1);
+    EXPECT_LE(c.k, 2u);
+}
+
+TEST(Bic, PrefersTrueClusterCount)
+{
+    const std::vector<FeatureVector> centers = {
+        {0.0, 0.0}, {20.0, 0.0}, {0.0, 20.0}};
+    const auto data = gaussianClusters(60, centers, 0.4, 13);
+    double bestBic = -1e300;
+    uint32_t bestK = 0;
+    for (uint32_t k = 1; k <= 6; ++k) {
+        const Clustering c = kmeans(data, k, 100 + k);
+        if (c.bic > bestBic) {
+            bestBic = c.bic;
+            bestK = c.k;
+        }
+    }
+    EXPECT_EQ(bestK, 3u);
+}
+
+TEST(Bbv, IntervalsCoverTheRun)
+{
+    const isa::Program prog = workloads::build("route", 1);
+    isa::Emulator emu(prog);
+    emu.run(~0ull);
+    const BbvData bbvs = collectBbvs(prog, 100000);
+    const uint64_t expected =
+        (emu.instCount() + 99999) / 100000;
+    EXPECT_EQ(bbvs.vectors.size(), expected);
+    for (const auto &v : bbvs.vectors)
+        EXPECT_EQ(v.size(), 15u);
+}
+
+TEST(Bbv, VectorsAreNormalizedFrequencies)
+{
+    const isa::Program prog = workloads::build("zip", 1);
+    const BbvData bbvs = collectBbvs(prog, 200000);
+    for (const auto &v : bbvs.vectors) {
+        for (double x : v) {
+            EXPECT_GE(x, 0.0);
+            // Projected sums of frequencies stay bounded by the
+            // projection range.
+            EXPECT_LE(x, 16.0);
+        }
+    }
+}
+
+TEST(SimPoints, WeightsSumToOne)
+{
+    const isa::Program prog = workloads::build("compress", 1);
+    const BbvData bbvs = collectBbvs(prog, 200000);
+    const auto points = pickSimPoints(bbvs, 8);
+    ASSERT_FALSE(points.empty());
+    double total = 0.0;
+    for (const auto &p : points) {
+        total += p.weight;
+        EXPECT_LT(p.interval, bbvs.vectors.size());
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SimPoints, PhasedProgramGetsMultiplePoints)
+{
+    // compress has distinct phases (RLE, MTF, histogram): SimPoint
+    // should pick more than one representative.
+    const isa::Program prog = workloads::build("compress", 1);
+    const BbvData bbvs = collectBbvs(prog, 100000);
+    const auto points = pickSimPoints(bbvs, 8);
+    EXPECT_GE(points.size(), 2u);
+}
+
+TEST(SimPoints, SampledIpcApproximatesFullRun)
+{
+    const isa::Program prog = workloads::build("place", 1);
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const core::SimResult full =
+        core::runExecutionDriven(prog, cfg);
+    const BbvData bbvs = collectBbvs(prog, 100000);
+    const auto points = pickSimPoints(bbvs, 6);
+    const SampledResult sampled =
+        simulateSimPoints(prog, cfg, points, 100000);
+    EXPECT_LT(absoluteError(sampled.ipc, full.ipc), 0.10);
+    EXPECT_LT(sampled.simulatedInstructions, full.stats.committed);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end statistical simulation tests: the full
+ * profile -> generate -> simulate flow against the execution-driven
+ * reference. These encode the paper's top-level claims as testable
+ * bounds (absolute accuracy, the k >= 1 improvement, delayed-update
+ * improvement, relative accuracy, convergence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/statsim.hh"
+#include "util/statistics.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+cpu::CoreConfig
+baseline()
+{
+    return cpu::CoreConfig::baseline();
+}
+
+/** Shared, size-capped fixtures so the suite stays fast. */
+struct Fixture
+{
+    isa::Program prog;
+    SimResult eds;
+
+    explicit Fixture(const char *name, uint64_t maxInsts = 600000)
+        : prog(workloads::build(name, 1))
+    {
+        cpu::EdsOptions opts;
+        opts.maxInsts = maxInsts;
+        eds = runExecutionDriven(prog, baseline(), opts);
+    }
+};
+
+StatSimOptions
+makeOptions(int order, uint64_t reduction, uint64_t seed = 1,
+            uint64_t maxInsts = 600000)
+{
+    StatSimOptions opts;
+    opts.profile.order = order;
+    opts.profile.maxInsts = maxInsts;
+    opts.generation.reductionFactor = reduction;
+    opts.generation.seed = seed;
+    return opts;
+}
+
+TEST(StatSim, IpcWithinPaperBallpark)
+{
+    // Paper: 6.6% average, 14.2% max for IPC. Give individual
+    // workloads headroom; the bench harness reports exact numbers.
+    for (const char *name : {"zip", "route", "perl"}) {
+        Fixture fx(name);
+        const SimResult ss = runStatisticalSimulation(
+            fx.prog, baseline(), makeOptions(1, 10));
+        EXPECT_LT(absoluteError(ss.ipc, fx.eds.ipc), 0.25) << name;
+    }
+}
+
+TEST(StatSim, EpcTracksCloserThanIpc)
+{
+    Fixture fx("place");
+    const SimResult ss = runStatisticalSimulation(
+        fx.prog, baseline(), makeOptions(1, 10));
+    EXPECT_LT(absoluteError(ss.epc, fx.eds.epc), 0.15);
+    EXPECT_GT(ss.epc, 5.0);
+    EXPECT_LT(ss.epc, 80.0);
+}
+
+TEST(StatSim, FirstOrderBeatsZeroOrderUnderPerfectStructures)
+{
+    // Figure 4's claim, evaluated as the paper does: perfect caches
+    // and perfect branch prediction isolate the control/dependency
+    // modeling.
+    cpu::CoreConfig cfg = baseline();
+    cfg.perfectCaches = true;
+    cfg.perfectBpred = true;
+
+    double err0 = 0.0, err1 = 0.0;
+    int count = 0;
+    for (const char *name : {"chess", "cc", "route"}) {
+        const isa::Program prog = workloads::build(name, 1);
+        cpu::EdsOptions eopts;
+        eopts.maxInsts = 400000;
+        const SimResult eds = runExecutionDriven(prog, cfg, eopts);
+
+        for (int k : {0, 1}) {
+            StatSimOptions opts = makeOptions(k, 10, 1, 400000);
+            opts.profile.perfectCaches = true;
+            opts.profile.perfectBpred = true;
+            const SimResult ss =
+                runStatisticalSimulation(prog, cfg, opts);
+            (k == 0 ? err0 : err1) +=
+                absoluteError(ss.ipc, eds.ipc);
+        }
+        ++count;
+    }
+    err0 /= count;
+    err1 /= count;
+    EXPECT_LT(err1, err0 + 0.02);
+    EXPECT_LT(err1, 0.15);   // k=1 is accurate in absolute terms
+}
+
+TEST(StatSim, SyntheticTraceIsShortButPredictive)
+{
+    Fixture fx("raytrace");
+    StatSimOptions opts = makeOptions(1, 50);
+    const StatisticalProfile profile =
+        buildProfile(fx.prog, baseline(), opts.profile);
+    const SyntheticTrace trace =
+        generateSyntheticTrace(profile, opts.generation);
+    // Two orders of magnitude smaller...
+    EXPECT_LT(trace.size() * 40, profile.instructions);
+    // ...yet predictive.
+    const SimResult ss = simulateSyntheticTrace(trace, baseline());
+    EXPECT_LT(absoluteError(ss.ipc, fx.eds.ipc), 0.25);
+}
+
+TEST(StatSim, RelativeAccuracyAcrossWindowSizes)
+{
+    // Section 4.5: trends matter more than absolutes. Compare the
+    // predicted IPC ratio across window sizes with the reference.
+    const isa::Program prog = workloads::build("zip", 1);
+    cpu::CoreConfig smallCfg = baseline();
+    smallCfg.ruuSize = 16;
+    smallCfg.lsqSize = 8;
+    const cpu::CoreConfig largeCfg = baseline();
+
+    cpu::EdsOptions eopts;
+    eopts.maxInsts = 600000;
+    const double edsSmall =
+        runExecutionDriven(prog, smallCfg, eopts).ipc;
+    const double edsLarge =
+        runExecutionDriven(prog, largeCfg, eopts).ipc;
+
+    const StatSimOptions opts = makeOptions(1, 10);
+    const double ssSmall =
+        runStatisticalSimulation(prog, smallCfg, opts).ipc;
+    const double ssLarge =
+        runStatisticalSimulation(prog, largeCfg, opts).ipc;
+
+    EXPECT_LT(relativeError(ssSmall, ssLarge, edsSmall, edsLarge),
+              0.10);
+    // The ordering must be preserved.
+    EXPECT_GT(ssLarge, ssSmall);
+}
+
+TEST(StatSim, SeedVariationIsSmall)
+{
+    // Section 4.1: the CoV across seeds shrinks with trace length;
+    // for a healthy trace it is a few percent.
+    const isa::Program prog = workloads::build("parse", 1);
+    const StatisticalProfile profile = buildProfile(
+        prog, baseline(), ProfileOptions{});
+    RunningStats ipc;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        GenerationOptions gopts;
+        gopts.reductionFactor = 20;
+        gopts.seed = seed;
+        const SyntheticTrace trace =
+            generateSyntheticTrace(profile, gopts);
+        ipc.add(simulateSyntheticTrace(trace, baseline()).ipc);
+    }
+    EXPECT_LT(ipc.cov(), 0.06);
+}
+
+TEST(StatSim, DeterministicEndToEnd)
+{
+    const isa::Program prog = workloads::build("route", 1);
+    const StatSimOptions opts = makeOptions(1, 20, 3, 300000);
+    const SimResult a =
+        runStatisticalSimulation(prog, baseline(), opts);
+    const SimResult b =
+        runStatisticalSimulation(prog, baseline(), opts);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_DOUBLE_EQ(a.epc, b.epc);
+}
+
+TEST(StatSim, ScoreRunComputesDerivedMetrics)
+{
+    Fixture fx("zip", 100000);
+    EXPECT_DOUBLE_EQ(fx.eds.ipc, fx.eds.stats.ipc());
+    EXPECT_DOUBLE_EQ(fx.eds.edp,
+                     fx.eds.epc / (fx.eds.ipc * fx.eds.ipc));
+    EXPECT_DOUBLE_EQ(fx.eds.epc, fx.eds.power.total);
+}
+
+TEST(StatSim, MispredictRatePropagatesToSynthetic)
+{
+    Fixture fx("cc", 400000);
+    const SimResult ss = runStatisticalSimulation(
+        fx.prog, baseline(), makeOptions(1, 10, 1, 400000));
+    EXPECT_NEAR(ss.stats.mispredictsPerKilo(),
+                fx.eds.stats.mispredictsPerKilo(),
+                0.2 * fx.eds.stats.mispredictsPerKilo() + 1.0);
+}
+
+} // namespace

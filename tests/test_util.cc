@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Utility tests: RNG determinism and distributions, discrete
+ * empirical distributions, weighted picking, running statistics and
+ * the paper's error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/distribution.hh"
+#include "util/random.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+#include <sstream>
+
+namespace
+{
+
+using namespace ssim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Distribution, RecordAndProbability)
+{
+    DiscreteDistribution d;
+    d.record(1, 3);
+    d.record(5, 1);
+    EXPECT_EQ(d.totalCount(), 4u);
+    EXPECT_EQ(d.countOf(1), 3u);
+    EXPECT_DOUBLE_EQ(d.probabilityOf(1), 0.75);
+    EXPECT_DOUBLE_EQ(d.probabilityOf(5), 0.25);
+    EXPECT_DOUBLE_EQ(d.probabilityOf(9), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Distribution, SamplingMatchesWeights)
+{
+    DiscreteDistribution d;
+    d.record(2, 900);
+    d.record(7, 100);
+    Rng rng(21);
+    int sevens = 0;
+    for (int i = 0; i < 10000; ++i)
+        sevens += d.sample(rng) == 7 ? 1 : 0;
+    EXPECT_NEAR(sevens / 10000.0, 0.1, 0.02);
+}
+
+TEST(Distribution, RecordAfterSampleRefreezes)
+{
+    DiscreteDistribution d;
+    d.record(1);
+    Rng rng(2);
+    EXPECT_EQ(d.sample(rng), 1u);
+    d.record(9, 1000000);
+    int nines = 0;
+    for (int i = 0; i < 100; ++i)
+        nines += d.sample(rng) == 9 ? 1 : 0;
+    EXPECT_GE(nines, 99);
+}
+
+TEST(Distribution, EntriesSortedByValue)
+{
+    DiscreteDistribution d;
+    d.record(9);
+    d.record(1);
+    d.record(5);
+    const auto &entries = d.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, 1u);
+    EXPECT_EQ(entries[1].first, 5u);
+    EXPECT_EQ(entries[2].first, 9u);
+}
+
+TEST(WeightedPicker, ZeroWeightNeverPicked)
+{
+    WeightedPicker picker;
+    picker.build({0, 10, 0, 5});
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const size_t p = picker.pick(rng);
+        ASSERT_TRUE(p == 1 || p == 3);
+    }
+}
+
+TEST(WeightedPicker, ProportionalSelection)
+{
+    WeightedPicker picker;
+    picker.build({1, 3});
+    Rng rng(19);
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i)
+        ones += picker.pick(rng) == 1 ? 1 : 0;
+    EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.cov(), 2.138 / 5.0, 0.001);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(ErrorMetrics, AbsoluteErrorDefinition)
+{
+    // AE = |M_ss - M_eds| / M_eds (section 4.2).
+    EXPECT_NEAR(absoluteError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_NEAR(absoluteError(0.9, 1.0), 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(absoluteError(2.0, 0.0), 0.0);
+}
+
+TEST(ErrorMetrics, RelativeErrorDefinition)
+{
+    // RE compares predicted vs reference trends A -> B (section 4.5).
+    // Perfect trend prediction even with absolute offsets:
+    EXPECT_DOUBLE_EQ(relativeError(2.0, 3.0, 4.0, 6.0), 0.0);
+    // Predicted +50% vs actual +100%: |1.5 - 2.0| / 2.0 = 0.25.
+    EXPECT_DOUBLE_EQ(relativeError(1.0, 1.5, 1.0, 2.0), 0.25);
+}
+
+TEST(TextTable, AlignsColumnsAndHeader)
+{
+    TextTable t;
+    t.setHeader({"a", "long-header"});
+    t.addRow({"xxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, Formatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(0.066, 1), "6.6%");
+}
+
+} // namespace

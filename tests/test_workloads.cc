@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Workload suite tests, parameterized over all ten benchmarks:
+ * construction, termination, determinism, plausible dynamic size and
+ * instruction-mix sanity; plus per-archetype characteristic checks
+ * (FP content in raytrace, indirect branches in perl, recursion depth
+ * in chess, and so on).
+ */
+
+#include <array>
+#include <gtest/gtest.h>
+
+#include "isa/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using workloads::WorkloadInfo;
+
+struct MixCounts
+{
+    uint64_t total = 0;
+    std::array<uint64_t, isa::NumInstClasses> byClass{};
+    uint64_t controlFlow = 0;
+    uint64_t taken = 0;
+
+    double
+    frac(isa::InstClass c) const
+    {
+        return total ? static_cast<double>(
+            byClass[static_cast<int>(c)]) / total : 0.0;
+    }
+
+    double
+    loadFrac() const
+    {
+        return frac(isa::InstClass::Load);
+    }
+};
+
+MixCounts
+runAndCount(const isa::Program &prog, uint64_t maxInsts = 100000000)
+{
+    isa::Emulator emu(prog);
+    MixCounts mix;
+    while (!emu.halted() && mix.total < maxInsts) {
+        const isa::Instruction &inst = prog.text[emu.pc()];
+        const isa::ExecutedInst rec = emu.step();
+        ++mix.total;
+        ++mix.byClass[static_cast<int>(isa::classOf(inst.op))];
+        if (isa::isControlFlow(inst.op)) {
+            ++mix.controlFlow;
+            mix.taken += rec.taken;
+        }
+    }
+    return mix;
+}
+
+class EveryWorkload : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EveryWorkload, BuildsAndFinalizes)
+{
+    const isa::Program prog = workloads::build(GetParam(), 1);
+    EXPECT_TRUE(prog.finalized());
+    EXPECT_GT(prog.numBlocks(), 5u);
+    EXPECT_EQ(prog.name, GetParam());
+}
+
+TEST_P(EveryWorkload, TerminatesWithPlausibleSize)
+{
+    const isa::Program prog = workloads::build(GetParam(), 1);
+    isa::Emulator emu(prog);
+    emu.run(50000000);
+    EXPECT_TRUE(emu.halted()) << "did not terminate";
+    EXPECT_GT(emu.instCount(), 200000u);
+    EXPECT_LT(emu.instCount(), 40000000u);
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossBuilds)
+{
+    const isa::Program a = workloads::build(GetParam(), 1);
+    const isa::Program b = workloads::build(GetParam(), 1);
+    isa::Emulator ea(a), eb(b);
+    ea.run(~0ull);
+    eb.run(~0ull);
+    EXPECT_EQ(ea.instCount(), eb.instCount());
+}
+
+TEST_P(EveryWorkload, ScaleGrowsTheRun)
+{
+    const isa::Program small = workloads::build(GetParam(), 1);
+    const isa::Program big = workloads::build(GetParam(), 2);
+    isa::Emulator es(small), eb(big);
+    es.run(~0ull);
+    eb.run(~0ull);
+    EXPECT_GT(eb.instCount(), es.instCount() * 5 / 4);
+}
+
+TEST_P(EveryWorkload, HasMemoryAndControlTraffic)
+{
+    const isa::Program prog = workloads::build(GetParam(), 1);
+    const MixCounts mix = runAndCount(prog, 2000000);
+    EXPECT_GT(mix.loadFrac(), 0.01) << "no load traffic";
+    EXPECT_GT(static_cast<double>(mix.controlFlow) / mix.total, 0.03)
+        << "no control flow";
+    EXPECT_GT(mix.taken, 0u);
+}
+
+
+TEST_P(EveryWorkload, InputVariantsDiffer)
+{
+    const isa::Program a = workloads::build(GetParam(), 1, 0);
+    const isa::Program b = workloads::build(GetParam(), 1, 1);
+    // Same code...
+    EXPECT_EQ(a.size(), b.size());
+    // ...different execution (data-dependent paths shift the total).
+    isa::Emulator ea(a), eb(b);
+    ea.run(50000000);
+    eb.run(50000000);
+    ASSERT_TRUE(ea.halted());
+    ASSERT_TRUE(eb.halted());
+    EXPECT_NE(ea.instCount(), eb.instCount());
+}
+
+TEST_P(EveryWorkload, InputVariantsAreDeterministic)
+{
+    const isa::Program a = workloads::build(GetParam(), 1, 3);
+    const isa::Program b = workloads::build(GetParam(), 1, 3);
+    isa::Emulator ea(a), eb(b);
+    ea.run(500000);
+    eb.run(500000);
+    EXPECT_EQ(ea.instCount(), eb.instCount());
+    EXPECT_EQ(ea.pc(), eb.pc());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("compress", "chess", "raytrace", "cc", "zip",
+                      "parse", "perl", "place", "oodb", "route"));
+
+TEST(WorkloadRegistry, SuiteHasTenEntries)
+{
+    EXPECT_EQ(workloads::suite().size(), 10u);
+    for (const WorkloadInfo &info : workloads::suite())
+        EXPECT_FALSE(info.archetype.empty());
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloads::build("no-such-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadCharacter, RaytraceIsFloatingPointHeavy)
+{
+    const MixCounts mix =
+        runAndCount(workloads::build("raytrace", 1), 2000000);
+    const double fp = mix.frac(isa::InstClass::FpAlu) +
+        mix.frac(isa::InstClass::FpMult) +
+        mix.frac(isa::InstClass::FpDiv) +
+        mix.frac(isa::InstClass::FpSqrt);
+    EXPECT_GT(fp, 0.25);
+    EXPECT_GT(mix.frac(isa::InstClass::FpSqrt), 0.001);
+    EXPECT_GT(mix.frac(isa::InstClass::FpDiv), 0.005);
+}
+
+TEST(WorkloadCharacter, IntegerCodesHaveAlmostNoFp)
+{
+    for (const char *name : {"zip", "parse", "cc", "oodb"}) {
+        const MixCounts mix =
+            runAndCount(workloads::build(name, 1), 1000000);
+        const double fp = mix.frac(isa::InstClass::FpAlu) +
+            mix.frac(isa::InstClass::FpMult);
+        EXPECT_LT(fp, 0.01) << name;
+    }
+}
+
+TEST(WorkloadCharacter, PerlIsIndirectBranchHeavy)
+{
+    const MixCounts mix =
+        runAndCount(workloads::build("perl", 1), 2000000);
+    EXPECT_GT(mix.frac(isa::InstClass::IndirectBranch), 0.02);
+}
+
+TEST(WorkloadCharacter, ChessUsesDeepCallChains)
+{
+    const isa::Program prog = workloads::build("chess", 1);
+    isa::Emulator emu(prog);
+    uint64_t depth = 0, maxDepth = 0, steps = 0;
+    while (!emu.halted() && steps < 2000000) {
+        const isa::Opcode op = prog.text[emu.pc()].op;
+        if (isa::isCall(op)) {
+            ++depth;
+            maxDepth = std::max(maxDepth, depth);
+        } else if (isa::isReturn(op) && depth > 0) {
+            --depth;
+        }
+        emu.step();
+        ++steps;
+    }
+    EXPECT_GE(maxDepth, 4u);   // negamax recursion
+}
+
+TEST(WorkloadCharacter, CompressIsStoreHeavy)
+{
+    const MixCounts mix =
+        runAndCount(workloads::build("compress", 1), 2000000);
+    EXPECT_GT(mix.frac(isa::InstClass::Store), 0.02);
+}
+
+TEST(WorkloadCharacter, CcHasManyBasicBlocks)
+{
+    const isa::Program cc = workloads::build("cc", 1);
+    const isa::Program zip = workloads::build("zip", 1);
+    EXPECT_GT(cc.numBlocks(), 2 * zip.numBlocks());
+}
+
+TEST(WorkloadCharacter, ZipFindsMatches)
+{
+    // LZ77 over word-repeating text must take the match-emit path:
+    // position advances faster than one literal per output byte.
+    const isa::Program prog = workloads::build("zip", 1);
+    const MixCounts mix = runAndCount(prog, 10000000);
+    // Matches shorten the run: far fewer than ~40 dynamic
+    // instructions per input byte (the all-literal worst case).
+    EXPECT_LT(mix.total, 30ull * 96 * 1024);
+}
+
+TEST(WorkloadCharacter, PlaceBranchesAreUnbiased)
+{
+    // The annealing accept/reject branch should be mixed, not
+    // near-always one way: overall taken rate strictly inside (5,95)%.
+    const MixCounts mix =
+        runAndCount(workloads::build("place", 1), 2000000);
+    const double takenRate =
+        static_cast<double>(mix.taken) / mix.controlFlow;
+    EXPECT_GT(takenRate, 0.05);
+    EXPECT_LT(takenRate, 0.95);
+}
+
+} // namespace

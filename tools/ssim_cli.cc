@@ -1,0 +1,300 @@
+/**
+ * @file
+ * ssim — command-line front end to the statistical simulation library.
+ *
+ *   ssim list
+ *       List the built-in workloads.
+ *   ssim profile <workload> -o <file> [profile options]
+ *       Run the statistical profiler and save the profile.
+ *   ssim simulate <profile-file> [core options] [generation options]
+ *       Generate a synthetic trace from a saved profile and simulate
+ *       it on the requested core configuration.
+ *   ssim eds <workload> [core options]
+ *       Run the execution-driven reference simulation.
+ *   ssim compare <workload> [core options]
+ *       Run both statistical and execution-driven simulation and
+ *       report the prediction errors.
+ *
+ * Core options:
+ *   --ruu N --lsq N --width N --ifq N --scale-bpred L --scale-cache F
+ *   --perfect-caches --perfect-bpred
+ * Profile options:
+ *   --order K --immediate --skip N --max N
+ * Generation options:
+ *   --reduction R --seed S
+ * Workload options:
+ *   --workload-scale N
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/serialize.hh"
+#include "core/statsim.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+
+struct Options
+{
+    std::string command;
+    std::string target;          // workload name or profile file
+    std::string output;
+
+    // Core configuration.
+    cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+
+    // Profiling.
+    core::ProfileOptions profile;
+
+    // Generation.
+    core::GenerationOptions generation{20, 1, 1000};
+
+    uint64_t workloadScale = 1;
+    bool report = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: ssim <command> [args]\n"
+        "  list                      list built-in workloads\n"
+        "  profile <workload> -o F   profile and save\n"
+        "  simulate <profile-file>   statistical simulation\n"
+        "  eds <workload>            execution-driven simulation\n"
+        "  compare <workload>        both, with error report\n"
+        "core options: --ruu N --lsq N --width N --ifq N\n"
+        "              --scale-bpred L --scale-cache F\n"
+        "              --perfect-caches --perfect-bpred\n"
+        "profile options: --order K --immediate --skip N --max N\n"
+        "generation options: --reduction R --seed S\n"
+        "workload options: --workload-scale N\n"
+        "output options: --report (detailed pipeline/power tables)\n";
+    std::exit(2);
+}
+
+int64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return std::atoll(argv[++i]);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Options opts;
+    opts.command = argv[1];
+    int i = 2;
+    if (opts.command != "list") {
+        if (i >= argc)
+            usage();
+        opts.target = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o") {
+            if (i + 1 >= argc)
+                usage();
+            opts.output = argv[++i];
+        } else if (arg == "--ruu") {
+            opts.cfg.ruuSize = static_cast<uint32_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--lsq") {
+            opts.cfg.lsqSize = static_cast<uint32_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--width") {
+            const auto w = static_cast<uint32_t>(
+                numArg(argc, argv, i));
+            opts.cfg.decodeWidth = w;
+            opts.cfg.issueWidth = w;
+            opts.cfg.commitWidth = w;
+        } else if (arg == "--ifq") {
+            opts.cfg.ifqSize = static_cast<uint32_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--scale-bpred") {
+            opts.cfg.bpred = opts.cfg.bpred.scaled(
+                static_cast<int>(numArg(argc, argv, i)));
+        } else if (arg == "--scale-cache") {
+            const double f = std::atof(argv[++i]);
+            opts.cfg.il1 = opts.cfg.il1.scaled(f);
+            opts.cfg.dl1 = opts.cfg.dl1.scaled(f);
+            opts.cfg.l2 = opts.cfg.l2.scaled(f);
+        } else if (arg == "--perfect-caches") {
+            opts.cfg.perfectCaches = true;
+            opts.profile.perfectCaches = true;
+        } else if (arg == "--perfect-bpred") {
+            opts.cfg.perfectBpred = true;
+            opts.profile.perfectBpred = true;
+        } else if (arg == "--order") {
+            opts.profile.order = static_cast<int>(
+                numArg(argc, argv, i));
+        } else if (arg == "--immediate") {
+            opts.profile.branchMode =
+                core::BranchProfilingMode::ImmediateUpdate;
+        } else if (arg == "--skip") {
+            opts.profile.skipInsts = static_cast<uint64_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--max") {
+            opts.profile.maxInsts = static_cast<uint64_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--reduction") {
+            opts.generation.reductionFactor = static_cast<uint64_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--seed") {
+            opts.generation.seed = static_cast<uint64_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--report") {
+            opts.report = true;
+        } else if (arg == "--workload-scale") {
+            opts.workloadScale = static_cast<uint64_t>(
+                numArg(argc, argv, i));
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+        }
+    }
+    return opts;
+}
+
+void
+printResult(const char *label, const core::SimResult &res)
+{
+    TextTable table;
+    table.setHeader({"metric", label});
+    table.addRow({"IPC", TextTable::num(res.ipc)});
+    table.addRow({"EPC (W)", TextTable::num(res.epc, 2)});
+    table.addRow({"EDP", TextTable::num(res.edp, 2)});
+    table.addRow({"cycles", std::to_string(res.stats.cycles)});
+    table.addRow({"committed", std::to_string(res.stats.committed)});
+    table.addRow({"mispredicts/1K",
+                  TextTable::num(res.stats.mispredictsPerKilo(), 2)});
+    table.print(std::cout);
+}
+
+int
+cmdList()
+{
+    TextTable table;
+    table.setHeader({"workload", "archetype", "description"});
+    for (const auto &info : workloads::suite())
+        table.addRow({info.name, info.archetype, info.description});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const Options &opts)
+{
+    if (opts.output.empty()) {
+        std::cerr << "profile: -o <file> is required\n";
+        return 2;
+    }
+    const isa::Program prog =
+        workloads::build(opts.target, opts.workloadScale);
+    const core::StatisticalProfile profile =
+        core::buildProfile(prog, opts.cfg, opts.profile);
+    core::saveProfileFile(profile, opts.output);
+    std::cout << "profiled " << profile.instructions
+              << " instructions; " << profile.nodeCount()
+              << " SFG nodes, " << profile.qualifiedBlockCount()
+              << " qualified blocks -> " << opts.output << "\n";
+    return 0;
+}
+
+int
+cmdSimulate(const Options &opts)
+{
+    const core::StatisticalProfile profile =
+        core::loadProfileFile(opts.target);
+    const core::SyntheticTrace trace =
+        core::generateSyntheticTrace(profile, opts.generation);
+    std::cout << "synthetic trace: " << trace.size()
+              << " instructions (R="
+              << opts.generation.reductionFactor << ")\n";
+    const core::SimResult res =
+        core::simulateSyntheticTrace(trace, opts.cfg);
+    if (opts.report)
+        core::printFullReport(std::cout, "statistical", res, opts.cfg);
+    else
+        printResult("statistical", res);
+    return 0;
+}
+
+int
+cmdEds(const Options &opts)
+{
+    const isa::Program prog =
+        workloads::build(opts.target, opts.workloadScale);
+    const core::SimResult res =
+        core::runExecutionDriven(prog, opts.cfg);
+    if (opts.report)
+        core::printFullReport(std::cout, "execution-driven", res,
+                              opts.cfg);
+    else
+        printResult("execution-driven", res);
+    return 0;
+}
+
+int
+cmdCompare(const Options &opts)
+{
+    const isa::Program prog =
+        workloads::build(opts.target, opts.workloadScale);
+    core::StatSimOptions ssOpts;
+    ssOpts.profile = opts.profile;
+    ssOpts.generation = opts.generation;
+    const core::SimResult ss =
+        core::runStatisticalSimulation(prog, opts.cfg, ssOpts);
+    const core::SimResult eds =
+        core::runExecutionDriven(prog, opts.cfg);
+
+    TextTable table;
+    table.setHeader({"metric", "statistical", "execution-driven",
+                     "abs error"});
+    table.addRow({"IPC", TextTable::num(ss.ipc),
+                  TextTable::num(eds.ipc),
+                  TextTable::pct(absoluteError(ss.ipc, eds.ipc))});
+    table.addRow({"EPC (W)", TextTable::num(ss.epc, 2),
+                  TextTable::num(eds.epc, 2),
+                  TextTable::pct(absoluteError(ss.epc, eds.epc))});
+    table.addRow({"EDP", TextTable::num(ss.edp, 2),
+                  TextTable::num(eds.edp, 2),
+                  TextTable::pct(absoluteError(ss.edp, eds.edp))});
+    table.print(std::cout);
+    if (opts.report)
+        core::printComparison(std::cout, ss, eds);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parse(argc, argv);
+    if (opts.command == "list")
+        return cmdList();
+    if (opts.command == "profile")
+        return cmdProfile(opts);
+    if (opts.command == "simulate")
+        return cmdSimulate(opts);
+    if (opts.command == "eds")
+        return cmdEds(opts);
+    if (opts.command == "compare")
+        return cmdCompare(opts);
+    usage();
+}
