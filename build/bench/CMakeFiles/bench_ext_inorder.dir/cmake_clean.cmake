@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_inorder.dir/bench_ext_inorder.cc.o"
+  "CMakeFiles/bench_ext_inorder.dir/bench_ext_inorder.cc.o.d"
+  "bench_ext_inorder"
+  "bench_ext_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_inputs.dir/bench_ext_inputs.cc.o"
+  "CMakeFiles/bench_ext_inputs.dir/bench_ext_inputs.cc.o.d"
+  "bench_ext_inputs"
+  "bench_ext_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ipc_epc.dir/bench_fig6_ipc_epc.cc.o"
+  "CMakeFiles/bench_fig6_ipc_epc.dir/bench_fig6_ipc_epc.cc.o.d"
+  "bench_fig6_ipc_epc"
+  "bench_fig6_ipc_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ipc_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

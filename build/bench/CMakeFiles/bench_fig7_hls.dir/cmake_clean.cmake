@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hls.dir/bench_fig7_hls.cc.o"
+  "CMakeFiles/bench_fig7_hls.dir/bench_fig7_hls.cc.o.d"
+  "bench_fig7_hls"
+  "bench_fig7_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

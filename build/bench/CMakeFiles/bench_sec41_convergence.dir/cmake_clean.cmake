@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_convergence.dir/bench_sec41_convergence.cc.o"
+  "CMakeFiles/bench_sec41_convergence.dir/bench_sec41_convergence.cc.o.d"
+  "bench_sec41_convergence"
+  "bench_sec41_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

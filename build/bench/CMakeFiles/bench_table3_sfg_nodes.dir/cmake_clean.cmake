@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sfg_nodes.dir/bench_table3_sfg_nodes.cc.o"
+  "CMakeFiles/bench_table3_sfg_nodes.dir/bench_table3_sfg_nodes.cc.o.d"
+  "bench_table3_sfg_nodes"
+  "bench_table3_sfg_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sfg_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

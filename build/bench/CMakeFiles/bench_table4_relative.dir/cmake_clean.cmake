@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_relative.dir/bench_table4_relative.cc.o"
+  "CMakeFiles/bench_table4_relative.dir/bench_table4_relative.cc.o.d"
+  "bench_table4_relative"
+  "bench_table4_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_profiling_study.dir/branch_profiling_study.cpp.o"
+  "CMakeFiles/branch_profiling_study.dir/branch_profiling_study.cpp.o.d"
+  "branch_profiling_study"
+  "branch_profiling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_profiling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_space_explorer.cpp" "examples/CMakeFiles/design_space_explorer.dir/design_space_explorer.cpp.o" "gcc" "examples/CMakeFiles/design_space_explorer.dir/design_space_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ssim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ssim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ssim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_baselines.dir/hls.cc.o"
+  "CMakeFiles/ssim_baselines.dir/hls.cc.o.d"
+  "libssim_baselines.a"
+  "libssim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssim_baselines.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/generator.cc" "src/core/CMakeFiles/ssim_core.dir/generator.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/generator.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/ssim_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/ssim_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/ssim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/report.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/ssim_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/statsim.cc" "src/core/CMakeFiles/ssim_core.dir/statsim.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/statsim.cc.o.d"
+  "/root/repo/src/core/sts_frontend.cc" "src/core/CMakeFiles/ssim_core.dir/sts_frontend.cc.o" "gcc" "src/core/CMakeFiles/ssim_core.dir/sts_frontend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/ssim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ssim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

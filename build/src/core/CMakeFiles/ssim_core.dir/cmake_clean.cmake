@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_core.dir/generator.cc.o"
+  "CMakeFiles/ssim_core.dir/generator.cc.o.d"
+  "CMakeFiles/ssim_core.dir/profile.cc.o"
+  "CMakeFiles/ssim_core.dir/profile.cc.o.d"
+  "CMakeFiles/ssim_core.dir/profiler.cc.o"
+  "CMakeFiles/ssim_core.dir/profiler.cc.o.d"
+  "CMakeFiles/ssim_core.dir/report.cc.o"
+  "CMakeFiles/ssim_core.dir/report.cc.o.d"
+  "CMakeFiles/ssim_core.dir/serialize.cc.o"
+  "CMakeFiles/ssim_core.dir/serialize.cc.o.d"
+  "CMakeFiles/ssim_core.dir/statsim.cc.o"
+  "CMakeFiles/ssim_core.dir/statsim.cc.o.d"
+  "CMakeFiles/ssim_core.dir/sts_frontend.cc.o"
+  "CMakeFiles/ssim_core.dir/sts_frontend.cc.o.d"
+  "libssim_core.a"
+  "libssim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

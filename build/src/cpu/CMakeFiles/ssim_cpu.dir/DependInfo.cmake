@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bpred/branch_unit.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/bpred/branch_unit.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/bpred/branch_unit.cc.o.d"
+  "/root/repo/src/cpu/bpred/direction.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/bpred/direction.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/bpred/direction.cc.o.d"
+  "/root/repo/src/cpu/cache/cache.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/cache/cache.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cpu/cache/hierarchy.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/cache/hierarchy.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cpu/config.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/config.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/config.cc.o.d"
+  "/root/repo/src/cpu/eds_frontend.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/eds_frontend.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/eds_frontend.cc.o.d"
+  "/root/repo/src/cpu/pipeline/fu_pool.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/fu_pool.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/fu_pool.cc.o.d"
+  "/root/repo/src/cpu/pipeline/ooo_core.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/pipeline/sim_stats.cc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/sim_stats.cc.o" "gcc" "src/cpu/CMakeFiles/ssim_cpu.dir/pipeline/sim_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

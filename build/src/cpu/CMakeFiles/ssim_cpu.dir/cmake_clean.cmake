@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_cpu.dir/bpred/branch_unit.cc.o"
+  "CMakeFiles/ssim_cpu.dir/bpred/branch_unit.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/bpred/direction.cc.o"
+  "CMakeFiles/ssim_cpu.dir/bpred/direction.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/cache/cache.cc.o"
+  "CMakeFiles/ssim_cpu.dir/cache/cache.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/ssim_cpu.dir/cache/hierarchy.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/config.cc.o"
+  "CMakeFiles/ssim_cpu.dir/config.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/eds_frontend.cc.o"
+  "CMakeFiles/ssim_cpu.dir/eds_frontend.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/pipeline/fu_pool.cc.o"
+  "CMakeFiles/ssim_cpu.dir/pipeline/fu_pool.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/pipeline/ooo_core.cc.o"
+  "CMakeFiles/ssim_cpu.dir/pipeline/ooo_core.cc.o.d"
+  "CMakeFiles/ssim_cpu.dir/pipeline/sim_stats.cc.o"
+  "CMakeFiles/ssim_cpu.dir/pipeline/sim_stats.cc.o.d"
+  "libssim_cpu.a"
+  "libssim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

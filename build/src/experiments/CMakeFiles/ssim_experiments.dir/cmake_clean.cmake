@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_experiments.dir/harness.cc.o"
+  "CMakeFiles/ssim_experiments.dir/harness.cc.o.d"
+  "libssim_experiments.a"
+  "libssim_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

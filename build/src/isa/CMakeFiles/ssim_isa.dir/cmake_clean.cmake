@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_isa.dir/assembler.cc.o"
+  "CMakeFiles/ssim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ssim_isa.dir/emulator.cc.o"
+  "CMakeFiles/ssim_isa.dir/emulator.cc.o.d"
+  "CMakeFiles/ssim_isa.dir/isa.cc.o"
+  "CMakeFiles/ssim_isa.dir/isa.cc.o.d"
+  "CMakeFiles/ssim_isa.dir/program.cc.o"
+  "CMakeFiles/ssim_isa.dir/program.cc.o.d"
+  "libssim_isa.a"
+  "libssim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

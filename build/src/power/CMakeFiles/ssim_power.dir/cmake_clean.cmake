@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_power.dir/power_model.cc.o"
+  "CMakeFiles/ssim_power.dir/power_model.cc.o.d"
+  "libssim_power.a"
+  "libssim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

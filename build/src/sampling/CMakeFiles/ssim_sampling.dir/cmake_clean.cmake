@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_sampling.dir/simpoint.cc.o"
+  "CMakeFiles/ssim_sampling.dir/simpoint.cc.o.d"
+  "libssim_sampling.a"
+  "libssim_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

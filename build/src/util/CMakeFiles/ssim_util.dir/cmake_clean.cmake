@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_util.dir/distribution.cc.o"
+  "CMakeFiles/ssim_util.dir/distribution.cc.o.d"
+  "CMakeFiles/ssim_util.dir/logging.cc.o"
+  "CMakeFiles/ssim_util.dir/logging.cc.o.d"
+  "CMakeFiles/ssim_util.dir/random.cc.o"
+  "CMakeFiles/ssim_util.dir/random.cc.o.d"
+  "CMakeFiles/ssim_util.dir/statistics.cc.o"
+  "CMakeFiles/ssim_util.dir/statistics.cc.o.d"
+  "CMakeFiles/ssim_util.dir/table.cc.o"
+  "CMakeFiles/ssim_util.dir/table.cc.o.d"
+  "libssim_util.a"
+  "libssim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

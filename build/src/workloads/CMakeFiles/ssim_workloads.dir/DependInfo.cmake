@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_gen.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/data_gen.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/data_gen.cc.o.d"
+  "/root/repo/src/workloads/wl_cc.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_cc.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_cc.cc.o.d"
+  "/root/repo/src/workloads/wl_chess.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_chess.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_chess.cc.o.d"
+  "/root/repo/src/workloads/wl_compress.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_compress.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_compress.cc.o.d"
+  "/root/repo/src/workloads/wl_oodb.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_oodb.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_oodb.cc.o.d"
+  "/root/repo/src/workloads/wl_parse.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_parse.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_parse.cc.o.d"
+  "/root/repo/src/workloads/wl_perl.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_perl.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_perl.cc.o.d"
+  "/root/repo/src/workloads/wl_place.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_place.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_place.cc.o.d"
+  "/root/repo/src/workloads/wl_raytrace.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_raytrace.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_raytrace.cc.o.d"
+  "/root/repo/src/workloads/wl_route.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_route.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_route.cc.o.d"
+  "/root/repo/src/workloads/wl_zip.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_zip.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/wl_zip.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/ssim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/ssim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_workloads.dir/data_gen.cc.o"
+  "CMakeFiles/ssim_workloads.dir/data_gen.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_cc.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_cc.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_chess.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_chess.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_compress.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_compress.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_oodb.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_oodb.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_parse.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_parse.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_perl.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_perl.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_place.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_place.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_raytrace.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_raytrace.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_route.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_route.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/wl_zip.cc.o"
+  "CMakeFiles/ssim_workloads.dir/wl_zip.cc.o.d"
+  "CMakeFiles/ssim_workloads.dir/workload.cc.o"
+  "CMakeFiles/ssim_workloads.dir/workload.cc.o.d"
+  "libssim_workloads.a"
+  "libssim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eds.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_eds.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_eds.cc.o.d"
+  "/root/repo/tests/test_eds_edge.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_eds_edge.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_eds_edge.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_hls.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_hls.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_hls.cc.o.d"
+  "/root/repo/tests/test_inorder.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_inorder.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_inorder.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sampling.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_sampling.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_sampling.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_statsim.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_statsim.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_statsim.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ssim_integration_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ssim_integration_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ssim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ssim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/ssim_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/ssim_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ssim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ssim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

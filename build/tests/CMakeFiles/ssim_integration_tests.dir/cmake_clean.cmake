@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_integration_tests.dir/test_eds.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_eds.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_eds_edge.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_eds_edge.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_generator.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_generator.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_harness.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_hls.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_hls.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_inorder.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_inorder.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_profiler.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_profiler.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_report.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_report.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_sampling.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_sampling.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_serialize.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_serialize.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_statsim.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_statsim.cc.o.d"
+  "CMakeFiles/ssim_integration_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/ssim_integration_tests.dir/test_workloads.cc.o.d"
+  "ssim_integration_tests"
+  "ssim_integration_tests.pdb"
+  "ssim_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_bpred.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_bpred.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_bpred.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_emulator.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_emulator.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_emulator.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_sts.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_sts.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_sts.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/ssim_unit_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/ssim_unit_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ssim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ssim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ssim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ssim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

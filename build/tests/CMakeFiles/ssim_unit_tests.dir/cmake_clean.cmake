@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_unit_tests.dir/test_assembler.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_assembler.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_bpred.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_bpred.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_cache.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_cache.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_config.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_config.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_emulator.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_emulator.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_isa.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_pipeline.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_pipeline.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_power.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_power.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_profile.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_profile.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_properties.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_sts.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_sts.cc.o.d"
+  "CMakeFiles/ssim_unit_tests.dir/test_util.cc.o"
+  "CMakeFiles/ssim_unit_tests.dir/test_util.cc.o.d"
+  "ssim_unit_tests"
+  "ssim_unit_tests.pdb"
+  "ssim_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

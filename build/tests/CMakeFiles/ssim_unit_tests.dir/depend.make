@@ -1,0 +1,2 @@
+# Empty dependencies file for ssim_unit_tests.
+# This may be replaced when dependencies are built.
