@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ssim::core
@@ -286,10 +287,28 @@ class Generator
 
 } // namespace
 
+void
+GenerationOptions::validate() const
+{
+    if (reductionFactor == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "generation options: reductionFactor = 0 is "
+                    "undefined (R >= 1; R = 1 reproduces the full "
+                    "profiled length)");
+    }
+    if (maxDependencyRetries == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "generation options: maxDependencyRetries = 0 "
+                    "would drop every dependency (the paper uses "
+                    "1000)");
+    }
+}
+
 SyntheticTrace
 generateSyntheticTrace(const StatisticalProfile &profile,
                        const GenerationOptions &opts)
 {
+    opts.validate();
     Generator gen(profile, opts);
     return gen.run();
 }

@@ -36,6 +36,13 @@ struct GenerationOptions
      * uses 1000, after which the dependency is dropped).
      */
     uint32_t maxDependencyRetries = 1000;
+
+    /**
+     * @throws ssim::Error (InvalidConfig) for knobs the generation
+     *         walk cannot honour (reduction factor 0, zero dependency
+     *         retries).
+     */
+    void validate() const;
 };
 
 /** Run the reduction + generation algorithm over @p profile. */

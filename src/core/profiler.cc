@@ -6,6 +6,7 @@
 #include "cpu/bpred/branch_unit.hh"
 #include "cpu/cache/hierarchy.hh"
 #include "isa/emulator.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ssim::core
@@ -187,12 +188,28 @@ buildShapes(const isa::Program &prog)
 
 } // namespace
 
+void
+ProfileOptions::validate() const
+{
+    if (order < 0 || order > 8) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "profile options: SFG order " +
+                    std::to_string(order) +
+                    " outside the supported range [0, 8]");
+    }
+    if (maxInsts == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "profile options: maxInsts = 0 profiles nothing "
+                    "(omit it or pass a positive window)");
+    }
+}
+
 StatisticalProfile
 buildProfile(const isa::Program &prog, const cpu::CoreConfig &cfg,
              const ProfileOptions &opts)
 {
-    fatalIf(opts.order < 0 || opts.order > 8,
-            "unsupported SFG order");
+    opts.validate();
+    cfg.validate();
 
     StatisticalProfile profile;
     profile.order = opts.order;

@@ -52,6 +52,13 @@ struct ProfileOptions
     bool warmupDuringSkip = true;
     bool perfectCaches = false;    ///< record every access as a hit
     bool perfectBpred = false;     ///< record every branch as correct
+
+    /**
+     * @throws ssim::Error (InvalidConfig) for knobs the profiler
+     *         cannot honour (order outside [0, 8], an empty profiling
+     *         window).
+     */
+    void validate() const;
 };
 
 /**

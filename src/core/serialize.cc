@@ -1,11 +1,13 @@
 #include "serialize.hh"
 
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
-
-#include "util/logging.hh"
 
 namespace ssim::core
 {
@@ -14,7 +16,10 @@ namespace
 {
 
 constexpr const char *Magic = "ssim-profile";
-constexpr int Version = 1;
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
 
 void
 writeDistribution(std::ostream &os, const DiscreteDistribution &d)
@@ -24,21 +29,6 @@ writeDistribution(std::ostream &os, const DiscreteDistribution &d)
     for (const auto &[value, count] : entries)
         os << ' ' << value << ' ' << count;
     os << '\n';
-}
-
-DiscreteDistribution
-readDistribution(std::istream &is)
-{
-    size_t n = 0;
-    is >> n;
-    DiscreteDistribution d;
-    for (size_t i = 0; i < n; ++i) {
-        uint32_t value;
-        uint64_t count;
-        is >> value >> count;
-        d.record(value, count);
-    }
-    return d;
 }
 
 void
@@ -51,17 +41,6 @@ writeSlot(std::ostream &os, const SlotStats &s)
     writeDistribution(os, s.depDist[1]);
 }
 
-SlotStats
-readSlot(std::istream &is)
-{
-    SlotStats s;
-    is >> s.il1Access >> s.il1Miss >> s.il2Miss >> s.itlbMiss >>
-        s.dl1Miss >> s.dl2Miss >> s.dtlbMiss;
-    s.depDist[0] = readDistribution(is);
-    s.depDist[1] = readDistribution(is);
-    return s;
-}
-
 void
 writeQBlock(std::ostream &os, const QBlockStats &qb)
 {
@@ -72,25 +51,9 @@ writeQBlock(std::ostream &os, const QBlockStats &qb)
         writeSlot(os, s);
 }
 
-QBlockStats
-readQBlock(std::istream &is)
-{
-    QBlockStats qb;
-    size_t nslots = 0;
-    is >> qb.occurrences >> qb.branch.count >> qb.branch.taken >>
-        qb.branch.redirect >> qb.branch.mispredict >> nslots;
-    qb.slots.reserve(nslots);
-    for (size_t i = 0; i < nslots; ++i)
-        qb.slots.push_back(readSlot(is));
-    return qb;
-}
-
-} // namespace
-
 void
-saveProfile(const StatisticalProfile &profile, std::ostream &os)
+writeBody(const StatisticalProfile &profile, std::ostream &os)
 {
-    os << Magic << ' ' << Version << '\n';
     os << profile.order << ' ' << profile.instructions << ' '
        << profile.dynamicBlocks << '\n';
     os << profile.benchmark << '\n';
@@ -122,61 +85,474 @@ saveProfile(const StatisticalProfile &profile, std::ostream &os)
     }
 }
 
-StatisticalProfile
-loadProfile(std::istream &is)
+// ---------------------------------------------------------------------
+// Reading: a strict line-oriented parser with positional diagnostics.
+// ---------------------------------------------------------------------
+
+/**
+ * Walks the payload line by line. Numeric fields are parsed with
+ * std::from_chars, so negative numbers, "nan", hex noise, and partial
+ * tokens are all rejected rather than coerced. Every diagnostic
+ * carries the input name and the 1-based line number (the checksum
+ * header is line 1, so payload lines start at 2).
+ */
+class LineParser
 {
-    std::string magic;
-    int version = 0;
-    is >> magic >> version;
-    fatalIf(magic != Magic, "not a ssim profile");
-    fatalIf(version != Version, "unsupported profile version " +
-            std::to_string(version));
+  public:
+    LineParser(const std::string &text, std::string file)
+        : text_(&text), file_(std::move(file))
+    {
+    }
 
+    /** Advance to the next payload line; false at end of input. */
+    bool
+    nextLine()
+    {
+        if (pos_ >= text_->size())
+            return false;
+        ++lineNo_;
+        lineStart_ = pos_;
+        const size_t nl = text_->find('\n', pos_);
+        lineEnd_ = nl == std::string::npos ? text_->size() : nl;
+        pos_ = nl == std::string::npos ? text_->size() : nl + 1;
+        cur_ = lineStart_;
+        return true;
+    }
+
+    /** nextLine() that treats end-of-input as a corruption error. */
+    void
+    requireLine(const char *what)
+    {
+        if (!nextLine())
+            fail(ErrorCategory::CorruptData,
+                 std::string("unexpected end of profile while "
+                             "reading ") + what);
+    }
+
+    /** Parse the next whitespace-separated unsigned field. */
+    uint64_t
+    u64(const char *field)
+    {
+        while (cur_ < lineEnd_ && (*text_)[cur_] == ' ')
+            ++cur_;
+        const size_t tokStart = cur_;
+        while (cur_ < lineEnd_ && (*text_)[cur_] != ' ')
+            ++cur_;
+        if (tokStart == cur_)
+            fail(ErrorCategory::ParseError,
+                 std::string("missing field '") + field + "'");
+        uint64_t value = 0;
+        const char *first = text_->data() + tokStart;
+        const char *last = text_->data() + cur_;
+        const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+        if (ec != std::errc() || ptr != last)
+            fail(ErrorCategory::ParseError,
+                 std::string("field '") + field +
+                 "': expected unsigned integer, got '" +
+                 std::string(first, last) + "'");
+        return value;
+    }
+
+    /** u64 with an inclusive upper bound (a semantic range check). */
+    uint64_t
+    u64Capped(const char *field, uint64_t max)
+    {
+        const uint64_t v = u64(field);
+        if (v > max)
+            fail(ErrorCategory::CorruptData,
+                 std::string("field '") + field + "' = " +
+                 std::to_string(v) + " exceeds maximum " +
+                 std::to_string(max));
+        return v;
+    }
+
+    /** A strict 0/1 flag. */
+    bool
+    boolean(const char *field)
+    {
+        return u64Capped(field, 1) != 0;
+    }
+
+    /** The untokenized remainder of the current line. */
+    std::string
+    rest() const
+    {
+        size_t start = cur_;
+        while (start < lineEnd_ && (*text_)[start] == ' ')
+            ++start;
+        return text_->substr(start, lineEnd_ - start);
+    }
+
+    /** Assert the current line has no unconsumed tokens. */
+    void
+    endLine()
+    {
+        size_t p = cur_;
+        while (p < lineEnd_ && (*text_)[p] == ' ')
+            ++p;
+        if (p != lineEnd_)
+            fail(ErrorCategory::ParseError,
+                 "trailing data on line: '" +
+                 text_->substr(p, lineEnd_ - p) + "'");
+    }
+
+    /** True when only trailing whitespace remains in the payload. */
+    bool
+    atEnd() const
+    {
+        for (size_t p = pos_; p < text_->size(); ++p) {
+            const char c = (*text_)[p];
+            if (c != ' ' && c != '\n' && c != '\r' && c != '\t')
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t lineNo() const { return lineNo_; }
+
+    [[noreturn]] void
+    fail(ErrorCategory cat, const std::string &msg) const
+    {
+        throw Error(cat, msg, {file_, lineNo_});
+    }
+
+  private:
+    const std::string *text_;
+    std::string file_;
+    uint64_t lineNo_ = 1;      ///< the checksum header is line 1
+    size_t pos_ = 0;
+    size_t lineStart_ = 0;
+    size_t lineEnd_ = 0;
+    size_t cur_ = 0;
+};
+
+/**
+ * Distribution line: "n v1 c1 v2 c2 ...". Values must be strictly
+ * ascending (the writer emits them sorted), bounded by @p maxValue,
+ * with positive counts totalling at most @p maxTotal — together these
+ * guarantee every sampled probability is well defined and in [0,1].
+ */
+DiscreteDistribution
+readDistribution(LineParser &p, const char *what, uint64_t maxValue,
+                 uint64_t maxTotal)
+{
+    p.requireLine(what);
+    const uint64_t n = p.u64Capped("distribution entry count",
+                                   maxTotal);
+    DiscreteDistribution d;
+    int64_t prev = -1;
+    uint64_t total = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t value = p.u64Capped("dependency distance",
+                                           maxValue);
+        const uint64_t count = p.u64("distribution count");
+        if (count == 0)
+            p.fail(ErrorCategory::CorruptData,
+                   "zero-count distribution entry");
+        if (static_cast<int64_t>(value) <= prev)
+            p.fail(ErrorCategory::CorruptData,
+                   "distribution values not strictly ascending");
+        prev = static_cast<int64_t>(value);
+        total += count;
+        if (total > maxTotal)
+            p.fail(ErrorCategory::CorruptData,
+                   "distribution total " + std::to_string(total) +
+                   " exceeds block occurrences " +
+                   std::to_string(maxTotal));
+        d.record(static_cast<uint32_t>(value), count);
+    }
+    p.endLine();
+    return d;
+}
+
+/**
+ * Slot statistics: every event counter is bounded by its denominator
+ * so the generator's derived probabilities stay in [0,1]: L1 events
+ * by the block occurrences, L2/TLB events by the L1 accesses or
+ * misses they are conditioned on.
+ */
+SlotStats
+readSlot(LineParser &p, uint64_t occurrences)
+{
+    p.requireLine("slot statistics");
+    SlotStats s;
+    s.il1Access = p.u64Capped("il1Access", occurrences);
+    s.il1Miss = p.u64Capped("il1Miss", s.il1Access);
+    s.il2Miss = p.u64Capped("il2Miss", s.il1Miss);
+    s.itlbMiss = p.u64Capped("itlbMiss", s.il1Access);
+    s.dl1Miss = p.u64Capped("dl1Miss", occurrences);
+    s.dl2Miss = p.u64Capped("dl2Miss", s.dl1Miss);
+    s.dtlbMiss = p.u64Capped("dtlbMiss", occurrences);
+    p.endLine();
+    s.depDist[0] = readDistribution(p, "dependency distribution 0",
+                                    MaxDependencyDistance, occurrences);
+    s.depDist[1] = readDistribution(p, "dependency distribution 1",
+                                    MaxDependencyDistance, occurrences);
+    return s;
+}
+
+/**
+ * Qualified-block statistics. Branch events are bounded by the branch
+ * count, which is bounded by the block occurrences; mispredict and
+ * redirect are disjoint outcomes so their sum must also fit.
+ */
+QBlockStats
+readQBlock(LineParser &p, uint64_t maxSlots)
+{
+    p.requireLine("qualified-block statistics");
+    QBlockStats qb;
+    qb.occurrences = p.u64("occurrences");
+    qb.branch.count = p.u64Capped("branch count", qb.occurrences);
+    qb.branch.taken = p.u64Capped("branch taken", qb.branch.count);
+    qb.branch.redirect = p.u64Capped("branch redirect",
+                                     qb.branch.count);
+    qb.branch.mispredict = p.u64Capped("branch mispredict",
+                                       qb.branch.count);
+    if (qb.branch.mispredict + qb.branch.redirect > qb.branch.count)
+        p.fail(ErrorCategory::CorruptData,
+               "mispredict + redirect exceeds branch count");
+    const uint64_t nslots = p.u64Capped("slot count", maxSlots);
+    p.endLine();
+    qb.slots.reserve(nslots);
+    for (uint64_t i = 0; i < nslots; ++i)
+        qb.slots.push_back(readSlot(p, qb.occurrences));
+    return qb;
+}
+
+StatisticalProfile
+parseBody(const std::string &payload, const std::string &file)
+{
+    LineParser p(payload, file);
     StatisticalProfile profile;
-    is >> profile.order >> profile.instructions >>
-        profile.dynamicBlocks;
-    is >> std::ws;
-    std::getline(is, profile.benchmark);
 
-    size_t nshapes = 0;
-    is >> nshapes;
+    p.requireLine("profile header");
+    // SFG order is bounded by the profiler (buildProfile rejects
+    // orders above 8); anything larger here is corruption.
+    profile.order = static_cast<int>(p.u64Capped("order", 8));
+    profile.instructions = p.u64("instructions");
+    profile.dynamicBlocks = p.u64("dynamicBlocks");
+    p.endLine();
+
+    p.requireLine("benchmark name");
+    profile.benchmark = p.rest();
+
+    // Element counts are bounded by the payload size: every element
+    // needs at least one payload byte, so a larger count is corrupt
+    // (and would otherwise drive an unbounded allocation).
+    const uint64_t sizeCap = payload.size();
+
+    p.requireLine("shape count");
+    const uint64_t nshapes = p.u64Capped("shape count", sizeCap);
+    p.endLine();
     profile.shapes.resize(nshapes);
     for (BlockShape &shape : profile.shapes) {
-        size_t n = 0;
-        is >> n;
+        p.requireLine("block shape");
+        const uint64_t n = p.u64Capped("shape slot count", sizeCap);
         shape.resize(n);
         for (SlotShape &s : shape) {
-            int cls, numSrcs;
-            is >> cls >> numSrcs >> s.hasDest >> s.isLoad >>
-                s.isStore >> s.isCtrl;
+            const uint64_t cls = p.u64Capped(
+                "instruction class",
+                static_cast<uint64_t>(isa::InstClass::NumClasses) - 1);
             s.cls = static_cast<isa::InstClass>(cls);
-            s.numSrcs = static_cast<uint8_t>(numSrcs);
+            // Dependency distributions exist for two source operands.
+            s.numSrcs = static_cast<uint8_t>(
+                p.u64Capped("source operand count", 2));
+            s.hasDest = p.boolean("hasDest");
+            s.isLoad = p.boolean("isLoad");
+            s.isStore = p.boolean("isStore");
+            s.isCtrl = p.boolean("isCtrl");
         }
+        p.endLine();
     }
 
-    size_t nnodes = 0;
-    is >> nnodes;
-    for (size_t i = 0; i < nnodes; ++i) {
-        size_t gramLen = 0;
-        is >> gramLen;
-        Gram gram(gramLen);
-        for (uint32_t &g : gram)
-            is >> g;
-        StatisticalProfile::Node node;
-        size_t nedges = 0;
-        is >> node.occurrences >> nedges;
-        node.entryStats = readQBlock(is);
-        for (size_t e = 0; e < nedges; ++e) {
-            uint32_t next = 0;
-            StatisticalProfile::Edge edge;
-            is >> next >> edge.count;
-            edge.stats = readQBlock(is);
-            node.edges.emplace(next, std::move(edge));
+    p.requireLine("node count");
+    const uint64_t nnodes = p.u64Capped("node count", sizeCap);
+    p.endLine();
+    if (nnodes > 0 && nshapes == 0)
+        p.fail(ErrorCategory::CorruptData,
+               "profile has SFG nodes but an empty shape table");
+    const uint64_t gramLen =
+        static_cast<uint64_t>(std::max(profile.order, 1));
+    for (uint64_t i = 0; i < nnodes; ++i) {
+        p.requireLine("SFG node");
+        const uint64_t glen = p.u64("gram length");
+        if (glen != gramLen)
+            p.fail(ErrorCategory::CorruptData,
+                   "gram length " + std::to_string(glen) +
+                   " does not match SFG order (expected " +
+                   std::to_string(gramLen) + ")");
+        Gram gram(glen);
+        for (uint32_t &g : gram) {
+            g = static_cast<uint32_t>(p.u64Capped(
+                "gram block id",
+                nshapes > 0 ? nshapes - 1 : 0));
         }
-        profile.nodes.emplace(std::move(gram), std::move(node));
+        StatisticalProfile::Node node;
+        node.occurrences = p.u64("node occurrences");
+        if (node.occurrences == 0)
+            p.fail(ErrorCategory::CorruptData,
+                   "SFG node with zero occurrences");
+        const uint64_t nedges = p.u64Capped("edge count",
+                                            node.occurrences);
+        if (profile.order == 0 && nedges != 0)
+            p.fail(ErrorCategory::CorruptData,
+                   "order-0 profile node has edges");
+        p.endLine();
+
+        const uint32_t blockId = StatisticalProfile::blockOf(gram);
+        node.entryStats =
+            readQBlock(p, profile.shapes[blockId].size());
+        if (node.entryStats.occurrences > node.occurrences)
+            p.fail(ErrorCategory::CorruptData,
+                   "entry statistics occurrences exceed node "
+                   "occurrences");
+
+        uint64_t edgeTotal = 0;
+        for (uint64_t e = 0; e < nedges; ++e) {
+            p.requireLine("SFG edge");
+            const uint32_t next = static_cast<uint32_t>(p.u64Capped(
+                "edge target block",
+                nshapes > 0 ? nshapes - 1 : 0));
+            StatisticalProfile::Edge edge;
+            edge.count = p.u64("edge traversal count");
+            if (edge.count == 0)
+                p.fail(ErrorCategory::CorruptData,
+                       "SFG edge with zero traversals");
+            p.endLine();
+            // Each node occurrence takes at most one outgoing
+            // transition, so edge counts can never sum past the
+            // node's occurrences (edge probabilities sum to <= 1).
+            edgeTotal += edge.count;
+            if (edgeTotal > node.occurrences)
+                p.fail(ErrorCategory::CorruptData,
+                       "edge counts sum to " +
+                       std::to_string(edgeTotal) +
+                       ", exceeding node occurrences " +
+                       std::to_string(node.occurrences));
+            edge.stats = readQBlock(p, profile.shapes[next].size());
+            if (!node.edges.emplace(next, std::move(edge)).second)
+                p.fail(ErrorCategory::CorruptData,
+                       "duplicate SFG edge to block " +
+                       std::to_string(next));
+        }
+        if (!profile.nodes.emplace(std::move(gram),
+                                   std::move(node)).second)
+            p.fail(ErrorCategory::CorruptData, "duplicate SFG node");
     }
-    fatalIf(!is, "truncated or malformed profile");
+
+    if (!p.atEnd())
+        p.fail(ErrorCategory::ParseError,
+               "trailing data after final SFG node");
     return profile;
+}
+
+} // namespace
+
+uint64_t
+profileChecksum(const std::string &payload)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+void
+saveProfile(const StatisticalProfile &profile, std::ostream &os)
+{
+    std::ostringstream body;
+    writeBody(profile, body);
+    const std::string payload = body.str();
+
+    char checksum[17];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(
+                      profileChecksum(payload)));
+    os << Magic << ' ' << ProfileFormatVersion << ' ' << checksum
+       << ' ' << payload.size() << '\n';
+    os << payload;
+}
+
+StatisticalProfile
+loadProfile(std::istream &is, const std::string &file)
+{
+    std::string header;
+    if (!std::getline(is, header))
+        throw Error(ErrorCategory::IoError,
+                    "cannot read profile header", {file, 1});
+
+    const auto headerError = [&](ErrorCategory cat,
+                                 const std::string &msg) {
+        return Error(cat, msg, {file, 1});
+    };
+    const auto headerU64 = [&](const std::string &tok, int base,
+                               const char *field) {
+        uint64_t value = 0;
+        const char *first = tok.data();
+        const char *last = tok.data() + tok.size();
+        const auto [ptr, ec] =
+            std::from_chars(first, last, value, base);
+        if (tok.empty() || ec != std::errc() || ptr != last)
+            throw headerError(ErrorCategory::ParseError,
+                              std::string("malformed profile header "
+                                          "field '") + field +
+                              "': '" + tok + "'");
+        return value;
+    };
+
+    std::istringstream hs(header);
+    std::string magic, versionTok, sumTok, bytesTok, extra;
+    hs >> magic >> versionTok >> sumTok >> bytesTok;
+    if (magic != Magic)
+        throw headerError(ErrorCategory::ParseError,
+                          "not a ssim profile (bad magic '" + magic +
+                          "')");
+    if (hs >> extra)
+        throw headerError(ErrorCategory::ParseError,
+                          "trailing data in profile header: '" +
+                          extra + "'");
+    const uint64_t version = headerU64(versionTok, 10,
+                                       "format version");
+    if (version != static_cast<uint64_t>(ProfileFormatVersion))
+        throw headerError(ErrorCategory::VersionMismatch,
+                          "unsupported profile version " +
+                          std::to_string(version) +
+                          " (this build reads version " +
+                          std::to_string(ProfileFormatVersion) + ")");
+    if (sumTok.size() != 16)
+        throw headerError(ErrorCategory::ParseError,
+                          "malformed profile checksum '" + sumTok +
+                          "'");
+    const uint64_t declaredSum = headerU64(sumTok, 16, "checksum");
+    const uint64_t declaredBytes = headerU64(bytesTok, 10,
+                                             "payload byte count");
+
+    std::string payload{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+    if (payload.size() != declaredBytes)
+        throw Error(ErrorCategory::CorruptData,
+                    "payload truncated or padded: header declares " +
+                    std::to_string(declaredBytes) + " bytes, found " +
+                    std::to_string(payload.size()), {file, 1});
+    const uint64_t actualSum = profileChecksum(payload);
+    if (actualSum != declaredSum) {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(actualSum));
+        throw Error(ErrorCategory::CorruptData,
+                    "payload checksum mismatch: header declares " +
+                    sumTok + ", payload hashes to " + buf, {file, 1});
+    }
+
+    return parseBody(payload, file);
+}
+
+Expected<StatisticalProfile>
+tryLoadProfile(std::istream &is, const std::string &file)
+{
+    return tryInvoke([&] { return loadProfile(is, file); });
 }
 
 void
@@ -184,17 +560,36 @@ saveProfileFile(const StatisticalProfile &profile,
                 const std::string &path)
 {
     std::ofstream os(path);
-    fatalIf(!os, "cannot write profile to " + path);
+    if (!os)
+        throw Error(ErrorCategory::IoError,
+                    "cannot open for writing", {path, 0});
     saveProfile(profile, os);
-    fatalIf(!os, "write error on " + path);
+    os.flush();
+    if (!os)
+        throw Error(ErrorCategory::IoError, "write error", {path, 0});
 }
 
 StatisticalProfile
 loadProfileFile(const std::string &path)
 {
     std::ifstream is(path);
-    fatalIf(!is, "cannot read profile from " + path);
-    return loadProfile(is);
+    if (!is)
+        throw Error(ErrorCategory::IoError,
+                    "cannot open for reading", {path, 0});
+    return loadProfile(is, path);
+}
+
+Expected<void>
+trySaveProfileFile(const StatisticalProfile &profile,
+                   const std::string &path)
+{
+    return tryInvoke([&] { saveProfileFile(profile, path); });
+}
+
+Expected<StatisticalProfile>
+tryLoadProfileFile(const std::string &path)
+{
+    return tryInvoke([&] { return loadProfileFile(path); });
 }
 
 } // namespace ssim::core

@@ -4,9 +4,30 @@
  *
  * Profiling is the one pass over the full program execution; saving
  * the profile lets a design-space exploration reuse it across
- * processes and machines (the paper's amortization argument). The
- * format is a line-oriented text format, versioned, and fully
- * round-trip tested.
+ * processes and machines (the paper's amortization argument). Because
+ * a saved profile may be weeks old, copied between machines, or
+ * truncated by a full disk, loading is a *strict validating parse*:
+ *
+ *  - a versioned header carries an FNV-1a checksum and byte count of
+ *    the payload, so truncation and bit-flips are detected
+ *    deterministically before any field is interpreted;
+ *  - every field is parsed as a strict unsigned integer (no "nan",
+ *    no negatives, no trailing garbage on a line);
+ *  - semantic invariants are enforced: event counts never exceed
+ *    their denominators (all derived probabilities lie in [0,1]),
+ *    dependency distances are capped at MaxDependencyDistance,
+ *    grams and edges reference existing blocks, and per-node edge
+ *    counts never sum to more than the node's occurrences.
+ *
+ * Failures raise ssim::Error with the profile path and the 1-based
+ * line number of the offending line; the process is never terminated
+ * by this layer. Callers that prefer branching to unwinding use the
+ * try* wrappers, which return Expected.
+ *
+ * Format (version 2, line-oriented text):
+ *
+ *   ssim-profile 2 <fnv1a64-hex> <payload-bytes>
+ *   <payload: the version-1 body, unchanged>
  */
 
 #ifndef SSIM_CORE_SERIALIZE_HH
@@ -16,23 +37,47 @@
 #include <string>
 
 #include "profile.hh"
+#include "util/error.hh"
 
 namespace ssim::core
 {
 
-/** Write @p profile to @p os. */
+/** Current on-disk profile format version. */
+constexpr int ProfileFormatVersion = 2;
+
+/** FNV-1a 64-bit hash used as the payload checksum. */
+uint64_t profileChecksum(const std::string &payload);
+
+/** Write @p profile to @p os (header + checksummed payload). */
 void saveProfile(const StatisticalProfile &profile, std::ostream &os);
 
 /**
- * Read a profile written by saveProfile.
- * Calls fatal() on malformed or version-mismatched input.
+ * Read and validate a profile written by saveProfile.
+ *
+ * @param file name used in error context (the profile path; defaults
+ *        to "<stream>" for in-memory streams).
+ * @throws ssim::Error (ParseError, CorruptData, VersionMismatch) with
+ *         file/line context on any malformed, corrupted, or
+ *         version-incompatible input.
  */
-StatisticalProfile loadProfile(std::istream &is);
+StatisticalProfile loadProfile(std::istream &is,
+                               const std::string &file = "<stream>");
 
-/** Convenience file wrappers. */
+/** Non-throwing variant of loadProfile. */
+Expected<StatisticalProfile> tryLoadProfile(
+    std::istream &is, const std::string &file = "<stream>");
+
+/**
+ * Convenience file wrappers. The plain forms throw ssim::Error
+ * (IoError for unopenable/unwritable paths, plus everything
+ * loadProfile raises); the try* forms return Expected instead.
+ */
 void saveProfileFile(const StatisticalProfile &profile,
                      const std::string &path);
 StatisticalProfile loadProfileFile(const std::string &path);
+Expected<void> trySaveProfileFile(const StatisticalProfile &profile,
+                                  const std::string &path);
+Expected<StatisticalProfile> tryLoadProfileFile(const std::string &path);
 
 } // namespace ssim::core
 

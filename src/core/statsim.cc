@@ -23,6 +23,7 @@ SimResult
 runExecutionDriven(const isa::Program &prog, const cpu::CoreConfig &cfg,
                    const cpu::EdsOptions &opts)
 {
+    cfg.validate();
     cpu::EdsFrontend frontend(prog, cfg, opts);
     cpu::OoOCore core(cfg, frontend);
     return scoreRun(core.run(), cfg);
@@ -32,6 +33,7 @@ SimResult
 simulateSyntheticTrace(const SyntheticTrace &trace,
                        const cpu::CoreConfig &cfg)
 {
+    cfg.validate();
     StsFrontend frontend(trace, cfg);
     cpu::OoOCore core(cfg, frontend);
     return scoreRun(core.run(), cfg);
@@ -42,6 +44,12 @@ runStatisticalSimulation(const isa::Program &prog,
                          const cpu::CoreConfig &cfg,
                          const StatSimOptions &opts)
 {
+    // Validate everything up front: a sweep over many design points
+    // should learn that one point is bad before paying for the
+    // profiling pass, not halfway through it.
+    cfg.validate();
+    opts.profile.validate();
+    opts.generation.validate();
     const StatisticalProfile profile =
         buildProfile(prog, cfg, opts.profile);
     const SyntheticTrace trace =

@@ -53,6 +53,15 @@ struct StatSimOptions
     GenerationOptions generation;
 };
 
+/**
+ * Error-handling contract: every entry point below validates its
+ * configuration and options first and throws ssim::Error
+ * (ErrorCategory::InvalidConfig) on a bad knob; nothing in the
+ * library terminates the process. Sweeps that prefer branching over
+ * unwinding can wrap calls in ssim::tryInvoke (see util/error.hh) or
+ * use the experiment harness's try* wrappers.
+ */
+
 /** Score a finished core run with the power model. */
 SimResult scoreRun(const cpu::SimStats &stats,
                    const cpu::CoreConfig &cfg);

@@ -37,6 +37,98 @@ BpredConfig::scaled(int log2Factor) const
     return b;
 }
 
+namespace
+{
+
+/** Raise an InvalidConfig error naming the offending knob. */
+[[noreturn]] void
+badKnob(const std::string &config, const std::string &knob,
+        const std::string &problem)
+{
+    throw Error(ErrorCategory::InvalidConfig,
+                "configuration '" + config + "': " + knob + " " +
+                problem);
+}
+
+void
+requireNonZero(const std::string &config, const std::string &knob,
+               uint64_t value)
+{
+    if (value == 0)
+        badKnob(config, knob, "must be at least 1 (got 0)");
+}
+
+} // namespace
+
+void
+CacheConfig::validate(const std::string &name) const
+{
+    requireNonZero(name, name + ".assoc", assoc);
+    requireNonZero(name, name + ".lineBytes", lineBytes);
+    requireNonZero(name, name + ".latency", latency);
+    if (sizeBytes < assoc * lineBytes) {
+        badKnob(name, name + ".sizeBytes",
+                "= " + std::to_string(sizeBytes) +
+                " holds less than one set (assoc " +
+                std::to_string(assoc) + " x line " +
+                std::to_string(lineBytes) + " bytes)");
+    }
+}
+
+void
+CoreConfig::validate() const
+{
+    requireNonZero(name, "decodeWidth", decodeWidth);
+    requireNonZero(name, "issueWidth", issueWidth);
+    requireNonZero(name, "commitWidth", commitWidth);
+    requireNonZero(name, "ifqSize", ifqSize);
+    requireNonZero(name, "ruuSize", ruuSize);
+    requireNonZero(name, "lsqSize", lsqSize);
+    requireNonZero(name, "fetchSpeed", fetchSpeed);
+    requireNonZero(name, "memLatency", memLatency);
+    if (lsqSize > ruuSize) {
+        badKnob(name, "lsqSize",
+                "= " + std::to_string(lsqSize) +
+                " exceeds ruuSize = " + std::to_string(ruuSize) +
+                " (every LSQ entry needs an RUU entry)");
+    }
+
+    il1.validate(name + ".il1");
+    dl1.validate(name + ".dl1");
+    l2.validate(name + ".l2");
+
+    requireNonZero(name, "itlb.entries", itlb.entries);
+    requireNonZero(name, "itlb.assoc", itlb.assoc);
+    requireNonZero(name, "itlb.pageBytes", itlb.pageBytes);
+    requireNonZero(name, "dtlb.entries", dtlb.entries);
+    requireNonZero(name, "dtlb.assoc", dtlb.assoc);
+    requireNonZero(name, "dtlb.pageBytes", dtlb.pageBytes);
+
+    if (bpred.kind != BpredKind::Taken &&
+        bpred.kind != BpredKind::Perfect) {
+        requireNonZero(name, "bpred.bimodalEntries",
+                       bpred.bimodalEntries);
+        requireNonZero(name, "bpred.l1Entries", bpred.l1Entries);
+        requireNonZero(name, "bpred.l2Entries", bpred.l2Entries);
+        requireNonZero(name, "bpred.chooserEntries",
+                       bpred.chooserEntries);
+        if (bpred.historyBits == 0 || bpred.historyBits > 30) {
+            badKnob(name, "bpred.historyBits",
+                    "= " + std::to_string(bpred.historyBits) +
+                    " outside the supported range [1, 30]");
+        }
+    }
+    requireNonZero(name, "bpred.btbEntries", bpred.btbEntries);
+    requireNonZero(name, "bpred.btbAssoc", bpred.btbAssoc);
+    requireNonZero(name, "bpred.rasEntries", bpred.rasEntries);
+
+    requireNonZero(name, "fu.intAluCount", fu.intAluCount);
+    requireNonZero(name, "fu.ldStCount", fu.ldStCount);
+    requireNonZero(name, "fu.fpAluCount", fu.fpAluCount);
+    requireNonZero(name, "fu.intMultCount", fu.intMultCount);
+    requireNonZero(name, "fu.fpMultCount", fu.fpMultCount);
+}
+
 CoreConfig
 CoreConfig::baseline()
 {

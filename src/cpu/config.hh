@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/error.hh"
+
 namespace ssim::cpu
 {
 
@@ -29,6 +31,13 @@ struct CacheConfig
 
     /** Return a copy scaled by a power-of-two factor (sets scale). */
     CacheConfig scaled(double factor) const;
+
+    /**
+     * @throws ssim::Error (InvalidConfig) when the geometry is
+     *         degenerate; @p name labels the cache in the message
+     *         ("il1", "dl1", "l2").
+     */
+    void validate(const std::string &name) const;
 };
 
 /** TLB parameters. */
@@ -137,6 +146,19 @@ struct CoreConfig
      * (section 4.3 uses SimpleScalar's baseline rather than Table 2).
      */
     static CoreConfig simpleScalarDefault();
+
+    /**
+     * Check every knob for values the pipeline, cache, predictor and
+     * power models cannot operate on (zero widths or queue sizes, an
+     * LSQ larger than the RUU, degenerate cache geometry, empty
+     * predictor tables). Called at every library API entry point so a
+     * bad design point in a sweep fails with a recoverable,
+     * actionable error instead of corrupting the run.
+     *
+     * @throws ssim::Error (InvalidConfig) naming the offending knob
+     *         and configuration.
+     */
+    void validate() const;
 };
 
 } // namespace ssim::cpu

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ssim::cpu
@@ -10,10 +11,19 @@ namespace ssim::cpu
 OoOCore::OoOCore(const CoreConfig &cfg, Frontend &frontend)
     : cfg_(cfg), frontend_(&frontend), fuPool_(cfg.fu)
 {
-    fatalIf(cfg.ruuSize == 0 || cfg.lsqSize == 0 || cfg.ifqSize == 0,
-            "zero-sized pipeline structure");
-    fatalIf(cfg.lsqSize > cfg.ruuSize,
-            "LSQ larger than RUU is not supported");
+    if (cfg.ruuSize == 0 || cfg.lsqSize == 0 || cfg.ifqSize == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "configuration '" + cfg.name +
+                    "': zero-sized pipeline structure (ruuSize, "
+                    "lsqSize and ifqSize must all be >= 1)");
+    }
+    if (cfg.lsqSize > cfg.ruuSize) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "configuration '" + cfg.name + "': lsqSize = " +
+                    std::to_string(cfg.lsqSize) + " exceeds ruuSize "
+                    "= " + std::to_string(cfg.ruuSize) +
+                    " (every LSQ entry needs an RUU entry)");
+    }
     ruu_.resize(cfg.ruuSize);
     lsq_.resize(cfg.lsqSize);
 }

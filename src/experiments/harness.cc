@@ -103,6 +103,22 @@ profileFor(const Benchmark &bench, const cpu::CoreConfig &cfg,
     return profile;
 }
 
+Expected<core::SimResult>
+tryRunEds(const Benchmark &bench, cpu::CoreConfig cfg,
+          bool perfectCaches, bool perfectBpred)
+{
+    return tryInvoke([&] {
+        return runEds(bench, cfg, perfectCaches, perfectBpred);
+    });
+}
+
+Expected<core::SimResult>
+tryRunStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
+              const StatSimKnobs &knobs)
+{
+    return tryInvoke([&] { return runStatSim(bench, cfg, knobs); });
+}
+
 core::SimResult
 runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
            const StatSimKnobs &knobs)

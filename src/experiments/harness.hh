@@ -20,6 +20,7 @@
 
 #include "core/statsim.hh"
 #include "isa/program.hh"
+#include "util/error.hh"
 
 namespace ssim::experiments
 {
@@ -73,6 +74,22 @@ std::shared_ptr<const core::StatisticalProfile> profileFor(
 /** Full statistical simulation (profile -> generate -> simulate). */
 core::SimResult runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
                            const StatSimKnobs &knobs = {});
+
+/**
+ * Sweep-safe variants: a design point that fails validation (or a
+ * profile that fails its integrity checks) comes back as a failed
+ * Expected carrying the typed error, so a multi-configuration sweep
+ * reports the bad point and continues instead of losing the whole
+ * run. Errors other than ssim::Error still propagate — those are
+ * bugs, not inputs.
+ */
+Expected<core::SimResult> tryRunEds(const Benchmark &bench,
+                                    cpu::CoreConfig cfg,
+                                    bool perfectCaches = false,
+                                    bool perfectBpred = false);
+Expected<core::SimResult> tryRunStatSim(const Benchmark &bench,
+                                        cpu::CoreConfig cfg,
+                                        const StatSimKnobs &knobs = {});
 
 /** Wall-clock helper. */
 template <typename F>

@@ -6,6 +6,7 @@
 
 #include "core/statsim.hh"
 #include "isa/emulator.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -16,7 +17,10 @@ BbvData
 collectBbvs(const isa::Program &prog, uint64_t intervalLength,
             uint32_t projectedDims, uint64_t seed)
 {
-    fatalIf(intervalLength == 0, "zero BBV interval");
+    if (intervalLength == 0) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "BBV interval length must be >= 1 (got 0)");
+    }
     BbvData out;
     out.intervalLength = intervalLength;
 

@@ -1,0 +1,40 @@
+#include "error.hh"
+
+namespace ssim
+{
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::InvalidArgument: return "invalid-argument";
+      case ErrorCategory::InvalidConfig: return "invalid-config";
+      case ErrorCategory::ParseError: return "parse-error";
+      case ErrorCategory::CorruptData: return "corrupt-data";
+      case ErrorCategory::VersionMismatch: return "version-mismatch";
+      case ErrorCategory::IoError: return "io-error";
+      case ErrorCategory::UnknownWorkload: return "unknown-workload";
+      case ErrorCategory::Internal: return "internal-error";
+    }
+    return "error";
+}
+
+int
+exitCodeFor(ErrorCategory category)
+{
+    // 0 = success, 1 = legacy fatal(), 2 = usage error; typed
+    // categories start at 3 so scripts can tell failure modes apart.
+    switch (category) {
+      case ErrorCategory::InvalidArgument: return 2;
+      case ErrorCategory::InvalidConfig: return 3;
+      case ErrorCategory::ParseError: return 4;
+      case ErrorCategory::CorruptData: return 5;
+      case ErrorCategory::VersionMismatch: return 6;
+      case ErrorCategory::IoError: return 7;
+      case ErrorCategory::UnknownWorkload: return 8;
+      case ErrorCategory::Internal: return 9;
+    }
+    return 1;
+}
+
+} // namespace ssim

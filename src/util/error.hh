@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Typed, recoverable error reporting for the library layer.
+ *
+ * The logging helpers (fatal(), panic()) terminate the process and are
+ * therefore a *policy* decision that belongs to executables, not to
+ * library code: a design-space sweep that has amortized one expensive
+ * profiling pass over hundreds of configurations must be able to skip
+ * a single bad configuration or a corrupted profile file and keep
+ * going. Library code reports failures as ssim::Error — an exception
+ * carrying a machine-checkable category plus human-oriented context
+ * (file and line number of an offending profile line, the knob name of
+ * an out-of-range configuration value) — or as Expected<T> for callers
+ * that prefer branching to unwinding. Converting an Error to a process
+ * exit code happens exactly once, in the CLI front end.
+ */
+
+#ifndef SSIM_UTIL_ERROR_HH
+#define SSIM_UTIL_ERROR_HH
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace ssim
+{
+
+/** Broad failure classes; each maps to a distinct CLI exit code. */
+enum class ErrorCategory : uint8_t
+{
+    InvalidArgument,   ///< bad CLI/API argument (unknown flag, bad number)
+    InvalidConfig,     ///< CoreConfig / options failed validation
+    ParseError,        ///< profile text is syntactically malformed
+    CorruptData,       ///< checksum/semantic integrity check failed
+    VersionMismatch,   ///< profile written by an incompatible version
+    IoError,           ///< file cannot be opened / read / written
+    UnknownWorkload,   ///< workload name not in the registry
+    Internal,          ///< invariant violation reported as an error
+};
+
+/** Short stable name for a category ("parse-error", "io-error", ...). */
+const char *errorCategoryName(ErrorCategory category);
+
+/**
+ * Process exit code for a category (CLI policy; documented in the
+ * ssim usage text). 0 is success and 2 is reserved for usage errors.
+ */
+int exitCodeFor(ErrorCategory category);
+
+/**
+ * A recoverable library error: category + message + source context.
+ *
+ * Context identifies *which input* failed, not which C++ source line
+ * raised it: for profile parsing it is the profile path (or
+ * "<stream>") and the 1-based line number of the offending line.
+ */
+/** Location of the input that caused an Error, when known. */
+struct ErrorContext
+{
+    std::string file;     ///< input file path, empty if unknown
+    uint64_t line = 0;    ///< 1-based line number, 0 if unknown
+};
+
+class Error : public std::exception
+{
+  public:
+    using Context = ErrorContext;
+
+    Error(ErrorCategory category, std::string message,
+          Context context = Context())
+        : category_(category), message_(std::move(message)),
+          context_(std::move(context))
+    {
+        what_ = std::string(errorCategoryName(category_)) + ": ";
+        if (!context_.file.empty()) {
+            what_ += context_.file;
+            if (context_.line > 0)
+                what_ += ':' + std::to_string(context_.line);
+            what_ += ": ";
+        }
+        what_ += message_;
+    }
+
+    ErrorCategory category() const { return category_; }
+    const std::string &message() const { return message_; }
+    const Context &context() const { return context_; }
+
+    /** Full "category: file:line: message" rendering. */
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    ErrorCategory category_;
+    std::string message_;
+    Context context_;
+    std::string what_;
+};
+
+/**
+ * Minimal Expected: either a T or an Error. For call sites that want
+ * to branch on failure (a sweep skipping one bad configuration)
+ * instead of unwinding.
+ *
+ * @code
+ *   Expected<Profile> p = tryLoadProfileFile(path);
+ *   if (!p) { warn(p.error().what()); continue; }
+ *   use(p.value());
+ * @endcode
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}          // NOLINT
+    Expected(Error error) : error_(std::move(error)) {}      // NOLINT
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; only valid when ok(). */
+    T &value() { return *value_; }
+    const T &value() const { return *value_; }
+
+    /** The error; only valid when !ok(). */
+    const Error &error() const { return *error_; }
+
+    /** Value on success, @p fallback on failure. */
+    T value_or(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    std::optional<Error> error_;
+};
+
+/** Expected<void>: success or an Error. */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error error) : error_(std::move(error)) {}      // NOLINT
+
+    bool ok() const { return !error_.has_value(); }
+    explicit operator bool() const { return ok(); }
+    const Error &error() const { return *error_; }
+
+  private:
+    std::optional<Error> error_;
+};
+
+/**
+ * Run @p fn, converting a thrown ssim::Error into a failed Expected.
+ * Other exception types propagate: they indicate bugs, not inputs.
+ */
+template <typename F>
+auto
+tryInvoke(F &&fn) -> Expected<decltype(fn())>
+{
+    try {
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+            return {};
+        } else {
+            return fn();
+        }
+    } catch (const Error &e) {
+        return e;
+    }
+}
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_ERROR_HH

@@ -1,5 +1,6 @@
 #include "workload.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ssim::workloads
@@ -56,7 +57,12 @@ build(const std::string &name, uint64_t scale, uint64_t variant)
         return buildOodb(scale, variant);
     if (name == "route")
         return buildRoute(scale, variant);
-    fatal("unknown workload: " + name);
+    std::string known;
+    for (const auto &info : suite())
+        known += (known.empty() ? "" : ", ") + info.name;
+    throw Error(ErrorCategory::UnknownWorkload,
+                "unknown workload '" + name + "' (available: " +
+                known + ")");
 }
 
 } // namespace ssim::workloads

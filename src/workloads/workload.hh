@@ -50,6 +50,8 @@ const std::vector<WorkloadInfo> &suite();
  *        text/seeds, identical code) — the "reference vs train
  *        input" axis for input-sensitivity studies. Variant 0 is the
  *        default input used throughout the evaluation.
+ * @throws ssim::Error (ErrorCategory::UnknownWorkload) when @p name
+ *         is not in suite(); the message lists the valid names.
  */
 isa::Program build(const std::string &name, uint64_t scale = 1,
                    uint64_t variant = 0);

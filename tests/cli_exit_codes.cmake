@@ -1,0 +1,63 @@
+# CTest script: the ssim CLI must turn typed library errors into the
+# documented exit codes with a diagnostic on stderr (never a crash).
+#
+# Invoked with -DSSIM_CLI=<path-to-ssim> -DWORK_DIR=<scratch-dir>.
+
+set(dir "${WORK_DIR}/cli_exit_codes")
+file(MAKE_DIRECTORY "${dir}")
+
+function(expect_exit code stderr_substr)
+    # Remaining arguments form the ssim command line.
+    execute_process(COMMAND "${SSIM_CLI}" ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc STREQUAL "${code}")
+        message(FATAL_ERROR
+            "ssim ${ARGN}: expected exit ${code}, got '${rc}'\n"
+            "stderr: ${err}")
+    endif()
+    if(stderr_substr AND NOT err MATCHES "${stderr_substr}")
+        message(FATAL_ERROR
+            "ssim ${ARGN}: stderr lacks '${stderr_substr}'\n"
+            "stderr: ${err}")
+    endif()
+endfunction()
+
+# A healthy profile simulates cleanly (exit 0).
+set(good "${dir}/route.prof")
+expect_exit(0 "" profile route -o "${good}" --max 150000)
+expect_exit(0 "" simulate "${good}" --reduction 50)
+
+# Usage errors: unknown flag, missing value, bad number -> 2.
+expect_exit(2 "unknown option" eds route --bogus-flag)
+expect_exit(2 "requires a value" simulate "${good}" --reduction)
+expect_exit(2 "got 'banana'" simulate "${good}" --reduction banana)
+
+# Invalid configuration -> 3.
+expect_exit(3 "ruuSize" simulate "${good}" --ruu 0)
+
+# Foreign file -> parse error 4.
+file(WRITE "${dir}/foreign.prof" "not-a-profile 1\n")
+expect_exit(4 "not a ssim profile" simulate "${dir}/foreign.prof")
+
+# Damaged payload (appended bytes break the declared length) -> 5.
+file(READ "${good}" text)
+file(WRITE "${dir}/damaged.prof" "${text}999999\n")
+expect_exit(5 "" simulate "${dir}/damaged.prof")
+
+# Truncated payload -> 5.
+file(READ "${good}" half LIMIT 2048)
+file(WRITE "${dir}/truncated.prof" "${half}")
+expect_exit(5 "truncated" simulate "${dir}/truncated.prof")
+
+# Future format version -> 6.
+file(WRITE "${dir}/future.prof"
+    "ssim-profile 999 0000000000000000 0\n")
+expect_exit(6 "version" simulate "${dir}/future.prof")
+
+# Missing file -> I/O error 7.
+expect_exit(7 "" simulate "${dir}/does-not-exist.prof")
+
+# Unknown workload -> 8.
+expect_exit(8 "unknown workload" eds no-such-benchmark)

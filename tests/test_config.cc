@@ -5,14 +5,33 @@
  * scaling helpers the sweeps rely on.
  */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "core/generator.hh"
+#include "core/profiler.hh"
 #include "cpu/config.hh"
+#include "util/error.hh"
 
 namespace
 {
 
 using namespace ssim::cpu;
+
+/** The InvalidConfig message for @p fn, or "" if nothing was thrown. */
+template <typename F>
+std::string
+configErrorOf(F &&fn)
+{
+    try {
+        fn();
+    } catch (const ssim::Error &e) {
+        EXPECT_EQ(e.category(), ssim::ErrorCategory::InvalidConfig);
+        return e.what();
+    }
+    return {};
+}
 
 TEST(Config, BaselineMatchesTable2)
 {
@@ -101,6 +120,96 @@ TEST(Config, NumSetsArithmetic)
 {
     const CacheConfig cfg{16 * 1024, 4, 32, 2};
     EXPECT_EQ(cfg.numSets(), 128u);
+}
+
+TEST(ConfigValidation, PresetsAreValid)
+{
+    EXPECT_NO_THROW(CoreConfig::baseline().validate());
+    EXPECT_NO_THROW(CoreConfig::simpleScalarDefault().validate());
+}
+
+TEST(ConfigValidation, ZeroWidthsNameTheKnob)
+{
+    for (const char *knob : {"decodeWidth", "issueWidth",
+                             "commitWidth", "ifqSize", "ruuSize",
+                             "lsqSize", "fetchSpeed", "memLatency"}) {
+        CoreConfig cfg = CoreConfig::baseline();
+        if (std::string(knob) == "decodeWidth") cfg.decodeWidth = 0;
+        else if (std::string(knob) == "issueWidth") cfg.issueWidth = 0;
+        else if (std::string(knob) == "commitWidth") cfg.commitWidth = 0;
+        else if (std::string(knob) == "ifqSize") cfg.ifqSize = 0;
+        else if (std::string(knob) == "ruuSize") cfg.ruuSize = 0;
+        else if (std::string(knob) == "lsqSize") cfg.lsqSize = 0;
+        else if (std::string(knob) == "fetchSpeed") cfg.fetchSpeed = 0;
+        else cfg.memLatency = 0;
+        const std::string msg = configErrorOf([&] { cfg.validate(); });
+        ASSERT_FALSE(msg.empty()) << knob << " = 0 was accepted";
+        EXPECT_NE(msg.find(knob), std::string::npos) << msg;
+    }
+}
+
+TEST(ConfigValidation, LsqMayNotExceedRuu)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.lsqSize = cfg.ruuSize + 1;
+    const std::string msg = configErrorOf([&] { cfg.validate(); });
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("lsqSize"), std::string::npos);
+    EXPECT_NE(msg.find("ruuSize"), std::string::npos);
+}
+
+TEST(ConfigValidation, CacheMustHoldOneSet)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.dl1.sizeBytes = cfg.dl1.assoc * cfg.dl1.lineBytes - 1;
+    const std::string msg = configErrorOf([&] { cfg.validate(); });
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("dl1.sizeBytes"), std::string::npos);
+
+    CacheConfig zeroAssoc{8 * 1024, 0, 32, 1};
+    EXPECT_FALSE(
+        configErrorOf([&] { zeroAssoc.validate("il1"); }).empty());
+}
+
+TEST(ConfigValidation, PredictorTablesMustBeNonZero)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.bpred.l2Entries = 0;
+    EXPECT_FALSE(configErrorOf([&] { cfg.validate(); }).empty());
+
+    cfg = CoreConfig::baseline();
+    cfg.bpred.historyBits = 31;
+    const std::string msg = configErrorOf([&] { cfg.validate(); });
+    EXPECT_NE(msg.find("historyBits"), std::string::npos);
+
+    // Static predictors carry no tables; zero sizes are fine there.
+    cfg = CoreConfig::baseline();
+    cfg.bpred.kind = BpredKind::Taken;
+    cfg.bpred.bimodalEntries = 0;
+    cfg.bpred.historyBits = 0;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidation, ProfileOptionsRejectBadValues)
+{
+    ssim::core::ProfileOptions opts;
+    EXPECT_NO_THROW(opts.validate());
+    opts.order = 9;
+    EXPECT_FALSE(configErrorOf([&] { opts.validate(); }).empty());
+    opts.order = 1;
+    opts.maxInsts = 0;
+    EXPECT_FALSE(configErrorOf([&] { opts.validate(); }).empty());
+}
+
+TEST(ConfigValidation, GenerationOptionsRejectBadValues)
+{
+    ssim::core::GenerationOptions opts;
+    EXPECT_NO_THROW(opts.validate());
+    opts.reductionFactor = 0;
+    EXPECT_FALSE(configErrorOf([&] { opts.validate(); }).empty());
+    opts.reductionFactor = 10;
+    opts.maxDependencyRetries = 0;
+    EXPECT_FALSE(configErrorOf([&] { opts.validate(); }).empty());
 }
 
 } // namespace

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * Fault-injection suite for profile loading: a corruptor
+ * systematically mutates a saved profile — truncations, header
+ * damage, bit-flips, out-of-range fields, probability violations,
+ * NaN/negative injection — and every mutation must surface as a typed
+ * ssim::Error with file/line context. Never a crash, never an abort,
+ * never silent acceptance of data that violates the format's
+ * invariants.
+ *
+ * The paper's amortization argument (profile once, sweep many
+ * configurations) assumes saved profiles survive real-world storage;
+ * this suite is the executable contract that a damaged profile is
+ * *detected*, not fed into the generator.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generator.hh"
+#include "core/profiler.hh"
+#include "core/serialize.hh"
+#include "util/error.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+// ---------------------------------------------------------------------
+// Corruptor toolkit
+// ---------------------------------------------------------------------
+
+const StatisticalProfile &
+baseProfile()
+{
+    static const StatisticalProfile p = [] {
+        ProfileOptions opts;
+        opts.maxInsts = 150000;
+        return buildProfile(workloads::build("route", 1),
+                            cpu::CoreConfig::baseline(), opts);
+    }();
+    return p;
+}
+
+/** The pristine serialized profile (header line + payload). */
+const std::string &
+baseText()
+{
+    static const std::string text = [] {
+        std::stringstream ss;
+        saveProfile(baseProfile(), ss);
+        return ss.str();
+    }();
+    return text;
+}
+
+/** Payload only (everything after the header line). */
+const std::string &
+basePayload()
+{
+    static const std::string payload = [] {
+        const std::string &text = baseText();
+        return text.substr(text.find('\n') + 1);
+    }();
+    return payload;
+}
+
+/**
+ * Re-wrap a (mutated) payload with a *consistent* header: correct
+ * checksum and byte count. This is the crucial trick of the suite —
+ * without it every semantic mutation would be caught by the checksum
+ * alone and the validating parser would never be exercised.
+ */
+std::string
+reheader(const std::string &payload)
+{
+    char sum[17];
+    std::snprintf(sum, sizeof(sum), "%016llx",
+                  static_cast<unsigned long long>(
+                      profileChecksum(payload)));
+    return "ssim-profile " + std::to_string(ProfileFormatVersion) +
+        " " + std::string(sum) + " " + std::to_string(payload.size()) +
+        "\n" + payload;
+}
+
+std::vector<std::string>
+splitLines(const std::string &payload)
+{
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < payload.size()) {
+        const size_t nl = payload.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(payload.substr(pos));
+            break;
+        }
+        lines.push_back(payload.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &l : lines)
+        out += l + '\n';
+    return out;
+}
+
+std::vector<std::string>
+tokensOf(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+std::string
+joinTokens(const std::vector<std::string> &toks)
+{
+    std::string out;
+    for (size_t i = 0; i < toks.size(); ++i)
+        out += (i ? " " : "") + toks[i];
+    return out;
+}
+
+uint64_t
+tokenValue(const std::vector<std::string> &lines, size_t line,
+           size_t tok)
+{
+    return std::stoull(tokensOf(lines[line])[tok]);
+}
+
+/** Replace token @p tok of payload line @p line with @p value. */
+std::string
+mutateToken(size_t line, size_t tok, const std::string &value)
+{
+    std::vector<std::string> lines = splitLines(basePayload());
+    std::vector<std::string> toks = tokensOf(lines[line]);
+    EXPECT_LT(tok, toks.size());
+    toks[tok] = value;
+    lines[line] = joinTokens(toks);
+    return reheader(joinLines(lines));
+}
+
+/**
+ * Structural map of the payload, recovered by walking the format the
+ * same way the parser does (line roles are positional).
+ */
+struct Layout
+{
+    size_t orderLine = 0;       ///< "order instructions dynamicBlocks"
+    size_t nshapesLine = 2;
+    size_t firstShapeLine = 3;
+    size_t nnodesLine = 0;
+    size_t firstNodeLine = 0;   ///< "gramLen g... occurrences nedges"
+    size_t firstQBlockLine = 0; ///< entry stats of the first node
+    size_t firstSlotLine = 0;   ///< first slot counter line
+    size_t firstDistLine = 0;   ///< first dependency distribution
+    size_t edgeNodeLine = 0;    ///< first node that has >= 1 edge
+    size_t firstEdgeLine = 0;   ///< its first "next count" line
+};
+
+/** Lines occupied by one qualified-block record starting at @p at. */
+size_t
+qblockLines(const std::vector<std::string> &lines, size_t at)
+{
+    const uint64_t nslots = tokenValue(lines, at, 5);
+    return 1 + static_cast<size_t>(nslots) * 3;
+}
+
+Layout
+layoutOf(const std::vector<std::string> &lines)
+{
+    Layout lo;
+    const uint64_t nshapes = tokenValue(lines, lo.nshapesLine, 0);
+    lo.nnodesLine = lo.firstShapeLine + static_cast<size_t>(nshapes);
+    lo.firstNodeLine = lo.nnodesLine + 1;
+    lo.firstQBlockLine = lo.firstNodeLine + 1;
+    lo.firstSlotLine = lo.firstQBlockLine + 1;
+    lo.firstDistLine = lo.firstSlotLine + 1;
+
+    // Find the first node with at least one edge and at least one
+    // occupied slot (route at this scale always has both).
+    const uint64_t nnodes = tokenValue(lines, lo.nnodesLine, 0);
+    size_t at = lo.firstNodeLine;
+    for (uint64_t n = 0; n < nnodes; ++n) {
+        const std::vector<std::string> toks = tokensOf(lines[at]);
+        const uint64_t gramLen = std::stoull(toks[0]);
+        const uint64_t nedges = std::stoull(toks[gramLen + 2]);
+        size_t cursor = at + 1;
+        cursor += qblockLines(lines, cursor);
+        if (nedges > 0 && lo.firstEdgeLine == 0) {
+            lo.edgeNodeLine = at;
+            lo.firstEdgeLine = cursor;
+            break;
+        }
+        for (uint64_t e = 0; e < nedges; ++e) {
+            ++cursor;  // the "next count" line
+            cursor += qblockLines(lines, cursor);
+        }
+        at = cursor;
+    }
+    return lo;
+}
+
+const Layout &
+layout()
+{
+    static const Layout lo = layoutOf(splitLines(basePayload()));
+    return lo;
+}
+
+/**
+ * The core assertion: loading @p text raises a typed ssim::Error of
+ * @p category with populated context — no crash, no exit, no silent
+ * acceptance.
+ */
+void
+expectTypedError(const std::string &text, ErrorCategory category,
+                 const char *what, uint64_t expectLine = 0)
+{
+    std::stringstream ss(text);
+    try {
+        loadProfile(ss, "corrupt.prof");
+        FAIL() << "corruption silently accepted: " << what;
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), category) << what << " -> " << e.what();
+        EXPECT_EQ(e.context().file, "corrupt.prof") << what;
+        EXPECT_GE(e.context().line, 1u) << what;
+        if (expectLine > 0) {
+            EXPECT_EQ(e.context().line, expectLine) << what;
+        }
+    } catch (const std::exception &e) {
+        FAIL() << "non-typed exception escaped for " << what << ": "
+               << e.what();
+    }
+}
+
+/** Payload line index -> file line number (header is file line 1). */
+uint64_t
+fileLine(size_t payloadLine)
+{
+    return static_cast<uint64_t>(payloadLine) + 2;
+}
+
+// ---------------------------------------------------------------------
+// Header corruptions (cases 1-9)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, HeaderDamage)
+{
+    const std::string &payload = basePayload();
+    // 1: wrong magic
+    expectTypedError("ssim-prof1le 2 0000000000000000 0\n",
+                     ErrorCategory::ParseError, "bad magic", 1);
+    // 2: future version
+    expectTypedError("ssim-profile 999 0000000000000000 0\n",
+                     ErrorCategory::VersionMismatch, "future version",
+                     1);
+    // 3: the checksum-less version-1 header
+    expectTypedError("ssim-profile 1\n1 1000 10\nroute\n0\n0\n",
+                     ErrorCategory::VersionMismatch, "v1 header", 1);
+    // 4: non-numeric version
+    expectTypedError("ssim-profile two 0000000000000000 0\n",
+                     ErrorCategory::ParseError, "nan version", 1);
+    // 5: checksum of the wrong width
+    expectTypedError("ssim-profile 2 abc 0\n",
+                     ErrorCategory::ParseError, "short checksum", 1);
+    // 6: checksum with non-hex digits
+    expectTypedError("ssim-profile 2 zzzzzzzzzzzzzzzz 0\n",
+                     ErrorCategory::ParseError, "non-hex checksum", 1);
+    // 7: negative payload byte count
+    expectTypedError("ssim-profile 2 0000000000000000 -5\n",
+                     ErrorCategory::ParseError, "negative bytes", 1);
+    // 8: trailing garbage in the header
+    expectTypedError("ssim-profile 2 0000000000000000 0 extra\n",
+                     ErrorCategory::ParseError, "header trailer", 1);
+    // 9: empty input
+    expectTypedError("", ErrorCategory::IoError, "empty file", 1);
+
+    // Sanity: the pristine text still loads.
+    std::stringstream ok(reheader(payload));
+    EXPECT_NO_THROW(loadProfile(ok));
+}
+
+// ---------------------------------------------------------------------
+// Truncation and length damage (cases 10-16)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, TruncationIsAlwaysDetected)
+{
+    const std::string &text = baseText();
+    // 10-13: physical truncation at several depths — the declared
+    // byte count catches all of them before parsing starts.
+    for (const double frac : {0.25, 0.5, 0.75, 0.98}) {
+        const auto cut = static_cast<size_t>(
+            static_cast<double>(text.size()) * frac);
+        expectTypedError(text.substr(0, cut),
+                         ErrorCategory::CorruptData,
+                         "physical truncation", 1);
+    }
+    // 14: padded profile (appended bytes) is equally corrupt.
+    expectTypedError(text + "0 0 0\n", ErrorCategory::CorruptData,
+                     "appended data", 1);
+}
+
+TEST(FaultInjection, ConsistentlyReheaderedTruncationStillFails)
+{
+    // 15-16: an adversarial truncation that *recomputes* the header
+    // must instead be caught by the structural parse (unexpected end
+    // of profile).
+    std::vector<std::string> lines = splitLines(basePayload());
+    for (const size_t keep : {lines.size() / 2, lines.size() - 1}) {
+        const std::vector<std::string> cut(lines.begin(),
+                                           lines.begin() +
+                                           static_cast<long>(keep));
+        expectTypedError(reheader(joinLines(cut)),
+                         ErrorCategory::CorruptData,
+                         "reheadered truncation");
+    }
+}
+
+TEST(FaultInjection, BitFlipsAreCaughtByChecksum)
+{
+    // 17: every single-character flip in the payload is detected —
+    // sample positions spread across the whole file.
+    const std::string &text = baseText();
+    const size_t headerLen = text.find('\n') + 1;
+    for (int i = 1; i <= 8; ++i) {
+        std::string flipped = text;
+        const size_t pos = headerLen +
+            (text.size() - headerLen) * i / 9;
+        flipped[pos] = flipped[pos] == '7' ? '8' : '7';
+        if (flipped == text)
+            continue;
+        expectTypedError(flipped, ErrorCategory::CorruptData,
+                         "payload bit flip", 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field-level corruption: the profile header line (cases 18-21)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, ProfileHeaderFields)
+{
+    const Layout &lo = layout();
+    // 18: SFG order beyond the supported range
+    expectTypedError(mutateToken(lo.orderLine, 0, "9"),
+                     ErrorCategory::CorruptData, "order 9",
+                     fileLine(lo.orderLine));
+    // 19: negative order
+    expectTypedError(mutateToken(lo.orderLine, 0, "-1"),
+                     ErrorCategory::ParseError, "order -1",
+                     fileLine(lo.orderLine));
+    // 20: NaN instruction count
+    expectTypedError(mutateToken(lo.orderLine, 1, "nan"),
+                     ErrorCategory::ParseError, "nan instructions",
+                     fileLine(lo.orderLine));
+    // 21: float-typed block count
+    expectTypedError(mutateToken(lo.orderLine, 2, "1e9"),
+                     ErrorCategory::ParseError, "1e9 blocks",
+                     fileLine(lo.orderLine));
+}
+
+// ---------------------------------------------------------------------
+// Shape-table corruption (cases 22-26)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, ShapeTable)
+{
+    const Layout &lo = layout();
+    // 22: a shape count that would drive an unbounded allocation
+    expectTypedError(mutateToken(lo.nshapesLine, 0, "99999999999"),
+                     ErrorCategory::CorruptData, "huge shape count",
+                     fileLine(lo.nshapesLine));
+    // 23: instruction class beyond NumClasses
+    expectTypedError(mutateToken(lo.firstShapeLine, 1, "99"),
+                     ErrorCategory::CorruptData, "bad inst class",
+                     fileLine(lo.firstShapeLine));
+    // 24: three source operands (depDist only covers two)
+    expectTypedError(mutateToken(lo.firstShapeLine, 2, "3"),
+                     ErrorCategory::CorruptData, "numSrcs 3",
+                     fileLine(lo.firstShapeLine));
+    // 25: non-boolean flag
+    expectTypedError(mutateToken(lo.firstShapeLine, 3, "2"),
+                     ErrorCategory::CorruptData, "hasDest 2",
+                     fileLine(lo.firstShapeLine));
+    // 26: negative operand count
+    expectTypedError(mutateToken(lo.firstShapeLine, 2, "-1"),
+                     ErrorCategory::ParseError, "numSrcs -1",
+                     fileLine(lo.firstShapeLine));
+}
+
+// ---------------------------------------------------------------------
+// SFG node and edge corruption (cases 27-33)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, SfgStructure)
+{
+    const Layout &lo = layout();
+    const std::vector<std::string> lines = splitLines(basePayload());
+    const std::vector<std::string> nodeToks =
+        tokensOf(lines[lo.firstNodeLine]);
+    const uint64_t gramLen = std::stoull(nodeToks[0]);
+    const size_t occTok = static_cast<size_t>(gramLen) + 1;
+    const uint64_t occurrences = std::stoull(nodeToks[occTok]);
+
+    // 27: gram references a block past the shape table
+    expectTypedError(mutateToken(lo.firstNodeLine, 1, "12345678"),
+                     ErrorCategory::CorruptData, "gram block range",
+                     fileLine(lo.firstNodeLine));
+    // 28: gram length disagrees with the SFG order
+    expectTypedError(mutateToken(lo.firstNodeLine, 0, "7"),
+                     ErrorCategory::CorruptData, "gram length",
+                     fileLine(lo.firstNodeLine));
+    // 29: a node that claims zero occurrences
+    expectTypedError(mutateToken(lo.firstNodeLine, occTok, "0"),
+                     ErrorCategory::CorruptData, "zero occurrences",
+                     fileLine(lo.firstNodeLine));
+    // 30: more edges than occurrences
+    expectTypedError(
+        mutateToken(lo.firstNodeLine, occTok + 1,
+                    std::to_string(occurrences + 1)),
+        ErrorCategory::CorruptData, "edges exceed occurrences");
+
+    const std::vector<std::string> edgeToks =
+        tokensOf(lines[lo.firstEdgeLine]);
+    // 31: edge target beyond the shape table
+    expectTypedError(mutateToken(lo.firstEdgeLine, 0, "12345678"),
+                     ErrorCategory::CorruptData, "edge target range",
+                     fileLine(lo.firstEdgeLine));
+    // 32: an edge with zero traversals
+    expectTypedError(mutateToken(lo.firstEdgeLine, 1, "0"),
+                     ErrorCategory::CorruptData, "zero edge count",
+                     fileLine(lo.firstEdgeLine));
+    // 33: edge counts scaled up so probabilities exceed 1
+    const uint64_t edgeCount = std::stoull(edgeToks[1]);
+    expectTypedError(
+        mutateToken(lo.firstEdgeLine, 1,
+                    std::to_string(edgeCount * 1000000 + 1)),
+        ErrorCategory::CorruptData, "edge count scale");
+}
+
+// ---------------------------------------------------------------------
+// Probability and distribution corruption (cases 34-41)
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, BranchProbabilities)
+{
+    const Layout &lo = layout();
+    const std::vector<std::string> lines = splitLines(basePayload());
+    const std::vector<std::string> qbToks =
+        tokensOf(lines[lo.firstQBlockLine]);
+    const uint64_t occurrences = std::stoull(qbToks[0]);
+    const uint64_t count = std::stoull(qbToks[1]);
+
+    // 34: branch count above the block occurrences
+    expectTypedError(
+        mutateToken(lo.firstQBlockLine, 1,
+                    std::to_string(occurrences + 1)),
+        ErrorCategory::CorruptData, "branch count > occurrences",
+        fileLine(lo.firstQBlockLine));
+    // 35: taken probability above 1
+    expectTypedError(
+        mutateToken(lo.firstQBlockLine, 2,
+                    std::to_string(count * 2 + 1)),
+        ErrorCategory::CorruptData, "taken > count",
+        fileLine(lo.firstQBlockLine));
+    // 36: mispredict probability above 1
+    expectTypedError(
+        mutateToken(lo.firstQBlockLine, 4,
+                    std::to_string(count * 2 + 1)),
+        ErrorCategory::CorruptData, "mispredict > count",
+        fileLine(lo.firstQBlockLine));
+    // 37: NaN branch statistic
+    expectTypedError(mutateToken(lo.firstQBlockLine, 2, "nan"),
+                     ErrorCategory::ParseError, "nan taken",
+                     fileLine(lo.firstQBlockLine));
+    // 38: slot list longer than the block's shape
+    expectTypedError(mutateToken(lo.firstQBlockLine, 5, "9999"),
+                     ErrorCategory::CorruptData, "slot overflow",
+                     fileLine(lo.firstQBlockLine));
+}
+
+TEST(FaultInjection, CacheEventProbabilities)
+{
+    const Layout &lo = layout();
+    const std::vector<std::string> lines = splitLines(basePayload());
+    const std::vector<std::string> qbToks =
+        tokensOf(lines[lo.firstQBlockLine]);
+    const uint64_t occurrences = std::stoull(qbToks[0]);
+
+    // 39: an I-L1 access probability above 1
+    expectTypedError(
+        mutateToken(lo.firstSlotLine, 0,
+                    std::to_string(occurrences * 3 + 1)),
+        ErrorCategory::CorruptData, "il1Access > occurrences",
+        fileLine(lo.firstSlotLine));
+    // 40: a D-L1 miss probability above 1
+    expectTypedError(
+        mutateToken(lo.firstSlotLine, 4,
+                    std::to_string(occurrences * 3 + 1)),
+        ErrorCategory::CorruptData, "dl1Miss > occurrences",
+        fileLine(lo.firstSlotLine));
+    // 41: negative miss counter
+    expectTypedError(mutateToken(lo.firstSlotLine, 1, "-3"),
+                     ErrorCategory::ParseError, "negative il1Miss",
+                     fileLine(lo.firstSlotLine));
+}
+
+TEST(FaultInjection, DependencyDistributions)
+{
+    const Layout &lo = layout();
+    // 42: dependency distance beyond the architectural cap — inject a
+    // fresh entry with distance 600 in place of the length header.
+    const std::vector<std::string> lines = splitLines(basePayload());
+    {
+        std::vector<std::string> mut = lines;
+        mut[lo.firstDistLine] = "1 600 1";
+        expectTypedError(reheader(joinLines(mut)),
+                         ErrorCategory::CorruptData,
+                         "dependency distance 600",
+                         fileLine(lo.firstDistLine));
+    }
+    // 43: a zero-count distribution entry
+    {
+        std::vector<std::string> mut = lines;
+        mut[lo.firstDistLine] = "1 1 0";
+        expectTypedError(reheader(joinLines(mut)),
+                         ErrorCategory::CorruptData,
+                         "zero-count entry",
+                         fileLine(lo.firstDistLine));
+    }
+    // 44: values out of order (duplicate values)
+    {
+        std::vector<std::string> mut = lines;
+        mut[lo.firstDistLine] = "2 4 1 4 1";
+        expectTypedError(reheader(joinLines(mut)),
+                         ErrorCategory::CorruptData,
+                         "non-ascending values",
+                         fileLine(lo.firstDistLine));
+    }
+    // 45: distribution total above the block occurrences
+    {
+        std::vector<std::string> mut = lines;
+        mut[lo.firstDistLine] = "1 1 99999999999";
+        expectTypedError(reheader(joinLines(mut)),
+                         ErrorCategory::CorruptData,
+                         "distribution total overflow",
+                         fileLine(lo.firstDistLine));
+    }
+    // 46: trailing tokens after the declared entries
+    {
+        std::vector<std::string> mut = lines;
+        mut[lo.firstDistLine] += " 7";
+        expectTypedError(reheader(joinLines(mut)),
+                         ErrorCategory::ParseError,
+                         "trailing distribution data",
+                         fileLine(lo.firstDistLine));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized sweep: no mutation anywhere may crash or hang
+// ---------------------------------------------------------------------
+
+/**
+ * Blind token sweep: scale or poison numeric tokens across the whole
+ * payload. A mutation may legitimately survive validation (e.g.
+ * scaling a node's occurrence count *up* keeps every invariant), but
+ * it must either load cleanly — and then drive the generator without
+ * crashing — or fail with a typed error. Nothing else.
+ */
+TEST(FaultInjection, BlindTokenSweepNeverCrashes)
+{
+    const std::vector<std::string> lines = splitLines(basePayload());
+    const size_t stride = std::max<size_t>(1, lines.size() / 40);
+    int loaded = 0, rejected = 0;
+    for (size_t li = 0; li < lines.size(); li += stride) {
+        for (const char *poison : {"340282366920938463463", "-1",
+                                   "nan", "0"}) {
+            std::vector<std::string> mut = lines;
+            std::vector<std::string> toks = tokensOf(mut[li]);
+            if (toks.empty())
+                continue;
+            toks[toks.size() / 2] = poison;
+            mut[li] = joinTokens(toks);
+            std::stringstream ss(reheader(joinLines(mut)));
+            try {
+                const StatisticalProfile p = loadProfile(ss);
+                // Survived validation: it must behave downstream.
+                GenerationOptions gopts;
+                gopts.reductionFactor = 50;
+                const SyntheticTrace t = generateSyntheticTrace(p,
+                                                                gopts);
+                (void)t;
+                ++loaded;
+            } catch (const Error &) {
+                ++rejected;
+            } catch (const std::exception &e) {
+                FAIL() << "line " << li << " poison '" << poison
+                       << "': non-typed exception " << e.what();
+            }
+        }
+    }
+    // The sweep must actually have exercised both paths.
+    EXPECT_GT(rejected, 20);
+    EXPECT_GT(loaded + rejected, 80);
+}
+
+/** Corrupted profiles also surface as Expected errors, not throws. */
+TEST(FaultInjection, TryLoadNeverThrows)
+{
+    const Layout &lo = layout();
+    std::stringstream ss(mutateToken(lo.orderLine, 0, "9"));
+    const Expected<StatisticalProfile> result = tryLoadProfile(ss);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::CorruptData);
+    EXPECT_EQ(result.error().context().line, fileLine(lo.orderLine));
+}
+
+} // namespace

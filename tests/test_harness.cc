@@ -102,6 +102,45 @@ TEST(Harness, RunnersProduceConsistentResults)
     EXPECT_GT(ss.epc, 0.0);
 }
 
+TEST(Harness, SweepContinuesPastFailingConfiguration)
+{
+    // A design-space sweep must not be killed by one bad point: the
+    // try* runners turn a validation failure into a failed Expected
+    // and the remaining configurations still produce results.
+    const Benchmark &bench = suitePrograms()[9];  // route (small)
+    cpu::CoreConfig good = cpu::CoreConfig::baseline();
+    cpu::CoreConfig bad = good;
+    bad.lsqSize = bad.ruuSize + 8;  // LSQ cannot outsize the RUU
+    const cpu::CoreConfig sweep[] = {good, bad, good};
+
+    int succeeded = 0, failed = 0;
+    for (const cpu::CoreConfig &cfg : sweep) {
+        const Expected<core::SimResult> r = tryRunStatSim(bench, cfg);
+        if (r.ok()) {
+            ++succeeded;
+            EXPECT_GT(r.value().ipc, 0.0);
+        } else {
+            ++failed;
+            EXPECT_EQ(r.error().category(),
+                      ErrorCategory::InvalidConfig);
+        }
+    }
+    EXPECT_EQ(succeeded, 2);
+    EXPECT_EQ(failed, 1);
+}
+
+TEST(Harness, TryRunEdsReportsInvalidConfig)
+{
+    const Benchmark &bench = suitePrograms()[9];
+    cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    cfg.issueWidth = 0;
+    const Expected<core::SimResult> r = tryRunEds(bench, cfg);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().category(), ErrorCategory::InvalidConfig);
+    EXPECT_NE(std::string(r.error().what()).find("issueWidth"),
+              std::string::npos);
+}
+
 TEST(Harness, WallSecondsMeasuresSomething)
 {
     volatile uint64_t acc = 0;

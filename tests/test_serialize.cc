@@ -129,16 +129,38 @@ TEST(Serialize, RejectsForeignData)
 {
     std::stringstream ss;
     ss << "not-a-profile 1\n";
-    EXPECT_EXIT(loadProfile(ss), ::testing::ExitedWithCode(1),
-                "not a ssim profile");
+    try {
+        loadProfile(ss);
+        FAIL() << "foreign data was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::ParseError);
+        EXPECT_NE(std::string(e.what()).find("not a ssim profile"),
+                  std::string::npos);
+    }
 }
 
 TEST(Serialize, RejectsFutureVersion)
 {
     std::stringstream ss;
-    ss << "ssim-profile 999\n";
-    EXPECT_EXIT(loadProfile(ss), ::testing::ExitedWithCode(1),
-                "unsupported profile version");
+    ss << "ssim-profile 999 0000000000000000 0\n";
+    try {
+        loadProfile(ss);
+        FAIL() << "future version was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::VersionMismatch);
+        EXPECT_NE(std::string(e.what())
+                      .find("unsupported profile version"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialize, RejectsVersion1Profiles)
+{
+    // Version-1 files carried no checksum; they are rejected rather
+    // than trusted.
+    std::stringstream ss;
+    ss << "ssim-profile 1\n1 1000 10\nbench\n0\n0\n";
+    EXPECT_THROW(loadProfile(ss), Error);
 }
 
 TEST(Serialize, RejectsTruncatedInput)
@@ -147,8 +169,76 @@ TEST(Serialize, RejectsTruncatedInput)
     saveProfile(original(), full);
     const std::string text = full.str();
     std::stringstream truncated(text.substr(0, text.size() / 2));
-    EXPECT_EXIT(loadProfile(truncated),
-                ::testing::ExitedWithCode(1), "");
+    try {
+        loadProfile(truncated);
+        FAIL() << "truncated profile was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::CorruptData);
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialize, RejectsBitFlippedPayload)
+{
+    std::stringstream full;
+    saveProfile(original(), full);
+    std::string text = full.str();
+    // Flip one digit deep inside the payload without changing the
+    // length; the checksum must catch it.
+    const size_t pos = text.size() / 2;
+    ASSERT_GT(pos, 64u);
+    text[pos] = text[pos] == '1' ? '2' : '1';
+    std::stringstream flipped(text);
+    try {
+        loadProfile(flipped);
+        FAIL() << "bit-flipped profile was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::CorruptData);
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialize, ErrorsCarryFileAndLineContext)
+{
+    std::stringstream ss;
+    ss << "not-a-profile 1\n";
+    try {
+        loadProfile(ss, "profiles/zip.prof");
+        FAIL() << "foreign data was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.context().file, "profiles/zip.prof");
+        EXPECT_EQ(e.context().line, 1u);
+        EXPECT_NE(std::string(e.what()).find("profiles/zip.prof:1"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialize, TryLoadReturnsExpectedInsteadOfThrowing)
+{
+    std::stringstream ss;
+    ss << "not-a-profile 1\n";
+    const Expected<StatisticalProfile> result = tryLoadProfile(ss);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(),
+              ErrorCategory::ParseError);
+
+    std::stringstream good;
+    saveProfile(original(), good);
+    const Expected<StatisticalProfile> loaded = tryLoadProfile(good);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().nodeCount(), original().nodeCount());
+}
+
+TEST(Serialize, MissingFileIsIoError)
+{
+    const Expected<StatisticalProfile> result =
+        tryLoadProfileFile("/nonexistent/dir/zip.prof");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().category(), ErrorCategory::IoError);
+    EXPECT_EQ(result.error().context().file,
+              "/nonexistent/dir/zip.prof");
 }
 
 TEST(Serialize, FileRoundTrip)

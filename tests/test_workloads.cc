@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "isa/emulator.hh"
+#include "util/error.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -149,10 +150,19 @@ TEST(WorkloadRegistry, SuiteHasTenEntries)
         EXPECT_FALSE(info.archetype.empty());
 }
 
-TEST(WorkloadRegistry, UnknownNameIsFatal)
+TEST(WorkloadRegistry, UnknownNameIsTypedError)
 {
-    EXPECT_EXIT(workloads::build("no-such-benchmark"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        workloads::build("no-such-benchmark");
+        FAIL() << "unknown workload was accepted";
+    } catch (const ssim::Error &e) {
+        EXPECT_EQ(e.category(), ssim::ErrorCategory::UnknownWorkload);
+        // The message must be actionable: it lists the valid names.
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("route"),
+                  std::string::npos);
+    }
 }
 
 TEST(WorkloadCharacter, RaytraceIsFloatingPointHeavy)

@@ -26,6 +26,9 @@
  *   --workload-scale N
  */
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -35,6 +38,7 @@
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "core/statsim.hh"
+#include "util/error.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -79,16 +83,78 @@ usage()
         "profile options: --order K --immediate --skip N --max N\n"
         "generation options: --reduction R --seed S\n"
         "workload options: --workload-scale N\n"
-        "output options: --report (detailed pipeline/power tables)\n";
+        "output options: --report (detailed pipeline/power tables)\n"
+        "exit codes: 0 ok, 2 usage/argument error, 3 invalid\n"
+        "  configuration, 4 profile parse error, 5 corrupted\n"
+        "  profile, 6 profile version mismatch, 7 I/O error,\n"
+        "  8 unknown workload, 9 internal error\n";
     std::exit(2);
 }
 
-int64_t
-numArg(int argc, char **argv, int &i)
+/** Reject with a clear message; exits with the usage-error code. */
+[[noreturn]] void
+argError(const std::string &msg)
+{
+    throw Error(ErrorCategory::InvalidArgument,
+                msg + " (run 'ssim' without arguments for usage)");
+}
+
+const char *
+valueOf(int argc, char **argv, int &i)
 {
     if (i + 1 >= argc)
-        usage();
-    return std::atoll(argv[++i]);
+        argError(std::string("option ") + argv[i] +
+                 " requires a value");
+    return argv[++i];
+}
+
+uint64_t
+uintArg(int argc, char **argv, int &i)
+{
+    const std::string flag = argv[i];
+    const std::string tok = valueOf(argc, argv, i);
+    uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v, 10);
+    if (tok.empty() || ec != std::errc() ||
+        p != tok.data() + tok.size()) {
+        argError("option " + flag +
+                 ": expected an unsigned integer, got '" + tok + "'");
+    }
+    return v;
+}
+
+int64_t
+intArg(int argc, char **argv, int &i)
+{
+    const std::string flag = argv[i];
+    const std::string tok = valueOf(argc, argv, i);
+    int64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v, 10);
+    if (tok.empty() || ec != std::errc() ||
+        p != tok.data() + tok.size()) {
+        argError("option " + flag + ": expected an integer, got '" +
+                 tok + "'");
+    }
+    return v;
+}
+
+double
+floatArg(int argc, char **argv, int &i)
+{
+    const std::string flag = argv[i];
+    const std::string tok = valueOf(argc, argv, i);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size() ||
+        errno == ERANGE || !std::isfinite(v) || v <= 0.0) {
+        argError("option " + flag +
+                 ": expected a positive finite number, got '" + tok +
+                 "'");
+    }
+    return v;
 }
 
 Options
@@ -100,36 +166,37 @@ parse(int argc, char **argv)
     opts.command = argv[1];
     int i = 2;
     if (opts.command != "list") {
-        if (i >= argc)
-            usage();
+        if (i >= argc) {
+            argError("command '" + opts.command +
+                     "' requires a target (workload name or profile "
+                     "file)");
+        }
         opts.target = argv[i++];
     }
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-o") {
-            if (i + 1 >= argc)
-                usage();
-            opts.output = argv[++i];
+            opts.output = valueOf(argc, argv, i);
         } else if (arg == "--ruu") {
             opts.cfg.ruuSize = static_cast<uint32_t>(
-                numArg(argc, argv, i));
+                uintArg(argc, argv, i));
         } else if (arg == "--lsq") {
             opts.cfg.lsqSize = static_cast<uint32_t>(
-                numArg(argc, argv, i));
+                uintArg(argc, argv, i));
         } else if (arg == "--width") {
             const auto w = static_cast<uint32_t>(
-                numArg(argc, argv, i));
+                uintArg(argc, argv, i));
             opts.cfg.decodeWidth = w;
             opts.cfg.issueWidth = w;
             opts.cfg.commitWidth = w;
         } else if (arg == "--ifq") {
             opts.cfg.ifqSize = static_cast<uint32_t>(
-                numArg(argc, argv, i));
+                uintArg(argc, argv, i));
         } else if (arg == "--scale-bpred") {
             opts.cfg.bpred = opts.cfg.bpred.scaled(
-                static_cast<int>(numArg(argc, argv, i)));
+                static_cast<int>(intArg(argc, argv, i)));
         } else if (arg == "--scale-cache") {
-            const double f = std::atof(argv[++i]);
+            const double f = floatArg(argc, argv, i);
             opts.cfg.il1 = opts.cfg.il1.scaled(f);
             opts.cfg.dl1 = opts.cfg.dl1.scaled(f);
             opts.cfg.l2 = opts.cfg.l2.scaled(f);
@@ -141,30 +208,25 @@ parse(int argc, char **argv)
             opts.profile.perfectBpred = true;
         } else if (arg == "--order") {
             opts.profile.order = static_cast<int>(
-                numArg(argc, argv, i));
+                intArg(argc, argv, i));
         } else if (arg == "--immediate") {
             opts.profile.branchMode =
                 core::BranchProfilingMode::ImmediateUpdate;
         } else if (arg == "--skip") {
-            opts.profile.skipInsts = static_cast<uint64_t>(
-                numArg(argc, argv, i));
+            opts.profile.skipInsts = uintArg(argc, argv, i);
         } else if (arg == "--max") {
-            opts.profile.maxInsts = static_cast<uint64_t>(
-                numArg(argc, argv, i));
+            opts.profile.maxInsts = uintArg(argc, argv, i);
         } else if (arg == "--reduction") {
-            opts.generation.reductionFactor = static_cast<uint64_t>(
-                numArg(argc, argv, i));
+            opts.generation.reductionFactor =
+                uintArg(argc, argv, i);
         } else if (arg == "--seed") {
-            opts.generation.seed = static_cast<uint64_t>(
-                numArg(argc, argv, i));
+            opts.generation.seed = uintArg(argc, argv, i);
         } else if (arg == "--report") {
             opts.report = true;
         } else if (arg == "--workload-scale") {
-            opts.workloadScale = static_cast<uint64_t>(
-                numArg(argc, argv, i));
+            opts.workloadScale = uintArg(argc, argv, i);
         } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            usage();
+            argError("unknown option '" + arg + "'");
         }
     }
     return opts;
@@ -218,6 +280,10 @@ cmdProfile(const Options &opts)
 int
 cmdSimulate(const Options &opts)
 {
+    // Validate the configuration before loading or generating
+    // anything: a bad knob should not cost a generation pass.
+    opts.cfg.validate();
+    opts.generation.validate();
     const core::StatisticalProfile profile =
         core::loadProfileFile(opts.target);
     const core::SyntheticTrace trace =
@@ -285,16 +351,29 @@ cmdCompare(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    const Options opts = parse(argc, argv);
-    if (opts.command == "list")
-        return cmdList();
-    if (opts.command == "profile")
-        return cmdProfile(opts);
-    if (opts.command == "simulate")
-        return cmdSimulate(opts);
-    if (opts.command == "eds")
-        return cmdEds(opts);
-    if (opts.command == "compare")
-        return cmdCompare(opts);
-    usage();
+    // Terminating the process is CLI policy: the library reports
+    // failures as typed ssim::Error, and this is the single place
+    // they become exit codes (one per category; see usage()).
+    try {
+        const Options opts = parse(argc, argv);
+        if (opts.command == "list")
+            return cmdList();
+        if (opts.command == "profile")
+            return cmdProfile(opts);
+        if (opts.command == "simulate")
+            return cmdSimulate(opts);
+        if (opts.command == "eds")
+            return cmdEds(opts);
+        if (opts.command == "compare")
+            return cmdCompare(opts);
+        std::cerr << "ssim: unknown command '" << opts.command
+                  << "'\n";
+        usage();
+    } catch (const ssim::Error &e) {
+        std::cerr << "ssim: " << e.what() << "\n";
+        return ssim::exitCodeFor(e.category());
+    } catch (const std::exception &e) {
+        std::cerr << "ssim: internal error: " << e.what() << "\n";
+        return ssim::exitCodeFor(ssim::ErrorCategory::Internal);
+    }
 }
