@@ -12,12 +12,22 @@
  * the SS-chosen optimum is compared by EDS against the SS top-10 and
  * a spread of random points, reporting how close the pick is to the
  * best EDS EDP among the sampled candidates.
+ *
+ * The per-point sweep runs on the crash-tolerant sweep engine
+ * (experiments/sweep.hh): one worker per hardware thread, and —
+ * because design-space runs are exactly the workload that dies at
+ * point 900 of 1,792 — an optional journal. Set SSIM_SWEEP_JOURNAL
+ * to a path prefix to persist one journal per benchmark; rerunning
+ * with the same prefix resumes instead of recomputing.
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "experiments/harness.hh"
+#include "experiments/sweep.hh"
 #include "util/random.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
@@ -100,10 +110,41 @@ main()
         const core::SyntheticTrace trace =
             core::generateSyntheticTrace(*profile, gopts);
 
+        // Evaluate the space through the sweep engine: parallel
+        // workers, resumable when a journal prefix is configured.
+        SweepOptions sopts;
+        sopts.jobs = 0;   // one worker per hardware thread
+        if (const char *prefix = std::getenv("SSIM_SWEEP_JOURNAL")) {
+            sopts.journalPath =
+                std::string(prefix) + "." + bench.name + ".jsonl";
+            sopts.resume = true;
+        }
+        std::vector<SweepPoint> sweepPoints;
+        sweepPoints.reserve(space.size());
+        for (const Point &point : space)
+            sweepPoints.push_back(
+                {point.name, configHash(point.cfg)});
+        const SweepSummary summary = runSweep(
+            sweepPoints,
+            [&](size_t p, uint64_t) {
+                return PointMetrics{
+                    {"edp", core::simulateSyntheticTrace(
+                                trace, space[p].cfg).edp}};
+            },
+            sopts);
+
         std::vector<double> edp(space.size());
         for (size_t p = 0; p < space.size(); ++p) {
-            edp[p] = core::simulateSyntheticTrace(
-                trace, space[p].cfg).edp;
+            if (summary.outcomes[p].status != PointStatus::Ok) {
+                std::cerr << "point " << space[p].name << " "
+                          << pointStatusName(
+                                 summary.outcomes[p].status)
+                          << ": " << summary.outcomes[p].message
+                          << "\n";
+                edp[p] = 1e300;   // never picked as the optimum
+                continue;
+            }
+            edp[p] = summary.outcomes[p].metrics.front().second;
         }
 
         // Rank by SS EDP.

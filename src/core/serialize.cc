@@ -9,6 +9,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/journal.hh"
+
 namespace ssim::core
 {
 
@@ -451,12 +453,7 @@ parseBody(const std::string &payload, const std::string &file)
 uint64_t
 profileChecksum(const std::string &payload)
 {
-    uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : payload) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
+    return util::fnv1a64(payload);
 }
 
 void
@@ -559,14 +556,14 @@ void
 saveProfileFile(const StatisticalProfile &profile,
                 const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        throw Error(ErrorCategory::IoError,
-                    "cannot open for writing", {path, 0});
-    saveProfile(profile, os);
-    os.flush();
-    if (!os)
-        throw Error(ErrorCategory::IoError, "write error", {path, 0});
+    // Atomic replace (tmp + rename): an interrupted save can never
+    // leave a truncated profile at @p path — readers see either the
+    // previous complete profile or the new one. The header checksum
+    // still guards against everything else (bit rot, bad copies).
+    Expected<void> written = util::atomicWriteFile(
+        path, [&](std::ostream &os) { saveProfile(profile, os); });
+    if (!written)
+        throw written.error();
 }
 
 StatisticalProfile

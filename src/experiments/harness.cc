@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "workloads/workload.hh"
@@ -62,6 +63,7 @@ profileKey(const Benchmark &bench, const cpu::CoreConfig &cfg,
     key << bench.name << '|' << knobs.order << '|'
         << static_cast<int>(knobs.branchMode) << '|'
         << knobs.perfectCaches << knobs.perfectBpred << '|'
+        << knobs.skipInsts << '|' << knobs.maxInsts << '|'
         << cfg.ifqSize << '|' << cfg.fetchSpeed << '|'
         << cfg.decodeWidth << '|'
         << static_cast<int>(cfg.bpred.kind) << ':'
@@ -84,10 +86,15 @@ std::shared_ptr<const core::StatisticalProfile>
 profileFor(const Benchmark &bench, const cpu::CoreConfig &cfg,
            const StatSimKnobs &knobs)
 {
+    // Guarded for parallel sweep workers. The mutex is held across
+    // the build on purpose: racing workers asking for the same key
+    // would otherwise all pay for the expensive profiling pass.
+    static std::mutex cacheMutex;
     static std::map<std::string,
                     std::shared_ptr<const core::StatisticalProfile>>
         cache;
     const std::string key = profileKey(bench, cfg, knobs);
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
@@ -97,6 +104,9 @@ profileFor(const Benchmark &bench, const cpu::CoreConfig &cfg,
     opts.branchMode = knobs.branchMode;
     opts.perfectCaches = knobs.perfectCaches;
     opts.perfectBpred = knobs.perfectBpred;
+    opts.skipInsts = knobs.skipInsts;
+    if (knobs.maxInsts != 0)
+        opts.maxInsts = knobs.maxInsts;
     auto profile = std::make_shared<core::StatisticalProfile>(
         core::buildProfile(bench.program, cfg, opts));
     cache.emplace(key, profile);

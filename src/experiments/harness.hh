@@ -52,6 +52,8 @@ struct StatSimKnobs
     uint64_t seed = 1;
     bool perfectCaches = false;
     bool perfectBpred = false;
+    uint64_t skipInsts = 0;   ///< profiling warm-up skip
+    uint64_t maxInsts = 0;    ///< profiling cap; 0 = run to completion
 };
 
 /** Execution-driven reference run (honours perfect-structure knobs). */
@@ -65,7 +67,9 @@ core::SimResult runEds(const Benchmark &bench,
  * benchmark and an equivalent profiling configuration reuse the
  * profile, which is how a designer amortizes profiling across a
  * design-space sweep — a new profile is only needed when the
- * predictor or cache configuration changes).
+ * predictor or cache configuration changes). Thread-safe: the cache
+ * is mutex-guarded so parallel sweep workers share one profile;
+ * concurrent first requests for the same key serialize on the build.
  */
 std::shared_ptr<const core::StatisticalProfile> profileFor(
     const Benchmark &bench, const cpu::CoreConfig &cfg,

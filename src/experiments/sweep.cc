@@ -1,0 +1,793 @@
+#include "sweep.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/random.hh"
+
+namespace ssim::experiments
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> stopFlag{false};
+
+extern "C" void
+sweepSignalHandler(int)
+{
+    // Only an async-signal-safe store: workers poll the flag.
+    stopFlag.store(true);
+}
+
+/** Install drain handlers for the run; restore on destruction. */
+class ScopedSignalHandlers
+{
+  public:
+    explicit ScopedSignalHandlers(bool enable) : enabled_(enable)
+    {
+        if (!enabled_)
+            return;
+        struct sigaction sa = {};
+        sa.sa_handler = sweepSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, &oldInt_);
+        sigaction(SIGTERM, &sa, &oldTerm_);
+    }
+
+    ~ScopedSignalHandlers()
+    {
+        if (!enabled_)
+            return;
+        sigaction(SIGINT, &oldInt_, nullptr);
+        sigaction(SIGTERM, &oldTerm_, nullptr);
+    }
+
+  private:
+    bool enabled_;
+    struct sigaction oldInt_ = {};
+    struct sigaction oldTerm_ = {};
+};
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st = {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** SSIM_SWEEP_CRASH_AFTER=<n>: die after the n-th done record. */
+unsigned long
+crashAfterFromEnv()
+{
+    const char *env = std::getenv("SSIM_SWEEP_CRASH_AFTER");
+    if (!env)
+        return 0;
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<unsigned long>(v) : 0;
+}
+
+PointStatus
+statusFromName(const std::string &name)
+{
+    if (name == "ok")
+        return PointStatus::Ok;
+    if (name == "error")
+        return PointStatus::Error;
+    if (name == "timeout")
+        return PointStatus::Timeout;
+    if (name == "crashed")
+        return PointStatus::Crashed;
+    throw Error(ErrorCategory::CorruptData,
+                "journal has unknown point status '" + name + "'");
+}
+
+ErrorCategory
+categoryFromName(const std::string &name)
+{
+    for (int c = 0; c <= static_cast<int>(ErrorCategory::Internal);
+         ++c) {
+        const auto cat = static_cast<ErrorCategory>(c);
+        if (name == errorCategoryName(cat))
+            return cat;
+    }
+    return ErrorCategory::Internal;
+}
+
+/** In-flight attempt shared between its worker and the watchdog. */
+struct AttemptState
+{
+    size_t point = 0;
+    unsigned attempt = 0;
+    Clock::time_point deadline;
+    bool hasDeadline = false;
+    bool settled = false;   ///< guarded by the engine mutex
+};
+
+class Engine
+{
+  public:
+    Engine(const std::vector<SweepPoint> &points, const PointFn &fn,
+           const SweepOptions &opts)
+        : points_(points), fn_(fn), opts_(opts),
+          crashAfter_(crashAfterFromEnv())
+    {
+        summary_.outcomes.resize(points_.size());
+        attemptsUsed_.assign(points_.size(), 0);
+        for (size_t i = 0; i < points_.size(); ++i)
+            summary_.outcomes[i].seed = pointSeed(opts_.seed, i);
+    }
+
+    SweepSummary run();
+
+  private:
+    void prepareJournal();
+    void replayJournal(const std::vector<util::JournalRecord> &old);
+    void journalAppend(const util::JournalRecord &rec);
+    util::JournalRecord doneRecord(size_t point,
+                                   const PointOutcome &o) const;
+    void settle(size_t point, PointOutcome &&outcome);
+    void workerLoop();
+    void watchdogLoop();
+    unsigned totalAttemptsAllowed() const
+    {
+        return 1 + opts_.maxRetries;
+    }
+
+    const std::vector<SweepPoint> &points_;
+    const PointFn &fn_;
+    const SweepOptions &opts_;
+
+    SweepSummary summary_;
+    std::vector<unsigned> attemptsUsed_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<size_t> queue_;
+    std::vector<std::shared_ptr<AttemptState>> inflight_;
+    bool finished_ = false;   ///< workers done; watchdog may exit
+
+    util::Journal journal_;
+    bool replayed_ = false;   ///< resume replay filled the queue
+    unsigned long crashAfter_ = 0;
+    unsigned long doneWrites_ = 0;
+};
+
+void
+Engine::journalAppend(const util::JournalRecord &rec)
+{
+    if (!journal_.isOpen())
+        return;
+    // Journal failures must not kill a sweep that is otherwise
+    // producing results; surface them once on stderr and carry on
+    // (the run degrades to non-resumable).
+    Expected<void> r = journal_.append(rec);
+    if (!r) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            std::fputs((std::string("sweep: journal write failed: ") +
+                        r.error().what() + "\n").c_str(), stderr);
+        return;
+    }
+    if (rec.event == "done" && crashAfter_ > 0 &&
+        ++doneWrites_ >= crashAfter_) {
+        // Fault injection: die as hard as SIGKILL would, after the
+        // record is durably on disk.
+        journal_.sync();
+        ::raise(SIGKILL);
+    }
+}
+
+util::JournalRecord
+Engine::doneRecord(size_t point, const PointOutcome &o) const
+{
+    util::JournalRecord rec;
+    rec.event = "done";
+    rec.point = point;
+    rec.attempt = o.attempts;
+    rec.configHash = points_[point].configHash;
+    rec.seed = o.seed;
+    rec.status = pointStatusName(o.status);
+    if (o.status == PointStatus::Error)
+        rec.category = errorCategoryName(o.errorCategory);
+    rec.message = o.message;
+    rec.wallSeconds = o.wallSeconds;
+    for (const auto &[name, value] : o.metrics)
+        rec.metrics.push_back({name, value});
+    return rec;
+}
+
+/** Record a settled attempt; mutex held by the caller. */
+void
+Engine::settle(size_t point, PointOutcome &&outcome)
+{
+    outcome.attempts = attemptsUsed_[point];
+    summary_.outcomes[point] = outcome;
+    journalAppend(doneRecord(point, summary_.outcomes[point]));
+    const bool retryable =
+        outcome.status == PointStatus::Error
+            ? retryableCategory(outcome.errorCategory)
+            : retryableStatus(outcome.status);
+    if (outcome.status != PointStatus::Ok && retryable &&
+        attemptsUsed_[point] < totalAttemptsAllowed() &&
+        !stopFlag.load()) {
+        queue_.push_back(point);
+    }
+}
+
+void
+Engine::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        // Poll-wait: a signal handler cannot safely notify a condvar,
+        // so waits are bounded to observe the stop flag promptly.
+        cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
+            return stopFlag.load() || !queue_.empty() ||
+                   inflight_.empty();
+        });
+        if (stopFlag.load())
+            return;
+        if (queue_.empty()) {
+            if (inflight_.empty())
+                return;   // nothing left and no retries can appear
+            continue;
+        }
+
+        const size_t point = queue_.front();
+        queue_.pop_front();
+        const unsigned attempt = ++attemptsUsed_[point];
+        auto st = std::make_shared<AttemptState>();
+        st->point = point;
+        st->attempt = attempt;
+        if (opts_.pointTimeoutSeconds > 0) {
+            st->hasDeadline = true;
+            st->deadline =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        opts_.pointTimeoutSeconds));
+        }
+        inflight_.push_back(st);
+        ++summary_.executedCount;
+
+        util::JournalRecord startRec;
+        startRec.event = "start";
+        startRec.point = point;
+        startRec.attempt = attempt;
+        startRec.configHash = points_[point].configHash;
+        startRec.seed = summary_.outcomes[point].seed;
+        journalAppend(startRec);
+
+        lk.unlock();
+
+        PointOutcome o;
+        o.seed = pointSeed(opts_.seed, point);
+        const auto t0 = Clock::now();
+        try {
+            o.metrics = fn_(point, o.seed);
+            o.status = PointStatus::Ok;
+        } catch (const Error &e) {
+            o.status = PointStatus::Error;
+            o.errorCategory = e.category();
+            o.message = e.message();
+        } catch (const std::exception &e) {
+            // A non-ssim exception is a bug in the point function,
+            // but one bad point must not take down the pool.
+            o.status = PointStatus::Error;
+            o.errorCategory = ErrorCategory::Internal;
+            o.message = e.what();
+        }
+        o.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+
+        lk.lock();
+        auto it = std::find(inflight_.begin(), inflight_.end(), st);
+        if (it != inflight_.end())
+            inflight_.erase(it);
+        if (!st->settled) {
+            st->settled = true;
+            settle(point, std::move(o));
+        }
+        // else: the watchdog already journaled this attempt as a
+        // timeout; the late result is discarded.
+        cv_.notify_all();
+    }
+}
+
+void
+Engine::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!finished_) {
+        cv_.wait_for(lk, std::chrono::milliseconds(5),
+                     [&] { return finished_; });
+        if (finished_)
+            return;
+        const auto now = Clock::now();
+        for (size_t i = 0; i < inflight_.size();) {
+            auto st = inflight_[i];
+            if (!st->settled && st->hasDeadline &&
+                now >= st->deadline) {
+                st->settled = true;
+                inflight_.erase(inflight_.begin() + i);
+                PointOutcome o;
+                o.status = PointStatus::Timeout;
+                o.seed = summary_.outcomes[st->point].seed;
+                o.wallSeconds = opts_.pointTimeoutSeconds;
+                o.message =
+                    "exceeded the per-point budget of " +
+                    std::to_string(opts_.pointTimeoutSeconds) + " s";
+                settle(st->point, std::move(o));
+                cv_.notify_all();
+            } else {
+                ++i;
+            }
+        }
+    }
+}
+
+void
+Engine::prepareJournal()
+{
+    if (opts_.journalPath.empty())
+        return;
+
+    const bool exists = fileExists(opts_.journalPath);
+    if (exists && !opts_.resume) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "journal already exists; pass --resume to "
+                    "continue it or remove it to start over",
+                    {opts_.journalPath, 0});
+    }
+
+    if (opts_.resume && exists) {
+        Expected<std::vector<util::JournalRecord>> loaded =
+            util::Journal::load(opts_.journalPath);
+        if (!loaded)
+            throw loaded.error();
+        replayJournal(loaded.value());
+        replayed_ = true;
+        return;
+    }
+
+    // Fresh journal: write the header identifying this sweep.
+    util::JournalRecord header;
+    header.event = "sweep";
+    header.sweepHash = sweepIdentityHash(points_, opts_.seed);
+    header.pointCount = points_.size();
+    header.sweepSeed = opts_.seed;
+    Expected<void> opened = journal_.open(opts_.journalPath, true);
+    if (!opened)
+        throw opened.error();
+    journalAppend(header);
+}
+
+void
+Engine::replayJournal(const std::vector<util::JournalRecord> &old)
+{
+    const std::string &path = opts_.journalPath;
+    if (old.empty() || old.front().event != "sweep") {
+        throw Error(ErrorCategory::CorruptData,
+                    "journal has no sweep header", {path, 1});
+    }
+    const uint64_t identity = sweepIdentityHash(points_, opts_.seed);
+    if (old.front().sweepHash != identity) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "journal belongs to a different sweep "
+                    "(different points or seed); refusing to resume",
+                    {path, 1});
+    }
+
+    // Replay: the terminal record with the highest attempt number
+    // wins; a start with no matching done means the process died
+    // mid-point, which becomes a synthesized `crashed` record.
+    std::vector<const util::JournalRecord *> lastDone(points_.size(),
+                                                      nullptr);
+    std::vector<const util::JournalRecord *> dangling(points_.size(),
+                                                      nullptr);
+    for (const util::JournalRecord &rec : old) {
+        if (rec.point >= points_.size())
+            throw Error(ErrorCategory::CorruptData,
+                        "journal references point " +
+                        std::to_string(rec.point) +
+                        " outside the sweep", {path, 0});
+        if (rec.event == "start") {
+            dangling[rec.point] = &rec;
+            if (rec.attempt > attemptsUsed_[rec.point])
+                attemptsUsed_[rec.point] = rec.attempt;
+        } else if (rec.event == "done") {
+            if (dangling[rec.point] &&
+                dangling[rec.point]->attempt == rec.attempt)
+                dangling[rec.point] = nullptr;
+            if (!lastDone[rec.point] ||
+                rec.attempt >= lastDone[rec.point]->attempt)
+                lastDone[rec.point] = &rec;
+            if (rec.attempt > attemptsUsed_[rec.point])
+                attemptsUsed_[rec.point] = rec.attempt;
+        }
+    }
+
+    std::vector<util::JournalRecord> rebuilt(old.begin(), old.end());
+    // Reserve up front: lastDone[] stores pointers into rebuilt for
+    // synthesized records, which reallocation would invalidate.
+    rebuilt.reserve(old.size() + points_.size());
+    for (size_t p = 0; p < points_.size(); ++p) {
+        if (!dangling[p])
+            continue;
+        util::JournalRecord crash;
+        crash.event = "done";
+        crash.point = p;
+        crash.attempt = dangling[p]->attempt;
+        crash.configHash = points_[p].configHash;
+        crash.seed = summary_.outcomes[p].seed;
+        crash.status = pointStatusName(PointStatus::Crashed);
+        crash.message = "process died mid-point (start record with "
+                        "no done record)";
+        rebuilt.push_back(std::move(crash));
+        if (!lastDone[p] ||
+            rebuilt.back().attempt >= lastDone[p]->attempt)
+            lastDone[p] = &rebuilt.back();
+    }
+
+    // Decide each point's fate and fill reused outcomes.
+    for (size_t p = 0; p < points_.size(); ++p) {
+        const util::JournalRecord *rec = lastDone[p];
+        if (!rec) {
+            queue_.push_back(p);
+            continue;
+        }
+        PointOutcome &o = summary_.outcomes[p];
+        o.status = statusFromName(rec->status);
+        o.message = rec->message;
+        o.wallSeconds = rec->wallSeconds;
+        o.attempts = attemptsUsed_[p];
+        o.reused = true;
+        if (!rec->category.empty())
+            o.errorCategory = categoryFromName(rec->category);
+        for (const util::JournalMetric &m : rec->metrics)
+            o.metrics.push_back({m.name, m.value});
+
+        const bool retryable =
+            o.status == PointStatus::Error
+                ? retryableCategory(o.errorCategory)
+                : retryableStatus(o.status);
+        if (o.status != PointStatus::Ok && retryable &&
+            attemptsUsed_[p] < totalAttemptsAllowed()) {
+            queue_.push_back(p);
+        }
+    }
+
+    // Checkpoint the rebuilt journal (drops any partial final line,
+    // folds in synthesized crash records) and reopen for appending.
+    Expected<void> ck = util::Journal::checkpoint(path, rebuilt);
+    if (!ck)
+        throw ck.error();
+    Expected<void> opened = journal_.open(path, false);
+    if (!opened)
+        throw opened.error();
+}
+
+SweepSummary
+Engine::run()
+{
+    const auto t0 = Clock::now();
+    prepareJournal();
+    if (!replayed_) {
+        for (size_t p = 0; p < points_.size(); ++p)
+            queue_.push_back(p);
+    }
+    // (replayJournal filled queue_ for the resume case.)
+
+    if (!queue_.empty()) {
+        unsigned jobs = opts_.jobs != 0
+                            ? opts_.jobs
+                            : std::max(1u,
+                                  std::thread::hardware_concurrency());
+        jobs = std::min<unsigned>(
+            jobs, static_cast<unsigned>(queue_.size()));
+
+        ScopedSignalHandlers guard(opts_.handleSignals);
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w)
+            workers.emplace_back([this] { workerLoop(); });
+        std::thread watchdog;
+        if (opts_.pointTimeoutSeconds > 0)
+            watchdog = std::thread([this] { watchdogLoop(); });
+
+        for (std::thread &t : workers)
+            t.join();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            finished_ = true;
+        }
+        cv_.notify_all();
+        if (watchdog.joinable())
+            watchdog.join();
+    }
+
+    bool resumeWouldRun = false;
+    for (size_t p = 0; p < summary_.outcomes.size(); ++p) {
+        const PointOutcome &o = summary_.outcomes[p];
+        switch (o.status) {
+          case PointStatus::Pending: ++summary_.pendingCount; break;
+          case PointStatus::Ok: ++summary_.okCount; break;
+          case PointStatus::Error: ++summary_.errorCount; break;
+          case PointStatus::Timeout: ++summary_.timeoutCount; break;
+          case PointStatus::Crashed: ++summary_.crashedCount; break;
+        }
+        if (o.reused)
+            ++summary_.reusedCount;
+        const bool retryable =
+            o.status == PointStatus::Error
+                ? retryableCategory(o.errorCategory)
+                : retryableStatus(o.status);
+        if (o.status == PointStatus::Pending ||
+            (o.status != PointStatus::Ok && retryable &&
+             attemptsUsed_[p] < totalAttemptsAllowed()))
+            resumeWouldRun = true;
+    }
+    summary_.interrupted = stopFlag.load() && resumeWouldRun;
+    if (journal_.isOpen()) {
+        journal_.sync();
+        journal_.close();
+    }
+    summary_.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return summary_;
+}
+
+} // namespace
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Pending: return "pending";
+      case PointStatus::Ok: return "ok";
+      case PointStatus::Error: return "error";
+      case PointStatus::Timeout: return "timeout";
+      case PointStatus::Crashed: return "crashed";
+    }
+    return "unknown";
+}
+
+void
+SweepOptions::validate() const
+{
+    if (!std::isfinite(pointTimeoutSeconds) ||
+        pointTimeoutSeconds < 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep pointTimeoutSeconds must be a finite "
+                    "non-negative number");
+    }
+    if (maxRetries > 100) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep maxRetries must be at most 100 (got " +
+                    std::to_string(maxRetries) + ")");
+    }
+    if (resume && journalPath.empty()) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep resume requires a journal path");
+    }
+}
+
+uint64_t
+pointSeed(uint64_t sweepSeed, uint64_t index)
+{
+    return splitmix64(sweepSeed ^ splitmix64(index));
+}
+
+uint64_t
+sweepIdentityHash(const std::vector<SweepPoint> &points, uint64_t seed)
+{
+    std::ostringstream key;
+    key << "sweep-v1|" << seed << '|' << points.size();
+    for (const SweepPoint &p : points) {
+        key << '|' << p.name << ':';
+        key << std::hex << p.configHash << std::dec;
+    }
+    return util::fnv1a64(key.str());
+}
+
+bool
+retryableStatus(PointStatus status)
+{
+    return status == PointStatus::Timeout ||
+           status == PointStatus::Crashed;
+}
+
+bool
+retryableCategory(ErrorCategory category)
+{
+    // Only I/O failures are plausibly transient; every other typed
+    // category is deterministic for a fixed (config, seed).
+    return category == ErrorCategory::IoError;
+}
+
+SweepSummary
+runSweep(const std::vector<SweepPoint> &points, const PointFn &fn,
+         const SweepOptions &opts)
+{
+    opts.validate();
+    if (!fn) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "runSweep requires a point function");
+    }
+    stopFlag.store(false);
+    Engine engine(points, fn, opts);
+    return engine.run();
+}
+
+void
+requestSweepStop()
+{
+    stopFlag.store(true);
+}
+
+bool
+sweepStopRequested()
+{
+    return stopFlag.load();
+}
+
+// --- Core-configuration grids --------------------------------------
+
+const std::vector<std::string> &
+sweepGridKeys()
+{
+    static const std::vector<std::string> keys = {
+        "ruu", "lsq", "width", "ifq", "scale-bpred", "scale-cache",
+    };
+    return keys;
+}
+
+namespace
+{
+
+uint32_t
+gridU32(const std::string &key, double v)
+{
+    if (v <= 0 || v != std::floor(v) || v > 1e9) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep grid key '" + key +
+                    "' needs a positive integer, got " +
+                    std::to_string(v));
+    }
+    return static_cast<uint32_t>(v);
+}
+
+cpu::CoreConfig
+applyGridKnob(cpu::CoreConfig cfg, const std::string &key, double v)
+{
+    if (key == "ruu") {
+        cfg.ruuSize = gridU32(key, v);
+    } else if (key == "lsq") {
+        cfg.lsqSize = gridU32(key, v);
+    } else if (key == "width") {
+        const uint32_t w = gridU32(key, v);
+        cfg.decodeWidth = w;
+        cfg.issueWidth = w;
+        cfg.commitWidth = w;
+    } else if (key == "ifq") {
+        cfg.ifqSize = gridU32(key, v);
+    } else if (key == "scale-bpred") {
+        if (v != std::floor(v) || v < -16 || v > 16) {
+            throw Error(ErrorCategory::InvalidConfig,
+                        "sweep grid key 'scale-bpred' needs an "
+                        "integer log2 factor in [-16, 16], got " +
+                        std::to_string(v));
+        }
+        cfg.bpred = cfg.bpred.scaled(static_cast<int>(v));
+    } else if (key == "scale-cache") {
+        if (!std::isfinite(v) || v <= 0) {
+            throw Error(ErrorCategory::InvalidConfig,
+                        "sweep grid key 'scale-cache' needs a "
+                        "positive factor, got " + std::to_string(v));
+        }
+        cfg.il1 = cfg.il1.scaled(v);
+        cfg.dl1 = cfg.dl1.scaled(v);
+        cfg.l2 = cfg.l2.scaled(v);
+    } else {
+        std::string valid;
+        for (const std::string &k : sweepGridKeys())
+            valid += (valid.empty() ? "" : ", ") + k;
+        throw Error(ErrorCategory::InvalidArgument,
+                    "unknown sweep grid key '" + key +
+                    "' (valid keys: " + valid + ")");
+    }
+    return cfg;
+}
+
+std::string
+trimmedValue(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<ConfigPoint>
+expandConfigGrid(const cpu::CoreConfig &base,
+                 const std::vector<GridAxis> &axes)
+{
+    for (const GridAxis &axis : axes) {
+        if (axis.values.empty()) {
+            throw Error(ErrorCategory::InvalidArgument,
+                        "sweep grid key '" + axis.key +
+                        "' has no values");
+        }
+    }
+    std::vector<ConfigPoint> points;
+    std::vector<size_t> idx(axes.size(), 0);
+    for (;;) {
+        ConfigPoint point;
+        point.cfg = base;
+        for (size_t a = 0; a < axes.size(); ++a) {
+            const double v = axes[a].values[idx[a]];
+            point.cfg = applyGridKnob(point.cfg, axes[a].key, v);
+            point.name += (a > 0 ? "," : "") + axes[a].key + "=" +
+                          trimmedValue(v);
+        }
+        point.cfg.name = point.name;
+        points.push_back(std::move(point));
+
+        // Odometer increment, last axis fastest.
+        size_t a = axes.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < axes[a].values.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return points;
+        }
+        if (axes.empty())
+            return points;
+    }
+}
+
+uint64_t
+configHash(const cpu::CoreConfig &cfg)
+{
+    std::ostringstream key;
+    key << cfg.ifqSize << '|' << cfg.ruuSize << '|' << cfg.lsqSize
+        << '|' << cfg.decodeWidth << '|' << cfg.issueWidth << '|'
+        << cfg.commitWidth << '|' << cfg.fetchSpeed << '|'
+        << cfg.mispredictPenalty << '|' << cfg.redirectPenalty << '|'
+        << cfg.il1.sizeBytes << ':' << cfg.il1.assoc << ':'
+        << cfg.il1.lineBytes << ':' << cfg.il1.latency << '|'
+        << cfg.dl1.sizeBytes << ':' << cfg.dl1.assoc << ':'
+        << cfg.dl1.lineBytes << ':' << cfg.dl1.latency << '|'
+        << cfg.l2.sizeBytes << ':' << cfg.l2.assoc << ':'
+        << cfg.l2.lineBytes << ':' << cfg.l2.latency << '|'
+        << cfg.memLatency << '|' << static_cast<int>(cfg.bpred.kind)
+        << ':' << cfg.bpred.bimodalEntries << ':'
+        << cfg.bpred.l1Entries << ':' << cfg.bpred.l2Entries << ':'
+        << cfg.bpred.historyBits << ':' << cfg.bpred.chooserEntries
+        << ':' << cfg.bpred.btbEntries << ':' << cfg.bpred.btbAssoc
+        << ':' << cfg.bpred.rasEntries << '|' << cfg.perfectCaches
+        << cfg.perfectBpred << cfg.inOrderIssue;
+    return util::fnv1a64(key.str());
+}
+
+} // namespace ssim::experiments

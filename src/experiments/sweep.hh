@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Crash-tolerant parallel sweep engine.
+ *
+ * The paper's economics are "profile once, sweep thousands of design
+ * points"; this module makes the sweep itself survive the real world.
+ * A sweep is a list of named points run through a fixed-size worker
+ * pool, with:
+ *
+ *  - a journal (util/journal.hh): every attempt writes a `start`
+ *    record before running and a `done` record when it settles, so a
+ *    killed process leaves a precise frontier of finished work;
+ *  - resume: rerunning with the same journal skips points with a
+ *    terminal record and re-runs only pending/retryable ones. Per-
+ *    point seeds are splitmix64(sweep seed, index) — a pure function
+ *    of the index — so a resumed sweep's results are bit-identical to
+ *    an uninterrupted run;
+ *  - a watchdog enforcing a per-point wall-clock budget: an expired
+ *    point is journaled `timeout` (its eventual result, if any, is
+ *    discarded) and the sweep keeps going instead of hanging;
+ *  - bounded retry for retryable failures (timeout, crashed,
+ *    io-error); deterministic failures (invalid-config, parse
+ *    errors...) are never retried;
+ *  - graceful SIGINT/SIGTERM drain: no new points start, in-flight
+ *    points finish or time out, the journal is flushed, and the
+ *    summary reports `interrupted` so the CLI can exit with the
+ *    documented resumable code.
+ *
+ * Fault injection: setting SSIM_SWEEP_CRASH_AFTER=<n> makes the
+ * engine raise SIGKILL immediately after the n-th `done` record is
+ * journaled — the hook the crash/resume tests use to die at a
+ * deterministic instant.
+ */
+
+#ifndef SSIM_EXPERIMENTS_SWEEP_HH
+#define SSIM_EXPERIMENTS_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "util/error.hh"
+#include "util/journal.hh"
+
+namespace ssim::experiments
+{
+
+/** Terminal (and initial) states of one design point. */
+enum class PointStatus : uint8_t
+{
+    Pending,   ///< never ran (sweep interrupted before it started)
+    Ok,
+    Error,     ///< typed ssim::Error from the point function
+    Timeout,   ///< exceeded the per-point wall-clock budget
+    Crashed,   ///< a start record with no done record (process died)
+};
+
+/** Stable journal name ("ok", "error", "timeout", "crashed"...). */
+const char *pointStatusName(PointStatus status);
+
+/** One design point: a stable label plus its configuration hash. */
+struct SweepPoint
+{
+    std::string name;
+    uint64_t configHash = 0;
+};
+
+using PointMetrics = std::vector<std::pair<std::string, double>>;
+
+/**
+ * The work of one point: given the point index and its derived seed,
+ * return named metrics. Throw ssim::Error for a typed, recoverable
+ * failure; any other exception is recorded as an internal error for
+ * that point (the pool survives either way). Must be safe to call
+ * concurrently from multiple workers.
+ */
+using PointFn =
+    std::function<PointMetrics(size_t index, uint64_t seed)>;
+
+/** Knobs of one sweep run. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means one per hardware thread. */
+    unsigned jobs = 1;
+
+    /** Sweep seed; per-point seeds derive from (seed, index). */
+    uint64_t seed = 1;
+
+    /** Per-point wall-clock budget in seconds; 0 disables it. */
+    double pointTimeoutSeconds = 0.0;
+
+    /** Extra attempts after the first for retryable failures. */
+    unsigned maxRetries = 1;
+
+    /** Journal path; empty runs without persistence. */
+    std::string journalPath;
+
+    /** Skip points the journal already settled. */
+    bool resume = false;
+
+    /** Install SIGINT/SIGTERM drain handlers for the run (CLI). */
+    bool handleSignals = false;
+
+    /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
+    void validate() const;
+};
+
+/** Final state of one point after the sweep. */
+struct PointOutcome
+{
+    PointStatus status = PointStatus::Pending;
+    ErrorCategory errorCategory = ErrorCategory::Internal;
+    std::string message;
+    PointMetrics metrics;
+    double wallSeconds = 0.0;
+    uint64_t seed = 0;
+    unsigned attempts = 0;
+    bool reused = false;   ///< satisfied from the journal on resume
+};
+
+/** What happened to the whole sweep. */
+struct SweepSummary
+{
+    std::vector<PointOutcome> outcomes;   // indexed like the points
+    size_t okCount = 0;
+    size_t errorCount = 0;
+    size_t timeoutCount = 0;
+    size_t crashedCount = 0;
+    size_t pendingCount = 0;
+    size_t reusedCount = 0;    ///< outcomes satisfied by the journal
+    size_t executedCount = 0;  ///< points actually run this process
+    bool interrupted = false;  ///< drained early; resumable
+    double wallSeconds = 0.0;
+};
+
+/** CLI exit code for an interrupted-but-resumable sweep. */
+constexpr int SweepInterruptedExitCode = 10;
+
+/**
+ * Seed for point @p index of a sweep seeded with @p sweepSeed: a
+ * splitmix64 hash chain over both values, so each point's stream is
+ * independent of every other point and of execution order.
+ */
+uint64_t pointSeed(uint64_t sweepSeed, uint64_t index);
+
+/** Identity of a sweep definition (checked against the journal). */
+uint64_t sweepIdentityHash(const std::vector<SweepPoint> &points,
+                           uint64_t seed);
+
+/** True for failures worth retrying (transient, not deterministic). */
+bool retryableStatus(PointStatus status);
+bool retryableCategory(ErrorCategory category);
+
+/**
+ * Run @p fn over @p points under @p opts. Throws ssim::Error for
+ * sweep-level failures (bad options, unusable or mismatched journal);
+ * per-point failures are recorded in the summary, never thrown.
+ */
+SweepSummary runSweep(const std::vector<SweepPoint> &points,
+                      const PointFn &fn, const SweepOptions &opts);
+
+/**
+ * Ask a running sweep to drain and stop (what the signal handlers
+ * call; also usable programmatically). Safe from any thread or from
+ * a signal handler. runSweep() clears the flag when it starts.
+ */
+void requestSweepStop();
+bool sweepStopRequested();
+
+// --- Core-configuration grids (the CLI `sweep` subcommand) ---------
+
+/** One grid axis: a knob name and the values to sweep it over. */
+struct GridAxis
+{
+    std::string key;
+    std::vector<double> values;
+};
+
+/** A named point of the expanded grid. */
+struct ConfigPoint
+{
+    std::string name;
+    cpu::CoreConfig cfg;
+};
+
+/** The grid keys expandConfigGrid() accepts, for diagnostics. */
+const std::vector<std::string> &sweepGridKeys();
+
+/**
+ * Cross product of @p axes applied to @p base, in row-major order
+ * (last axis fastest).
+ *
+ * @throws ssim::Error (InvalidArgument) naming any unknown grid key;
+ *         (InvalidConfig) for values that do not fit the knob (a
+ *         non-integer RUU size, a non-positive cache scale).
+ */
+std::vector<ConfigPoint> expandConfigGrid(
+    const cpu::CoreConfig &base, const std::vector<GridAxis> &axes);
+
+/** Hash of every sweepable field of @p cfg (journal identity). */
+uint64_t configHash(const cpu::CoreConfig &cfg);
+
+} // namespace ssim::experiments
+
+#endif // SSIM_EXPERIMENTS_SWEEP_HH

@@ -1,0 +1,522 @@
+#include "journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ssim::util
+{
+
+uint64_t
+fnv1a64(const std::string &bytes)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+Expected<void>
+atomicWriteFile(const std::string &path,
+                const std::function<void(std::ostream &)> &writer)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            return Error(ErrorCategory::IoError,
+                         "cannot open for writing", {tmp, 0});
+        }
+        writer(os);
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            return Error(ErrorCategory::IoError, "write error",
+                         {tmp, 0});
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return Error(ErrorCategory::IoError,
+                     std::string("rename failed: ") +
+                     std::strerror(err), {path, 0});
+    }
+    return {};
+}
+
+namespace
+{
+
+constexpr char HexDigits[] = "0123456789abcdef";
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                out += "\\u00";
+                out += HexDigits[(c >> 4) & 0xf];
+                out += HexDigits[c & 0xf];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendField(std::string &out, const char *key, const std::string &value)
+{
+    if (out.back() != '{')
+        out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    appendEscaped(out, value);
+}
+
+void
+appendU64(std::string &out, const char *key, uint64_t value)
+{
+    if (out.back() != '{')
+        out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+/** Hex form used for hashes (uint64 in JSON readers is lossy). */
+void
+appendHex64(std::string &out, const char *key, uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    appendField(out, key, buf);
+}
+
+/**
+ * Doubles are written with %.17g so a value survives the write ->
+ * parse round trip bit-exactly; this is what makes a resumed journal
+ * byte-identical to an uninterrupted one.
+ */
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    if (out.back() != '{')
+        out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
+/** Minimal JSON scanner for one flat record line. */
+class LineParser
+{
+  public:
+    LineParser(const std::string &text, const std::string &file,
+               uint64_t line)
+        : text_(text), file_(file), line_(line)
+    {}
+
+    Error
+    fail(const std::string &msg) const
+    {
+        return Error(ErrorCategory::ParseError,
+                     "journal record: " + msg, {file_, line_});
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    /** Parse a quoted string with escape handling. */
+    std::string
+    parseString()
+    {
+        if (!consume('"'))
+            throw fail("expected '\"'");
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    throw fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        throw fail("bad \\u escape digit");
+                }
+                // Journal writers only escape control bytes; anything
+                // outside Latin-1 is replaced, not round-tripped.
+                out += code < 0x100 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                throw fail(std::string("unknown escape '\\") + esc +
+                           "'");
+            }
+        }
+        throw fail("unterminated string");
+    }
+
+    /** Raw numeric token (sign, digits, dot, exponent). */
+    std::string
+    parseNumberToken()
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            throw fail("expected a number");
+        return text_.substr(start, pos_ - start);
+    }
+
+    uint64_t
+    parseU64()
+    {
+        const std::string tok = parseNumberToken();
+        uint64_t v = 0;
+        const auto [p, ec] = std::from_chars(
+            tok.data(), tok.data() + tok.size(), v, 10);
+        if (ec != std::errc() || p != tok.data() + tok.size())
+            throw fail("expected an unsigned integer, got '" + tok +
+                       "'");
+        return v;
+    }
+
+    uint64_t
+    parseHex64String()
+    {
+        const std::string tok = parseString();
+        uint64_t v = 0;
+        const auto [p, ec] = std::from_chars(
+            tok.data(), tok.data() + tok.size(), v, 16);
+        if (tok.empty() || tok.size() > 16 || ec != std::errc() ||
+            p != tok.data() + tok.size())
+            throw fail("expected a hex hash, got '" + tok + "'");
+        return v;
+    }
+
+    double
+    parseDouble()
+    {
+        const std::string tok = parseNumberToken();
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || errno == ERANGE)
+            throw fail("expected a number, got '" + tok + "'");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::string file_;
+    uint64_t line_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JournalRecord::toJson() const
+{
+    std::string out = "{";
+    appendField(out, "event", event);
+    if (event == "sweep") {
+        appendU64(out, "version", formatVersion);
+        appendHex64(out, "sweep", sweepHash);
+        appendU64(out, "points", pointCount);
+        appendU64(out, "seed", sweepSeed);
+        out += '}';
+        return out;
+    }
+    appendU64(out, "point", point);
+    appendU64(out, "attempt", attempt);
+    appendHex64(out, "config", configHash);
+    appendU64(out, "seed", seed);
+    if (event == "done") {
+        appendField(out, "status", status);
+        if (!category.empty())
+            appendField(out, "category", category);
+        if (!message.empty())
+            appendField(out, "message", message);
+        appendDouble(out, "wall_s", wallSeconds);
+        out += ",\"metrics\":{";
+        for (size_t i = 0; i < metrics.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            appendEscaped(out, metrics[i].name);
+            out += ':';
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g",
+                          metrics[i].value);
+            out += buf;
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+Expected<JournalRecord>
+JournalRecord::parseJson(const std::string &text,
+                         const std::string &file, uint64_t line)
+{
+    return tryInvoke([&]() -> JournalRecord {
+        LineParser p(text, file, line);
+        JournalRecord rec;
+        if (!p.consume('{'))
+            throw p.fail("expected '{'");
+        bool first = true;
+        while (!p.consume('}')) {
+            if (!first && !p.consume(','))
+                throw p.fail("expected ',' between fields");
+            first = false;
+            const std::string key = p.parseString();
+            if (!p.consume(':'))
+                throw p.fail("expected ':' after key '" + key + "'");
+            if (key == "event")
+                rec.event = p.parseString();
+            else if (key == "version")
+                rec.formatVersion = p.parseU64();
+            else if (key == "sweep")
+                rec.sweepHash = p.parseHex64String();
+            else if (key == "points")
+                rec.pointCount = p.parseU64();
+            else if (key == "point")
+                rec.point = p.parseU64();
+            else if (key == "attempt")
+                rec.attempt = static_cast<uint32_t>(p.parseU64());
+            else if (key == "config")
+                rec.configHash = p.parseHex64String();
+            else if (key == "seed")
+                rec.seed = p.parseU64();
+            else if (key == "status")
+                rec.status = p.parseString();
+            else if (key == "category")
+                rec.category = p.parseString();
+            else if (key == "message")
+                rec.message = p.parseString();
+            else if (key == "wall_s")
+                rec.wallSeconds = p.parseDouble();
+            else if (key == "metrics") {
+                if (!p.consume('{'))
+                    throw p.fail("metrics must be an object");
+                bool mFirst = true;
+                while (!p.consume('}')) {
+                    if (!mFirst && !p.consume(','))
+                        throw p.fail("expected ',' in metrics");
+                    mFirst = false;
+                    JournalMetric m;
+                    m.name = p.parseString();
+                    if (!p.consume(':'))
+                        throw p.fail("expected ':' in metrics");
+                    m.value = p.parseDouble();
+                    rec.metrics.push_back(std::move(m));
+                }
+            } else {
+                throw p.fail("unknown field '" + key + "'");
+            }
+        }
+        if (!p.atEnd())
+            throw p.fail("trailing characters after record");
+        if (rec.event != "sweep" && rec.event != "start" &&
+            rec.event != "done")
+            throw p.fail("unknown event '" + rec.event + "'");
+        // The "sweep" header's "seed" key is the sweep seed.
+        if (rec.event == "sweep") {
+            rec.sweepSeed = rec.seed;
+            rec.seed = 0;
+        }
+        return rec;
+    });
+}
+
+Expected<void>
+Journal::open(const std::string &path, bool truncate)
+{
+    close();
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        return Error(ErrorCategory::IoError,
+                     std::string("cannot open journal: ") +
+                     std::strerror(errno), {path, 0});
+    }
+    path_ = path;
+    return {};
+}
+
+Expected<void>
+Journal::append(const JournalRecord &record)
+{
+    if (fd_ < 0)
+        return Error(ErrorCategory::Internal,
+                     "journal append on a closed journal");
+    const std::string line = record.toJson() + '\n';
+    // One write(2) per record: O_APPEND makes the record all-or-
+    // nothing with respect to concurrent appenders; a crash can only
+    // truncate the final line, which load() tolerates.
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::write(fd_, line.data() + off,
+                                  line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error(ErrorCategory::IoError,
+                         std::string("journal write failed: ") +
+                         std::strerror(errno), {path_, 0});
+        }
+        off += static_cast<size_t>(n);
+    }
+    return {};
+}
+
+Expected<void>
+Journal::sync()
+{
+    if (fd_ >= 0 && ::fsync(fd_) != 0) {
+        return Error(ErrorCategory::IoError,
+                     std::string("journal fsync failed: ") +
+                     std::strerror(errno), {path_, 0});
+    }
+    return {};
+}
+
+void
+Journal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Expected<std::vector<JournalRecord>>
+Journal::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return Error(ErrorCategory::IoError,
+                     "cannot open journal for reading", {path, 0});
+    }
+    std::vector<JournalRecord> records;
+    std::string line;
+    uint64_t lineNo = 0;
+    // Track one pending parse failure: if it turns out to be the
+    // final non-blank line it is a crash artifact and is dropped; if
+    // any intact record follows it, the file is corrupt.
+    bool pendingBad = false;
+    Error pendingError(ErrorCategory::ParseError, "");
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        Expected<JournalRecord> rec =
+            JournalRecord::parseJson(line, path, lineNo);
+        if (!rec) {
+            if (pendingBad)
+                return pendingError;
+            pendingBad = true;
+            pendingError = Error(ErrorCategory::CorruptData,
+                                 rec.error().message(),
+                                 {path, lineNo});
+            continue;
+        }
+        if (pendingBad)
+            return pendingError;
+        records.push_back(std::move(rec.value()));
+    }
+    return records;
+}
+
+Expected<void>
+Journal::checkpoint(const std::string &path,
+                    const std::vector<JournalRecord> &records)
+{
+    return atomicWriteFile(path, [&](std::ostream &os) {
+        for (const JournalRecord &rec : records)
+            os << rec.toJson() << '\n';
+    });
+}
+
+} // namespace ssim::util

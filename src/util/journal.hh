@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Append-only JSONL run journal and atomic file-replacement helpers.
+ *
+ * A long design-space sweep must survive the process dying at any
+ * instant — power loss, OOM kill, SIGKILL, a crashing design point —
+ * without losing the work already done. Two primitives provide that:
+ *
+ *  - atomicWriteFile(): write to a `.tmp` sibling, flush, and
+ *    rename(2) over the destination. A reader never observes a
+ *    half-written file; a crash leaves either the old file or the new
+ *    one (plus at worst a stale `.tmp`).
+ *
+ *  - Journal: an append-only file of one-line JSON records, each
+ *    appended with a single O_APPEND write(2) so a record is either
+ *    wholly present or wholly absent. A crash can truncate only the
+ *    final line; Journal::load() discards a malformed final line and
+ *    returns every intact record. Journal::checkpoint() compacts a
+ *    journal through atomicWriteFile(), which is how resume drops
+ *    crash artifacts before appending new records.
+ *
+ * The record schema is the sweep engine's (see experiments/sweep.hh
+ * and DESIGN.md §7): a `sweep` header line identifying the sweep,
+ * then `start`/`done` lines per point attempt. The parser is a
+ * strict, minimal JSON reader for exactly this shape — a flat object
+ * with one optional nested `metrics` object of numbers — and raises
+ * typed ssim::Error on anything else.
+ */
+
+#ifndef SSIM_UTIL_JOURNAL_HH
+#define SSIM_UTIL_JOURNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "error.hh"
+
+namespace ssim::util
+{
+
+/**
+ * FNV-1a-style 64-bit hash (also the profile checksum function).
+ * The offset basis is the repo's historical constant, not the
+ * standard FNV basis — changing it would make every profile file
+ * already on disk fail its checksum, so it stays.
+ */
+uint64_t fnv1a64(const std::string &bytes);
+
+/**
+ * Write a file atomically: @p writer streams the content into
+ * `path + ".tmp"`, which is then renamed over @p path. On any
+ * failure the temporary is removed and the destination is untouched.
+ */
+Expected<void> atomicWriteFile(
+    const std::string &path,
+    const std::function<void(std::ostream &)> &writer);
+
+/** One named metric of a finished design point. */
+struct JournalMetric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * One journal line. Three events share the struct:
+ *
+ *  - "sweep": header — formatVersion, sweepHash, pointCount,
+ *    sweepSeed;
+ *  - "start": a point attempt began — point, attempt, configHash,
+ *    seed;
+ *  - "done": a point attempt settled — the start fields plus status
+ *    ("ok" | "error" | "timeout" | "crashed"), wallSeconds, metrics,
+ *    and (for failures) category/message.
+ */
+struct JournalRecord
+{
+    std::string event;
+
+    // "sweep" header fields.
+    uint64_t formatVersion = 1;
+    uint64_t sweepHash = 0;
+    uint64_t pointCount = 0;
+    uint64_t sweepSeed = 0;
+
+    // Per-point fields ("start" and "done").
+    uint64_t point = 0;
+    uint32_t attempt = 0;
+    uint64_t configHash = 0;
+    uint64_t seed = 0;
+
+    // "done" fields.
+    std::string status;
+    std::string category;     ///< typed-error category name, "" if none
+    std::string message;
+    double wallSeconds = 0.0;
+    std::vector<JournalMetric> metrics;
+
+    /** Render as a single JSON line (no trailing newline). */
+    std::string toJson() const;
+
+    /**
+     * Parse one JSON line. @p file / @p line provide error context.
+     * @throws nothing; malformed input comes back as a failed
+     *         Expected carrying ParseError.
+     */
+    static Expected<JournalRecord> parseJson(const std::string &text,
+                                             const std::string &file,
+                                             uint64_t line);
+};
+
+/**
+ * Append-only journal writer. Each append is one write(2) on an
+ * O_APPEND descriptor, so concurrent appenders (or a crash) never
+ * interleave or tear a record. Not internally synchronized: callers
+ * running multiple threads serialize appends themselves.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal() { close(); }
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open @p path for appending, creating it if absent.
+     * @param truncate start fresh instead of appending.
+     */
+    Expected<void> open(const std::string &path, bool truncate = false);
+
+    /** Append one record as a single '\n'-terminated write. */
+    Expected<void> append(const JournalRecord &record);
+
+    /** fdatasync the journal (called before a deliberate crash/exit). */
+    Expected<void> sync();
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Read every record of @p path. A final line that is truncated or
+     * malformed — the signature a crash leaves — is discarded, not
+     * fatal; a malformed line anywhere *before* the final one means
+     * the file was corrupted some other way and fails with
+     * CorruptData. A missing file fails with IoError.
+     */
+    static Expected<std::vector<JournalRecord>> load(
+        const std::string &path);
+
+    /**
+     * Rewrite @p path to contain exactly @p records, via
+     * atomicWriteFile. Used on resume to drop partial-line crash
+     * artifacts and fold in synthesized records before appending.
+     */
+    static Expected<void> checkpoint(
+        const std::string &path,
+        const std::vector<JournalRecord> &records);
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace ssim::util
+
+#endif // SSIM_UTIL_JOURNAL_HH

@@ -5,12 +5,8 @@
 namespace ssim
 {
 
-namespace
-{
-
-/** splitmix64 step, used to expand the user seed into generator state. */
 uint64_t
-splitmix64(uint64_t &x)
+splitmix64(uint64_t x)
 {
     x += 0x9e3779b97f4a7c15ULL;
     uint64_t z = x;
@@ -18,6 +14,9 @@ splitmix64(uint64_t &x)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
+
+namespace
+{
 
 uint64_t
 rotl(uint64_t x, int k)
@@ -31,8 +30,10 @@ Rng::Rng(uint64_t seed)
     : cachedGaussian_(0.0), haveCachedGaussian_(false)
 {
     uint64_t x = seed;
-    for (auto &s : s_)
+    for (auto &s : s_) {
         s = splitmix64(x);
+        x += 0x9e3779b97f4a7c15ULL;
+    }
     // xoshiro must not start from the all-zero state.
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
         s_[0] = 1;

@@ -16,6 +16,16 @@ namespace ssim
 {
 
 /**
+ * One splitmix64 step as a pure hash: the finalizer applied to
+ * @p x + the golden-ratio increment. Used to expand Rng seeds and to
+ * derive independent per-point seeds in sweeps — hashing (sweep seed,
+ * point index) gives every design point a seed that depends only on
+ * its index, never on how many points ran before it, which is what
+ * makes a resumed sweep bit-identical to an uninterrupted one.
+ */
+uint64_t splitmix64(uint64_t x);
+
+/**
  * xoshiro256** pseudo-random generator.
  *
  * Small, fast, and with well-understood statistical quality; more than

@@ -1,0 +1,159 @@
+# CTest script: end-to-end contract of `ssim sweep` — journaled runs,
+# crash-resume determinism, and watchdog timeouts.
+#
+# Invoked with -DSSIM_CLI=<path-to-ssim> -DWORK_DIR=<scratch-dir>
+#              -DMODE=<smoke|crash|timeout>.
+
+set(dir "${WORK_DIR}/cli_sweep_${MODE}")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+# A small 4-point sweep used by every mode. `--lsq 16` keeps every
+# grid point a valid configuration. The mode appends its own
+# --reduction: heavy reduction for speed where wall time does not
+# matter, light reduction where points must run long enough for the
+# watchdog to catch them.
+set(sweep_args sweep route --grid ruu=32,64 --grid width=2,4
+    --lsq 16 --max 120000 --jobs 2)
+
+function(run_sweep rc_var out_var err_var)
+    execute_process(COMMAND "${SSIM_CLI}" ${sweep_args} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    set(${rc_var} "${rc}" PARENT_SCOPE)
+    set(${out_var} "${out}" PARENT_SCOPE)
+    set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+# Extract "point -> metrics" pairs from the journal's ok records as a
+# sorted list, ignoring attempt counts and record order so that a
+# resumed run can be compared byte-for-byte against a clean one.
+function(ok_metrics journal result_var)
+    file(STRINGS "${journal}" lines)
+    set(pairs "")
+    foreach(line IN LISTS lines)
+        if(line MATCHES "\"event\":\"done\"" AND
+           line MATCHES "\"status\":\"ok\"")
+            string(REGEX MATCH "\"point\":([0-9]+)" _ "${line}")
+            set(point "${CMAKE_MATCH_1}")
+            string(REGEX MATCH "\"metrics\":{[^}]*}" metrics "${line}")
+            list(APPEND pairs "${point} ${metrics}")
+        endif()
+    endforeach()
+    list(SORT pairs)
+    set(${result_var} "${pairs}" PARENT_SCOPE)
+endfunction()
+
+function(count_status journal status result_var)
+    file(STRINGS "${journal}" lines)
+    set(n 0)
+    foreach(line IN LISTS lines)
+        if(line MATCHES "\"event\":\"done\"" AND
+           line MATCHES "\"status\":\"${status}\"")
+            math(EXPR n "${n} + 1")
+        endif()
+    endforeach()
+    set(${result_var} "${n}" PARENT_SCOPE)
+endfunction()
+
+if(MODE STREQUAL "smoke")
+    # Fresh 4-point sweep: everything runs, everything is journaled.
+    set(journal "${dir}/smoke.jsonl")
+    run_sweep(rc out err --reduction 50 --journal "${journal}")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "sweep: 4 ok, 0 error, 0 timeout, 0 crashed")
+        message(FATAL_ERROR "unexpected summary:\n${out}")
+    endif()
+    if(NOT out MATCHES "re-ran 4 points, reused 0 from journal")
+        message(FATAL_ERROR "expected a fully fresh run:\n${out}")
+    endif()
+    count_status("${journal}" ok n_ok)
+    if(NOT n_ok EQUAL 4)
+        message(FATAL_ERROR "journal has ${n_ok} ok records, want 4")
+    endif()
+    ok_metrics("${journal}" before)
+
+    # Resume: nothing re-runs, the journal's metrics are untouched.
+    run_sweep(rc out err --reduction 50 --journal "${journal}" --resume)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "resume failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "re-ran 0 points, reused 4 from journal")
+        message(FATAL_ERROR "resume re-ran points:\n${out}")
+    endif()
+    ok_metrics("${journal}" after)
+    if(NOT before STREQUAL after)
+        message(FATAL_ERROR
+            "resume changed journal metrics\nbefore: ${before}\n"
+            "after: ${after}")
+    endif()
+
+elseif(MODE STREQUAL "crash")
+    # Reference: an uninterrupted run of the same sweep.
+    set(ref "${dir}/ref.jsonl")
+    run_sweep(rc out err --reduction 50 --journal "${ref}")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "reference sweep failed (rc=${rc})\n${err}")
+    endif()
+
+    # Kill the process (SIGKILL, no cleanup) after the 2nd completed
+    # point, then resume from the journal it left behind.
+    set(journal "${dir}/crash.jsonl")
+    set(ENV{SSIM_SWEEP_CRASH_AFTER} "2")
+    run_sweep(rc out err --reduction 50 --journal "${journal}")
+    unset(ENV{SSIM_SWEEP_CRASH_AFTER})
+    if(rc EQUAL 0)
+        message(FATAL_ERROR "crash injection did not fire")
+    endif()
+    count_status("${journal}" ok n_ok)
+    if(NOT n_ok EQUAL 2)
+        message(FATAL_ERROR
+            "expected exactly 2 ok records after the crash, "
+            "got ${n_ok}")
+    endif()
+
+    run_sweep(rc out err --reduction 50 --journal "${journal}" --resume)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "resume failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "4 ok")
+        message(FATAL_ERROR "resume did not complete the sweep:\n${out}")
+    endif()
+
+    # The acceptance bar: per-point metrics after crash+resume are
+    # byte-identical to the uninterrupted run.
+    ok_metrics("${ref}" expected)
+    ok_metrics("${journal}" resumed)
+    if(NOT expected STREQUAL resumed)
+        message(FATAL_ERROR
+            "crash+resume metrics differ from clean run\n"
+            "clean:   ${expected}\nresumed: ${resumed}")
+    endif()
+
+elseif(MODE STREQUAL "timeout")
+    # A budget no simulation can meet (0.1 ms) on points made slow
+    # enough (--reduction 2) that the watchdog always catches them:
+    # the points are journaled as `timeout` and the sweep still
+    # terminates cleanly with exit 0.
+    set(journal "${dir}/timeout.jsonl")
+    run_sweep(rc out err --reduction 2 --journal "${journal}"
+        --point-timeout 0.0001 --retries 0)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep should survive timeouts "
+            "(rc=${rc})\n${err}")
+    endif()
+    count_status("${journal}" timeout n_timeout)
+    if(n_timeout LESS 1)
+        message(FATAL_ERROR "no timeout records in journal:\n${out}")
+    endif()
+    if(NOT err MATCHES "timeout")
+        message(FATAL_ERROR "timed-out points not reported on "
+            "stderr:\n${err}")
+    endif()
+
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Integration tests for the crash-tolerant sweep engine
+ * (experiments/sweep.hh): deterministic per-point seeding, journal
+ * contents, resume-after-crash semantics, watchdog timeouts, bounded
+ * retry, graceful drain, and grid expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "experiments/sweep.hh"
+#include "util/journal.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::vector<SweepPoint>
+makePoints(size_t n)
+{
+    std::vector<SweepPoint> points;
+    for (size_t i = 0; i < n; ++i)
+        points.push_back({"p" + std::to_string(i), 1000 + i});
+    return points;
+}
+
+/** Deterministic "simulation": metrics depend only on the seed. */
+PointMetrics
+seedMetrics(size_t index, uint64_t seed)
+{
+    return {{"value", static_cast<double>(seed >> 16)},
+            {"index", static_cast<double>(index)}};
+}
+
+size_t
+countDone(const std::vector<util::JournalRecord> &records,
+          const std::string &status)
+{
+    size_t n = 0;
+    for (const auto &rec : records)
+        n += rec.event == "done" && rec.status == status;
+    return n;
+}
+
+TEST(PointSeed, DeterministicDistinctAndOrderFree)
+{
+    // A pure function of (sweep seed, index): same inputs, same seed.
+    EXPECT_EQ(pointSeed(1, 0), pointSeed(1, 0));
+    EXPECT_NE(pointSeed(1, 0), pointSeed(1, 1));
+    EXPECT_NE(pointSeed(1, 0), pointSeed(2, 0));
+    // No sequential RNG state: asking for index 5 first, last, or
+    // alone always yields the same value.
+    const uint64_t direct = pointSeed(42, 5);
+    for (uint64_t i = 0; i < 5; ++i)
+        (void)pointSeed(42, i);
+    EXPECT_EQ(pointSeed(42, 5), direct);
+}
+
+TEST(Sweep, AllPointsOkAndJournaled)
+{
+    const std::string path = tempPath("sweep_all_ok.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.jobs = 3;
+    opts.seed = 7;
+    opts.journalPath = path;
+    const SweepSummary summary =
+        runSweep(makePoints(8), seedMetrics, opts);
+    EXPECT_EQ(summary.okCount, 8u);
+    EXPECT_EQ(summary.executedCount, 8u);
+    EXPECT_EQ(summary.reusedCount, 0u);
+    EXPECT_FALSE(summary.interrupted);
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(summary.outcomes[i].status, PointStatus::Ok);
+        EXPECT_EQ(summary.outcomes[i].seed, pointSeed(7, i));
+        EXPECT_EQ(summary.outcomes[i].attempts, 1u);
+    }
+
+    auto loaded = util::Journal::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().what();
+    ASSERT_FALSE(loaded.value().empty());
+    EXPECT_EQ(loaded.value().front().event, "sweep");
+    EXPECT_EQ(loaded.value().front().pointCount, 8u);
+    EXPECT_EQ(countDone(loaded.value(), "ok"), 8u);
+}
+
+TEST(Sweep, ResumeSkipsCompletedPoints)
+{
+    const std::string path = tempPath("sweep_resume.jsonl");
+    std::remove(path.c_str());
+    std::atomic<size_t> calls{0};
+    const PointFn fn = [&](size_t index, uint64_t seed) {
+        ++calls;
+        return seedMetrics(index, seed);
+    };
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.journalPath = path;
+    runSweep(makePoints(5), fn, opts);
+    EXPECT_EQ(calls.load(), 5u);
+
+    opts.resume = true;
+    const SweepSummary resumed = runSweep(makePoints(5), fn, opts);
+    EXPECT_EQ(calls.load(), 5u) << "resume must not re-run points";
+    EXPECT_EQ(resumed.okCount, 5u);
+    EXPECT_EQ(resumed.reusedCount, 5u);
+    EXPECT_EQ(resumed.executedCount, 0u);
+}
+
+TEST(Sweep, ResumedPointIdenticalWhetherPredecessorsRanOrNot)
+{
+    // Run the full sweep once...
+    SweepOptions opts;
+    opts.seed = 1234;
+    const auto points = makePoints(6);
+    const SweepSummary full = runSweep(points, seedMetrics, opts);
+
+    // ...then build a journal in which points 0..4 are already done
+    // and resume: point 5 runs alone, and must see the same seed and
+    // produce the same metrics as in the uninterrupted run.
+    const std::string path = tempPath("sweep_det.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepOptions firstFive = opts;
+        firstFive.journalPath = path;
+        // A sweep over the same point list whose function refuses to
+        // run point 5 would be artificial; instead, journal the
+        // full run and strip point 5's records.
+        const SweepSummary again =
+            runSweep(points, seedMetrics, firstFive);
+        ASSERT_EQ(again.okCount, 6u);
+        auto records = util::Journal::load(path);
+        ASSERT_TRUE(records.ok());
+        std::vector<util::JournalRecord> kept;
+        for (const auto &rec : records.value())
+            if (rec.event == "sweep" || rec.point != 5)
+                kept.push_back(rec);
+        ASSERT_TRUE(util::Journal::checkpoint(path, kept).ok());
+    }
+
+    std::atomic<size_t> calls{0};
+    std::atomic<uint64_t> seenSeed{0};
+    SweepOptions resumeOpts = opts;
+    resumeOpts.journalPath = path;
+    resumeOpts.resume = true;
+    const SweepSummary resumed = runSweep(
+        points,
+        [&](size_t index, uint64_t seed) {
+            ++calls;
+            seenSeed = seed;
+            return seedMetrics(index, seed);
+        },
+        resumeOpts);
+    EXPECT_EQ(calls.load(), 1u);
+    EXPECT_EQ(seenSeed.load(), pointSeed(1234, 5));
+    ASSERT_EQ(resumed.outcomes[5].metrics.size(),
+              full.outcomes[5].metrics.size());
+    for (size_t m = 0; m < full.outcomes[5].metrics.size(); ++m) {
+        EXPECT_EQ(resumed.outcomes[5].metrics[m].second,
+                  full.outcomes[5].metrics[m].second);
+    }
+}
+
+TEST(Sweep, CrashedPointIsRerunOnResume)
+{
+    const std::string path = tempPath("sweep_crashed.jsonl");
+    std::remove(path.c_str());
+    const auto points = makePoints(3);
+    SweepOptions opts;
+    opts.journalPath = path;
+    runSweep(points, seedMetrics, opts);
+
+    // Forge a SIGKILL mid-point: replace point 1's records with a
+    // bare start record (the exact shape a dead process leaves).
+    auto records = util::Journal::load(path);
+    ASSERT_TRUE(records.ok());
+    std::vector<util::JournalRecord> kept;
+    for (const auto &rec : records.value())
+        if (rec.event == "sweep" || rec.point != 1)
+            kept.push_back(rec);
+    util::JournalRecord dangling;
+    dangling.event = "start";
+    dangling.point = 1;
+    dangling.attempt = 1;
+    dangling.configHash = points[1].configHash;
+    dangling.seed = pointSeed(opts.seed, 1);
+    kept.push_back(dangling);
+    ASSERT_TRUE(util::Journal::checkpoint(path, kept).ok());
+
+    std::atomic<size_t> calls{0};
+    SweepOptions resumeOpts = opts;
+    resumeOpts.resume = true;
+    resumeOpts.maxRetries = 1;
+    const SweepSummary resumed = runSweep(
+        points,
+        [&](size_t index, uint64_t seed) {
+            ++calls;
+            return seedMetrics(index, seed);
+        },
+        resumeOpts);
+    EXPECT_EQ(calls.load(), 1u);
+    EXPECT_EQ(resumed.okCount, 3u);
+    EXPECT_EQ(resumed.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(resumed.outcomes[1].attempts, 2u);
+
+    // The journal now holds the synthesized crash record and the
+    // successful second attempt.
+    auto after = util::Journal::load(path);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(countDone(after.value(), "crashed"), 1u);
+    EXPECT_EQ(countDone(after.value(), "ok"), 3u);
+
+    // With retries exhausted the point stays crashed instead.
+    std::vector<util::JournalRecord> again;
+    for (const auto &rec : after.value())
+        if (rec.event == "sweep" || rec.point != 1)
+            again.push_back(rec);
+    dangling.attempt = 1;
+    again.push_back(dangling);
+    ASSERT_TRUE(util::Journal::checkpoint(path, again).ok());
+    resumeOpts.maxRetries = 0;
+    const SweepSummary exhausted =
+        runSweep(points, seedMetrics, resumeOpts);
+    EXPECT_EQ(exhausted.outcomes[1].status, PointStatus::Crashed);
+    EXPECT_EQ(exhausted.executedCount, 0u);
+}
+
+TEST(Sweep, WatchdogTimesOutSlowPointOthersComplete)
+{
+    const std::string path = tempPath("sweep_timeout.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.maxRetries = 0;
+    opts.pointTimeoutSeconds = 0.05;
+    opts.journalPath = path;
+    const SweepSummary summary = runSweep(
+        makePoints(4),
+        [](size_t index, uint64_t seed) {
+            if (index == 1)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(400));
+            return seedMetrics(index, seed);
+        },
+        opts);
+    EXPECT_EQ(summary.outcomes[1].status, PointStatus::Timeout);
+    EXPECT_EQ(summary.okCount, 3u);
+    EXPECT_EQ(summary.timeoutCount, 1u);
+    auto loaded = util::Journal::load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(countDone(loaded.value(), "timeout"), 1u);
+    EXPECT_EQ(countDone(loaded.value(), "ok"), 3u);
+}
+
+TEST(Sweep, RetryableErrorRetriedOnceThenOk)
+{
+    std::atomic<size_t> failuresLeft{1};
+    std::atomic<size_t> calls{0};
+    SweepOptions opts;
+    opts.maxRetries = 1;
+    const SweepSummary summary = runSweep(
+        makePoints(1),
+        [&](size_t index, uint64_t seed) {
+            ++calls;
+            if (failuresLeft.fetch_sub(1) > 0) {
+                throw Error(ErrorCategory::IoError,
+                            "transient I/O hiccup");
+            }
+            return seedMetrics(index, seed);
+        },
+        opts);
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_EQ(summary.outcomes[0].status, PointStatus::Ok);
+    EXPECT_EQ(summary.outcomes[0].attempts, 2u);
+}
+
+TEST(Sweep, DeterministicFailureIsNotRetried)
+{
+    std::atomic<size_t> calls{0};
+    SweepOptions opts;
+    opts.maxRetries = 3;
+    const SweepSummary summary = runSweep(
+        makePoints(2),
+        [&](size_t index, uint64_t seed) {
+            if (index == 0) {
+                ++calls;
+                throw Error(ErrorCategory::InvalidConfig,
+                            "ruuSize = 0 is not a pipeline");
+            }
+            return seedMetrics(index, seed);
+        },
+        opts);
+    EXPECT_EQ(calls.load(), 1u) << "invalid-config is deterministic";
+    EXPECT_EQ(summary.outcomes[0].status, PointStatus::Error);
+    EXPECT_EQ(summary.outcomes[0].errorCategory,
+              ErrorCategory::InvalidConfig);
+    EXPECT_EQ(summary.okCount, 1u);
+    EXPECT_EQ(summary.errorCount, 1u);
+}
+
+TEST(Sweep, GracefulDrainLeavesRestPendingAndResumable)
+{
+    const std::string path = tempPath("sweep_drain.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.jobs = 1;   // deterministic order: 0, 1, 2, 3
+    opts.journalPath = path;
+    const auto points = makePoints(4);
+    const SweepSummary summary = runSweep(
+        points,
+        [](size_t index, uint64_t seed) {
+            if (index == 1)
+                requestSweepStop();   // e.g. SIGINT arrives here
+            return seedMetrics(index, seed);
+        },
+        opts);
+    // The in-flight point finishes; nothing new starts.
+    EXPECT_TRUE(summary.interrupted);
+    EXPECT_EQ(summary.okCount, 2u);
+    EXPECT_EQ(summary.pendingCount, 2u);
+
+    const SweepSummary resumed = [&] {
+        SweepOptions r = opts;
+        r.resume = true;
+        return runSweep(points, seedMetrics, r);
+    }();
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.okCount, 4u);
+    EXPECT_EQ(resumed.reusedCount, 2u);
+    EXPECT_EQ(resumed.executedCount, 2u);
+}
+
+TEST(Sweep, JournalFromDifferentSweepIsRejected)
+{
+    const std::string path = tempPath("sweep_mismatch.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.seed = 1;
+    opts.journalPath = path;
+    runSweep(makePoints(3), seedMetrics, opts);
+
+    SweepOptions other = opts;
+    other.resume = true;
+    other.seed = 2;   // different sweep identity
+    EXPECT_THROW(runSweep(makePoints(3), seedMetrics, other), Error);
+}
+
+TEST(Sweep, ExistingJournalWithoutResumeIsRejected)
+{
+    const std::string path = tempPath("sweep_noresume.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.journalPath = path;
+    runSweep(makePoints(2), seedMetrics, opts);
+    try {
+        runSweep(makePoints(2), seedMetrics, opts);
+        FAIL() << "expected a typed error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidArgument);
+    }
+}
+
+TEST(Sweep, NonSsimExceptionBecomesInternalErrorPoint)
+{
+    const SweepSummary summary = runSweep(
+        makePoints(2),
+        [](size_t index, uint64_t seed) -> PointMetrics {
+            if (index == 0)
+                throw std::runtime_error("plain bug");
+            return seedMetrics(index, seed);
+        },
+        SweepOptions{});
+    EXPECT_EQ(summary.outcomes[0].status, PointStatus::Error);
+    EXPECT_EQ(summary.outcomes[0].errorCategory,
+              ErrorCategory::Internal);
+    EXPECT_EQ(summary.okCount, 1u);
+}
+
+TEST(ConfigGrid, ExpandsCrossProductLastAxisFastest)
+{
+    const auto points = expandConfigGrid(
+        cpu::CoreConfig::baseline(),
+        {{"ruu", {32, 64}}, {"width", {2, 4}}});
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].name, "ruu=32,width=2");
+    EXPECT_EQ(points[1].name, "ruu=32,width=4");
+    EXPECT_EQ(points[3].name, "ruu=64,width=4");
+    EXPECT_EQ(points[3].cfg.ruuSize, 64u);
+    EXPECT_EQ(points[3].cfg.issueWidth, 4u);
+    // Distinct configurations hash distinctly.
+    EXPECT_NE(configHash(points[0].cfg), configHash(points[3].cfg));
+}
+
+TEST(ConfigGrid, UnknownKeyFailsFastNamingTheKey)
+{
+    try {
+        expandConfigGrid(cpu::CoreConfig::baseline(),
+                         {{"ruu", {32}}, {"frobnicate", {1}}});
+        FAIL() << "expected a typed error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidArgument);
+        EXPECT_NE(e.message().find("frobnicate"), std::string::npos);
+        EXPECT_NE(e.message().find("scale-cache"), std::string::npos)
+            << "message should list the valid keys";
+    }
+}
+
+TEST(ConfigGrid, NonIntegerValueForIntegerKnobFails)
+{
+    EXPECT_THROW(expandConfigGrid(cpu::CoreConfig::baseline(),
+                                  {{"ruu", {32.5}}}),
+                 Error);
+    EXPECT_THROW(expandConfigGrid(cpu::CoreConfig::baseline(),
+                                  {{"scale-cache", {-2.0}}}),
+                 Error);
+}
+
+TEST(SweepOptions, ValidateRejectsBadKnobs)
+{
+    SweepOptions opts;
+    opts.pointTimeoutSeconds = -1;
+    EXPECT_THROW(opts.validate(), Error);
+    opts = {};
+    opts.resume = true;   // without a journal
+    EXPECT_THROW(opts.validate(), Error);
+    opts = {};
+    opts.maxRetries = 1000;
+    EXPECT_THROW(opts.validate(), Error);
+}
+
+} // namespace

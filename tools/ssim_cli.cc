@@ -14,6 +14,9 @@
  *   ssim compare <workload> [core options]
  *       Run both statistical and execution-driven simulation and
  *       report the prediction errors.
+ *   ssim sweep <workload> --grid key=v1,v2,... [sweep options]
+ *       Run a design-space grid through the crash-tolerant parallel
+ *       sweep engine (journaled, resumable, watchdog-timed).
  *
  * Core options:
  *   --ruu N --lsq N --width N --ifq N --scale-bpred L --scale-cache F
@@ -38,6 +41,8 @@
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "core/statsim.hh"
+#include "experiments/harness.hh"
+#include "experiments/sweep.hh"
 #include "util/error.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
@@ -65,7 +70,21 @@ struct Options
 
     uint64_t workloadScale = 1;
     bool report = false;
+
+    // Sweep.
+    std::vector<experiments::GridAxis> grids;
+    unsigned jobs = 1;
+    std::string journal;
+    bool resume = false;
+    double pointTimeout = 0.0;
+    unsigned retries = 1;
 };
+
+/**
+ * The journal path of the sweep in progress, so the top-level error
+ * report can tell the user where their completed work lives.
+ */
+std::string activeJournalPath;
 
 [[noreturn]] void
 usage()
@@ -77,6 +96,7 @@ usage()
         "  simulate <profile-file>   statistical simulation\n"
         "  eds <workload>            execution-driven simulation\n"
         "  compare <workload>        both, with error report\n"
+        "  sweep <workload>          journaled parallel design sweep\n"
         "core options: --ruu N --lsq N --width N --ifq N\n"
         "              --scale-bpred L --scale-cache F\n"
         "              --perfect-caches --perfect-bpred\n"
@@ -84,10 +104,15 @@ usage()
         "generation options: --reduction R --seed S\n"
         "workload options: --workload-scale N\n"
         "output options: --report (detailed pipeline/power tables)\n"
+        "sweep options: --grid key=v1,v2,... (repeatable; keys: ruu,\n"
+        "  lsq, width, ifq, scale-bpred, scale-cache), --jobs N\n"
+        "  (0 = all cores), --journal FILE, --resume,\n"
+        "  --point-timeout SEC, --retries N\n"
         "exit codes: 0 ok, 2 usage/argument error, 3 invalid\n"
         "  configuration, 4 profile parse error, 5 corrupted\n"
         "  profile, 6 profile version mismatch, 7 I/O error,\n"
-        "  8 unknown workload, 9 internal error\n";
+        "  8 unknown workload, 9 internal error, 10 sweep\n"
+        "  interrupted (resumable: rerun with --resume)\n";
     std::exit(2);
 }
 
@@ -155,6 +180,41 @@ floatArg(int argc, char **argv, int &i)
                  "'");
     }
     return v;
+}
+
+/**
+ * Parse "--grid key=v1,v2,...". Values are syntax-checked here; the
+ * key itself is validated by the sweep grid layer, which names any
+ * unknown key and the valid alternatives.
+ */
+experiments::GridAxis
+gridArg(int argc, char **argv, int &i)
+{
+    const std::string spec = valueOf(argc, argv, i);
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size())
+        argError("option --grid expects key=v1,v2,..., got '" + spec +
+                 "'");
+    experiments::GridAxis axis;
+    axis.key = spec.substr(0, eq);
+    size_t pos = eq + 1;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end != tok.c_str() + tok.size() ||
+            errno == ERANGE || !std::isfinite(v)) {
+            argError("option --grid " + axis.key +
+                     ": expected a number, got '" + tok + "'");
+        }
+        axis.values.push_back(v);
+        pos = comma + 1;
+    }
+    return axis;
 }
 
 Options
@@ -225,6 +285,19 @@ parse(int argc, char **argv)
             opts.report = true;
         } else if (arg == "--workload-scale") {
             opts.workloadScale = uintArg(argc, argv, i);
+        } else if (arg == "--grid") {
+            opts.grids.push_back(gridArg(argc, argv, i));
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(uintArg(argc, argv, i));
+        } else if (arg == "--journal") {
+            opts.journal = valueOf(argc, argv, i);
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--point-timeout") {
+            opts.pointTimeout = floatArg(argc, argv, i);
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                uintArg(argc, argv, i));
         } else {
             argError("unknown option '" + arg + "'");
         }
@@ -346,6 +419,134 @@ cmdCompare(const Options &opts)
     return 0;
 }
 
+int
+cmdSweep(const Options &opts)
+{
+    namespace exp = ssim::experiments;
+    if (opts.grids.empty()) {
+        argError("sweep requires at least one --grid axis "
+                 "(e.g. --grid ruu=16,32,64)");
+    }
+    // Fail fast on bad knobs before any profiling work: the base
+    // configuration, every grid key/value, and the sweep options go
+    // through the typed validation layer. A *point* whose combined
+    // configuration is invalid is not fatal — it is recorded in the
+    // journal as a typed error and the sweep continues.
+    opts.cfg.validate();
+    opts.generation.validate();
+    const std::vector<exp::ConfigPoint> grid =
+        exp::expandConfigGrid(opts.cfg, opts.grids);
+
+    exp::SweepOptions sopts;
+    sopts.jobs = opts.jobs;
+    sopts.seed = opts.generation.seed;
+    sopts.pointTimeoutSeconds = opts.pointTimeout;
+    sopts.maxRetries = opts.retries;
+    sopts.journalPath = opts.journal;
+    sopts.resume = opts.resume;
+    sopts.handleSignals = true;
+    sopts.validate();
+    activeJournalPath = opts.journal;
+
+    exp::Benchmark bench{opts.target, "",
+                         workloads::build(opts.target,
+                                          opts.workloadScale)};
+    exp::StatSimKnobs baseKnobs;
+    baseKnobs.order = opts.profile.order;
+    baseKnobs.branchMode = opts.profile.branchMode;
+    baseKnobs.reductionFactor = opts.generation.reductionFactor;
+    baseKnobs.perfectCaches = opts.profile.perfectCaches;
+    baseKnobs.perfectBpred = opts.profile.perfectBpred;
+    baseKnobs.skipInsts = opts.profile.skipInsts;
+    baseKnobs.maxInsts =
+        opts.profile.maxInsts == ~0ull ? 0 : opts.profile.maxInsts;
+
+    std::vector<exp::SweepPoint> points;
+    points.reserve(grid.size());
+    for (const exp::ConfigPoint &point : grid)
+        points.push_back({point.name,
+                          exp::configHash(point.cfg)});
+
+    const exp::SweepSummary summary = exp::runSweep(
+        points,
+        [&](size_t index, uint64_t seed) {
+            exp::StatSimKnobs knobs = baseKnobs;
+            knobs.seed = seed;
+            const core::SimResult res =
+                exp::runStatSim(bench, grid[index].cfg, knobs);
+            return exp::PointMetrics{
+                {"ipc", res.ipc},
+                {"epc", res.epc},
+                {"edp", res.edp},
+                {"cycles", static_cast<double>(res.stats.cycles)},
+            };
+        },
+        sopts);
+
+    TextTable table;
+    table.setHeader({"point", "status", "attempts", "IPC", "EPC (W)",
+                     "EDP"});
+    for (size_t p = 0; p < grid.size(); ++p) {
+        const exp::PointOutcome &o = summary.outcomes[p];
+        std::string ipc = "-", epc = "-", edp = "-";
+        std::string status = exp::pointStatusName(o.status);
+        if (o.status == exp::PointStatus::Ok) {
+            for (const auto &[name, value] : o.metrics) {
+                if (name == "ipc")
+                    ipc = TextTable::num(value);
+                else if (name == "epc")
+                    epc = TextTable::num(value, 2);
+                else if (name == "edp")
+                    edp = TextTable::num(value, 2);
+            }
+            if (o.reused)
+                status += " (journal)";
+        } else if (o.status == exp::PointStatus::Error) {
+            status += " [" + std::string(errorCategoryName(
+                                 o.errorCategory)) + "]";
+        }
+        table.addRow({grid[p].name, status,
+                      std::to_string(o.attempts), ipc, epc, edp});
+    }
+    table.print(std::cout);
+
+    std::cout << "sweep: " << summary.okCount << " ok, "
+              << summary.errorCount << " error, "
+              << summary.timeoutCount << " timeout, "
+              << summary.crashedCount << " crashed, "
+              << summary.pendingCount << " pending; re-ran "
+              << summary.executedCount << " points, reused "
+              << summary.reusedCount << " from journal\n";
+    if (!opts.journal.empty())
+        std::cout << "journal: " << opts.journal << "\n";
+    for (size_t p = 0; p < grid.size(); ++p) {
+        const exp::PointOutcome &o = summary.outcomes[p];
+        if (o.status == exp::PointStatus::Error ||
+            o.status == exp::PointStatus::Timeout ||
+            o.status == exp::PointStatus::Crashed) {
+            std::cerr << "sweep: point '" << grid[p].name << "' "
+                      << exp::pointStatusName(o.status);
+            if (o.status == exp::PointStatus::Error)
+                std::cerr << " ["
+                          << errorCategoryName(o.errorCategory)
+                          << "]";
+            if (!o.message.empty())
+                std::cerr << ": " << o.message;
+            std::cerr << "\n";
+        }
+    }
+    if (summary.interrupted) {
+        std::cerr << "sweep: interrupted; rerun with --resume"
+                  << (opts.journal.empty()
+                          ? " (no journal was kept, so a rerun "
+                            "starts over)"
+                          : " --journal " + opts.journal)
+                  << " to finish the remaining points\n";
+        return exp::SweepInterruptedExitCode;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -366,14 +567,26 @@ main(int argc, char **argv)
             return cmdEds(opts);
         if (opts.command == "compare")
             return cmdCompare(opts);
+        if (opts.command == "sweep")
+            return cmdSweep(opts);
         std::cerr << "ssim: unknown command '" << opts.command
                   << "'\n";
         usage();
     } catch (const ssim::Error &e) {
         std::cerr << "ssim: " << e.what() << "\n";
+        std::cerr << "ssim: error category: "
+                  << ssim::errorCategoryName(e.category())
+                  << " (exit " << ssim::exitCodeFor(e.category())
+                  << ")\n";
+        if (!activeJournalPath.empty())
+            std::cerr << "ssim: journal: " << activeJournalPath
+                      << "\n";
         return ssim::exitCodeFor(e.category());
     } catch (const std::exception &e) {
         std::cerr << "ssim: internal error: " << e.what() << "\n";
+        if (!activeJournalPath.empty())
+            std::cerr << "ssim: journal: " << activeJournalPath
+                      << "\n";
         return ssim::exitCodeFor(ssim::ErrorCategory::Internal);
     }
 }
