@@ -12,6 +12,7 @@
 #include "cpu/eds_frontend.hh"
 #include "cpu/pipeline/ooo_core.hh"
 #include "isa/emulator.hh"
+#include "obs/metrics.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -79,8 +80,8 @@ BM_ExecutionDrivenSimulation(benchmark::State &state)
 BENCHMARK(BM_ExecutionDrivenSimulation)->Arg(200000)
     ->Unit(benchmark::kMillisecond);
 
-void
-BM_SyntheticTraceSimulation(benchmark::State &state)
+const core::SyntheticTrace &
+sharedTrace()
 {
     static const core::SyntheticTrace trace = [] {
         core::ProfileOptions popts;
@@ -91,6 +92,13 @@ BM_SyntheticTraceSimulation(benchmark::State &state)
         gopts.reductionFactor = 4;   // ~100K synthetic instructions
         return core::generateSyntheticTrace(profile, gopts);
     }();
+    return trace;
+}
+
+void
+BM_SyntheticTraceSimulation(benchmark::State &state)
+{
+    const core::SyntheticTrace &trace = sharedTrace();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             core::simulateSyntheticTrace(trace, cfg()));
@@ -99,6 +107,31 @@ BM_SyntheticTraceSimulation(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * trace.size()));
 }
 BENCHMARK(BM_SyntheticTraceSimulation)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The observability overhead pair: the run above with telemetry fully
+ * on — per-cycle occupancy sampling, windowed IPC, and post-run
+ * publication into a metrics registry. The acceptance budget is the
+ * instrumented rate staying within 1% of BM_SyntheticTraceSimulation
+ * (compare items_per_second between the two).
+ */
+void
+BM_SyntheticTraceSimulationInstrumented(benchmark::State &state)
+{
+    const core::SyntheticTrace &trace = sharedTrace();
+    for (auto _ : state) {
+        obs::Registry reg;
+        core::ObsSink sink;
+        sink.registry = &reg;
+        benchmark::DoNotOptimize(
+            core::simulateSyntheticTrace(trace, cfg(), &sink));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() *
+                             sharedTrace().size()));
+}
+BENCHMARK(BM_SyntheticTraceSimulationInstrumented)
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -64,6 +64,19 @@ printPipelineReport(std::ostream &os, const SimResult &res,
     row("LSQ occupancy", res.stats.avgLsqOccupancy(),
         static_cast<double>(cfg.lsqSize));
     t.print(os);
+
+    printBanner(os, "stall causes (zero-progress cycles per stage)");
+    TextTable s;
+    s.setHeader({"cause", "cycles", "of total"});
+    for (int i = 0; i < cpu::NumStallCauses; ++i) {
+        const uint64_t n = res.stats.stallCycles[i];
+        if (n == 0)
+            continue;
+        s.addRow({cpu::stallCauseName(static_cast<cpu::StallCause>(i)),
+                  std::to_string(n),
+                  TextTable::pct(static_cast<double>(n) / cycles)});
+    }
+    s.print(os);
 }
 
 void

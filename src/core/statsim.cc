@@ -1,10 +1,62 @@
 #include "statsim.hh"
 
+#include <optional>
+
 #include "cpu/pipeline/ooo_core.hh"
+#include "cpu/pipeline/telemetry.hh"
 #include "sts_frontend.hh"
 
 namespace ssim::core
 {
+
+namespace
+{
+
+/**
+ * Shared observability tail for both simulation paths: run the core
+ * (with telemetry attached when a registry is wanted), then publish
+ * stats, occupancies, window IPC and the scored result.
+ */
+SimResult
+runAndPublish(cpu::OoOCore &core, const cpu::CoreConfig &cfg,
+              const ObsSink *sink, const cpu::MemoryHierarchy *mem)
+{
+    std::optional<cpu::PipelineTelemetry> tel;
+    if (sink && (sink->registry || sink->trace)) {
+        tel.emplace(cfg, sink->windowCycles);
+        core.attachTelemetry(&*tel);
+    }
+
+    const cpu::SimStats &stats = core.run();
+    SimResult res = scoreRun(stats, cfg);
+    if (!tel)
+        return res;
+    tel->finish(stats.cycles, stats.committed);
+
+    if (sink->registry) {
+        obs::Registry &reg = *sink->registry;
+        cpu::publishSimStats(reg, sink->prefix, stats);
+        tel->publish(reg, sink->prefix);
+        if (mem)
+            cpu::publishHierarchy(reg, sink->prefix + ".cache", *mem);
+        reg.gauge(sink->prefix + ".power.epc").set(res.epc);
+        reg.gauge(sink->prefix + ".power.edp").set(res.edp);
+    }
+    if (sink->trace) {
+        // Windowed pipeline activity: one counter track, the cycle
+        // number standing in for microseconds.
+        sink->trace->threadName(0, sink->prefix + " pipeline");
+        for (const cpu::IpcSample &s : tel->ipcSamples()) {
+            sink->trace->counter(
+                sink->prefix + ".ipc",
+                static_cast<double>(s.endCycle), 0,
+                {obs::TraceArg::num("ipc", s.ipc)});
+        }
+    }
+    return res;
+}
+
+} // namespace
 
 SimResult
 scoreRun(const cpu::SimStats &stats, const cpu::CoreConfig &cfg)
@@ -21,28 +73,31 @@ scoreRun(const cpu::SimStats &stats, const cpu::CoreConfig &cfg)
 
 SimResult
 runExecutionDriven(const isa::Program &prog, const cpu::CoreConfig &cfg,
-                   const cpu::EdsOptions &opts)
+                   const cpu::EdsOptions &opts, const ObsSink *sink)
 {
     cfg.validate();
     cpu::EdsFrontend frontend(prog, cfg, opts);
     cpu::OoOCore core(cfg, frontend);
-    return scoreRun(core.run(), cfg);
+    return runAndPublish(core, cfg, sink, &frontend.hierarchy());
 }
 
 SimResult
 simulateSyntheticTrace(const SyntheticTrace &trace,
-                       const cpu::CoreConfig &cfg)
+                       const cpu::CoreConfig &cfg, const ObsSink *sink)
 {
     cfg.validate();
     StsFrontend frontend(trace, cfg);
     cpu::OoOCore core(cfg, frontend);
-    return scoreRun(core.run(), cfg);
+    // The synthetic path models no caches — locality comes from the
+    // trace flags — so there is no hierarchy to publish.
+    return runAndPublish(core, cfg, sink, nullptr);
 }
 
 SimResult
 runStatisticalSimulation(const isa::Program &prog,
                          const cpu::CoreConfig &cfg,
-                         const StatSimOptions &opts)
+                         const StatSimOptions &opts,
+                         const ObsSink *sink)
 {
     // Validate everything up front: a sweep over many design points
     // should learn that one point is bad before paying for the
@@ -54,7 +109,7 @@ runStatisticalSimulation(const isa::Program &prog,
         buildProfile(prog, cfg, opts.profile);
     const SyntheticTrace trace =
         generateSyntheticTrace(profile, opts.generation);
-    return simulateSyntheticTrace(trace, cfg);
+    return simulateSyntheticTrace(trace, cfg, sink);
 }
 
 } // namespace ssim::core

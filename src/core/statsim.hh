@@ -23,11 +23,15 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "cpu/config.hh"
 #include "cpu/eds_frontend.hh"
 #include "cpu/pipeline/sim_stats.hh"
 #include "generator.hh"
 #include "isa/program.hh"
+#include "obs/export_trace.hh"
+#include "obs/metrics.hh"
 #include "power/power_model.hh"
 #include "profiler.hh"
 #include "synth_trace.hh"
@@ -54,6 +58,22 @@ struct StatSimOptions
 };
 
 /**
+ * Optional observability outputs for a run. With a registry attached
+ * the core samples per-cycle telemetry and, after the run, publishes
+ * the full stats/stall/occupancy/cache breakdown under @p prefix;
+ * with a trace log attached, windowed IPC lands as counter events on
+ * a per-cycle virtual timeline. Null members cost one pointer test
+ * per simulated cycle.
+ */
+struct ObsSink
+{
+    obs::Registry *registry = nullptr;
+    obs::TraceLog *trace = nullptr;
+    std::string prefix = "core";
+    uint32_t windowCycles = 10000;  ///< interval-IPC window (cycles)
+};
+
+/**
  * Error-handling contract: every entry point below validates its
  * configuration and options first and throws ssim::Error
  * (ErrorCategory::InvalidConfig) on a bad knob; nothing in the
@@ -69,11 +89,13 @@ SimResult scoreRun(const cpu::SimStats &stats,
 /** Reference execution-driven simulation (sim-outorder analogue). */
 SimResult runExecutionDriven(const isa::Program &prog,
                              const cpu::CoreConfig &cfg,
-                             const cpu::EdsOptions &opts = {});
+                             const cpu::EdsOptions &opts = {},
+                             const ObsSink *sink = nullptr);
 
 /** Simulate an already-generated synthetic trace on @p cfg. */
 SimResult simulateSyntheticTrace(const SyntheticTrace &trace,
-                                 const cpu::CoreConfig &cfg);
+                                 const cpu::CoreConfig &cfg,
+                                 const ObsSink *sink = nullptr);
 
 /**
  * The full three-step statistical simulation: build the statistical
@@ -82,7 +104,8 @@ SimResult simulateSyntheticTrace(const SyntheticTrace &trace,
  */
 SimResult runStatisticalSimulation(const isa::Program &prog,
                                    const cpu::CoreConfig &cfg,
-                                   const StatSimOptions &opts = {});
+                                   const StatSimOptions &opts = {},
+                                   const ObsSink *sink = nullptr);
 
 } // namespace ssim::core
 

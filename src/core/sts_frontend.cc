@@ -22,13 +22,12 @@ void
 StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
                         uint64_t cycle, SimStats &stats)
 {
-    if (cycle < stallUntil_)
+    if (fetchTel_.stalled(cycle, stats))
         return;
 
     // Fetch at fetchSpeed times the core width, like the
     // execution-driven frontend.
-    uint32_t budget =
-        std::min(maxSlots, cfg_.decodeWidth * cfg_.fetchSpeed);
+    uint32_t budget = fetchTel_.budget(maxSlots);
     uint32_t takenSeen = 0;
 
     while (budget > 0) {
@@ -95,7 +94,7 @@ StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
         if (takenSeen >= cfg_.fetchSpeed)
             return;
         if (extraStall > 0) {
-            stallUntil_ = cycle + extraStall;
+            fetchTel_.icacheStall(cycle, extraStall);
             return;
         }
     }
@@ -112,8 +111,7 @@ StsFrontend::atDispatch(DynInst &di, uint64_t cycle, SimStats &stats)
     if (di.outcome == BranchOutcome::FetchRedirect) {
         cursor_ = resumeCursor_;
         wrongPathMode_ = false;
-        stallUntil_ = std::max(stallUntil_,
-                               cycle + cfg_.redirectPenalty);
+        fetchTel_.redirect(cycle);
         return DispatchAction::SquashIfq;
     }
     if (di.outcome == BranchOutcome::Mispredict)
@@ -127,7 +125,7 @@ StsFrontend::recover(const DynInst &branch, uint64_t cycle)
     (void)branch;
     cursor_ = resumeCursor_;
     wrongPathMode_ = false;
-    stallUntil_ = cycle + cfg_.mispredictPenalty;
+    fetchTel_.mispredictRecovery(cycle);
 }
 
 MemEvent

@@ -21,6 +21,7 @@
 
 #include "cpu/config.hh"
 #include "cpu/pipeline/frontend.hh"
+#include "cpu/pipeline/telemetry.hh"
 #include "synth_trace.hh"
 
 namespace ssim::core
@@ -46,11 +47,13 @@ class StsFrontend : public cpu::Frontend
     const SyntheticTrace *trace_;
     cpu::CoreConfig cfg_;
 
+    /** Shared fetch-stall gate (see cpu/pipeline/telemetry.hh). */
+    cpu::FetchTelemetry fetchTel_{cfg_};
+
     uint64_t nextSeq_ = 1;
     size_t cursor_ = 0;
     size_t resumeCursor_ = 0;
     bool wrongPathMode_ = false;
-    uint64_t stallUntil_ = 0;
 
     /**
      * Sequence number of the correct-path fetch of each recent trace

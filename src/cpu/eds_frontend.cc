@@ -50,13 +50,14 @@ void
 EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
                         uint64_t cycle, SimStats &stats)
 {
-    if (cycle < stallUntil_ || fetchDone_ || wrongPathStalled_)
+    if (fetchDone_ || wrongPathStalled_)
+        return;
+    if (fetchTel_.stalled(cycle, stats))
         return;
 
     // The front end runs at fetchSpeed times the core width
     // (sim-outorder's -fetch:speed), which keeps the IFQ full.
-    uint32_t budget =
-        std::min(maxSlots, cfg_.decodeWidth * cfg_.fetchSpeed);
+    uint32_t budget = fetchTel_.budget(maxSlots);
     uint32_t takenSeen = 0;
 
     while (budget > 0) {
@@ -168,7 +169,7 @@ EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
         if (takenSeen >= cfg_.fetchSpeed)
             return;
         if (extraStall > 0) {
-            stallUntil_ = cycle + extraStall;
+            fetchTel_.icacheStall(cycle, extraStall);
             return;
         }
     }
@@ -222,8 +223,7 @@ EdsFrontend::atDispatch(DynInst &di, uint64_t cycle, SimStats &stats)
         wrongPathFetch_ = false;
         wrongPathStalled_ = false;
         fetchPc_ = di.actualNext;
-        stallUntil_ = std::max(stallUntil_,
-                               cycle + cfg_.redirectPenalty);
+        fetchTel_.redirect(cycle);
         bpred_.repairRas(rasCkpt_);
         lastFetchLine_ = ~0ull;
         return DispatchAction::SquashIfq;
@@ -241,7 +241,7 @@ EdsFrontend::recover(const DynInst &branch, uint64_t cycle)
     wrongPathFetch_ = false;
     wrongPathStalled_ = false;
     fetchPc_ = branch.actualNext;
-    stallUntil_ = cycle + cfg_.mispredictPenalty;
+    fetchTel_.mispredictRecovery(cycle);
     std::memcpy(renameMap_, renameCkpt_, sizeof(renameMap_));
     bpred_.repairRas(rasCkpt_);
     lastFetchLine_ = ~0ull;

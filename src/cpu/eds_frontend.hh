@@ -28,6 +28,7 @@
 #include "cpu/cache/hierarchy.hh"
 #include "cpu/config.hh"
 #include "cpu/pipeline/frontend.hh"
+#include "cpu/pipeline/telemetry.hh"
 #include "isa/emulator.hh"
 #include "isa/program.hh"
 
@@ -73,9 +74,11 @@ class EdsFrontend : public Frontend
     BranchUnit bpred_;
     MemoryHierarchy mem_;
 
+    /** Shared fetch-stall gate (see cpu/pipeline/telemetry.hh). */
+    FetchTelemetry fetchTel_{cfg_};
+
     uint64_t nextSeq_ = 1;
     uint32_t fetchPc_ = 0;
-    uint64_t stallUntil_ = 0;
     bool wrongPathFetch_ = false;
     bool wrongPathStalled_ = false;
     bool fetchDone_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cpu/pipeline/telemetry.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -64,6 +65,10 @@ OoOCore::cycle()
     stats_.ruuOccAccum += ruuCount_;
     stats_.lsqOccAccum += lsqCount_;
     stats_.ifqOccAccum += ifq_.size();
+    if (telemetry_) {
+        telemetry_->sample(now_, ruuCount_, lsqCount_, ifq_.size(),
+                           stats_.committed);
+    }
     ++now_;
     ++stats_.cycles;
 }
@@ -180,10 +185,13 @@ OoOCore::tryIssue(RuuEntry &e, uint32_t idx)
     bool forwarded = false;
     if (e.di.isLoad && e.lsqIdx >= 0 &&
         !loadMayIssue(lsq_[e.lsqIdx], forwarded)) {
+        issueBlock_ = StallCause::LoadBlocked;
         return false;
     }
-    if (!fuPool_.acquire(e.di.cls))
+    if (!fuPool_.acquire(e.di.cls)) {
+        issueBlock_ = StallCause::FuContention;
         return false;
+    }
 
     uint32_t latency = fuLatencyFor(e.di.cls, cfg_.fu);
     if (e.di.isLoad) {
@@ -221,18 +229,32 @@ OoOCore::issueStage()
 
     uint32_t issuedNow = 0;
     size_t keep = 0;
+    bool sawBlock = false;
+    StallCause blockCause = StallCause::FuContention;
     for (size_t i = 0; i < readyList_.size(); ++i) {
         const auto [seq, idx] = readyList_[i];
         RuuEntry &e = ruu_[idx];
         if (!e.valid || e.di.seq != seq || e.issued)
             continue;  // squashed or stale
-        if (issuedNow >= cfg_.issueWidth || !tryIssue(e, idx)) {
+        if (issuedNow >= cfg_.issueWidth) {
+            readyList_[keep++] = readyList_[i];
+            continue;
+        }
+        if (!tryIssue(e, idx)) {
+            if (!sawBlock) {
+                sawBlock = true;
+                blockCause = issueBlock_;
+            }
             readyList_[keep++] = readyList_[i];
             continue;
         }
         ++issuedNow;
     }
     readyList_.resize(keep);
+    // A zero-issue cycle with ready work is a structural stall;
+    // charge the first blocking reason seen.
+    if (issuedNow == 0 && sawBlock)
+        stats_.stall(blockCause);
 }
 
 void
@@ -249,8 +271,13 @@ OoOCore::issueStageInOrder()
             continue;
         if (e.issued)
             continue;
-        if (e.srcsPending > 0 || !tryIssue(e, ruuIndex(pos)))
-            break;   // head-of-line blocking
+        if (e.srcsPending > 0)
+            break;   // head-of-line blocking: operands pending
+        if (!tryIssue(e, ruuIndex(pos))) {
+            if (issuedNow == 0)
+                stats_.stall(issueBlock_);
+            break;   // head-of-line blocking: structural
+        }
         ++issuedNow;
     }
 }
@@ -259,11 +286,17 @@ void
 OoOCore::dispatchStage()
 {
     uint32_t dispatched = 0;
+    bool windowBlocked = false;
+    StallCause blockCause = StallCause::RuuFull;
     while (dispatched < cfg_.decodeWidth && !ifq_.empty()) {
         DynInst &head = ifq_.front();
         const bool needsLsq = head.isLoad || head.isStore;
-        if (ruuFull() || (needsLsq && lsqFull()))
+        if (ruuFull() || (needsLsq && lsqFull())) {
+            windowBlocked = true;
+            blockCause = ruuFull() ? StallCause::RuuFull
+                                   : StallCause::LsqFull;
             break;
+        }
 
         DynInst di = head;
         ifq_.pop_front();
@@ -317,9 +350,19 @@ OoOCore::dispatchStage()
         stats_.touch(PowerUnit::Rename, now_);
 
         if (action == DispatchAction::SquashIfq) {
+            stats_.ifqSquashed += ifq_.size();
             ifq_.clear();
             break;
         }
+    }
+    // Charge zero-progress cycles: a blocked window beats starvation,
+    // and drain cycles (frontend exhausted, IFQ empty) count as
+    // neither.
+    if (dispatched == 0) {
+        if (windowBlocked)
+            stats_.stall(blockCause);
+        else if (ifq_.empty() && !frontend_->done())
+            stats_.stall(StallCause::FetchStarved);
     }
 }
 
@@ -347,6 +390,7 @@ OoOCore::recoverFrom(const RuuEntry &branch)
         e.valid = false;
         --ruuTail_;
         --ruuCount_;
+        ++stats_.ruuSquashed;
     }
     // Squash LSQ entries younger than the branch.
     while (lsqCount_ > 0) {
@@ -362,6 +406,7 @@ OoOCore::recoverFrom(const RuuEntry &branch)
         return p.first > branchSeq;
     });
 
+    stats_.ifqSquashed += ifq_.size();
     ifq_.clear();
     frontend_->recover(branch.di, now_);
 }

@@ -29,11 +29,20 @@
 namespace ssim::cpu
 {
 
+class PipelineTelemetry;
+
 /** The cycle-accurate out-of-order engine. */
 class OoOCore
 {
   public:
     OoOCore(const CoreConfig &cfg, Frontend &frontend);
+
+    /**
+     * Attach an optional per-cycle sampler (occupancy distributions,
+     * windowed IPC). Costs one pointer test per cycle when null.
+     * @p t must outlive the run.
+     */
+    void attachTelemetry(PipelineTelemetry *t) { telemetry_ = t; }
 
     /**
      * Run until the frontend is exhausted and the pipeline drains,
@@ -110,6 +119,9 @@ class OoOCore
     Frontend *frontend_;
     FuPool fuPool_;
     SimStats stats_;
+    PipelineTelemetry *telemetry_ = nullptr;
+    /** Why the most recent tryIssue() refused (valid after false). */
+    StallCause issueBlock_ = StallCause::FuContention;
 
     std::deque<DynInst> ifq_;
 

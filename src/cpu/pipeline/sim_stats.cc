@@ -27,4 +27,20 @@ powerUnitName(PowerUnit u)
     }
 }
 
+const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::FetchRedirect:      return "fetch_redirect";
+      case StallCause::MispredictRecovery: return "mispredict_recovery";
+      case StallCause::IcacheMiss:         return "icache_miss";
+      case StallCause::FetchStarved:       return "fetch_starved";
+      case StallCause::RuuFull:            return "ruu_full";
+      case StallCause::LsqFull:            return "lsq_full";
+      case StallCause::FuContention:       return "fu_contention";
+      case StallCause::LoadBlocked:        return "load_blocked";
+      default:                             return "?";
+    }
+}
+
 } // namespace ssim::cpu

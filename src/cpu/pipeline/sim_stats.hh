@@ -45,6 +45,33 @@ constexpr int NumPowerUnits = static_cast<int>(PowerUnit::NumUnits);
 /** Name of a power unit, for reports. */
 const char *powerUnitName(PowerUnit u);
 
+/**
+ * Why a pipeline stage made zero progress in a cycle. Fetch-side
+ * causes (redirect recovery, mispredict recovery, I-side miss) are
+ * attributed by the shared FetchTelemetry gate; dispatch-side causes
+ * (starved, window/LSQ full) and issue-side causes (FU contention,
+ * load blocked on an older store) by the core's stages. At most one
+ * cause is charged per stage per cycle — the first blocking reason —
+ * so each counter reads as "cycles this stage was stalled because X".
+ */
+enum class StallCause : uint8_t
+{
+    FetchRedirect,       ///< fetch idle during redirect penalty
+    MispredictRecovery,  ///< fetch idle during mispredict penalty
+    IcacheMiss,          ///< fetch idle waiting for the I-side
+    FetchStarved,        ///< dispatch had slots but the IFQ was empty
+    RuuFull,             ///< dispatch blocked: no RUU entry
+    LsqFull,             ///< dispatch blocked: no LSQ entry
+    FuContention,        ///< issue blocked: no functional unit
+    LoadBlocked,         ///< issue blocked: older store data pending
+    NumCauses
+};
+
+constexpr int NumStallCauses = static_cast<int>(StallCause::NumCauses);
+
+/** Stable metric-segment name of a cause ("ruu_full", ...). */
+const char *stallCauseName(StallCause c);
+
 /** Everything a simulation run reports. */
 struct SimStats
 {
@@ -62,10 +89,24 @@ struct SimStats
     uint64_t loads = 0;
     uint64_t stores = 0;
 
+    // Speculation cleanup work (squashes happen in the core, so the
+    // accounting lives here rather than in each frontend).
+    uint64_t ifqSquashed = 0;   ///< IFQ entries dropped by squashes
+    uint64_t ruuSquashed = 0;   ///< RUU entries dropped by recovery
+
     // Occupancy accumulators (divide by cycles for averages).
     uint64_t ruuOccAccum = 0;
     uint64_t lsqOccAccum = 0;
     uint64_t ifqOccAccum = 0;
+
+    // Stall-cause breakdown, in cycles (see StallCause).
+    std::array<uint64_t, NumStallCauses> stallCycles{};
+
+    /** Charge one stalled cycle to @p cause. */
+    void stall(StallCause cause)
+    {
+        ++stallCycles[static_cast<int>(cause)];
+    }
 
     // Per-unit activity for the power model.
     std::array<uint64_t, NumPowerUnits> unitAccesses{};

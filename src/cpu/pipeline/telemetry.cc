@@ -1,0 +1,170 @@
+#include "telemetry.hh"
+
+#include <algorithm>
+
+#include "cpu/cache/hierarchy.hh"
+
+namespace ssim::cpu
+{
+
+PipelineTelemetry::OccTrack
+PipelineTelemetry::makeTrack(uint32_t capacity)
+{
+    OccTrack t;
+    t.bounds = obs::occupancyBounds(capacity);
+    t.counts.assign(t.bounds.size() + 1, 0);
+    // Precompute occupancy -> bucket so the per-cycle path is one
+    // table load instead of a bound search. Occupancy never exceeds
+    // the capacity, so the overflow bucket stays empty by design.
+    t.bucketOf.resize(capacity + 1);
+    for (uint32_t occ = 0; occ <= capacity; ++occ) {
+        auto it = std::lower_bound(t.bounds.begin(), t.bounds.end(),
+                                   static_cast<double>(occ));
+        t.bucketOf[occ] =
+            static_cast<uint8_t>(it - t.bounds.begin());
+    }
+    return t;
+}
+
+PipelineTelemetry::PipelineTelemetry(const CoreConfig &cfg,
+                                     uint32_t windowCycles)
+    : windowCycles_(windowCycles),
+      ruu_(makeTrack(cfg.ruuSize)),
+      lsq_(makeTrack(cfg.lsqSize)),
+      ifq_(makeTrack(cfg.ifqSize))
+{
+    ruuBucketOf_ = ruu_.bucketOf.data();
+    lsqBucketOf_ = lsq_.bucketOf.data();
+    ifqBucketOf_ = ifq_.bucketOf.data();
+    ruuBucketCounts_ = ruu_.counts.data();
+    lsqBucketCounts_ = lsq_.counts.data();
+    ifqBucketCounts_ = ifq_.counts.data();
+}
+
+void
+PipelineTelemetry::closeWindow(uint64_t endCycle, uint64_t committed)
+{
+    IpcSample s;
+    s.endCycle = endCycle;
+    s.committed = committed - windowStartCommitted_;
+    const uint64_t width = endCycle - windowStartCycle_;
+    s.ipc = width ? static_cast<double>(s.committed) / width : 0.0;
+    ipcSamples_.push_back(s);
+    windowStartCycle_ = endCycle;
+    windowStartCommitted_ = committed;
+}
+
+void
+PipelineTelemetry::finish(uint64_t cycle, uint64_t committed)
+{
+    if (cycle > windowStartCycle_)
+        closeWindow(cycle, committed);
+}
+
+void
+PipelineTelemetry::publish(obs::Registry &reg,
+                           const std::string &prefix) const
+{
+    auto publishTrack = [&](const char *what, const OccTrack &t,
+                            uint64_t occSum) {
+        obs::Histogram &h = reg.histogram(
+            prefix + "." + what + ".occupancy", t.bounds);
+        uint64_t remaining = occSum;
+        for (size_t b = 0; b < t.counts.size(); ++b) {
+            if (t.counts[b] == 0)
+                continue;
+            // The per-bucket sum is not tracked; attribute the whole
+            // occupancy integral to the last populated bucket so the
+            // histogram's total sum (hence the mean) stays exact.
+            const bool last =
+                std::all_of(t.counts.begin() + b + 1, t.counts.end(),
+                            [](uint64_t c) { return c == 0; });
+            h.addToBucket(b, t.counts[b],
+                          last ? static_cast<double>(remaining) : 0.0);
+            if (last)
+                remaining = 0;
+        }
+    };
+    publishTrack("ruu", ruu_, ruuOccSum_);
+    publishTrack("lsq", lsq_, lsqOccSum_);
+    publishTrack("ifq", ifq_, ifqOccSum_);
+
+    if (!ipcSamples_.empty()) {
+        // Window IPC distribution: fixed bounds up to 8 IPC cover any
+        // configuration this simulator accepts.
+        obs::Histogram &h = reg.histogram(
+            prefix + ".ipc.window",
+            {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0});
+        for (const IpcSample &s : ipcSamples_)
+            h.observe(s.ipc);
+        reg.counter(prefix + ".ipc.windows").set(ipcSamples_.size());
+    }
+}
+
+void
+publishSimStats(obs::Registry &reg, const std::string &prefix,
+                const SimStats &stats)
+{
+    auto c = [&](const char *name, uint64_t v) {
+        reg.counter(prefix + "." + name).set(v);
+    };
+    auto g = [&](const char *name, double v) {
+        reg.gauge(prefix + "." + name).set(v);
+    };
+
+    c("cycles", stats.cycles);
+    c("commit.insts", stats.committed);
+    c("fetch.insts", stats.fetched);
+    c("dispatch.insts", stats.dispatched);
+    c("issue.insts", stats.issued);
+    c("commit.branches", stats.branches);
+    c("commit.taken-branches", stats.takenBranches);
+    c("commit.mispredicts", stats.mispredicts);
+    c("fetch.redirects", stats.fetchRedirects);
+    c("commit.loads", stats.loads);
+    c("commit.stores", stats.stores);
+    c("squash.ifq-insts", stats.ifqSquashed);
+    c("squash.ruu-insts", stats.ruuSquashed);
+
+    g("commit.ipc", stats.ipc());
+    g("issue.bandwidth", stats.executionBandwidth());
+    g("commit.mispredicts-per-kilo", stats.mispredictsPerKilo());
+    g("ruu.occupancy-avg", stats.avgRuuOccupancy());
+    g("lsq.occupancy-avg", stats.avgLsqOccupancy());
+    g("ifq.occupancy-avg", stats.avgIfqOccupancy());
+
+    for (int i = 0; i < NumStallCauses; ++i) {
+        c((std::string("stall.") +
+           stallCauseName(static_cast<StallCause>(i))).c_str(),
+          stats.stallCycles[i]);
+    }
+
+    for (int i = 0; i < NumPowerUnits; ++i) {
+        const std::string unit =
+            std::string("unit.") +
+            powerUnitName(static_cast<PowerUnit>(i));
+        c((unit + ".accesses").c_str(), stats.unitAccesses[i]);
+        c((unit + ".active-cycles").c_str(),
+          stats.unitActiveCycles[i]);
+    }
+}
+
+void
+publishHierarchy(obs::Registry &reg, const std::string &prefix,
+                 const MemoryHierarchy &mem)
+{
+    auto cache = [&](const char *name, uint64_t hits,
+                     uint64_t misses) {
+        reg.counter(prefix + "." + name + ".hits").set(hits);
+        reg.counter(prefix + "." + name + ".misses").set(misses);
+    };
+    cache("il1", mem.il1().hits(), mem.il1().misses());
+    cache("dl1", mem.dl1().hits(), mem.dl1().misses());
+    cache("l2", mem.l2().hits(), mem.l2().misses());
+    cache("itlb", mem.itlb().hits(), mem.itlb().misses());
+    cache("dtlb", mem.dtlb().hits(), mem.dtlb().misses());
+    reg.counter(prefix + ".l2.inst-misses").set(mem.l2InstMisses());
+    reg.counter(prefix + ".l2.data-misses").set(mem.l2DataMisses());
+}
+
+} // namespace ssim::cpu

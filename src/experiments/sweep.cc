@@ -17,6 +17,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/export_json.hh"
 #include "util/random.hh"
 
 namespace ssim::experiments
@@ -83,6 +84,26 @@ crashAfterFromEnv()
     return v > 0 ? static_cast<unsigned long>(v) : 0;
 }
 
+/**
+ * SSIM_SWEEP_STALL_POINT=<index>:<seconds>: sleep before running the
+ * first attempt of one point. Combined with a small --point-timeout
+ * this injects a deterministic timeout followed by a clean retry.
+ */
+bool
+stallPointFromEnv(size_t &index, double &seconds)
+{
+    const char *env = std::getenv("SSIM_SWEEP_STALL_POINT");
+    if (!env)
+        return false;
+    size_t idx = 0;
+    double sec = 0.0;
+    if (std::sscanf(env, "%zu:%lf", &idx, &sec) != 2 || sec <= 0)
+        return false;
+    index = idx;
+    seconds = sec;
+    return true;
+}
+
 PointStatus
 statusFromName(const std::string &name)
 {
@@ -115,6 +136,7 @@ struct AttemptState
 {
     size_t point = 0;
     unsigned attempt = 0;
+    uint32_t tid = 0;       ///< trace track (worker id + 1)
     Clock::time_point deadline;
     bool hasDeadline = false;
     bool settled = false;   ///< guarded by the engine mutex
@@ -126,12 +148,13 @@ class Engine
     Engine(const std::vector<SweepPoint> &points, const PointFn &fn,
            const SweepOptions &opts)
         : points_(points), fn_(fn), opts_(opts),
-          crashAfter_(crashAfterFromEnv())
+          crashAfter_(crashAfterFromEnv()), t0_(Clock::now())
     {
         summary_.outcomes.resize(points_.size());
         attemptsUsed_.assign(points_.size(), 0);
         for (size_t i = 0; i < points_.size(); ++i)
             summary_.outcomes[i].seed = pointSeed(opts_.seed, i);
+        hasStall_ = stallPointFromEnv(stallPoint_, stallSeconds_);
     }
 
     SweepSummary run();
@@ -142,12 +165,21 @@ class Engine
     void journalAppend(const util::JournalRecord &rec);
     util::JournalRecord doneRecord(size_t point,
                                    const PointOutcome &o) const;
-    void settle(size_t point, PointOutcome &&outcome);
-    void workerLoop();
+    void settle(size_t point, PointOutcome &&outcome, uint32_t tid);
+    void writeHeartbeat();
+    void workerLoop(unsigned workerId);
     void watchdogLoop();
     unsigned totalAttemptsAllowed() const
     {
         return 1 + opts_.maxRetries;
+    }
+
+    /** Microseconds since the sweep started (trace timestamps). */
+    double
+    usSinceStart(Clock::time_point tp) const
+    {
+        return std::chrono::duration<double, std::micro>(tp - t0_)
+            .count();
     }
 
     const std::vector<SweepPoint> &points_;
@@ -167,6 +199,17 @@ class Engine
     bool replayed_ = false;   ///< resume replay filled the queue
     unsigned long crashAfter_ = 0;
     unsigned long doneWrites_ = 0;
+
+    Clock::time_point t0_;
+    bool hasStall_ = false;
+    size_t stallPoint_ = 0;
+    double stallSeconds_ = 0.0;
+
+    // Heartbeat progress (guarded by mu_).
+    size_t hbSettled_ = 0;
+    size_t hbOk_ = 0;
+    size_t hbFailed_ = 0;
+    size_t hbRetried_ = 0;
 };
 
 void
@@ -215,7 +258,7 @@ Engine::doneRecord(size_t point, const PointOutcome &o) const
 
 /** Record a settled attempt; mutex held by the caller. */
 void
-Engine::settle(size_t point, PointOutcome &&outcome)
+Engine::settle(size_t point, PointOutcome &&outcome, uint32_t tid)
 {
     outcome.attempts = attemptsUsed_[point];
     summary_.outcomes[point] = outcome;
@@ -224,16 +267,77 @@ Engine::settle(size_t point, PointOutcome &&outcome)
         outcome.status == PointStatus::Error
             ? retryableCategory(outcome.errorCategory)
             : retryableStatus(outcome.status);
-    if (outcome.status != PointStatus::Ok && retryable &&
+    const bool willRetry =
+        outcome.status != PointStatus::Ok && retryable &&
         attemptsUsed_[point] < totalAttemptsAllowed() &&
-        !stopFlag.load()) {
+        !stopFlag.load();
+    if (willRetry)
         queue_.push_back(point);
+
+    // Heartbeat counters track *points*, not attempts: an attempt
+    // that will be retried is progress toward a settle, not a settle.
+    if (!willRetry) {
+        ++hbSettled_;
+        if (outcome.status == PointStatus::Ok)
+            ++hbOk_;
+        else
+            ++hbFailed_;
+    } else {
+        ++hbRetried_;
+        if (opts_.trace) {
+            opts_.trace->instant(
+                "retry " + points_[point].name, "retry",
+                usSinceStart(Clock::now()), tid,
+                {obs::TraceArg::u64("point", point),
+                 obs::TraceArg::u64("next_attempt",
+                                    attemptsUsed_[point] + 1)});
+        }
     }
+    writeHeartbeat();
+}
+
+/**
+ * Rewrite the heartbeat stats JSON; mutex held by the caller. A tiny
+ * fresh registry per write keeps this self-contained — the cost is
+ * trivial next to a settled design point.
+ */
+void
+Engine::writeHeartbeat()
+{
+    if (opts_.heartbeatPath.empty())
+        return;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    const size_t remaining = queue_.size() + inflight_.size();
+
+    obs::Registry reg;
+    reg.counter("sweep.points.total").set(points_.size());
+    reg.counter("sweep.points.settled").set(hbSettled_);
+    reg.counter("sweep.points.ok").set(hbOk_);
+    reg.counter("sweep.points.failed").set(hbFailed_);
+    reg.counter("sweep.points.retried").set(hbRetried_);
+    reg.gauge("sweep.points.inflight")
+        .set(static_cast<double>(inflight_.size()));
+    reg.gauge("sweep.elapsed-seconds").set(elapsed);
+    // Naive but serviceable ETA: average settled-attempt rate
+    // extrapolated over the remaining work.
+    reg.gauge("sweep.eta-seconds")
+        .set(hbSettled_ ? elapsed / static_cast<double>(hbSettled_) *
+                              static_cast<double>(remaining)
+                        : 0.0);
+
+    const obs::RunManifest manifest =
+        opts_.manifest ? *opts_.manifest : obs::makeManifest("sweep");
+    // Failures are tolerated exactly like journal failures: the sweep
+    // result matters more than the progress file.
+    (void)obs::writeStatsJson(opts_.heartbeatPath, reg.snapshot(),
+                              manifest);
 }
 
 void
-Engine::workerLoop()
+Engine::workerLoop(unsigned workerId)
 {
+    const uint32_t tid = workerId + 1;
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
         // Poll-wait: a signal handler cannot safely notify a condvar,
@@ -256,6 +360,7 @@ Engine::workerLoop()
         auto st = std::make_shared<AttemptState>();
         st->point = point;
         st->attempt = attempt;
+        st->tid = tid;
         if (opts_.pointTimeoutSeconds > 0) {
             st->hasDeadline = true;
             st->deadline =
@@ -280,6 +385,11 @@ Engine::workerLoop()
         PointOutcome o;
         o.seed = pointSeed(opts_.seed, point);
         const auto t0 = Clock::now();
+        if (hasStall_ && point == stallPoint_ && attempt == 1) {
+            // Fault injection: make this attempt blow its budget.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stallSeconds_));
+        }
         try {
             o.metrics = fn_(point, o.seed);
             o.status = PointStatus::Ok;
@@ -294,19 +404,33 @@ Engine::workerLoop()
             o.errorCategory = ErrorCategory::Internal;
             o.message = e.what();
         }
-        o.wallSeconds =
-            std::chrono::duration<double>(Clock::now() - t0).count();
+        const auto t1 = Clock::now();
+        o.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
 
         lk.lock();
         auto it = std::find(inflight_.begin(), inflight_.end(), st);
         if (it != inflight_.end())
             inflight_.erase(it);
+        const bool late = st->settled;
         if (!st->settled) {
             st->settled = true;
-            settle(point, std::move(o));
+            settle(point, std::move(o), tid);
         }
         // else: the watchdog already journaled this attempt as a
         // timeout; the late result is discarded.
+        if (opts_.trace) {
+            const PointOutcome &fin = summary_.outcomes[point];
+            opts_.trace->complete(
+                points_[point].name, "point", usSinceStart(t0),
+                usSinceStart(t1) - usSinceStart(t0), tid,
+                {obs::TraceArg::u64("point", point),
+                 obs::TraceArg::u64("attempt", attempt),
+                 obs::TraceArg::str("status",
+                                    late ? "discarded-after-timeout"
+                                         : pointStatusName(fin.status)),
+                 obs::TraceArg::u64("seed",
+                                    pointSeed(opts_.seed, point))});
+        }
         cv_.notify_all();
     }
 }
@@ -334,7 +458,14 @@ Engine::watchdogLoop()
                 o.message =
                     "exceeded the per-point budget of " +
                     std::to_string(opts_.pointTimeoutSeconds) + " s";
-                settle(st->point, std::move(o));
+                if (opts_.trace) {
+                    opts_.trace->instant(
+                        "timeout " + points_[st->point].name,
+                        "watchdog", usSinceStart(now), st->tid,
+                        {obs::TraceArg::u64("point", st->point),
+                         obs::TraceArg::u64("attempt", st->attempt)});
+                }
+                settle(st->point, std::move(o), st->tid);
                 cv_.notify_all();
             } else {
                 ++i;
@@ -487,7 +618,7 @@ Engine::replayJournal(const std::vector<util::JournalRecord> &old)
 SweepSummary
 Engine::run()
 {
-    const auto t0 = Clock::now();
+    const auto t0 = t0_;
     prepareJournal();
     if (!replayed_) {
         for (size_t p = 0; p < points_.size(); ++p)
@@ -503,11 +634,19 @@ Engine::run()
         jobs = std::min<unsigned>(
             jobs, static_cast<unsigned>(queue_.size()));
 
+        if (opts_.trace) {
+            opts_.trace->processName(0, "ssim sweep");
+            for (unsigned w = 0; w < jobs; ++w) {
+                opts_.trace->threadName(
+                    w + 1, "worker " + std::to_string(w));
+            }
+        }
+
         ScopedSignalHandlers guard(opts_.handleSignals);
         std::vector<std::thread> workers;
         workers.reserve(jobs);
         for (unsigned w = 0; w < jobs; ++w)
-            workers.emplace_back([this] { workerLoop(); });
+            workers.emplace_back([this, w] { workerLoop(w); });
         std::thread watchdog;
         if (opts_.pointTimeoutSeconds > 0)
             watchdog = std::thread([this] { watchdogLoop(); });
@@ -548,6 +687,12 @@ Engine::run()
     if (journal_.isOpen()) {
         journal_.sync();
         journal_.close();
+    }
+    {
+        // Final heartbeat so the file reflects the finished state
+        // even for sweeps fully satisfied from the journal.
+        std::lock_guard<std::mutex> lk(mu_);
+        writeHeartbeat();
     }
     summary_.wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();

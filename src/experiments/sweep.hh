@@ -29,7 +29,18 @@
  * Fault injection: setting SSIM_SWEEP_CRASH_AFTER=<n> makes the
  * engine raise SIGKILL immediately after the n-th `done` record is
  * journaled — the hook the crash/resume tests use to die at a
- * deterministic instant.
+ * deterministic instant. SSIM_SWEEP_STALL_POINT=<index>:<seconds>
+ * makes the *first* attempt of one point sleep before running, which
+ * with a small --point-timeout produces a deterministic
+ * timeout-then-successful-retry — the hook the trace tests use to get
+ * a reproducible timeout/retry annotation.
+ *
+ * Observability (src/obs): an attached TraceLog gets one Chrome-trace
+ * track per worker with a complete slice per attempt plus instant
+ * markers for watchdog timeouts and retry scheduling; a heartbeat
+ * path gets a small stats JSON (points done/ok/failed/retried,
+ * elapsed, ETA) atomically rewritten as the sweep progresses, so an
+ * operator can watch a long sweep without touching the journal.
  */
 
 #ifndef SSIM_EXPERIMENTS_SWEEP_HH
@@ -42,6 +53,8 @@
 #include <vector>
 
 #include "cpu/config.hh"
+#include "obs/export_trace.hh"
+#include "obs/manifest.hh"
 #include "util/error.hh"
 #include "util/journal.hh"
 
@@ -103,6 +116,22 @@ struct SweepOptions
 
     /** Install SIGINT/SIGTERM drain handlers for the run (CLI). */
     bool handleSignals = false;
+
+    /**
+     * Optional Chrome-trace sink: per-worker point timelines with
+     * timeout/retry annotations. Must outlive runSweep().
+     */
+    obs::TraceLog *trace = nullptr;
+
+    /**
+     * When non-empty, a heartbeat stats JSON (points done / ok /
+     * failed / retried, elapsed seconds, ETA) is atomically rewritten
+     * here after every settled attempt.
+     */
+    std::string heartbeatPath;
+
+    /** Manifest stamped into the heartbeat export; optional. */
+    const obs::RunManifest *manifest = nullptr;
 
     /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
     void validate() const;

@@ -1,0 +1,79 @@
+#include "export_json.hh"
+
+#include <ostream>
+
+#include "util/journal.hh"
+#include "util/json_writer.hh"
+
+namespace ssim::obs
+{
+
+namespace json = ssim::util::json;
+
+namespace
+{
+
+void
+appendHistogram(std::string &out, const SnapshotEntry &e)
+{
+    out += '{';
+    json::appendKey(out, "bounds");
+    out += '[';
+    for (double b : e.histBounds) {
+        json::appendComma(out);
+        out += json::doubleToken(b);
+    }
+    out += ']';
+    json::appendKey(out, "counts");
+    out += '[';
+    for (uint64_t c : e.histCounts) {
+        json::appendComma(out);
+        out += std::to_string(c);
+    }
+    out += ']';
+    json::appendDouble(out, "sum", e.histSum);
+    json::appendU64(out, "count", e.histCount);
+    out += '}';
+}
+
+} // namespace
+
+std::string
+renderStatsJson(const Snapshot &snap, const RunManifest &manifest)
+{
+    std::string out;
+    out += '{';
+    json::appendField(out, "format", "ssim-stats");
+    json::appendU64(out, "version", 1);
+    json::appendKey(out, "manifest");
+    manifest.appendJson(out);
+    json::appendKey(out, "metrics");
+    out += '{';
+    for (const SnapshotEntry &e : snap.entries) {
+        json::appendKey(out, e.name.c_str());
+        switch (e.kind) {
+          case InstrumentKind::Counter:
+            out += std::to_string(e.counterValue);
+            break;
+          case InstrumentKind::Gauge:
+            out += json::doubleToken(e.gaugeValue);
+            break;
+          case InstrumentKind::Histogram:
+            appendHistogram(out, e);
+            break;
+        }
+    }
+    out += "}}\n";
+    return out;
+}
+
+Expected<void>
+writeStatsJson(const std::string &path, const Snapshot &snap,
+               const RunManifest &manifest)
+{
+    std::string doc = renderStatsJson(snap, manifest);
+    return util::atomicWriteFile(
+        path, [&](std::ostream &os) { os << doc; });
+}
+
+} // namespace ssim::obs

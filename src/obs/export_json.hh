@@ -1,0 +1,45 @@
+/**
+ * @file
+ * --stats-json exporter: renders a registry snapshot plus the run
+ * manifest as one machine-readable JSON document.
+ *
+ * Output layout:
+ *
+ *   {"format":"ssim-stats","version":1,
+ *    "manifest":{...},
+ *    "metrics":{
+ *      "core.commit.ipc":1.23...,                       // gauge
+ *      "core.stall.ruu_full":12345,                     // counter
+ *      "core.ruu.occupancy":{"bounds":[...],            // histogram
+ *                            "counts":[...],
+ *                            "sum":...,"count":...}}}
+ *
+ * Rendering reuses util/json_writer (%.17g doubles, hex64 hashes, no
+ * whitespace), so two identical seeded runs produce byte-identical
+ * files — asserted by the golden-stability ctest.
+ */
+
+#ifndef SSIM_OBS_EXPORT_JSON_HH
+#define SSIM_OBS_EXPORT_JSON_HH
+
+#include <string>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace ssim::obs
+{
+
+/** Render @p snap + @p manifest as the ssim-stats JSON document. */
+std::string renderStatsJson(const Snapshot &snap,
+                            const RunManifest &manifest);
+
+/** Render and atomically write to @p path (tmp + rename). */
+Expected<void> writeStatsJson(const std::string &path,
+                              const Snapshot &snap,
+                              const RunManifest &manifest);
+
+} // namespace ssim::obs
+
+#endif // SSIM_OBS_EXPORT_JSON_HH

@@ -1,0 +1,182 @@
+#include "export_trace.hh"
+
+#include <ostream>
+
+#include "util/journal.hh"
+#include "util/json_writer.hh"
+
+namespace ssim::obs
+{
+
+namespace json = ssim::util::json;
+
+TraceArg
+TraceArg::str(std::string key, const std::string &value)
+{
+    std::string token;
+    json::appendEscaped(token, value);
+    return TraceArg{std::move(key), std::move(token)};
+}
+
+TraceArg
+TraceArg::num(std::string key, double value)
+{
+    return TraceArg{std::move(key), json::doubleToken(value)};
+}
+
+TraceArg
+TraceArg::u64(std::string key, uint64_t value)
+{
+    return TraceArg{std::move(key), std::to_string(value)};
+}
+
+void
+TraceLog::push(TraceEvent e)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceLog::threadName(uint32_t tid, const std::string &name, uint32_t pid)
+{
+    TraceEvent e;
+    e.phase = 'M';
+    e.name = "thread_name";
+    e.pid = pid;
+    e.tid = tid;
+    e.args.push_back(TraceArg::str("name", name));
+    push(std::move(e));
+}
+
+void
+TraceLog::processName(uint32_t pid, const std::string &name)
+{
+    TraceEvent e;
+    e.phase = 'M';
+    e.name = "process_name";
+    e.pid = pid;
+    e.args.push_back(TraceArg::str("name", name));
+    push(std::move(e));
+}
+
+void
+TraceLog::complete(std::string name, std::string category, double tsUs,
+                   double durUs, uint32_t tid,
+                   std::vector<TraceArg> args)
+{
+    TraceEvent e;
+    e.phase = 'X';
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.tsUs = tsUs;
+    e.durUs = durUs;
+    e.tid = tid;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+TraceLog::instant(std::string name, std::string category, double tsUs,
+                  uint32_t tid, std::vector<TraceArg> args)
+{
+    TraceEvent e;
+    e.phase = 'i';
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.tsUs = tsUs;
+    e.tid = tid;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+TraceLog::counter(std::string name, double tsUs, uint32_t tid,
+                  std::vector<TraceArg> series)
+{
+    TraceEvent e;
+    e.phase = 'C';
+    e.name = std::move(name);
+    e.tsUs = tsUs;
+    e.tid = tid;
+    e.args = std::move(series);
+    push(std::move(e));
+}
+
+size_t
+TraceLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+namespace
+{
+
+void
+appendEvent(std::string &out, const TraceEvent &e)
+{
+    json::appendComma(out);
+    out += '{';
+    json::appendField(out, "name", e.name);
+    if (!e.category.empty())
+        json::appendField(out, "cat", e.category);
+    json::appendKey(out, "ph");
+    out += '"';
+    out += e.phase;
+    out += '"';
+    if (e.phase != 'M') {
+        json::appendDouble(out, "ts", e.tsUs);
+        if (e.phase == 'X')
+            json::appendDouble(out, "dur", e.durUs);
+        if (e.phase == 'i')
+            json::appendField(out, "s", "t");   // thread-scoped instant
+    }
+    json::appendU64(out, "pid", e.pid);
+    json::appendU64(out, "tid", e.tid);
+    if (!e.args.empty()) {
+        json::appendKey(out, "args");
+        out += '{';
+        for (const TraceArg &a : e.args) {
+            json::appendKey(out, a.key.c_str());
+            out += a.token;
+        }
+        out += '}';
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+TraceLog::render(const RunManifest &manifest) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    out += '{';
+    json::appendKey(out, "traceEvents");
+    out += '[';
+    for (const TraceEvent &e : events_)
+        appendEvent(out, e);
+    out += ']';
+    json::appendField(out, "displayTimeUnit", "ms");
+    json::appendKey(out, "otherData");
+    out += '{';
+    json::appendField(out, "format", "ssim-trace");
+    json::appendU64(out, "version", 1);
+    json::appendKey(out, "manifest");
+    manifest.appendJson(out);
+    out += "}}\n";
+    return out;
+}
+
+Expected<void>
+TraceLog::write(const std::string &path,
+                const RunManifest &manifest) const
+{
+    std::string doc = render(manifest);
+    return util::atomicWriteFile(
+        path, [&](std::ostream &os) { os << doc; });
+}
+
+} // namespace ssim::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Chrome trace_event exporter: timelines loadable in chrome://tracing
+ * and Perfetto (https://ui.perfetto.dev). Two producers use it:
+ *
+ *  - the sweep engine, which records one track (tid) per worker with a
+ *    complete ('X') slice per point attempt and instant ('i') markers
+ *    for timeouts, retries, and failures from the watchdog; and
+ *  - the simulator, which records windowed pipeline activity as
+ *    counter ('C') series — interval IPC and per-stage throughput —
+ *    with the cycle number as the (virtual) microsecond timestamp.
+ *
+ * The JSON object format is used (not the bare array) so the run
+ * manifest rides along in otherData and Perfetto still accepts the
+ * file. Events are buffered in memory and written once at the end:
+ * sweeps emit a few events per point, pipeline windows are tens of
+ * thousands of cycles wide, so buffers stay small relative to the
+ * simulation itself.
+ *
+ * Argument values are attached as pre-rendered JSON tokens (see
+ * TraceArg helpers); the exporter never re-renders numbers, keeping
+ * the %.17g contract in one place (util/json_writer).
+ */
+
+#ifndef SSIM_OBS_EXPORT_TRACE_HH
+#define SSIM_OBS_EXPORT_TRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/manifest.hh"
+#include "util/error.hh"
+
+namespace ssim::obs
+{
+
+/** One key plus a pre-rendered JSON token for an event's args. */
+struct TraceArg
+{
+    std::string key;
+    std::string token;   ///< raw JSON: "\"text\"", "1.5", "42"
+
+    static TraceArg str(std::string key, const std::string &value);
+    static TraceArg num(std::string key, double value);
+    static TraceArg u64(std::string key, uint64_t value);
+};
+
+/** One trace_event record; see the Chrome trace-event format spec. */
+struct TraceEvent
+{
+    char phase = 'X';        ///< X complete, i instant, C counter, M meta
+    std::string name;
+    std::string category;
+    double tsUs = 0.0;       ///< event start, microseconds
+    double durUs = 0.0;      ///< X only: slice duration
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Event buffer with append helpers. Thread-safe: sweep workers append
+ * concurrently from their own threads.
+ */
+class TraceLog
+{
+  public:
+    /** Name a track; emitted as a thread_name metadata event. */
+    void threadName(uint32_t tid, const std::string &name,
+                    uint32_t pid = 0);
+    /** Name the process row; emitted as process_name metadata. */
+    void processName(uint32_t pid, const std::string &name);
+
+    /** Complete slice ('X'): work spanning [tsUs, tsUs + durUs). */
+    void complete(std::string name, std::string category, double tsUs,
+                  double durUs, uint32_t tid,
+                  std::vector<TraceArg> args = {});
+
+    /** Instant marker ('i'), thread-scoped. */
+    void instant(std::string name, std::string category, double tsUs,
+                 uint32_t tid, std::vector<TraceArg> args = {});
+
+    /** Counter sample ('C'): one series per arg, stacked per name. */
+    void counter(std::string name, double tsUs, uint32_t tid,
+                 std::vector<TraceArg> series);
+
+    size_t size() const;
+
+    /** Render the full JSON object ({"traceEvents":[...],...}). */
+    std::string render(const RunManifest &manifest) const;
+
+    /** Render and atomically write to @p path. */
+    Expected<void> write(const std::string &path,
+                         const RunManifest &manifest) const;
+
+  private:
+    void push(TraceEvent e);
+
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace ssim::obs
+
+#endif // SSIM_OBS_EXPORT_TRACE_HH

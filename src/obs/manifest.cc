@@ -1,0 +1,45 @@
+#include "manifest.hh"
+
+#include "util/json_writer.hh"
+
+#ifndef SSIM_GIT_DESCRIBE
+#define SSIM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace ssim::obs
+{
+
+namespace json = ssim::util::json;
+
+std::string
+buildVersion()
+{
+    return SSIM_GIT_DESCRIBE;
+}
+
+RunManifest
+makeManifest(const std::string &command)
+{
+    RunManifest m;
+    m.buildVersion = buildVersion();
+    m.command = command;
+    return m;
+}
+
+void
+RunManifest::appendJson(std::string &out) const
+{
+    out += '{';
+    json::appendField(out, "tool", tool);
+    json::appendField(out, "build_version", buildVersion);
+    json::appendField(out, "command", command);
+    if (!workload.empty())
+        json::appendField(out, "workload", workload);
+    json::appendHex64(out, "config_hash", configHash);
+    if (hasProfileChecksum)
+        json::appendHex64(out, "profile_checksum", profileChecksum);
+    json::appendU64(out, "seed", seed);
+    out += '}';
+}
+
+} // namespace ssim::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Run manifest: the provenance block stamped into every export
+ * (--stats-json, --trace, sweep heartbeat) so an artifact found on
+ * disk months later is attributable to an exact run — which binary
+ * (git describe), which configuration (FNV-1a config hash), which
+ * profile (checksum), which seed.
+ *
+ * Wall-clock timestamps are deliberately absent: the --stats-json
+ * golden test requires two identical seeded runs to produce
+ * byte-identical output, and a timestamp is the canonical way to
+ * break that. Provenance here means *inputs*, which are
+ * deterministic, not *when*, which is not.
+ */
+
+#ifndef SSIM_OBS_MANIFEST_HH
+#define SSIM_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ssim::obs
+{
+
+struct RunManifest
+{
+    std::string tool = "ssim";
+    std::string buildVersion;      ///< git describe, from buildVersion()
+    std::string command;           ///< CLI subcommand ("simulate", "sweep")
+    std::string workload;          ///< workload name, empty if n/a
+    uint64_t configHash = 0;       ///< FNV-1a over the CoreConfig
+    uint64_t profileChecksum = 0;  ///< profile payload checksum, 0 if n/a
+    uint64_t seed = 0;             ///< RNG seed for the run
+    bool hasProfileChecksum = false;
+
+    /** Append this manifest as a JSON object (no surrounding key). */
+    void appendJson(std::string &out) const;
+};
+
+/** The `git describe` string baked into this binary at build time. */
+std::string buildVersion();
+
+/** A manifest pre-filled with the build version. */
+RunManifest makeManifest(const std::string &command);
+
+} // namespace ssim::obs
+
+#endif // SSIM_OBS_MANIFEST_HH

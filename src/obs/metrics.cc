@@ -1,0 +1,224 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace ssim::obs
+{
+
+const char *
+instrumentKindName(InstrumentKind kind)
+{
+    switch (kind) {
+      case InstrumentKind::Counter: return "counter";
+      case InstrumentKind::Gauge: return "gauge";
+      case InstrumentKind::Histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty()) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "histogram needs at least one bucket bound");
+    }
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (!(bounds_[i] > bounds_[i - 1])) {
+            throw Error(ErrorCategory::InvalidArgument,
+                        "histogram bounds must be strictly increasing");
+        }
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double x)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+    sum_ += x;
+    count_ += 1;
+}
+
+void
+Histogram::addToBucket(size_t bucket, uint64_t n, double sumDelta)
+{
+    if (bucket >= counts_.size()) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "histogram bucket index out of range");
+    }
+    counts_[bucket] += n;
+    count_ += n;
+    sum_ += sumDelta;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bounds_ != bounds_) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "cannot merge histograms with different bounds");
+    }
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+bool
+Registry::validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prevDot = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (prevDot)
+                return false;
+            prevDot = true;
+            continue;
+        }
+        prevDot = false;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+Registry::Slot &
+Registry::reserve(const std::string &name, InstrumentKind kind)
+{
+    if (!validName(name)) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "invalid metric name '" + name +
+                        "' (want dot-separated [a-z0-9_-] segments)");
+    }
+    auto [it, inserted] = slots_.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "metric '" + name + "' already registered as " +
+                        instrumentKindName(it->second.kind) +
+                        ", cannot re-register as " +
+                        instrumentKindName(kind));
+    }
+    return it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reserve(name, InstrumentKind::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &slot = reserve(name, InstrumentKind::Gauge);
+    if (slot.gaugeFn) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "metric '" + name +
+                        "' is a computed gauge, cannot re-open as plain");
+    }
+    return slot.gauge;
+}
+
+void
+Registry::gaugeFn(const std::string &name, std::function<double()> fn)
+{
+    if (!fn) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "computed gauge '" + name + "' needs a callable");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &slot = reserve(name, InstrumentKind::Gauge);
+    if (slot.gaugeFn) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "computed gauge '" + name + "' already registered");
+    }
+    slot.gaugeFn = std::move(fn);
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &slot = reserve(name, InstrumentKind::Histogram);
+    if (slot.histogram) {
+        if (slot.histBounds != bounds) {
+            throw Error(ErrorCategory::InvalidArgument,
+                        "histogram '" + name +
+                            "' already registered with different bounds");
+        }
+        return *slot.histogram;
+    }
+    histograms_.push_back(std::make_unique<Histogram>(bounds));
+    slot.histBounds = std::move(bounds);
+    slot.histogram = histograms_.back().get();
+    return *slot.histogram;
+}
+
+size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.entries.reserve(slots_.size());
+    for (const auto &[name, slot] : slots_) {
+        SnapshotEntry e;
+        e.name = name;
+        e.kind = slot.kind;
+        switch (slot.kind) {
+          case InstrumentKind::Counter:
+            e.counterValue = slot.counter.value();
+            break;
+          case InstrumentKind::Gauge:
+            e.gaugeValue =
+                slot.gaugeFn ? slot.gaugeFn() : slot.gauge.value();
+            break;
+          case InstrumentKind::Histogram:
+            e.histBounds = slot.histogram->bounds();
+            e.histCounts = slot.histogram->bucketCounts();
+            e.histSum = slot.histogram->sum();
+            e.histCount = slot.histogram->count();
+            break;
+        }
+        snap.entries.push_back(std::move(e));
+    }
+    return snap;
+}
+
+std::vector<double>
+occupancyBounds(uint64_t capacity, uint32_t buckets)
+{
+    if (capacity == 0 || buckets == 0) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "occupancyBounds needs capacity > 0 and buckets > 0");
+    }
+    uint64_t n = std::min<uint64_t>(buckets, capacity);
+    std::vector<double> bounds;
+    bounds.reserve(n);
+    for (uint64_t i = 1; i <= n; ++i) {
+        // Round up so the final bound is exactly `capacity` and
+        // intermediate edges land on integers.
+        bounds.push_back(
+            static_cast<double>((capacity * i + n - 1) / n));
+    }
+    return bounds;
+}
+
+} // namespace ssim::obs

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "json_writer.hh"
+
 namespace ssim::util
 {
 
@@ -56,81 +58,15 @@ atomicWriteFile(const std::string &path,
 namespace
 {
 
-constexpr char HexDigits[] = "0123456789abcdef";
-
-void
-appendEscaped(std::string &out, const std::string &s)
-{
-    out += '"';
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (c < 0x20) {
-                out += "\\u00";
-                out += HexDigits[(c >> 4) & 0xf];
-                out += HexDigits[c & 0xf];
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    out += '"';
-}
-
-void
-appendField(std::string &out, const char *key, const std::string &value)
-{
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    appendEscaped(out, value);
-}
-
-void
-appendU64(std::string &out, const char *key, uint64_t value)
-{
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    out += std::to_string(value);
-}
-
-/** Hex form used for hashes (uint64 in JSON readers is lossy). */
-void
-appendHex64(std::string &out, const char *key, uint64_t value)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(value));
-    appendField(out, key, buf);
-}
-
-/**
- * Doubles are written with %.17g so a value survives the write ->
- * parse round trip bit-exactly; this is what makes a resumed journal
- * byte-identical to an uninterrupted one.
- */
-void
-appendDouble(std::string &out, const char *key, double value)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    out += buf;
-}
+// Rendering (escapes, %.17g doubles, hex-string hashes) lives in
+// util/json_writer so the stats/trace exporters share the exact byte
+// format; the %.17g round trip is what makes a resumed journal
+// byte-identical to an uninterrupted one.
+using json::appendDouble;
+using json::appendEscaped;
+using json::appendField;
+using json::appendHex64;
+using json::appendU64;
 
 /** Minimal JSON scanner for one flat record line. */
 class LineParser
@@ -323,10 +259,7 @@ JournalRecord::toJson() const
                 out += ',';
             appendEscaped(out, metrics[i].name);
             out += ':';
-            char buf[32];
-            std::snprintf(buf, sizeof(buf), "%.17g",
-                          metrics[i].value);
-            out += buf;
+            out += json::doubleToken(metrics[i].value);
         }
         out += '}';
     }

@@ -1,0 +1,106 @@
+#include "json_writer.hh"
+
+#include <cstdio>
+
+namespace ssim::util::json
+{
+
+namespace
+{
+
+constexpr char HexDigits[] = "0123456789abcdef";
+
+} // namespace
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                out += "\\u00";
+                out += HexDigits[(c >> 4) & 0xf];
+                out += HexDigits[c & 0xf];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendComma(std::string &out)
+{
+    if (!out.empty() && out.back() != '{' && out.back() != '[')
+        out += ',';
+}
+
+void
+appendKey(std::string &out, const char *key)
+{
+    appendComma(out);
+    out += '"';
+    out += key;
+    out += "\":";
+}
+
+void
+appendField(std::string &out, const char *key, const std::string &value)
+{
+    appendKey(out, key);
+    appendEscaped(out, value);
+}
+
+void
+appendU64(std::string &out, const char *key, uint64_t value)
+{
+    appendKey(out, key);
+    out += std::to_string(value);
+}
+
+void
+appendHex64(std::string &out, const char *key, uint64_t value)
+{
+    appendField(out, key, hex64Token(value));
+}
+
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    appendKey(out, key);
+    out += doubleToken(value);
+}
+
+void
+appendBool(std::string &out, const char *key, bool value)
+{
+    appendKey(out, key);
+    out += value ? "true" : "false";
+}
+
+std::string
+doubleToken(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+hex64Token(uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace ssim::util::json

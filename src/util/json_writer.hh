@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by every machine-readable
+ * artifact the simulator writes: the sweep journal (util/journal),
+ * the --stats-json exporter, the Chrome trace exporter, and the sweep
+ * heartbeat (src/obs).
+ *
+ * The helpers append to a plain std::string and never insert
+ * whitespace, so the output of a given call sequence is byte-stable —
+ * the property the journal's crash/resume determinism and the
+ * --stats-json golden tests both rely on. A comma is inserted
+ * automatically unless the previous character opened an object or
+ * array, which keeps call sites free of first-element bookkeeping.
+ *
+ * Doubles are rendered with %.17g so that a value survives a write ->
+ * parse round trip bit-exactly; 64-bit hashes are rendered as 16-digit
+ * hex strings because a uint64 does not survive a double-typed JSON
+ * reader.
+ */
+
+#ifndef SSIM_UTIL_JSON_WRITER_HH
+#define SSIM_UTIL_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ssim::util::json
+{
+
+/** Append @p s as a quoted JSON string with escapes. */
+void appendEscaped(std::string &out, const std::string &s);
+
+/** Append `,` unless @p out just opened an object or array. */
+void appendComma(std::string &out);
+
+/** Append `"key":` (with the separating comma when needed). */
+void appendKey(std::string &out, const char *key);
+
+/** Append `"key":"value"`. */
+void appendField(std::string &out, const char *key,
+                 const std::string &value);
+
+/** Append `"key":<unsigned integer>`. */
+void appendU64(std::string &out, const char *key, uint64_t value);
+
+/** Append `"key":"<016x hex>"` (lossless uint64 for hashes). */
+void appendHex64(std::string &out, const char *key, uint64_t value);
+
+/** Append `"key":<%.17g double>` (bit-exact round trip). */
+void appendDouble(std::string &out, const char *key, double value);
+
+/** Append `"key":true|false`. */
+void appendBool(std::string &out, const char *key, bool value);
+
+/** Render a double alone (no key) with the same %.17g contract. */
+std::string doubleToken(double value);
+
+/** Render a uint64 hash as the 16-digit hex string form. */
+std::string hex64Token(uint64_t value);
+
+} // namespace ssim::util::json
+
+#endif // SSIM_UTIL_JSON_WRITER_HH

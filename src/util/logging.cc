@@ -1,10 +1,60 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace ssim
 {
+
+namespace
+{
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("SSIM_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    // An unknown value must not silently mute the process.
+    return LogLevel::Info;
+}
+
+std::atomic<int> &
+levelSlot()
+{
+    // -1 = not yet resolved; resolved lazily so setLogLevel() works
+    // before or after the first log call.
+    static std::atomic<int> slot{-1};
+    return slot;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int v = levelSlot().load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(levelFromEnv());
+        levelSlot().store(v, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelSlot().store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
 
 void
 logMessage(const char *prefix, const std::string &msg)
@@ -29,13 +79,15 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    logMessage("warn", msg);
+    if (logLevel() >= LogLevel::Warn)
+        logMessage("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    logMessage("info", msg);
+    if (logLevel() >= LogLevel::Info)
+        logMessage("info", msg);
 }
 
 } // namespace ssim

@@ -4,7 +4,14 @@
  *
  * panic() is for internal invariant violations (simulator bugs);
  * fatal() is for user errors (bad configuration, invalid arguments).
- * warn()/inform() report conditions without stopping the simulation.
+ * warn()/inform() report conditions without stopping the simulation —
+ * and are filtered by a process-wide verbosity level, because a sweep
+ * over ~2000 design points that warns once per bad point otherwise
+ * buries its own summary. The level comes from SSIM_LOG_LEVEL
+ * (error|warn|info, default info) and can be overridden
+ * programmatically (the CLI's --quiet maps to LogLevel::Error).
+ * panic() and fatal() always print: silencing a process's dying words
+ * is never the right default.
  */
 
 #ifndef SSIM_UTIL_LOGGING_HH
@@ -16,6 +23,23 @@
 
 namespace ssim
 {
+
+/** Verbosity: messages at or above the level are printed. */
+enum class LogLevel : uint8_t
+{
+    Error,   ///< only panic/fatal (warn and inform suppressed)
+    Warn,    ///< + warn
+    Info,    ///< + inform (the default)
+};
+
+/**
+ * The active level: the last setLogLevel() value, else SSIM_LOG_LEVEL
+ * from the environment (unknown values fall back to Info).
+ */
+LogLevel logLevel();
+
+/** Override the level for this process (e.g. the CLI's --quiet). */
+void setLogLevel(LogLevel level);
 
 /** Print a formatted message with a severity prefix to stderr. */
 void logMessage(const char *prefix, const std::string &msg);
@@ -32,10 +56,10 @@ void logMessage(const char *prefix, const std::string &msg);
  */
 [[noreturn]] void fatal(const std::string &msg);
 
-/** Report a suspicious-but-survivable condition. */
+/** Report a suspicious-but-survivable condition (LogLevel::Warn). */
 void warn(const std::string &msg);
 
-/** Report normal operating status. */
+/** Report normal operating status (LogLevel::Info). */
 void inform(const std::string &msg);
 
 /** Panic unless the condition holds. */

@@ -1,0 +1,213 @@
+# CTest script: end-to-end contract of the observability exports —
+# `--stats-json` golden byte-stability across identical seeded runs,
+# schema validation of both export formats (via cmake's string(JSON)
+# against tests/schemas/*.schema.json), and the sweep trace with a
+# deterministically injected timeout/retry.
+#
+# Invoked with -DSSIM_CLI=<path-to-ssim> -DWORK_DIR=<scratch-dir>
+#              -DSCHEMA_DIR=<tests/schemas> -DMODE=<run|sweep>.
+
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+set(dir "${WORK_DIR}/cli_obs_${MODE}")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+function(run_ssim rc_var out_var err_var)
+    execute_process(COMMAND "${SSIM_CLI}" ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    set(${rc_var} "${rc}" PARENT_SCOPE)
+    set(${out_var} "${out}" PARENT_SCOPE)
+    set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- Minimal JSON Schema checker -----------------------------------
+#
+# Validates the subset the schemas in tests/schemas/ use: "type" on a
+# node, and for objects "required" member lists with recursion into
+# the matching "properties" subschema. `doc` and `schema` are JSON
+# text; `path` is a human-readable location for error messages.
+
+function(schema_type_name json_type out_var)
+    # Map JSON Schema type names onto cmake string(JSON ... TYPE)
+    # results. "integer" is a NUMBER to cmake.
+    string(TOUPPER "${json_type}" upper)
+    if(upper STREQUAL "INTEGER")
+        set(upper "NUMBER")
+    endif()
+    set(${out_var} "${upper}" PARENT_SCOPE)
+endfunction()
+
+# `doc` must be JSON object text (string(JSON GET) on scalar members
+# returns the bare value, so recursion only descends into objects,
+# where the extracted text is itself valid JSON).
+function(validate_node doc schema path what)
+    string(JSON nreq ERROR_VARIABLE no_req LENGTH "${schema}" required)
+    if(NOT no_req STREQUAL "NOTFOUND")
+        return()   # no required list at this level
+    endif()
+    math(EXPR last "${nreq} - 1")
+    foreach(i RANGE ${last})
+        string(JSON key GET "${schema}" required ${i})
+        string(JSON have ERROR_VARIABLE missing TYPE "${doc}" ${key})
+        if(NOT missing STREQUAL "NOTFOUND")
+            message(FATAL_ERROR
+                "${what}: required member '${path}.${key}' is "
+                "missing")
+        endif()
+        string(JSON subschema ERROR_VARIABLE no_prop
+            GET "${schema}" properties ${key})
+        if(no_prop STREQUAL "NOTFOUND")
+            string(JSON want ERROR_VARIABLE no_type
+                GET "${subschema}" type)
+            if(no_type STREQUAL "NOTFOUND")
+                schema_type_name("${want}" want)
+                if(NOT have STREQUAL want)
+                    message(FATAL_ERROR
+                        "${what}: ${path}.${key} has type ${have}, "
+                        "schema wants ${want}")
+                endif()
+            endif()
+            if(have STREQUAL "OBJECT")
+                string(JSON sub GET "${doc}" ${key})
+                validate_node("${sub}" "${subschema}"
+                    "${path}.${key}" "${what}")
+            endif()
+        endif()
+    endforeach()
+endfunction()
+
+function(validate_file doc_file schema_file what)
+    file(READ "${doc_file}" doc)
+    file(READ "${schema_file}" schema)
+    string(JSON roottype ERROR_VARIABLE bad TYPE "${doc}")
+    if(NOT bad STREQUAL "NOTFOUND" OR NOT roottype STREQUAL "OBJECT")
+        message(FATAL_ERROR
+            "${what}: ${doc_file} is not a JSON object (${bad})")
+    endif()
+    validate_node("${doc}" "${schema}" "$" "${what}")
+endfunction()
+
+# -------------------------------------------------------------------
+
+if(MODE STREQUAL "run")
+    # Profile once, then two identical seeded statistical runs: the
+    # --stats-json documents must be byte-identical (the golden
+    # stability contract) and both exports must satisfy their schemas.
+    set(profile "${dir}/zip.prof")
+    run_ssim(rc out err profile zip -o "${profile}" --max 60000)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "profile failed (rc=${rc})\n${err}")
+    endif()
+
+    set(run_args simulate "${profile}" --reduction 50 --seed 42)
+    run_ssim(rc out err ${run_args}
+        --stats-json "${dir}/stats1.json" --trace "${dir}/trace1.json")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "run 1 failed (rc=${rc})\n${err}")
+    endif()
+    run_ssim(rc out err ${run_args}
+        --stats-json "${dir}/stats2.json" --trace "${dir}/trace2.json")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "run 2 failed (rc=${rc})\n${err}")
+    endif()
+
+    file(READ "${dir}/stats1.json" stats1)
+    file(READ "${dir}/stats2.json" stats2)
+    if(NOT stats1 STREQUAL stats2)
+        message(FATAL_ERROR
+            "identical seeded runs produced different --stats-json "
+            "documents")
+    endif()
+
+    validate_file("${dir}/stats1.json"
+        "${SCHEMA_DIR}/stats.schema.json" "stats-json")
+    validate_file("${dir}/trace1.json"
+        "${SCHEMA_DIR}/trace.schema.json" "trace")
+
+    # Spot-check semantics the schema cannot express: the stats carry
+    # the profile checksum and core metrics; the trace carries the
+    # windowed IPC counter series.
+    if(NOT stats1 MATCHES "\"profile_checksum\":\"[0-9a-f]+\"")
+        message(FATAL_ERROR "stats-json lacks the profile checksum")
+    endif()
+    if(NOT stats1 MATCHES "\"core\\.cycles\":[0-9]+")
+        message(FATAL_ERROR "stats-json lacks core.cycles")
+    endif()
+    file(READ "${dir}/trace1.json" trace1)
+    if(NOT trace1 MATCHES "\"ph\":\"C\"")
+        message(FATAL_ERROR "trace lacks counter events")
+    endif()
+
+    # --quiet run: warn/info chatter is suppressed, stdout intact.
+    run_ssim(rc out err ${run_args} --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "--quiet run failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "IPC")
+        message(FATAL_ERROR "--quiet suppressed the result table")
+    endif()
+
+elseif(MODE STREQUAL "sweep")
+    # A 64-point grid with one deterministically stalled point: the
+    # first attempt of point 3 sleeps past the watchdog budget, so the
+    # trace must show one timeout marker, one retry marker, and a
+    # successful second attempt — plus one track per worker. The
+    # heartbeat (--stats-json) is the live progress export; its final
+    # rewrite reflects the finished sweep and must satisfy the stats
+    # schema.
+    set(trace "${dir}/sweep_trace.json")
+    set(heartbeat "${dir}/heartbeat.json")
+    set(ENV{SSIM_SWEEP_STALL_POINT} "3:2")
+    run_ssim(rc out err sweep zip
+        --grid ruu=16,32,64,128 --grid width=2,4,8,16
+        --grid ifq=4,8,16,32 --lsq 8
+        --max 50000 --reduction 50 --jobs 2
+        --point-timeout 0.5 --retries 1
+        --stats-json "${heartbeat}" --trace "${trace}")
+    unset(ENV{SSIM_SWEEP_STALL_POINT})
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep failed (rc=${rc})\n${err}")
+    endif()
+
+    validate_file("${trace}" "${SCHEMA_DIR}/trace.schema.json"
+        "sweep trace")
+    validate_file("${heartbeat}" "${SCHEMA_DIR}/stats.schema.json"
+        "heartbeat")
+
+    file(READ "${trace}" tdoc)
+    if(NOT tdoc MATCHES "\"name\":\"timeout ")
+        message(FATAL_ERROR "trace lacks the watchdog timeout marker")
+    endif()
+    if(NOT tdoc MATCHES "\"name\":\"retry ")
+        message(FATAL_ERROR "trace lacks the retry marker")
+    endif()
+    if(NOT tdoc MATCHES "discarded-after-timeout")
+        message(FATAL_ERROR
+            "trace lacks the discarded late-attempt slice")
+    endif()
+    # One named track per worker plus the process row.
+    if(NOT tdoc MATCHES "\"name\":\"worker 0\"" OR
+       NOT tdoc MATCHES "\"name\":\"worker 1\"")
+        message(FATAL_ERROR "trace lacks per-worker track names")
+    endif()
+
+    file(READ "${heartbeat}" hdoc)
+    string(JSON total GET "${hdoc}" metrics sweep.points.total)
+    string(JSON settled GET "${hdoc}" metrics sweep.points.settled)
+    string(JSON retried GET "${hdoc}" metrics sweep.points.retried)
+    if(NOT total EQUAL 64)
+        message(FATAL_ERROR "heartbeat total=${total}, want 64")
+    endif()
+    if(NOT settled EQUAL 64)
+        message(FATAL_ERROR "heartbeat settled=${settled}, want 64")
+    endif()
+    if(retried LESS 1)
+        message(FATAL_ERROR "heartbeat shows no retried points")
+    endif()
+
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Observability subsystem tests: registry registration rules (name
+ * validation, kind collisions, re-opening), histogram bucket-edge
+ * semantics, the exporters' rendered formats, the shared fetch-stall
+ * gate, and the contract that attaching telemetry does not change
+ * simulation results (only observes them).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/statsim.hh"
+#include "cpu/config.hh"
+#include "cpu/pipeline/telemetry.hh"
+#include "obs/export_json.hh"
+#include "obs/export_trace.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+
+ErrorCategory
+categoryOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const Error &e) {
+        return e.category();
+    }
+    ADD_FAILURE() << "expected ssim::Error, none thrown";
+    return ErrorCategory::Internal;
+}
+
+// --- Registry ------------------------------------------------------
+
+TEST(ObsRegistry, CounterRoundTrip)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("core.commit.insts");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(reg.size(), 1u);
+
+    const obs::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 1u);
+    EXPECT_EQ(snap.entries[0].name, "core.commit.insts");
+    EXPECT_EQ(snap.entries[0].kind, obs::InstrumentKind::Counter);
+    EXPECT_EQ(snap.entries[0].counterValue, 42u);
+}
+
+TEST(ObsRegistry, ReopenSameKindReturnsSameInstrument)
+{
+    obs::Registry reg;
+    obs::Counter &a = reg.counter("sweep.points.ok");
+    obs::Counter &b = reg.counter("sweep.points.ok");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+
+    obs::Histogram &h1 = reg.histogram("core.occ", {1.0, 2.0});
+    obs::Histogram &h2 = reg.histogram("core.occ", {1.0, 2.0});
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, KindCollisionThrowsInvalidArgument)
+{
+    obs::Registry reg;
+    reg.counter("core.cycles");
+    EXPECT_EQ(categoryOf([&] { reg.gauge("core.cycles"); }),
+              ErrorCategory::InvalidArgument);
+    EXPECT_EQ(
+        categoryOf([&] { reg.histogram("core.cycles", {1.0}); }),
+        ErrorCategory::InvalidArgument);
+    // A histogram reopened with different bounds is also a collision:
+    // same name, different meaning.
+    reg.histogram("core.occ", {1.0, 2.0});
+    EXPECT_EQ(
+        categoryOf([&] { reg.histogram("core.occ", {1.0, 4.0}); }),
+        ErrorCategory::InvalidArgument);
+    // The registry is still usable after rejected registrations.
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ObsRegistry, RejectsInvalidNames)
+{
+    obs::Registry reg;
+    for (const char *bad :
+         {"", ".", "a..b", ".a", "a.", "A.b", "a b", "core.IPC",
+          "core/ipc"}) {
+        EXPECT_FALSE(obs::Registry::validName(bad)) << bad;
+        EXPECT_EQ(categoryOf([&] { reg.counter(bad); }),
+                  ErrorCategory::InvalidArgument)
+            << bad;
+    }
+    for (const char *good :
+         {"a", "core.commit.ipc", "sweep.points.ok", "l2.inst-misses",
+          "stall.ruu_full", "x0.y1"}) {
+        EXPECT_TRUE(obs::Registry::validName(good)) << good;
+    }
+}
+
+TEST(ObsRegistry, SnapshotIsNameSorted)
+{
+    obs::Registry reg;
+    reg.counter("zeta");
+    reg.gauge("alpha");
+    reg.counter("mid.point");
+    const obs::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 3u);
+    EXPECT_EQ(snap.entries[0].name, "alpha");
+    EXPECT_EQ(snap.entries[1].name, "mid.point");
+    EXPECT_EQ(snap.entries[2].name, "zeta");
+}
+
+TEST(ObsRegistry, ComputedGaugeEvaluatedAtSnapshot)
+{
+    obs::Registry reg;
+    double live = 1.0;
+    reg.gaugeFn("sweep.eta-seconds", [&] { return live; });
+    live = 7.5;
+    const obs::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 1u);
+    EXPECT_EQ(snap.entries[0].gaugeValue, 7.5);
+    // A computed gauge cannot be re-opened as a plain one.
+    EXPECT_EQ(categoryOf([&] { reg.gauge("sweep.eta-seconds"); }),
+              ErrorCategory::InvalidArgument);
+}
+
+// --- Histogram -----------------------------------------------------
+
+TEST(ObsHistogram, BucketEdgesAreClosedAbove)
+{
+    obs::Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.0);    // bucket 0
+    h.observe(1.0);    // bucket 0: bound is a closed upper edge
+    h.observe(1.5);    // bucket 1
+    h.observe(2.0);    // bucket 1
+    h.observe(4.0);    // bucket 2
+    h.observe(4.001);  // overflow
+    h.observe(100.0);  // overflow
+
+    ASSERT_EQ(h.bucketCounts().size(), 4u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+    EXPECT_EQ(h.bucketCounts()[1], 2u);
+    EXPECT_EQ(h.bucketCounts()[2], 1u);
+    EXPECT_EQ(h.bucketCounts()[3], 2u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001 +
+                                  100.0);
+}
+
+TEST(ObsHistogram, RejectsDegenerateBounds)
+{
+    EXPECT_EQ(categoryOf([] { obs::Histogram h({}); }),
+              ErrorCategory::InvalidArgument);
+    EXPECT_EQ(categoryOf([] { obs::Histogram h({1.0, 1.0}); }),
+              ErrorCategory::InvalidArgument);
+    EXPECT_EQ(categoryOf([] { obs::Histogram h({2.0, 1.0}); }),
+              ErrorCategory::InvalidArgument);
+}
+
+TEST(ObsHistogram, AddToBucketAndMerge)
+{
+    obs::Histogram a({10.0, 20.0});
+    a.addToBucket(0, 5, 25.0);
+    a.addToBucket(2, 1, 30.0);
+
+    obs::Histogram b({10.0, 20.0});
+    b.observe(15.0);
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), 7u);
+    EXPECT_DOUBLE_EQ(a.sum(), 70.0);
+    EXPECT_EQ(a.bucketCounts()[0], 5u);
+    EXPECT_EQ(a.bucketCounts()[1], 1u);
+    EXPECT_EQ(a.bucketCounts()[2], 1u);
+
+    obs::Histogram c({1.0});
+    EXPECT_EQ(categoryOf([&] { a.merge(c); }),
+              ErrorCategory::InvalidArgument);
+}
+
+TEST(ObsHistogram, OccupancyBoundsCoverCapacity)
+{
+    const std::vector<double> b64 = obs::occupancyBounds(64, 8);
+    ASSERT_EQ(b64.size(), 8u);
+    for (size_t i = 1; i < b64.size(); ++i)
+        EXPECT_LT(b64[i - 1], b64[i]);
+    EXPECT_EQ(b64.back(), 64.0);
+
+    // Structures smaller than the bucket budget get one bucket per
+    // occupancy value.
+    const std::vector<double> b3 = obs::occupancyBounds(3, 8);
+    ASSERT_EQ(b3.size(), 3u);
+    EXPECT_EQ(b3.back(), 3.0);
+}
+
+// --- Exporters -----------------------------------------------------
+
+obs::RunManifest
+testManifest()
+{
+    obs::RunManifest m = obs::makeManifest("test");
+    m.workload = "zip";
+    m.configHash = 0xdeadbeefull;
+    m.seed = 7;
+    return m;
+}
+
+TEST(ObsExport, StatsJsonFormatAndDeterminism)
+{
+    obs::Registry reg;
+    reg.counter("core.cycles").set(123);
+    reg.gauge("core.commit.ipc").set(1.5);
+    reg.histogram("core.occ", {1.0, 2.0}).observe(1.5);
+
+    const std::string a = obs::renderStatsJson(reg.snapshot(),
+                                               testManifest());
+    const std::string b = obs::renderStatsJson(reg.snapshot(),
+                                               testManifest());
+    EXPECT_EQ(a, b);   // rendering is pure
+
+    EXPECT_NE(a.find("\"format\":\"ssim-stats\""), std::string::npos);
+    EXPECT_NE(a.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(a.find("\"command\":\"test\""), std::string::npos);
+    EXPECT_NE(a.find("\"workload\":\"zip\""), std::string::npos);
+    EXPECT_NE(a.find("\"seed\":7"), std::string::npos);
+    EXPECT_NE(a.find("\"core.cycles\":123"), std::string::npos);
+    EXPECT_NE(a.find("\"core.commit.ipc\":1.5"), std::string::npos);
+    EXPECT_NE(a.find("\"bounds\":[1,2]"), std::string::npos);
+    EXPECT_NE(a.find("\"counts\":[0,1,0]"), std::string::npos);
+    // No profile checksum was declared, so the key must be absent.
+    EXPECT_EQ(a.find("profile_checksum"), std::string::npos);
+}
+
+TEST(ObsExport, TraceEventsRenderWithTracksAndMarkers)
+{
+    obs::TraceLog log;
+    log.processName(0, "ssim sweep");
+    log.threadName(1, "worker 0");
+    log.complete("pointA", "point", 10.0, 5.0, 1,
+                 {obs::TraceArg::u64("attempt", 1),
+                  obs::TraceArg::str("status", "ok")});
+    log.instant("timeout pointB", "watchdog", 20.0, 1);
+    log.counter("core.ipc", 30.0, 0,
+                {obs::TraceArg::num("ipc", 1.25)});
+    EXPECT_EQ(log.size(), 5u);
+
+    const std::string doc = log.render(testManifest());
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ssim-trace\""), std::string::npos);
+    // Metadata events carry no timestamp; instants are thread-scoped.
+    EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":5"), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(doc.find("\"status\":\"ok\""), std::string::npos);
+}
+
+// --- FetchTelemetry (the shared frontend stall gate) ---------------
+
+TEST(ObsFetchTelemetry, ChargesStallCyclesToTheRightCause)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    cpu::FetchTelemetry ft(cfg);
+    cpu::SimStats stats;
+
+    EXPECT_FALSE(ft.stalled(0, stats));
+
+    ft.icacheStall(0, 3);
+    EXPECT_TRUE(ft.stalled(0, stats));
+    EXPECT_TRUE(ft.stalled(1, stats));
+    EXPECT_TRUE(ft.stalled(2, stats));
+    EXPECT_FALSE(ft.stalled(3, stats));
+    EXPECT_EQ(stats.stallCycles[static_cast<size_t>(
+                  cpu::StallCause::IcacheMiss)],
+              3u);
+
+    ft.mispredictRecovery(10);
+    for (uint64_t c = 10; c < 10 + cfg.mispredictPenalty; ++c)
+        EXPECT_TRUE(ft.stalled(c, stats));
+    EXPECT_FALSE(ft.stalled(10 + cfg.mispredictPenalty, stats));
+    EXPECT_EQ(stats.stallCycles[static_cast<size_t>(
+                  cpu::StallCause::MispredictRecovery)],
+              cfg.mispredictPenalty);
+
+    // A redirect never shortens an existing stall window (the
+    // original frontends used max()), but it does take over the
+    // cause attribution.
+    ft.icacheStall(100, 50);
+    ft.redirect(100);
+    EXPECT_TRUE(ft.stalled(100 + cfg.redirectPenalty, stats));
+    EXPECT_FALSE(ft.stalled(150, stats));
+    EXPECT_GT(stats.stallCycles[static_cast<size_t>(
+                  cpu::StallCause::FetchRedirect)],
+              0u);
+}
+
+TEST(ObsFetchTelemetry, BudgetIsCappedByFetchBurst)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const cpu::FetchTelemetry ft(cfg);
+    const uint32_t burst = cfg.decodeWidth * cfg.fetchSpeed;
+    EXPECT_EQ(ft.budget(burst + 10), burst);
+    EXPECT_EQ(ft.budget(1), 1u);
+}
+
+// --- End to end: telemetry observes, never perturbs ----------------
+
+TEST(ObsIntegration, AttachedTelemetryDoesNotChangeResults)
+{
+    const isa::Program prog = workloads::build("zip", 1);
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    core::ProfileOptions popts;
+    popts.maxInsts = 20000;
+    const core::StatisticalProfile profile =
+        core::buildProfile(prog, cfg, popts);
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 10;
+    const core::SyntheticTrace trace =
+        core::generateSyntheticTrace(profile, gopts);
+
+    const core::SimResult plain =
+        core::simulateSyntheticTrace(trace, cfg);
+
+    obs::Registry reg;
+    obs::TraceLog traceLog;
+    core::ObsSink sink;
+    sink.registry = &reg;
+    sink.trace = &traceLog;
+    sink.windowCycles = 1000;
+    const core::SimResult observed =
+        core::simulateSyntheticTrace(trace, cfg, &sink);
+
+    // Identical timing: the sink only observes the run.
+    EXPECT_EQ(observed.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(observed.stats.committed, plain.stats.committed);
+    EXPECT_DOUBLE_EQ(observed.ipc, plain.ipc);
+    EXPECT_DOUBLE_EQ(observed.epc, plain.epc);
+
+    // The published registry re-derives the same SimStats the report
+    // path prints.
+    uint64_t cycles = 0, insts = 0, stalls = 0, occCycles = 0;
+    double ipc = -1.0;
+    for (const obs::SnapshotEntry &e : reg.snapshot().entries) {
+        if (e.name == "core.cycles")
+            cycles = e.counterValue;
+        else if (e.name == "core.commit.insts")
+            insts = e.counterValue;
+        else if (e.name == "core.commit.ipc")
+            ipc = e.gaugeValue;
+        else if (e.name.rfind("core.stall.", 0) == 0)
+            stalls += e.counterValue;
+        else if (e.name == "core.ruu.occupancy")
+            occCycles = e.histCount;
+    }
+    EXPECT_EQ(cycles, plain.stats.cycles);
+    EXPECT_EQ(insts, plain.stats.committed);
+    EXPECT_DOUBLE_EQ(ipc, plain.ipc);
+    // Every simulated cycle was occupancy-sampled exactly once.
+    EXPECT_EQ(occCycles, plain.stats.cycles);
+    // Stall cycles are a subset of all cycles.
+    EXPECT_LE(stalls, 3 * cycles);
+    EXPECT_GT(stalls, 0u);
+
+    // The trace sink saw the windowed IPC counter track.
+    EXPECT_GT(traceLog.size(), 1u);
+}
+
+} // namespace

@@ -27,6 +27,14 @@
  *   --reduction R --seed S
  * Workload options:
  *   --workload-scale N
+ * Observability options (simulate/eds/sweep):
+ *   --stats-json FILE   machine-readable stats export (on sweep: a
+ *                       live heartbeat, atomically rewritten as
+ *                       points settle)
+ *   --trace FILE        Chrome trace_event timeline (chrome://tracing
+ *                       or https://ui.perfetto.dev)
+ *   --quiet             suppress warn/info chatter (only errors);
+ *                       equivalent to SSIM_LOG_LEVEL=error
  */
 
 #include <cerrno>
@@ -34,6 +42,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,7 +52,12 @@
 #include "core/statsim.hh"
 #include "experiments/harness.hh"
 #include "experiments/sweep.hh"
+#include "obs/export_json.hh"
+#include "obs/export_trace.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -78,6 +92,11 @@ struct Options
     bool resume = false;
     double pointTimeout = 0.0;
     unsigned retries = 1;
+
+    // Observability.
+    std::string statsJson;   ///< --stats-json FILE
+    std::string tracePath;   ///< --trace FILE
+    bool quiet = false;      ///< --quiet
 };
 
 /**
@@ -108,6 +127,9 @@ usage()
         "  lsq, width, ifq, scale-bpred, scale-cache), --jobs N\n"
         "  (0 = all cores), --journal FILE, --resume,\n"
         "  --point-timeout SEC, --retries N\n"
+        "observability options: --stats-json FILE (sweep: live\n"
+        "  heartbeat), --trace FILE (Perfetto/chrome://tracing),\n"
+        "  --quiet (errors only; also SSIM_LOG_LEVEL=error|warn|info)\n"
         "exit codes: 0 ok, 2 usage/argument error, 3 invalid\n"
         "  configuration, 4 profile parse error, 5 corrupted\n"
         "  profile, 6 profile version mismatch, 7 I/O error,\n"
@@ -298,11 +320,87 @@ parse(int argc, char **argv)
         } else if (arg == "--retries") {
             opts.retries = static_cast<unsigned>(
                 uintArg(argc, argv, i));
+        } else if (arg == "--stats-json") {
+            opts.statsJson = valueOf(argc, argv, i);
+        } else if (arg == "--trace") {
+            opts.tracePath = valueOf(argc, argv, i);
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
         } else {
             argError("unknown option '" + arg + "'");
         }
     }
     return opts;
+}
+
+/**
+ * Observability plumbing for one run command: the registry and trace
+ * buffer, the ObsSink view the simulation publishes through, and the
+ * manifest stamped into whatever gets written. Only the outputs the
+ * user asked for are enabled, so a plain run pays nothing.
+ */
+struct ObsOutputs
+{
+    obs::Registry registry;
+    obs::TraceLog trace;
+    core::ObsSink sink;
+    obs::RunManifest manifest;
+    bool enabled = false;
+
+    ObsOutputs(const Options &opts, uint64_t profileChecksum,
+               bool hasProfileChecksum)
+    {
+        manifest = obs::makeManifest(opts.command);
+        manifest.workload = opts.target;
+        manifest.configHash = experiments::configHash(opts.cfg);
+        manifest.seed = opts.generation.seed;
+        manifest.profileChecksum = profileChecksum;
+        manifest.hasProfileChecksum = hasProfileChecksum;
+        if (!opts.statsJson.empty())
+            sink.registry = &registry;
+        if (!opts.tracePath.empty())
+            sink.trace = &trace;
+        enabled = sink.registry || sink.trace;
+    }
+
+    /** The sink pointer to pass into the simulation (null = off). */
+    const core::ObsSink *sinkPtr() const
+    {
+        return enabled ? &sink : nullptr;
+    }
+
+    /** Write the requested export files; throws on I/O failure. */
+    void writeFiles(const Options &opts) const
+    {
+        if (!opts.statsJson.empty()) {
+            const Expected<void> r = obs::writeStatsJson(
+                opts.statsJson, registry.snapshot(), manifest);
+            if (!r)
+                throw r.error();
+        }
+        if (!opts.tracePath.empty()) {
+            const Expected<void> r =
+                trace.write(opts.tracePath, manifest);
+            if (!r)
+                throw r.error();
+        }
+    }
+};
+
+/**
+ * The payload checksum declared in a profile file's header — the
+ * provenance value for the manifest. Called only after
+ * loadProfileFile() has validated the file, so the header is known to
+ * be well-formed ("ssim-profile <ver> <fnv1a64-hex> <bytes>").
+ */
+uint64_t
+onDiskProfileChecksum(const std::string &path)
+{
+    std::ifstream is(path);
+    std::string magic, version, sum;
+    if (!(is >> magic >> version >> sum))
+        return 0;
+    return std::strtoull(sum.c_str(), nullptr, 16);
 }
 
 void
@@ -364,12 +462,14 @@ cmdSimulate(const Options &opts)
     std::cout << "synthetic trace: " << trace.size()
               << " instructions (R="
               << opts.generation.reductionFactor << ")\n";
+    ObsOutputs out(opts, onDiskProfileChecksum(opts.target), true);
     const core::SimResult res =
-        core::simulateSyntheticTrace(trace, opts.cfg);
+        core::simulateSyntheticTrace(trace, opts.cfg, out.sinkPtr());
     if (opts.report)
         core::printFullReport(std::cout, "statistical", res, opts.cfg);
     else
         printResult("statistical", res);
+    out.writeFiles(opts);
     return 0;
 }
 
@@ -378,13 +478,15 @@ cmdEds(const Options &opts)
 {
     const isa::Program prog =
         workloads::build(opts.target, opts.workloadScale);
+    ObsOutputs out(opts, 0, false);
     const core::SimResult res =
-        core::runExecutionDriven(prog, opts.cfg);
+        core::runExecutionDriven(prog, opts.cfg, {}, out.sinkPtr());
     if (opts.report)
         core::printFullReport(std::cout, "execution-driven", res,
                               opts.cfg);
     else
         printResult("execution-driven", res);
+    out.writeFiles(opts);
     return 0;
 }
 
@@ -445,6 +547,19 @@ cmdSweep(const Options &opts)
     sopts.journalPath = opts.journal;
     sopts.resume = opts.resume;
     sopts.handleSignals = true;
+
+    // Observability: --trace records per-worker point timelines;
+    // --stats-json is the live heartbeat the engine rewrites as
+    // points settle (its final rewrite is the end-of-sweep state).
+    obs::RunManifest manifest = obs::makeManifest("sweep");
+    manifest.workload = opts.target;
+    manifest.configHash = exp::configHash(opts.cfg);
+    manifest.seed = opts.generation.seed;
+    obs::TraceLog traceLog;
+    if (!opts.tracePath.empty())
+        sopts.trace = &traceLog;
+    sopts.heartbeatPath = opts.statsJson;
+    sopts.manifest = &manifest;
     sopts.validate();
     activeJournalPath = opts.journal;
 
@@ -510,6 +625,15 @@ cmdSweep(const Options &opts)
     }
     table.print(std::cout);
 
+    if (!opts.tracePath.empty()) {
+        const Expected<void> w =
+            traceLog.write(opts.tracePath, manifest);
+        if (!w)
+            throw w.error();
+        std::cout << "trace: " << opts.tracePath << " ("
+                  << traceLog.size() << " events)\n";
+    }
+
     std::cout << "sweep: " << summary.okCount << " ok, "
               << summary.errorCount << " error, "
               << summary.timeoutCount << " timeout, "
@@ -557,6 +681,8 @@ main(int argc, char **argv)
     // they become exit codes (one per category; see usage()).
     try {
         const Options opts = parse(argc, argv);
+        if (opts.quiet)
+            setLogLevel(LogLevel::Error);
         if (opts.command == "list")
             return cmdList();
         if (opts.command == "profile")
