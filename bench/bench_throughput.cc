@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/statsim.hh"
+#include "core/sts_frontend.hh"
 #include "cpu/eds_frontend.hh"
 #include "cpu/pipeline/ooo_core.hh"
 #include "isa/emulator.hh"
@@ -134,24 +135,103 @@ BM_SyntheticTraceSimulationInstrumented(benchmark::State &state)
 BENCHMARK(BM_SyntheticTraceSimulationInstrumented)
     ->Unit(benchmark::kMillisecond);
 
-void
-BM_SyntheticTraceGeneration(benchmark::State &state)
+const core::StatisticalProfile &
+sharedProfile()
 {
     static const core::StatisticalProfile profile = [] {
         core::ProfileOptions popts;
         popts.maxInsts = 400000;
         return core::buildProfile(prog(), cfg(), popts);
     }();
+    return profile;
+}
+
+void
+BM_SyntheticTraceGeneration(benchmark::State &state)
+{
     core::GenerationOptions gopts;
     gopts.reductionFactor = 4;
     uint64_t seed = 0;
+    uint64_t insts = 0;
     for (auto _ : state) {
         gopts.seed = ++seed;
-        benchmark::DoNotOptimize(
-            core::generateSyntheticTrace(profile, gopts));
+        const core::SyntheticTrace t =
+            core::generateSyntheticTrace(sharedProfile(), gopts);
+        benchmark::DoNotOptimize(t.size());
+        insts += t.size();
     }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
 }
 BENCHMARK(BM_SyntheticTraceGeneration)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Generation only, streamed: drain the walk through the bounded ring
+ * without ever materializing the trace. The gap to
+ * BM_SyntheticTraceGeneration is the cost of the vector.
+ */
+void
+BM_SyntheticStreamGenerationOnly(benchmark::State &state)
+{
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 4;
+    uint64_t seed = 0;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        gopts.seed = ++seed;
+        core::StreamingGenerator gen(sharedProfile(), gopts);
+        uint64_t pos = 0;
+        while (const core::SynthInst *si = gen.at(pos)) {
+            benchmark::DoNotOptimize(si->blockId);
+            ++pos;
+        }
+        insts += pos;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_SyntheticStreamGenerationOnly)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The end-to-end pair behind the streaming claim: generate + simulate
+ * with a materialized intermediate trace vs generation feeding the
+ * core directly. Compare items_per_second.
+ */
+void
+BM_SyntheticEndToEndMaterialized(benchmark::State &state)
+{
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 4;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        const core::SyntheticTrace t =
+            core::generateSyntheticTrace(sharedProfile(), gopts);
+        benchmark::DoNotOptimize(
+            core::simulateSyntheticTrace(t, cfg()));
+        insts += t.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_SyntheticEndToEndMaterialized)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SyntheticEndToEndStreamed(benchmark::State &state)
+{
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 4;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        core::StreamingGenerator gen(
+            sharedProfile(), gopts,
+            core::requiredStreamLookback(cfg()));
+        benchmark::DoNotOptimize(
+            core::simulateSyntheticStream(gen, cfg()));
+        insts += gen.generated();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_SyntheticEndToEndStreamed)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

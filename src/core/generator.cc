@@ -1,6 +1,8 @@
 #include "generator.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_map>
 #include <vector>
 
 #include "util/error.hh"
@@ -12,278 +14,21 @@ namespace ssim::core
 namespace
 {
 
-/** One node of the reduced statistical flow graph. */
-struct ReducedNode
+uint64_t
+ceilPow2(uint64_t v)
 {
-    uint32_t blockId = 0;            ///< current block (gram tail)
-    int64_t occurrences = 0;         ///< reduced, decremented on visit
-    const QBlockStats *entryStats = nullptr;
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
 
-    struct ReducedEdge
-    {
-        uint32_t destNode = 0;
-        uint64_t count = 0;
-        const QBlockStats *stats = nullptr;
-    };
-    std::vector<ReducedEdge> edges;
-    WeightedPicker edgePicker;
-};
-
-/** The generation walk state and emission helpers. */
-class Generator
+const std::string &
+emptyString()
 {
-  public:
-    Generator(const StatisticalProfile &profile,
-              const GenerationOptions &opts)
-        : profile_(&profile), opts_(opts), rng_(opts.seed)
-    {
-        buildReducedGraph();
-        // The expected synthetic trace length: a 1/R fraction of the
-        // profiled stream.
-        target_ = std::max<uint64_t>(
-            1, profile.instructions / std::max<uint64_t>(
-                   1, opts.reductionFactor));
-    }
-
-    SyntheticTrace
-    run()
-    {
-        SyntheticTrace trace;
-        trace.benchmark = profile_->benchmark;
-        trace.reductionFactor = opts_.reductionFactor;
-        trace.seed = opts_.seed;
-
-        if (nodes_.empty())
-            return trace;
-
-        while (trace.insts.size() < target_) {
-            // Step 1: pick a start node by occurrence; terminate when
-            // all occurrences are exhausted.
-            const int64_t start = pickStartNode();
-            if (start < 0)
-                break;
-            walk(static_cast<size_t>(start), trace);
-        }
-        return trace;
-    }
-
-  private:
-    void
-    buildReducedGraph()
-    {
-        const uint64_t r = std::max<uint64_t>(1, opts_.reductionFactor);
-
-        // Canonical (sorted) node order: generation must be a pure
-        // function of the profile's content, independent of hash-map
-        // iteration order (so a saved/reloaded profile reproduces the
-        // same trace for the same seed).
-        std::vector<const Gram *> grams;
-        grams.reserve(profile_->nodes.size());
-        for (const auto &[gram, node] : profile_->nodes) {
-            if (node.occurrences / r > 0)
-                grams.push_back(&gram);
-        }
-        std::sort(grams.begin(), grams.end(),
-                  [](const Gram *a, const Gram *b) { return *a < *b; });
-
-        std::unordered_map<Gram, uint32_t, GramHash> index;
-        for (const Gram *gram : grams) {
-            const auto &node = profile_->nodes.at(*gram);
-            const uint32_t idx = static_cast<uint32_t>(nodes_.size());
-            index.emplace(*gram, idx);
-            ReducedNode rn;
-            rn.blockId = StatisticalProfile::blockOf(*gram);
-            rn.occurrences =
-                static_cast<int64_t>(node.occurrences / r);
-            rn.entryStats = &node.entryStats;
-            nodes_.push_back(std::move(rn));
-        }
-
-        // Surviving edges (both endpoints alive), in ascending
-        // next-block order for the same reason.
-        for (const Gram *gram : grams) {
-            const auto &node = profile_->nodes.at(*gram);
-            ReducedNode &rn = nodes_[index.at(*gram)];
-            std::vector<uint32_t> nextBlocks;
-            nextBlocks.reserve(node.edges.size());
-            for (const auto &[nextBlock, edge] : node.edges)
-                nextBlocks.push_back(nextBlock);
-            std::sort(nextBlocks.begin(), nextBlocks.end());
-            for (uint32_t nextBlock : nextBlocks) {
-                if (profile_->order == 0)
-                    continue;  // k = 0: no edges by definition
-                const auto &edge = node.edges.at(nextBlock);
-                Gram destGram = *gram;
-                destGram.erase(destGram.begin());
-                destGram.push_back(nextBlock);
-                const auto dit = index.find(destGram);
-                if (dit == index.end())
-                    continue;
-                rn.edges.push_back({dit->second, edge.count,
-                                    &edge.stats});
-            }
-            std::vector<uint64_t> weights;
-            weights.reserve(rn.edges.size());
-            for (const auto &e : rn.edges)
-                weights.push_back(e.count);
-            rn.edgePicker.build(weights);
-        }
-    }
-
-    /** Pick a node weighted by remaining occurrences; -1 when dry. */
-    int64_t
-    pickStartNode()
-    {
-        std::vector<uint64_t> weights(nodes_.size());
-        for (size_t i = 0; i < nodes_.size(); ++i) {
-            weights[i] = nodes_[i].occurrences > 0
-                ? static_cast<uint64_t>(nodes_[i].occurrences) : 0;
-        }
-        WeightedPicker picker;
-        picker.build(weights);
-        if (picker.totalWeight() == 0)
-            return -1;
-        return static_cast<int64_t>(picker.pick(rng_));
-    }
-
-    /** Walk from @p start until a dead end or the length target. */
-    void
-    walk(size_t start, SyntheticTrace &trace)
-    {
-        size_t cur = start;
-        // Step 2: decrement and emit via the node's entry statistics
-        // (the restart has no incoming edge to condition on).
-        --nodes_[cur].occurrences;
-        emitBlock(nodes_[cur].blockId, *nodes_[cur].entryStats, trace);
-
-        while (trace.insts.size() < target_) {
-            ReducedNode &node = nodes_[cur];
-            // Step 9: dead end -> restart at step 1.
-            if (node.edges.empty())
-                return;
-            const size_t pick = node.edgePicker.pick(rng_);
-            const ReducedNode::ReducedEdge &edge = node.edges[pick];
-            if (nodes_[edge.destNode].occurrences <= 0) {
-                // Destination is exhausted; restart keeps the total
-                // emission bounded by the reduced occurrence budget.
-                return;
-            }
-            cur = edge.destNode;
-            --nodes_[cur].occurrences;
-            emitBlock(nodes_[cur].blockId, *edge.stats, trace);
-        }
-    }
-
-    /** Steps 3-8: emit one basic block instance. */
-    void
-    emitBlock(uint32_t blockId, const QBlockStats &stats,
-              SyntheticTrace &trace)
-    {
-        const BlockShape &shape = profile_->shapes[blockId];
-        const uint64_t occ = std::max<uint64_t>(1, stats.occurrences);
-
-        for (size_t i = 0; i < shape.size(); ++i) {
-            const SlotShape &slot = shape[i];
-            SynthInst si;
-            si.cls = slot.cls;
-            si.numSrcs = slot.numSrcs;
-            si.hasDest = slot.hasDest;
-            si.isLoad = slot.isLoad;
-            si.isStore = slot.isStore;
-            si.isCtrl = slot.isCtrl;
-            si.blockId = blockId;
-
-            const SlotStats *ss =
-                i < stats.slots.size() ? &stats.slots[i] : nullptr;
-
-            // Step 4: dependency distances.
-            if (ss) {
-                for (int p = 0; p < slot.numSrcs; ++p)
-                    si.depDist[p] =
-                        sampleDependency(ss->depDist[p], trace);
-            }
-
-            // Steps 5 and 7: cache and TLB hit/miss flags.
-            if (ss) {
-                const double pAccess =
-                    static_cast<double>(ss->il1Access) / occ;
-                si.il1Access = rng_.chance(pAccess);
-                if (si.il1Access && ss->il1Access > 0) {
-                    const double pMiss =
-                        static_cast<double>(ss->il1Miss) / ss->il1Access;
-                    si.il1Miss = rng_.chance(pMiss);
-                    if (si.il1Miss && ss->il1Miss > 0) {
-                        si.il2Miss = rng_.chance(
-                            static_cast<double>(ss->il2Miss) /
-                            ss->il1Miss);
-                    }
-                    si.itlbMiss = rng_.chance(
-                        static_cast<double>(ss->itlbMiss) /
-                        ss->il1Access);
-                }
-                if (slot.isLoad) {
-                    si.dl1Miss = rng_.chance(
-                        static_cast<double>(ss->dl1Miss) / occ);
-                    if (si.dl1Miss && ss->dl1Miss > 0) {
-                        si.dl2Miss = rng_.chance(
-                            static_cast<double>(ss->dl2Miss) /
-                            ss->dl1Miss);
-                    }
-                    si.dtlbMiss = rng_.chance(
-                        static_cast<double>(ss->dtlbMiss) / occ);
-                }
-            }
-
-            // Step 6: the terminating branch's characteristics.
-            if (slot.isCtrl && ss && stats.branch.count > 0) {
-                const BranchStats &b = stats.branch;
-                const double total = static_cast<double>(b.count);
-                si.taken = rng_.chance(b.taken / total);
-                const double u = rng_.uniform();
-                const double pMis = b.mispredict / total;
-                const double pRedir = b.redirect / total;
-                if (u < pMis)
-                    si.outcome = cpu::BranchOutcome::Mispredict;
-                else if (u < pMis + pRedir)
-                    si.outcome = cpu::BranchOutcome::FetchRedirect;
-                else
-                    si.outcome = cpu::BranchOutcome::Correct;
-            }
-
-            trace.insts.push_back(si);  // step 8
-        }
-    }
-
-    /**
-     * Step 4: sample a dependency distance, retrying when the chosen
-     * producer cannot produce a register value (branch/store).
-     */
-    uint16_t
-    sampleDependency(const DiscreteDistribution &dist,
-                     const SyntheticTrace &trace)
-    {
-        if (dist.empty())
-            return 0;
-        const size_t pos = trace.insts.size();
-        for (uint32_t attempt = 0;
-             attempt < opts_.maxDependencyRetries; ++attempt) {
-            const uint32_t d = dist.sample(rng_);
-            if (d == 0)
-                return 0;  // explicitly "no dependency"
-            if (d > pos)
-                continue;  // would reach before the trace start
-            if (trace.insts[pos - d].hasDest)
-                return static_cast<uint16_t>(d);
-        }
-        return 0;  // squash the dependency (paper: after 1000 tries)
-    }
-
-    const StatisticalProfile *profile_;
-    GenerationOptions opts_;
-    Rng rng_;
-    std::vector<ReducedNode> nodes_;
-    uint64_t target_ = 0;
-};
+    static const std::string s;
+    return s;
+}
 
 } // namespace
 
@@ -304,13 +49,383 @@ GenerationOptions::validate() const
     }
 }
 
+StreamingGenerator::StreamingGenerator(
+    const StatisticalProfile &profile, const GenerationOptions &opts,
+    uint64_t minLookback)
+    : profile_(&profile), opts_(opts), rng_(opts.seed)
+{
+    opts_.validate();
+    const auto t0 = std::chrono::steady_clock::now();
+    buildReducedGraph();
+    metrics_.buildSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    // The expected synthetic trace length: a 1/R fraction of the
+    // profiled stream.
+    target_ = std::max<uint64_t>(
+        1, profile.instructions / std::max<uint64_t>(
+               1, opts.reductionFactor));
+
+    // Ring invariants: the window behind the newest position must
+    // cover the generator's own dependency sampling lookback
+    // (MaxDependencyDistance) and the consumer's requested rewind,
+    // and one whole block emission may land past the requested
+    // position, so the largest block is extra headroom on top of
+    // either. Power-of-two capacity keeps position->slot a mask.
+    const uint64_t need = std::max<uint64_t>(
+        {minLookback + maxBlockLen_,
+         uint64_t{MaxDependencyDistance} + maxBlockLen_ + 1,
+         DefaultRingCapacity});
+    ring_.resize(ceilPow2(need));
+    ringMask_ = ring_.size() - 1;
+    lookback_ = ring_.size() - maxBlockLen_;
+}
+
+const std::string &
+StreamingGenerator::benchmark() const
+{
+    return profile_ ? profile_->benchmark : emptyString();
+}
+
+void
+StreamingGenerator::buildReducedGraph()
+{
+    const uint64_t r = std::max<uint64_t>(1, opts_.reductionFactor);
+
+    for (const BlockShape &shape : profile_->shapes)
+        maxBlockLen_ = std::max<uint64_t>(maxBlockLen_, shape.size());
+
+    // Canonical (sorted) node order: generation must be a pure
+    // function of the profile's content, independent of hash-map
+    // iteration order (so a saved/reloaded profile reproduces the
+    // same trace for the same seed).
+    std::vector<const Gram *> grams;
+    grams.reserve(profile_->nodes.size());
+    for (const auto &[gram, node] : profile_->nodes) {
+        if (node.occurrences / r > 0)
+            grams.push_back(&gram);
+    }
+    std::sort(grams.begin(), grams.end(),
+              [](const Gram *a, const Gram *b) { return *a < *b; });
+
+    std::unordered_map<Gram, uint32_t, GramHash> index;
+    std::vector<uint64_t> occurrences;
+    occurrences.reserve(grams.size());
+    for (const Gram *gram : grams) {
+        const auto &node = profile_->nodes.at(*gram);
+        const uint32_t idx = static_cast<uint32_t>(nodes_.size());
+        index.emplace(*gram, idx);
+        ReducedNode rn;
+        rn.blockId = StatisticalProfile::blockOf(*gram);
+        rn.entryPlan = makePlan(rn.blockId, node.entryStats);
+        occurrences.push_back(node.occurrences / r);
+        nodes_.push_back(std::move(rn));
+    }
+    occupancy_.build(occurrences);
+
+    // Surviving edges (both endpoints alive), in ascending
+    // next-block order for the same reason.
+    for (const Gram *gram : grams) {
+        const auto &node = profile_->nodes.at(*gram);
+        ReducedNode &rn = nodes_[index.at(*gram)];
+        std::vector<uint32_t> nextBlocks;
+        nextBlocks.reserve(node.edges.size());
+        for (const auto &[nextBlock, edge] : node.edges)
+            nextBlocks.push_back(nextBlock);
+        std::sort(nextBlocks.begin(), nextBlocks.end());
+        std::vector<uint64_t> weights;
+        for (uint32_t nextBlock : nextBlocks) {
+            if (profile_->order == 0)
+                continue;  // k = 0: no edges by definition
+            const auto &edge = node.edges.at(nextBlock);
+            Gram destGram = *gram;
+            destGram.erase(destGram.begin());
+            destGram.push_back(nextBlock);
+            const auto dit = index.find(destGram);
+            if (dit == index.end())
+                continue;
+            rn.edges.push_back(
+                {dit->second, makePlan(nodes_[dit->second].blockId,
+                                       edge.stats)});
+            weights.push_back(edge.count);
+        }
+        rn.edgeSampler.build(weights);
+        ++metrics_.aliasTables;
+    }
+}
+
+/**
+ * Freeze one qualified block's statistics into an emission plan: all
+ * probability ratios the paper's steps 3-8 need, computed once here
+ * instead of per emitted instruction, plus prepared (alias-backed)
+ * dependency-distance distributions.
+ */
+const StreamingGenerator::EmissionPlan *
+StreamingGenerator::makePlan(uint32_t blockId,
+                             const QBlockStats &stats)
+{
+    const BlockShape &shape = profile_->shapes[blockId];
+    const double occ = static_cast<double>(
+        std::max<uint64_t>(1, stats.occurrences));
+
+    EmissionPlan plan;
+    plan.slots.resize(shape.size());
+    for (size_t i = 0; i < shape.size(); ++i) {
+        const SlotShape &slot = shape[i];
+        SlotPlan &sp = plan.slots[i];
+        sp.proto.cls = slot.cls;
+        sp.proto.numSrcs = slot.numSrcs;
+        sp.proto.hasDest = slot.hasDest;
+        sp.proto.isLoad = slot.isLoad;
+        sp.proto.isStore = slot.isStore;
+        sp.proto.isCtrl = slot.isCtrl;
+        sp.proto.blockId = blockId;
+
+        if (i >= stats.slots.size())
+            continue;
+        const SlotStats &ss = stats.slots[i];
+        sp.hasStats = true;
+        for (int p = 0; p < 2; ++p) {
+            if (!ss.depDist[p].empty()) {
+                ss.depDist[p].prepare();
+                sp.dep[p] = &ss.depDist[p];
+                ++metrics_.aliasTables;
+            }
+        }
+        sp.pIl1Access = static_cast<double>(ss.il1Access) / occ;
+        if (ss.il1Access > 0) {
+            sp.pIl1Miss = static_cast<double>(ss.il1Miss) /
+                static_cast<double>(ss.il1Access);
+            sp.pItlbMiss = static_cast<double>(ss.itlbMiss) /
+                static_cast<double>(ss.il1Access);
+        }
+        if (ss.il1Miss > 0) {
+            sp.pIl2Miss = static_cast<double>(ss.il2Miss) /
+                static_cast<double>(ss.il1Miss);
+        }
+        if (slot.isLoad) {
+            sp.pDl1Miss = static_cast<double>(ss.dl1Miss) / occ;
+            if (ss.dl1Miss > 0) {
+                sp.pDl2Miss = static_cast<double>(ss.dl2Miss) /
+                    static_cast<double>(ss.dl1Miss);
+            }
+            sp.pDtlbMiss = static_cast<double>(ss.dtlbMiss) / occ;
+        }
+    }
+
+    if (stats.branch.count > 0) {
+        const BranchStats &b = stats.branch;
+        const double total = static_cast<double>(b.count);
+        plan.hasBranchStats = true;
+        plan.pTaken = static_cast<double>(b.taken) / total;
+        plan.pMispredict = static_cast<double>(b.mispredict) / total;
+        plan.pMisOrRedirect = plan.pMispredict +
+            static_cast<double>(b.redirect) / total;
+    }
+
+    plans_.push_back(std::move(plan));
+    return &plans_.back();
+}
+
+const SynthInst *
+StreamingGenerator::at(uint64_t pos)
+{
+    const uint64_t minValid =
+        emitted_ > ring_.size() ? emitted_ - ring_.size() : 0;
+    if (pos < minValid) {
+        throw Error(ErrorCategory::Internal,
+                    "StreamingGenerator: position " +
+                        std::to_string(pos) +
+                        " was evicted from the ring (oldest kept: " +
+                        std::to_string(minValid) +
+                        "); the consumer needs a larger lookback "
+                        "window");
+    }
+    while (!finished_ && pos >= emitted_)
+        stepBlock();
+    if (pos >= emitted_)
+        return nullptr;
+    return &ring_[pos & ringMask_];
+}
+
+/** Advance the walk by one emitted basic block (steps 1, 2 and 9). */
+void
+StreamingGenerator::stepBlock()
+{
+    if (emitted_ >= target_) {
+        finished_ = true;
+        return;
+    }
+    while (true) {
+        if (needRestart_) {
+            // Step 1: pick a start node by remaining occurrence;
+            // terminate when all occurrences are exhausted.
+            if (occupancy_.totalWeight() == 0) {
+                finished_ = true;
+                return;
+            }
+            curNode_ = occupancy_.pick(rng_);
+            ++metrics_.startPicks;
+            needRestart_ = false;
+            // Step 2: decrement and emit via the node's entry
+            // statistics (a restart has no incoming edge to
+            // condition on).
+            occupancy_.add(curNode_, -1);
+            emitBlock(*nodes_[curNode_].entryPlan);
+            return;
+        }
+        ReducedNode &node = nodes_[curNode_];
+        // Step 9: dead end -> restart at step 1.
+        if (node.edges.empty()) {
+            needRestart_ = true;
+            ++metrics_.walkRestarts;
+            continue;
+        }
+        const size_t pick = node.edgeSampler.sample(rng_);
+        const ReducedNode::ReducedEdge &edge = node.edges[pick];
+        if (occupancy_.weightOf(edge.destNode) == 0) {
+            // Destination is exhausted; restart keeps the total
+            // emission bounded by the reduced occurrence budget.
+            needRestart_ = true;
+            ++metrics_.walkRestarts;
+            continue;
+        }
+        curNode_ = edge.destNode;
+        occupancy_.add(curNode_, -1);
+        emitBlock(*edge.plan);
+        return;
+    }
+}
+
+/** Steps 3-8: emit one basic block instance into the ring. */
+void
+StreamingGenerator::emitBlock(const EmissionPlan &plan)
+{
+    ++metrics_.blocks;
+    for (const SlotPlan &sp : plan.slots) {
+        SynthInst si = sp.proto;
+
+        if (sp.hasStats) {
+            // Step 4: dependency distances.
+            for (int p = 0; p < si.numSrcs; ++p)
+                si.depDist[p] = sampleDependency(sp.dep[p]);
+
+            // Steps 5 and 7: cache and TLB hit/miss flags.
+            si.il1Access = rng_.chance(sp.pIl1Access);
+            if (si.il1Access) {
+                si.il1Miss = rng_.chance(sp.pIl1Miss);
+                if (si.il1Miss)
+                    si.il2Miss = rng_.chance(sp.pIl2Miss);
+                si.itlbMiss = rng_.chance(sp.pItlbMiss);
+            }
+            if (si.isLoad) {
+                si.dl1Miss = rng_.chance(sp.pDl1Miss);
+                if (si.dl1Miss)
+                    si.dl2Miss = rng_.chance(sp.pDl2Miss);
+                si.dtlbMiss = rng_.chance(sp.pDtlbMiss);
+            }
+        }
+
+        // Step 6: the terminating branch's characteristics.
+        if (si.isCtrl && sp.hasStats && plan.hasBranchStats) {
+            si.taken = rng_.chance(plan.pTaken);
+            const double u = rng_.uniform();
+            if (u < plan.pMispredict)
+                si.outcome = cpu::BranchOutcome::Mispredict;
+            else if (u < plan.pMisOrRedirect)
+                si.outcome = cpu::BranchOutcome::FetchRedirect;
+            else
+                si.outcome = cpu::BranchOutcome::Correct;
+        }
+
+        ring_[emitted_ & ringMask_] = si;   // step 8
+        ++emitted_;
+        ++metrics_.emitted;
+    }
+}
+
+/**
+ * Step 4: sample a dependency distance whose producer can actually
+ * deliver a register value (not a branch/store).
+ *
+ * Rejection sampling is the paper's formulation and is O(1) when most
+ * of the distribution's mass is valid — but some profiled
+ * distributions concentrate their mass on distances whose producers
+ * are stores or branches in the current dynamic context, and the
+ * naive loop then burns its full retry budget (1000 draws) before
+ * dropping the dependency. So: a short rejection burst for the
+ * common case, then an exact draw from the distribution *conditioned
+ * on validity* — one O(entries) scan, equivalent to letting the
+ * rejection loop run forever, which is precisely what the paper's
+ * large retry cap approximates. A dependency is squashed only when
+ * no valid producer exists at all.
+ */
+uint16_t
+StreamingGenerator::sampleDependency(const DiscreteDistribution *dist)
+{
+    if (!dist)
+        return 0;
+    const uint64_t pos = emitted_;
+    const auto valid = [&](uint32_t d) {
+        return d <= pos && ring_[(pos - d) & ringMask_].hasDest;
+    };
+
+    static constexpr uint32_t RejectionBurst = 16;
+    const uint32_t burst =
+        std::min<uint32_t>(RejectionBurst, opts_.maxDependencyRetries);
+    for (uint32_t attempt = 0; attempt < burst; ++attempt) {
+        const uint32_t d = dist->sample(rng_);
+        if (d == 0)
+            return 0;  // explicitly "no dependency"
+        if (valid(d))
+            return static_cast<uint16_t>(d);
+        ++metrics_.depRetries;
+    }
+
+    // Exact fallback: total weight of the currently valid entries
+    // (value 0 = "no dependency" is always valid), then one draw over
+    // that conditional mass.
+    const auto &entries = dist->entries();
+    uint64_t validTotal = 0;
+    for (const auto &[d, w] : entries)
+        if (d == 0 || valid(d))
+            validTotal += w;
+    if (validTotal == 0) {
+        ++metrics_.depSquashes;
+        return 0;  // no producer can supply this value
+    }
+    uint64_t remaining = rng_.below(validTotal);
+    for (const auto &[d, w] : entries) {
+        if (d != 0 && !valid(d))
+            continue;
+        if (remaining < w)
+            return static_cast<uint16_t>(d);
+        remaining -= w;
+    }
+    ++metrics_.depSquashes;  // unreachable; defensive
+    return 0;
+}
+
 SyntheticTrace
 generateSyntheticTrace(const StatisticalProfile &profile,
                        const GenerationOptions &opts)
 {
     opts.validate();
-    Generator gen(profile, opts);
-    return gen.run();
+    StreamingGenerator gen(profile, opts);
+    SyntheticTrace trace;
+    trace.benchmark = profile.benchmark;
+    trace.reductionFactor = opts.reductionFactor;
+    trace.seed = opts.seed;
+    // The walk emits whole blocks, so the final length may overshoot
+    // the target by at most one block.
+    trace.insts.reserve(gen.target() + 64);
+    for (uint64_t pos = 0;; ++pos) {
+        const SynthInst *si = gen.at(pos);
+        if (!si)
+            break;
+        trace.insts.push_back(*si);
+    }
+    return trace;
 }
 
 } // namespace ssim::core

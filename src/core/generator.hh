@@ -3,15 +3,36 @@
  * Synthetic trace generation (section 2.2): reduce the SFG by the
  * trace reduction factor R, then random-walk it with the paper's
  * nine-step algorithm, emitting annotated synthetic instructions.
+ *
+ * The walk is implemented by StreamingGenerator, an incremental
+ * position-addressed instruction source behind a bounded ring buffer:
+ * the synthetic-trace simulator consumes instructions as they are
+ * generated, so the generate+simulate hot path holds O(ring) memory —
+ * independent of the trace length — and generation overlaps
+ * simulation. generateSyntheticTrace() drains the same machine into a
+ * vector for callers that want the whole trace (tests, trace export),
+ * so the streamed and materialized paths emit bit-identical
+ * instruction streams for the same seed by construction.
+ *
+ * Hot-path costs (see DESIGN.md "generation hot path"):
+ *  - every probability ratio is precomputed once per reduced node /
+ *    edge at build time (EmissionPlan), not per emitted instruction;
+ *  - edge and dependency-distance draws are O(1) alias-table samples;
+ *  - walk restarts pick the start node through a Fenwick sampler in
+ *    O(log N) with O(log N) occurrence decrements, replacing the
+ *    O(N) picker rebuild per restart.
  */
 
 #ifndef SSIM_CORE_GENERATOR_HH
 #define SSIM_CORE_GENERATOR_HH
 
 #include <cstdint>
+#include <deque>
+#include <vector>
 
 #include "profile.hh"
 #include "synth_trace.hh"
+#include "util/distribution.hh"
 #include "util/random.hh"
 
 namespace ssim::core
@@ -45,7 +66,151 @@ struct GenerationOptions
     void validate() const;
 };
 
-/** Run the reduction + generation algorithm over @p profile. */
+/** Counters the generator accumulates; published via core::ObsSink. */
+struct GeneratorMetrics
+{
+    uint64_t emitted = 0;          ///< instructions produced so far
+    uint64_t blocks = 0;           ///< basic-block instances emitted
+    uint64_t startPicks = 0;       ///< step-1 start-node draws
+    uint64_t walkRestarts = 0;     ///< dead ends + exhausted targets
+    uint64_t depRetries = 0;       ///< step-4 resampling attempts
+    uint64_t depSquashes = 0;      ///< dependencies dropped after retry
+    uint64_t aliasTables = 0;      ///< alias tables frozen at build
+    double buildSeconds = 0.0;     ///< reduced-graph + table build time
+};
+
+/**
+ * The reduction + generation walk as an incremental instruction
+ * source (implements SynthInstSource).
+ *
+ * Instructions live in a bounded power-of-two ring; at(pos) generates
+ * forward on demand and keeps at least lookback() positions behind
+ * the newest requested position addressable, which covers both the
+ * generator's own dependency sampling window (MaxDependencyDistance)
+ * and the synthetic frontend's wrong-path replay rewind. Requesting a
+ * position older than the window throws ssim::Error (Internal) — it
+ * means the consumer was constructed with too small a ring, never a
+ * silently corrupted stream.
+ *
+ * Determinism contract: the emitted stream is a pure function of
+ * (profile content, options) — the same seed always reproduces the
+ * same trace within one build of the simulator. Stability of traces
+ * across simulator versions is NOT promised (sampler improvements may
+ * legally change the draw sequence).
+ */
+class StreamingGenerator final : public SynthInstSource
+{
+  public:
+    /** Default ring capacity (entries); always rounded to >= this. */
+    static constexpr uint64_t DefaultRingCapacity = 2048;
+
+    /**
+     * @param minLookback the revisit window the consumer needs; the
+     *        ring is sized to guarantee it (plus the largest block).
+     * @throws ssim::Error (InvalidConfig) via opts.validate().
+     */
+    StreamingGenerator(const StatisticalProfile &profile,
+                       const GenerationOptions &opts,
+                       uint64_t minLookback = DefaultRingCapacity);
+
+    /** Instruction at @p pos, generating as needed; nullptr at end. */
+    const SynthInst *at(uint64_t pos) override;
+
+    /** Guaranteed revisit window behind the newest position. */
+    uint64_t lookback() const override { return lookback_; }
+
+    /** Expected trace length (profile instructions / R). */
+    uint64_t target() const { return target_; }
+
+    /** Instructions generated so far. */
+    uint64_t generated() const { return emitted_; }
+
+    /** True once the stream end is known and reached. */
+    bool finished() const { return finished_; }
+
+    /** Profiled benchmark name (trace metadata). */
+    const std::string &benchmark() const;
+
+    /** Options the stream was built with (trace metadata). */
+    const GenerationOptions &options() const { return opts_; }
+
+    const GeneratorMetrics &metrics() const { return metrics_; }
+
+  private:
+    /** Precomputed per-slot emission constants (no hot-path divides). */
+    struct SlotPlan
+    {
+        SynthInst proto;         ///< static fields pre-filled
+        const DiscreteDistribution *dep[2] = {nullptr, nullptr};
+        double pIl1Access = 0.0;
+        double pIl1Miss = 0.0;   ///< conditioned on an L1 access
+        double pIl2Miss = 0.0;   ///< conditioned on an L1 miss
+        double pItlbMiss = 0.0;  ///< conditioned on an L1 access
+        double pDl1Miss = 0.0;
+        double pDl2Miss = 0.0;   ///< conditioned on an L1 miss
+        double pDtlbMiss = 0.0;
+        bool hasStats = false;   ///< profiled slot statistics exist
+    };
+
+    /** One qualified block's emission recipe (entry or edge stats). */
+    struct EmissionPlan
+    {
+        std::vector<SlotPlan> slots;
+        double pTaken = 0.0;
+        double pMispredict = 0.0;
+        double pMisOrRedirect = 0.0;
+        bool hasBranchStats = false;
+    };
+
+    /** One node of the reduced statistical flow graph. */
+    struct ReducedNode
+    {
+        uint32_t blockId = 0;
+        const EmissionPlan *entryPlan = nullptr;
+
+        struct ReducedEdge
+        {
+            uint32_t destNode = 0;
+            const EmissionPlan *plan = nullptr;
+        };
+        std::vector<ReducedEdge> edges;
+        AliasTable edgeSampler;
+    };
+
+    void buildReducedGraph();
+    const EmissionPlan *makePlan(uint32_t blockId,
+                                 const QBlockStats &stats);
+    void stepBlock();
+    void emitBlock(const EmissionPlan &plan);
+    uint16_t sampleDependency(const DiscreteDistribution *dist);
+
+    const StatisticalProfile *profile_;
+    GenerationOptions opts_;
+    Rng rng_;
+
+    std::vector<ReducedNode> nodes_;
+    std::deque<EmissionPlan> plans_;   ///< stable storage
+    FenwickSampler occupancy_;         ///< remaining occurrence budget
+
+    std::vector<SynthInst> ring_;
+    uint64_t ringMask_ = 0;
+    uint64_t lookback_ = 0;
+    uint64_t maxBlockLen_ = 0;
+
+    uint64_t target_ = 0;
+    uint64_t emitted_ = 0;
+    size_t curNode_ = 0;
+    bool needRestart_ = true;
+    bool finished_ = false;
+
+    GeneratorMetrics metrics_;
+};
+
+/**
+ * Run the reduction + generation algorithm over @p profile and
+ * materialize the whole trace (drains a StreamingGenerator, so the
+ * result is identical to what the streamed path emits).
+ */
 SyntheticTrace generateSyntheticTrace(const StatisticalProfile &profile,
                                       const GenerationOptions &opts = {});
 

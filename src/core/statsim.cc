@@ -94,6 +94,42 @@ simulateSyntheticTrace(const SyntheticTrace &trace,
 }
 
 SimResult
+simulateSyntheticStream(StreamingGenerator &gen,
+                        const cpu::CoreConfig &cfg, const ObsSink *sink)
+{
+    cfg.validate();
+    StsFrontend frontend(gen, cfg);
+    cpu::OoOCore core(cfg, frontend);
+    SimResult res = runAndPublish(core, cfg, sink, nullptr);
+
+    if (sink) {
+        const GeneratorMetrics &m = gen.metrics();
+        if (sink->registry) {
+            // Deterministic counters only: for a fixed seed the same
+            // values come out of every run, preserving the
+            // --stats-json byte-stability contract.
+            obs::Registry &reg = *sink->registry;
+            const std::string p = sink->prefix + ".gen.";
+            reg.counter(p + "emitted").set(m.emitted);
+            reg.counter(p + "blocks").set(m.blocks);
+            reg.counter(p + "start-picks").set(m.startPicks);
+            reg.counter(p + "walk-restarts").set(m.walkRestarts);
+            reg.counter(p + "dep-retries").set(m.depRetries);
+            reg.counter(p + "dep-squashes").set(m.depSquashes);
+            reg.counter(p + "alias-tables").set(m.aliasTables);
+        }
+        if (sink->trace) {
+            // Wall-clock observation: lands in the trace (which is
+            // schema-checked, not byte-compared), never the registry.
+            sink->trace->counter(
+                sink->prefix + ".gen.build-seconds", 0.0, 0,
+                {obs::TraceArg::num("seconds", m.buildSeconds)});
+        }
+    }
+    return res;
+}
+
+SimResult
 runStatisticalSimulation(const isa::Program &prog,
                          const cpu::CoreConfig &cfg,
                          const StatSimOptions &opts,
@@ -107,9 +143,11 @@ runStatisticalSimulation(const isa::Program &prog,
     opts.generation.validate();
     const StatisticalProfile profile =
         buildProfile(prog, cfg, opts.profile);
-    const SyntheticTrace trace =
-        generateSyntheticTrace(profile, opts.generation);
-    return simulateSyntheticTrace(trace, cfg, sink);
+    // Stream the synthetic trace straight into the core: the trace is
+    // never materialized and generation overlaps simulation.
+    StreamingGenerator gen(profile, opts.generation,
+                           requiredStreamLookback(cfg));
+    return simulateSyntheticStream(gen, cfg, sink);
 }
 
 } // namespace ssim::core

@@ -98,6 +98,21 @@ SimResult simulateSyntheticTrace(const SyntheticTrace &trace,
                                  const ObsSink *sink = nullptr);
 
 /**
+ * Simulate a synthetic instruction stream as it is generated — the
+ * trace is never materialized; the core consumes instructions out of
+ * the generator's bounded ring, so peak memory is independent of the
+ * trace length. Emits exactly the trace generateSyntheticTrace()
+ * would for the same profile + options (bit-identical stream).
+ *
+ * With a registry attached, the generator's own counters (restarts,
+ * dependency retries/squashes, table build time) are published under
+ * `<prefix>.gen.*` alongside the core's metrics.
+ */
+SimResult simulateSyntheticStream(StreamingGenerator &gen,
+                                  const cpu::CoreConfig &cfg,
+                                  const ObsSink *sink = nullptr);
+
+/**
  * The full three-step statistical simulation: build the statistical
  * profile for @p cfg's predictor/cache structures, generate a
  * synthetic trace, and simulate it.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
+
 namespace ssim::core
 {
 
@@ -12,10 +14,60 @@ using cpu::MemEvent;
 using cpu::PowerUnit;
 using cpu::SimStats;
 
+namespace
+{
+
+const SyntheticTrace &
+emptyTrace()
+{
+    static const SyntheticTrace t;
+    return t;
+}
+
+} // namespace
+
+uint64_t
+requiredStreamLookback(const cpu::CoreConfig &cfg)
+{
+    // A wrong-path squash rewinds the fetch cursor to just past the
+    // mispredicted branch. Between the branch's fetch and its
+    // resolution, fetch can have advanced by at most everything the
+    // machine holds in flight (IFQ + RUU; the LSQ shares RUU entries)
+    // plus one fetch burst.
+    return uint64_t{cfg.ifqSize} + cfg.ruuSize + cfg.lsqSize +
+        uint64_t{cfg.decodeWidth} * std::max<uint32_t>(
+            1, cfg.fetchSpeed) + 64;
+}
+
 StsFrontend::StsFrontend(const SyntheticTrace &trace,
                          const cpu::CoreConfig &cfg)
-    : trace_(&trace), cfg_(cfg)
+    : owned_(trace), src_(&owned_), cfg_(cfg)
 {
+    init();
+}
+
+StsFrontend::StsFrontend(SynthInstSource &source,
+                         const cpu::CoreConfig &cfg)
+    : owned_(emptyTrace()), src_(&source), cfg_(cfg)
+{
+    if (source.lookback() < requiredStreamLookback(cfg)) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "synthetic instruction source lookback (" +
+                        std::to_string(source.lookback()) +
+                        ") cannot cover wrong-path replay for this "
+                        "core configuration (needs " +
+                        std::to_string(requiredStreamLookback(cfg)) +
+                        "); enlarge the streaming ring");
+    }
+    init();
+}
+
+void
+StsFrontend::init()
+{
+    // Probe the first position so done() is immediately true for an
+    // empty stream (the core's drain check runs before any fetch).
+    exhausted_ = src_->at(0) == nullptr;
 }
 
 void
@@ -31,10 +83,16 @@ StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
     uint32_t takenSeen = 0;
 
     while (budget > 0) {
-        if (cursor_ >= trace_->insts.size())
-            return;  // wrong-path: wait for recovery; else: done
-        const size_t pos = cursor_;
-        const SynthInst &si = trace_->insts[cursor_++];
+        const uint64_t pos = cursor_;
+        const SynthInst *sp = src_->at(pos);
+        if (!sp) {
+            // Wrong-path: wait for recovery; else: stream done.
+            if (!wrongPathMode_)
+                exhausted_ = true;
+            return;
+        }
+        const SynthInst &si = *sp;
+        ++cursor_;
 
         DynInst di;
         di.seq = nextSeq_++;
@@ -161,7 +219,7 @@ StsFrontend::storeAccess(const DynInst &di)
 bool
 StsFrontend::done() const
 {
-    return !wrongPathMode_ && cursor_ >= trace_->insts.size();
+    return !wrongPathMode_ && exhausted_;
 }
 
 } // namespace ssim::core

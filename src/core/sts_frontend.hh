@@ -2,9 +2,9 @@
  * @file
  * Synthetic trace frontend (Figure 1, step 3): drives the same
  * out-of-order core as the execution-driven frontend, but from a
- * synthetic trace. It models no branch predictors and no caches — all
- * locality behaviour comes from the trace's annotated flags
- * (section 2.3):
+ * synthetic instruction source. It models no branch predictors and no
+ * caches — all locality behaviour comes from the trace's annotated
+ * flags (section 2.3):
  *
  *  - a flagged mispredicted branch makes fetch continue with upcoming
  *    trace instructions *as if they were wrong-path* (to model
@@ -12,6 +12,13 @@
  *    and the same instructions are re-fetched as the correct path;
  *  - load latencies follow the D-cache/D-TLB flags;
  *  - I-cache flags stall the fetch engine.
+ *
+ * The source is position-addressed (SynthInstSource), so the frontend
+ * runs identically over a materialized trace and over a
+ * StreamingGenerator producing instructions on demand — the streamed
+ * path never holds the whole trace. Wrong-path replay rewinds at most
+ * requiredStreamLookback(cfg) positions, which is the window a
+ * streaming source must keep addressable.
  */
 
 #ifndef SSIM_CORE_STS_FRONTEND_HH
@@ -27,12 +34,28 @@
 namespace ssim::core
 {
 
+/**
+ * The farthest a synthetic-trace frontend can rewind its fetch
+ * position on a wrong-path squash: everything the machine can hold
+ * in flight (IFQ + window) plus one fetch burst of slack.
+ */
+uint64_t requiredStreamLookback(const cpu::CoreConfig &cfg);
+
 /** Synthetic-trace instruction source. */
 class StsFrontend : public cpu::Frontend
 {
   public:
+    /** Drive the core from a materialized trace. */
     StsFrontend(const SyntheticTrace &trace,
                 const cpu::CoreConfig &cfg);
+
+    /**
+     * Drive the core from an incremental source (streaming path).
+     * @throws ssim::Error (InvalidConfig) when the source's lookback
+     *         window cannot cover this configuration's wrong-path
+     *         replay rewind (requiredStreamLookback).
+     */
+    StsFrontend(SynthInstSource &source, const cpu::CoreConfig &cfg);
 
     void fetchCycle(std::deque<cpu::DynInst> &ifq, uint32_t maxSlots,
                     uint64_t cycle, cpu::SimStats &stats) override;
@@ -44,16 +67,20 @@ class StsFrontend : public cpu::Frontend
     bool done() const override;
 
   private:
-    const SyntheticTrace *trace_;
+    void init();
+
+    MaterializedSource owned_;     ///< backs the trace constructor
+    SynthInstSource *src_;
     cpu::CoreConfig cfg_;
 
     /** Shared fetch-stall gate (see cpu/pipeline/telemetry.hh). */
     cpu::FetchTelemetry fetchTel_{cfg_};
 
     uint64_t nextSeq_ = 1;
-    size_t cursor_ = 0;
-    size_t resumeCursor_ = 0;
+    uint64_t cursor_ = 0;
+    uint64_t resumeCursor_ = 0;
     bool wrongPathMode_ = false;
+    bool exhausted_ = false;   ///< correct-path fetch hit stream end
 
     /**
      * Sequence number of the correct-path fetch of each recent trace

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/sts_frontend.hh"
 #include "workloads/workload.hh"
 
 namespace ssim::experiments
@@ -139,9 +140,11 @@ runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
     core::GenerationOptions gopts;
     gopts.reductionFactor = knobs.reductionFactor;
     gopts.seed = knobs.seed;
-    const core::SyntheticTrace trace =
-        core::generateSyntheticTrace(*profile, gopts);
-    return core::simulateSyntheticTrace(trace, cfg);
+    // Stream: the synthetic trace is consumed as it is generated and
+    // never materialized (peak memory independent of trace length).
+    core::StreamingGenerator gen(*profile, gopts,
+                                 core::requiredStreamLookback(cfg));
+    return core::simulateSyntheticStream(gen, cfg);
 }
 
 } // namespace ssim::experiments

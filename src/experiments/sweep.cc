@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "obs/export_json.hh"
+#include "util/process.hh"
 #include "util/random.hh"
 
 namespace ssim::experiments
@@ -251,6 +252,10 @@ Engine::doneRecord(size_t point, const PointOutcome &o) const
         rec.category = errorCategoryName(o.errorCategory);
     rec.message = o.message;
     rec.wallSeconds = o.wallSeconds;
+    // Observation, not a result: the point's gen+sim wall time rides
+    // in wall_s and the process high-water mark here; both stay
+    // outside `metrics`, whose values must reproduce across resume.
+    rec.peakRssKb = peakRssKb();
     for (const auto &[name, value] : o.metrics)
         rec.metrics.push_back({name, value});
     return rec;
@@ -319,6 +324,8 @@ Engine::writeHeartbeat()
     reg.gauge("sweep.points.inflight")
         .set(static_cast<double>(inflight_.size()));
     reg.gauge("sweep.elapsed-seconds").set(elapsed);
+    reg.gauge("sweep.peak-rss-kb")
+        .set(static_cast<double>(peakRssKb()));
     // Naive but serviceable ETA: average settled-attempt rate
     // extrapolated over the remaining work.
     reg.gauge("sweep.eta-seconds")

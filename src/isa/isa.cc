@@ -193,116 +193,8 @@ isStore(Opcode op)
     return classOf(op) == InstClass::Store;
 }
 
-namespace
-{
-
-/** Operand shape: which of rd/rs1/rs2 are used and in which file. */
-struct OperandShape
-{
-    RegSpace dest;
-    RegSpace src1;
-    RegSpace src2;
-};
-
-OperandShape
-shapeOf(Opcode op)
-{
-    const RegSpace I = RegSpace::Int;
-    const RegSpace F = RegSpace::Fp;
-    const RegSpace N = RegSpace::None;
-    switch (op) {
-      case Opcode::NOP:
-      case Opcode::HALT:
-      case Opcode::JMP:
-        return {N, N, N};
-      case Opcode::LI:
-        return {I, N, N};
-      case Opcode::CALL:
-        return {I, N, N};  // writes r1
-      case Opcode::MOV:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
-      case Opcode::SRAI: case Opcode::SLTI:
-        return {I, I, N};
-      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
-      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
-      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
-      case Opcode::SLTU: case Opcode::MUL: case Opcode::DIV:
-      case Opcode::REM:
-        return {I, I, I};
-      case Opcode::FLI:
-        return {F, N, N};
-      case Opcode::FABS: case Opcode::FNEG: case Opcode::FMOV:
-      case Opcode::FSQRT:
-        return {F, F, N};
-      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
-      case Opcode::FMAX: case Opcode::FMUL: case Opcode::FDIV:
-        return {F, F, F};
-      case Opcode::FCVTIF:
-        return {F, I, N};
-      case Opcode::FCVTFI:
-        return {I, F, N};
-      case Opcode::FCMPLT:
-        return {I, F, F};
-      case Opcode::LB: case Opcode::LW: case Opcode::LD:
-        return {I, I, N};
-      case Opcode::FLD:
-        return {F, I, N};
-      case Opcode::SB: case Opcode::SW: case Opcode::SD:
-        return {N, I, I};  // rs1 = base, rs2 = data
-      case Opcode::FSD:
-        return {N, I, F};  // rs1 = base, rs2 = fp data
-      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
-      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
-        return {N, I, I};
-      case Opcode::FBLT: case Opcode::FBGE: case Opcode::FBEQ:
-        return {N, F, F};
-      case Opcode::JR:
-        return {N, I, N};
-      case Opcode::ICALL:
-        return {I, I, N};  // writes r1, jumps via rs1
-      case Opcode::RET:
-        return {N, I, N};  // reads r1 (assembler sets rs1 = RegRa)
-      default:
-        return {N, N, N};
-    }
-}
-
-} // namespace
-
-int
-numSrcRegs(const Instruction &inst)
-{
-    const OperandShape s = shapeOf(inst.op);
-    int n = 0;
-    if (s.src1 != RegSpace::None)
-        ++n;
-    if (s.src2 != RegSpace::None)
-        ++n;
-    return n;
-}
-
-RegRef
-srcReg(const Instruction &inst, int i)
-{
-    const OperandShape s = shapeOf(inst.op);
-    if (i == 0 && s.src1 != RegSpace::None)
-        return {s.src1, inst.rs1};
-    if (s.src2 != RegSpace::None &&
-        ((i == 0 && s.src1 == RegSpace::None) || i == 1)) {
-        return {s.src2, inst.rs2};
-    }
-    return {};
-}
-
-RegRef
-destReg(const Instruction &inst)
-{
-    const OperandShape s = shapeOf(inst.op);
-    if (s.dest == RegSpace::None)
-        return {};
-    return {s.dest, inst.rd};
-}
+// numSrcRegs / srcReg / destReg live in isa.hh as inline table
+// lookups: they run several times per profiled instruction.
 
 int
 memAccessBytes(Opcode op)

@@ -18,6 +18,7 @@
 #ifndef SSIM_ISA_ISA_HH
 #define SSIM_ISA_ISA_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -167,14 +168,137 @@ struct Instruction
     InstClass instClass() const { return classOf(op); }
 };
 
+/** Operand shape: which of rd/rs1/rs2 are used and in which file. */
+struct OperandShape
+{
+    RegSpace dest;
+    RegSpace src1;
+    RegSpace src2;
+};
+
+namespace detail
+{
+
+constexpr OperandShape
+shapeOfSwitch(Opcode op)
+{
+    const RegSpace I = RegSpace::Int;
+    const RegSpace F = RegSpace::Fp;
+    const RegSpace N = RegSpace::None;
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::JMP:
+        return {N, N, N};
+      case Opcode::LI:
+        return {I, N, N};
+      case Opcode::CALL:
+        return {I, N, N};  // writes r1
+      case Opcode::MOV:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+        return {I, I, N};
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MUL: case Opcode::DIV:
+      case Opcode::REM:
+        return {I, I, I};
+      case Opcode::FLI:
+        return {F, N, N};
+      case Opcode::FABS: case Opcode::FNEG: case Opcode::FMOV:
+      case Opcode::FSQRT:
+        return {F, F, N};
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FMUL: case Opcode::FDIV:
+        return {F, F, F};
+      case Opcode::FCVTIF:
+        return {F, I, N};
+      case Opcode::FCVTFI:
+        return {I, F, N};
+      case Opcode::FCMPLT:
+        return {I, F, F};
+      case Opcode::LB: case Opcode::LW: case Opcode::LD:
+        return {I, I, N};
+      case Opcode::FLD:
+        return {F, I, N};
+      case Opcode::SB: case Opcode::SW: case Opcode::SD:
+        return {N, I, I};  // rs1 = base, rs2 = data
+      case Opcode::FSD:
+        return {N, I, F};  // rs1 = base, rs2 = fp data
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return {N, I, I};
+      case Opcode::FBLT: case Opcode::FBGE: case Opcode::FBEQ:
+        return {N, F, F};
+      case Opcode::JR:
+        return {N, I, N};
+      case Opcode::ICALL:
+        return {I, I, N};  // writes r1, jumps via rs1
+      case Opcode::RET:
+        return {N, I, N};  // reads r1 (assembler sets rs1 = RegRa)
+      default:
+        return {N, N, N};
+    }
+}
+
+constexpr auto
+makeShapeTable()
+{
+    std::array<OperandShape,
+               static_cast<size_t>(Opcode::NumOpcodes)> t{};
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = shapeOfSwitch(static_cast<Opcode>(i));
+    return t;
+}
+
+inline constexpr auto ShapeTable = makeShapeTable();
+
+} // namespace detail
+
+/**
+ * Operand shape of an opcode. A table load, not a switch: the
+ * operand-walk helpers below sit on the statistical profiler's hot
+ * path (several calls per profiled instruction).
+ */
+inline const OperandShape &
+operandShape(Opcode op)
+{
+    return detail::ShapeTable[static_cast<size_t>(op)];
+}
+
 /** Number of register source operands (0..2). */
-int numSrcRegs(const Instruction &inst);
+inline int
+numSrcRegs(const Instruction &inst)
+{
+    const OperandShape &s = operandShape(inst.op);
+    return (s.src1 != RegSpace::None) + (s.src2 != RegSpace::None);
+}
 
 /** The i-th source register (i < numSrcRegs). */
-RegRef srcReg(const Instruction &inst, int i);
+inline RegRef
+srcReg(const Instruction &inst, int i)
+{
+    const OperandShape &s = operandShape(inst.op);
+    if (i == 0 && s.src1 != RegSpace::None)
+        return {s.src1, inst.rs1};
+    if (s.src2 != RegSpace::None &&
+        ((i == 0 && s.src1 == RegSpace::None) || i == 1)) {
+        return {s.src2, inst.rs2};
+    }
+    return {};
+}
 
 /** Destination register, or an invalid RegRef for none. */
-RegRef destReg(const Instruction &inst);
+inline RegRef
+destReg(const Instruction &inst)
+{
+    const OperandShape &s = operandShape(inst.op);
+    if (s.dest == RegSpace::None)
+        return {};
+    return {s.dest, inst.rd};
+}
 
 /** Byte address of the instruction at index @p pc. */
 inline uint64_t

@@ -7,6 +7,73 @@
 namespace ssim
 {
 
+// --- AliasTable ----------------------------------------------------
+
+void
+AliasTable::build(const std::vector<uint64_t> &weights)
+{
+    const size_t n = weights.size();
+    prob_.assign(n, 0);
+    alias_.assign(n, 0);
+    total_ = 0;
+    for (uint64_t w : weights)
+        total_ += w;
+    if (total_ == 0)
+        return;
+
+    // Exact integer Vose: bucket capacity is W (the total); entry i's
+    // residual mass starts at w_i * n (128-bit, so W * n cannot
+    // overflow). Every pairing step moves an exact amount of mass, so
+    // when one worklist drains the other holds entries with residual
+    // exactly W — no epsilon fixups, no platform-dependent rounding.
+    using u128 = unsigned __int128;
+    const u128 cap = total_;
+    std::vector<u128> mass(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        mass[i] = static_cast<u128>(weights[i]) * n;
+        if (mass[i] < cap)
+            small.push_back(static_cast<uint32_t>(i));
+        else
+            large.push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const uint32_t s = small.back();
+        small.pop_back();
+        const uint32_t l = large.back();
+        large.pop_back();
+        prob_[s] = static_cast<uint64_t>(mass[s]);  // < cap, fits
+        alias_[s] = l;
+        mass[l] -= cap - mass[s];
+        if (mass[l] < cap)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    // Leftovers carry residual exactly == cap: full self-probability.
+    for (uint32_t l : large) {
+        prob_[l] = total_;
+        alias_[l] = l;
+    }
+    for (uint32_t s : small) {
+        prob_[s] = total_;
+        alias_[s] = s;
+    }
+}
+
+size_t
+AliasTable::sample(Rng &rng) const
+{
+    panicIf(total_ == 0, "sampling an all-zero AliasTable");
+    const size_t j = static_cast<size_t>(rng.below(prob_.size()));
+    const uint64_t r = rng.below(total_);
+    return r < prob_[j] ? j : alias_[j];
+}
+
+// --- DiscreteDistribution ------------------------------------------
+
 void
 DiscreteDistribution::record(uint32_t value, uint64_t weight)
 {
@@ -15,26 +82,34 @@ DiscreteDistribution::record(uint32_t value, uint64_t weight)
     frozen_ = false;
     total_ += weight;
     // Common case: repeated values arrive in bursts; check the last
-    // entry before searching.
-    if (!values_.empty() && values_.back().first == value) {
-        values_.back().second += weight;
+    // touched entry before searching.
+    if (!values_.empty() && values_[lastIdx_].first == value) {
+        values_[lastIdx_].second += weight;
         return;
     }
-    for (auto &kv : values_) {
-        if (kv.first == value) {
-            kv.second += weight;
-            return;
-        }
+    const auto it = std::lower_bound(
+        values_.begin(), values_.end(), value,
+        [](const std::pair<uint32_t, uint64_t> &kv, uint32_t v) {
+            return kv.first < v;
+        });
+    lastIdx_ = static_cast<size_t>(it - values_.begin());
+    if (it != values_.end() && it->first == value) {
+        it->second += weight;
+        return;
     }
-    values_.emplace_back(value, weight);
+    values_.insert(it, {value, weight});
 }
 
 uint64_t
 DiscreteDistribution::countOf(uint32_t value) const
 {
-    for (const auto &kv : values_)
-        if (kv.first == value)
-            return kv.second;
+    const auto it = std::lower_bound(
+        values_.begin(), values_.end(), value,
+        [](const std::pair<uint32_t, uint64_t> &kv, uint32_t v) {
+            return kv.first < v;
+        });
+    if (it != values_.end() && it->first == value)
+        return it->second;
     return 0;
 }
 
@@ -62,14 +137,21 @@ DiscreteDistribution::mean() const
 void
 DiscreteDistribution::freeze() const
 {
-    std::sort(values_.begin(), values_.end());
-    cumulative_.resize(values_.size());
-    uint64_t acc = 0;
-    for (size_t i = 0; i < values_.size(); ++i) {
-        acc += values_[i].second;
-        cumulative_[i] = acc;
-    }
+    // values_ is kept sorted by record(); only the sampler needs
+    // (re)building.
+    std::vector<uint64_t> weights;
+    weights.reserve(values_.size());
+    for (const auto &kv : values_)
+        weights.push_back(kv.second);
+    alias_.build(weights);
     frozen_ = true;
+}
+
+void
+DiscreteDistribution::prepare() const
+{
+    if (!frozen_)
+        freeze();
 }
 
 uint32_t
@@ -78,41 +160,90 @@ DiscreteDistribution::sample(Rng &rng) const
     panicIf(total_ == 0, "sampling an empty DiscreteDistribution");
     if (!frozen_)
         freeze();
-    const uint64_t target = rng.below(total_) + 1;
-    const auto it = std::lower_bound(cumulative_.begin(),
-                                     cumulative_.end(), target);
-    return values_[static_cast<size_t>(
-        it - cumulative_.begin())].first;
+    return values_[alias_.sample(rng)].first;
 }
 
 const std::vector<std::pair<uint32_t, uint64_t>> &
 DiscreteDistribution::entries() const
 {
-    if (!frozen_)
-        freeze();
     return values_;
 }
+
+// --- WeightedPicker ------------------------------------------------
 
 void
 WeightedPicker::build(const std::vector<uint64_t> &weights)
 {
-    cumulative_.resize(weights.size());
-    uint64_t acc = 0;
-    for (size_t i = 0; i < weights.size(); ++i) {
-        acc += weights[i];
-        cumulative_[i] = acc;
-    }
-    total_ = acc;
+    table_.build(weights);
 }
 
 size_t
 WeightedPicker::pick(Rng &rng) const
 {
-    panicIf(total_ == 0, "picking from an all-zero WeightedPicker");
-    const uint64_t target = rng.below(total_) + 1;
-    const auto it = std::lower_bound(cumulative_.begin(),
-                                     cumulative_.end(), target);
-    return static_cast<size_t>(it - cumulative_.begin());
+    panicIf(table_.totalWeight() == 0,
+            "picking from an all-zero WeightedPicker");
+    return table_.sample(rng);
+}
+
+// --- FenwickSampler ------------------------------------------------
+
+void
+FenwickSampler::build(const std::vector<uint64_t> &weights)
+{
+    const size_t n = weights.size();
+    weights_ = weights;
+    tree_.assign(n + 1, 0);
+    total_ = 0;
+    topBit_ = 0;
+    for (size_t b = 1; b <= n; b <<= 1)
+        topBit_ = b;
+    // O(n) construction: push each node's partial sum to its parent.
+    for (size_t i = 1; i <= n; ++i) {
+        tree_[i] += weights[i - 1];
+        const size_t parent = i + (i & (~i + 1));
+        if (parent <= n)
+            tree_[parent] += tree_[i];
+    }
+    for (uint64_t w : weights)
+        total_ += w;
+}
+
+void
+FenwickSampler::add(size_t i, int64_t delta)
+{
+    if (delta < 0) {
+        const uint64_t dec = static_cast<uint64_t>(-delta);
+        const uint64_t applied =
+            dec < weights_[i] ? dec : weights_[i];
+        weights_[i] -= applied;
+        total_ -= applied;
+        for (size_t k = i + 1; k < tree_.size(); k += k & (~k + 1))
+            tree_[k] -= applied;
+    } else {
+        weights_[i] += static_cast<uint64_t>(delta);
+        total_ += static_cast<uint64_t>(delta);
+        for (size_t k = i + 1; k < tree_.size(); k += k & (~k + 1))
+            tree_[k] += static_cast<uint64_t>(delta);
+    }
+}
+
+size_t
+FenwickSampler::pick(Rng &rng) const
+{
+    panicIf(total_ == 0, "picking from a drained FenwickSampler");
+    // Smallest index whose prefix sum >= target: identical selection
+    // to a lower_bound over the cumulative weights, in O(log n).
+    uint64_t rem = rng.below(total_) + 1;
+    size_t idx = 0;
+    const size_t n = weights_.size();
+    for (size_t step = topBit_; step != 0; step >>= 1) {
+        const size_t next = idx + step;
+        if (next <= n && tree_[next] < rem) {
+            idx = next;
+            rem -= tree_[next];
+        }
+    }
+    return idx;   // idx entries have prefix < target -> 0-based index
 }
 
 } // namespace ssim

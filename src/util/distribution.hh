@@ -1,11 +1,23 @@
 /**
  * @file
- * Discrete empirical distributions with CDF sampling.
+ * Discrete empirical distributions and O(1)/O(log n) samplers.
  *
  * The statistical profile stores many small distributions (dependency
  * distances per operand, node occurrences, transition probabilities).
- * DiscreteDistribution is a sparse counter map over small integer
- * domains with O(n) cumulative sampling after a one-time freeze.
+ * Three samplers back them:
+ *
+ *  - DiscreteDistribution: a sparse counter map over small integer
+ *    domains. Recording keeps the (value, count) pairs sorted so
+ *    lookups are O(log n); a one-time freeze builds a Walker/Vose
+ *    alias table so sampling is O(1).
+ *  - AliasTable / WeightedPicker: O(1) index sampling over a fixed
+ *    weight vector (SFG edge transitions). The construction uses
+ *    exact integer arithmetic, so sampling is bit-reproducible across
+ *    platforms and exactly proportional to the weights.
+ *  - FenwickSampler: weighted index sampling over *mutable* weights
+ *    (SFG start-node occurrences, which the generation walk
+ *    decrements). Updates and draws are O(log n) instead of the
+ *    O(n) rebuild a cumulative table would need.
  */
 
 #ifndef SSIM_UTIL_DISTRIBUTION_HH
@@ -22,11 +34,44 @@ namespace ssim
 {
 
 /**
+ * Walker/Vose alias table: O(1) weighted index sampling after an O(n)
+ * build. Construction is exact — residual masses are integer multiples
+ * of the weights, so P(sample() == i) is exactly weight[i]/total with
+ * no floating-point rounding, and the table is a pure function of the
+ * weight vector (deterministic across platforms).
+ *
+ * Each draw consumes exactly two Rng values (bucket, threshold).
+ */
+class AliasTable
+{
+  public:
+    /** Rebuild from a weight vector; zero weights are legal. */
+    void build(const std::vector<uint64_t> &weights);
+
+    /** Total weight (0 means nothing can be drawn). */
+    uint64_t totalWeight() const { return total_; }
+
+    /** Number of entries. */
+    size_t size() const { return prob_.size(); }
+
+    /**
+     * Draw an index with probability weight[i]/total in O(1).
+     * Must not be called when totalWeight() is zero.
+     */
+    size_t sample(Rng &rng) const;
+
+  private:
+    std::vector<uint64_t> prob_;    ///< self threshold in [0, total_]
+    std::vector<uint32_t> alias_;   ///< redirect target
+    uint64_t total_ = 0;
+};
+
+/**
  * Sparse counted distribution over non-negative integer values.
  *
- * Accumulate with record(); sample with sample() which lazily builds a
- * cumulative table. Recording after sampling invalidates and rebuilds
- * the table on the next sample.
+ * Accumulate with record(); sample with sample() which lazily builds
+ * an alias table (O(1) per draw). Recording after sampling invalidates
+ * and rebuilds the table on the next sample.
  */
 class DiscreteDistribution
 {
@@ -53,10 +98,17 @@ class DiscreteDistribution
     double mean() const;
 
     /**
-     * Draw a value according to the empirical probabilities.
+     * Draw a value according to the empirical probabilities in O(1).
      * Must not be called on an empty distribution.
      */
     uint32_t sample(Rng &rng) const;
+
+    /**
+     * Build the sampling table now instead of on the first sample().
+     * The generator calls this at reduced-graph build time so the
+     * walk itself never pays a freeze.
+     */
+    void prepare() const;
 
     /** Visit (value, count) pairs in ascending value order. */
     const std::vector<std::pair<uint32_t, uint64_t>> &entries() const;
@@ -64,18 +116,19 @@ class DiscreteDistribution
   private:
     void freeze() const;
 
-    // (value, count), kept sorted by value once frozen.
-    mutable std::vector<std::pair<uint32_t, uint64_t>> values_;
-    mutable std::vector<uint64_t> cumulative_;
+    // (value, count), kept sorted by value at all times.
+    std::vector<std::pair<uint32_t, uint64_t>> values_;
+    mutable AliasTable alias_;
     mutable bool frozen_ = false;
+    size_t lastIdx_ = 0;      ///< burst cache: last touched entry
     uint64_t total_ = 0;
 };
 
 /**
- * Cumulative alias-free sampler over externally-stored weights.
+ * O(1) sampler over externally-stored weights (alias-table backed).
  *
- * Used for picking SFG nodes by occurrence and outgoing edges by
- * transition probability where the weights live in the graph itself.
+ * Used for picking SFG edges by transition probability where the
+ * weights live in the graph itself.
  */
 class WeightedPicker
 {
@@ -84,17 +137,58 @@ class WeightedPicker
     void build(const std::vector<uint64_t> &weights);
 
     /** Total weight (0 means nothing can be drawn). */
-    uint64_t totalWeight() const { return total_; }
+    uint64_t totalWeight() const { return table_.totalWeight(); }
 
     /**
-     * Draw an index with probability weight[i]/total.
+     * Draw an index with probability weight[i]/total in O(1).
      * Must not be called when totalWeight() is zero.
      */
     size_t pick(Rng &rng) const;
 
   private:
-    std::vector<uint64_t> cumulative_;
+    AliasTable table_;
+};
+
+/**
+ * Fenwick-tree weighted sampler over mutable weights: pick() draws an
+ * index with probability weight[i]/total in O(log n), and add()
+ * adjusts one weight in O(log n) — no rebuild. This is what makes the
+ * generation walk's start-node restarts cheap: the walk decrements an
+ * occurrence budget on every visited node, and a cumulative-table
+ * picker would need an O(n) rebuild per restart.
+ *
+ * pick() consumes exactly one Rng value and selects the same index a
+ * cumulative lower-bound search over the current weights would.
+ */
+class FenwickSampler
+{
+  public:
+    /** Rebuild from a weight vector; zero weights are legal. */
+    void build(const std::vector<uint64_t> &weights);
+
+    /** Total remaining weight. */
+    uint64_t totalWeight() const { return total_; }
+
+    /** Current weight of index @p i. */
+    uint64_t weightOf(size_t i) const { return weights_[i]; }
+
+    /**
+     * Add @p delta to index @p i's weight (negative to decrement).
+     * Clamps at zero rather than underflowing.
+     */
+    void add(size_t i, int64_t delta);
+
+    /**
+     * Draw an index with probability weight[i]/total in O(log n).
+     * Must not be called when totalWeight() is zero.
+     */
+    size_t pick(Rng &rng) const;
+
+  private:
+    std::vector<uint64_t> tree_;      ///< 1-based Fenwick sums
+    std::vector<uint64_t> weights_;   ///< point weights (O(1) reads)
     uint64_t total_ = 0;
+    size_t topBit_ = 0;               ///< highest power of two <= size
 };
 
 } // namespace ssim

@@ -253,6 +253,8 @@ JournalRecord::toJson() const
         if (!message.empty())
             appendField(out, "message", message);
         appendDouble(out, "wall_s", wallSeconds);
+        if (peakRssKb != 0)
+            appendU64(out, "peak_rss_kb", peakRssKb);
         out += ",\"metrics\":{";
         for (size_t i = 0; i < metrics.size(); ++i) {
             if (i > 0)
@@ -308,6 +310,8 @@ JournalRecord::parseJson(const std::string &text,
                 rec.message = p.parseString();
             else if (key == "wall_s")
                 rec.wallSeconds = p.parseDouble();
+            else if (key == "peak_rss_kb")
+                rec.peakRssKb = p.parseU64();
             else if (key == "metrics") {
                 if (!p.consume('{'))
                     throw p.fail("metrics must be an object");

@@ -98,6 +98,14 @@ struct JournalRecord
     std::string category;     ///< typed-error category name, "" if none
     std::string message;
     double wallSeconds = 0.0;
+
+    /**
+     * Process peak RSS in KiB when the attempt settled; 0 when the
+     * platform has no probe (the field is then omitted from the JSON
+     * line). Like wallSeconds this is an *observation*, not a result:
+     * resume determinism applies to `metrics`, never to these.
+     */
+    uint64_t peakRssKb = 0;
     std::vector<JournalMetric> metrics;
 
     /** Render as a single JSON line (no trailing newline). */

@@ -1,0 +1,73 @@
+#include "process.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ssim
+{
+
+namespace
+{
+
+/**
+ * Scan /proc/self/status for a "Vm...: <n> kB" line. Returns 0 when
+ * the file or the key is missing (non-Linux).
+ */
+uint64_t
+procStatusKb(const char *key)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    const size_t keyLen = std::strlen(key);
+    char line[256];
+    uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, key, keyLen) != 0 ||
+            line[keyLen] != ':') {
+            continue;
+        }
+        unsigned long long v = 0;
+        if (std::sscanf(line + keyLen + 1, "%llu", &v) == 1)
+            kb = v;
+        break;
+    }
+    std::fclose(f);
+    return kb;
+}
+
+} // namespace
+
+uint64_t
+peakRssKb()
+{
+    if (const uint64_t kb = procStatusKb("VmHWM"))
+        return kb;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+        return static_cast<uint64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+        return static_cast<uint64_t>(ru.ru_maxrss);  // already KiB
+#endif
+    }
+#endif
+    return 0;
+}
+
+uint64_t
+currentRssKb()
+{
+    if (const uint64_t kb = procStatusKb("VmRSS"))
+        return kb;
+    // No portable fallback for the instantaneous value; peak is the
+    // best available approximation.
+    return peakRssKb();
+}
+
+} // namespace ssim

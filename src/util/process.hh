@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process self-inspection helpers: resident-set-size probes used by
+ * the sweep engine to record per-point memory footprints (the
+ * streaming generation path is O(1) in trace length, and the journal
+ * is where that claim is checked against reality).
+ */
+
+#ifndef SSIM_UTIL_PROCESS_HH
+#define SSIM_UTIL_PROCESS_HH
+
+#include <cstdint>
+
+namespace ssim
+{
+
+/**
+ * Peak resident set size of this process in KiB (VmHWM), or 0 when
+ * the platform exposes no probe. Monotonic over a process lifetime.
+ */
+uint64_t peakRssKb();
+
+/** Current resident set size in KiB (VmRSS), or 0 if unavailable. */
+uint64_t currentRssKb();
+
+} // namespace ssim
+
+#endif // SSIM_UTIL_PROCESS_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Streaming generation contract tests: the streamed path (bounded
+ * ring, instructions produced on demand) must be observationally
+ * identical to the materialized path — bit-identical instruction
+ * streams for the same seed, identical simulation results, correct
+ * lookback/eviction behavior, and loud failure on window underrun.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/generator.hh"
+#include "core/statsim.hh"
+#include "core/sts_frontend.hh"
+#include "util/error.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::core;
+
+cpu::CoreConfig
+baseline()
+{
+    return cpu::CoreConfig::baseline();
+}
+
+StatisticalProfile
+profileOf(const char *name, uint64_t maxInsts = 400000)
+{
+    const isa::Program prog = workloads::build(name, 1);
+    ProfileOptions popts;
+    popts.maxInsts = maxInsts;
+    return buildProfile(prog, baseline(), popts);
+}
+
+/**
+ * The central equivalence claim: for the same profile + options, the
+ * incremental source emits exactly the instructions the materialized
+ * trace holds, position by position, across the tier-1 workload set.
+ */
+TEST(Streaming, BitIdenticalToMaterializedAcrossWorkloads)
+{
+    for (const char *name : {"zip", "route", "cc"}) {
+        const StatisticalProfile profile = profileOf(name);
+        GenerationOptions gopts;
+        gopts.reductionFactor = 10;
+        gopts.seed = 7;
+
+        const SyntheticTrace trace =
+            generateSyntheticTrace(profile, gopts);
+        StreamingGenerator gen(profile, gopts);
+
+        for (uint64_t pos = 0; pos < trace.size(); ++pos) {
+            const SynthInst *si = gen.at(pos);
+            ASSERT_NE(si, nullptr)
+                << name << ": stream ended early at " << pos;
+            ASSERT_TRUE(*si == trace.insts[pos])
+                << name << ": divergence at position " << pos;
+        }
+        EXPECT_EQ(gen.at(trace.size()), nullptr)
+            << name << ": stream longer than materialized trace";
+        EXPECT_TRUE(gen.finished());
+        EXPECT_EQ(gen.generated(), trace.size());
+    }
+}
+
+/** Same claim one level up: identical SimResult from both paths. */
+TEST(Streaming, SimResultMatchesMaterializedPath)
+{
+    for (const char *name : {"zip", "route", "cc"}) {
+        const StatisticalProfile profile = profileOf(name);
+        GenerationOptions gopts;
+        gopts.reductionFactor = 10;
+        gopts.seed = 3;
+
+        const SyntheticTrace trace =
+            generateSyntheticTrace(profile, gopts);
+        const SimResult mat =
+            simulateSyntheticTrace(trace, baseline());
+
+        StreamingGenerator gen(
+            profile, gopts, requiredStreamLookback(baseline()));
+        const SimResult str =
+            simulateSyntheticStream(gen, baseline());
+
+        EXPECT_EQ(str.stats.cycles, mat.stats.cycles) << name;
+        EXPECT_EQ(str.stats.committed, mat.stats.committed) << name;
+        EXPECT_EQ(str.stats.fetched, mat.stats.fetched) << name;
+        EXPECT_DOUBLE_EQ(str.ipc, mat.ipc) << name;
+        EXPECT_DOUBLE_EQ(str.epc, mat.epc) << name;
+        EXPECT_DOUBLE_EQ(str.edp, mat.edp) << name;
+    }
+}
+
+TEST(Streaming, RevisitWithinLookbackIsStable)
+{
+    const StatisticalProfile profile = profileOf("zip");
+    GenerationOptions gopts;
+    gopts.reductionFactor = 20;
+    StreamingGenerator gen(profile, gopts);
+    ASSERT_GE(gen.lookback(), 512u);
+
+    // Drive forward, then re-read a window behind the frontier the
+    // way wrong-path replay does; values must not change.
+    const uint64_t frontier = 5000;
+    ASSERT_NE(gen.at(frontier), nullptr);
+    std::vector<SynthInst> snapshot;
+    const uint64_t lo = frontier - 512;
+    for (uint64_t p = lo; p <= frontier; ++p)
+        snapshot.push_back(*gen.at(p));
+    for (uint64_t p = frontier; p >= lo; --p)
+        EXPECT_TRUE(*gen.at(p) == snapshot[p - lo]);
+}
+
+TEST(Streaming, UnderrunThrowsInternal)
+{
+    const StatisticalProfile profile = profileOf("zip");
+    GenerationOptions gopts;
+    gopts.reductionFactor = 20;
+    StreamingGenerator gen(profile, gopts);
+
+    // Push the frontier far past the ring, then ask for position 0:
+    // the window is gone and the source must refuse loudly.
+    ASSERT_NE(gen.at(gen.lookback() + 4096), nullptr);
+    try {
+        (void)gen.at(0);
+        FAIL() << "expected Error(Internal) on lookback underrun";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Internal);
+    }
+}
+
+TEST(Streaming, FrontendRejectsTooSmallLookback)
+{
+    const StatisticalProfile profile = profileOf("zip");
+    GenerationOptions gopts;
+    gopts.reductionFactor = 20;
+
+    cpu::CoreConfig cfg = baseline();
+    StreamingGenerator tiny(profile, gopts, 1);
+    if (tiny.lookback() >= requiredStreamLookback(cfg)) {
+        // The default ring floor already covers this config; grow the
+        // required window until it does not.
+        cfg.ruuSize = 4096;
+        cfg.lsqSize = 2048;
+    }
+    ASSERT_LT(tiny.lookback(), requiredStreamLookback(cfg));
+    EXPECT_THROW(StsFrontend(tiny, cfg), Error);
+}
+
+TEST(Streaming, GeneratorMetricsAreConsistent)
+{
+    const StatisticalProfile profile = profileOf("route");
+    GenerationOptions gopts;
+    gopts.reductionFactor = 10;
+    StreamingGenerator gen(profile, gopts);
+    uint64_t pos = 0;
+    while (gen.at(pos) != nullptr)
+        ++pos;
+
+    const GeneratorMetrics &m = gen.metrics();
+    EXPECT_EQ(m.emitted, pos);
+    EXPECT_GT(m.blocks, 0u);
+    EXPECT_GE(m.startPicks, 1u);
+    EXPECT_GT(m.aliasTables, 0u);
+    EXPECT_GE(m.buildSeconds, 0.0);
+    EXPECT_GE(m.depRetries, m.depSquashes);
+}
+
+/** The empty stream must report done() through the frontend path. */
+TEST(Streaming, EmptyProfileStreamsEmpty)
+{
+    StatisticalProfile profile;
+    GenerationOptions gopts;
+    StreamingGenerator gen(profile, gopts);
+    EXPECT_EQ(gen.at(0), nullptr);
+    EXPECT_TRUE(gen.finished());
+    const SimResult res =
+        simulateSyntheticStream(gen, baseline());
+    EXPECT_EQ(res.stats.committed, 0u);
+}
+
+} // namespace

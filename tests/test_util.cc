@@ -12,7 +12,9 @@
 #include "util/statistics.hh"
 #include "util/table.hh"
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 namespace
 {
@@ -171,6 +173,159 @@ TEST(WeightedPicker, ProportionalSelection)
     for (int i = 0; i < 20000; ++i)
         ones += picker.pick(rng) == 1 ? 1 : 0;
     EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(AliasTable, SingletonAndEmpty)
+{
+    AliasTable t;
+    EXPECT_EQ(t.totalWeight(), 0u);
+    t.build({7});
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled)
+{
+    AliasTable t;
+    t.build({0, 4, 0, 0, 1, 0});
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const size_t s = t.sample(rng);
+        ASSERT_TRUE(s == 1 || s == 4);
+    }
+}
+
+/**
+ * Chi-square goodness of fit: the alias sampler must reproduce an
+ * empirical distribution as faithfully as the old CDF inversion did.
+ * 9 degrees of freedom, alpha = 0.001 -> critical value 27.88; a
+ * correct sampler fails this about once in a thousand seed choices,
+ * and the seed is fixed.
+ */
+TEST(AliasTable, ChiSquareMatchesWeights)
+{
+    const std::vector<uint64_t> weights = {5,  10, 1,  40, 8,
+                                           90, 3,  25, 60, 12};
+    AliasTable t;
+    t.build(weights);
+    const double total = static_cast<double>(t.totalWeight());
+
+    const int draws = 200000;
+    std::vector<int> hits(weights.size(), 0);
+    Rng rng(12345);
+    for (int i = 0; i < draws; ++i)
+        ++hits[t.sample(rng)];
+
+    double chi2 = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const double expect =
+            draws * static_cast<double>(weights[i]) / total;
+        const double diff = hits[i] - expect;
+        chi2 += diff * diff / expect;
+    }
+    EXPECT_LT(chi2, 27.88) << "alias sampler deviates from weights";
+}
+
+/** The frozen DiscreteDistribution must agree with its weights too. */
+TEST(AliasTable, DistributionSamplerChiSquare)
+{
+    DiscreteDistribution d;
+    const std::vector<std::pair<uint32_t, uint64_t>> spec = {
+        {1, 50}, {2, 200}, {3, 10}, {5, 120}, {8, 70}, {13, 30}};
+    for (const auto &[v, w] : spec)
+        d.record(v, w);
+    d.prepare();
+
+    const int draws = 120000;
+    std::map<uint32_t, int> hits;
+    Rng rng(777);
+    for (int i = 0; i < draws; ++i)
+        ++hits[d.sample(rng)];
+
+    double chi2 = 0.0;
+    for (const auto &[v, w] : spec) {
+        const double expect = draws * static_cast<double>(w) /
+            static_cast<double>(d.totalCount());
+        const double diff = hits[v] - expect;
+        chi2 += diff * diff / expect;
+    }
+    // 5 dof, alpha = 0.001 -> 20.52.
+    EXPECT_LT(chi2, 20.52);
+}
+
+TEST(Distribution, CountOfBinarySearchAgainstMap)
+{
+    // Adversarial insert order for the sorted-insert path: keys
+    // descending, then interleaved, with repeated accumulation.
+    DiscreteDistribution d;
+    std::map<uint32_t, uint64_t> ref;
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        const uint32_t v = static_cast<uint32_t>(rng.below(257));
+        const uint64_t w = rng.below(5) + 1;
+        d.record(v, w);
+        ref[v] += w;
+    }
+    uint64_t total = 0;
+    for (const auto &[v, w] : ref) {
+        EXPECT_EQ(d.countOf(v), w);
+        total += w;
+    }
+    EXPECT_EQ(d.totalCount(), total);
+    EXPECT_EQ(d.countOf(300), 0u);
+    // entries() stays sorted without a freeze.
+    const auto &es = d.entries();
+    for (size_t i = 1; i < es.size(); ++i)
+        EXPECT_LT(es[i - 1].first, es[i].first);
+}
+
+TEST(FenwickSampler, PickMatchesWeights)
+{
+    FenwickSampler fs;
+    fs.build({10, 0, 30, 60});
+    EXPECT_EQ(fs.totalWeight(), 100u);
+    Rng rng(5);
+    std::vector<int> hits(4, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++hits[fs.pick(rng)];
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_NEAR(hits[0] / 50000.0, 0.10, 0.02);
+    EXPECT_NEAR(hits[2] / 50000.0, 0.30, 0.02);
+    EXPECT_NEAR(hits[3] / 50000.0, 0.60, 0.02);
+}
+
+TEST(FenwickSampler, DecrementToExhaustion)
+{
+    // Draining every index's budget one pick at a time must visit
+    // each index exactly its weight's worth of times.
+    FenwickSampler fs;
+    const std::vector<uint64_t> weights = {3, 1, 4, 1, 5, 9, 2, 6};
+    fs.build(weights);
+    std::vector<uint64_t> picks(weights.size(), 0);
+    Rng rng(31);
+    while (fs.totalWeight() > 0) {
+        const size_t i = fs.pick(rng);
+        ++picks[i];
+        fs.add(i, -1);
+    }
+    for (size_t i = 0; i < weights.size(); ++i)
+        EXPECT_EQ(picks[i], weights[i]) << "index " << i;
+}
+
+TEST(FenwickSampler, AddClampsAtZero)
+{
+    FenwickSampler fs;
+    fs.build({5, 5});
+    fs.add(0, -100);
+    EXPECT_EQ(fs.weightOf(0), 0u);
+    EXPECT_EQ(fs.totalWeight(), 5u);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(fs.pick(rng), 1u);
+    fs.add(0, 20);
+    EXPECT_EQ(fs.weightOf(0), 20u);
+    EXPECT_EQ(fs.totalWeight(), 25u);
 }
 
 TEST(RunningStats, KnownSequence)

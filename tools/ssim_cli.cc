@@ -50,6 +50,7 @@
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "core/statsim.hh"
+#include "core/sts_frontend.hh"
 #include "experiments/harness.hh"
 #include "experiments/sweep.hh"
 #include "obs/export_json.hh"
@@ -457,14 +458,17 @@ cmdSimulate(const Options &opts)
     opts.generation.validate();
     const core::StatisticalProfile profile =
         core::loadProfileFile(opts.target);
-    const core::SyntheticTrace trace =
-        core::generateSyntheticTrace(profile, opts.generation);
-    std::cout << "synthetic trace: " << trace.size()
-              << " instructions (R="
-              << opts.generation.reductionFactor << ")\n";
+    // Streamed: instructions are generated into a bounded ring and
+    // consumed by the core directly, never materialized as a vector.
+    core::StreamingGenerator gen(
+        profile, opts.generation,
+        core::requiredStreamLookback(opts.cfg));
     ObsOutputs out(opts, onDiskProfileChecksum(opts.target), true);
     const core::SimResult res =
-        core::simulateSyntheticTrace(trace, opts.cfg, out.sinkPtr());
+        core::simulateSyntheticStream(gen, opts.cfg, out.sinkPtr());
+    std::cout << "synthetic trace: " << gen.generated()
+              << " instructions (R="
+              << opts.generation.reductionFactor << ", streamed)\n";
     if (opts.report)
         core::printFullReport(std::cout, "statistical", res, opts.cfg);
     else
@@ -587,6 +591,10 @@ cmdSweep(const Options &opts)
         [&](size_t index, uint64_t seed) {
             exp::StatSimKnobs knobs = baseKnobs;
             knobs.seed = seed;
+            // Per-point gen+sim wall time and peak RSS land in the
+            // journal's `wall_s` / `peak_rss_kb` attempt fields, not
+            // here: `metrics` values must be bit-reproducible across
+            // crash+resume.
             const core::SimResult res =
                 exp::runStatSim(bench, grid[index].cfg, knobs);
             return exp::PointMetrics{
