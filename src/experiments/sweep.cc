@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "obs/export_json.hh"
+#include "util/drain.hh"
 #include "util/process.hh"
 #include "util/random.hh"
 
@@ -29,43 +30,8 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
-std::atomic<bool> stopFlag{false};
-
-extern "C" void
-sweepSignalHandler(int)
-{
-    // Only an async-signal-safe store: workers poll the flag.
-    stopFlag.store(true);
-}
-
-/** Install drain handlers for the run; restore on destruction. */
-class ScopedSignalHandlers
-{
-  public:
-    explicit ScopedSignalHandlers(bool enable) : enabled_(enable)
-    {
-        if (!enabled_)
-            return;
-        struct sigaction sa = {};
-        sa.sa_handler = sweepSignalHandler;
-        sigemptyset(&sa.sa_mask);
-        sigaction(SIGINT, &sa, &oldInt_);
-        sigaction(SIGTERM, &sa, &oldTerm_);
-    }
-
-    ~ScopedSignalHandlers()
-    {
-        if (!enabled_)
-            return;
-        sigaction(SIGINT, &oldInt_, nullptr);
-        sigaction(SIGTERM, &oldTerm_, nullptr);
-    }
-
-  private:
-    bool enabled_;
-    struct sigaction oldInt_ = {};
-    struct sigaction oldTerm_ = {};
-};
+// The stop flag and its SIGINT/SIGTERM handlers live in util/drain,
+// shared with the serve engine so both speak one drain discipline.
 
 bool
 fileExists(const std::string &path)
@@ -275,7 +241,7 @@ Engine::settle(size_t point, PointOutcome &&outcome, uint32_t tid)
     const bool willRetry =
         outcome.status != PointStatus::Ok && retryable &&
         attemptsUsed_[point] < totalAttemptsAllowed() &&
-        !stopFlag.load();
+        !util::drainRequested();
     if (willRetry)
         queue_.push_back(point);
 
@@ -350,10 +316,10 @@ Engine::workerLoop(unsigned workerId)
         // Poll-wait: a signal handler cannot safely notify a condvar,
         // so waits are bounded to observe the stop flag promptly.
         cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
-            return stopFlag.load() || !queue_.empty() ||
+            return util::drainRequested() || !queue_.empty() ||
                    inflight_.empty();
         });
-        if (stopFlag.load())
+        if (util::drainRequested())
             return;
         if (queue_.empty()) {
             if (inflight_.empty())
@@ -649,7 +615,7 @@ Engine::run()
             }
         }
 
-        ScopedSignalHandlers guard(opts_.handleSignals);
+        util::ScopedDrainHandlers guard(opts_.handleSignals);
         std::vector<std::thread> workers;
         workers.reserve(jobs);
         for (unsigned w = 0; w < jobs; ++w)
@@ -690,7 +656,7 @@ Engine::run()
              attemptsUsed_[p] < totalAttemptsAllowed()))
             resumeWouldRun = true;
     }
-    summary_.interrupted = stopFlag.load() && resumeWouldRun;
+    summary_.interrupted = util::drainRequested() && resumeWouldRun;
     if (journal_.isOpen()) {
         journal_.sync();
         journal_.close();
@@ -783,7 +749,7 @@ runSweep(const std::vector<SweepPoint> &points, const PointFn &fn,
         throw Error(ErrorCategory::InvalidArgument,
                     "runSweep requires a point function");
     }
-    stopFlag.store(false);
+    util::clearDrainRequest();
     Engine engine(points, fn, opts);
     return engine.run();
 }
@@ -791,13 +757,13 @@ runSweep(const std::vector<SweepPoint> &points, const PointFn &fn,
 void
 requestSweepStop()
 {
-    stopFlag.store(true);
+    util::requestDrain();
 }
 
 bool
 sweepStopRequested()
 {
-    return stopFlag.load();
+    return util::drainRequested();
 }
 
 // --- Core-configuration grids --------------------------------------

@@ -8,6 +8,35 @@
 namespace ssim::isa
 {
 
+namespace
+{
+
+// Guest integer arithmetic wraps modulo 2^64 (two's complement);
+// compute in uint64_t, where wraparound is defined, so a guest
+// program that overflows (an LCG, a hash loop) is not host UB.
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+} // namespace
+
 Emulator::Emulator(const Program &prog)
     : prog_(&prog)
 {
@@ -37,7 +66,7 @@ Emulator::reset()
 uint64_t
 Emulator::effectiveAddr(const Instruction &inst) const
 {
-    return static_cast<uint64_t>(readInt(inst.rs1) + inst.imm);
+    return static_cast<uint64_t>(wrapAdd(readInt(inst.rs1), inst.imm));
 }
 
 void
@@ -95,10 +124,10 @@ Emulator::step()
       case Opcode::NOP:
         break;
       case Opcode::ADD:
-        writeInt(inst.rd, readInt(inst.rs1) + readInt(inst.rs2));
+        writeInt(inst.rd, wrapAdd(readInt(inst.rs1), readInt(inst.rs2)));
         break;
       case Opcode::SUB:
-        writeInt(inst.rd, readInt(inst.rs1) - readInt(inst.rs2));
+        writeInt(inst.rd, wrapSub(readInt(inst.rs1), readInt(inst.rs2)));
         break;
       case Opcode::AND:
         writeInt(inst.rd, readInt(inst.rs1) & readInt(inst.rs2));
@@ -131,7 +160,7 @@ Emulator::step()
                  static_cast<uint64_t>(readInt(inst.rs2)));
         break;
       case Opcode::ADDI:
-        writeInt(inst.rd, readInt(inst.rs1) + inst.imm);
+        writeInt(inst.rd, wrapAdd(readInt(inst.rs1), inst.imm));
         break;
       case Opcode::ANDI:
         writeInt(inst.rd, readInt(inst.rs1) & inst.imm);
@@ -163,19 +192,26 @@ Emulator::step()
         writeInt(inst.rd, readInt(inst.rs1));
         break;
       case Opcode::MUL:
-        writeInt(inst.rd, readInt(inst.rs1) * readInt(inst.rs2));
+        writeInt(inst.rd, wrapMul(readInt(inst.rs1), readInt(inst.rs2)));
         break;
       case Opcode::DIV:
         {
+            // d == -1 separately: INT64_MIN / -1 overflows (host UB);
+            // the wrapping quotient is the negation.
             const int64_t d = readInt(inst.rs2);
-            writeInt(inst.rd, d == 0 ? -1 : readInt(inst.rs1) / d);
+            writeInt(inst.rd,
+                     d == 0 ? -1 :
+                     d == -1 ? wrapSub(0, readInt(inst.rs1)) :
+                     readInt(inst.rs1) / d);
         }
         break;
       case Opcode::REM:
         {
             const int64_t d = readInt(inst.rs2);
             writeInt(inst.rd,
-                     d == 0 ? readInt(inst.rs1) : readInt(inst.rs1) % d);
+                     d == 0 ? readInt(inst.rs1) :
+                     d == -1 ? 0 :
+                     readInt(inst.rs1) % d);
         }
         break;
 

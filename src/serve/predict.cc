@@ -1,0 +1,98 @@
+#include "predict.hh"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "experiments/harness.hh"
+#include "experiments/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace ssim::serve
+{
+
+namespace
+{
+
+namespace exp = ssim::experiments;
+
+/**
+ * Benchmark programs keyed by (workload, scale). Guarded the same
+ * way the profile cache is: one mutex, builds serialized on first
+ * request. Values are shared_ptr so a build result outlives any
+ * rehash while a concurrent request still holds it.
+ */
+class BenchmarkCache
+{
+  public:
+    std::shared_ptr<const exp::Benchmark>
+    get(const std::string &workload, uint64_t scale)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto key = std::make_pair(workload, scale);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        // workloads::build throws UnknownWorkload for a bad name —
+        // exactly the typed error the wire protocol forwards.
+        auto bench = std::make_shared<exp::Benchmark>(
+            exp::Benchmark{workload, "",
+                           workloads::build(workload, scale)});
+        cache_.emplace(key, bench);
+        return bench;
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<std::pair<std::string, uint64_t>,
+             std::shared_ptr<const exp::Benchmark>>
+        cache_;
+};
+
+} // namespace
+
+PredictFn
+makeStatSimPredictFn()
+{
+    auto cache = std::make_shared<BenchmarkCache>();
+    return [cache](const PredictRequest &req) -> Metrics {
+        // The request's config object rides through the same grid
+        // layer the sweep CLI uses: every key is validated against
+        // sweepGridKeys() and every value against the knob's domain,
+        // so a bad request gets the identical InvalidArgument /
+        // InvalidConfig diagnostics a bad --grid would.
+        std::vector<exp::GridAxis> axes;
+        axes.reserve(req.config.size());
+        for (const auto &[key, value] : req.config)
+            axes.push_back({key, {value}});
+        cpu::CoreConfig base = cpu::CoreConfig::baseline();
+        base.perfectCaches = req.perfectCaches;
+        base.perfectBpred = req.perfectBpred;
+        const std::vector<exp::ConfigPoint> grid =
+            exp::expandConfigGrid(base, axes);
+        const cpu::CoreConfig cfg =
+            grid.empty() ? base : grid.front().cfg;
+        cfg.validate();
+
+        exp::StatSimKnobs knobs;
+        knobs.seed = req.seed;
+        knobs.reductionFactor = req.reduction;
+        knobs.maxInsts = req.maxInsts;
+        knobs.perfectCaches = req.perfectCaches;
+        knobs.perfectBpred = req.perfectBpred;
+
+        const std::shared_ptr<const exp::Benchmark> bench =
+            cache->get(req.workload, req.workloadScale);
+        const core::SimResult res =
+            exp::runStatSim(*bench, cfg, knobs);
+        return Metrics{
+            {"ipc", res.ipc},
+            {"epc", res.epc},
+            {"edp", res.edp},
+            {"cycles", static_cast<double>(res.stats.cycles)},
+        };
+    };
+}
+
+} // namespace ssim::serve

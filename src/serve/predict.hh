@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The production PredictFn behind `ssim serve`: one statistical
+ * simulation per request, on top of the experiment harness's
+ * thread-safe profile cache.
+ *
+ * This is where the daemon earns its keep: profileFor() means the
+ * expensive profiling pass for a (workload, profiling-config) pair
+ * runs once per daemon lifetime and every later request against it
+ * pays only generation + simulation — the paper's profile-once,
+ * evaluate-many economics, packaged as a service. Workload programs
+ * are cached the same way (keyed by name and scale), so a request is
+ * never charged for rebuilding its benchmark.
+ */
+
+#ifndef SSIM_SERVE_PREDICT_HH
+#define SSIM_SERVE_PREDICT_HH
+
+#include "serve/server.hh"
+
+namespace ssim::serve
+{
+
+/**
+ * A PredictFn that runs the real statistical simulation. Applies the
+ * request's `config` grid-key overrides to the baseline core
+ * configuration (unknown keys and invalid values throw the same
+ * typed errors the sweep CLI reports), builds or reuses the cached
+ * profile, and returns ipc/epc/edp/cycles. Deterministic in the
+ * request seed: a replayed request reproduces byte-identical
+ * metrics.
+ */
+PredictFn makeStatSimPredictFn();
+
+} // namespace ssim::serve
+
+#endif // SSIM_SERVE_PREDICT_HH

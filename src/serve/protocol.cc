@@ -1,0 +1,184 @@
+#include "protocol.hh"
+
+#include "obs/export_json.hh"
+#include "util/json_reader.hh"
+#include "util/json_writer.hh"
+
+namespace ssim::serve
+{
+
+namespace
+{
+
+using util::json::appendBool;
+using util::json::appendDouble;
+using util::json::appendEscaped;
+using util::json::appendField;
+using util::json::appendKey;
+using util::json::appendU64;
+using util::json::doubleToken;
+using util::json::LineScanner;
+
+RequestType
+requestTypeFromName(const std::string &name, const LineScanner &p)
+{
+    if (name == "predict")
+        return RequestType::Predict;
+    if (name == "health")
+        return RequestType::Health;
+    if (name == "metrics")
+        return RequestType::Metrics;
+    throw p.fail("unknown request type '" + name +
+                 "' (expected predict, health, or metrics)");
+}
+
+/** Milliseconds field -> seconds, rejecting negatives and NaN. */
+double
+secondsFromMs(double ms, const char *key, const LineScanner &p)
+{
+    if (!(ms >= 0.0))
+        throw p.fail(std::string(key) + " must be >= 0");
+    return ms / 1000.0;
+}
+
+} // namespace
+
+Expected<Request>
+parseRequestLine(const std::string &line)
+{
+    return tryInvoke([&]() -> Request {
+        LineScanner p(line, "<request>", 1);
+        Request req;
+        if (!p.consume('{'))
+            throw p.fail("expected a JSON object");
+        bool first = true;
+        while (!p.consume('}')) {
+            if (!first && !p.consume(','))
+                throw p.fail("expected ',' between fields");
+            first = false;
+            const std::string key = p.parseString();
+            if (!p.consume(':'))
+                throw p.fail("expected ':' after key '" + key + "'");
+            if (key == "id")
+                req.id = p.parseString();
+            else if (key == "type")
+                req.type = requestTypeFromName(p.parseString(), p);
+            else if (key == "workload")
+                req.predict.workload = p.parseString();
+            else if (key == "config") {
+                if (!p.consume('{'))
+                    throw p.fail("config must be an object");
+                bool cFirst = true;
+                while (!p.consume('}')) {
+                    if (!cFirst && !p.consume(','))
+                        throw p.fail("expected ',' in config");
+                    cFirst = false;
+                    const std::string knob = p.parseString();
+                    if (!p.consume(':'))
+                        throw p.fail("expected ':' in config");
+                    req.predict.config.emplace_back(knob,
+                                                    p.parseDouble());
+                }
+            } else if (key == "perfect_caches")
+                req.predict.perfectCaches = p.parseBool();
+            else if (key == "perfect_bpred")
+                req.predict.perfectBpred = p.parseBool();
+            else if (key == "seed")
+                req.predict.seed = p.parseU64();
+            else if (key == "reduction")
+                req.predict.reduction = p.parseU64();
+            else if (key == "max_insts")
+                req.predict.maxInsts = p.parseU64();
+            else if (key == "workload_scale")
+                req.predict.workloadScale = p.parseU64();
+            else if (key == "deadline_ms")
+                req.deadlineSeconds = secondsFromMs(
+                    p.parseDouble(), "deadline_ms", p);
+            else if (key == "stall_ms")
+                req.predict.stallSeconds = secondsFromMs(
+                    p.parseDouble(), "stall_ms", p);
+            else
+                throw p.fail("unknown field '" + key + "'");
+        }
+        if (!p.atEnd())
+            throw p.fail("trailing characters after request");
+        if (req.id.empty())
+            throw p.fail("request needs a non-empty \"id\"");
+        if (req.type == RequestType::Predict &&
+            req.predict.workload.empty())
+            throw p.fail("predict request needs a \"workload\"");
+        return req;
+    });
+}
+
+std::string
+renderOkResponse(const std::string &id, uint64_t seed,
+                 const Metrics &metrics, double wallMs)
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    appendBool(out, "ok", true);
+    appendU64(out, "seed", seed);
+    // %.17g, no whitespace: the metrics object is byte-identical
+    // across replays of the same seeded request. wall_ms rides
+    // outside it — an observation, not a result.
+    appendKey(out, "metrics");
+    out += '{';
+    for (const auto &[name, value] : metrics) {
+        appendKey(out, name.c_str());
+        out += doubleToken(value);
+    }
+    out += '}';
+    appendDouble(out, "wall_ms", wallMs);
+    out += '}';
+    return out;
+}
+
+std::string
+renderErrorResponse(const std::string &id, ErrorCategory category,
+                    const std::string &message, uint64_t retryAfterMs)
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    appendBool(out, "ok", false);
+    appendField(out, "error", errorCategoryName(category));
+    if (!message.empty())
+        appendField(out, "message", message);
+    if (retryAfterMs > 0)
+        appendU64(out, "retry_after_ms", retryAfterMs);
+    out += '}';
+    return out;
+}
+
+std::string
+renderHealthResponse(const std::string &id, const HealthInfo &info)
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    appendBool(out, "ok", true);
+    appendField(out, "status", info.draining ? "draining" : "serving");
+    appendU64(out, "workers", info.workers);
+    appendU64(out, "queue_depth", info.queueDepth);
+    appendU64(out, "inflight", info.inflight);
+    appendU64(out, "served", info.served);
+    appendU64(out, "shed", info.shed);
+    appendU64(out, "deadline_exceeded", info.deadlineExceeded);
+    appendU64(out, "crashed", info.crashed);
+    out += '}';
+    return out;
+}
+
+std::string
+renderMetricsResponse(const std::string &id, const obs::Snapshot &snap,
+                      const obs::RunManifest &manifest)
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    appendBool(out, "ok", true);
+    appendKey(out, "stats");
+    out += obs::renderStatsJson(snap, manifest);
+    out += '}';
+    return out;
+}
+
+} // namespace ssim::serve

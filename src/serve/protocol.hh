@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Wire protocol of `ssim serve`: newline-delimited JSON requests and
+ * responses, one object per line, in the same no-whitespace dialect
+ * the journal and the exporters speak (util/json_reader,
+ * util/json_writer).
+ *
+ * Requests:
+ *
+ *   {"id":"r1","type":"predict","workload":"route",
+ *    "config":{"ruu":32,"width":4},"seed":7,"reduction":50,
+ *    "max_insts":120000,"deadline_ms":2000}
+ *   {"id":"h1","type":"health"}
+ *   {"id":"m1","type":"metrics"}
+ *
+ * `config` keys are the sweep grid keys (ruu, lsq, width, ifq,
+ * scale-bpred, scale-cache); unknown keys are rejected with the same
+ * typed InvalidArgument the sweep CLI gives. `stall_ms` is a
+ * documented fault-injection field (the worker sleeps before
+ * predicting) used by the deadline tests; it plays the role
+ * SSIM_SWEEP_STALL_POINT plays for the sweep engine.
+ *
+ * Responses (exactly one per request, in completion order):
+ *
+ *   {"id":"r1","ok":true,"seed":7,"metrics":{"ipc":...,...},
+ *    "wall_ms":12.5}
+ *   {"id":"r1","ok":false,"error":"overloaded",
+ *    "message":"...","retry_after_ms":40}
+ *
+ * The `error` field is always an errorCategoryName() string, so a
+ * client branches on the same category vocabulary the CLI exit codes
+ * and the sweep journal use. `metrics` values are rendered with
+ * %.17g: a replayed request with the same seed produces a
+ * byte-identical metrics object.
+ */
+
+#ifndef SSIM_SERVE_PROTOCOL_HH
+#define SSIM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace ssim::serve
+{
+
+/** The request kinds the daemon answers. */
+enum class RequestType : uint8_t
+{
+    Predict,   ///< run one statistical simulation
+    Health,    ///< liveness + queue state, answered inline
+    Metrics,   ///< full obs registry snapshot, answered inline
+};
+
+/** Named metric values of one prediction ("ipc", "epc", ...). */
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/** Payload of a predict request. */
+struct PredictRequest
+{
+    std::string workload;
+    /** Grid-key overrides applied to the baseline configuration. */
+    std::vector<std::pair<std::string, double>> config;
+    bool perfectCaches = false;
+    bool perfectBpred = false;
+    uint64_t seed = 1;
+    uint64_t reduction = 20;
+    uint64_t maxInsts = 0;        ///< profiling cap; 0 = completion
+    uint64_t workloadScale = 1;
+    double stallSeconds = 0.0;    ///< fault injection (stall_ms)
+};
+
+/** One parsed request line. */
+struct Request
+{
+    std::string id;
+    RequestType type = RequestType::Predict;
+    double deadlineSeconds = 0.0;   ///< 0 = server default
+    PredictRequest predict;
+};
+
+/**
+ * Parse one request line.
+ * @throws nothing; malformed input comes back as a failed Expected
+ *         carrying a ParseError (or InvalidArgument for a bad type).
+ */
+Expected<Request> parseRequestLine(const std::string &line);
+
+/** Success response with the prediction metrics. */
+std::string renderOkResponse(const std::string &id, uint64_t seed,
+                             const Metrics &metrics, double wallMs);
+
+/**
+ * Typed failure response. @p retryAfterMs > 0 adds the backoff hint
+ * clients should honour before retrying (set for Overloaded).
+ */
+std::string renderErrorResponse(const std::string &id,
+                                ErrorCategory category,
+                                const std::string &message,
+                                uint64_t retryAfterMs = 0);
+
+/** Queue/worker state reported by a health response. */
+struct HealthInfo
+{
+    bool draining = false;
+    unsigned workers = 0;
+    uint64_t queueDepth = 0;
+    uint64_t inflight = 0;
+    uint64_t served = 0;
+    uint64_t shed = 0;
+    uint64_t deadlineExceeded = 0;
+    uint64_t crashed = 0;
+};
+
+std::string renderHealthResponse(const std::string &id,
+                                 const HealthInfo &info);
+
+/** Metrics response: the ssim-stats document under a "stats" key. */
+std::string renderMetricsResponse(const std::string &id,
+                                  const obs::Snapshot &snap,
+                                  const obs::RunManifest &manifest);
+
+} // namespace ssim::serve
+
+#endif // SSIM_SERVE_PROTOCOL_HH

@@ -1,0 +1,791 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ssim::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::duration<double>
+secondsOf(double s)
+{
+    return std::chrono::duration<double>(s);
+}
+
+/**
+ * SSIM_SERVE_CRASH_ON=<id,id,...>: the worker that picks up a listed
+ * request dies (its thread exits after answering `worker-crashed`) —
+ * the serve-side analogue of SSIM_SWEEP_CRASH_AFTER, scoped to one
+ * request so the crash tests can aim precisely.
+ */
+std::set<std::string>
+crashIdsFromEnv()
+{
+    std::set<std::string> ids;
+    const char *env = std::getenv("SSIM_SERVE_CRASH_ON");
+    if (!env)
+        return ids;
+    std::stringstream ss(env);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            ids.insert(tok);
+    return ids;
+}
+
+} // namespace
+
+void
+ServeOptions::validate() const
+{
+    if (queueCapacity == 0)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "serve queueCapacity must be >= 1");
+    if (defaultDeadlineSeconds < 0)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "serve defaultDeadlineSeconds must be >= 0");
+    if (drainBudgetSeconds <= 0)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "serve drainBudgetSeconds must be > 0");
+    if (restartBackoffSeconds <= 0 || restartBackoffCapSeconds <= 0 ||
+        restartBackoffCapSeconds < restartBackoffSeconds) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "serve restart backoff must be positive and the "
+                    "cap must be >= the base");
+    }
+}
+
+struct Server::Impl
+{
+    /** One admitted-but-not-started request. */
+    struct Job
+    {
+        Request req;
+        Respond respond;
+        Clock::time_point enqueued;
+        Clock::time_point deadline;
+        bool hasDeadline = false;
+    };
+
+    /** One dispatched request, shared by its worker + the watchdog. */
+    struct ActiveRequest
+    {
+        Request req;
+        Respond respond;
+        Clock::time_point enqueued;
+        Clock::time_point deadline;
+        bool hasDeadline = false;
+        bool settled = false;     ///< guarded by mu_
+        bool abandoned = false;   ///< deadline fired; worker recycled
+    };
+
+    /**
+     * One worker thread. `exited` flips just before the thread
+     * returns, which is the watchdog's reap signal (a returned thread
+     * joins without blocking).
+     */
+    struct Worker
+    {
+        unsigned id = 0;
+        std::thread thread;
+        std::atomic<bool> exited{false};
+        std::shared_ptr<ActiveRequest> current;   ///< guarded by mu_
+        bool recycled = false;   ///< moved to zombies_; mu_ guarded
+    };
+
+    Impl(PredictFn fn, const ServeOptions &opts,
+         const obs::RunManifest *manifest)
+        : fn_(std::move(fn)), opts_(opts),
+          crashIds_(crashIdsFromEnv())
+    {
+        if (manifest)
+            manifest_ = *manifest;
+        if (opts_.workers == 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            opts_.workers = hw > 0 ? hw : 1;
+        }
+        // serve.* instruments. Counts live in plain members guarded
+        // by mu_ and are exported through computed gauges that read
+        // them lock-free; metricsSnapshot() holds mu_ around
+        // snapshot(), which is what makes those reads (and the
+        // latency histogram copy) race-free. The one lock-order rule:
+        // mu_ before the registry mutex, never the reverse.
+        registry_.gaugeFn("serve.queue.depth", [this] {
+            return static_cast<double>(queue_.size());
+        });
+        registry_.gaugeFn("serve.queue.capacity", [this] {
+            return static_cast<double>(opts_.queueCapacity);
+        });
+        registry_.gaugeFn("serve.inflight", [this] {
+            return static_cast<double>(inflight_.size());
+        });
+        registry_.gaugeFn("serve.workers.live", [this] {
+            return static_cast<double>(liveWorkers_);
+        });
+        registry_.gaugeFn("serve.requests.admitted",
+                          [this] { return double(admitted_); });
+        registry_.gaugeFn("serve.requests.ok",
+                          [this] { return double(okCount_); });
+        registry_.gaugeFn("serve.requests.error",
+                          [this] { return double(errorCount_); });
+        registry_.gaugeFn("serve.requests.shed",
+                          [this] { return double(shed_); });
+        registry_.gaugeFn("serve.requests.deadline_exceeded",
+                          [this] { return double(deadline_); });
+        registry_.gaugeFn("serve.requests.worker_crashed",
+                          [this] { return double(crashed_); });
+        registry_.gaugeFn("serve.requests.rejected_draining",
+                          [this] { return double(rejectedDraining_); });
+        registry_.gaugeFn("serve.requests.parse_error",
+                          [this] { return double(parseErrors_); });
+        registry_.gaugeFn("serve.worker.restarts",
+                          [this] { return double(restartsDone_); });
+        latency_ = &registry_.histogram(
+            "serve.latency_ms",
+            {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    }
+
+    // --- lifecycle ------------------------------------------------
+
+    void
+    start()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (started_)
+            return;
+        started_ = true;
+        for (unsigned i = 0; i < opts_.workers; ++i)
+            spawnWorkerLocked();
+        watchdog_ = std::thread([this] { watchdogLoop(); });
+    }
+
+    void
+    beginDrain()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        draining_ = true;
+        cv_.notify_all();
+    }
+
+    bool
+    drainComplete()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return draining_ && queue_.empty() && inflight_.empty();
+    }
+
+    bool
+    awaitDrain()
+    {
+        const auto budgetEnd =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                secondsOf(opts_.drainBudgetSeconds));
+        std::vector<std::pair<Respond, std::string>> toSend;
+        bool clean = false;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            draining_ = true;
+            cv_.notify_all();
+            while (Clock::now() < budgetEnd) {
+                if (queue_.empty() && inflight_.empty()) {
+                    clean = true;
+                    break;
+                }
+                cv_.wait_for(lk, std::chrono::milliseconds(20));
+            }
+            if (!clean) {
+                // Budget exhausted. Work that never started gets
+                // shutting-down (nothing ran); work mid-prediction
+                // gets deadline-exceeded (the drain budget is its
+                // final deadline) and its worker is abandoned.
+                for (Job &job : queue_) {
+                    ++rejectedDraining_;
+                    toSend.emplace_back(
+                        std::move(job.respond),
+                        renderErrorResponse(
+                            job.req.id, ErrorCategory::ShuttingDown,
+                            "service stopped before the request "
+                            "started"));
+                }
+                queue_.clear();
+                for (auto &active : inflight_) {
+                    if (active->settled)
+                        continue;
+                    active->settled = true;
+                    active->abandoned = true;
+                    ++deadline_;
+                    toSend.emplace_back(
+                        active->respond,
+                        renderErrorResponse(
+                            active->req.id,
+                            ErrorCategory::DeadlineExceeded,
+                            "drain budget exhausted"));
+                }
+                inflight_.clear();
+            }
+        }
+        for (auto &[respond, line] : toSend)
+            if (respond)
+                respond(line);
+        return clean;
+    }
+
+    void
+    stop()
+    {
+        std::vector<std::pair<Respond, std::string>> toSend;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!started_ || stopping_)
+                return;
+            stopping_ = true;
+            // Defensive exactly-once: a stop without a full drain
+            // still answers whatever never started.
+            for (Job &job : queue_) {
+                ++rejectedDraining_;
+                toSend.emplace_back(
+                    std::move(job.respond),
+                    renderErrorResponse(
+                        job.req.id, ErrorCategory::ShuttingDown,
+                        "service stopped before the request "
+                        "started"));
+            }
+            queue_.clear();
+            cv_.notify_all();
+        }
+        for (auto &[respond, line] : toSend)
+            if (respond)
+                respond(line);
+        if (watchdog_.joinable())
+            watchdog_.join();
+        // The watchdog has exited; workers_/zombies_ are now only
+        // touched here. A thread stuck in a prediction is waited
+        // for — its request was already answered, but its stack must
+        // unwind before the engine is torn down.
+        std::vector<std::shared_ptr<Worker>> all;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            all = workers_;
+            all.insert(all.end(), zombies_.begin(), zombies_.end());
+            workers_.clear();
+            zombies_.clear();
+        }
+        for (auto &w : all)
+            if (w->thread.joinable())
+                w->thread.join();
+    }
+
+    // --- admission ------------------------------------------------
+
+    void
+    submit(Request req, Respond respond)
+    {
+        if (req.type == RequestType::Health) {
+            respond(renderHealthResponse(req.id, health()));
+            return;
+        }
+        if (req.type == RequestType::Metrics) {
+            respond(renderMetricsResponse(req.id, metricsSnapshot(),
+                                          manifest_));
+            return;
+        }
+        std::string reject;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (draining_ || stopping_) {
+                ++rejectedDraining_;
+                reject = renderErrorResponse(
+                    req.id, ErrorCategory::ShuttingDown,
+                    "service is draining; request not admitted");
+            } else if (queue_.size() >= opts_.queueCapacity) {
+                ++shed_;
+                reject = renderErrorResponse(
+                    req.id, ErrorCategory::Overloaded,
+                    "admission queue full (" +
+                        std::to_string(opts_.queueCapacity) +
+                        " requests)",
+                    retryHintMsLocked());
+            } else {
+                Job job;
+                job.req = std::move(req);
+                job.respond = std::move(respond);
+                job.enqueued = Clock::now();
+                const double dl = job.req.deadlineSeconds > 0
+                                      ? job.req.deadlineSeconds
+                                      : opts_.defaultDeadlineSeconds;
+                if (dl > 0) {
+                    job.hasDeadline = true;
+                    job.deadline =
+                        job.enqueued +
+                        std::chrono::duration_cast<Clock::duration>(
+                            secondsOf(dl));
+                }
+                queue_.push_back(std::move(job));
+                ++admitted_;
+                cv_.notify_one();
+                return;
+            }
+        }
+        respond(reject);
+    }
+
+    void
+    submitLine(const std::string &line, Respond respond)
+    {
+        Expected<Request> req = parseRequestLine(line);
+        if (!req) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++parseErrors_;
+            }
+            // The id is unknown when the line does not parse; an
+            // empty id tells the client "one of yours, unidentified".
+            respond(renderErrorResponse("", req.error().category(),
+                                        req.error().message()));
+            return;
+        }
+        submit(std::move(req.value()), std::move(respond));
+    }
+
+    // --- introspection --------------------------------------------
+
+    HealthInfo
+    health() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        HealthInfo info;
+        info.draining = draining_ || stopping_;
+        info.workers = liveWorkers_;
+        info.queueDepth = queue_.size();
+        info.inflight = inflight_.size();
+        info.served = okCount_ + errorCount_ + deadline_ + crashed_;
+        info.shed = shed_;
+        info.deadlineExceeded = deadline_;
+        info.crashed = crashed_;
+        return info;
+    }
+
+    obs::Snapshot
+    metricsSnapshot() const
+    {
+        // mu_ serializes the snapshot against every count update and
+        // histogram observation (see the ctor comment).
+        std::lock_guard<std::mutex> lk(mu_);
+        return registry_.snapshot();
+    }
+
+    // --- internals ------------------------------------------------
+
+    /** Backoff hint for a shed request; mu_ held. */
+    uint64_t
+    retryHintMsLocked() const
+    {
+        // Expected wait ~= smoothed service latency times the number
+        // of requests ahead of this one per worker. Clamped so a cold
+        // hint is still a sane client sleep.
+        const double perWorker =
+            ewmaLatency_ *
+            (static_cast<double>(queue_.size() + inflight_.size()) /
+                 static_cast<double>(opts_.workers) +
+             1.0);
+        const double ms = perWorker * 1000.0;
+        return static_cast<uint64_t>(
+            std::min(10000.0, std::max(10.0, ms)));
+    }
+
+    /** mu_ held. */
+    void
+    spawnWorkerLocked()
+    {
+        auto w = std::make_shared<Worker>();
+        w->id = nextWorkerId_++;
+        ++liveWorkers_;
+        workers_.push_back(w);
+        w->thread = std::thread([this, w] { workerLoop(w); });
+    }
+
+    /** mu_ held. */
+    void
+    removeInflightLocked(const std::shared_ptr<ActiveRequest> &active)
+    {
+        inflight_.erase(
+            std::remove(inflight_.begin(), inflight_.end(), active),
+            inflight_.end());
+    }
+
+    void
+    workerLoop(const std::shared_ptr<Worker> &self)
+    {
+        for (;;) {
+            std::shared_ptr<ActiveRequest> active;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                // Poll-wait like the sweep workers: signal handlers
+                // cannot notify a condition variable, so the wait
+                // doubles as the drain-flag poll.
+                cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (stopping_) {
+                    self->exited.store(true);
+                    --liveWorkers_;
+                    return;
+                }
+                if (queue_.empty())
+                    continue;
+                Job job = std::move(queue_.front());
+                queue_.pop_front();
+                active = std::make_shared<ActiveRequest>();
+                active->req = std::move(job.req);
+                active->respond = std::move(job.respond);
+                active->enqueued = job.enqueued;
+                active->deadline = job.deadline;
+                active->hasDeadline = job.hasDeadline;
+                inflight_.push_back(active);
+                self->current = active;
+            }
+
+            if (crashIds_.count(active->req.id) > 0) {
+                crashWith(self, active);
+                return;   // this thread is "dead"
+            }
+
+            // Fault injection: stall before predicting (stall_ms).
+            if (active->req.predict.stallSeconds > 0) {
+                std::this_thread::sleep_for(secondsOf(
+                    active->req.predict.stallSeconds));
+            }
+
+            Metrics metrics;
+            bool failed = false;
+            ErrorCategory category = ErrorCategory::Internal;
+            std::string message;
+            try {
+                metrics = fn_(active->req.predict);
+            } catch (const Error &e) {
+                failed = true;
+                category = e.category();
+                message = e.message();
+            } catch (const std::exception &e) {
+                failed = true;
+                message = e.what();
+            }
+            const double wallMs =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - active->enqueued)
+                    .count();
+
+            std::string line;
+            Respond respond;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                self->current.reset();
+                if (active->settled) {
+                    // The watchdog (or the drain) already answered
+                    // this request; the result is discarded and the
+                    // thread retires. A watchdog recycle already
+                    // took this worker out of the live count.
+                    if (!self->recycled)
+                        --liveWorkers_;
+                    self->exited.store(true);
+                    return;
+                }
+                active->settled = true;
+                removeInflightLocked(active);
+                if (failed) {
+                    ++errorCount_;
+                    line = renderErrorResponse(active->req.id,
+                                               category, message);
+                } else {
+                    ++okCount_;
+                    latency_->observe(wallMs);
+                    // EWMA of successful service time feeds the
+                    // overload retry hint.
+                    ewmaLatency_ = 0.8 * ewmaLatency_ +
+                                   0.2 * (wallMs / 1000.0);
+                    line = renderOkResponse(active->req.id,
+                                            active->req.predict.seed,
+                                            metrics, wallMs);
+                }
+                // A completed request proves the pool is healthy
+                // again: the crash-restart backoff resets.
+                crashBackoff_ = 0.0;
+                respond = active->respond;
+                cv_.notify_all();   // wake awaitDrain
+            }
+            respond(line);
+        }
+    }
+
+    /** Simulated worker death on a listed request id. */
+    void
+    crashWith(const std::shared_ptr<Worker> &self,
+              const std::shared_ptr<ActiveRequest> &active)
+    {
+        std::string line;
+        Respond respond;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            self->current.reset();
+            if (!active->settled) {
+                active->settled = true;
+                removeInflightLocked(active);
+                ++crashed_;
+                line = renderErrorResponse(
+                    active->req.id, ErrorCategory::WorkerCrashed,
+                    "worker died processing this request; it will "
+                    "be restarted");
+                respond = active->respond;
+            }
+            --liveWorkers_;
+            // Exponential backoff before the replacement spawns;
+            // reset by the next successful completion.
+            crashBackoff_ =
+                crashBackoff_ == 0.0
+                    ? opts_.restartBackoffSeconds
+                    : std::min(crashBackoff_ * 2.0,
+                               opts_.restartBackoffCapSeconds);
+            restarts_.push_back(
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    secondsOf(crashBackoff_)));
+            self->exited.store(true);
+            cv_.notify_all();
+        }
+        warn("serve: worker " + std::to_string(self->id) +
+             " crashed on request '" + active->req.id +
+             "'; restarting after backoff");
+        if (respond)
+            respond(line);
+    }
+
+    void
+    watchdogLoop()
+    {
+        for (;;) {
+            std::vector<std::pair<Respond, std::string>> toSend;
+            std::vector<std::shared_ptr<Worker>> reaped;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                if (stopping_)
+                    return;
+                const auto now = Clock::now();
+
+                // 1. Expired queued requests never started; answer
+                //    them without costing a worker.
+                for (auto it = queue_.begin(); it != queue_.end();) {
+                    if (it->hasDeadline && now >= it->deadline) {
+                        ++deadline_;
+                        toSend.emplace_back(
+                            std::move(it->respond),
+                            renderErrorResponse(
+                                it->req.id,
+                                ErrorCategory::DeadlineExceeded,
+                                "deadline expired while queued"));
+                        it = queue_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+
+                // 2. Expired running requests: answer now, recycle
+                //    the worker. The stuck thread keeps the shared
+                //    state alive and retires when the prediction
+                //    returns; a fresh worker spawns immediately so
+                //    capacity never degrades.
+                for (auto it = inflight_.begin();
+                     it != inflight_.end();) {
+                    auto &active = *it;
+                    if (!active->settled && active->hasDeadline &&
+                        now >= active->deadline) {
+                        active->settled = true;
+                        active->abandoned = true;
+                        ++deadline_;
+                        toSend.emplace_back(
+                            active->respond,
+                            renderErrorResponse(
+                                active->req.id,
+                                ErrorCategory::DeadlineExceeded,
+                                "deadline expired mid-prediction; "
+                                "worker recycled"));
+                        for (auto wit = workers_.begin();
+                             wit != workers_.end(); ++wit) {
+                            if ((*wit)->current == active) {
+                                (*wit)->recycled = true;
+                                zombies_.push_back(*wit);
+                                workers_.erase(wit);
+                                --liveWorkers_;
+                                restarts_.push_back(now);
+                                break;
+                            }
+                        }
+                        it = inflight_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+
+                // 3. Reap returned threads (crashed workers and
+                //    retired zombies join without blocking).
+                for (auto it = workers_.begin();
+                     it != workers_.end();) {
+                    if ((*it)->exited.load()) {
+                        reaped.push_back(*it);
+                        it = workers_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                for (auto it = zombies_.begin();
+                     it != zombies_.end();) {
+                    if ((*it)->exited.load()) {
+                        reaped.push_back(*it);
+                        it = zombies_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+
+                // 4. Respawn due restarts (not while draining: a
+                //    draining pool only shrinks).
+                while (!restarts_.empty() &&
+                       now >= restarts_.front() && !draining_) {
+                    restarts_.pop_front();
+                    ++restartsDone_;
+                    spawnWorkerLocked();
+                }
+            }
+            for (auto &[respond, line] : toSend)
+                if (respond)
+                    respond(line);
+            for (auto &w : reaped)
+                if (w->thread.joinable())
+                    w->thread.join();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    }
+
+    // --- state ----------------------------------------------------
+
+    PredictFn fn_;
+    ServeOptions opts_;
+    obs::RunManifest manifest_;
+    const std::set<std::string> crashIds_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> queue_;
+    std::vector<std::shared_ptr<ActiveRequest>> inflight_;
+    std::vector<std::shared_ptr<Worker>> workers_;
+    std::vector<std::shared_ptr<Worker>> zombies_;
+    std::thread watchdog_;
+    bool started_ = false;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    unsigned liveWorkers_ = 0;
+    unsigned nextWorkerId_ = 0;
+    std::deque<Clock::time_point> restarts_;
+    double crashBackoff_ = 0.0;
+
+    // Outcome counts (guarded by mu_; exported via gaugeFn).
+    uint64_t admitted_ = 0;
+    uint64_t okCount_ = 0;
+    uint64_t errorCount_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t deadline_ = 0;
+    uint64_t crashed_ = 0;
+    uint64_t rejectedDraining_ = 0;
+    uint64_t parseErrors_ = 0;
+    uint64_t restartsDone_ = 0;
+    double ewmaLatency_ = 0.05;   ///< seconds; seeds the retry hint
+
+    obs::Registry registry_;
+    obs::Histogram *latency_ = nullptr;
+};
+
+Server::Server(PredictFn fn, const ServeOptions &opts,
+               const obs::RunManifest *manifest)
+    : impl_(std::make_unique<Impl>(std::move(fn), opts, manifest))
+{
+}
+
+Server::~Server()
+{
+    impl_->stop();
+}
+
+void
+Server::start()
+{
+    impl_->start();
+}
+
+void
+Server::submitLine(const std::string &line, Respond respond)
+{
+    impl_->submitLine(line, std::move(respond));
+}
+
+void
+Server::submit(Request req, Respond respond)
+{
+    impl_->submit(std::move(req), std::move(respond));
+}
+
+void
+Server::beginDrain()
+{
+    impl_->beginDrain();
+}
+
+bool
+Server::drainComplete()
+{
+    return impl_->drainComplete();
+}
+
+bool
+Server::awaitDrain()
+{
+    return impl_->awaitDrain();
+}
+
+void
+Server::stop()
+{
+    impl_->stop();
+}
+
+HealthInfo
+Server::health() const
+{
+    return impl_->health();
+}
+
+obs::Snapshot
+Server::metricsSnapshot() const
+{
+    return impl_->metricsSnapshot();
+}
+
+} // namespace ssim::serve

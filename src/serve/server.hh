@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The `ssim serve` engine: a long-lived prediction service with
+ * bounded admission, per-request deadlines, crash isolation, and
+ * graceful drain — the server-side counterpart of the sweep engine's
+ * crash tolerance, built from the same ingredients (poll-wait worker
+ * pool, a watchdog thread, the shared util/drain stop discipline).
+ *
+ * Request lifecycle:
+ *
+ *   accept -> admit | shed(overloaded) | reject(shutting-down)
+ *   admit  -> dispatch -> ok | error | deadline-exceeded
+ *                            | worker-crashed
+ *   drain  -> in-flight finishes within the budget; stragglers get
+ *             deadline-exceeded; new requests get shutting-down
+ *
+ * Robustness properties, each of which is tested:
+ *
+ *  - Bounded admission: the queue has a fixed capacity; a request
+ *    that would exceed it is answered immediately with `overloaded`
+ *    plus a retry_after_ms hint derived from an EWMA of recent
+ *    service latency and the current backlog. Load is shed at the
+ *    door, never absorbed into unbounded memory.
+ *  - Deadlines: the watchdog answers an expired request with
+ *    `deadline-exceeded` and *recycles* its worker — a replacement
+ *    thread is spawned immediately so capacity never degrades, and
+ *    the stuck thread discards its result and exits when the
+ *    prediction finally returns. Exactly one response per request,
+ *    always.
+ *  - Crash isolation: SSIM_SERVE_CRASH_ON=<id,id,...> makes the
+ *    worker that picks up a listed request die (the moral equivalent
+ *    of a segfault confined to one thread). The request is answered
+ *    `worker-crashed`; the watchdog reaps the dead worker and
+ *    restarts it after an exponential backoff (reset by the next
+ *    successful completion). One bad request costs one response,
+ *    never the daemon.
+ *  - Graceful drain: beginDrain() (the transports call it on
+ *    SIGINT/SIGTERM or EOF) stops admission; awaitDrain() lets
+ *    admitted work finish within the drain budget and force-fails
+ *    whatever remains. The CLI maps a signal-initiated drain to exit
+ *    code 10, the same resumable code an interrupted sweep uses.
+ *
+ * Observability: the engine owns an obs::Registry with serve.*
+ * counters (requests by outcome, sheds, crashes, restarts), live
+ * gauges (queue depth, in-flight), and a service-latency histogram;
+ * `metrics` requests and the CLI's final --stats-json snapshot both
+ * read from it.
+ */
+
+#ifndef SSIM_SERVE_SERVER_HH
+#define SSIM_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "serve/protocol.hh"
+#include "util/error.hh"
+
+namespace ssim::serve
+{
+
+/** Knobs of one daemon instance. */
+struct ServeOptions
+{
+    /** Worker threads; 0 means one per hardware thread. */
+    unsigned workers = 2;
+
+    /** Admission queue capacity; beyond it requests are shed. */
+    size_t queueCapacity = 64;
+
+    /** Deadline for requests that do not carry one; 0 = none. */
+    double defaultDeadlineSeconds = 0.0;
+
+    /** How long awaitDrain() lets admitted work finish. */
+    double drainBudgetSeconds = 5.0;
+
+    /** First crash-restart delay; doubles per consecutive crash. */
+    double restartBackoffSeconds = 0.05;
+
+    /** Upper bound of the exponential restart backoff. */
+    double restartBackoffCapSeconds = 2.0;
+
+    /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
+    void validate() const;
+};
+
+/** CLI exit code for a signal-initiated drain (shared with sweep). */
+constexpr int ServeDrainedExitCode = 10;
+
+/**
+ * The prediction behind a predict request. Throw ssim::Error for a
+ * typed failure (unknown workload, invalid config); any other
+ * exception is reported as an internal error. Must be callable
+ * concurrently from multiple workers.
+ */
+using PredictFn = std::function<Metrics(const PredictRequest &)>;
+
+/**
+ * Completion callback: receives the rendered response line (no
+ * trailing newline) exactly once per submitted request, from an
+ * arbitrary thread. Must be safe to call after the submitting
+ * transport moved on (a disconnected client's callback should
+ * quietly drop the line).
+ */
+using Respond = std::function<void(const std::string &line)>;
+
+class Server
+{
+  public:
+    /** @p manifest is stamped into metrics responses; may be null. */
+    Server(PredictFn fn, const ServeOptions &opts,
+           const obs::RunManifest *manifest = nullptr);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker pool and the watchdog. */
+    void start();
+
+    /**
+     * Submit one raw request line. Malformed lines, health/metrics
+     * requests, sheds, and drain rejections are answered
+     * synchronously; predict requests are answered from a worker.
+     */
+    void submitLine(const std::string &line, Respond respond);
+
+    /** Submit an already-parsed request (the typed entry point). */
+    void submit(Request req, Respond respond);
+
+    /** Stop admission; queued + running requests keep going. */
+    void beginDrain();
+
+    /** True once no admitted request is queued or running. */
+    bool drainComplete();
+
+    /**
+     * Wait for admitted work to finish, up to the drain budget, then
+     * answer any stragglers with deadline-exceeded. Returns true when
+     * the drain finished inside the budget.
+     */
+    bool awaitDrain();
+
+    /** Join every thread (after a drain). Idempotent. */
+    void stop();
+
+    /** Queue/worker/outcome counters for health responses. */
+    HealthInfo health() const;
+
+    /** Registry snapshot (serve.* instruments). */
+    obs::Snapshot metricsSnapshot() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace ssim::serve
+
+#endif // SSIM_SERVE_SERVER_HH

@@ -1,0 +1,344 @@
+#include "transport.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/drain.hh"
+#include "util/logging.hh"
+
+namespace ssim::serve
+{
+
+namespace
+{
+
+/** A client that streams lines this long is broken or hostile. */
+constexpr size_t MaxLineBytes = 1 << 20;
+
+/**
+ * Serialized line writer over one fd. Workers complete requests
+ * concurrently; the mutex keeps each response line whole. close()
+ * turns later writes into silent drops — the engine's completion of
+ * a disconnected client's request must not touch a dead fd.
+ */
+class LineWriter
+{
+  public:
+    explicit LineWriter(int fd) : fd_(fd) {}
+
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (fd_ < 0)
+            return;
+        std::string out = line;
+        out += '\n';
+        size_t off = 0;
+        while (off < out.size()) {
+            // MSG_NOSIGNAL on sockets; plain write elsewhere (the
+            // transport ignores SIGPIPE so a vanished stdout reader
+            // cannot kill the daemon).
+            const ssize_t n =
+                socket_ ? ::send(fd_, out.data() + off,
+                                 out.size() - off, MSG_NOSIGNAL)
+                        : ::write(fd_, out.data() + off,
+                                  out.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fd_ = -1;   // client is gone; drop the rest
+                return;
+            }
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    void
+    markSocket()
+    {
+        socket_ = true;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (fd_ >= 0 && socket_)
+            ::close(fd_);
+        fd_ = -1;
+    }
+
+  private:
+    std::mutex mu_;
+    int fd_;
+    bool socket_ = false;
+};
+
+/**
+ * Incremental newline splitter with the 1 MiB cap. An oversized line
+ * is reported once (the caller answers with a parse error) and its
+ * remainder discarded up to the next newline.
+ */
+class LineFeeder
+{
+  public:
+    template <typename OnLine, typename OnOversize>
+    void
+    feed(const char *data, size_t n, const OnLine &onLine,
+         const OnOversize &onOversize)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            const char c = data[i];
+            if (c == '\n') {
+                if (skipping_)
+                    skipping_ = false;
+                else if (!buf_.empty())
+                    onLine(buf_);
+                buf_.clear();
+                continue;
+            }
+            if (skipping_)
+                continue;
+            buf_ += c;
+            if (buf_.size() > MaxLineBytes) {
+                buf_.clear();
+                skipping_ = true;
+                onOversize();
+            }
+        }
+    }
+
+    /** EOF: whatever is buffered is the final (unterminated) line. */
+    template <typename OnLine>
+    void
+    finish(const OnLine &onLine)
+    {
+        if (!skipping_ && !buf_.empty())
+            onLine(buf_);
+        buf_.clear();
+        skipping_ = false;
+    }
+
+  private:
+    std::string buf_;
+    bool skipping_ = false;
+};
+
+std::string
+oversizeResponse()
+{
+    return renderErrorResponse("", ErrorCategory::ParseError,
+                               "request line exceeds 1 MiB");
+}
+
+/** Scoped SIGPIPE ignore: a closed peer must not kill the daemon. */
+class ScopedSigpipeIgnore
+{
+  public:
+    ScopedSigpipeIgnore() { old_ = std::signal(SIGPIPE, SIG_IGN); }
+    ~ScopedSigpipeIgnore() { std::signal(SIGPIPE, old_); }
+
+  private:
+    void (*old_)(int) = SIG_DFL;
+};
+
+} // namespace
+
+int
+runStdioTransport(Server &server, const TransportOptions &opts)
+{
+    util::ScopedDrainHandlers guard(opts.handleSignals);
+    ScopedSigpipeIgnore sigpipe;
+    auto out = std::make_shared<LineWriter>(STDOUT_FILENO);
+    const Respond respond = [out](const std::string &line) {
+        out->writeLine(line);
+    };
+
+    LineFeeder feeder;
+    bool signalled = false;
+    bool eof = false;
+    while (!eof) {
+        if (!signalled && util::drainRequested()) {
+            // Keep reading after the signal: requests already in the
+            // pipe (or sent during the drain) are answered
+            // `shutting-down` instead of vanishing. The loop ends
+            // when the admitted work has drained.
+            signalled = true;
+            server.beginDrain();
+        }
+        if (signalled && server.drainComplete())
+            break;
+        struct pollfd pfd = {STDIN_FILENO, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 50);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0)
+            continue;
+        char chunk[65536];
+        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        feeder.feed(
+            chunk, static_cast<size_t>(n),
+            [&](const std::string &line) {
+                server.submitLine(line, respond);
+            },
+            [&] { respond(oversizeResponse()); });
+    }
+    if (eof) {
+        feeder.finish([&](const std::string &line) {
+            server.submitLine(line, respond);
+        });
+    }
+    server.beginDrain();
+    if (!server.awaitDrain())
+        warn("serve: drain budget exhausted; remaining requests "
+             "were force-failed");
+    server.stop();
+    return signalled ? ServeDrainedExitCode : 0;
+}
+
+namespace
+{
+
+struct SocketClient
+{
+    int fd = -1;
+    LineFeeder feeder;
+    std::shared_ptr<LineWriter> out;
+};
+
+} // namespace
+
+int
+runUnixSocketTransport(Server &server, const std::string &path,
+                       const TransportOptions &opts)
+{
+    util::ScopedDrainHandlers guard(opts.handleSignals);
+    ScopedSigpipeIgnore sigpipe;
+
+    struct sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw Error(ErrorCategory::InvalidArgument,
+                    "socket path too long: " + path);
+    }
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lfd < 0) {
+        throw Error(ErrorCategory::IoError,
+                    std::string("cannot create socket: ") +
+                        std::strerror(errno));
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(lfd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(lfd, 64) != 0) {
+        const int err = errno;
+        ::close(lfd);
+        throw Error(ErrorCategory::IoError,
+                    "cannot bind/listen on " + path + ": " +
+                        std::strerror(err),
+                    {path, 0});
+    }
+    inform("serve: listening on " + path);
+
+    std::vector<std::unique_ptr<SocketClient>> clients;
+    bool signalled = false;
+    for (;;) {
+        if (!signalled && util::drainRequested()) {
+            signalled = true;
+            server.beginDrain();
+        }
+        if (signalled && server.drainComplete())
+            break;
+        std::vector<struct pollfd> pfds;
+        pfds.push_back({lfd, POLLIN, 0});
+        for (const auto &c : clients)
+            pfds.push_back({c->fd, POLLIN, 0});
+        const int rc =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0)
+            continue;
+        if ((pfds[0].revents & POLLIN) != 0) {
+            const int cfd = ::accept(lfd, nullptr, nullptr);
+            if (cfd >= 0) {
+                auto client = std::make_unique<SocketClient>();
+                client->fd = cfd;
+                client->out = std::make_shared<LineWriter>(cfd);
+                client->out->markSocket();
+                clients.push_back(std::move(client));
+            }
+        }
+        // pfds[1 + i] mirrors clients[i]; iterate by index and drop
+        // dead clients afterwards so the mapping stays aligned.
+        std::vector<size_t> dead;
+        for (size_t i = 0; i < clients.size(); ++i) {
+            if ((pfds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) ==
+                0)
+                continue;
+            SocketClient &client = *clients[i];
+            char chunk[65536];
+            const ssize_t n = ::read(client.fd, chunk, sizeof chunk);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                dead.push_back(i);
+                continue;
+            }
+            const auto out = client.out;
+            client.feeder.feed(
+                chunk, static_cast<size_t>(n),
+                [&](const std::string &line) {
+                    server.submitLine(line,
+                                      [out](const std::string &l) {
+                                          out->writeLine(l);
+                                      });
+                },
+                [&] { out->writeLine(oversizeResponse()); });
+        }
+        for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+            clients[*it]->out->close();
+            clients.erase(clients.begin() +
+                          static_cast<ptrdiff_t>(*it));
+        }
+    }
+    ::close(lfd);
+    server.beginDrain();
+    if (!server.awaitDrain())
+        warn("serve: drain budget exhausted; remaining requests "
+             "were force-failed");
+    server.stop();
+    for (auto &client : clients)
+        client->out->close();
+    ::unlink(path.c_str());
+    return signalled ? ServeDrainedExitCode : 0;
+}
+
+} // namespace ssim::serve

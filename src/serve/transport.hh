@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Transports for `ssim serve`: the loops that move request lines
+ * between clients and the Server engine.
+ *
+ *  - stdio: newline-delimited JSON on stdin/stdout — the pipe-
+ *    friendly mode the tests drive through a fifo. EOF on stdin
+ *    starts a graceful drain and exits 0; SIGINT/SIGTERM starts the
+ *    same drain and exits ServeDrainedExitCode (10), with requests
+ *    that arrive during the drain answered `shutting-down`.
+ *  - Unix domain socket: accepts multiple concurrent clients, each
+ *    speaking the same line protocol; responses go back to the
+ *    client that asked. A disconnected client's outstanding
+ *    responses are dropped (the engine still completes them). Exits
+ *    only on signal.
+ *
+ * Both transports poll(2) with a short timeout so the util/drain
+ * flag set by a signal handler is noticed promptly; neither trusts a
+ * client: lines are capped at 1 MiB and an oversized line is
+ * answered with a typed parse error instead of buffering forever.
+ */
+
+#ifndef SSIM_SERVE_TRANSPORT_HH
+#define SSIM_SERVE_TRANSPORT_HH
+
+#include <string>
+
+#include "serve/server.hh"
+
+namespace ssim::serve
+{
+
+/** Transport knobs shared by both modes. */
+struct TransportOptions
+{
+    /** Install SIGINT/SIGTERM drain handlers for the loop. */
+    bool handleSignals = true;
+};
+
+/**
+ * Serve stdin/stdout until EOF or a drain signal. Returns the CLI
+ * exit code: 0 for an EOF-initiated drain, ServeDrainedExitCode for
+ * a signal-initiated one. The server must already be start()ed; the
+ * transport runs its drain and stop.
+ */
+int runStdioTransport(Server &server, const TransportOptions &opts);
+
+/**
+ * Serve a Unix domain socket at @p path (unlinked and re-created)
+ * until a drain signal. Same exit-code contract as stdio.
+ * @throws ssim::Error (IoError) when the socket cannot be created.
+ */
+int runUnixSocketTransport(Server &server, const std::string &path,
+                           const TransportOptions &opts);
+
+} // namespace ssim::serve
+
+#endif // SSIM_SERVE_TRANSPORT_HH

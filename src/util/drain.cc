@@ -1,0 +1,60 @@
+#include "drain.hh"
+
+#include <atomic>
+
+namespace ssim::util
+{
+
+namespace
+{
+
+std::atomic<bool> drainFlag{false};
+
+extern "C" void
+drainSignalHandler(int)
+{
+    // Only an async-signal-safe store: engines poll the flag.
+    drainFlag.store(true);
+}
+
+} // namespace
+
+void
+requestDrain()
+{
+    drainFlag.store(true);
+}
+
+bool
+drainRequested()
+{
+    return drainFlag.load();
+}
+
+void
+clearDrainRequest()
+{
+    drainFlag.store(false);
+}
+
+ScopedDrainHandlers::ScopedDrainHandlers(bool enable)
+    : enabled_(enable)
+{
+    if (!enabled_)
+        return;
+    struct sigaction sa = {};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, &oldInt_);
+    sigaction(SIGTERM, &sa, &oldTerm_);
+}
+
+ScopedDrainHandlers::~ScopedDrainHandlers()
+{
+    if (!enabled_)
+        return;
+    sigaction(SIGINT, &oldInt_, nullptr);
+    sigaction(SIGTERM, &oldTerm_, nullptr);
+}
+
+} // namespace ssim::util

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Process-wide graceful-drain request flag and the SIGINT/SIGTERM
+ * handlers that set it.
+ *
+ * Both long-running engines — the design-space sweep
+ * (experiments/sweep) and the prediction service (serve/server) —
+ * share one drain discipline: a signal (or a programmatic request)
+ * raises a single atomic flag, no new work is admitted, in-flight
+ * work finishes within a budget, and the process exits with the
+ * documented resumable code (10). The flag lives here so that the two
+ * engines cannot disagree about what "stop" means, and so that the
+ * handler itself stays trivially async-signal-safe: one relaxed
+ * atomic store, nothing else.
+ */
+
+#ifndef SSIM_UTIL_DRAIN_HH
+#define SSIM_UTIL_DRAIN_HH
+
+#include <csignal>
+
+namespace ssim::util
+{
+
+/** Ask the running engine(s) to drain. Async-signal-safe. */
+void requestDrain();
+
+/** True once a drain has been requested and not yet cleared. */
+bool drainRequested();
+
+/** Reset the flag (engines call this when a run starts). */
+void clearDrainRequest();
+
+/**
+ * Install SIGINT/SIGTERM handlers that call requestDrain() for the
+ * lifetime of this object; the previous handlers are restored on
+ * destruction. Constructing with enable=false is a no-op, so callers
+ * can make signal handling a plain option.
+ */
+class ScopedDrainHandlers
+{
+  public:
+    explicit ScopedDrainHandlers(bool enable);
+    ~ScopedDrainHandlers();
+    ScopedDrainHandlers(const ScopedDrainHandlers &) = delete;
+    ScopedDrainHandlers &operator=(const ScopedDrainHandlers &) =
+        delete;
+
+  private:
+    bool enabled_;
+    struct sigaction oldInt_ = {};
+    struct sigaction oldTerm_ = {};
+};
+
+} // namespace ssim::util
+
+#endif // SSIM_UTIL_DRAIN_HH

@@ -14,6 +14,10 @@ errorCategoryName(ErrorCategory category)
       case ErrorCategory::VersionMismatch: return "version-mismatch";
       case ErrorCategory::IoError: return "io-error";
       case ErrorCategory::UnknownWorkload: return "unknown-workload";
+      case ErrorCategory::Overloaded: return "overloaded";
+      case ErrorCategory::DeadlineExceeded: return "deadline-exceeded";
+      case ErrorCategory::WorkerCrashed: return "worker-crashed";
+      case ErrorCategory::ShuttingDown: return "shutting-down";
       case ErrorCategory::Internal: return "internal-error";
     }
     return "error";
@@ -33,6 +37,12 @@ exitCodeFor(ErrorCategory category)
       case ErrorCategory::IoError: return 7;
       case ErrorCategory::UnknownWorkload: return 8;
       case ErrorCategory::Internal: return 9;
+      // 10 is the interrupted-but-resumable drain exit shared by the
+      // sweep engine and `ssim serve`; the service categories follow.
+      case ErrorCategory::Overloaded: return 11;
+      case ErrorCategory::DeadlineExceeded: return 12;
+      case ErrorCategory::WorkerCrashed: return 13;
+      case ErrorCategory::ShuttingDown: return 14;
     }
     return 1;
 }

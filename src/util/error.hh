@@ -28,7 +28,18 @@
 namespace ssim
 {
 
-/** Broad failure classes; each maps to a distinct CLI exit code. */
+/**
+ * Broad failure classes; each maps to a distinct CLI exit code.
+ * The last four are service-lifecycle categories spoken by the
+ * `ssim serve` wire protocol (a request can be shed, time out, lose
+ * its worker, or arrive while the daemon drains); they are ordinary
+ * typed errors so a client can branch on the category name exactly
+ * like a sweep branches on a journal record's category.
+ *
+ * Internal stays the last enumerator: code that iterates the
+ * categories by value (journal replay, exhaustiveness tests) treats
+ * it as the upper bound.
+ */
 enum class ErrorCategory : uint8_t
 {
     InvalidArgument,   ///< bad CLI/API argument (unknown flag, bad number)
@@ -38,6 +49,10 @@ enum class ErrorCategory : uint8_t
     VersionMismatch,   ///< profile written by an incompatible version
     IoError,           ///< file cannot be opened / read / written
     UnknownWorkload,   ///< workload name not in the registry
+    Overloaded,        ///< admission queue full; retry after a backoff
+    DeadlineExceeded,  ///< request missed its deadline; worker recycled
+    WorkerCrashed,     ///< worker died mid-request; worker restarted
+    ShuttingDown,      ///< service draining; request not admitted
     Internal,          ///< invariant violation reported as an error
 };
 

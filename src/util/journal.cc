@@ -4,13 +4,15 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "json_reader.hh"
 #include "json_writer.hh"
+#include "logging.hh"
 
 namespace ssim::util
 {
@@ -25,6 +27,63 @@ fnv1a64(const std::string &bytes)
     }
     return h;
 }
+
+namespace
+{
+
+/** SSIM_FSYNC_FAIL=1: every fsync reports EIO (durability tests). */
+bool
+fsyncFailInjected()
+{
+    const char *env = std::getenv("SSIM_FSYNC_FAIL");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+/** fsync @p fd, honouring the fault hook. Sets errno on failure. */
+int
+fsyncChecked(int fd)
+{
+    if (fsyncFailInjected()) {
+        errno = EIO;
+        return -1;
+    }
+    return ::fsync(fd);
+}
+
+/** fsync an already-written file by path. */
+Expected<void>
+fsyncPath(const std::string &path, int openFlags)
+{
+    const int fd = ::open(path.c_str(), openFlags);
+    if (fd < 0) {
+        return Error(ErrorCategory::IoError,
+                     std::string("cannot open for fsync: ") +
+                     std::strerror(errno), {path, 0});
+    }
+    const int rc = fsyncChecked(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+        return Error(ErrorCategory::IoError,
+                     std::string("fsync failed: ") +
+                     std::strerror(err), {path, 0});
+    }
+    return {};
+}
+
+/** The directory holding @p path ("." when it has no separator). */
+std::string
+parentDirOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
 
 Expected<void>
 atomicWriteFile(const std::string &path,
@@ -45,6 +104,15 @@ atomicWriteFile(const std::string &path,
                          {tmp, 0});
         }
     }
+    // Durability, not just atomicity: sync the temporary's bytes
+    // before the rename (or a power cut can publish a zero-length
+    // file) and the parent directory after it (or the rename itself
+    // can be lost). A failed sync aborts with the destination
+    // untouched.
+    if (Expected<void> synced = fsyncPath(tmp, O_WRONLY); !synced) {
+        std::remove(tmp.c_str());
+        return synced.error();
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int err = errno;
         std::remove(tmp.c_str());
@@ -52,7 +120,7 @@ atomicWriteFile(const std::string &path,
                      std::string("rename failed: ") +
                      std::strerror(err), {path, 0});
     }
-    return {};
+    return fsyncPath(parentDirOf(path), O_RDONLY | O_DIRECTORY);
 }
 
 namespace
@@ -61,171 +129,15 @@ namespace
 // Rendering (escapes, %.17g doubles, hex-string hashes) lives in
 // util/json_writer so the stats/trace exporters share the exact byte
 // format; the %.17g round trip is what makes a resumed journal
-// byte-identical to an uninterrupted one.
+// byte-identical to an uninterrupted one. Scanning lives in
+// util/json_reader so the serve request protocol reads the same
+// dialect it writes.
 using json::appendDouble;
 using json::appendEscaped;
 using json::appendField;
 using json::appendHex64;
 using json::appendU64;
-
-/** Minimal JSON scanner for one flat record line. */
-class LineParser
-{
-  public:
-    LineParser(const std::string &text, const std::string &file,
-               uint64_t line)
-        : text_(text), file_(file), line_(line)
-    {}
-
-    Error
-    fail(const std::string &msg) const
-    {
-        return Error(ErrorCategory::ParseError,
-                     "journal record: " + msg, {file_, line_});
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t'))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool atEnd()
-    {
-        skipSpace();
-        return pos_ >= text_.size();
-    }
-
-    /** Parse a quoted string with escape handling. */
-    std::string
-    parseString()
-    {
-        if (!consume('"'))
-            throw fail("expected '\"'");
-        std::string out;
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                break;
-            const char esc = text_[pos_++];
-            switch (esc) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'n': out += '\n'; break;
-              case 't': out += '\t'; break;
-              case 'r': out += '\r'; break;
-              case 'b': out += '\b'; break;
-              case 'f': out += '\f'; break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    throw fail("truncated \\u escape");
-                unsigned code = 0;
-                for (int k = 0; k < 4; ++k) {
-                    const char h = text_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        throw fail("bad \\u escape digit");
-                }
-                // Journal writers only escape control bytes; anything
-                // outside Latin-1 is replaced, not round-tripped.
-                out += code < 0x100 ? static_cast<char>(code) : '?';
-                break;
-              }
-              default:
-                throw fail(std::string("unknown escape '\\") + esc +
-                           "'");
-            }
-        }
-        throw fail("unterminated string");
-    }
-
-    /** Raw numeric token (sign, digits, dot, exponent). */
-    std::string
-    parseNumberToken()
-    {
-        skipSpace();
-        size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start)
-            throw fail("expected a number");
-        return text_.substr(start, pos_ - start);
-    }
-
-    uint64_t
-    parseU64()
-    {
-        const std::string tok = parseNumberToken();
-        uint64_t v = 0;
-        const auto [p, ec] = std::from_chars(
-            tok.data(), tok.data() + tok.size(), v, 10);
-        if (ec != std::errc() || p != tok.data() + tok.size())
-            throw fail("expected an unsigned integer, got '" + tok +
-                       "'");
-        return v;
-    }
-
-    uint64_t
-    parseHex64String()
-    {
-        const std::string tok = parseString();
-        uint64_t v = 0;
-        const auto [p, ec] = std::from_chars(
-            tok.data(), tok.data() + tok.size(), v, 16);
-        if (tok.empty() || tok.size() > 16 || ec != std::errc() ||
-            p != tok.data() + tok.size())
-            throw fail("expected a hex hash, got '" + tok + "'");
-        return v;
-    }
-
-    double
-    parseDouble()
-    {
-        const std::string tok = parseNumberToken();
-        errno = 0;
-        char *end = nullptr;
-        const double v = std::strtod(tok.c_str(), &end);
-        if (end != tok.c_str() + tok.size() || errno == ERANGE)
-            throw fail("expected a number, got '" + tok + "'");
-        return v;
-    }
-
-  private:
-    const std::string &text_;
-    std::string file_;
-    uint64_t line_;
-    size_t pos_ = 0;
-};
+using json::LineScanner;
 
 } // namespace
 
@@ -274,7 +186,7 @@ JournalRecord::parseJson(const std::string &text,
                          const std::string &file, uint64_t line)
 {
     return tryInvoke([&]() -> JournalRecord {
-        LineParser p(text, file, line);
+        LineScanner p(text, file, line);
         JournalRecord rec;
         if (!p.consume('{'))
             throw p.fail("expected '{'");
@@ -409,7 +321,7 @@ Journal::close()
 }
 
 Expected<std::vector<JournalRecord>>
-Journal::load(const std::string &path)
+Journal::load(const std::string &path, uint64_t *skippedCorrupt)
 {
     std::ifstream is(path);
     if (!is) {
@@ -419,11 +331,17 @@ Journal::load(const std::string &path)
     std::vector<JournalRecord> records;
     std::string line;
     uint64_t lineNo = 0;
-    // Track one pending parse failure: if it turns out to be the
-    // final non-blank line it is a crash artifact and is dropped; if
-    // any intact record follows it, the file is corrupt.
+    // Two flavours of bad line, two policies. The *final* line being
+    // malformed is the signature of a clean crash mid-append and is
+    // dropped silently. A malformed line with intact records after it
+    // is a torn write from a worker that died inside write(2) (or
+    // random bit rot); losing one attempt record is recoverable —
+    // resume synthesizes a `crashed` outcome — so it is skipped with
+    // a counted warning instead of abandoning the whole journal.
     bool pendingBad = false;
-    Error pendingError(ErrorCategory::ParseError, "");
+    uint64_t pendingLine = 0;
+    uint64_t skipped = 0;
+    uint64_t lastSkippedLine = 0;
     while (std::getline(is, line)) {
         ++lineNo;
         if (line.empty())
@@ -431,18 +349,29 @@ Journal::load(const std::string &path)
         Expected<JournalRecord> rec =
             JournalRecord::parseJson(line, path, lineNo);
         if (!rec) {
-            if (pendingBad)
-                return pendingError;
+            if (pendingBad) {
+                ++skipped;
+                lastSkippedLine = pendingLine;
+            }
             pendingBad = true;
-            pendingError = Error(ErrorCategory::CorruptData,
-                                 rec.error().message(),
-                                 {path, lineNo});
+            pendingLine = lineNo;
             continue;
         }
-        if (pendingBad)
-            return pendingError;
+        if (pendingBad) {
+            ++skipped;
+            lastSkippedLine = pendingLine;
+            pendingBad = false;
+        }
         records.push_back(std::move(rec.value()));
     }
+    if (skipped > 0) {
+        warn("journal " + path + ": skipped " +
+             std::to_string(skipped) +
+             " corrupt interior line(s), last at line " +
+             std::to_string(lastSkippedLine));
+    }
+    if (skippedCorrupt)
+        *skippedCorrupt = skipped;
     return records;
 }
 

@@ -6,16 +6,22 @@
  * instant — power loss, OOM kill, SIGKILL, a crashing design point —
  * without losing the work already done. Two primitives provide that:
  *
- *  - atomicWriteFile(): write to a `.tmp` sibling, flush, and
- *    rename(2) over the destination. A reader never observes a
- *    half-written file; a crash leaves either the old file or the new
- *    one (plus at worst a stale `.tmp`).
+ *  - atomicWriteFile(): write to a `.tmp` sibling, flush, fsync the
+ *    temporary AND its parent directory, and rename(2) over the
+ *    destination. A reader never observes a half-written file; a
+ *    crash — including power loss, which discards unsynced page
+ *    cache — leaves either the old file or the new one (plus at
+ *    worst a stale `.tmp`). Setting SSIM_FSYNC_FAIL=1 makes every
+ *    fsync report EIO, the fault hook the durability tests use to
+ *    prove the destination survives a failed replacement.
  *
  *  - Journal: an append-only file of one-line JSON records, each
  *    appended with a single O_APPEND write(2) so a record is either
  *    wholly present or wholly absent. A crash can truncate only the
  *    final line; Journal::load() discards a malformed final line and
- *    returns every intact record. Journal::checkpoint() compacts a
+ *    skips (with a counted warning) corrupt interior lines — the
+ *    signature of a torn write from a worker that died mid-append —
+ *    returning every intact record. Journal::checkpoint() compacts a
  *    journal through atomicWriteFile(), which is how resume drops
  *    crash artifacts before appending new records.
  *
@@ -51,9 +57,12 @@ namespace ssim::util
 uint64_t fnv1a64(const std::string &bytes);
 
 /**
- * Write a file atomically: @p writer streams the content into
- * `path + ".tmp"`, which is then renamed over @p path. On any
- * failure the temporary is removed and the destination is untouched.
+ * Write a file atomically and durably: @p writer streams the content
+ * into `path + ".tmp"`, which is fsynced and then renamed over
+ * @p path, after which the parent directory is fsynced so the rename
+ * itself survives power loss. On any failure (including an fsync
+ * failure, injectable via SSIM_FSYNC_FAIL=1) the temporary is removed
+ * and the destination is untouched.
  */
 Expected<void> atomicWriteFile(
     const std::string &path,
@@ -152,14 +161,18 @@ class Journal
     const std::string &path() const { return path_; }
 
     /**
-     * Read every record of @p path. A final line that is truncated or
-     * malformed — the signature a crash leaves — is discarded, not
-     * fatal; a malformed line anywhere *before* the final one means
-     * the file was corrupted some other way and fails with
-     * CorruptData. A missing file fails with IoError.
+     * Read every intact record of @p path. A final line that is
+     * truncated or malformed — the signature a crash leaves — is
+     * discarded silently; a malformed line anywhere *before* the
+     * final one (a torn write from a worker that died mid-append) is
+     * skipped with a warn()-level diagnostic and counted into
+     * @p skippedCorrupt when the caller passes it, so a resume
+     * survives the corruption instead of abandoning the journal.
+     * A missing file fails with IoError.
      */
     static Expected<std::vector<JournalRecord>> load(
-        const std::string &path);
+        const std::string &path,
+        uint64_t *skippedCorrupt = nullptr);
 
     /**
      * Rewrite @p path to contain exactly @p records, via

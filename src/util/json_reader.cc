@@ -1,0 +1,170 @@
+#include "json_reader.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+namespace ssim::util::json
+{
+
+LineScanner::LineScanner(const std::string &text,
+                         const std::string &file, uint64_t line)
+    : text_(text), file_(file), line_(line)
+{}
+
+Error
+LineScanner::fail(const std::string &msg) const
+{
+    return Error(ErrorCategory::ParseError, msg, {file_, line_});
+}
+
+void
+LineScanner::skipSpace()
+{
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t'))
+        ++pos_;
+}
+
+bool
+LineScanner::consume(char c)
+{
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+        ++pos_;
+        return true;
+    }
+    return false;
+}
+
+bool
+LineScanner::atEnd()
+{
+    skipSpace();
+    return pos_ >= text_.size();
+}
+
+std::string
+LineScanner::parseString()
+{
+    if (!consume('"'))
+        throw fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+        const char c = text_[pos_++];
+        if (c == '"')
+            return out;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (pos_ >= text_.size())
+            break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+                throw fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char h = text_[pos_++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    throw fail("bad \\u escape digit");
+            }
+            // Our writers only escape control bytes; anything outside
+            // Latin-1 is replaced, not round-tripped.
+            out += code < 0x100 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            throw fail(std::string("unknown escape '\\") + esc + "'");
+        }
+    }
+    throw fail("unterminated string");
+}
+
+std::string
+LineScanner::parseNumberToken()
+{
+    skipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E'))
+        ++pos_;
+    if (pos_ == start)
+        throw fail("expected a number");
+    return text_.substr(start, pos_ - start);
+}
+
+uint64_t
+LineScanner::parseU64()
+{
+    const std::string tok = parseNumberToken();
+    uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v, 10);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+        throw fail("expected an unsigned integer, got '" + tok + "'");
+    return v;
+}
+
+uint64_t
+LineScanner::parseHex64String()
+{
+    const std::string tok = parseString();
+    uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v, 16);
+    if (tok.empty() || tok.size() > 16 || ec != std::errc() ||
+        p != tok.data() + tok.size())
+        throw fail("expected a hex hash, got '" + tok + "'");
+    return v;
+}
+
+double
+LineScanner::parseDouble()
+{
+    const std::string tok = parseNumberToken();
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || errno == ERANGE)
+        throw fail("expected a number, got '" + tok + "'");
+    return v;
+}
+
+bool
+LineScanner::parseBool()
+{
+    skipSpace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+        pos_ += 4;
+        return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+        pos_ += 5;
+        return false;
+    }
+    throw fail("expected true or false");
+}
+
+} // namespace ssim::util::json

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal JSON line scanner shared by every one-line-JSON reader in
+ * the tree: the sweep journal (util/journal) and the serve request
+ * protocol (serve/protocol).
+ *
+ * This is deliberately not a general JSON parser. Both consumers read
+ * flat objects of known keys (with at most one level of nesting for a
+ * metrics/config sub-object), one record per line, and want typed
+ * ssim::Error diagnostics naming the offending input — not a DOM. The
+ * scanner therefore exposes token-level operations (consume a
+ * punctuation character, parse a string / number / bool) and leaves
+ * the object shape to the caller, which keeps each record parser a
+ * short, auditable loop.
+ *
+ * Failure reporting: scanning methods throw ssim::Error (ParseError)
+ * carrying the file/line context given at construction; callers wrap
+ * the whole parse in tryInvoke() to surface it as a failed Expected.
+ */
+
+#ifndef SSIM_UTIL_JSON_READER_HH
+#define SSIM_UTIL_JSON_READER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "error.hh"
+
+namespace ssim::util::json
+{
+
+class LineScanner
+{
+  public:
+    /**
+     * Scan @p text. @p file / @p line are diagnostic context only
+     * (the journal passes its path and line number; serve passes
+     * "<request>").
+     */
+    LineScanner(const std::string &text, const std::string &file,
+                uint64_t line);
+
+    /** A ParseError at this scanner's input context. */
+    Error fail(const std::string &msg) const;
+
+    void skipSpace();
+
+    /** Consume @p c (after space); false if the next char differs. */
+    bool consume(char c);
+
+    /** True when only trailing whitespace remains. */
+    bool atEnd();
+
+    /** Parse a quoted string with escape handling. */
+    std::string parseString();
+
+    /** Raw numeric token (sign, digits, dot, exponent). */
+    std::string parseNumberToken();
+
+    uint64_t parseU64();
+
+    /** A quoted 16-digit-max hex string (lossless uint64 hashes). */
+    uint64_t parseHex64String();
+
+    double parseDouble();
+
+    /** `true` or `false`. */
+    bool parseBool();
+
+  private:
+    const std::string &text_;
+    std::string file_;
+    uint64_t line_;
+    size_t pos_ = 0;
+};
+
+} // namespace ssim::util::json
+
+#endif // SSIM_UTIL_JSON_READER_HH

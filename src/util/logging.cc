@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ssim
 {
@@ -59,7 +60,20 @@ setLogLevel(LogLevel level)
 void
 logMessage(const char *prefix, const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    // One pre-rendered buffer, one fwrite, one mutex: concurrent
+    // warn()s from sweep/serve worker threads used to interleave
+    // mid-line through stdio's per-%-conversion locking. The sink is
+    // the single funnel every non-fatal message passes through.
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 3);
+    line += prefix;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    static std::mutex sinkMutex;
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 void

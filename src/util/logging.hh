@@ -12,6 +12,10 @@
  * programmatically (the CLI's --quiet maps to LogLevel::Error).
  * panic() and fatal() always print: silencing a process's dying words
  * is never the right default.
+ *
+ * All messages flow through one mutex-guarded sink (logMessage), so
+ * concurrent warn()s from sweep or serve worker threads emit whole
+ * lines, never interleaved fragments.
  */
 
 #ifndef SSIM_UTIL_LOGGING_HH

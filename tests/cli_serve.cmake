@@ -1,0 +1,178 @@
+# CTest script: end-to-end contract of `ssim serve` — the daemon's
+# lifecycle under real process control (fifos, SIGTERM, exit codes),
+# which no in-process test can exercise.
+#
+# Invoked with -DSSIM_CLI=<path-to-ssim> -DWORK_DIR=<scratch-dir>
+#              -DMODE=<drain|chaos>.
+#
+# MODE=drain: SIGTERM the daemon while a stalled request is in
+#   flight. The in-flight request must complete, a request sent
+#   during the drain must be answered `shutting-down`, the exit code
+#   must be 10, and the final --stats-json snapshot must account for
+#   both.
+# MODE=chaos: push >=1000 requests through a small worker pool under
+#   every fault at once — the crash hook, stalls past deadlines, and
+#   a queue kept saturated — and require exactly one response per
+#   request (a result or a typed error), a clean EOF drain (exit 0),
+#   and a byte-identical metrics replay of a seeded request across
+#   two daemon instances.
+#
+# The process choreography (fifo writers, kill timing) needs a real
+# shell; the script below is written fresh into the scratch dir and
+# driven by bash, with all assertions inside it.
+
+find_program(BASH_PROGRAM bash REQUIRED)
+
+set(dir "${WORK_DIR}/cli_serve_${MODE}")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+if(MODE STREQUAL "drain")
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir
+set -u
+cli="$1"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- out:"; cat out 2>/dev/null;
+         echo "--- err:"; cat err 2>/dev/null; exit 1; }
+
+rm -f in out err stats.json
+mkfifo in || exit 99
+"$cli" serve --jobs 2 --stats-json stats.json < in > out 2> err &
+pid=$!
+exec 3>in
+
+# One request that will still be running when the signal lands.
+printf '%s\n' \
+  '{"id":"slow","workload":"route","max_insts":60000,"reduction":50,"stall_ms":600}' >&3
+sleep 0.3
+kill -TERM "$pid"
+sleep 0.2
+# Arrives mid-drain: must be answered, not dropped, and rejected.
+printf '%s\n' \
+  '{"id":"late","workload":"route","max_insts":60000,"reduction":50}' >&3
+exec 3>&-
+wait "$pid"
+rc=$?
+
+[ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
+grep -q '"id":"slow","ok":true' out \
+  || fail "in-flight request did not complete during the drain"
+grep -q '"id":"late","ok":false,"error":"shutting-down"' out \
+  || fail "request sent during drain was not rejected shutting-down"
+[ "$(wc -l < out)" -eq 2 ] || fail "expected exactly 2 responses"
+[ -s stats.json ] || fail "final --stats-json snapshot missing"
+grep -q '"serve.requests.ok":1' stats.json \
+  || fail "snapshot does not count the completed request"
+grep -q '"serve.requests.rejected_draining":1' stats.json \
+  || fail "snapshot does not count the drain rejection"
+grep -q '"serve.inflight":0' stats.json \
+  || fail "snapshot shows residual in-flight work"
+echo PASS
+]])
+
+elseif(MODE STREQUAL "chaos")
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir
+set -u
+cli="$1"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- err:"; cat err 2>/dev/null; exit 1; }
+
+# --- build the request mix -----------------------------------------
+# Two phases on one stdin stream. Phase 1 blasts 1000 real
+# predictions at a 16-slot queue in one write: only the first ~20
+# are admitted and the rest MUST shed, exercising backpressure at
+# full depth. Phase 2 is paced with small sleeps so its fault
+# requests are guaranteed admission: ids on the crash list, stalls
+# that overshoot their deadlines, health probes, and garbage lines.
+# The predictions are cheap on purpose (tiny profiling cap, heavy
+# reduction; the profile is cached after the first), so the queue
+# drains between paced sends.
+rm -f blast.jsonl out err
+blast=1000
+for i in $(seq 1 "$blast"); do
+  printf '%s\n' "{\"id\":\"n$i\",\"workload\":\"route\",\"max_insts\":60000,\"reduction\":50,\"seed\":$i}"
+done > blast.jsonl
+faults=10
+crash_ids="c1"
+for i in $(seq 2 "$faults"); do crash_ids="$crash_ids,c$i"; done
+# blast + per-fault-round (crash, deadline, garbage) + final health
+total=$((blast + 3 * faults + 1))
+
+produce() {
+  cat blast.jsonl
+  sleep 1            # let the admitted head of the blast drain
+  for i in $(seq 1 "$faults"); do
+    printf '%s\n' "{\"id\":\"c$i\",\"workload\":\"route\",\"max_insts\":60000,\"reduction\":50}"
+    printf '%s\n' "{\"id\":\"d$i\",\"workload\":\"route\",\"max_insts\":60000,\"reduction\":50,\"stall_ms\":80,\"deadline_ms\":15}"
+    printf '%s\n' "this is not json $i"
+    sleep 0.05
+  done
+  printf '%s\n' '{"id":"h-final","type":"health"}'
+}
+
+# --- run -----------------------------------------------------------
+produce | SSIM_SERVE_CRASH_ON="$crash_ids" \
+  "$cli" serve --jobs 4 --queue 16 --restart-backoff-ms 5 --quiet \
+  > out 2> err
+rc=$?
+[ "$rc" -eq 0 ] || fail "EOF drain should exit 0, got $rc"
+
+# --- exactly one response per request, every one typed -------------
+responses=$(wc -l < out)
+[ "$responses" -eq "$total" ] \
+  || fail "sent $total requests, got $responses responses"
+bad=$(grep -cvE '"ok":true|"error":"(overloaded|deadline-exceeded|worker-crashed|shutting-down|parse-error|invalid-argument|invalid-config|unknown-workload|internal-error)"' out)
+[ "$bad" -eq 0 ] || fail "$bad responses lack a typed outcome"
+
+count() { grep -c "$1" out; }
+n_ok=$(count '"ok":true')
+n_shed=$(count '"error":"overloaded"')
+n_dead=$(count '"error":"deadline-exceeded"')
+n_crash=$(count '"error":"worker-crashed"')
+n_parse=$(count '"error":"parse-error"')
+echo "ok=$n_ok shed=$n_shed deadline=$n_dead crashed=$n_crash parse=$n_parse"
+[ "$n_ok" -ge 1 ]    || fail "no request succeeded"
+[ "$n_shed" -ge 1 ]  || fail "queue saturation never shed load"
+[ "$n_dead" -ge 1 ]  || fail "no deadline was enforced"
+[ "$n_crash" -ge 1 ] || fail "crash hook never fired"
+[ "$n_parse" -ge 1 ] || fail "garbage lines not answered"
+# Shed requests must carry an actionable backoff hint.
+[ "$(count '"retry_after_ms":')" -eq "$n_shed" ] \
+  || fail "sheds without retry_after_ms hints"
+
+# --- byte-identical replay -----------------------------------------
+printf '%s\n' \
+  '{"id":"rep","workload":"route","seed":11,"reduction":50,"max_insts":60000,"config":{"ruu":48}}' > rep.jsonl
+"$cli" serve --jobs 1 --quiet < rep.jsonl > rep1.out 2>/dev/null \
+  || fail "replay run 1 failed"
+"$cli" serve --jobs 1 --quiet < rep.jsonl > rep2.out 2>/dev/null \
+  || fail "replay run 2 failed"
+m1=$(grep -o '"metrics":{[^}]*}' rep1.out)
+m2=$(grep -o '"metrics":{[^}]*}' rep2.out)
+[ -n "$m1" ] || fail "replay run 1 produced no metrics"
+[ "$m1" = "$m2" ] || fail "replayed metrics differ:
+  $m1
+  $m2"
+echo PASS
+]])
+
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()
+
+execute_process(
+    COMMAND "${BASH_PROGRAM}" "${dir}/driver.sh" "${SSIM_CLI}" "${dir}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "PASS")
+    message(FATAL_ERROR
+        "cli_serve ${MODE} failed (rc=${rc})\n${out}\n${err}")
+endif()
+message(STATUS "cli_serve ${MODE}: ${out}")

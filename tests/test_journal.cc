@@ -2,14 +2,16 @@
  * @file
  * Unit tests for the run journal (util/journal.hh): record round
  * trips for every status kind, tolerance of the partial final line a
- * crash leaves behind, strictness about corruption anywhere else,
- * checkpoint compaction, and the atomic file-replacement helper the
- * profile save path relies on.
+ * crash leaves behind, skip-and-count recovery from corrupt interior
+ * lines, checkpoint compaction, and the atomic file-replacement
+ * helper the profile save path relies on — including its fsync
+ * durability contract under the SSIM_FSYNC_FAIL fault hook.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -196,7 +198,7 @@ TEST(Journal, PartialFinalLineIsDiscardedNotFatal)
     EXPECT_EQ(loaded.value()[0].status, "ok");
 }
 
-TEST(Journal, CorruptMiddleLineIsFatal)
+TEST(Journal, CorruptMiddleLinesAreSkippedAndCounted)
 {
     const std::string path = tempPath("journal_corrupt.jsonl");
     {
@@ -204,14 +206,41 @@ TEST(Journal, CorruptMiddleLineIsFatal)
         ASSERT_TRUE(journal.open(path, true).ok());
         ASSERT_TRUE(journal.append(doneRecord("ok")).ok());
     }
+    // Two torn lines with intact records after them: both must be
+    // skipped (and counted), the surrounding records must survive.
     std::ofstream(path, std::ios::app)
         << "garbage in the middle\n"
-        << doneRecord("ok").toJson() << "\n";
+        << doneRecord("timeout").toJson() << "\n"
+        << "{\"event\":\"done\",\"poi\n"
+        << doneRecord("crashed").toJson() << "\n";
+    uint64_t skipped = 0;
     Expected<std::vector<JournalRecord>> loaded =
-        Journal::load(path);
-    ASSERT_FALSE(loaded.ok());
-    EXPECT_EQ(loaded.error().category(), ErrorCategory::CorruptData);
-    EXPECT_EQ(loaded.error().context().line, 2u);
+        Journal::load(path, &skipped);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().what();
+    EXPECT_EQ(skipped, 2u);
+    ASSERT_EQ(loaded.value().size(), 3u);
+    EXPECT_EQ(loaded.value()[0].status, "ok");
+    EXPECT_EQ(loaded.value()[1].status, "timeout");
+    EXPECT_EQ(loaded.value()[2].status, "crashed");
+}
+
+TEST(Journal, FinalCorruptLineIsNotCountedAsInterior)
+{
+    const std::string path = tempPath("journal_tail_corrupt.jsonl");
+    {
+        Journal journal;
+        ASSERT_TRUE(journal.open(path, true).ok());
+        ASSERT_TRUE(journal.append(doneRecord("ok")).ok());
+    }
+    // The crash signature — a torn *final* line — stays a silent
+    // drop; only interior corruption is reported.
+    std::ofstream(path, std::ios::app) << "{\"event\":\"don";
+    uint64_t skipped = 77;
+    Expected<std::vector<JournalRecord>> loaded =
+        Journal::load(path, &skipped);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().what();
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(loaded.value().size(), 1u);
 }
 
 TEST(Journal, MissingFileIsIoError)
@@ -256,6 +285,25 @@ TEST(AtomicWriteFile, ReplacesWholeFileOrNothing)
                      os << "second version\n";
                  }).ok());
     EXPECT_EQ(slurp(path), "second version\n");
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST(AtomicWriteFile, FsyncFailureAbortsWithOldContentIntact)
+{
+    const std::string path = tempPath("atomic_fsync_fail.txt");
+    ASSERT_TRUE(util::atomicWriteFile(path, [](std::ostream &os) {
+                     os << "durable version\n";
+                 }).ok());
+    ::setenv("SSIM_FSYNC_FAIL", "1", 1);
+    Expected<void> r = util::atomicWriteFile(
+        path, [](std::ostream &os) { os << "lost version\n"; });
+    ::unsetenv("SSIM_FSYNC_FAIL");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().category(), ErrorCategory::IoError);
+    // The destination still holds the previous bytes and the
+    // temporary was cleaned up — a failed sync must not publish.
+    EXPECT_EQ(slurp(path), "durable version\n");
     std::ifstream tmp(path + ".tmp");
     EXPECT_FALSE(tmp.good());
 }

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit and integration tests for the `ssim serve` engine
+ * (serve/server.hh) and its wire protocol (serve/protocol.hh):
+ * request parsing, response rendering, bounded admission with load
+ * shedding, per-request deadlines with worker recycling, crash
+ * isolation with backed-off restarts, graceful drain semantics, and
+ * deterministic replay through the real predict function.
+ *
+ * The process-level behaviors — SIGTERM mid-request, exit codes, the
+ * chaos mix — live in cli_serve.cmake; these tests drive the engine
+ * in-process where every intermediate state is observable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/predict.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::serve;
+
+/** Collects responses; lets tests wait for a count. */
+class ResponseSink
+{
+  public:
+    Respond
+    responder()
+    {
+        return [this](const std::string &line) {
+            std::lock_guard<std::mutex> lk(mu_);
+            lines_.push_back(line);
+            cv_.notify_all();
+        };
+    }
+
+    bool
+    waitFor(size_t count, double seconds = 5.0)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        return cv_.wait_for(
+            lk, std::chrono::duration<double>(seconds),
+            [&] { return lines_.size() >= count; });
+    }
+
+    std::vector<std::string>
+    lines()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return lines_;
+    }
+
+    size_t
+    countContaining(const std::string &needle)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        size_t n = 0;
+        for (const auto &line : lines_)
+            n += line.find(needle) != std::string::npos;
+        return n;
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::string> lines_;
+};
+
+/** A predict fn that sleeps briefly and returns seed-derived data. */
+PredictFn
+stubPredict(double sleepSeconds = 0.0)
+{
+    return [sleepSeconds](const PredictRequest &req) -> Metrics {
+        if (sleepSeconds > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(sleepSeconds));
+        }
+        if (req.workload == "explode")
+            throw Error(ErrorCategory::UnknownWorkload,
+                        "no such workload");
+        return {{"value", static_cast<double>(req.seed) * 2.0}};
+    };
+}
+
+std::string
+predictLine(const std::string &id, double stallMs = 0.0,
+            double deadlineMs = 0.0)
+{
+    std::string line = "{\"id\":\"" + id +
+                       "\",\"workload\":\"stub\"";
+    if (stallMs > 0)
+        line += ",\"stall_ms\":" + std::to_string(stallMs);
+    if (deadlineMs > 0)
+        line += ",\"deadline_ms\":" + std::to_string(deadlineMs);
+    line += "}";
+    return line;
+}
+
+TEST(ServeProtocol, ParsesFullPredictRequest)
+{
+    const Expected<Request> req = parseRequestLine(
+        "{\"id\":\"r1\",\"type\":\"predict\",\"workload\":\"route\","
+        "\"config\":{\"ruu\":32,\"width\":4},\"seed\":7,"
+        "\"reduction\":50,\"max_insts\":120000,"
+        "\"workload_scale\":2,\"perfect_caches\":true,"
+        "\"perfect_bpred\":false,\"deadline_ms\":1500,"
+        "\"stall_ms\":10}");
+    ASSERT_TRUE(req.ok()) << req.error().what();
+    const Request &r = req.value();
+    EXPECT_EQ(r.id, "r1");
+    EXPECT_EQ(r.type, RequestType::Predict);
+    EXPECT_EQ(r.predict.workload, "route");
+    ASSERT_EQ(r.predict.config.size(), 2u);
+    EXPECT_EQ(r.predict.config[0].first, "ruu");
+    EXPECT_EQ(r.predict.config[0].second, 32.0);
+    EXPECT_EQ(r.predict.seed, 7u);
+    EXPECT_EQ(r.predict.reduction, 50u);
+    EXPECT_EQ(r.predict.maxInsts, 120000u);
+    EXPECT_EQ(r.predict.workloadScale, 2u);
+    EXPECT_TRUE(r.predict.perfectCaches);
+    EXPECT_FALSE(r.predict.perfectBpred);
+    EXPECT_DOUBLE_EQ(r.deadlineSeconds, 1.5);
+    EXPECT_DOUBLE_EQ(r.predict.stallSeconds, 0.01);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests)
+{
+    for (const char *bad : {
+             "",
+             "not json",
+             "{\"id\":\"x\"}",            // predict without workload
+             "{\"workload\":\"route\"}",  // missing id
+             "{\"id\":\"x\",\"type\":\"nonsense\"}",
+             "{\"id\":\"x\",\"bogus\":1}",
+             "{\"id\":\"x\",\"workload\":\"w\",\"deadline_ms\":-5}",
+         }) {
+        const Expected<Request> req = parseRequestLine(bad);
+        EXPECT_FALSE(req.ok()) << "accepted: " << bad;
+        if (!req.ok()) {
+            EXPECT_EQ(req.error().category(),
+                      ErrorCategory::ParseError);
+        }
+    }
+}
+
+TEST(ServeProtocol, ResponsesCarryTypedCategoriesAndHints)
+{
+    const std::string ok =
+        renderOkResponse("r1", 7, {{"ipc", 1.5}}, 12.5);
+    EXPECT_NE(ok.find("\"id\":\"r1\""), std::string::npos);
+    EXPECT_NE(ok.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(ok.find("\"metrics\":{\"ipc\":1.5}"),
+              std::string::npos);
+
+    const std::string shed = renderErrorResponse(
+        "r2", ErrorCategory::Overloaded, "queue full", 40);
+    EXPECT_NE(shed.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(shed.find("\"error\":\"overloaded\""),
+              std::string::npos);
+    EXPECT_NE(shed.find("\"retry_after_ms\":40"), std::string::npos);
+
+    const std::string dead = renderErrorResponse(
+        "r3", ErrorCategory::DeadlineExceeded, "late");
+    EXPECT_NE(dead.find("\"error\":\"deadline-exceeded\""),
+              std::string::npos);
+    EXPECT_EQ(dead.find("retry_after_ms"), std::string::npos);
+}
+
+TEST(ServeServer, AnswersPredictHealthAndMetrics)
+{
+    Server server(stubPredict(), ServeOptions{});
+    server.start();
+    ResponseSink sink;
+    server.submitLine("{\"id\":\"p1\",\"workload\":\"stub\","
+                      "\"seed\":21}",
+                      sink.responder());
+    server.submitLine("{\"id\":\"h1\",\"type\":\"health\"}",
+                      sink.responder());
+    server.submitLine("{\"id\":\"m1\",\"type\":\"metrics\"}",
+                      sink.responder());
+    ASSERT_TRUE(sink.waitFor(3));
+    EXPECT_EQ(sink.countContaining("\"value\":42"), 1u);
+    EXPECT_EQ(sink.countContaining("\"status\":\"serving\""), 1u);
+    EXPECT_EQ(sink.countContaining("\"format\":\"ssim-stats\""), 1u);
+    server.beginDrain();
+    EXPECT_TRUE(server.awaitDrain());
+    server.stop();
+}
+
+TEST(ServeServer, TypedPredictErrorsReachTheClient)
+{
+    Server server(stubPredict(), ServeOptions{});
+    server.start();
+    ResponseSink sink;
+    server.submitLine("{\"id\":\"e1\",\"workload\":\"explode\"}",
+                      sink.responder());
+    server.submitLine("garbage", sink.responder());
+    ASSERT_TRUE(sink.waitFor(2));
+    EXPECT_EQ(sink.countContaining("\"error\":\"unknown-workload\""),
+              1u);
+    EXPECT_EQ(sink.countContaining("\"error\":\"parse-error\""), 1u);
+    server.stop();
+}
+
+TEST(ServeServer, ShedsBeyondQueueCapacityWithRetryHint)
+{
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    Server server(stubPredict(0.05), opts);
+    server.start();
+    ResponseSink sink;
+    // One in flight (after dispatch), two queued, the rest shed.
+    const size_t total = 8;
+    for (size_t i = 0; i < total; ++i)
+        server.submitLine(predictLine("q" + std::to_string(i)),
+                          sink.responder());
+    ASSERT_TRUE(sink.waitFor(total));
+    const size_t shed = sink.countContaining("\"error\":\"overloaded\"");
+    const size_t ok = sink.countContaining("\"ok\":true");
+    EXPECT_GE(shed, total - 3);
+    EXPECT_GE(ok, 1u);
+    EXPECT_EQ(ok + shed, total);
+    EXPECT_EQ(sink.countContaining("\"retry_after_ms\":"), shed);
+    server.beginDrain();
+    EXPECT_TRUE(server.awaitDrain());
+    server.stop();
+}
+
+TEST(ServeServer, DeadlineExpiryRecyclesWorkerAndPoolSurvives)
+{
+    ServeOptions opts;
+    opts.workers = 1;
+    Server server(stubPredict(), opts);
+    server.start();
+    ResponseSink sink;
+    // Stalls far past its deadline: the watchdog answers and
+    // replaces the worker while the stall is still sleeping.
+    server.submitLine(predictLine("slow", 400.0, 50.0),
+                      sink.responder());
+    ASSERT_TRUE(sink.waitFor(1));
+    EXPECT_EQ(
+        sink.countContaining("\"error\":\"deadline-exceeded\""), 1u);
+    // The recycled pool still serves: a fresh request completes
+    // even though the stalled thread has ~300ms left to sleep.
+    server.submitLine(predictLine("after"), sink.responder());
+    ASSERT_TRUE(sink.waitFor(2));
+    EXPECT_EQ(sink.countContaining("\"id\":\"after\",\"ok\":true"),
+              1u);
+    server.beginDrain();
+    EXPECT_TRUE(server.awaitDrain());
+    server.stop();
+}
+
+TEST(ServeServer, CrashedWorkerIsRestartedAndServiceContinues)
+{
+    ::setenv("SSIM_SERVE_CRASH_ON", "die-1,die-2", 1);
+    ServeOptions opts;
+    opts.workers = 2;
+    opts.restartBackoffSeconds = 0.01;
+    opts.restartBackoffCapSeconds = 0.05;
+    Server server(stubPredict(), opts);
+    server.start();
+    ::unsetenv("SSIM_SERVE_CRASH_ON");
+    ResponseSink sink;
+    server.submitLine(predictLine("die-1"), sink.responder());
+    server.submitLine(predictLine("die-2"), sink.responder());
+    server.submitLine(predictLine("ok-1"), sink.responder());
+    server.submitLine(predictLine("ok-2"), sink.responder());
+    ASSERT_TRUE(sink.waitFor(4));
+    EXPECT_EQ(sink.countContaining("\"error\":\"worker-crashed\""),
+              2u);
+    EXPECT_EQ(sink.countContaining("\"ok\":true"), 2u);
+    // Both crashes were answered, both restarts happened, and the
+    // health view shows a full pool again.
+    HealthInfo info;
+    for (int i = 0; i < 100 && info.workers < 2; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        info = server.health();
+    }
+    EXPECT_EQ(info.workers, 2u);
+    EXPECT_EQ(info.crashed, 2u);
+    server.stop();
+}
+
+TEST(ServeServer, DrainRejectsNewWorkAndFinishesAdmittedWork)
+{
+    ServeOptions opts;
+    opts.workers = 1;
+    Server server(stubPredict(0.1), opts);
+    server.start();
+    ResponseSink sink;
+    server.submitLine(predictLine("admitted"), sink.responder());
+    server.beginDrain();
+    server.submitLine(predictLine("rejected"), sink.responder());
+    EXPECT_TRUE(server.awaitDrain());
+    ASSERT_TRUE(sink.waitFor(2));
+    EXPECT_EQ(sink.countContaining("\"id\":\"admitted\",\"ok\":true"),
+              1u);
+    EXPECT_EQ(sink.countContaining("\"error\":\"shutting-down\""),
+              1u);
+    EXPECT_TRUE(server.drainComplete());
+    server.stop();
+}
+
+TEST(ServeServer, DrainBudgetForceFailsStragglers)
+{
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.drainBudgetSeconds = 0.05;
+    Server server(stubPredict(0.5), opts);
+    server.start();
+    ResponseSink sink;
+    server.submitLine(predictLine("stuck"), sink.responder());
+    server.submitLine(predictLine("queued"), sink.responder());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(server.awaitDrain());
+    ASSERT_TRUE(sink.waitFor(2));
+    // The running request hit the drain deadline; the queued one
+    // never started and is told the service shut down.
+    EXPECT_EQ(
+        sink.countContaining("\"error\":\"deadline-exceeded\""), 1u);
+    EXPECT_EQ(sink.countContaining("\"error\":\"shutting-down\""),
+              1u);
+    server.stop();
+}
+
+TEST(ServeServer, RealPredictFnReplaysByteIdenticalMetrics)
+{
+    // The acceptance property end to end: the same seeded request
+    // through the real statistical-simulation predict fn renders a
+    // byte-identical metrics object, across two daemon instances.
+    const std::string line =
+        "{\"id\":\"rep\",\"workload\":\"route\",\"seed\":9,"
+        "\"reduction\":50,\"max_insts\":60000,"
+        "\"config\":{\"ruu\":32}}";
+    auto metricsOf = [&](Server &server) {
+        server.start();
+        ResponseSink sink;
+        server.submitLine(line, sink.responder());
+        EXPECT_TRUE(sink.waitFor(1, 30.0));
+        const std::string resp = sink.lines().at(0);
+        const size_t begin = resp.find("\"metrics\":");
+        const size_t end = resp.find(",\"wall_ms\"");
+        EXPECT_NE(begin, std::string::npos);
+        EXPECT_NE(end, std::string::npos);
+        server.stop();
+        return resp.substr(begin, end - begin);
+    };
+    Server first(makeStatSimPredictFn(), ServeOptions{});
+    const std::string a = metricsOf(first);
+    Server second(makeStatSimPredictFn(), ServeOptions{});
+    const std::string b = metricsOf(second);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"ipc\":"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, ValidateRejectsBadKnobs)
+{
+    ServeOptions opts;
+    opts.queueCapacity = 0;
+    EXPECT_THROW(opts.validate(), Error);
+    opts = ServeOptions{};
+    opts.drainBudgetSeconds = 0;
+    EXPECT_THROW(opts.validate(), Error);
+    opts = ServeOptions{};
+    opts.restartBackoffSeconds = 0.5;
+    opts.restartBackoffCapSeconds = 0.1;
+    EXPECT_THROW(opts.validate(), Error);
+    EXPECT_NO_THROW(ServeOptions{}.validate());
+}
+
+} // namespace

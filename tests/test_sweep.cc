@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "experiments/sweep.hh"
@@ -263,6 +264,24 @@ TEST(Sweep, WatchdogTimesOutSlowPointOthersComplete)
     ASSERT_TRUE(loaded.ok());
     EXPECT_EQ(countDone(loaded.value(), "timeout"), 1u);
     EXPECT_EQ(countDone(loaded.value(), "ok"), 3u);
+}
+
+TEST(Sweep, ZeroPointTimeoutDisablesTheWatchdogDeadline)
+{
+    // --point-timeout 0 means "no budget": a point slower than any
+    // plausible deadline must still settle Ok, and the injected
+    // stall hook must not conspire with the watchdog to kill it.
+    ::setenv("SSIM_SWEEP_STALL_POINT", "1:0.15", 1);
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.pointTimeoutSeconds = 0.0;
+    const SweepSummary summary =
+        runSweep(makePoints(3), seedMetrics, opts);
+    ::unsetenv("SSIM_SWEEP_STALL_POINT");
+    EXPECT_EQ(summary.okCount, 3u);
+    EXPECT_EQ(summary.timeoutCount, 0u);
+    EXPECT_EQ(summary.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(summary.outcomes[1].attempts, 1u);
 }
 
 TEST(Sweep, RetryableErrorRetriedOnceThenOk)

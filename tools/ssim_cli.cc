@@ -17,6 +17,11 @@
  *   ssim sweep <workload> --grid key=v1,v2,... [sweep options]
  *       Run a design-space grid through the crash-tolerant parallel
  *       sweep engine (journaled, resumable, watchdog-timed).
+ *   ssim serve [serve options]
+ *       Run the long-lived prediction daemon: newline-delimited JSON
+ *       requests on stdin/stdout (or --socket PATH), answered by a
+ *       worker pool with bounded admission, per-request deadlines,
+ *       crash isolation, and graceful SIGINT/SIGTERM drain.
  *
  * Core options:
  *   --ruu N --lsq N --width N --ifq N --scale-bpred L --scale-cache F
@@ -37,6 +42,7 @@
  *                       equivalent to SSIM_LOG_LEVEL=error
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cmath>
@@ -57,6 +63,9 @@
 #include "obs/export_trace.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "serve/predict.hh"
+#include "serve/server.hh"
+#include "serve/transport.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/statistics.hh"
@@ -94,6 +103,13 @@ struct Options
     double pointTimeout = 0.0;
     unsigned retries = 1;
 
+    // Serve.
+    size_t queueCapacity = 64;       ///< --queue N
+    double deadlineMs = 0.0;         ///< --deadline-ms N (default)
+    double drainMs = 5000.0;         ///< --drain-ms N
+    double restartBackoffMs = 50.0;  ///< --restart-backoff-ms N
+    std::string socketPath;          ///< --socket PATH
+
     // Observability.
     std::string statsJson;   ///< --stats-json FILE
     std::string tracePath;   ///< --trace FILE
@@ -117,6 +133,7 @@ usage()
         "  eds <workload>            execution-driven simulation\n"
         "  compare <workload>        both, with error report\n"
         "  sweep <workload>          journaled parallel design sweep\n"
+        "  serve                     long-lived prediction daemon\n"
         "core options: --ruu N --lsq N --width N --ifq N\n"
         "              --scale-bpred L --scale-cache F\n"
         "              --perfect-caches --perfect-bpred\n"
@@ -128,6 +145,12 @@ usage()
         "  lsq, width, ifq, scale-bpred, scale-cache), --jobs N\n"
         "  (0 = all cores), --journal FILE, --resume,\n"
         "  --point-timeout SEC, --retries N\n"
+        "serve options: --jobs N (workers; 0 = all cores),\n"
+        "  --queue N (admission capacity), --deadline-ms N (default\n"
+        "  per-request deadline; 0 = none), --drain-ms N,\n"
+        "  --restart-backoff-ms N, --socket PATH (Unix socket\n"
+        "  instead of stdin/stdout), --stats-json FILE (final\n"
+        "  serve.* snapshot on exit)\n"
         "observability options: --stats-json FILE (sweep: live\n"
         "  heartbeat), --trace FILE (Perfetto/chrome://tracing),\n"
         "  --quiet (errors only; also SSIM_LOG_LEVEL=error|warn|info)\n"
@@ -135,7 +158,10 @@ usage()
         "  configuration, 4 profile parse error, 5 corrupted\n"
         "  profile, 6 profile version mismatch, 7 I/O error,\n"
         "  8 unknown workload, 9 internal error, 10 sweep\n"
-        "  interrupted (resumable: rerun with --resume)\n";
+        "  interrupted / serve drained by signal (resumable),\n"
+        "  11 overloaded, 12 deadline exceeded, 13 worker\n"
+        "  crashed, 14 shutting down (11-14 are also the serve\n"
+        "  wire-protocol error categories)\n";
     std::exit(2);
 }
 
@@ -248,7 +274,9 @@ parse(int argc, char **argv)
     Options opts;
     opts.command = argv[1];
     int i = 2;
-    if (opts.command != "list") {
+    // `list` and `serve` take no target; everything else names a
+    // workload or profile file.
+    if (opts.command != "list" && opts.command != "serve") {
         if (i >= argc) {
             argError("command '" + opts.command +
                      "' requires a target (workload name or profile "
@@ -321,6 +349,19 @@ parse(int argc, char **argv)
         } else if (arg == "--retries") {
             opts.retries = static_cast<unsigned>(
                 uintArg(argc, argv, i));
+        } else if (arg == "--queue") {
+            opts.queueCapacity = uintArg(argc, argv, i);
+        } else if (arg == "--deadline-ms") {
+            // 0 is meaningful here ("no default deadline"), so this
+            // flag takes the non-negative integer path.
+            opts.deadlineMs =
+                static_cast<double>(uintArg(argc, argv, i));
+        } else if (arg == "--drain-ms") {
+            opts.drainMs = floatArg(argc, argv, i);
+        } else if (arg == "--restart-backoff-ms") {
+            opts.restartBackoffMs = floatArg(argc, argv, i);
+        } else if (arg == "--socket") {
+            opts.socketPath = valueOf(argc, argv, i);
         } else if (arg == "--stats-json") {
             opts.statsJson = valueOf(argc, argv, i);
         } else if (arg == "--trace") {
@@ -679,6 +720,43 @@ cmdSweep(const Options &opts)
     return 0;
 }
 
+int
+cmdServe(const Options &opts)
+{
+    serve::ServeOptions sopts;
+    sopts.workers = opts.jobs;
+    sopts.queueCapacity = opts.queueCapacity;
+    sopts.defaultDeadlineSeconds = opts.deadlineMs / 1000.0;
+    sopts.drainBudgetSeconds = opts.drainMs / 1000.0;
+    sopts.restartBackoffSeconds = opts.restartBackoffMs / 1000.0;
+    sopts.restartBackoffCapSeconds =
+        std::max(sopts.restartBackoffSeconds, 2.0);
+    sopts.validate();
+
+    obs::RunManifest manifest = obs::makeManifest("serve");
+    manifest.seed = opts.generation.seed;
+
+    serve::Server server(serve::makeStatSimPredictFn(), sopts,
+                         &manifest);
+    server.start();
+    serve::TransportOptions topts;
+    topts.handleSignals = true;
+    const int rc =
+        opts.socketPath.empty()
+            ? serve::runStdioTransport(server, topts)
+            : serve::runUnixSocketTransport(server, opts.socketPath,
+                                            topts);
+    // The final snapshot is the daemon's parting account of itself:
+    // everything served, shed, timed out, crashed, and restarted.
+    if (!opts.statsJson.empty()) {
+        const Expected<void> w = obs::writeStatsJson(
+            opts.statsJson, server.metricsSnapshot(), manifest);
+        if (!w)
+            throw w.error();
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -703,6 +781,8 @@ main(int argc, char **argv)
             return cmdCompare(opts);
         if (opts.command == "sweep")
             return cmdSweep(opts);
+        if (opts.command == "serve")
+            return cmdServe(opts);
         std::cerr << "ssim: unknown command '" << opts.command
                   << "'\n";
         usage();
