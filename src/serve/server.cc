@@ -555,18 +555,25 @@ struct Server::Impl
                     "be restarted");
                 respond = active->respond;
             }
-            --liveWorkers_;
-            // Exponential backoff before the replacement spawns;
-            // reset by the next successful completion.
-            crashBackoff_ =
-                crashBackoff_ == 0.0
-                    ? opts_.restartBackoffSeconds
-                    : std::min(crashBackoff_ * 2.0,
-                               opts_.restartBackoffCapSeconds);
-            restarts_.push_back(
-                Clock::now() +
-                std::chrono::duration_cast<Clock::duration>(
-                    secondsOf(crashBackoff_)));
+            // A watchdog recycle (deadline fired between dispatch
+            // and this crash) already took this worker out of the
+            // live count and scheduled its replacement; doing either
+            // again would underflow liveWorkers_ and overgrow the
+            // pool. Same guard as the workerLoop retirement path.
+            if (!self->recycled) {
+                --liveWorkers_;
+                // Exponential backoff before the replacement spawns;
+                // reset by the next successful completion.
+                crashBackoff_ =
+                    crashBackoff_ == 0.0
+                        ? opts_.restartBackoffSeconds
+                        : std::min(crashBackoff_ * 2.0,
+                                   opts_.restartBackoffCapSeconds);
+                restarts_.push_back(
+                    Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        secondsOf(crashBackoff_)));
+            }
             self->exited.store(true);
             cv_.notify_all();
         }

@@ -286,6 +286,10 @@ runUnixSocketTransport(Server &server, const std::string &path,
         }
         if (rc == 0)
             continue;
+        // pfds[1 + i] mirrors clients[i] as polled; snapshot that
+        // count before accepting so a client admitted this iteration
+        // (which has no pfd yet) is first read on the next poll.
+        const size_t polled = clients.size();
         if ((pfds[0].revents & POLLIN) != 0) {
             const int cfd = ::accept(lfd, nullptr, nullptr);
             if (cfd >= 0) {
@@ -296,10 +300,10 @@ runUnixSocketTransport(Server &server, const std::string &path,
                 clients.push_back(std::move(client));
             }
         }
-        // pfds[1 + i] mirrors clients[i]; iterate by index and drop
-        // dead clients afterwards so the mapping stays aligned.
+        // Iterate by index and drop dead clients afterwards so the
+        // pfds/clients mapping stays aligned.
         std::vector<size_t> dead;
-        for (size_t i = 0; i < clients.size(); ++i) {
+        for (size_t i = 0; i < polled; ++i) {
             if ((pfds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) ==
                 0)
                 continue;

@@ -16,6 +16,12 @@
 #   request (a result or a typed error), a clean EOF drain (exit 0),
 #   and a byte-identical metrics replay of a seeded request across
 #   two daemon instances.
+# MODE=socket: the Unix-socket transport with concurrent clients. A
+#   second client connects in the same poll round that the first
+#   client's bytes arrive — regression for the event loop indexing
+#   the pollfd array past its end after an accept — then interleaved
+#   requests must route responses to the connection that asked, and
+#   SIGTERM must drain with exit 10 and unlink the socket.
 #
 # The process choreography (fifo writers, kill timing) needs a real
 # shell; the script below is written fresh into the scratch dir and
@@ -162,12 +168,110 @@ m2=$(grep -o '"metrics":{[^}]*}' rep2.out)
 echo PASS
 ]])
 
+elseif(MODE STREQUAL "socket")
+
+find_program(PYTHON3_PROGRAM python3 REQUIRED)
+
+file(WRITE "${dir}/clients.py" [[
+import json
+import socket
+import sys
+import time
+
+path = sys.argv[1]
+
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s
+
+
+def send(s, obj):
+    s.sendall((json.dumps(obj) + "\n").encode())
+
+
+def readline(s):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            raise SystemExit("FAIL: peer closed mid-line: %r" % buf)
+        buf += chunk
+    return json.loads(buf.decode())
+
+
+req = {"workload": "route", "max_insts": 60000, "reduction": 50}
+
+a = connect()
+time.sleep(0.3)  # a is accepted and sits idle in the client list
+
+# The regression scenario: b's connect and a's first bytes land in
+# the same poll round, so the daemon accepts a new client and then
+# walks the pre-accept pollfd set. The loop must not index past it
+# (b is read on the next round).
+b = connect()
+send(a, dict(req, id="a-stall", stall_ms=300))
+send(b, dict(req, id="b-first"))
+
+rb = readline(b)
+assert rb["id"] == "b-first" and rb.get("ok"), rb
+ra = readline(a)
+assert ra["id"] == "a-stall" and ra.get("ok"), ra
+
+# Interleaved traffic, one outstanding request per client: each
+# response must come back on the connection that asked.
+for i in range(5):
+    send(a, dict(req, id="a%d" % i, seed=i))
+    send(b, dict(req, id="b%d" % i, seed=i))
+    ra = readline(a)
+    rb = readline(b)
+    assert ra["id"] == "a%d" % i and ra.get("ok"), ra
+    assert rb["id"] == "b%d" % i and rb.get("ok"), rb
+
+send(a, {"id": "h", "type": "health"})
+rh = readline(a)
+assert rh["id"] == "h" and rh.get("ok"), rh
+
+a.close()
+b.close()
+print("CLIENTS-OK")
+]])
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir, $3 = python3
+set -u
+cli="$1"
+py="$3"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- out:"; cat out 2>/dev/null;
+         echo "--- err:"; cat err 2>/dev/null; exit 1; }
+
+rm -f sock out err
+"$cli" serve --jobs 2 --socket sock --quiet 2> err &
+pid=$!
+for _ in $(seq 1 100); do [ -S sock ] && break; sleep 0.05; done
+[ -S sock ] || fail "daemon never created the socket"
+
+"$py" clients.py sock > out 2>&1 || fail "client script failed"
+grep -q CLIENTS-OK out || fail "client assertions did not finish"
+
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
+[ ! -e sock ] || fail "socket path not unlinked on exit"
+echo PASS
+]])
+
 else()
     message(FATAL_ERROR "unknown MODE '${MODE}'")
 endif()
 
 execute_process(
     COMMAND "${BASH_PROGRAM}" "${dir}/driver.sh" "${SSIM_CLI}" "${dir}"
+            "${PYTHON3_PROGRAM}"
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
