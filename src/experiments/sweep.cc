@@ -17,6 +17,7 @@
 #include <sstream>
 #include <thread>
 
+#include "fault/fault.hh"
 #include "obs/export_json.hh"
 #include "util/drain.hh"
 #include "util/process.hh"
@@ -38,37 +39,6 @@ fileExists(const std::string &path)
 {
     struct stat st = {};
     return ::stat(path.c_str(), &st) == 0;
-}
-
-/** SSIM_SWEEP_CRASH_AFTER=<n>: die after the n-th done record. */
-unsigned long
-crashAfterFromEnv()
-{
-    const char *env = std::getenv("SSIM_SWEEP_CRASH_AFTER");
-    if (!env)
-        return 0;
-    const long long v = std::atoll(env);
-    return v > 0 ? static_cast<unsigned long>(v) : 0;
-}
-
-/**
- * SSIM_SWEEP_STALL_POINT=<index>:<seconds>: sleep before running the
- * first attempt of one point. Combined with a small --point-timeout
- * this injects a deterministic timeout followed by a clean retry.
- */
-bool
-stallPointFromEnv(size_t &index, double &seconds)
-{
-    const char *env = std::getenv("SSIM_SWEEP_STALL_POINT");
-    if (!env)
-        return false;
-    size_t idx = 0;
-    double sec = 0.0;
-    if (std::sscanf(env, "%zu:%lf", &idx, &sec) != 2 || sec <= 0)
-        return false;
-    index = idx;
-    seconds = sec;
-    return true;
 }
 
 PointStatus
@@ -115,13 +85,17 @@ class Engine
     Engine(const std::vector<SweepPoint> &points, const PointFn &fn,
            const SweepOptions &opts)
         : points_(points), fn_(fn), opts_(opts),
-          crashAfter_(crashAfterFromEnv()), t0_(Clock::now())
+          legacyPlan_(fault::FaultPlan::fromSweepEnv()),
+          t0_(Clock::now())
     {
+        // The legacy SSIM_SWEEP_CRASH_AFTER / SSIM_SWEEP_STALL_POINT
+        // hooks latch here, at engine construction, exactly as their
+        // old ad-hoc parsers did; they now ride the fault registry as
+        // a subsystem-local compatibility plan.
         summary_.outcomes.resize(points_.size());
         attemptsUsed_.assign(points_.size(), 0);
         for (size_t i = 0; i < points_.size(); ++i)
             summary_.outcomes[i].seed = pointSeed(opts_.seed, i);
-        hasStall_ = stallPointFromEnv(stallPoint_, stallSeconds_);
     }
 
     SweepSummary run();
@@ -164,13 +138,9 @@ class Engine
 
     util::Journal journal_;
     bool replayed_ = false;   ///< resume replay filled the queue
-    unsigned long crashAfter_ = 0;
-    unsigned long doneWrites_ = 0;
+    std::shared_ptr<fault::FaultPlan> legacyPlan_;
 
     Clock::time_point t0_;
-    bool hasStall_ = false;
-    size_t stallPoint_ = 0;
-    double stallSeconds_ = 0.0;
 
     // Heartbeat progress (guarded by mu_).
     size_t hbSettled_ = 0;
@@ -195,12 +165,19 @@ Engine::journalAppend(const util::JournalRecord &rec)
                         r.error().what() + "\n").c_str(), stderr);
         return;
     }
-    if (rec.event == "done" && crashAfter_ > 0 &&
-        ++doneWrites_ >= crashAfter_) {
-        // Fault injection: die as hard as SIGKILL would, after the
-        // record is durably on disk.
-        journal_.sync();
-        ::raise(SIGKILL);
+    if (rec.event == "done") {
+        // Fault site "sweep.journal.done": one hit per successfully
+        // appended done record (the legacy crash-after-N hook maps to
+        // on_hit=N). A crash lands after the record is durably on
+        // disk, which is the harder resume case.
+        const fault::Outcome out =
+            fault::point("sweep.journal.done", std::string(),
+                         legacyPlan_.get());
+        if (out.action == fault::Action::Crash) {
+            journal_.sync();
+            fault::crashHard();
+        }
+        fault::sleepFor(out);
     }
 }
 
@@ -358,11 +335,16 @@ Engine::workerLoop(unsigned workerId)
         PointOutcome o;
         o.seed = pointSeed(opts_.seed, point);
         const auto t0 = Clock::now();
-        if (hasStall_ && point == stallPoint_ && attempt == 1) {
-            // Fault injection: make this attempt blow its budget.
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(stallSeconds_));
-        }
+        // Fault site "sweep.point.start", keyed by point index; the
+        // legacy stall hook maps to {key:index, on_hit:1, stall} so
+        // only the first attempt blows its budget and the retry runs
+        // clean.
+        const fault::Outcome startFault =
+            fault::point("sweep.point.start", std::to_string(point),
+                         legacyPlan_.get());
+        if (startFault.action == fault::Action::Crash)
+            fault::crashHard();
+        fault::sleepFor(startFault);
         try {
             o.metrics = fn_(point, o.seed);
             o.status = PointStatus::Ok;

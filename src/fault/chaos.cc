@@ -1,0 +1,651 @@
+#include "chaos.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "experiments/sweep.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "util/journal.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ssim::fault
+{
+
+namespace
+{
+
+namespace json = util::json;
+
+/** Exit code a chaos child uses for a sweep-level throw. */
+constexpr int ChildSweepThrew = 20;
+
+uint64_t
+scheduleSeedFor(uint64_t base, uint64_t index)
+{
+    return splitmix64(base ^ splitmix64(index + 1));
+}
+
+/** Uniform double in [0, 1) from one hash step. */
+double
+u01(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// --- sweep schedules ----------------------------------------------
+
+/**
+ * The synthetic point function: pure in (index, seed), instant, and
+ * spread across several metrics so a byte-level comparison covers the
+ * full %.17g surface.
+ */
+experiments::PointMetrics
+syntheticPoint(size_t index, uint64_t seed)
+{
+    experiments::PointMetrics m;
+    uint64_t h = splitmix64(seed ^ (0x51e57a7e + index));
+    m.emplace_back("ipc", u01(h) * 4.0);
+    h = splitmix64(h);
+    m.emplace_back("epc", u01(h) * 2.0);
+    h = splitmix64(h);
+    m.emplace_back("miss-rate", u01(h));
+    return m;
+}
+
+std::vector<experiments::SweepPoint>
+syntheticPoints(uint64_t count)
+{
+    std::vector<experiments::SweepPoint> points(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        points[i].name = "p" + std::to_string(i);
+        points[i].configHash = splitmix64(0xC0FFEE ^ i);
+    }
+    return points;
+}
+
+/**
+ * Derive a sweep fault plan from the schedule seed: one to three
+ * rules, each bounded (count=1) so the single clean resume always
+ * converges. Stall rules are deliberately absent — without a point
+ * timeout they only burn wall time, and timeout nondeterminism would
+ * poison the digest.
+ */
+FaultPlan
+makeSweepPlan(uint64_t seed, uint64_t points)
+{
+    Rng rng(seed);
+    FaultPlan plan(seed);
+    const uint64_t n = 1 + rng.below(3);
+    for (uint64_t i = 0; i < n; ++i) {
+        Rule rule;
+        rule.maxFires = 1;
+        switch (rng.below(5)) {
+        case 0:
+            rule.site = "sweep.journal.done";
+            rule.action = Action::Crash;
+            rule.onHit = 1 + rng.below(points);
+            break;
+        case 1:
+            rule.site = "sweep.point.start";
+            rule.key = std::to_string(rng.below(points));
+            rule.action = Action::Crash;
+            rule.onHit = 1;
+            break;
+        case 2:
+            // on_hit >= 2 keeps the sweep header intact: a journal
+            // whose very first append fails has no header, which is a
+            // legitimately unresumable file, not a resilience gap.
+            rule.site = "journal.append";
+            rule.action = Action::FailErrno;
+            rule.err = ENOSPC;
+            rule.onHit = 2 + rng.below(2 * points);
+            break;
+        case 3:
+            rule.site = "journal.append";
+            rule.action = Action::TornIo;
+            rule.err = EIO;
+            rule.bytes = 1 + rng.below(40);
+            rule.onHit = 2 + rng.below(2 * points);
+            break;
+        default:
+            rule.site = "journal.fsync";
+            rule.action = Action::FailErrno;
+            rule.err = EIO;
+            rule.onHit = 1 + rng.below(4);
+            break;
+        }
+        plan.addRule(rule);
+    }
+    return plan;
+}
+
+/** Digest field rendering for one journal record (no wall-clock). */
+void
+foldRecord(uint64_t &digest, const util::JournalRecord &rec)
+{
+    std::string key = rec.event;
+    key += '|';
+    key += std::to_string(rec.point);
+    key += '|';
+    key += std::to_string(rec.attempt);
+    key += '|';
+    key += rec.status;
+    key += '|';
+    key += rec.category;
+    key += '|';
+    key += rec.message;
+    for (const util::JournalMetric &m : rec.metrics) {
+        key += '|';
+        key += m.name;
+        key += '=';
+        key += json::doubleToken(m.value);
+    }
+    digest = splitmix64(digest ^ util::fnv1a64(key));
+}
+
+struct ScheduleResult
+{
+    uint64_t digest = 0;
+    bool childCrashed = false;
+    uint64_t faultsFired = 0;
+    std::vector<std::string> violations;
+};
+
+ScheduleResult
+runSweepSchedule(uint64_t index, uint64_t seed, const FaultPlan &plan,
+                 const ChaosOptions &opts)
+{
+    ScheduleResult result;
+    const std::string tag =
+        "schedule " + std::to_string(index) + " (sweep, seed " +
+        std::to_string(seed) + "): ";
+    const std::string journalPath =
+        opts.scratchDir + "/chaos_sweep_" + std::to_string(index) +
+        ".journal";
+    std::remove(journalPath.c_str());
+    std::remove((journalPath + ".tmp").c_str());
+
+    const auto points = syntheticPoints(opts.points);
+    const experiments::PointFn fn = syntheticPoint;
+
+    experiments::SweepOptions sweepOpts;
+    sweepOpts.jobs = 1;   // deterministic dispatch order
+    sweepOpts.seed = seed;
+    sweepOpts.maxRetries = 8;
+    sweepOpts.journalPath = journalPath;
+
+    // Phase 1: the faulted run, in a fork so crash actions SIGKILL a
+    // disposable process — the real thing, not a simulation of it.
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw Error(ErrorCategory::IoError,
+                    std::string("chaos: fork failed: ") +
+                        std::strerror(errno));
+    }
+    if (pid == 0) {
+        installPlan(std::make_shared<FaultPlan>(plan.cloneFresh()));
+        try {
+            experiments::runSweep(points, fn, sweepOpts);
+        } catch (...) {
+            ::_exit(ChildSweepThrew);
+        }
+        ::_exit(0);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        throw Error(ErrorCategory::IoError,
+                    std::string("chaos: waitpid failed: ") +
+                        std::strerror(errno));
+    }
+    if (WIFSIGNALED(status)) {
+        result.childCrashed = true;
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        result.violations.push_back(
+            tag + "faulted sweep child exited " +
+            std::to_string(WEXITSTATUS(status)) +
+            " instead of finishing or crashing");
+        return result;
+    }
+
+    // Phase 2: one clean resume must converge to all-ok.
+    sweepOpts.resume = true;
+    experiments::SweepSummary summary;
+    try {
+        summary = experiments::runSweep(points, fn, sweepOpts);
+    } catch (const Error &e) {
+        result.violations.push_back(tag +
+                                    "clean resume threw: " + e.what());
+        return result;
+    }
+
+    for (size_t p = 0; p < summary.outcomes.size(); ++p) {
+        const experiments::PointOutcome &o = summary.outcomes[p];
+        if (o.status != experiments::PointStatus::Ok) {
+            result.violations.push_back(
+                tag + "point " + std::to_string(p) +
+                " resumed to status '" +
+                experiments::pointStatusName(o.status) + "', not ok");
+            continue;
+        }
+        // Byte-identical metrics: render both sides with the %.17g
+        // token the journal speaks.
+        const experiments::PointMetrics expected =
+            syntheticPoint(p, experiments::pointSeed(seed, p));
+        std::string want;
+        std::string got;
+        for (const auto &[name, value] : expected)
+            want += name + '=' + json::doubleToken(value) + ';';
+        for (const auto &[name, value] : o.metrics)
+            got += name + '=' + json::doubleToken(value) + ';';
+        if (want != got) {
+            result.violations.push_back(
+                tag + "point " + std::to_string(p) +
+                " metrics not byte-identical after resume (want " +
+                want + ", got " + got + ")");
+        }
+    }
+
+    // Journal invariants on the final file.
+    Expected<std::vector<util::JournalRecord>> loaded =
+        util::Journal::load(journalPath);
+    if (!loaded) {
+        result.violations.push_back(
+            tag + "final journal unreadable: " + loaded.error().what());
+        return result;
+    }
+    std::set<std::string> seen;
+    std::vector<uint64_t> okDone(points.size(), 0);
+    for (const util::JournalRecord &rec : loaded.value()) {
+        if (rec.event == "sweep")
+            continue;
+        const std::string id = rec.event + '|' +
+                               std::to_string(rec.point) + '|' +
+                               std::to_string(rec.attempt);
+        if (!seen.insert(id).second) {
+            result.violations.push_back(tag + "journal record " + id +
+                                        " duplicated");
+        }
+        if (rec.event == "done" && rec.status == "ok")
+            ++okDone[rec.point];
+    }
+    for (size_t p = 0; p < points.size(); ++p) {
+        if (okDone[p] != 1) {
+            result.violations.push_back(
+                tag + "point " + std::to_string(p) + " has " +
+                std::to_string(okDone[p]) +
+                " ok done records, expected exactly 1");
+        }
+    }
+
+    uint64_t digest = 0xD16E57;
+    for (const util::JournalRecord &rec : loaded.value())
+        foldRecord(digest, rec);
+    result.digest = digest;
+
+    std::remove(journalPath.c_str());
+    return result;
+}
+
+// --- serve schedules ----------------------------------------------
+
+serve::Metrics
+syntheticPredict(const serve::PredictRequest &req)
+{
+    serve::Metrics m;
+    uint64_t h = splitmix64(req.seed ^ 0xABCDEF);
+    m.emplace_back("ipc", u01(h) * 4.0);
+    h = splitmix64(h);
+    m.emplace_back("epc", u01(h) * 2.0);
+    return m;
+}
+
+/**
+ * Keyed crash/fail rules only: an unkeyed rule would fire on
+ * whichever worker races to it first, and the replay digest demands
+ * that each request's fate follow from its id alone.
+ */
+FaultPlan
+makeServePlan(uint64_t seed, uint64_t requests)
+{
+    Rng rng(seed);
+    FaultPlan plan(seed);
+    const uint64_t n = 1 + rng.below(3);
+    for (uint64_t i = 0; i < n; ++i) {
+        Rule rule;
+        rule.site = "serve.request";
+        rule.key = "q" + std::to_string(rng.below(requests));
+        rule.maxFires = 1;
+        if (rng.below(2) == 0) {
+            rule.action = Action::Crash;
+        } else {
+            rule.action = Action::FailErrno;
+            rule.err = EIO;
+        }
+        plan.addRule(rule);
+    }
+    return plan;
+}
+
+/**
+ * Strip the fields that carry wall-clock time so a replayed response
+ * can be compared byte for byte ("wall_ms":12.5, "retry_after_ms").
+ */
+std::string
+canonicalResponse(const std::string &line)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < line.size()) {
+        bool stripped = false;
+        for (const char *key : {"\"wall_ms\":", "\"retry_after_ms\":"}) {
+            const size_t len = std::strlen(key);
+            if (line.compare(i, len, key) == 0) {
+                i += len;
+                while (i < line.size() && line[i] != ',' &&
+                       line[i] != '}')
+                    ++i;
+                if (i < line.size() && line[i] == ',')
+                    ++i;
+                stripped = true;
+                break;
+            }
+        }
+        if (!stripped)
+            out += line[i++];
+    }
+    return out;
+}
+
+ScheduleResult
+runServeSchedule(uint64_t index, uint64_t seed, const FaultPlan &plan,
+                 const ChaosOptions &opts)
+{
+    ScheduleResult result;
+    const std::string tag =
+        "schedule " + std::to_string(index) + " (serve, seed " +
+        std::to_string(seed) + "): ";
+
+    // The schedule's request mix, derived once so the replay submits
+    // the identical lines: mostly predict requests, with a garbage
+    // line every seventh slot (must still earn exactly one typed
+    // response).
+    std::vector<std::string> lines;
+    std::set<std::string> crashIds;
+    std::set<std::string> failIds;
+    for (uint64_t i = 0; i < opts.requests; ++i) {
+        if (i % 7 == 6) {
+            lines.push_back("this is not a request #" +
+                            std::to_string(i));
+            continue;
+        }
+        std::string line = "{";
+        json::appendField(line, "id", "q" + std::to_string(i));
+        json::appendField(line, "type", "predict");
+        json::appendField(line, "workload", "synthetic");
+        json::appendU64(line, "seed", splitmix64(seed ^ i));
+        line += '}';
+        lines.push_back(std::move(line));
+    }
+    // Recover the plan's keyed intent for the outcome checks by
+    // walking the serialized spec instead of exposing plan internals.
+    {
+        const std::string spec = plan.toJson();
+        size_t pos = 0;
+        while ((pos = spec.find("\"key\":\"", pos)) !=
+               std::string::npos) {
+            pos += 7;
+            const size_t end = spec.find('"', pos);
+            const std::string key = spec.substr(pos, end - pos);
+            const size_t act = spec.find("\"action\":\"", end);
+            // First rule per key wins, matching FaultPlan::hit's
+            // first-match evaluation order.
+            if (crashIds.count(key) == 0 && failIds.count(key) == 0) {
+                if (act != std::string::npos &&
+                    spec.compare(act + 10, 5, "crash") == 0)
+                    crashIds.insert(key);
+                else if (act != std::string::npos &&
+                         spec.compare(act + 10, 4, "fail") == 0)
+                    failIds.insert(key);
+            }
+            pos = end;
+        }
+    }
+
+    auto runOnce = [&](uint64_t &faultsFired,
+                       std::vector<std::vector<std::string>> &responses)
+        -> bool {
+        auto livePlan = std::make_shared<FaultPlan>(plan.cloneFresh());
+        installPlan(livePlan);
+        serve::ServeOptions serveOpts;
+        serveOpts.workers = 2;
+        serveOpts.queueCapacity = opts.requests + 1; // no shedding
+        serveOpts.drainBudgetSeconds = 30.0;
+        serveOpts.restartBackoffSeconds = 0.001;
+        serveOpts.restartBackoffCapSeconds = 0.002;
+        serve::Server server(syntheticPredict, serveOpts);
+        server.start();
+        responses.assign(lines.size(), {});
+        std::mutex mu;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            server.submitLine(lines[i],
+                              [&responses, &mu, i](const std::string &l) {
+                                  std::lock_guard<std::mutex> lk(mu);
+                                  responses[i].push_back(l);
+                              });
+        }
+        const bool drained = server.awaitDrain();
+        const obs::Snapshot snap = server.metricsSnapshot();
+        server.stop();
+        clearPlan();
+        faultsFired = livePlan->totalFires();
+
+        if (!drained) {
+            result.violations.push_back(
+                tag + "drain did not complete inside the budget");
+        }
+        for (const obs::SnapshotEntry &e : snap.entries) {
+            if (e.kind == obs::InstrumentKind::Gauge &&
+                e.gaugeValue < 0.0) {
+                result.violations.push_back(
+                    tag + "gauge " + e.name + " went negative (" +
+                    std::to_string(e.gaugeValue) + ")");
+            }
+            if (e.name == "serve.workers.live" &&
+                e.gaugeValue >
+                    static_cast<double>(serveOpts.workers)) {
+                result.violations.push_back(
+                    tag + "live workers (" +
+                    std::to_string(e.gaugeValue) +
+                    ") exceeded the pool size");
+            }
+        }
+        return drained;
+    };
+
+    std::vector<std::vector<std::string>> responses;
+    runOnce(result.faultsFired, responses);
+
+    uint64_t digest = 0x5E44E;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (responses[i].size() != 1) {
+            result.violations.push_back(
+                tag + "line " + std::to_string(i) + " got " +
+                std::to_string(responses[i].size()) +
+                " responses, expected exactly 1");
+            continue;
+        }
+        const std::string &resp = responses[i][0];
+        const std::string canon = canonicalResponse(resp);
+        digest ^= util::fnv1a64(std::to_string(i) + '|' + canon);
+
+        // Garbage slots (i % 7 == 6) never submit an id, so a rule
+        // keyed on that slot's would-be id can never fire.
+        if (i % 7 == 6)
+            continue;
+        const std::string id = "q" + std::to_string(i);
+        if (crashIds.count(id) > 0 &&
+            resp.find("\"error\":\"worker-crashed\"") ==
+                std::string::npos) {
+            result.violations.push_back(
+                tag + "crash-keyed request " + id +
+                " did not answer worker-crashed: " + resp);
+        } else if (crashIds.count(id) == 0 &&
+                   failIds.count(id) > 0 &&
+                   resp.find("\"error\":\"io-error\"") ==
+                       std::string::npos) {
+            result.violations.push_back(
+                tag + "fail-keyed request " + id +
+                " did not answer io-error: " + resp);
+        }
+    }
+    result.digest = digest;
+
+    // In-schedule replay: a second fresh server under a fresh clone
+    // of the same plan must produce canonically identical responses.
+    uint64_t replayFires = 0;
+    std::vector<std::vector<std::string>> replayResponses;
+    runOnce(replayFires, replayResponses);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (responses[i].size() != 1 || replayResponses[i].size() != 1)
+            continue;
+        if (canonicalResponse(responses[i][0]) !=
+            canonicalResponse(replayResponses[i][0])) {
+            result.violations.push_back(
+                tag + "line " + std::to_string(i) +
+                " not byte-identical on replay: " + responses[i][0] +
+                " vs " + replayResponses[i][0]);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+void
+ChaosOptions::validate() const
+{
+    if (schedules == 0)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "chaos schedules must be >= 1");
+    if (points == 0 || points > 64)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "chaos points must be in [1, 64]");
+    if (requests == 0 || requests > 4096)
+        throw Error(ErrorCategory::InvalidConfig,
+                    "chaos requests must be in [1, 4096]");
+    if (scratchDir.empty())
+        throw Error(ErrorCategory::InvalidConfig,
+                    "chaos scratch dir must not be empty");
+}
+
+ChaosReport
+runChaos(const ChaosOptions &opts)
+{
+    opts.validate();
+    struct stat st = {};
+    if (::stat(opts.scratchDir.c_str(), &st) != 0 ||
+        !S_ISDIR(st.st_mode)) {
+        throw Error(ErrorCategory::IoError,
+                    "chaos scratch dir is not a directory",
+                    {opts.scratchDir, 0});
+    }
+    FaultPlan fixed;
+    const bool haveFixed = !opts.fixedPlanSpec.empty();
+    if (haveFixed) {
+        Expected<FaultPlan> parsed =
+            FaultPlan::loadSpec(opts.fixedPlanSpec);
+        if (!parsed)
+            throw parsed.error();
+        fixed = std::move(parsed.value());
+    }
+    // The harness owns the process-wide registry for its run; an
+    // SSIM_FAULT_PLAN installed by the CLI would otherwise leak into
+    // every schedule.
+    clearPlan();
+
+    ChaosReport report;
+    auto isSweep = [&](uint64_t index) {
+        switch (opts.mode) {
+        case ChaosMode::Sweep:
+            return true;
+        case ChaosMode::Serve:
+            return false;
+        case ChaosMode::All:
+            break;
+        }
+        return index % 2 == 0;
+    };
+
+    auto runSchedule = [&](uint64_t index) -> ScheduleResult {
+        const uint64_t seed = scheduleSeedFor(opts.seed, index);
+        if (isSweep(index)) {
+            const FaultPlan plan =
+                haveFixed ? fixed.cloneFresh()
+                          : makeSweepPlan(seed, opts.points);
+            return runSweepSchedule(index, seed, plan, opts);
+        }
+        const FaultPlan plan = haveFixed
+                                   ? fixed.cloneFresh()
+                                   : makeServePlan(seed, opts.requests);
+        return runServeSchedule(index, seed, plan, opts);
+    };
+
+    std::vector<uint64_t> digests(opts.schedules, 0);
+    for (uint64_t i = 0; i < opts.schedules; ++i) {
+        ScheduleResult r = runSchedule(i);
+        ++report.schedulesRun;
+        if (isSweep(i))
+            ++report.sweepSchedules;
+        else
+            ++report.serveSchedules;
+        if (r.childCrashed)
+            ++report.childCrashes;
+        report.serveFaultsFired += r.faultsFired;
+        digests[i] = r.digest;
+        for (std::string &v : r.violations)
+            report.violations.push_back(std::move(v));
+        if (opts.verbose) {
+            inform("chaos: schedule " + std::to_string(i) + "/" +
+                   std::to_string(opts.schedules) + " digest " +
+                   json::hex64Token(digests[i]));
+        }
+    }
+
+    // Cross-run replay: the first K schedules re-run from their seed
+    // must land on the identical digest — the "re-running any single
+    // seed reproduces the identical fault sequence and outcome"
+    // guarantee.
+    const uint64_t replays =
+        std::min<uint64_t>(opts.replayVerify, opts.schedules);
+    for (uint64_t i = 0; i < replays; ++i) {
+        ScheduleResult r = runSchedule(i);
+        for (std::string &v : r.violations)
+            report.violations.push_back(std::move(v));
+        if (r.digest != digests[i]) {
+            report.violations.push_back(
+                "schedule " + std::to_string(i) + " (seed " +
+                std::to_string(scheduleSeedFor(opts.seed, i)) +
+                ") is not replayable: digest " +
+                json::hex64Token(digests[i]) + " then " +
+                json::hex64Token(r.digest));
+        } else {
+            ++report.replaysVerified;
+        }
+    }
+    return report;
+}
+
+} // namespace ssim::fault

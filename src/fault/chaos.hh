@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The `ssim chaos` invariant harness: many seeded fault schedules
+ * against the crash-tolerance guarantees the sweep and serve engines
+ * advertise, checked mechanically instead of by hand-placed tests.
+ *
+ * A *schedule* is one seeded experiment:
+ *
+ *  - sweep schedule: derive a FaultPlan from the schedule seed
+ *    (crashes after journaled done records, crashes at point start,
+ *    ENOSPC / torn / short journal appends, fsync failures), fork a
+ *    child that runs a small synthetic sweep under the installed plan
+ *    (crash actions SIGKILL the child), then resume the journal in
+ *    the parent with no faults armed. Invariants: the resumed sweep
+ *    settles every point `ok`; per-point metrics are byte-identical
+ *    (%.17g) to the pure point function's output; the final journal
+ *    holds no duplicated (event, point, attempt) record and exactly
+ *    one `ok` done per point.
+ *
+ *  - serve schedule: derive a plan of keyed `serve.request` crash and
+ *    fail rules, run an in-process Server over a synthetic predictor,
+ *    submit a deterministic mix of predict requests and garbage
+ *    lines. Invariants: exactly one typed response per submitted
+ *    line; crash-keyed requests answer `worker-crashed` and
+ *    fail-keyed ones `io-error`; the drain completes inside its
+ *    budget; no serve.* gauge is negative and the live-worker gauge
+ *    never exceeds the pool size.
+ *
+ * Every schedule folds its outcome into a deterministic digest
+ * (journal records minus wall-clock fields; responses minus wall_ms),
+ * and the harness re-runs the first few schedules verbatim to prove
+ * the digest — i.e. the entire fault sequence and its outcome —
+ * reproduces from the seed alone.
+ */
+
+#ifndef SSIM_FAULT_CHAOS_HH
+#define SSIM_FAULT_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+
+namespace ssim::fault
+{
+
+/** Which engines the schedules exercise. */
+enum class ChaosMode : uint8_t
+{
+    All,     ///< alternate sweep / serve by schedule index
+    Sweep,
+    Serve,
+};
+
+struct ChaosOptions
+{
+    uint64_t seed = 1;        ///< base seed; schedules derive from it
+    uint64_t schedules = 100; ///< how many schedules to run
+    ChaosMode mode = ChaosMode::All;
+    uint64_t points = 6;      ///< synthetic sweep size per schedule
+    uint64_t requests = 24;   ///< serve requests per schedule
+    uint64_t replayVerify = 3; ///< schedules re-run to prove replay
+    std::string scratchDir = "."; ///< where per-schedule journals live
+    /**
+     * Optional fixed plan spec (inline JSON or a path): every
+     * schedule runs under a fresh clone of this plan instead of a
+     * generated one. Replay verification still applies.
+     */
+    std::string fixedPlanSpec;
+    bool verbose = false;     ///< per-schedule progress on stderr
+
+    /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
+    void validate() const;
+};
+
+struct ChaosReport
+{
+    uint64_t schedulesRun = 0;
+    uint64_t sweepSchedules = 0;
+    uint64_t serveSchedules = 0;
+    uint64_t childCrashes = 0;   ///< sweep children killed by a fault
+    uint64_t serveFaultsFired = 0;
+    uint64_t replaysVerified = 0;
+    /** Human-readable invariant violations; empty means success. */
+    std::vector<std::string> violations;
+};
+
+/**
+ * Run the harness. Violations are *collected*, not thrown — the
+ * caller decides policy (the CLI prints them and exits with the
+ * internal-error code). @throws ssim::Error only for harness-level
+ * failures (bad options, unwritable scratch dir, unparsable fixed
+ * plan).
+ */
+ChaosReport runChaos(const ChaosOptions &opts);
+
+} // namespace ssim::fault
+
+#endif // SSIM_FAULT_CHAOS_HH

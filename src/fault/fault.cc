@@ -1,0 +1,579 @@
+#include "fault.hh"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/json_reader.hh"
+#include "util/json_writer.hh"
+#include "util/random.hh"
+
+namespace ssim::fault
+{
+
+namespace
+{
+
+/**
+ * Errno values a plan may name. The table is the handful of failures
+ * the sites actually act out — an unknown name is a spec error, not a
+ * silent zero.
+ */
+struct ErrnoName
+{
+    const char *name;
+    int value;
+};
+
+constexpr ErrnoName ErrnoNames[] = {
+    {"EIO", EIO},           {"ENOSPC", ENOSPC},
+    {"EPIPE", EPIPE},       {"ECONNRESET", ECONNRESET},
+    {"EINTR", EINTR},       {"EAGAIN", EAGAIN},
+    {"EBADF", EBADF},       {"ENOENT", ENOENT},
+    {"EACCES", EACCES},     {"EMFILE", EMFILE},
+    {"ENOMEM", ENOMEM},     {"EDQUOT", EDQUOT},
+};
+
+int
+errnoFromName(const std::string &name, const util::json::LineScanner &s)
+{
+    for (const auto &e : ErrnoNames)
+        if (name == e.name)
+            return e.value;
+    throw s.fail("unknown errno name \"" + name + '"');
+}
+
+const char *
+errnoToName(int err)
+{
+    for (const auto &e : ErrnoNames)
+        if (err == e.value)
+            return e.name;
+    return nullptr;
+}
+
+Action
+actionFromName(const std::string &name, const util::json::LineScanner &s)
+{
+    if (name == "fail")
+        return Action::FailErrno;
+    if (name == "short")
+        return Action::ShortIo;
+    if (name == "torn")
+        return Action::TornIo;
+    if (name == "crash")
+        return Action::Crash;
+    if (name == "stall")
+        return Action::Stall;
+    if (name == "drop")
+        return Action::Drop;
+    throw s.fail("unknown action \"" + name + '"');
+}
+
+/**
+ * The process-wide plan. `armed` is the disarmed-site fast path: one
+ * relaxed load decides that no installed plan exists, without taking
+ * the mutex that guards the shared_ptr swap.
+ */
+std::atomic<bool> gArmed{false};
+std::mutex gPlanMu;
+std::shared_ptr<FaultPlan> gPlan;
+
+} // namespace
+
+const char *
+actionName(Action action)
+{
+    switch (action) {
+    case Action::None:
+        return "none";
+    case Action::FailErrno:
+        return "fail";
+    case Action::ShortIo:
+        return "short";
+    case Action::TornIo:
+        return "torn";
+    case Action::Crash:
+        return "crash";
+    case Action::Stall:
+        return "stall";
+    case Action::Drop:
+        return "drop";
+    }
+    return "none";
+}
+
+FaultPlan::FaultPlan(uint64_t seed) : seed_(seed) {}
+
+FaultPlan::FaultPlan(const FaultPlan &other)
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    rules_ = other.rules_;
+    seed_ = other.seed_;
+    fires_ = other.fires_;
+}
+
+FaultPlan::FaultPlan(FaultPlan &&other) noexcept
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    rules_ = std::move(other.rules_);
+    seed_ = other.seed_;
+    fires_ = other.fires_;
+}
+
+FaultPlan &
+FaultPlan::operator=(const FaultPlan &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    rules_ = other.rules_;
+    seed_ = other.seed_;
+    fires_ = other.fires_;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::operator=(FaultPlan &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    rules_ = std::move(other.rules_);
+    seed_ = other.seed_;
+    fires_ = other.fires_;
+    return *this;
+}
+
+void
+FaultPlan::addRule(const Rule &rule)
+{
+    if (rule.site.empty()) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "fault rule has no site");
+    }
+    if (rule.action == Action::None) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "fault rule for site \"" + rule.site +
+                        "\" has no action");
+    }
+    if (!(rule.probability >= 0.0 && rule.probability <= 1.0)) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "fault rule for site \"" + rule.site +
+                        "\" has probability outside [0, 1]");
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    RuleState state;
+    state.rule = rule;
+    // Every rule draws from its own splitmix64 stream so that
+    // inserting or reordering one rule never shifts another rule's
+    // Bernoulli sequence.
+    state.rng = splitmix64(seed_ ^
+                           (0x9e3779b97f4a7c15ULL *
+                            (static_cast<uint64_t>(rules_.size()) + 1)));
+    rules_.push_back(std::move(state));
+}
+
+Outcome
+FaultPlan::hit(const std::string &site, const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Outcome fired;
+    for (auto &state : rules_) {
+        const Rule &rule = state.rule;
+        if (rule.site != site)
+            continue;
+        if (!rule.key.empty() && rule.key != key)
+            continue;
+        const uint64_t hit = ++state.hits;
+        if (fired)
+            continue; // counters still advance behind the winner
+        if (rule.onHit != 0 && hit != rule.onHit)
+            continue;
+        if (rule.maxFires != 0 && state.fires >= rule.maxFires)
+            continue;
+        if (rule.probability < 1.0) {
+            state.rng = splitmix64(state.rng);
+            const double draw =
+                static_cast<double>(state.rng >> 11) * 0x1.0p-53;
+            if (draw >= rule.probability)
+                continue;
+        }
+        ++state.fires;
+        ++fires_;
+        fired.action = rule.action;
+        fired.err = rule.err;
+        fired.bytes = rule.bytes;
+        fired.ms = rule.ms;
+    }
+    return fired;
+}
+
+size_t
+FaultPlan::ruleCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return rules_.size();
+}
+
+uint64_t
+FaultPlan::totalFires() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return fires_;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+FaultPlan::firesBySite() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const auto &state : rules_)
+        if (state.fires > 0)
+            out.emplace_back(state.rule.site, state.fires);
+    return out;
+}
+
+std::string
+FaultPlan::toJson() const
+{
+    namespace json = util::json;
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out = "{";
+    json::appendU64(out, "seed", seed_);
+    json::appendKey(out, "rules");
+    out += '[';
+    for (const auto &state : rules_) {
+        const Rule &rule = state.rule;
+        json::appendComma(out);
+        out += '{';
+        json::appendField(out, "site", rule.site);
+        if (!rule.key.empty())
+            json::appendField(out, "key", rule.key);
+        json::appendField(out, "action", actionName(rule.action));
+        if (rule.action == Action::FailErrno ||
+            rule.action == Action::TornIo) {
+            // The spec speaks errno names; an exotic programmatic
+            // value outside the table falls back to the default EIO
+            // on a round trip.
+            if (const char *name = errnoToName(rule.err))
+                json::appendField(out, "errno", name);
+        }
+        if (rule.bytes != 0)
+            json::appendU64(out, "bytes", rule.bytes);
+        if (rule.ms != 0)
+            json::appendU64(out, "ms", rule.ms);
+        if (rule.onHit != 0)
+            json::appendU64(out, "on_hit", rule.onHit);
+        if (rule.maxFires != 0)
+            json::appendU64(out, "count", rule.maxFires);
+        if (rule.probability < 1.0)
+            json::appendDouble(out, "probability", rule.probability);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+FaultPlan
+FaultPlan::cloneFresh() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    FaultPlan fresh(seed_);
+    for (const auto &state : rules_)
+        fresh.addRule(state.rule);
+    return fresh;
+}
+
+namespace
+{
+
+Rule
+parseRule(util::json::LineScanner &s)
+{
+    Rule rule;
+    if (!s.consume('{'))
+        throw s.fail("expected '{' to open a fault rule");
+    if (s.consume('}'))
+        return rule; // addRule rejects the empty rule with context
+    for (;;) {
+        const std::string key = s.parseString();
+        if (!s.consume(':'))
+            throw s.fail("expected ':' after \"" + key + '"');
+        if (key == "site") {
+            rule.site = s.parseString();
+        } else if (key == "key") {
+            rule.key = s.parseString();
+        } else if (key == "action") {
+            rule.action = actionFromName(s.parseString(), s);
+        } else if (key == "errno") {
+            rule.err = errnoFromName(s.parseString(), s);
+        } else if (key == "bytes") {
+            rule.bytes = s.parseU64();
+        } else if (key == "ms") {
+            rule.ms = s.parseU64();
+        } else if (key == "on_hit") {
+            rule.onHit = s.parseU64();
+        } else if (key == "count") {
+            rule.maxFires = s.parseU64();
+        } else if (key == "probability") {
+            rule.probability = s.parseDouble();
+        } else {
+            throw s.fail("unknown fault-rule key \"" + key + '"');
+        }
+        if (s.consume(','))
+            continue;
+        if (s.consume('}'))
+            break;
+        throw s.fail("expected ',' or '}' in fault rule");
+    }
+    return rule;
+}
+
+} // namespace
+
+Expected<FaultPlan>
+FaultPlan::parseJson(const std::string &text, const std::string &context)
+{
+    return tryInvoke([&]() -> FaultPlan {
+        // The scanner is a one-line scanner (skipSpace eats only
+        // spaces and tabs); a hand-written multi-line spec file
+        // flattens to one line first.
+        std::string flat = text;
+        for (char &c : flat)
+            if (c == '\n' || c == '\r')
+                c = ' ';
+        util::json::LineScanner s(flat, context, 1);
+        uint64_t seed = 0;
+        std::vector<Rule> rules;
+        if (!s.consume('{'))
+            throw s.fail("fault plan must be a JSON object");
+        if (!s.consume('}')) {
+            for (;;) {
+                const std::string key = s.parseString();
+                if (!s.consume(':'))
+                    throw s.fail("expected ':' after \"" + key + '"');
+                if (key == "seed") {
+                    seed = s.parseU64();
+                } else if (key == "rules") {
+                    if (!s.consume('['))
+                        throw s.fail("\"rules\" must be an array");
+                    if (!s.consume(']')) {
+                        for (;;) {
+                            rules.push_back(parseRule(s));
+                            if (s.consume(','))
+                                continue;
+                            if (s.consume(']'))
+                                break;
+                            throw s.fail("expected ',' or ']' in "
+                                         "\"rules\"");
+                        }
+                    }
+                } else {
+                    throw s.fail("unknown fault-plan key \"" + key +
+                                 '"');
+                }
+                if (s.consume(','))
+                    continue;
+                if (s.consume('}'))
+                    break;
+                throw s.fail("expected ',' or '}' in fault plan");
+            }
+        }
+        if (!s.atEnd())
+            throw s.fail("trailing characters after fault plan");
+        FaultPlan plan(seed);
+        for (const Rule &rule : rules)
+            plan.addRule(rule);
+        return plan;
+    });
+}
+
+Expected<FaultPlan>
+FaultPlan::loadSpec(const std::string &spec)
+{
+    size_t first = spec.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && spec[first] == '{')
+        return parseJson(spec, "<inline>");
+    std::ifstream in(spec, std::ios::binary);
+    if (!in) {
+        return Error(ErrorCategory::IoError,
+                     "cannot open fault plan: " + spec, {spec, 0});
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    return parseJson(body.str(), spec);
+}
+
+std::shared_ptr<FaultPlan>
+FaultPlan::fromSweepEnv()
+{
+    auto plan = std::make_shared<FaultPlan>();
+    bool any = false;
+    if (const char *raw = std::getenv("SSIM_SWEEP_CRASH_AFTER")) {
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(raw, &end, 10);
+        if (end != raw && *end == '\0' && n > 0) {
+            Rule rule;
+            rule.site = "sweep.journal.done";
+            rule.action = Action::Crash;
+            rule.onHit = n;
+            plan->addRule(rule);
+            any = true;
+        }
+    }
+    if (const char *raw = std::getenv("SSIM_SWEEP_STALL_POINT")) {
+        // <point-index>:<seconds>, matching the old ad-hoc parser:
+        // malformed values are silently ignored.
+        const std::string spec(raw);
+        const size_t colon = spec.find(':');
+        if (colon != std::string::npos) {
+            char *end = nullptr;
+            const unsigned long long idx =
+                std::strtoull(spec.c_str(), &end, 10);
+            const bool idxOk = end == spec.c_str() + colon;
+            const double sec =
+                std::strtod(spec.c_str() + colon + 1, &end);
+            if (idxOk && *end == '\0' && sec >= 0.0) {
+                Rule rule;
+                rule.site = "sweep.point.start";
+                rule.key = std::to_string(idx);
+                rule.action = Action::Stall;
+                rule.ms = static_cast<uint64_t>(sec * 1000.0);
+                rule.onHit = 1;
+                plan->addRule(rule);
+                any = true;
+            }
+        }
+    }
+    return any ? plan : nullptr;
+}
+
+std::shared_ptr<FaultPlan>
+FaultPlan::fromServeEnv()
+{
+    const char *raw = std::getenv("SSIM_SERVE_CRASH_ON");
+    if (raw == nullptr || *raw == '\0')
+        return nullptr;
+    auto plan = std::make_shared<FaultPlan>();
+    bool any = false;
+    std::string id;
+    const std::string spec(raw);
+    for (size_t i = 0; i <= spec.size(); ++i) {
+        if (i < spec.size() && spec[i] != ',') {
+            id += spec[i];
+            continue;
+        }
+        if (!id.empty()) {
+            Rule rule;
+            rule.site = "serve.request";
+            rule.key = id;
+            rule.action = Action::Crash;
+            plan->addRule(rule);
+            any = true;
+        }
+        id.clear();
+    }
+    return any ? plan : nullptr;
+}
+
+void
+installPlan(std::shared_ptr<FaultPlan> plan)
+{
+    std::lock_guard<std::mutex> lk(gPlanMu);
+    gPlan = std::move(plan);
+    gArmed.store(gPlan != nullptr, std::memory_order_release);
+}
+
+void
+clearPlan()
+{
+    installPlan(nullptr);
+}
+
+std::shared_ptr<FaultPlan>
+installedPlan()
+{
+    if (!gArmed.load(std::memory_order_acquire))
+        return nullptr;
+    std::lock_guard<std::mutex> lk(gPlanMu);
+    return gPlan;
+}
+
+bool
+installPlanFromEnv()
+{
+    const char *raw = std::getenv("SSIM_FAULT_PLAN");
+    if (raw == nullptr || *raw == '\0')
+        return false;
+    Expected<FaultPlan> plan = FaultPlan::loadSpec(raw);
+    if (!plan)
+        throw plan.error();
+    installPlan(std::make_shared<FaultPlan>(std::move(plan.value())));
+    return true;
+}
+
+namespace
+{
+
+/**
+ * The dynamic SSIM_FSYNC_FAIL shim: the journal's fsync hook has
+ * always been read per call (tests set and unset it around a single
+ * atomicWriteFile), so the site keeps consulting the environment
+ * whenever no plan covers it.
+ */
+bool
+legacyFsyncFail()
+{
+    const char *raw = std::getenv("SSIM_FSYNC_FAIL");
+    return raw != nullptr && *raw != '\0' && *raw != '0';
+}
+
+} // namespace
+
+Outcome
+point(const char *site, const std::string &key, FaultPlan *local)
+{
+    if (gArmed.load(std::memory_order_relaxed)) {
+        std::shared_ptr<FaultPlan> plan = installedPlan();
+        // An installed plan owns every site while installed: legacy
+        // shims below are not consulted, so a chaos schedule is the
+        // only fault source during its run.
+        if (plan)
+            return plan->hit(site, key);
+    }
+    if (local != nullptr)
+        return local->hit(site, key);
+    if (std::strcmp(site, "journal.fsync") == 0 && legacyFsyncFail()) {
+        Outcome out;
+        out.action = Action::FailErrno;
+        out.err = EIO;
+        return out;
+    }
+    return Outcome();
+}
+
+void
+sleepFor(const Outcome &outcome)
+{
+    if (outcome.action == Action::Stall && outcome.ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(outcome.ms));
+    }
+}
+
+void
+crashHard()
+{
+    ::raise(SIGKILL);
+    ::_exit(137); // unreachable; placate [[noreturn]]
+}
+
+} // namespace ssim::fault

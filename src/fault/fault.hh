@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Process-wide deterministic fault-injection registry.
+ *
+ * Production code declares named *sites* at the exact places an I/O
+ * or scheduling failure can strike — `fault::point("journal.fsync")`,
+ * `fault::point("transport.write")`, `fault::point("serve.request",
+ * requestId)` — and receives an Outcome telling it which failure to
+ * act out, if any. A site costs one relaxed atomic load when nothing
+ * is armed, so the hooks stay in release builds.
+ *
+ * What fires is decided by a FaultPlan: an ordered list of rules,
+ * each naming a site (and optionally a key, e.g. a request id or a
+ * point index), an action, and *when* to fire — on exactly the Nth
+ * matching hit (`on_hit`), at most K times (`count`), or with a
+ * seeded probability. Probability draws come from a per-rule
+ * splitmix64 stream derived from the plan seed and the rule index,
+ * so a plan replayed against the same deterministic hit sequence
+ * (single worker, fixed inputs) fires the identical fault sequence —
+ * the property the `ssim chaos` harness leans on to make every
+ * schedule reproducible from its seed.
+ *
+ * Actions:
+ *  - fail:  the operation reports failure with a chosen errno
+ *  - short: the I/O is capped to `bytes` per call (the retry loop
+ *           must finish the job)
+ *  - torn:  the first `bytes` bytes are written, then the operation
+ *           fails — a record torn mid-write(2)
+ *  - crash: the process (or, at `serve.request`, the worker thread)
+ *           dies on the spot
+ *  - stall: the caller sleeps `ms` before proceeding
+ *  - drop:  the peer vanishes (a transport write marks the client
+ *           dead, as a mid-response disconnect would)
+ *
+ * Plans come from three places, in precedence order:
+ *  1. an installed plan (installPlan / `--fault-plan FILE` /
+ *     `SSIM_FAULT_PLAN=<file-or-inline-json>`), which owns every
+ *     site while installed;
+ *  2. a subsystem-local compatibility plan parsed from the legacy
+ *     env hooks (`SSIM_SWEEP_CRASH_AFTER`, `SSIM_SWEEP_STALL_POINT`,
+ *     `SSIM_SERVE_CRASH_ON`) at the same latch points the old ad-hoc
+ *     parsers used (sweep-engine / Server construction);
+ *  3. the dynamic `SSIM_FSYNC_FAIL` shim, consulted per call at the
+ *     `journal.fsync` site exactly as the old hook was.
+ *
+ * Plan spec (whitespace-insensitive, one object):
+ *
+ *   {"seed":42,"rules":[
+ *     {"site":"journal.append","action":"torn","bytes":7,"on_hit":3},
+ *     {"site":"serve.request","key":"c1","action":"crash","count":1},
+ *     {"site":"transport.write","action":"short","bytes":1,
+ *      "probability":0.25},
+ *     {"site":"sweep.point.start","key":"2","action":"stall","ms":50}
+ *   ]}
+ *
+ * The fault-site catalog (name -> layer -> supported actions) lives
+ * in DESIGN.md §"Fault injection".
+ */
+
+#ifndef SSIM_FAULT_FAULT_HH
+#define SSIM_FAULT_FAULT_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace ssim::fault
+{
+
+/** What a fired rule tells the site to act out. */
+enum class Action : uint8_t
+{
+    None,        ///< nothing armed; proceed normally
+    FailErrno,   ///< report failure with Outcome::err
+    ShortIo,     ///< cap each I/O call to Outcome::bytes
+    TornIo,      ///< write Outcome::bytes bytes, then fail
+    Crash,       ///< die here (process or worker, site-defined)
+    Stall,       ///< sleep Outcome::ms before proceeding
+    Drop,        ///< the peer is gone; discard and mark dead
+};
+
+/** Wire/spec name of an action ("fail", "short", ...). */
+const char *actionName(Action action);
+
+/** The decision returned by a fault point. */
+struct Outcome
+{
+    Action action = Action::None;
+    int err = 0;         ///< FailErrno / TornIo errno value
+    uint64_t bytes = 0;  ///< ShortIo / TornIo byte budget
+    uint64_t ms = 0;     ///< Stall duration
+
+    explicit operator bool() const { return action != Action::None; }
+};
+
+/** One arming rule of a FaultPlan. */
+struct Rule
+{
+    std::string site;       ///< exact site name (required)
+    std::string key;        ///< match only this hit key; "" = any
+    Action action = Action::None;
+    int err = EIO;          ///< for fail/torn
+    uint64_t bytes = 0;     ///< for short/torn
+    uint64_t ms = 0;        ///< for stall
+    uint64_t onHit = 0;     ///< fire on exactly the Nth match; 0 = every
+    uint64_t maxFires = 0;  ///< stop after this many firings; 0 = unlimited
+    double probability = 1.0;  ///< seeded Bernoulli gate per match
+};
+
+/**
+ * An armed set of rules plus their runtime state (hit counters, fire
+ * counters, per-rule RNG streams). Thread-safe: hits from concurrent
+ * workers serialize on an internal mutex. Evaluation is deterministic
+ * in the hit sequence: same plan + same ordered hits = same firings.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(uint64_t seed);
+
+    // Copy/move carry the full runtime state (the mutex itself is
+    // per-instance, never shared).
+    FaultPlan(const FaultPlan &other);
+    FaultPlan(FaultPlan &&other) noexcept;
+    FaultPlan &operator=(const FaultPlan &other);
+    FaultPlan &operator=(FaultPlan &&other) noexcept;
+
+    /**
+     * Append a rule. @throws ssim::Error (InvalidConfig) on a rule
+     * with no site, no action, or a probability outside [0, 1].
+     */
+    void addRule(const Rule &rule);
+
+    /**
+     * Record one hit at @p site with @p key and return the first
+     * matching rule's outcome (every matching rule's hit counter
+     * advances, fired or not).
+     */
+    Outcome hit(const std::string &site, const std::string &key);
+
+    size_t ruleCount() const;
+    uint64_t totalFires() const;
+
+    /** (site, fires) for every rule that fired at least once. */
+    std::vector<std::pair<std::string, uint64_t>> firesBySite() const;
+
+    /** Render the rule set back as a one-line plan spec. */
+    std::string toJson() const;
+
+    /** A fresh plan with the same seed and rules, zeroed state. */
+    FaultPlan cloneFresh() const;
+
+    /**
+     * Parse a plan spec (see the file comment). @p context names the
+     * source in diagnostics (a path or "<inline>").
+     * @throws nothing; errors come back as a failed Expected.
+     */
+    static Expected<FaultPlan> parseJson(const std::string &text,
+                                         const std::string &context);
+
+    /**
+     * Load a spec that is either inline JSON (first non-space char
+     * is '{') or a path to a spec file.
+     */
+    static Expected<FaultPlan> loadSpec(const std::string &spec);
+
+    // --- legacy env compatibility shims ---------------------------
+
+    /**
+     * SSIM_SWEEP_CRASH_AFTER=<n>  -> {site:"sweep.journal.done",
+     *   on_hit:n, action:crash}
+     * SSIM_SWEEP_STALL_POINT=<i>:<sec> -> {site:"sweep.point.start",
+     *   key:"<i>", on_hit:1, action:stall, ms:sec*1000}
+     * Null when neither variable is set (or both malformed, matching
+     * the old parsers' silent-ignore behavior).
+     */
+    static std::shared_ptr<FaultPlan> fromSweepEnv();
+
+    /**
+     * SSIM_SERVE_CRASH_ON=<id,id,...> -> one
+     * {site:"serve.request", key:id, action:crash} rule per id.
+     * Null when unset.
+     */
+    static std::shared_ptr<FaultPlan> fromServeEnv();
+
+  private:
+    struct RuleState
+    {
+        Rule rule;
+        uint64_t hits = 0;
+        uint64_t fires = 0;
+        uint64_t rng = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<RuleState> rules_;
+    uint64_t seed_ = 0;
+    uint64_t fires_ = 0;
+};
+
+// --- process-wide registry ----------------------------------------
+
+/** Arm @p plan for every site in the process (null clears). */
+void installPlan(std::shared_ptr<FaultPlan> plan);
+
+/** Disarm the installed plan. */
+void clearPlan();
+
+/** The currently installed plan (null when disarmed). */
+std::shared_ptr<FaultPlan> installedPlan();
+
+/**
+ * Install a plan from SSIM_FAULT_PLAN (a path or inline JSON).
+ * Returns false when the variable is unset.
+ * @throws ssim::Error when the spec does not parse.
+ */
+bool installPlanFromEnv();
+
+/** RAII installer for tests and the chaos harness. */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(FaultPlan plan)
+    {
+        installPlan(std::make_shared<FaultPlan>(std::move(plan)));
+    }
+    ~ScopedPlan() { clearPlan(); }
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+/**
+ * Declare a fault site. Consults, in order: the installed plan, the
+ * caller's @p local compatibility plan, and (for "journal.fsync"
+ * only) the dynamic SSIM_FSYNC_FAIL shim. Returns Action::None — for
+ * the cost of one atomic load and at most one string compare — when
+ * nothing is armed.
+ */
+Outcome point(const char *site, const std::string &key = std::string(),
+              FaultPlan *local = nullptr);
+
+/** Sleep out a Stall outcome (no-op for anything else). */
+void sleepFor(const Outcome &outcome);
+
+/** Die as hard as SIGKILL: nothing below this line runs. */
+[[noreturn]] void crashHard();
+
+} // namespace ssim::fault
+
+#endif // SSIM_FAULT_FAULT_HH

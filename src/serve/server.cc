@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace ssim::serve
@@ -27,27 +28,6 @@ std::chrono::duration<double>
 secondsOf(double s)
 {
     return std::chrono::duration<double>(s);
-}
-
-/**
- * SSIM_SERVE_CRASH_ON=<id,id,...>: the worker that picks up a listed
- * request dies (its thread exits after answering `worker-crashed`) —
- * the serve-side analogue of SSIM_SWEEP_CRASH_AFTER, scoped to one
- * request so the crash tests can aim precisely.
- */
-std::set<std::string>
-crashIdsFromEnv()
-{
-    std::set<std::string> ids;
-    const char *env = std::getenv("SSIM_SERVE_CRASH_ON");
-    if (!env)
-        return ids;
-    std::stringstream ss(env);
-    std::string tok;
-    while (std::getline(ss, tok, ','))
-        if (!tok.empty())
-            ids.insert(tok);
-    return ids;
 }
 
 } // namespace
@@ -113,8 +93,14 @@ struct Server::Impl
     Impl(PredictFn fn, const ServeOptions &opts,
          const obs::RunManifest *manifest)
         : fn_(std::move(fn)), opts_(opts),
-          crashIds_(crashIdsFromEnv())
+          legacyPlan_(fault::FaultPlan::fromServeEnv())
     {
+        // The legacy SSIM_SERVE_CRASH_ON hook latches here, at Server
+        // construction, exactly as the old ad-hoc parser did (tests
+        // unset the variable right after start() and expect listed
+        // requests still to crash); it now rides the fault registry
+        // as a subsystem-local compatibility plan behind the
+        // "serve.request" site.
         if (manifest)
             manifest_ = *manifest;
         if (opts_.workers == 0) {
@@ -463,10 +449,18 @@ struct Server::Impl
                 self->current = active;
             }
 
-            if (crashIds_.count(active->req.id) > 0) {
+            // Fault site "serve.request", keyed by the request id:
+            // crash kills this worker (one worker-crashed response,
+            // backoff restart), stall delays the prediction, fail
+            // turns it into one typed error response.
+            const fault::Outcome reqFault =
+                fault::point("serve.request", active->req.id,
+                             legacyPlan_.get());
+            if (reqFault.action == fault::Action::Crash) {
                 crashWith(self, active);
                 return;   // this thread is "dead"
             }
+            fault::sleepFor(reqFault);
 
             // Fault injection: stall before predicting (stall_ms).
             if (active->req.predict.stallSeconds > 0) {
@@ -479,6 +473,11 @@ struct Server::Impl
             ErrorCategory category = ErrorCategory::Internal;
             std::string message;
             try {
+                if (reqFault.action == fault::Action::FailErrno) {
+                    throw Error(ErrorCategory::IoError,
+                                std::string("injected fault: ") +
+                                    std::strerror(reqFault.err));
+                }
                 metrics = fn_(active->req.predict);
             } catch (const Error &e) {
                 failed = true;
@@ -671,10 +670,16 @@ struct Server::Impl
                     }
                 }
 
-                // 4. Respawn due restarts (not while draining: a
-                //    draining pool only shrinks).
+                // 4. Respawn due restarts. A draining pool only
+                //    shrinks — except back from zero while admitted
+                //    work remains, or a crash of every worker
+                //    mid-drain would starve the queue until the
+                //    budget expires (found by `ssim chaos`).
                 while (!restarts_.empty() &&
-                       now >= restarts_.front() && !draining_) {
+                       now >= restarts_.front() &&
+                       (!draining_ ||
+                        (liveWorkers_ == 0 &&
+                         (!queue_.empty() || !inflight_.empty())))) {
                     restarts_.pop_front();
                     ++restartsDone_;
                     spawnWorkerLocked();
@@ -696,7 +701,7 @@ struct Server::Impl
     PredictFn fn_;
     ServeOptions opts_;
     obs::RunManifest manifest_;
-    const std::set<std::string> crashIds_;
+    const std::shared_ptr<fault::FaultPlan> legacyPlan_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;

@@ -5,6 +5,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -12,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "util/drain.hh"
 #include "util/logging.hh"
 
@@ -26,9 +29,14 @@ constexpr size_t MaxLineBytes = 1 << 20;
 
 /**
  * Serialized line writer over one fd. Workers complete requests
- * concurrently; the mutex keeps each response line whole. close()
- * turns later writes into silent drops — the engine's completion of
- * a disconnected client's request must not touch a dead fd.
+ * concurrently; the mutex keeps each response line whole.
+ *
+ * A write error (EPIPE/ECONNRESET from a client that disconnected
+ * mid-response) marks the writer *dead* rather than touching the fd:
+ * later writes become silent drops, the fd stays owned so close()
+ * still releases it, and the event loop sweeps dead clients at the
+ * end of each round. One broken client must never take down the
+ * listener — or leak its descriptor into the poll set.
  */
 class LineWriter
 {
@@ -39,8 +47,20 @@ class LineWriter
     writeLine(const std::string &line)
     {
         std::lock_guard<std::mutex> lk(mu_);
-        if (fd_ < 0)
+        if (fd_ < 0 || dead_.load(std::memory_order_relaxed))
             return;
+        // Fault site "transport.write": `drop` is the peer vanishing
+        // before the response lands; `fail` is the same through a
+        // chosen errno; `short` forces the partial-send retry loop.
+        size_t cap = std::string::npos;
+        const fault::Outcome fault = fault::point("transport.write");
+        if (fault.action == fault::Action::Drop ||
+            fault.action == fault::Action::FailErrno) {
+            dead_.store(true, std::memory_order_relaxed);
+            return;
+        }
+        if (fault.action == fault::Action::ShortIo && fault.bytes > 0)
+            cap = fault.bytes;
         std::string out = line;
         out += '\n';
         size_t off = 0;
@@ -48,15 +68,17 @@ class LineWriter
             // MSG_NOSIGNAL on sockets; plain write elsewhere (the
             // transport ignores SIGPIPE so a vanished stdout reader
             // cannot kill the daemon).
+            const size_t chunk = std::min(cap, out.size() - off);
             const ssize_t n =
-                socket_ ? ::send(fd_, out.data() + off,
-                                 out.size() - off, MSG_NOSIGNAL)
-                        : ::write(fd_, out.data() + off,
-                                  out.size() - off);
+                socket_ ? ::send(fd_, out.data() + off, chunk,
+                                 MSG_NOSIGNAL)
+                        : ::write(fd_, out.data() + off, chunk);
             if (n < 0) {
                 if (errno == EINTR)
                     continue;
-                fd_ = -1;   // client is gone; drop the rest
+                // Client is gone; drop the rest and let the event
+                // loop close and reap this connection.
+                dead_.store(true, std::memory_order_relaxed);
                 return;
             }
             off += static_cast<size_t>(n);
@@ -67,6 +89,13 @@ class LineWriter
     markSocket()
     {
         socket_ = true;
+    }
+
+    /** True once a write failed; the connection should be reaped. */
+    bool
+    dead() const
+    {
+        return dead_.load(std::memory_order_relaxed);
     }
 
     void
@@ -82,6 +111,7 @@ class LineWriter
     std::mutex mu_;
     int fd_;
     bool socket_ = false;
+    std::atomic<bool> dead_{false};
 };
 
 /**
@@ -188,7 +218,20 @@ runStdioTransport(Server &server, const TransportOptions &opts)
         if (rc == 0)
             continue;
         char chunk[65536];
-        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+        // Fault site "transport.read" (stdio flavour): `short` caps
+        // the chunk; `fail` with EINTR retries, anything else is a
+        // broken stdin, which ends the session through the normal
+        // drain below.
+        size_t want = sizeof chunk;
+        const fault::Outcome rf = fault::point("transport.read");
+        if (rf.action == fault::Action::FailErrno) {
+            if (rf.err == EINTR)
+                continue;
+            break;
+        }
+        if (rf.action == fault::Action::ShortIo && rf.bytes > 0)
+            want = std::min<size_t>(want, rf.bytes);
+        const ssize_t n = ::read(STDIN_FILENO, chunk, want);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -291,13 +334,19 @@ runUnixSocketTransport(Server &server, const std::string &path,
         // (which has no pfd yet) is first read on the next poll.
         const size_t polled = clients.size();
         if ((pfds[0].revents & POLLIN) != 0) {
-            const int cfd = ::accept(lfd, nullptr, nullptr);
-            if (cfd >= 0) {
-                auto client = std::make_unique<SocketClient>();
-                client->fd = cfd;
-                client->out = std::make_shared<LineWriter>(cfd);
-                client->out->markSocket();
-                clients.push_back(std::move(client));
+            // Fault site "transport.accept": a transient accept
+            // failure (EMFILE storm) skips this round; the listener
+            // survives and the connection is retried by poll.
+            if (fault::point("transport.accept").action !=
+                fault::Action::FailErrno) {
+                const int cfd = ::accept(lfd, nullptr, nullptr);
+                if (cfd >= 0) {
+                    auto client = std::make_unique<SocketClient>();
+                    client->fd = cfd;
+                    client->out = std::make_shared<LineWriter>(cfd);
+                    client->out->markSocket();
+                    clients.push_back(std::move(client));
+                }
             }
         }
         // Iterate by index and drop dead clients afterwards so the
@@ -309,7 +358,25 @@ runUnixSocketTransport(Server &server, const std::string &path,
                 continue;
             SocketClient &client = *clients[i];
             char chunk[65536];
-            const ssize_t n = ::read(client.fd, chunk, sizeof chunk);
+            // Fault site "transport.read": `short` forces tiny reads
+            // (a request line arriving one byte per round must still
+            // assemble); `fail` with EINTR retries, anything else
+            // drops the client; `drop` is a mid-request disconnect.
+            size_t want = sizeof chunk;
+            const fault::Outcome rf = fault::point("transport.read");
+            if (rf.action == fault::Action::FailErrno) {
+                if (rf.err == EINTR)
+                    continue;
+                dead.push_back(i);
+                continue;
+            }
+            if (rf.action == fault::Action::Drop) {
+                dead.push_back(i);
+                continue;
+            }
+            if (rf.action == fault::Action::ShortIo && rf.bytes > 0)
+                want = std::min<size_t>(want, rf.bytes);
+            const ssize_t n = ::read(client.fd, chunk, want);
             if (n <= 0) {
                 if (n < 0 && errno == EINTR)
                     continue;
@@ -327,6 +394,15 @@ runUnixSocketTransport(Server &server, const std::string &path,
                 },
                 [&] { out->writeLine(oversizeResponse()); });
         }
+        // A writer that hit EPIPE/ECONNRESET mid-response marked
+        // itself dead; reap those connections here so their fds leave
+        // the poll set (and are actually closed).
+        for (size_t i = 0; i < polled; ++i) {
+            if (clients[i]->out->dead() &&
+                std::find(dead.begin(), dead.end(), i) == dead.end())
+                dead.push_back(i);
+        }
+        std::sort(dead.begin(), dead.end());
         for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
             clients[*it]->out->close();
             clients.erase(clients.begin() +

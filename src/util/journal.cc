@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hh"
 #include "json_reader.hh"
 #include "json_writer.hh"
 #include "logging.hh"
@@ -31,21 +33,20 @@ fnv1a64(const std::string &bytes)
 namespace
 {
 
-/** SSIM_FSYNC_FAIL=1: every fsync reports EIO (durability tests). */
-bool
-fsyncFailInjected()
-{
-    const char *env = std::getenv("SSIM_FSYNC_FAIL");
-    return env && *env && std::strcmp(env, "0") != 0;
-}
-
-/** fsync @p fd, honouring the fault hook. Sets errno on failure. */
+/**
+ * fsync @p fd through the "journal.fsync" fault site (which also
+ * speaks the legacy per-call SSIM_FSYNC_FAIL hook). Sets errno on
+ * failure.
+ */
 int
 fsyncChecked(int fd)
 {
-    if (fsyncFailInjected()) {
-        errno = EIO;
-        return -1;
+    if (const fault::Outcome out = fault::point("journal.fsync")) {
+        if (out.action == fault::Action::FailErrno) {
+            errno = out.err;
+            return -1;
+        }
+        fault::sleepFor(out);
     }
     return ::fsync(fd);
 }
@@ -112,6 +113,13 @@ atomicWriteFile(const std::string &path,
     if (Expected<void> synced = fsyncPath(tmp, O_WRONLY); !synced) {
         std::remove(tmp.c_str());
         return synced.error();
+    }
+    if (const fault::Outcome out = fault::point("journal.rename");
+        out.action == fault::Action::FailErrno) {
+        std::remove(tmp.c_str());
+        return Error(ErrorCategory::IoError,
+                     std::string("rename failed: ") +
+                     std::strerror(out.err), {path, 0});
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int err = errno;
@@ -281,13 +289,37 @@ Journal::append(const JournalRecord &record)
         return Error(ErrorCategory::Internal,
                      "journal append on a closed journal");
     const std::string line = record.toJson() + '\n';
+    // Fault site "journal.append": `fail` refuses the record outright
+    // (a full disk before any byte lands); `torn` writes a prefix and
+    // then fails — the torn-line case load() must tolerate; `short`
+    // caps each write(2) so the retry loop below has to finish the
+    // record in pieces.
+    size_t cap = line.size();
+    const fault::Outcome out = fault::point("journal.append");
+    if (out.action == fault::Action::FailErrno) {
+        return Error(ErrorCategory::IoError,
+                     std::string("journal write failed: ") +
+                     std::strerror(out.err), {path_, 0});
+    }
+    if (out.action == fault::Action::ShortIo && out.bytes > 0)
+        cap = out.bytes;
+    size_t tornBudget = line.size();
+    if (out.action == fault::Action::TornIo)
+        tornBudget = std::min<size_t>(out.bytes, line.size());
     // One write(2) per record: O_APPEND makes the record all-or-
     // nothing with respect to concurrent appenders; a crash can only
     // truncate the final line, which load() tolerates.
     size_t off = 0;
     while (off < line.size()) {
-        const ssize_t n = ::write(fd_, line.data() + off,
-                                  line.size() - off);
+        if (out.action == fault::Action::TornIo && off >= tornBudget) {
+            return Error(ErrorCategory::IoError,
+                         std::string("journal write failed: ") +
+                         std::strerror(out.err), {path_, 0});
+        }
+        size_t chunk = std::min(cap, line.size() - off);
+        if (out.action == fault::Action::TornIo)
+            chunk = std::min(chunk, tornBudget - off);
+        const ssize_t n = ::write(fd_, line.data() + off, chunk);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -303,6 +335,16 @@ Journal::append(const JournalRecord &record)
 Expected<void>
 Journal::sync()
 {
+    // Distinct from "journal.fsync" (the atomicWriteFile durability
+    // syncs): this is the appender's own record sync, and only an
+    // installed plan arms it — the legacy SSIM_FSYNC_FAIL hook never
+    // reached here.
+    if (const fault::Outcome out = fault::point("journal.sync");
+        out.action == fault::Action::FailErrno) {
+        return Error(ErrorCategory::IoError,
+                     std::string("journal fsync failed: ") +
+                     std::strerror(out.err), {path_, 0});
+    }
     if (fd_ >= 0 && ::fsync(fd_) != 0) {
         return Error(ErrorCategory::IoError,
                      std::string("journal fsync failed: ") +

@@ -22,6 +22,15 @@
 #   the pollfd array past its end after an accept — then interleaved
 #   requests must route responses to the connection that asked, and
 #   SIGTERM must drain with exit 10 and unlink the socket.
+# MODE=disconnect: one client sends a slow request and disconnects
+#   before the response can be written (EPIPE on the worker's flush).
+#   The listener must survive, a second client must keep getting
+#   responses afterwards, and an oversized (>1 MiB) request line must
+#   be answered with a typed parse-error, not a hang or a kill.
+# MODE=soak: N concurrent socket clients x M requests each, every
+#   response routed back to the connection that asked. Labeled
+#   `serve` so the sanitizer lane sweeps the full concurrent
+#   transport surface.
 #
 # The process choreography (fifo writers, kill timing) needs a real
 # shell; the script below is written fresh into the scratch dir and
@@ -262,6 +271,180 @@ wait "$pid"
 rc=$?
 [ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
 [ ! -e sock ] || fail "socket path not unlinked on exit"
+echo PASS
+]])
+
+elseif(MODE STREQUAL "disconnect")
+
+find_program(PYTHON3_PROGRAM python3 REQUIRED)
+
+file(WRITE "${dir}/clients.py" [[
+import json
+import socket
+import sys
+import time
+
+path = sys.argv[1]
+
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s
+
+
+def send(s, obj):
+    s.sendall((json.dumps(obj) + "\n").encode())
+
+
+def readline(s):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            raise SystemExit("FAIL: peer closed mid-line: %r" % buf)
+        buf += chunk
+    return json.loads(buf.decode())
+
+
+req = {"workload": "route", "max_insts": 60000, "reduction": 50}
+
+# The victim: a stalled request whose client vanishes before the
+# worker flushes the response. The write lands on a closed socket
+# (EPIPE) and must only kill this connection's writer.
+victim = connect()
+send(victim, dict(req, id="victim", stall_ms=400))
+time.sleep(0.1)  # admitted and stalling in a worker
+victim.close()
+
+# The survivor proves the listener and the pool outlived the EPIPE.
+survivor = connect()
+time.sleep(0.6)  # let the victim's doomed flush happen first
+for i in range(3):
+    send(survivor, dict(req, id="s%d" % i, seed=i))
+    r = readline(survivor)
+    assert r["id"] == "s%d" % i and r.get("ok"), r
+
+# Oversized request line: > 1 MiB of not-JSON must come back as one
+# typed parse-error on this same connection, never a hang.
+survivor.sendall(b"x" * (1 << 20) + b"xx\n")
+r = readline(survivor)
+assert r.get("ok") is False and r.get("error") == "parse-error", r
+assert "1 MiB" in r.get("message", ""), r
+
+# And the connection still works after the oversized line.
+send(survivor, dict(req, id="after", seed=9))
+r = readline(survivor)
+assert r["id"] == "after" and r.get("ok"), r
+
+survivor.close()
+print("CLIENTS-OK")
+]])
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir, $3 = python3
+set -u
+cli="$1"
+py="$3"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- out:"; cat out 2>/dev/null;
+         echo "--- err:"; cat err 2>/dev/null; exit 1; }
+
+rm -f sock out err
+"$cli" serve --jobs 2 --socket sock --quiet 2> err &
+pid=$!
+for _ in $(seq 1 100); do [ -S sock ] && break; sleep 0.05; done
+[ -S sock ] || fail "daemon never created the socket"
+
+"$py" clients.py sock > out 2>&1 || fail "client script failed"
+grep -q CLIENTS-OK out || fail "client assertions did not finish"
+
+kill -0 "$pid" 2>/dev/null \
+  || fail "daemon died after a client disconnected mid-response"
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
+echo PASS
+]])
+
+elseif(MODE STREQUAL "soak")
+
+find_program(PYTHON3_PROGRAM python3 REQUIRED)
+
+file(WRITE "${dir}/clients.py" [[
+import json
+import socket
+import sys
+import threading
+
+path = sys.argv[1]
+CLIENTS = 8
+REQUESTS = 25
+
+errors = []
+
+
+def client(ci):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(path)
+        buf = b""
+        for i in range(REQUESTS):
+            rid = "c%d-r%d" % (ci, i)
+            req = {"id": rid, "workload": "route",
+                   "max_insts": 60000, "reduction": 50,
+                   "seed": ci * 1000 + i}
+            s.sendall((json.dumps(req) + "\n").encode())
+            while b"\n" not in buf:
+                chunk = s.recv(65536)
+                if not chunk:
+                    raise RuntimeError("peer closed: %r" % buf)
+                buf += chunk
+            line, buf = buf.split(b"\n", 1)
+            r = json.loads(line.decode())
+            assert r["id"] == rid, (rid, r)
+            assert r.get("ok"), r
+        s.close()
+    except Exception as e:  # noqa: BLE001 - collected for the driver
+        errors.append("client %d: %s" % (ci, e))
+
+
+threads = [threading.Thread(target=client, args=(ci,))
+           for ci in range(CLIENTS)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+if errors:
+    raise SystemExit("FAIL: " + "; ".join(errors))
+print("CLIENTS-OK %d" % (CLIENTS * REQUESTS))
+]])
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir, $3 = python3
+set -u
+cli="$1"
+py="$3"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- out:"; cat out 2>/dev/null;
+         echo "--- err:"; cat err 2>/dev/null; exit 1; }
+
+rm -f sock out err
+"$cli" serve --jobs 4 --queue 64 --socket sock --quiet 2> err &
+pid=$!
+for _ in $(seq 1 100); do [ -S sock ] && break; sleep 0.05; done
+[ -S sock ] || fail "daemon never created the socket"
+
+"$py" clients.py sock > out 2>&1 || fail "client script failed"
+grep -q 'CLIENTS-OK 200' out || fail "soak did not complete all requests"
+
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
 echo PASS
 ]])
 

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Unit tests for the fault-injection registry (src/fault): rule
+ * validation, hit/fire semantics (keys, on_hit, max fires, seeded
+ * probability streams), plan-spec parsing and its round trip, the
+ * process-wide install/clear lifecycle, the legacy SSIM_* env shims,
+ * and the journal sites end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "fault/fault.hh"
+#include "util/journal.hh"
+
+namespace
+{
+
+using namespace ssim;
+using fault::Action;
+using fault::FaultPlan;
+using fault::Outcome;
+using fault::Rule;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+Rule
+failRule(const std::string &site, uint64_t onHit = 0)
+{
+    Rule rule;
+    rule.site = site;
+    rule.action = Action::FailErrno;
+    rule.err = EIO;
+    rule.onHit = onHit;
+    return rule;
+}
+
+/** Clears the installed plan even when an assertion bails out. */
+struct RegistryGuard
+{
+    ~RegistryGuard() { fault::clearPlan(); }
+};
+
+TEST(FaultPlan, RejectsUnusableRules)
+{
+    FaultPlan plan;
+    EXPECT_THROW(plan.addRule(Rule{}), Error);   // no site, no action
+    Rule noAction;
+    noAction.site = "x";
+    EXPECT_THROW(plan.addRule(noAction), Error);
+    Rule badProb = failRule("x");
+    badProb.probability = 1.5;
+    EXPECT_THROW(plan.addRule(badProb), Error);
+}
+
+TEST(FaultPlan, UnkeyedRuleFiresOnEveryHit)
+{
+    FaultPlan plan;
+    plan.addRule(failRule("journal.fsync"));
+    for (int i = 0; i < 3; ++i) {
+        const Outcome out = plan.hit("journal.fsync", "");
+        EXPECT_EQ(out.action, Action::FailErrno);
+        EXPECT_EQ(out.err, EIO);
+    }
+    EXPECT_FALSE(plan.hit("journal.append", ""));
+    EXPECT_EQ(plan.totalFires(), 3u);
+}
+
+TEST(FaultPlan, OnHitFiresExactlyTheNth)
+{
+    FaultPlan plan;
+    plan.addRule(failRule("s", 3));
+    EXPECT_FALSE(plan.hit("s", ""));
+    EXPECT_FALSE(plan.hit("s", ""));
+    EXPECT_TRUE(static_cast<bool>(plan.hit("s", "")));
+    EXPECT_FALSE(plan.hit("s", ""));
+}
+
+TEST(FaultPlan, KeyedRuleCountsOnlyMatchingHits)
+{
+    FaultPlan plan;
+    Rule rule = failRule("serve.request", 2);
+    rule.key = "q1";
+    plan.addRule(rule);
+    EXPECT_FALSE(plan.hit("serve.request", "q0"));
+    EXPECT_FALSE(plan.hit("serve.request", "q1"));   // hit 1 of q1
+    EXPECT_FALSE(plan.hit("serve.request", "q2"));
+    EXPECT_TRUE(
+        static_cast<bool>(plan.hit("serve.request", "q1")));   // hit 2
+}
+
+TEST(FaultPlan, MaxFiresCapsFirings)
+{
+    FaultPlan plan;
+    Rule rule = failRule("s");
+    rule.maxFires = 2;
+    plan.addRule(rule);
+    EXPECT_TRUE(static_cast<bool>(plan.hit("s", "")));
+    EXPECT_TRUE(static_cast<bool>(plan.hit("s", "")));
+    EXPECT_FALSE(plan.hit("s", ""));
+    EXPECT_EQ(plan.totalFires(), 2u);
+}
+
+TEST(FaultPlan, FirstMatchWinsButAllCountersAdvance)
+{
+    FaultPlan plan;
+    Rule first = failRule("s");
+    first.maxFires = 1;
+    plan.addRule(first);
+    Rule second = failRule("s", 2);   // counts hits behind the winner
+    second.err = ENOSPC;
+    plan.addRule(second);
+    EXPECT_EQ(plan.hit("s", "").err, EIO);     // first rule fires
+    EXPECT_EQ(plan.hit("s", "").err, ENOSPC);  // second saw hit 2
+}
+
+TEST(FaultPlan, ProbabilityIsDeterministicInTheSeed)
+{
+    auto firings = [](uint64_t seed) {
+        FaultPlan plan(seed);
+        Rule rule = failRule("s");
+        rule.probability = 0.5;
+        plan.addRule(rule);
+        std::string pattern;
+        for (int i = 0; i < 64; ++i)
+            pattern += plan.hit("s", "") ? '1' : '0';
+        return pattern;
+    };
+    const std::string a = firings(42);
+    EXPECT_EQ(a, firings(42));
+    EXPECT_NE(a, firings(43));
+    EXPECT_NE(a.find('1'), std::string::npos);
+    EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(FaultPlan, CloneFreshResetsState)
+{
+    FaultPlan plan(7);
+    plan.addRule(failRule("s", 1));
+    EXPECT_TRUE(static_cast<bool>(plan.hit("s", "")));
+    const FaultPlan clone = plan.cloneFresh();
+    FaultPlan fresh = clone;
+    EXPECT_EQ(fresh.totalFires(), 0u);
+    EXPECT_TRUE(static_cast<bool>(fresh.hit("s", "")));
+}
+
+TEST(FaultPlan, ParsesSpecAndRoundTrips)
+{
+    const std::string spec =
+        "{\"seed\":42,\"rules\":["
+        "{\"site\":\"journal.append\",\"action\":\"torn\","
+        "\"bytes\":7,\"on_hit\":3},"
+        "{\"site\":\"serve.request\",\"key\":\"q1\","
+        "\"action\":\"crash\",\"count\":1},"
+        "{\"site\":\"journal.fsync\",\"action\":\"fail\","
+        "\"errno\":\"ENOSPC\",\"probability\":0.25},"
+        "{\"site\":\"transport.write\",\"action\":\"stall\","
+        "\"ms\":5}]}";
+    Expected<FaultPlan> parsed = FaultPlan::parseJson(spec, "<test>");
+    ASSERT_TRUE(parsed) << parsed.error().what();
+    EXPECT_EQ(parsed.value().ruleCount(), 4u);
+
+    // The torn rule: fires on append hit 3 with the byte budget.
+    FaultPlan plan = parsed.value();
+    plan.hit("journal.append", "");
+    plan.hit("journal.append", "");
+    const Outcome torn = plan.hit("journal.append", "");
+    EXPECT_EQ(torn.action, Action::TornIo);
+    EXPECT_EQ(torn.bytes, 7u);
+
+    // Round trip: the re-parsed serialization behaves identically.
+    Expected<FaultPlan> again =
+        FaultPlan::parseJson(parsed.value().toJson(), "<round-trip>");
+    ASSERT_TRUE(again) << again.error().what();
+    EXPECT_EQ(again.value().ruleCount(), 4u);
+    EXPECT_EQ(again.value().toJson(), parsed.value().toJson());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(FaultPlan::parseJson("{\"rules\":[{}]}", "<t>"));
+    EXPECT_FALSE(FaultPlan::parseJson(
+        "{\"rules\":[{\"site\":\"s\",\"action\":\"nope\"}]}", "<t>"));
+    EXPECT_FALSE(FaultPlan::parseJson(
+        "{\"rules\":[{\"site\":\"s\",\"action\":\"fail\","
+        "\"errno\":\"EWHAT\"}]}",
+        "<t>"));
+    EXPECT_FALSE(FaultPlan::parseJson("not json", "<t>"));
+}
+
+TEST(FaultPlan, LoadSpecTakesInlineJsonOrAPath)
+{
+    const std::string inlineSpec =
+        "{\"rules\":[{\"site\":\"s\",\"action\":\"fail\"}]}";
+    Expected<FaultPlan> inlinePlan = FaultPlan::loadSpec(inlineSpec);
+    ASSERT_TRUE(inlinePlan) << inlinePlan.error().what();
+    EXPECT_EQ(inlinePlan.value().ruleCount(), 1u);
+
+    const std::string path = tempPath("fault_plan_spec.json");
+    {
+        std::ofstream os(path);
+        // Multi-line specs are legal in files.
+        os << "{\n  \"seed\": 9,\n  \"rules\": [\n"
+           << "    {\"site\": \"s\", \"action\": \"fail\"}\n  ]\n}\n";
+    }
+    Expected<FaultPlan> filePlan = FaultPlan::loadSpec(path);
+    ASSERT_TRUE(filePlan) << filePlan.error().what();
+    EXPECT_EQ(filePlan.value().ruleCount(), 1u);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(FaultPlan::loadSpec("/no/such/spec.json"));
+}
+
+TEST(FaultRegistry, InstalledPlanOwnsEverySite)
+{
+    RegistryGuard guard;
+    auto plan = std::make_shared<FaultPlan>();
+    plan->addRule(failRule("journal.fsync"));
+    fault::installPlan(plan);
+    EXPECT_TRUE(static_cast<bool>(fault::point("journal.fsync")));
+    // An installed plan also owns sites it has no rule for: the
+    // local/legacy fallbacks must not fire behind its back.
+    FaultPlan local;
+    local.addRule(failRule("serve.request"));
+    EXPECT_FALSE(fault::point("serve.request", "q1", &local));
+    fault::clearPlan();
+    EXPECT_FALSE(fault::point("journal.fsync"));
+    EXPECT_TRUE(
+        static_cast<bool>(fault::point("serve.request", "q1", &local)));
+}
+
+TEST(FaultRegistry, ScopedPlanRestoresOnExit)
+{
+    {
+        FaultPlan plan;
+        plan.addRule(failRule("s"));
+        fault::ScopedPlan scoped(std::move(plan));
+        EXPECT_TRUE(static_cast<bool>(fault::point("s")));
+    }
+    EXPECT_FALSE(fault::point("s"));
+}
+
+TEST(FaultRegistry, EnvPlanInstalls)
+{
+    RegistryGuard guard;
+    ::setenv("SSIM_FAULT_PLAN",
+             "{\"rules\":[{\"site\":\"s\",\"action\":\"fail\"}]}", 1);
+    EXPECT_TRUE(fault::installPlanFromEnv());
+    ::unsetenv("SSIM_FAULT_PLAN");
+    EXPECT_TRUE(static_cast<bool>(fault::point("s")));
+    fault::clearPlan();
+    EXPECT_FALSE(fault::installPlanFromEnv());
+
+    ::setenv("SSIM_FAULT_PLAN", "not json", 1);
+    EXPECT_THROW(fault::installPlanFromEnv(), Error);
+    ::unsetenv("SSIM_FAULT_PLAN");
+}
+
+TEST(FaultLegacyShims, SweepEnvBecomesAPlan)
+{
+    ::setenv("SSIM_SWEEP_CRASH_AFTER", "3", 1);
+    ::setenv("SSIM_SWEEP_STALL_POINT", "2:0.5", 1);
+    std::shared_ptr<FaultPlan> plan = FaultPlan::fromSweepEnv();
+    ::unsetenv("SSIM_SWEEP_CRASH_AFTER");
+    ::unsetenv("SSIM_SWEEP_STALL_POINT");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->ruleCount(), 2u);
+    plan->hit("sweep.journal.done", "");
+    plan->hit("sweep.journal.done", "");
+    EXPECT_EQ(plan->hit("sweep.journal.done", "").action,
+              Action::Crash);
+    const Outcome stall = plan->hit("sweep.point.start", "2");
+    EXPECT_EQ(stall.action, Action::Stall);
+    EXPECT_EQ(stall.ms, 500u);
+    // Legacy semantics: only the first attempt of the point stalls.
+    EXPECT_FALSE(plan->hit("sweep.point.start", "2"));
+
+    EXPECT_EQ(FaultPlan::fromSweepEnv(), nullptr);
+    ::setenv("SSIM_SWEEP_CRASH_AFTER", "junk", 1);
+    EXPECT_EQ(FaultPlan::fromSweepEnv(), nullptr);   // silent ignore
+    ::unsetenv("SSIM_SWEEP_CRASH_AFTER");
+}
+
+TEST(FaultLegacyShims, ServeEnvBecomesAPlan)
+{
+    ::setenv("SSIM_SERVE_CRASH_ON", "a,b", 1);
+    std::shared_ptr<FaultPlan> plan = FaultPlan::fromServeEnv();
+    ::unsetenv("SSIM_SERVE_CRASH_ON");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->hit("serve.request", "a").action, Action::Crash);
+    EXPECT_EQ(plan->hit("serve.request", "b").action, Action::Crash);
+    EXPECT_FALSE(plan->hit("serve.request", "c"));
+    // Unlimited fires, matching the old set-membership hook.
+    EXPECT_EQ(plan->hit("serve.request", "a").action, Action::Crash);
+
+    EXPECT_EQ(FaultPlan::fromServeEnv(), nullptr);
+}
+
+TEST(FaultLegacyShims, FsyncEnvHookStillWorksDynamically)
+{
+    // The pre-registry hook was consulted per call; the site keeps
+    // that contract when no plan covers it.
+    const std::string path = tempPath("fault_fsync_hook.txt");
+    ::setenv("SSIM_FSYNC_FAIL", "1", 1);
+    const Expected<void> failed = util::atomicWriteFile(
+        path, [](std::ostream &os) { os << "x\n"; });
+    ::unsetenv("SSIM_FSYNC_FAIL");
+    EXPECT_FALSE(failed);
+    const Expected<void> ok = util::atomicWriteFile(
+        path, [](std::ostream &os) { os << "x\n"; });
+    EXPECT_TRUE(ok) << ok.error().what();
+    std::remove(path.c_str());
+}
+
+TEST(FaultSites, JournalAppendFailAndTorn)
+{
+    RegistryGuard guard;
+    const std::string path = tempPath("fault_journal_sites.journal");
+    std::remove(path.c_str());
+
+    util::JournalRecord rec;
+    rec.event = "done";
+    rec.point = 1;
+    rec.attempt = 1;
+    rec.status = "ok";
+
+    auto plan = std::make_shared<FaultPlan>();
+    Rule enospc = failRule("journal.append", 2);
+    enospc.err = ENOSPC;
+    enospc.maxFires = 1;
+    plan->addRule(enospc);
+    Rule torn;
+    torn.site = "journal.append";
+    torn.action = Action::TornIo;
+    torn.err = EIO;
+    torn.bytes = 5;
+    torn.onHit = 4;
+    plan->addRule(torn);
+    fault::installPlan(plan);
+
+    util::Journal journal;
+    ASSERT_TRUE(journal.open(path, true));
+    EXPECT_TRUE(journal.append(rec));    // hit 1: clean
+    EXPECT_FALSE(journal.append(rec));   // hit 2: ENOSPC, no bytes
+    EXPECT_TRUE(journal.append(rec));    // hit 3: clean
+    EXPECT_FALSE(journal.append(rec));   // hit 4: torn after 5 bytes
+    EXPECT_TRUE(journal.append(rec));    // hit 5: merges with the tear
+    EXPECT_TRUE(journal.append(rec));    // hit 6: clean final line
+    journal.close();
+    fault::clearPlan();
+
+    // The torn record merges with its successor into one corrupt
+    // *interior* line (hit 6 keeps it off the tolerated final-line
+    // position); load skips and counts it, keeping the intact
+    // records.
+    uint64_t skipped = 0;
+    Expected<std::vector<util::JournalRecord>> loaded =
+        util::Journal::load(path, &skipped);
+    ASSERT_TRUE(loaded) << loaded.error().what();
+    EXPECT_EQ(loaded.value().size(), 3u);
+    EXPECT_EQ(skipped, 1u);
+    std::remove(path.c_str());
+}
+
+} // namespace

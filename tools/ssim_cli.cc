@@ -58,6 +58,8 @@
 #include "core/statsim.hh"
 #include "core/sts_frontend.hh"
 #include "experiments/harness.hh"
+#include "fault/chaos.hh"
+#include "fault/fault.hh"
 #include "experiments/sweep.hh"
 #include "obs/export_json.hh"
 #include "obs/export_trace.hh"
@@ -110,6 +112,18 @@ struct Options
     double restartBackoffMs = 50.0;  ///< --restart-backoff-ms N
     std::string socketPath;          ///< --socket PATH
 
+    // Fault injection (sweep / serve / chaos).
+    std::string faultPlan;   ///< --fault-plan SPEC (inline or path)
+
+    // Chaos.
+    uint64_t chaosSchedules = 100;  ///< --schedules N
+    std::string chaosMode = "all";  ///< --mode all|sweep|serve
+    uint64_t chaosPoints = 6;       ///< --points N
+    uint64_t chaosRequests = 24;    ///< --requests N
+    uint64_t chaosReplay = 3;       ///< --replay-verify N
+    std::string chaosDir = ".";     ///< --dir PATH
+    bool chaosVerbose = false;      ///< --verbose
+
     // Observability.
     std::string statsJson;   ///< --stats-json FILE
     std::string tracePath;   ///< --trace FILE
@@ -134,6 +148,8 @@ usage()
         "  compare <workload>        both, with error report\n"
         "  sweep <workload>          journaled parallel design sweep\n"
         "  serve                     long-lived prediction daemon\n"
+        "  chaos                     seeded fault-injection invariant\n"
+        "                            harness over sweep + serve\n"
         "core options: --ruu N --lsq N --width N --ifq N\n"
         "              --scale-bpred L --scale-cache F\n"
         "              --perfect-caches --perfect-bpred\n"
@@ -151,6 +167,16 @@ usage()
         "  --restart-backoff-ms N, --socket PATH (Unix socket\n"
         "  instead of stdin/stdout), --stats-json FILE (final\n"
         "  serve.* snapshot on exit)\n"
+        "chaos options: --schedules N (default 100), --seed S,\n"
+        "  --mode all|sweep|serve, --points N (sweep size),\n"
+        "  --requests N (serve load), --replay-verify N,\n"
+        "  --dir PATH (scratch journals), --verbose\n"
+        "fault injection: --fault-plan SPEC (inline JSON or a path;\n"
+        "  sweep/serve: arm the plan for the run, chaos: use it for\n"
+        "  every schedule instead of generated plans); also the\n"
+        "  SSIM_FAULT_PLAN env var, and the legacy SSIM_FSYNC_FAIL,\n"
+        "  SSIM_SERVE_CRASH_ON, SSIM_SWEEP_CRASH_AFTER,\n"
+        "  SSIM_SWEEP_STALL_POINT hooks\n"
         "observability options: --stats-json FILE (sweep: live\n"
         "  heartbeat), --trace FILE (Perfetto/chrome://tracing),\n"
         "  --quiet (errors only; also SSIM_LOG_LEVEL=error|warn|info)\n"
@@ -274,9 +300,10 @@ parse(int argc, char **argv)
     Options opts;
     opts.command = argv[1];
     int i = 2;
-    // `list` and `serve` take no target; everything else names a
-    // workload or profile file.
-    if (opts.command != "list" && opts.command != "serve") {
+    // `list`, `serve`, and `chaos` take no target; everything else
+    // names a workload or profile file.
+    if (opts.command != "list" && opts.command != "serve" &&
+        opts.command != "chaos") {
         if (i >= argc) {
             argError("command '" + opts.command +
                      "' requires a target (workload name or profile "
@@ -362,6 +389,23 @@ parse(int argc, char **argv)
             opts.restartBackoffMs = floatArg(argc, argv, i);
         } else if (arg == "--socket") {
             opts.socketPath = valueOf(argc, argv, i);
+        } else if (arg == "--fault-plan") {
+            opts.faultPlan = valueOf(argc, argv, i);
+        } else if (arg == "--schedules") {
+            opts.chaosSchedules = uintArg(argc, argv, i);
+        } else if (arg == "--mode") {
+            opts.chaosMode = valueOf(argc, argv, i);
+        } else if (arg == "--points") {
+            opts.chaosPoints = uintArg(argc, argv, i);
+        } else if (arg == "--requests") {
+            opts.chaosRequests = uintArg(argc, argv, i);
+        } else if (arg == "--replay-verify") {
+            // 0 is meaningful ("skip replay verification").
+            opts.chaosReplay = uintArg(argc, argv, i);
+        } else if (arg == "--dir") {
+            opts.chaosDir = valueOf(argc, argv, i);
+        } else if (arg == "--verbose") {
+            opts.chaosVerbose = true;
         } else if (arg == "--stats-json") {
             opts.statsJson = valueOf(argc, argv, i);
         } else if (arg == "--trace") {
@@ -757,6 +801,46 @@ cmdServe(const Options &opts)
     return rc;
 }
 
+int
+cmdChaos(const Options &opts)
+{
+    fault::ChaosOptions copts;
+    copts.seed = opts.generation.seed;
+    copts.schedules = opts.chaosSchedules;
+    if (opts.chaosMode == "all")
+        copts.mode = fault::ChaosMode::All;
+    else if (opts.chaosMode == "sweep")
+        copts.mode = fault::ChaosMode::Sweep;
+    else if (opts.chaosMode == "serve")
+        copts.mode = fault::ChaosMode::Serve;
+    else
+        argError("option --mode expects all|sweep|serve, got '" +
+                 opts.chaosMode + "'");
+    copts.points = opts.chaosPoints;
+    copts.requests = opts.chaosRequests;
+    copts.replayVerify = opts.chaosReplay;
+    copts.scratchDir = opts.chaosDir;
+    copts.fixedPlanSpec = opts.faultPlan;
+    copts.verbose = opts.chaosVerbose;
+
+    const fault::ChaosReport report = fault::runChaos(copts);
+    std::cout << "chaos: " << report.schedulesRun << " schedules ("
+              << report.sweepSchedules << " sweep, "
+              << report.serveSchedules << " serve), "
+              << report.childCrashes << " injected crashes, "
+              << report.serveFaultsFired << " serve faults fired, "
+              << report.replaysVerified << " replays verified\n";
+    if (!report.violations.empty()) {
+        for (const std::string &v : report.violations)
+            std::cerr << "chaos: VIOLATION: " << v << "\n";
+        throw Error(ErrorCategory::Internal,
+                    std::to_string(report.violations.size()) +
+                        " chaos invariant violation(s); see above");
+    }
+    std::cout << "chaos: all invariants held\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -769,6 +853,21 @@ main(int argc, char **argv)
         const Options opts = parse(argc, argv);
         if (opts.quiet)
             setLogLevel(LogLevel::Error);
+        // Arm fault injection for this run. `chaos` owns the
+        // registry itself (its schedules install their own plans), so
+        // its --fault-plan travels via ChaosOptions instead.
+        if (opts.command != "chaos") {
+            if (!opts.faultPlan.empty()) {
+                Expected<fault::FaultPlan> plan =
+                    fault::FaultPlan::loadSpec(opts.faultPlan);
+                if (!plan)
+                    throw plan.error();
+                fault::installPlan(std::make_shared<fault::FaultPlan>(
+                    std::move(plan.value())));
+            } else {
+                fault::installPlanFromEnv();
+            }
+        }
         if (opts.command == "list")
             return cmdList();
         if (opts.command == "profile")
@@ -783,6 +882,8 @@ main(int argc, char **argv)
             return cmdSweep(opts);
         if (opts.command == "serve")
             return cmdServe(opts);
+        if (opts.command == "chaos")
+            return cmdChaos(opts);
         std::cerr << "ssim: unknown command '" << opts.command
                   << "'\n";
         usage();
