@@ -26,8 +26,10 @@
 #include <iostream>
 #include <thread>
 
+#include "core/serialize.hh"
 #include "experiments/harness.hh"
 #include "experiments/sweep.hh"
+#include "proxy/features.hh"
 #include "util/random.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
@@ -77,6 +79,16 @@ designSpace()
     return points;
 }
 
+PointMetrics
+toPointMetrics(const std::vector<util::JournalMetric> &metrics)
+{
+    PointMetrics out;
+    out.reserve(metrics.size());
+    for (const auto &m : metrics)
+        out.emplace_back(m.name, m.value);
+    return out;
+}
+
 } // namespace
 
 int
@@ -119,17 +131,28 @@ main()
                 std::string(prefix) + "." + bench.name + ".jsonl";
             sopts.resume = true;
         }
+        // Stamp provenance and features so the journal doubles as a
+        // surrogate training set for `ssim train` (src/proxy).
+        sopts.profileChecksum = core::profileDigest(*profile);
+        sopts.baseConfigHash =
+            configHash(cpu::CoreConfig::baseline());
+        sopts.profileFeatures = toPointMetrics(
+            proxy::profileFeatureMetrics(*profile));
         std::vector<SweepPoint> sweepPoints;
         sweepPoints.reserve(space.size());
         for (const Point &point : space)
             sweepPoints.push_back(
-                {point.name, configHash(point.cfg)});
+                {point.name, configHash(point.cfg),
+                 toPointMetrics(
+                     proxy::configFeatureMetrics(point.cfg))});
         const SweepSummary summary = runSweep(
             sweepPoints,
             [&](size_t p, uint64_t) {
-                return PointMetrics{
-                    {"edp", core::simulateSyntheticTrace(
-                                trace, space[p].cfg).edp}};
+                const core::SimResult r =
+                    core::simulateSyntheticTrace(trace, space[p].cfg);
+                return PointMetrics{{"edp", r.edp},
+                                    {"epc", r.epc},
+                                    {"ipc", r.ipc}};
             },
             sopts);
 

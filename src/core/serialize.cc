@@ -456,6 +456,64 @@ profileChecksum(const std::string &payload)
     return util::fnv1a64(payload);
 }
 
+uint64_t
+profileDigest(const StatisticalProfile &profile)
+{
+    // The serialized payload is NOT canonical: writeBody() walks the
+    // node unordered_map, so a built profile and its reloaded twin
+    // serialize in different orders. Render each node (with its edges
+    // sorted by next-block id) to its own string and sort the node
+    // strings before hashing; everything else already has a fixed
+    // order (DiscreteDistribution entries are sorted on insert).
+    std::ostringstream head;
+    head << profile.order << ' ' << profile.instructions << ' '
+         << profile.dynamicBlocks << '\n';
+    head << profile.benchmark << '\n';
+    head << profile.shapes.size() << '\n';
+    for (const BlockShape &shape : profile.shapes) {
+        head << shape.size();
+        for (const SlotShape &s : shape) {
+            head << ' ' << static_cast<int>(s.cls) << ' '
+                 << static_cast<int>(s.numSrcs) << ' ' << s.hasDest
+                 << ' ' << s.isLoad << ' ' << s.isStore << ' '
+                 << s.isCtrl;
+        }
+        head << '\n';
+    }
+
+    std::vector<std::string> nodeText;
+    nodeText.reserve(profile.nodes.size());
+    for (const auto &[gram, node] : profile.nodes) {
+        std::ostringstream ns;
+        ns << gram.size();
+        for (uint32_t g : gram)
+            ns << ' ' << g;
+        ns << ' ' << node.occurrences << ' ' << node.edges.size()
+           << '\n';
+        writeQBlock(ns, node.entryStats);
+        std::vector<uint32_t> nexts;
+        nexts.reserve(node.edges.size());
+        for (const auto &[next, edge] : node.edges)
+            nexts.push_back(next);
+        std::sort(nexts.begin(), nexts.end());
+        for (uint32_t next : nexts) {
+            const StatisticalProfile::Edge &edge =
+                node.edges.at(next);
+            ns << next << ' ' << edge.count << '\n';
+            writeQBlock(ns, edge.stats);
+        }
+        nodeText.push_back(ns.str());
+    }
+    std::sort(nodeText.begin(), nodeText.end());
+
+    std::string all = head.str();
+    all += std::to_string(profile.nodes.size());
+    all += '\n';
+    for (const std::string &t : nodeText)
+        all += t;
+    return util::fnv1a64(all);
+}
+
 void
 saveProfile(const StatisticalProfile &profile, std::ostream &os)
 {

@@ -48,6 +48,17 @@ constexpr int ProfileFormatVersion = 2;
 /** FNV-1a 64-bit hash used as the payload checksum. */
 uint64_t profileChecksum(const std::string &payload);
 
+/**
+ * Canonical content digest of @p profile, independent of in-memory
+ * hash-map iteration order: a profile built in-process and the same
+ * profile reloaded from disk digest identically (unlike hashing the
+ * serialized payload, whose node order follows the unordered_map).
+ * Stamped into sweep-journal headers as provenance so the surrogate
+ * trainer (src/proxy) can refuse to pool journals from different
+ * profiles.
+ */
+uint64_t profileDigest(const StatisticalProfile &profile);
+
 /** Write @p profile to @p os (header + checksummed payload). */
 void saveProfile(const StatisticalProfile &profile, std::ostream &os);
 

@@ -52,6 +52,8 @@ statusFromName(const std::string &name)
         return PointStatus::Timeout;
     if (name == "crashed")
         return PointStatus::Crashed;
+    if (name == "pruned")
+        return PointStatus::Pruned;
     throw Error(ErrorCategory::CorruptData,
                 "journal has unknown point status '" + name + "'");
 }
@@ -102,6 +104,7 @@ class Engine
 
   private:
     void prepareJournal();
+    void applyKeepMask();
     void replayJournal(const std::vector<util::JournalRecord> &old);
     void journalAppend(const util::JournalRecord &rec);
     util::JournalRecord doneRecord(size_t point,
@@ -147,6 +150,7 @@ class Engine
     size_t hbOk_ = 0;
     size_t hbFailed_ = 0;
     size_t hbRetried_ = 0;
+    size_t hbPruned_ = 0;
 };
 
 void
@@ -201,6 +205,12 @@ Engine::doneRecord(size_t point, const PointOutcome &o) const
     rec.peakRssKb = peakRssKb();
     for (const auto &[name, value] : o.metrics)
         rec.metrics.push_back({name, value});
+    // Config features turn `ok` records into surrogate training rows;
+    // failures and pruned points carry none (nothing to learn from).
+    if (o.status == PointStatus::Ok) {
+        for (const auto &[name, value] : points_[point].features)
+            rec.features.push_back({name, value});
+    }
     return rec;
 }
 
@@ -264,6 +274,7 @@ Engine::writeHeartbeat()
     reg.counter("sweep.points.ok").set(hbOk_);
     reg.counter("sweep.points.failed").set(hbFailed_);
     reg.counter("sweep.points.retried").set(hbRetried_);
+    reg.counter("sweep.points.pruned").set(hbPruned_);
     reg.gauge("sweep.points.inflight")
         .set(static_cast<double>(inflight_.size()));
     reg.gauge("sweep.elapsed-seconds").set(elapsed);
@@ -453,12 +464,18 @@ Engine::prepareJournal()
         return;
     }
 
-    // Fresh journal: write the header identifying this sweep.
+    // Fresh journal: write the header identifying this sweep, with
+    // the profile/base-config provenance and profile features that
+    // make it a self-describing training set.
     util::JournalRecord header;
     header.event = "sweep";
     header.sweepHash = sweepIdentityHash(points_, opts_.seed);
     header.pointCount = points_.size();
     header.sweepSeed = opts_.seed;
+    header.profileChecksum = opts_.profileChecksum;
+    header.baseConfigHash = opts_.baseConfigHash;
+    for (const auto &[name, value] : opts_.profileFeatures)
+        header.features.push_back({name, value});
     Expected<void> opened = journal_.open(opts_.journalPath, true);
     if (!opened)
         throw opened.error();
@@ -541,6 +558,16 @@ Engine::replayJournal(const std::vector<util::JournalRecord> &old)
         }
         PointOutcome &o = summary_.outcomes[p];
         o.status = statusFromName(rec->status);
+        // A journaled `pruned` record is only as terminal as the
+        // current mask: resuming with a mask that keeps the point —
+        // or with no mask — re-queues it, so a pruned sweep can later
+        // be completed (or widened) in place.
+        if (o.status == PointStatus::Pruned &&
+            (opts_.keepMask == nullptr || (*opts_.keepMask)[p])) {
+            o.status = PointStatus::Pending;
+            queue_.push_back(p);
+            continue;
+        }
         o.message = rec->message;
         o.wallSeconds = rec->wallSeconds;
         o.attempts = attemptsUsed_[p];
@@ -570,6 +597,36 @@ Engine::replayJournal(const std::vector<util::JournalRecord> &old)
         throw opened.error();
 }
 
+/**
+ * Settle every queued point the keep-mask excludes as `pruned`, with
+ * a journaled done record, before any worker starts. Runs single-
+ * threaded (no lock needed); points already terminal in the journal
+ * are untouched — the mask only filters what would otherwise run.
+ */
+void
+Engine::applyKeepMask()
+{
+    if (opts_.keepMask == nullptr)
+        return;
+    std::deque<size_t> kept;
+    for (size_t p : queue_) {
+        if ((*opts_.keepMask)[p]) {
+            kept.push_back(p);
+            continue;
+        }
+        PointOutcome &o = summary_.outcomes[p];
+        o.status = PointStatus::Pruned;
+        o.message = "pruned by surrogate frontier mask";
+        o.attempts = attemptsUsed_[p];
+        o.metrics.clear();
+        journalAppend(doneRecord(p, o));
+        ++hbPruned_;
+    }
+    queue_ = std::move(kept);
+    if (hbPruned_ > 0)
+        writeHeartbeat();
+}
+
 SweepSummary
 Engine::run()
 {
@@ -580,6 +637,7 @@ Engine::run()
             queue_.push_back(p);
     }
     // (replayJournal filled queue_ for the resume case.)
+    applyKeepMask();
 
     if (!queue_.empty()) {
         unsigned jobs = opts_.jobs != 0
@@ -626,6 +684,7 @@ Engine::run()
           case PointStatus::Error: ++summary_.errorCount; break;
           case PointStatus::Timeout: ++summary_.timeoutCount; break;
           case PointStatus::Crashed: ++summary_.crashedCount; break;
+          case PointStatus::Pruned: ++summary_.prunedCount; break;
         }
         if (o.reused)
             ++summary_.reusedCount;
@@ -665,6 +724,7 @@ pointStatusName(PointStatus status)
       case PointStatus::Error: return "error";
       case PointStatus::Timeout: return "timeout";
       case PointStatus::Crashed: return "crashed";
+      case PointStatus::Pruned: return "pruned";
     }
     return "unknown";
 }
@@ -731,6 +791,13 @@ runSweep(const std::vector<SweepPoint> &points, const PointFn &fn,
         throw Error(ErrorCategory::InvalidArgument,
                     "runSweep requires a point function");
     }
+    if (opts.keepMask && opts.keepMask->size() != points.size()) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep keep-mask covers " +
+                    std::to_string(opts.keepMask->size()) +
+                    " points, the sweep has " +
+                    std::to_string(points.size()));
+    }
     util::clearDrainRequest();
     Engine engine(points, fn, opts);
     return engine.run();
@@ -746,6 +813,140 @@ bool
 sweepStopRequested()
 {
     return util::drainRequested();
+}
+
+const char *
+planActionName(PlanAction action)
+{
+    switch (action) {
+      case PlanAction::Run: return "run";
+      case PlanAction::Reuse: return "reuse";
+      case PlanAction::Retry: return "retry";
+      case PlanAction::Prune: return "prune";
+    }
+    return "unknown";
+}
+
+SweepPlan
+planSweep(const std::vector<SweepPoint> &points,
+          const SweepOptions &opts)
+{
+    opts.validate();
+    if (opts.keepMask && opts.keepMask->size() != points.size()) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "sweep keep-mask covers " +
+                    std::to_string(opts.keepMask->size()) +
+                    " points, the sweep has " +
+                    std::to_string(points.size()));
+    }
+
+    SweepPlan plan;
+    plan.points.resize(points.size());
+
+    // Read-only journal replay: same classification as the engine
+    // (last done record wins, a dangling start counts as crashed),
+    // but nothing is checkpointed, synthesized, or appended.
+    std::vector<PointStatus> journaled(points.size(),
+                                       PointStatus::Pending);
+    std::vector<unsigned> attempts(points.size(), 0);
+    std::vector<ErrorCategory> categories(points.size(),
+                                          ErrorCategory::Internal);
+    if (opts.resume && !opts.journalPath.empty() &&
+        fileExists(opts.journalPath)) {
+        const std::string &path = opts.journalPath;
+        Expected<std::vector<util::JournalRecord>> loaded =
+            util::Journal::load(path, &plan.skippedCorrupt);
+        if (!loaded)
+            throw loaded.error();
+        const std::vector<util::JournalRecord> &old = loaded.value();
+        if (old.empty() || old.front().event != "sweep")
+            throw Error(ErrorCategory::CorruptData,
+                        "journal has no sweep header", {path, 1});
+        if (old.front().sweepHash !=
+            sweepIdentityHash(points, opts.seed))
+            throw Error(ErrorCategory::InvalidArgument,
+                        "journal belongs to a different sweep "
+                        "(different points or seed); refusing to "
+                        "resume", {path, 1});
+        std::vector<unsigned> danglingAttempt(points.size(), 0);
+        std::vector<unsigned> doneAttempt(points.size(), 0);
+        std::vector<bool> dangling(points.size(), false);
+        std::vector<bool> haveDone(points.size(), false);
+        for (const util::JournalRecord &rec : old) {
+            if (rec.event != "start" && rec.event != "done")
+                continue;
+            if (rec.point >= points.size())
+                throw Error(ErrorCategory::CorruptData,
+                            "journal references point " +
+                            std::to_string(rec.point) +
+                            " outside the sweep", {path, 0});
+            const size_t p = rec.point;
+            if (rec.attempt > attempts[p])
+                attempts[p] = rec.attempt;
+            if (rec.event == "start") {
+                dangling[p] = true;
+                danglingAttempt[p] = rec.attempt;
+            } else {
+                if (dangling[p] && danglingAttempt[p] == rec.attempt)
+                    dangling[p] = false;
+                // Highest attempt wins, latest record on ties —
+                // exactly the engine's lastDone rule.
+                if (!haveDone[p] || rec.attempt >= doneAttempt[p]) {
+                    haveDone[p] = true;
+                    doneAttempt[p] = rec.attempt;
+                    journaled[p] = statusFromName(rec.status);
+                    categories[p] = rec.category.empty()
+                                        ? ErrorCategory::Internal
+                                        : categoryFromName(
+                                              rec.category);
+                }
+            }
+        }
+        // A start with no done would be synthesized as `crashed` by
+        // the engine (if it is the newest attempt of its point).
+        for (size_t p = 0; p < points.size(); ++p) {
+            if (dangling[p] &&
+                (!haveDone[p] || danglingAttempt[p] >= attempts[p]))
+                journaled[p] = PointStatus::Crashed;
+        }
+    }
+
+    const unsigned allowed = 1 + opts.maxRetries;
+    for (size_t p = 0; p < points.size(); ++p) {
+        PointPlan &pp = plan.points[p];
+        pp.journaled = journaled[p];
+        pp.attempts = attempts[p];
+        const bool keep =
+            opts.keepMask == nullptr || (*opts.keepMask)[p];
+        switch (journaled[p]) {
+          case PointStatus::Ok:
+            pp.action = PlanAction::Reuse;
+            break;
+          case PointStatus::Pending:
+          case PointStatus::Pruned:
+            pp.action = keep ? PlanAction::Run : PlanAction::Prune;
+            break;
+          default: {
+            const bool retryable =
+                journaled[p] == PointStatus::Error
+                    ? retryableCategory(categories[p])
+                    : retryableStatus(journaled[p]);
+            if (retryable && attempts[p] < allowed)
+                pp.action = keep ? PlanAction::Retry
+                                 : PlanAction::Prune;
+            else
+                pp.action = PlanAction::Reuse;
+            break;
+          }
+        }
+        switch (pp.action) {
+          case PlanAction::Run: ++plan.runCount; break;
+          case PlanAction::Reuse: ++plan.reuseCount; break;
+          case PlanAction::Retry: ++plan.retryCount; break;
+          case PlanAction::Prune: ++plan.pruneCount; break;
+        }
+    }
+    return plan;
 }
 
 // --- Core-configuration grids --------------------------------------

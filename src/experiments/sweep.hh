@@ -69,19 +69,35 @@ enum class PointStatus : uint8_t
     Error,     ///< typed ssim::Error from the point function
     Timeout,   ///< exceeded the per-point wall-clock budget
     Crashed,   ///< a start record with no done record (process died)
+
+    /**
+     * Skipped by a surrogate keep-mask: journaled `done` with status
+     * "pruned" so a later resume knows the point was deliberately not
+     * simulated. Not terminal forever — resuming the journal with a
+     * mask that keeps the point (or with no mask at all) re-queues it.
+     */
+    Pruned,
 };
 
 /** Stable journal name ("ok", "error", "timeout", "crashed"...). */
 const char *pointStatusName(PointStatus status);
+
+using PointMetrics = std::vector<std::pair<std::string, double>>;
 
 /** One design point: a stable label plus its configuration hash. */
 struct SweepPoint
 {
     std::string name;
     uint64_t configHash = 0;
-};
 
-using PointMetrics = std::vector<std::pair<std::string, double>>;
+    /**
+     * Optional named features of the point's configuration
+     * (proxy::configFeatureMetrics). Stamped into the point's `ok`
+     * journal records, turning the journal into a training set for
+     * the surrogate predictor.
+     */
+    PointMetrics features;
+};
 
 /**
  * The work of one point: given the point index and its derived seed,
@@ -133,6 +149,29 @@ struct SweepOptions
     /** Manifest stamped into the heartbeat export; optional. */
     const obs::RunManifest *manifest = nullptr;
 
+    /**
+     * Provenance stamped into a fresh journal's header (0 = omitted):
+     * the canonical digest of the source profile
+     * (core::profileDigest) and the hash of the base configuration
+     * the grid was expanded from. Together with profileFeatures these
+     * make the journal self-describing for `ssim train`.
+     */
+    uint64_t profileChecksum = 0;
+    uint64_t baseConfigHash = 0;
+
+    /** Profile features for the header (proxy::profileFeatureMetrics). */
+    PointMetrics profileFeatures;
+
+    /**
+     * Optional surrogate keep-mask, one byte per point: points with
+     * mask 0 are not simulated — they settle immediately as `pruned`
+     * with a journaled done record. Terminal journal records still
+     * win on resume; a previously-pruned point re-queues when the
+     * current mask keeps it (or when no mask is given). Must outlive
+     * runSweep() and match the point count.
+     */
+    const std::vector<uint8_t> *keepMask = nullptr;
+
     /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
     void validate() const;
 };
@@ -159,6 +198,7 @@ struct SweepSummary
     size_t timeoutCount = 0;
     size_t crashedCount = 0;
     size_t pendingCount = 0;
+    size_t prunedCount = 0;    ///< skipped by the surrogate keep-mask
     size_t reusedCount = 0;    ///< outcomes satisfied by the journal
     size_t executedCount = 0;  ///< points actually run this process
     bool interrupted = false;  ///< drained early; resumable
@@ -198,6 +238,53 @@ SweepSummary runSweep(const std::vector<SweepPoint> &points,
  */
 void requestSweepStop();
 bool sweepStopRequested();
+
+// --- Dry-run planning ----------------------------------------------
+
+/** What a sweep run would do with one point. */
+enum class PlanAction : uint8_t
+{
+    Run,     ///< no usable journal record; would be simulated
+    Reuse,   ///< terminal journal record; would be skipped
+    Retry,   ///< retryable failure with attempts left; would re-run
+    Prune,   ///< keep-mask excludes it; would settle as pruned
+};
+
+/** Stable display name ("run", "reuse", "retry", "prune"). */
+const char *planActionName(PlanAction action);
+
+/** Planned fate of one point (dry run). */
+struct PointPlan
+{
+    PlanAction action = PlanAction::Run;
+    PointStatus journaled = PointStatus::Pending;  ///< last done record
+    unsigned attempts = 0;    ///< attempts already in the journal
+};
+
+/** The whole dry-run plan: per-point fates plus the delta counts. */
+struct SweepPlan
+{
+    std::vector<PointPlan> points;
+    size_t runCount = 0;
+    size_t reuseCount = 0;
+    size_t retryCount = 0;
+    size_t pruneCount = 0;
+    uint64_t skippedCorrupt = 0;   ///< corrupt journal lines tolerated
+};
+
+/**
+ * Compute what runSweep() would do under @p opts without simulating
+ * anything or writing a byte: the journal (when resuming) is loaded
+ * read-only — no checkpoint, no synthesized records, no header
+ * append. Classification matches the engine exactly: last done
+ * record wins, dangling starts count as crashed, bounded retry, the
+ * keep-mask prunes points that would otherwise run.
+ *
+ * @throws ssim::Error exactly like runSweep() for sweep-level
+ *         problems (bad options, mismatched or corrupt journal).
+ */
+SweepPlan planSweep(const std::vector<SweepPoint> &points,
+                    const SweepOptions &opts);
 
 // --- Core-configuration grids (the CLI `sweep` subcommand) ---------
 

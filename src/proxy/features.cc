@@ -1,0 +1,370 @@
+#include "features.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/json_writer.hh"
+
+namespace ssim::proxy
+{
+
+namespace
+{
+
+/** log2 of a count-like knob, safe at zero. */
+double
+log2Of(double v)
+{
+    return std::log2(v < 1.0 ? 1.0 : v);
+}
+
+/** Safe ratio: 0 when the denominator is 0. */
+double
+rate(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+std::vector<util::JournalMetric>
+toMetrics(const std::vector<std::string> &names,
+          const std::vector<double> &values)
+{
+    std::vector<util::JournalMetric> out;
+    out.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        out.push_back({names[i], values[i]});
+    return out;
+}
+
+/**
+ * Reorder a record's named features into @p wanted order. Extra names
+ * are ignored (forward compatibility); a missing name means the
+ * journal was written by an incompatible feature schema.
+ */
+std::vector<double>
+mapFeatures(const std::vector<util::JournalMetric> &have,
+            const std::vector<std::string> &wanted,
+            const std::string &path, const char *what)
+{
+    std::map<std::string, double> byName;
+    for (const util::JournalMetric &m : have)
+        byName[m.name] = m.value;
+    std::vector<double> out;
+    out.reserve(wanted.size());
+    for (const std::string &name : wanted) {
+        const auto it = byName.find(name);
+        if (it == byName.end()) {
+            throw Error(ErrorCategory::VersionMismatch,
+                        std::string(what) + " features are missing '" +
+                        name + "': the journal was written by an "
+                        "incompatible feature schema (expected v" +
+                        std::to_string(FeatureSchemaVersion) + ")",
+                        {path, 0});
+        }
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+configFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "ruu", "lsq", "ifq",
+        "decode_width", "issue_width", "commit_width", "fetch_speed",
+        "mispredict_penalty", "redirect_penalty", "mem_latency",
+        "il1_log2_bytes", "il1_assoc", "il1_latency",
+        "dl1_log2_bytes", "dl1_assoc", "dl1_latency",
+        "l2_log2_bytes", "l2_assoc", "l2_latency",
+        "bpred_kind", "bpred_log2_bimodal", "bpred_log2_l2",
+        "bpred_history_bits", "bpred_log2_btb", "bpred_ras",
+        "perfect_caches", "perfect_bpred", "in_order",
+        "log2_ruu", "log2_lsq", "width_min",
+        "ruu_per_width", "lsq_per_width", "lsq_ruu_ratio",
+        "log2_ruu_x_wmin", "log2_lsq_x_wmin", "wmin_sq",
+        "log2_ruu_x_log2_lsq",
+        "log2_ruu_sq", "log2_lsq_sq",
+        "log2_ruu_x_dw", "log2_ruu_x_iw", "log2_ruu_x_cw",
+        "log2_lsq_x_dw", "log2_lsq_x_iw", "log2_lsq_x_cw",
+        "dw_x_iw", "dw_x_cw", "iw_x_cw",
+        "dw_sq", "iw_sq", "cw_sq",
+        "log2_ruu_x_log2_lsq_x_dw", "log2_ruu_x_log2_lsq_x_iw",
+        "log2_ruu_x_log2_lsq_x_cw", "log2_ruu_x_log2_lsq_x_wmin",
+        "log2_ruu_x_dw_x_iw", "log2_ruu_x_iw_x_cw",
+        "log2_lsq_x_dw_x_iw", "dw_x_iw_x_cw",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+profileFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "profile_order", "log2_instructions", "log2_nodes",
+        "log2_qblocks", "avg_block_len",
+        "branch_taken_rate", "branch_mispredict_rate",
+        "branch_redirect_rate", "mispredicts_per_kilo",
+        "load_frac", "store_frac", "ctrl_frac",
+        "il1_miss_rate", "dl1_miss_rate",
+    };
+    return names;
+}
+
+std::vector<double>
+configFeatures(const cpu::CoreConfig &cfg)
+{
+    const double widthMin =
+        std::min({static_cast<double>(cfg.decodeWidth),
+                  static_cast<double>(cfg.issueWidth),
+                  static_cast<double>(cfg.commitWidth)});
+    std::vector<double> x = {
+        static_cast<double>(cfg.ruuSize),
+        static_cast<double>(cfg.lsqSize),
+        static_cast<double>(cfg.ifqSize),
+        static_cast<double>(cfg.decodeWidth),
+        static_cast<double>(cfg.issueWidth),
+        static_cast<double>(cfg.commitWidth),
+        static_cast<double>(cfg.fetchSpeed),
+        static_cast<double>(cfg.mispredictPenalty),
+        static_cast<double>(cfg.redirectPenalty),
+        static_cast<double>(cfg.memLatency),
+        log2Of(cfg.il1.sizeBytes),
+        static_cast<double>(cfg.il1.assoc),
+        static_cast<double>(cfg.il1.latency),
+        log2Of(cfg.dl1.sizeBytes),
+        static_cast<double>(cfg.dl1.assoc),
+        static_cast<double>(cfg.dl1.latency),
+        log2Of(cfg.l2.sizeBytes),
+        static_cast<double>(cfg.l2.assoc),
+        static_cast<double>(cfg.l2.latency),
+        static_cast<double>(cfg.bpred.kind),
+        log2Of(cfg.bpred.bimodalEntries),
+        log2Of(cfg.bpred.l2Entries),
+        static_cast<double>(cfg.bpred.historyBits),
+        log2Of(cfg.bpred.btbEntries),
+        static_cast<double>(cfg.bpred.rasEntries),
+        cfg.perfectCaches ? 1.0 : 0.0,
+        cfg.perfectBpred ? 1.0 : 0.0,
+        cfg.inOrderIssue ? 1.0 : 0.0,
+        log2Of(cfg.ruuSize),
+        log2Of(cfg.lsqSize),
+        widthMin,
+        static_cast<double>(cfg.ruuSize) / (widthMin < 1 ? 1 : widthMin),
+        static_cast<double>(cfg.lsqSize) / (widthMin < 1 ? 1 : widthMin),
+        rate(cfg.lsqSize, cfg.ruuSize),
+        // Interaction terms: window size and pipeline width gate IPC
+        // jointly (a wide pipeline starves behind a small window and
+        // vice versa), which no additive model of the marginal
+        // features can represent — so hand it the products. Boosted
+        // stumps fit an arbitrary 1-D response to each product, which
+        // is what lets an additive-in-features model rank the packed
+        // Pareto frontier of a width x window design space.
+        log2Of(cfg.ruuSize) * widthMin,
+        log2Of(cfg.lsqSize) * widthMin,
+        widthMin * widthMin,
+        log2Of(cfg.ruuSize) * log2Of(cfg.lsqSize),
+    };
+    const double lr2 = log2Of(cfg.ruuSize);
+    const double lq2 = log2Of(cfg.lsqSize);
+    const double dw = static_cast<double>(cfg.decodeWidth);
+    const double iw = static_cast<double>(cfg.issueWidth);
+    const double cw = static_cast<double>(cfg.commitWidth);
+    const double pairs[] = {
+        lr2 * lr2, lq2 * lq2,
+        lr2 * dw, lr2 * iw, lr2 * cw,
+        lq2 * dw, lq2 * iw, lq2 * cw,
+        dw * iw, dw * cw, iw * cw,
+        dw * dw, iw * iw, cw * cw,
+        lr2 * lq2 * dw, lr2 * lq2 * iw,
+        lr2 * lq2 * cw, lr2 * lq2 * widthMin,
+        lr2 * dw * iw, lr2 * iw * cw,
+        lq2 * dw * iw, dw * iw * cw,
+    };
+    x.insert(x.end(), std::begin(pairs), std::end(pairs));
+    return x;
+}
+
+std::vector<double>
+profileFeatures(const core::StatisticalProfile &profile)
+{
+    // Integer accumulation only inside the unordered_map walk: the
+    // iteration order is unspecified and floating-point addition is
+    // order-dependent, but integer sums are not — so the features are
+    // identical for a freshly built profile and its reloaded twin.
+    uint64_t dynInsts = 0, dynLoads = 0, dynStores = 0, dynCtrl = 0;
+    uint64_t il1Access = 0, il1Miss = 0, dl1Miss = 0;
+    for (const auto &[gram, node] : profile.nodes) {
+        const uint32_t block = core::StatisticalProfile::blockOf(gram);
+        if (block < profile.shapes.size()) {
+            const core::BlockShape &shape = profile.shapes[block];
+            dynInsts += node.occurrences * shape.size();
+            for (const core::SlotShape &s : shape) {
+                if (s.isLoad)
+                    dynLoads += node.occurrences;
+                if (s.isStore)
+                    dynStores += node.occurrences;
+                if (s.isCtrl)
+                    dynCtrl += node.occurrences;
+            }
+        }
+        for (const core::SlotStats &s : node.entryStats.slots) {
+            il1Access += s.il1Access;
+            il1Miss += s.il1Miss;
+            dl1Miss += s.dl1Miss;
+        }
+    }
+    const core::BranchStats br = profile.totalBranchStats();
+    std::vector<double> x = {
+        static_cast<double>(profile.order),
+        log2Of(static_cast<double>(profile.instructions)),
+        log2Of(static_cast<double>(profile.nodeCount())),
+        log2Of(static_cast<double>(profile.qualifiedBlockCount())),
+        rate(profile.instructions, profile.dynamicBlocks),
+        rate(br.taken, br.count),
+        rate(br.mispredict, br.count),
+        rate(br.redirect, br.count),
+        profile.mispredictsPerKilo(),
+        rate(dynLoads, dynInsts),
+        rate(dynStores, dynInsts),
+        rate(dynCtrl, dynInsts),
+        rate(il1Miss, il1Access),
+        rate(dl1Miss, dynLoads),
+    };
+    return x;
+}
+
+std::vector<util::JournalMetric>
+configFeatureMetrics(const cpu::CoreConfig &cfg)
+{
+    return toMetrics(configFeatureNames(), configFeatures(cfg));
+}
+
+std::vector<util::JournalMetric>
+profileFeatureMetrics(const core::StatisticalProfile &profile)
+{
+    return toMetrics(profileFeatureNames(), profileFeatures(profile));
+}
+
+Dataset
+loadDataset(const std::vector<std::string> &journalPaths)
+{
+    if (journalPaths.empty())
+        throw Error(ErrorCategory::InvalidArgument,
+                    "no journals to train on");
+
+    Dataset ds;
+    ds.featureNames = configFeatureNames();
+    for (const std::string &name : profileFeatureNames())
+        ds.featureNames.push_back(name);
+
+    // One row per distinct point: features + the row's metric map.
+    std::vector<std::map<std::string, double>> rowMetrics;
+    std::string firstPath;
+
+    for (const std::string &path : journalPaths) {
+        uint64_t skipped = 0;
+        Expected<std::vector<util::JournalRecord>> loaded =
+            util::Journal::load(path, &skipped);
+        if (!loaded)
+            throw loaded.error();
+        ds.skippedCorrupt += skipped;
+        ++ds.journalCount;
+        const std::vector<util::JournalRecord> &recs = loaded.value();
+
+        const util::JournalRecord *header = nullptr;
+        for (const util::JournalRecord &r : recs) {
+            if (r.event == "sweep") {
+                header = &r;
+                break;
+            }
+        }
+        if (header == nullptr)
+            throw Error(ErrorCategory::CorruptData,
+                        "journal has no sweep header", {path, 0});
+        if (header->profileChecksum == 0)
+            throw Error(ErrorCategory::InvalidArgument,
+                        "journal header carries no profile provenance "
+                        "(profile_checksum); re-run the sweep before "
+                        "training on it", {path, 0});
+        const std::vector<double> profValues = mapFeatures(
+            header->features, profileFeatureNames(), path, "header");
+        if (ds.profileChecksum == 0) {
+            ds.profileChecksum = header->profileChecksum;
+            ds.baseConfigHash = header->baseConfigHash;
+            ds.profileFeatureValues = profValues;
+            firstPath = path;
+        } else if (header->profileChecksum != ds.profileChecksum) {
+            throw Error(ErrorCategory::InvalidArgument,
+                        "journal " + path +
+                        " was swept from a different profile than " +
+                        firstPath + " (profile_checksum " +
+                        util::json::hex64Token(header->profileChecksum)
+                        + " vs " +
+                        util::json::hex64Token(ds.profileChecksum) +
+                        "); refusing to mix programs in one training "
+                        "set", {path, 0});
+        }
+
+        // Highest-attempt `ok` record wins per point, so a journal
+        // that retried or resumed contributes each point once.
+        std::map<uint64_t, const util::JournalRecord *> best;
+        for (const util::JournalRecord &r : recs) {
+            if (r.event != "done" || r.status != "ok" ||
+                r.features.empty())
+                continue;
+            const auto it = best.find(r.point);
+            if (it == best.end() || r.attempt >= it->second->attempt)
+                best[r.point] = &r;
+        }
+        for (const auto &[point, rec] : best) {
+            std::vector<double> x = mapFeatures(
+                rec->features, configFeatureNames(), path, "point");
+            x.insert(x.end(), profValues.begin(), profValues.end());
+            ds.rows.push_back(std::move(x));
+            std::map<std::string, double> m;
+            for (const util::JournalMetric &jm : rec->metrics)
+                m[jm.name] = jm.value;
+            rowMetrics.push_back(std::move(m));
+        }
+    }
+
+    if (ds.rows.empty())
+        throw Error(ErrorCategory::InvalidArgument,
+                    "no feature-annotated ok records in " + firstPath +
+                    (ds.journalCount > 1 ? " (or its peers)" : "") +
+                    "; the journal predates feature stamping or the "
+                    "sweep has not settled any point yet");
+
+    // Targets: every metric present in all rows, sorted by name.
+    std::set<std::string> common;
+    for (const auto &[name, value] : rowMetrics.front())
+        common.insert(name);
+    for (const std::map<std::string, double> &m : rowMetrics) {
+        for (auto it = common.begin(); it != common.end();) {
+            if (m.find(*it) == m.end())
+                it = common.erase(it);
+            else
+                ++it;
+        }
+    }
+    if (common.empty())
+        throw Error(ErrorCategory::InvalidArgument,
+                    "journal rows share no metric names; nothing to "
+                    "train on");
+    ds.targetNames.assign(common.begin(), common.end());
+    ds.targets.reserve(ds.rows.size());
+    for (const std::map<std::string, double> &m : rowMetrics) {
+        std::vector<double> y;
+        y.reserve(ds.targetNames.size());
+        for (const std::string &name : ds.targetNames)
+            y.push_back(m.at(name));
+        ds.targets.push_back(std::move(y));
+    }
+    return ds;
+}
+
+} // namespace ssim::proxy

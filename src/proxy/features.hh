@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic feature extraction for the surrogate predictor.
+ *
+ * A training row for the surrogate is the concatenation of two
+ * feature groups, both extracted by pure functions of in-repo
+ * structures:
+ *
+ *  - *config features*: every knob the sweep grid can move (queue
+ *    sizes, widths, penalties, cache geometry, predictor tables)
+ *    plus a few derived ratios (log2 sizes, entries-per-width) that
+ *    make the models' job easier — IPC responds roughly
+ *    logarithmically to structure sizes;
+ *  - *profile features*: summary statistics of the source
+ *    statistical profile (instruction mix, branch behaviour, cache
+ *    locality). Within one sweep these are constant — they identify
+ *    *which program* the rows describe, which is what lets a model
+ *    file refuse to rank points for a different workload.
+ *
+ * The vector layout is versioned (FeatureSchemaVersion): names and
+ * order are part of the model-file contract, and a model whose
+ * feature names do not match the extractor's is rejected with
+ * VersionMismatch rather than silently misaligned.
+ *
+ * Journals are the training source: `done` records carry the config
+ * features of their point, the `sweep` header carries the profile
+ * features and the profile's canonical digest (provenance).
+ * loadDataset() pools one or more such journals into a dense matrix,
+ * refusing journals with missing or mismatched provenance.
+ */
+
+#ifndef SSIM_PROXY_FEATURES_HH
+#define SSIM_PROXY_FEATURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+#include "cpu/config.hh"
+#include "util/journal.hh"
+
+namespace ssim::proxy
+{
+
+/** Version of the feature vector layout (names and order). */
+constexpr uint32_t FeatureSchemaVersion = 1;
+
+/** Names of the configuration features, in vector order. */
+const std::vector<std::string> &configFeatureNames();
+
+/** Names of the profile features, in vector order. */
+const std::vector<std::string> &profileFeatureNames();
+
+/** Configuration feature vector (configFeatureNames() order). */
+std::vector<double> configFeatures(const cpu::CoreConfig &cfg);
+
+/** Profile feature vector (profileFeatureNames() order). */
+std::vector<double> profileFeatures(
+    const core::StatisticalProfile &profile);
+
+/** configFeatures() as named journal metrics (for `done` records). */
+std::vector<util::JournalMetric> configFeatureMetrics(
+    const cpu::CoreConfig &cfg);
+
+/** profileFeatures() as named journal metrics (for the header). */
+std::vector<util::JournalMetric> profileFeatureMetrics(
+    const core::StatisticalProfile &profile);
+
+/**
+ * A dense training set pooled from one or more sweep journals.
+ * One row per distinct design point with a terminal `ok` record
+ * carrying features; the feature columns are configFeatureNames()
+ * followed by profileFeatureNames(), the target columns are every
+ * metric name present in *all* contributing rows (sorted by name).
+ */
+struct Dataset
+{
+    std::vector<std::string> featureNames;
+    std::vector<std::string> targetNames;
+    std::vector<std::vector<double>> rows;      ///< [row][feature]
+    std::vector<std::vector<double>> targets;   ///< [row][target]
+
+    /** Provenance shared by every contributing journal. */
+    uint64_t profileChecksum = 0;
+    uint64_t baseConfigHash = 0;   ///< from the first journal's header
+    std::vector<double> profileFeatureValues;   ///< from the header
+
+    uint64_t skippedCorrupt = 0;   ///< corrupt lines tolerated on load
+    size_t journalCount = 0;
+};
+
+/**
+ * Load and pool @p journalPaths into one Dataset.
+ *
+ * Rules, each a typed error rather than a silent degradation:
+ *  - every journal must open with an intact `sweep` header carrying a
+ *    nonzero `profile_checksum` (InvalidArgument otherwise — the
+ *    journal predates provenance stamping and could be any program);
+ *  - all journals must agree on the profile checksum (InvalidArgument
+ *    naming both paths — mixing programs fits garbage);
+ *  - header and per-point feature names must cover the current
+ *    feature schema (VersionMismatch otherwise);
+ *  - at least one feature-annotated `ok` row must survive
+ *    (InvalidArgument otherwise).
+ *
+ * Interior-corrupt journal lines are tolerated exactly as the sweep
+ * engine tolerates them (skipped with a count, never fatal); for each
+ * point the highest-attempt `ok` record wins, so a resumed journal
+ * contributes each point once.
+ *
+ * @throws ssim::Error as above (plus IoError for unreadable paths).
+ */
+Dataset loadDataset(const std::vector<std::string> &journalPaths);
+
+} // namespace ssim::proxy
+
+#endif // SSIM_PROXY_FEATURES_HH

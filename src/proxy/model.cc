@@ -1,0 +1,437 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.hh"
+
+namespace ssim::proxy
+{
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Ridge: return "ridge";
+      case ModelKind::Gbm:   return "gbm";
+    }
+    return "?";
+}
+
+ModelKind
+modelKindFromName(const std::string &name)
+{
+    if (name == "ridge")
+        return ModelKind::Ridge;
+    if (name == "gbm")
+        return ModelKind::Gbm;
+    throw Error(ErrorCategory::InvalidArgument,
+                "unknown model kind '" + name +
+                "' (expected ridge or gbm)");
+}
+
+void
+TrainOptions::validate() const
+{
+    const auto bad = [](const std::string &msg) {
+        return Error(ErrorCategory::InvalidConfig, "train: " + msg);
+    };
+    if (!(lambda > 0.0) || !std::isfinite(lambda))
+        throw bad("--lambda must be a positive finite number");
+    if (folds > 1000)
+        throw bad("--folds is implausibly large");
+    if (rounds == 0 || rounds > 100000)
+        throw bad("--rounds must be in [1, 100000]");
+    if (!(learningRate > 0.0) || learningRate > 1.0)
+        throw bad("--learning-rate must be in (0, 1]");
+}
+
+const TargetModel *
+SurrogateModel::findTarget(const std::string &name) const
+{
+    for (const TargetModel &t : targets) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::vector<double>
+SurrogateModel::featuresFor(const cpu::CoreConfig &cfg) const
+{
+    if (configNames != configFeatureNames() ||
+        profileNames != profileFeatureNames()) {
+        throw Error(ErrorCategory::VersionMismatch,
+                    "model feature names do not match this build's "
+                    "feature schema (v" +
+                    std::to_string(FeatureSchemaVersion) +
+                    "); retrain the model");
+    }
+    std::vector<double> x = configFeatures(cfg);
+    x.insert(x.end(), profileValues.begin(), profileValues.end());
+    return x;
+}
+
+double
+SurrogateModel::predict(const TargetModel &target,
+                        const std::vector<double> &x) const
+{
+    if (x.size() != mean.size())
+        throw Error(ErrorCategory::InvalidArgument,
+                    "feature vector has " + std::to_string(x.size()) +
+                    " entries, model expects " +
+                    std::to_string(mean.size()));
+    double out;
+    if (kind == ModelKind::Ridge) {
+        out = target.intercept;
+        for (size_t j = 0; j < x.size(); ++j)
+            out += target.weights[j] * (x[j] - mean[j]) / std[j];
+    } else {
+        out = target.bias;
+        for (const Stump &s : target.stumps) {
+            const double z =
+                (x[s.feature] - mean[s.feature]) / std[s.feature];
+            out += z <= s.threshold ? s.left : s.right;
+        }
+    }
+    return target.logSpace ? std::exp(out) : out;
+}
+
+namespace
+{
+
+/** Mean of y over the index subset. */
+double
+meanOver(const std::vector<double> &y, const std::vector<size_t> &idx)
+{
+    double sum = 0.0;
+    for (size_t i : idx)
+        sum += y[i];
+    return sum / static_cast<double>(idx.size());
+}
+
+/**
+ * Solve A w = b for symmetric positive-definite A (dense, row-major)
+ * by Cholesky. A's ridge term guarantees positive-definiteness, so a
+ * non-positive pivot means the caller's matrix is broken — reported
+ * as Internal, never silently "fixed".
+ */
+std::vector<double>
+choleskySolve(std::vector<double> A, std::vector<double> b)
+{
+    const size_t n = b.size();
+    // Factor A = L L^T in place (lower triangle).
+    for (size_t j = 0; j < n; ++j) {
+        double diag = A[j * n + j];
+        for (size_t k = 0; k < j; ++k)
+            diag -= A[j * n + k] * A[j * n + k];
+        if (!(diag > 0.0))
+            throw Error(ErrorCategory::Internal,
+                        "ridge normal matrix is not positive definite");
+        const double ljj = std::sqrt(diag);
+        A[j * n + j] = ljj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double v = A[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                v -= A[i * n + k] * A[j * n + k];
+            A[i * n + j] = v / ljj;
+        }
+    }
+    // Forward substitution: L v = b (in place in b).
+    for (size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (size_t k = 0; k < i; ++k)
+            v -= A[i * n + k] * b[k];
+        b[i] = v / A[i * n + i];
+    }
+    // Back substitution: L^T w = v.
+    for (size_t ii = n; ii-- > 0;) {
+        double v = b[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            v -= A[k * n + ii] * b[k];
+        b[ii] = v / A[ii * n + ii];
+    }
+    return b;
+}
+
+/** Ridge fit over the z-scored rows named by @p idx. */
+void
+fitRidge(const std::vector<std::vector<double>> &Z,
+         const std::vector<double> &y, const std::vector<size_t> &idx,
+         double lambda, TargetModel &out)
+{
+    const size_t d = Z.front().size();
+    out.intercept = meanOver(y, idx);
+    std::vector<double> A(d * d, 0.0);
+    std::vector<double> b(d, 0.0);
+    for (size_t i : idx) {
+        const std::vector<double> &z = Z[i];
+        const double yc = y[i] - out.intercept;
+        for (size_t j = 0; j < d; ++j) {
+            b[j] += z[j] * yc;
+            for (size_t k = 0; k <= j; ++k)
+                A[j * d + k] += z[j] * z[k];
+        }
+    }
+    for (size_t j = 0; j < d; ++j) {
+        A[j * d + j] += lambda;
+        for (size_t k = j + 1; k < d; ++k)
+            A[j * d + k] = A[k * d + j];
+    }
+    out.weights = choleskySolve(std::move(A), std::move(b));
+    out.bias = 0.0;
+    out.stumps.clear();
+}
+
+/**
+ * Gradient-boosted stumps over the z-scored rows named by @p idx:
+ * per round, the single (feature, threshold) split with the largest
+ * squared-error reduction (first feature / first split wins ties),
+ * leaves shrunk by the learning rate.
+ */
+void
+fitGbm(const std::vector<std::vector<double>> &Z,
+       const std::vector<double> &y, const std::vector<size_t> &idx,
+       unsigned rounds, double learningRate, TargetModel &out)
+{
+    const size_t d = Z.front().size();
+    const size_t n = idx.size();
+    out.bias = meanOver(y, idx);
+    out.weights.clear();
+    out.intercept = 0.0;
+    out.stumps.clear();
+
+    // Per-feature sorted order of the subset (positions into idx),
+    // computed once; stable sort + position tie-break keeps the scan
+    // order (and with it the fitted model) fully deterministic.
+    std::vector<std::vector<uint32_t>> order(d);
+    for (size_t j = 0; j < d; ++j) {
+        std::vector<uint32_t> ord(n);
+        std::iota(ord.begin(), ord.end(), 0u);
+        std::sort(ord.begin(), ord.end(),
+                  [&](uint32_t a, uint32_t b) {
+                      const double va = Z[idx[a]][j];
+                      const double vb = Z[idx[b]][j];
+                      if (va != vb)
+                          return va < vb;
+                      return a < b;
+                  });
+        order[j] = std::move(ord);
+    }
+
+    std::vector<double> residual(n);
+    for (size_t i = 0; i < n; ++i)
+        residual[i] = y[idx[i]] - out.bias;
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        double totalSum = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            totalSum += residual[i];
+
+        double bestGain = 0.0;
+        uint32_t bestFeature = 0;
+        size_t bestCut = 0;     // split after this many sorted rows
+        double bestThreshold = 0.0;
+        bool found = false;
+        for (size_t j = 0; j < d; ++j) {
+            const std::vector<uint32_t> &ord = order[j];
+            double leftSum = 0.0;
+            for (size_t c = 0; c + 1 < n; ++c) {
+                leftSum += residual[ord[c]];
+                const double lo = Z[idx[ord[c]]][j];
+                const double hi = Z[idx[ord[c + 1]]][j];
+                if (lo == hi)
+                    continue;
+                const double rightSum = totalSum - leftSum;
+                const double lc = static_cast<double>(c + 1);
+                const double rc = static_cast<double>(n - c - 1);
+                const double gain = leftSum * leftSum / lc +
+                                    rightSum * rightSum / rc -
+                                    totalSum * totalSum /
+                                        static_cast<double>(n);
+                if (gain > bestGain) {
+                    bestGain = gain;
+                    bestFeature = static_cast<uint32_t>(j);
+                    bestCut = c + 1;
+                    bestThreshold = lo + (hi - lo) / 2.0;
+                    found = true;
+                }
+            }
+        }
+        if (!found)
+            break;   // every feature constant or residuals flat
+
+        const std::vector<uint32_t> &ord = order[bestFeature];
+        double leftSum = 0.0, rightSum = 0.0;
+        for (size_t c = 0; c < n; ++c)
+            (c < bestCut ? leftSum : rightSum) += residual[ord[c]];
+        Stump s;
+        s.feature = bestFeature;
+        s.threshold = bestThreshold;
+        s.left = learningRate * leftSum / static_cast<double>(bestCut);
+        s.right =
+            learningRate * rightSum / static_cast<double>(n - bestCut);
+        for (size_t c = 0; c < n; ++c)
+            residual[ord[c]] -= c < bestCut ? s.left : s.right;
+        out.stumps.push_back(s);
+    }
+}
+
+/** Fit one target over @p idx with the chosen family. */
+void
+fitTarget(ModelKind kind, const std::vector<std::vector<double>> &Z,
+          const std::vector<double> &y, const std::vector<size_t> &idx,
+          const TrainOptions &opts, TargetModel &out)
+{
+    if (kind == ModelKind::Ridge)
+        fitRidge(Z, y, idx, opts.lambda, out);
+    else
+        fitGbm(Z, y, idx, opts.rounds, opts.learningRate, out);
+}
+
+/** Apply a fitted target to z-scored row @p z (training space). */
+double
+applyFitted(ModelKind kind, const TargetModel &t,
+            const std::vector<double> &z)
+{
+    if (kind == ModelKind::Ridge) {
+        double out = t.intercept;
+        for (size_t j = 0; j < z.size(); ++j)
+            out += t.weights[j] * z[j];
+        return out;
+    }
+    double out = t.bias;
+    for (const Stump &s : t.stumps)
+        out += z[s.feature] <= s.threshold ? s.left : s.right;
+    return out;
+}
+
+} // namespace
+
+SurrogateModel
+trainModel(const Dataset &ds, const TrainOptions &opts)
+{
+    opts.validate();
+    if (ds.rows.empty())
+        throw Error(ErrorCategory::InvalidArgument,
+                    "empty training set");
+    const size_t n = ds.rows.size();
+    const size_t d = ds.featureNames.size();
+    for (const std::vector<double> &row : ds.rows) {
+        if (row.size() != d)
+            throw Error(ErrorCategory::Internal,
+                        "dataset row width mismatch");
+    }
+
+    SurrogateModel model;
+    model.kind = opts.kind;
+    model.configNames = configFeatureNames();
+    model.profileNames = profileFeatureNames();
+    model.profileValues = ds.profileFeatureValues;
+    model.profileChecksum = ds.profileChecksum;
+    model.baseConfigHash = ds.baseConfigHash;
+    model.trainRows = n;
+    model.trainSeed = opts.seed;
+
+    // z-score scaler over the full set; constant columns get std 1 so
+    // they standardize to exactly 0 instead of dividing by 0.
+    model.mean.assign(d, 0.0);
+    model.std.assign(d, 0.0);
+    for (size_t j = 0; j < d; ++j) {
+        double sum = 0.0;
+        for (const std::vector<double> &row : ds.rows)
+            sum += row[j];
+        model.mean[j] = sum / static_cast<double>(n);
+        double sq = 0.0;
+        for (const std::vector<double> &row : ds.rows) {
+            const double c = row[j] - model.mean[j];
+            sq += c * c;
+        }
+        const double var = sq / static_cast<double>(n);
+        model.std[j] = var > 0.0 ? std::sqrt(var) : 1.0;
+    }
+    std::vector<std::vector<double>> Z(n, std::vector<double>(d));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j)
+            Z[i][j] = (ds.rows[i][j] - model.mean[j]) / model.std[j];
+    }
+
+    const bool runCv = opts.folds >= 2 && n >= opts.folds * 2;
+    model.cvFolds = runCv ? opts.folds : 0;
+
+    // Seeded fold assignment, shared across targets.
+    std::vector<size_t> shuffled(n);
+    std::iota(shuffled.begin(), shuffled.end(), size_t{0});
+    if (runCv) {
+        Rng rng(opts.seed);
+        for (size_t i = n; i-- > 1;) {
+            const size_t k =
+                static_cast<size_t>(rng.below(static_cast<uint64_t>(
+                    i + 1)));
+            std::swap(shuffled[i], shuffled[k]);
+        }
+    }
+
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+
+    for (size_t t = 0; t < ds.targetNames.size(); ++t) {
+        TargetModel tm;
+        tm.name = ds.targetNames[t];
+
+        std::vector<double> yRaw(n);
+        for (size_t i = 0; i < n; ++i)
+            yRaw[i] = ds.targets[i][t];
+        tm.logSpace = opts.logTargets;
+        for (size_t i = 0; i < n && tm.logSpace; ++i) {
+            if (!(yRaw[i] > 0.0))
+                tm.logSpace = false;
+        }
+        std::vector<double> y(n);
+        for (size_t i = 0; i < n; ++i)
+            y[i] = tm.logSpace ? std::log(yRaw[i]) : yRaw[i];
+
+        if (runCv) {
+            double absSum = 0.0, sqSum = 0.0, apeSum = 0.0;
+            size_t count = 0, apeCount = 0;
+            for (unsigned f = 0; f < opts.folds; ++f) {
+                std::vector<size_t> trainIdx, testIdx;
+                for (size_t i = 0; i < n; ++i) {
+                    // Chunked assignment over the shuffled order.
+                    const unsigned fold = static_cast<unsigned>(
+                        i * opts.folds / n);
+                    (fold == f ? testIdx : trainIdx)
+                        .push_back(shuffled[i]);
+                }
+                TargetModel fm;
+                fm.logSpace = tm.logSpace;
+                fitTarget(opts.kind, Z, y, trainIdx, opts, fm);
+                for (size_t i : testIdx) {
+                    double pred = applyFitted(opts.kind, fm, Z[i]);
+                    if (tm.logSpace)
+                        pred = std::exp(pred);
+                    const double err = pred - yRaw[i];
+                    absSum += std::abs(err);
+                    sqSum += err * err;
+                    ++count;
+                    if (yRaw[i] != 0.0) {
+                        apeSum += std::abs(err) / std::abs(yRaw[i]);
+                        ++apeCount;
+                    }
+                }
+            }
+            tm.cv.mae = absSum / static_cast<double>(count);
+            tm.cv.rmse = std::sqrt(sqSum / static_cast<double>(count));
+            tm.cv.mape = apeCount > 0
+                             ? apeSum / static_cast<double>(apeCount)
+                             : 0.0;
+        }
+
+        fitTarget(opts.kind, Z, y, all, opts, tm);
+        model.targets.push_back(std::move(tm));
+    }
+    return model;
+}
+
+} // namespace ssim::proxy

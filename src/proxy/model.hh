@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Dependency-free regressors for the surrogate predictor.
+ *
+ * Two model families, both deterministic and both trained from the
+ * same Dataset (features.hh):
+ *
+ *  - *ridge*: closed-form normal equations on z-scored features
+ *    solved by Cholesky (the lambda > 0 ridge term makes the Gram
+ *    matrix positive definite, so the factorization cannot fail);
+ *  - *gbm*: gradient-boosted regression stumps — per round, the
+ *    single (feature, threshold) split minimizing squared residual
+ *    error, with a deterministic first-wins tie-break and shrinkage.
+ *
+ * Targets whose training values are strictly positive (IPC, EPC,
+ * cycles...) are fit in log space: a core's throughput responds
+ * multiplicatively to structure sizes, and the log makes that
+ * structure additive — which is what a linear model (and shallow
+ * stumps) can actually represent. Predictions are exponentiated back
+ * and all cross-validation errors are reported in linear space.
+ *
+ * Determinism contract: trainModel() is a pure function of
+ * (Dataset, TrainOptions) — fold shuffling uses a seeded ssim::Rng,
+ * every reduction runs in a fixed order, and no wall clock or
+ * global state is consulted. The same journal and seed therefore
+ * always produce a byte-identical rendered model (model_io.hh).
+ */
+
+#ifndef SSIM_PROXY_MODEL_HH
+#define SSIM_PROXY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features.hh"
+#include "util/error.hh"
+
+namespace ssim::proxy
+{
+
+enum class ModelKind : uint8_t
+{
+    Ridge,
+    Gbm,
+};
+
+/** Stable file/CLI name ("ridge", "gbm"). */
+const char *modelKindName(ModelKind kind);
+
+/** @throws ssim::Error (InvalidArgument) for unknown names. */
+ModelKind modelKindFromName(const std::string &name);
+
+/** One boosted regression stump over the z-scored feature vector. */
+struct Stump
+{
+    uint32_t feature = 0;
+    double threshold = 0.0;   ///< z-space; x <= threshold goes left
+    double left = 0.0;
+    double right = 0.0;
+};
+
+/** Held-out error of one target, linear space, pooled over folds. */
+struct CvReport
+{
+    double mae = 0.0;
+    double rmse = 0.0;
+    double mape = 0.0;   ///< mean |err| / |y|, rows with y != 0
+};
+
+/** The fitted predictor of one target metric. */
+struct TargetModel
+{
+    std::string name;
+    bool logSpace = false;
+
+    // Ridge: intercept + weights over z-scored features.
+    double intercept = 0.0;
+    std::vector<double> weights;
+
+    // Gbm: bias + stump ensemble over z-scored features.
+    double bias = 0.0;
+    std::vector<Stump> stumps;
+
+    CvReport cv;
+};
+
+/** A trained surrogate: scaler + per-target models + provenance. */
+struct SurrogateModel
+{
+    uint32_t featureVersion = FeatureSchemaVersion;
+    ModelKind kind = ModelKind::Ridge;
+
+    std::vector<std::string> configNames;
+    std::vector<std::string> profileNames;
+    std::vector<double> mean;   ///< z-score scaler, full feature vector
+    std::vector<double> std;    ///< 0-variance columns stored as 1
+
+    /** Profile features of the training sweep (rank-time constants). */
+    std::vector<double> profileValues;
+    uint64_t profileChecksum = 0;
+    uint64_t baseConfigHash = 0;
+
+    uint64_t trainRows = 0;
+    uint64_t trainSeed = 0;
+    uint32_t cvFolds = 0;
+    std::vector<TargetModel> targets;
+
+    /** The target named @p name, or null. */
+    const TargetModel *findTarget(const std::string &name) const;
+
+    /**
+     * Predict @p target for a raw (unstandardized) full feature
+     * vector — configFeatures(cfg) followed by the model's stored
+     * profile values. Returns linear-space values (log-space targets
+     * are exponentiated).
+     * @throws ssim::Error (InvalidArgument) on a size mismatch.
+     */
+    double predict(const TargetModel &target,
+                   const std::vector<double> &x) const;
+
+    /**
+     * Full feature vector for @p cfg under this model's training
+     * profile: configFeatures(cfg) ++ profileValues.
+     * @throws ssim::Error (VersionMismatch) when the model's feature
+     *         names do not match this build's extractor.
+     */
+    std::vector<double> featuresFor(const cpu::CoreConfig &cfg) const;
+};
+
+/** Training knobs. */
+struct TrainOptions
+{
+    ModelKind kind = ModelKind::Ridge;
+    double lambda = 1.0;        ///< ridge penalty, > 0
+    unsigned folds = 5;         ///< k-fold CV; 0 or 1 skips CV
+    uint64_t seed = 1;          ///< fold shuffling seed
+    unsigned rounds = 300;      ///< gbm boosting rounds
+    double learningRate = 0.1;  ///< gbm shrinkage, in (0, 1]
+
+    /** Fit strictly-positive targets in log space. */
+    bool logTargets = true;
+
+    /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
+    void validate() const;
+};
+
+/**
+ * Fit one model per dataset target under @p opts. Deterministic: the
+ * same dataset and options always yield the same model, bit for bit.
+ * @throws ssim::Error (InvalidConfig on bad options, InvalidArgument
+ *         on a degenerate dataset).
+ */
+SurrogateModel trainModel(const Dataset &ds, const TrainOptions &opts);
+
+} // namespace ssim::proxy
+
+#endif // SSIM_PROXY_MODEL_HH

@@ -1,0 +1,402 @@
+#include "model_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/journal.hh"
+#include "util/json_reader.hh"
+#include "util/json_writer.hh"
+
+namespace ssim::proxy
+{
+
+namespace
+{
+
+using util::json::appendBool;
+using util::json::appendDouble;
+using util::json::appendEscaped;
+using util::json::appendField;
+using util::json::appendHex64;
+using util::json::appendKey;
+using util::json::appendU64;
+using util::json::LineScanner;
+
+void
+appendStringArray(std::string &out, const char *key,
+                  const std::vector<std::string> &items)
+{
+    appendKey(out, key);
+    out += '[';
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        appendEscaped(out, items[i]);
+    }
+    out += ']';
+}
+
+void
+appendDoubleArray(std::string &out, const char *key,
+                  const std::vector<double> &items)
+{
+    appendKey(out, key);
+    out += '[';
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += util::json::doubleToken(items[i]);
+    }
+    out += ']';
+}
+
+std::string
+renderPayload(const SurrogateModel &m)
+{
+    std::string out = "{";
+    appendU64(out, "feature_version", m.featureVersion);
+    appendField(out, "kind", modelKindName(m.kind));
+    appendHex64(out, "profile_checksum", m.profileChecksum);
+    appendHex64(out, "base_config", m.baseConfigHash);
+    appendU64(out, "train_rows", m.trainRows);
+    appendU64(out, "train_seed", m.trainSeed);
+    appendU64(out, "cv_folds", m.cvFolds);
+    appendStringArray(out, "config_features", m.configNames);
+    appendStringArray(out, "profile_features", m.profileNames);
+    appendDoubleArray(out, "mean", m.mean);
+    appendDoubleArray(out, "std", m.std);
+    appendDoubleArray(out, "profile_values", m.profileValues);
+    appendKey(out, "targets");
+    out += '[';
+    for (size_t i = 0; i < m.targets.size(); ++i) {
+        const TargetModel &t = m.targets[i];
+        if (i > 0)
+            out += ',';
+        out += '{';
+        appendField(out, "name", t.name);
+        appendBool(out, "log_space", t.logSpace);
+        appendDouble(out, "cv_mae", t.cv.mae);
+        appendDouble(out, "cv_rmse", t.cv.rmse);
+        appendDouble(out, "cv_mape", t.cv.mape);
+        if (m.kind == ModelKind::Ridge) {
+            appendDouble(out, "intercept", t.intercept);
+            appendDoubleArray(out, "weights", t.weights);
+        } else {
+            appendDouble(out, "bias", t.bias);
+            appendKey(out, "stumps");
+            out += '[';
+            for (size_t s = 0; s < t.stumps.size(); ++s) {
+                const Stump &st = t.stumps[s];
+                if (s > 0)
+                    out += ',';
+                out += '[';
+                out += std::to_string(st.feature);
+                out += ',';
+                out += util::json::doubleToken(st.threshold);
+                out += ',';
+                out += util::json::doubleToken(st.left);
+                out += ',';
+                out += util::json::doubleToken(st.right);
+                out += ']';
+            }
+            out += ']';
+        }
+        out += '}';
+    }
+    out += ']';
+    out += '}';
+    return out;
+}
+
+// --- Strict fixed-order parsing ------------------------------------
+
+/** Consume `"key":` exactly, with a field comma when not first. */
+void
+expectKey(LineScanner &p, const char *key, bool first = false)
+{
+    if (!first && !p.consume(','))
+        throw p.fail(std::string("expected ',' before '") + key + "'");
+    const std::string got = p.parseString();
+    if (got != key)
+        throw p.fail(std::string("expected key '") + key + "', got '" +
+                     got + "'");
+    if (!p.consume(':'))
+        throw p.fail(std::string("expected ':' after '") + key + "'");
+}
+
+std::vector<std::string>
+parseStringArray(LineScanner &p)
+{
+    if (!p.consume('['))
+        throw p.fail("expected '['");
+    std::vector<std::string> out;
+    if (p.consume(']'))
+        return out;
+    do {
+        out.push_back(p.parseString());
+    } while (p.consume(','));
+    if (!p.consume(']'))
+        throw p.fail("expected ']'");
+    return out;
+}
+
+std::vector<double>
+parseDoubleArray(LineScanner &p)
+{
+    if (!p.consume('['))
+        throw p.fail("expected '['");
+    std::vector<double> out;
+    if (p.consume(']'))
+        return out;
+    do {
+        out.push_back(p.parseDouble());
+    } while (p.consume(','));
+    if (!p.consume(']'))
+        throw p.fail("expected ']'");
+    return out;
+}
+
+SurrogateModel
+parsePayload(const std::string &payload, const std::string &file)
+{
+    LineScanner p(payload, file, 1);
+    SurrogateModel m;
+    if (!p.consume('{'))
+        throw p.fail("expected '{' opening the model payload");
+    expectKey(p, "feature_version", true);
+    m.featureVersion = static_cast<uint32_t>(p.parseU64());
+    if (m.featureVersion != FeatureSchemaVersion)
+        throw Error(ErrorCategory::VersionMismatch,
+                    "model uses feature schema v" +
+                    std::to_string(m.featureVersion) +
+                    ", this build speaks v" +
+                    std::to_string(FeatureSchemaVersion) +
+                    "; retrain the model", {file, 1});
+    expectKey(p, "kind");
+    const std::string kind = p.parseString();
+    if (kind == "ridge")
+        m.kind = ModelKind::Ridge;
+    else if (kind == "gbm")
+        m.kind = ModelKind::Gbm;
+    else
+        throw p.fail("unknown model kind '" + kind + "'");
+    expectKey(p, "profile_checksum");
+    m.profileChecksum = p.parseHex64String();
+    expectKey(p, "base_config");
+    m.baseConfigHash = p.parseHex64String();
+    expectKey(p, "train_rows");
+    m.trainRows = p.parseU64();
+    expectKey(p, "train_seed");
+    m.trainSeed = p.parseU64();
+    expectKey(p, "cv_folds");
+    m.cvFolds = static_cast<uint32_t>(p.parseU64());
+    expectKey(p, "config_features");
+    m.configNames = parseStringArray(p);
+    expectKey(p, "profile_features");
+    m.profileNames = parseStringArray(p);
+    expectKey(p, "mean");
+    m.mean = parseDoubleArray(p);
+    expectKey(p, "std");
+    m.std = parseDoubleArray(p);
+    expectKey(p, "profile_values");
+    m.profileValues = parseDoubleArray(p);
+    expectKey(p, "targets");
+    if (!p.consume('['))
+        throw p.fail("targets must be an array");
+    if (!p.consume(']')) {
+        do {
+            TargetModel t;
+            if (!p.consume('{'))
+                throw p.fail("target must be an object");
+            expectKey(p, "name", true);
+            t.name = p.parseString();
+            expectKey(p, "log_space");
+            t.logSpace = p.parseBool();
+            expectKey(p, "cv_mae");
+            t.cv.mae = p.parseDouble();
+            expectKey(p, "cv_rmse");
+            t.cv.rmse = p.parseDouble();
+            expectKey(p, "cv_mape");
+            t.cv.mape = p.parseDouble();
+            if (m.kind == ModelKind::Ridge) {
+                expectKey(p, "intercept");
+                t.intercept = p.parseDouble();
+                expectKey(p, "weights");
+                t.weights = parseDoubleArray(p);
+            } else {
+                expectKey(p, "bias");
+                t.bias = p.parseDouble();
+                expectKey(p, "stumps");
+                if (!p.consume('['))
+                    throw p.fail("stumps must be an array");
+                if (!p.consume(']')) {
+                    do {
+                        if (!p.consume('['))
+                            throw p.fail("stump must be an array");
+                        Stump s;
+                        s.feature =
+                            static_cast<uint32_t>(p.parseU64());
+                        if (!p.consume(','))
+                            throw p.fail("expected ',' in stump");
+                        s.threshold = p.parseDouble();
+                        if (!p.consume(','))
+                            throw p.fail("expected ',' in stump");
+                        s.left = p.parseDouble();
+                        if (!p.consume(','))
+                            throw p.fail("expected ',' in stump");
+                        s.right = p.parseDouble();
+                        if (!p.consume(']'))
+                            throw p.fail("expected ']' closing stump");
+                        t.stumps.push_back(s);
+                    } while (p.consume(','));
+                    if (!p.consume(']'))
+                        throw p.fail("expected ']' closing stumps");
+                }
+            }
+            if (!p.consume('}'))
+                throw p.fail("expected '}' closing target");
+            m.targets.push_back(std::move(t));
+        } while (p.consume(','));
+        if (!p.consume(']'))
+            throw p.fail("expected ']' closing targets");
+    }
+    if (!p.consume('}'))
+        throw p.fail("expected '}' closing the model payload");
+    if (!p.atEnd())
+        throw p.fail("trailing bytes after the model payload");
+
+    // Semantic validation: every index and width the predictor will
+    // dereference, checked once here so predict() never reads out of
+    // bounds off a corrupted-but-checksummed file.
+    const auto corrupt = [&](const std::string &msg) {
+        return Error(ErrorCategory::CorruptData, msg, {file, 1});
+    };
+    const size_t d = m.configNames.size() + m.profileNames.size();
+    if (m.mean.size() != d || m.std.size() != d)
+        throw corrupt("model scaler width does not match its feature "
+                      "names");
+    if (m.profileValues.size() != m.profileNames.size())
+        throw corrupt("model profile values do not match its profile "
+                      "feature names");
+    for (double s : m.std) {
+        if (!(s > 0.0))
+            throw corrupt("model scaler has a non-positive std entry");
+    }
+    for (const TargetModel &t : m.targets) {
+        if (m.kind == ModelKind::Ridge && t.weights.size() != d)
+            throw corrupt("target '" + t.name +
+                          "' weight vector width mismatch");
+        for (const Stump &s : t.stumps) {
+            if (s.feature >= d)
+                throw corrupt("target '" + t.name +
+                              "' references feature " +
+                              std::to_string(s.feature) +
+                              " past the feature vector");
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+std::string
+renderModel(const SurrogateModel &model)
+{
+    const std::string payload = renderPayload(model);
+    std::string out = "{";
+    appendField(out, "format", "ssim-model");
+    appendU64(out, "version", ModelFormatVersion);
+    appendU64(out, "payload_bytes", payload.size());
+    appendHex64(out, "payload_checksum", util::fnv1a64(payload));
+    appendKey(out, "payload");
+    out += payload;
+    out += "}\n";
+    return out;
+}
+
+SurrogateModel
+parseModel(const std::string &text, const std::string &file)
+{
+    std::string line = text;
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+
+    LineScanner p(line, file, 1);
+    if (!p.consume('{'))
+        throw p.fail("not a ssim model (expected '{')");
+    expectKey(p, "format", true);
+    const std::string format = p.parseString();
+    if (format != "ssim-model")
+        throw p.fail("not a ssim model (format '" + format + "')");
+    expectKey(p, "version");
+    const uint64_t version = p.parseU64();
+    if (version != ModelFormatVersion)
+        throw Error(ErrorCategory::VersionMismatch,
+                    "model format version " + std::to_string(version) +
+                    ", this build reads version " +
+                    std::to_string(ModelFormatVersion), {file, 1});
+    expectKey(p, "payload_bytes");
+    const uint64_t payloadBytes = p.parseU64();
+    expectKey(p, "payload_checksum");
+    const uint64_t checksum = p.parseHex64String();
+    expectKey(p, "payload");
+    p.skipSpace();
+    const size_t start = p.pos();
+
+    // The payload runs to the final '}' closing the header object;
+    // verify length and checksum against the raw bytes before
+    // interpreting a single field, exactly like the profile loader.
+    if (line.empty() || line.back() != '}')
+        throw Error(ErrorCategory::CorruptData,
+                    "model file is truncated (no closing '}')",
+                    {file, 1});
+    if (line.size() - 1 < start)
+        throw Error(ErrorCategory::CorruptData,
+                    "model file is truncated (empty payload)",
+                    {file, 1});
+    const std::string payload = line.substr(start,
+                                            line.size() - 1 - start);
+    if (payload.size() != payloadBytes)
+        throw Error(ErrorCategory::CorruptData,
+                    "model payload is " +
+                    std::to_string(payload.size()) +
+                    " bytes, header promises " +
+                    std::to_string(payloadBytes) +
+                    " (truncated or padded file)", {file, 1});
+    if (util::fnv1a64(payload) != checksum)
+        throw Error(ErrorCategory::CorruptData,
+                    "model payload checksum mismatch (corrupted file)",
+                    {file, 1});
+    return parsePayload(payload, file);
+}
+
+void
+saveModelFile(const SurrogateModel &model, const std::string &path)
+{
+    const std::string bytes = renderModel(model);
+    Expected<void> written = util::atomicWriteFile(
+        path, [&](std::ostream &os) { os << bytes; });
+    if (!written)
+        throw written.error();
+}
+
+SurrogateModel
+loadModelFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw Error(ErrorCategory::IoError,
+                    "cannot open model file", {path, 0});
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parseModel(ss.str(), path);
+}
+
+Expected<SurrogateModel>
+tryLoadModelFile(const std::string &path)
+{
+    return tryInvoke([&] { return loadModelFile(path); });
+}
+
+} // namespace ssim::proxy

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Checksummed, versioned model files.
+ *
+ * Follows the core/serialize v2 conventions in JSON clothing: a
+ * fixed-order header carrying the format name, format version, and
+ * the byte count + FNV-1a checksum of the payload, so truncation and
+ * bit-flips are detected deterministically *before* any model field
+ * is interpreted. The whole file is a single JSON line rendered by
+ * util/json_writer (%.17g doubles, hex64 hashes, no whitespace), so
+ * rendering the same model always produces identical bytes — the
+ * property behind the train-twice byte-stability test.
+ *
+ *   {"format":"ssim-model","version":1,
+ *    "payload_bytes":N,"payload_checksum":"<16-hex>",
+ *    "payload":{...model fields...}}
+ *
+ * Loading is a strict validating parse: unknown format version is
+ * VersionMismatch, bad length or checksum is CorruptData, malformed
+ * JSON is ParseError — all with the file path in context. Writing
+ * goes through util::atomicWriteFile, so a crash mid-save never
+ * publishes a torn model.
+ */
+
+#ifndef SSIM_PROXY_MODEL_IO_HH
+#define SSIM_PROXY_MODEL_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "model.hh"
+#include "util/error.hh"
+
+namespace ssim::proxy
+{
+
+/** Current on-disk model format version. */
+constexpr uint32_t ModelFormatVersion = 1;
+
+/** Render @p model as complete file bytes (one line + '\n'). */
+std::string renderModel(const SurrogateModel &model);
+
+/**
+ * Parse file bytes produced by renderModel.
+ * @throws ssim::Error (ParseError, CorruptData, VersionMismatch)
+ *         with @p file in context.
+ */
+SurrogateModel parseModel(const std::string &text,
+                          const std::string &file = "<string>");
+
+/** Atomic, durable save. @throws ssim::Error (IoError). */
+void saveModelFile(const SurrogateModel &model,
+                   const std::string &path);
+
+/** Load and validate. @throws like parseModel, plus IoError. */
+SurrogateModel loadModelFile(const std::string &path);
+
+/** Non-throwing variant of loadModelFile. */
+Expected<SurrogateModel> tryLoadModelFile(const std::string &path);
+
+} // namespace ssim::proxy
+
+#endif // SSIM_PROXY_MODEL_IO_HH

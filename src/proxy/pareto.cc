@@ -1,0 +1,80 @@
+#include "pareto.hh"
+
+#include <algorithm>
+
+namespace ssim::proxy
+{
+
+namespace
+{
+
+/** Sweep-line frontier over the positions named by @p alive. */
+std::vector<size_t>
+frontierOf(const std::vector<ParetoPoint> &points,
+           const std::vector<size_t> &alive)
+{
+    std::vector<size_t> order = alive;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) {
+                  if (points[a].ipc != points[b].ipc)
+                      return points[a].ipc > points[b].ipc;
+                  if (points[a].epc != points[b].epc)
+                      return points[a].epc < points[b].epc;
+                  return a < b;
+              });
+    // Descending ipc: a point is non-dominated iff its epc beats
+    // every higher-ipc point's best epc. Exact (ipc, epc) duplicates
+    // of a kept point are kept too.
+    std::vector<size_t> front;
+    bool any = false;
+    double bestEpc = 0.0, bestIpc = 0.0;
+    for (size_t i : order) {
+        const ParetoPoint &p = points[i];
+        if (!any || p.epc < bestEpc ||
+            (p.epc == bestEpc && p.ipc == bestIpc)) {
+            front.push_back(i);
+            if (!any || p.epc < bestEpc) {
+                bestEpc = p.epc;
+                bestIpc = p.ipc;
+            }
+            any = true;
+        }
+    }
+    return front;
+}
+
+} // namespace
+
+std::vector<size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<size_t> alive(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        alive[i] = i;
+    return frontierOf(points, alive);
+}
+
+std::vector<uint8_t>
+frontierMask(const std::vector<ParetoPoint> &points, unsigned margin)
+{
+    std::vector<uint8_t> mask(points.size(), 0);
+    std::vector<size_t> alive(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        alive[i] = i;
+    for (unsigned shell = 0; shell <= margin && !alive.empty();
+         ++shell) {
+        const std::vector<size_t> front = frontierOf(points, alive);
+        for (size_t i : front)
+            mask[i] = 1;
+        std::vector<size_t> rest;
+        rest.reserve(alive.size() - front.size());
+        for (size_t i : alive) {
+            if (!mask[i])
+                rest.push_back(i);
+        }
+        alive = std::move(rest);
+    }
+    return mask;
+}
+
+} // namespace ssim::proxy

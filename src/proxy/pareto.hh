@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pareto-frontier selection over (IPC up, EPC down).
+ *
+ * The design-space study's figure of merit is EDP, and EDP = EPC/IPC²
+ * is monotone in both objectives — so every EDP optimum lies on the
+ * (maximize IPC, minimize EPC) Pareto frontier. A surrogate-pruned
+ * sweep therefore simulates the *predicted* frontier plus a safety
+ * margin of additional non-dominated shells (peel the frontier off,
+ * take the frontier of what remains, repeat), which is what absorbs
+ * bounded prediction error.
+ */
+
+#ifndef SSIM_PROXY_PARETO_HH
+#define SSIM_PROXY_PARETO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssim::proxy
+{
+
+/** One candidate design point in objective space. */
+struct ParetoPoint
+{
+    size_t index = 0;   ///< caller's point index
+    double ipc = 0.0;   ///< maximized
+    double epc = 0.0;   ///< minimized
+};
+
+/**
+ * Indices (into @p points) of the non-dominated set: no other point
+ * has both ipc >= and epc <= with at least one strict. Points with
+ * identical (ipc, epc) are all kept. Returned sorted by ipc
+ * descending (ties: epc ascending, then index).
+ */
+std::vector<size_t> paretoFrontier(
+    const std::vector<ParetoPoint> &points);
+
+/**
+ * Byte mask over @p points: 1 for members of the first
+ * @p margin + 1 non-dominated shells (shell 0 is the frontier;
+ * each further shell is the frontier of the remainder).
+ */
+std::vector<uint8_t> frontierMask(
+    const std::vector<ParetoPoint> &points, unsigned margin);
+
+} // namespace ssim::proxy
+
+#endif // SSIM_PROXY_PARETO_HH

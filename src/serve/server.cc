@@ -70,6 +70,7 @@ struct Server::Impl
         Request req;
         Respond respond;
         Clock::time_point enqueued;
+        Clock::time_point started;   ///< dispatch to a worker
         Clock::time_point deadline;
         bool hasDeadline = false;
         bool settled = false;     ///< guarded by mu_
@@ -103,6 +104,10 @@ struct Server::Impl
         // "serve.request" site.
         if (manifest)
             manifest_ = *manifest;
+        if (opts_.trace) {
+            opts_.trace->processName(0, "ssim serve");
+            opts_.trace->threadName(0, "admission");
+        }
         if (opts_.workers == 0) {
             const unsigned hw = std::thread::hardware_concurrency();
             opts_.workers = hw > 0 ? hw : 1;
@@ -166,6 +171,8 @@ struct Server::Impl
     beginDrain()
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (!draining_)
+            traceInstant("drain-begin", 0);
         draining_ = true;
         cv_.notify_all();
     }
@@ -202,8 +209,12 @@ struct Server::Impl
                 // shutting-down (nothing ran); work mid-prediction
                 // gets deadline-exceeded (the drain budget is its
                 // final deadline) and its worker is abandoned.
+                const auto now = Clock::now();
+                traceInstant("drain-expired", 0);
                 for (Job &job : queue_) {
                     ++rejectedDraining_;
+                    traceRequestSlice(job.req.id, "shutting-down",
+                                      0, job.enqueued, now, now);
                     toSend.emplace_back(
                         std::move(job.respond),
                         renderErrorResponse(
@@ -218,6 +229,10 @@ struct Server::Impl
                     active->settled = true;
                     active->abandoned = true;
                     ++deadline_;
+                    traceRequestSlice(active->req.id,
+                                      "deadline-exceeded", 0,
+                                      active->enqueued,
+                                      active->started, now);
                     toSend.emplace_back(
                         active->respond,
                         renderErrorResponse(
@@ -298,11 +313,18 @@ struct Server::Impl
             std::lock_guard<std::mutex> lk(mu_);
             if (draining_ || stopping_) {
                 ++rejectedDraining_;
+                traceInstant("reject", 0,
+                             {obs::TraceArg::str("id", req.id)});
                 reject = renderErrorResponse(
                     req.id, ErrorCategory::ShuttingDown,
                     "service is draining; request not admitted");
             } else if (queue_.size() >= opts_.queueCapacity) {
                 ++shed_;
+                traceInstant(
+                    "shed", 0,
+                    {obs::TraceArg::str("id", req.id),
+                     obs::TraceArg::u64("queue_depth",
+                                        queue_.size())});
                 reject = renderErrorResponse(
                     req.id, ErrorCategory::Overloaded,
                     "admission queue full (" +
@@ -326,6 +348,11 @@ struct Server::Impl
                 }
                 queue_.push_back(std::move(job));
                 ++admitted_;
+                traceInstant(
+                    "admit", 0,
+                    {obs::TraceArg::str("id", queue_.back().req.id),
+                     obs::TraceArg::u64("queue_depth",
+                                        queue_.size())});
                 cv_.notify_one();
                 return;
             }
@@ -342,6 +369,7 @@ struct Server::Impl
                 std::lock_guard<std::mutex> lk(mu_);
                 ++parseErrors_;
             }
+            traceInstant("parse-error", 0);
             // The id is unknown when the line does not parse; an
             // empty id tells the client "one of yours, unidentified".
             respond(renderErrorResponse("", req.error().category(),
@@ -397,6 +425,60 @@ struct Server::Impl
             std::min(10000.0, std::max(10.0, ms)));
     }
 
+    // --- tracing --------------------------------------------------
+    //
+    // TraceLog has its own lock, so these are callable with or
+    // without mu_ held (lock order mu_ -> trace lock, never the
+    // reverse). All timestamps are microseconds since Server
+    // construction.
+
+    double
+    usSince(Clock::time_point tp) const
+    {
+        return std::chrono::duration<double, std::micro>(tp - t0_)
+            .count();
+    }
+
+    void
+    traceInstant(const char *name, uint32_t tid,
+                 std::vector<obs::TraceArg> args = {})
+    {
+        if (opts_.trace) {
+            opts_.trace->instant(name, "serve",
+                                 usSince(Clock::now()), tid,
+                                 std::move(args));
+        }
+    }
+
+    /**
+     * One complete slice per settled request, admission to response,
+     * on the track that settled it (its worker, or the admission
+     * track when it never reached one). queue_ms is admission to
+     * dispatch, predict_ms dispatch to settlement; a request that
+     * expired while queued passes started == end (all queue, no
+     * predict).
+     */
+    void
+    traceRequestSlice(const std::string &id, const char *outcome,
+                      uint32_t tid, Clock::time_point enqueued,
+                      Clock::time_point started,
+                      Clock::time_point end)
+    {
+        if (!opts_.trace)
+            return;
+        const auto ms = [](Clock::duration d) {
+            return std::chrono::duration<double, std::milli>(d)
+                .count();
+        };
+        opts_.trace->complete(
+            "request", "serve", usSince(enqueued),
+            ms(end - enqueued) * 1000.0, tid,
+            {obs::TraceArg::str("id", id),
+             obs::TraceArg::str("outcome", outcome),
+             obs::TraceArg::num("queue_ms", ms(started - enqueued)),
+             obs::TraceArg::num("predict_ms", ms(end - started))});
+    }
+
     /** mu_ held. */
     void
     spawnWorkerLocked()
@@ -405,6 +487,11 @@ struct Server::Impl
         w->id = nextWorkerId_++;
         ++liveWorkers_;
         workers_.push_back(w);
+        if (opts_.trace) {
+            opts_.trace->threadName(w->id + 1,
+                                    "worker " +
+                                        std::to_string(w->id));
+        }
         w->thread = std::thread([this, w] { workerLoop(w); });
     }
 
@@ -443,6 +530,7 @@ struct Server::Impl
                 active->req = std::move(job.req);
                 active->respond = std::move(job.respond);
                 active->enqueued = job.enqueued;
+                active->started = Clock::now();
                 active->deadline = job.deadline;
                 active->hasDeadline = job.hasDeadline;
                 inflight_.push_back(active);
@@ -487,9 +575,10 @@ struct Server::Impl
                 failed = true;
                 message = e.what();
             }
+            const auto settledAt = Clock::now();
             const double wallMs =
                 std::chrono::duration<double, std::milli>(
-                    Clock::now() - active->enqueued)
+                    settledAt - active->enqueued)
                     .count();
 
             std::string line;
@@ -530,6 +619,10 @@ struct Server::Impl
                 respond = active->respond;
                 cv_.notify_all();   // wake awaitDrain
             }
+            traceRequestSlice(active->req.id,
+                              failed ? "error" : "ok", self->id + 1,
+                              active->enqueued, active->started,
+                              settledAt);
             respond(line);
         }
     }
@@ -539,6 +632,7 @@ struct Server::Impl
     crashWith(const std::shared_ptr<Worker> &self,
               const std::shared_ptr<ActiveRequest> &active)
     {
+        const auto diedAt = Clock::now();
         std::string line;
         Respond respond;
         {
@@ -579,6 +673,13 @@ struct Server::Impl
         warn("serve: worker " + std::to_string(self->id) +
              " crashed on request '" + active->req.id +
              "'; restarting after backoff");
+        if (respond) {
+            traceRequestSlice(active->req.id, "worker-crashed",
+                              self->id + 1, active->enqueued,
+                              active->started, diedAt);
+        }
+        traceInstant("worker-crashed", self->id + 1,
+                     {obs::TraceArg::str("id", active->req.id)});
         if (respond)
             respond(line);
     }
@@ -600,6 +701,15 @@ struct Server::Impl
                 for (auto it = queue_.begin(); it != queue_.end();) {
                     if (it->hasDeadline && now >= it->deadline) {
                         ++deadline_;
+                        // Never dispatched: the whole slice is queue
+                        // time, on the admission track.
+                        traceRequestSlice(it->req.id,
+                                          "deadline-exceeded", 0,
+                                          it->enqueued, now, now);
+                        traceInstant(
+                            "deadline-exceeded", 0,
+                            {obs::TraceArg::str("id", it->req.id),
+                             obs::TraceArg::str("where", "queued")});
                         toSend.emplace_back(
                             std::move(it->respond),
                             renderErrorResponse(
@@ -632,9 +742,11 @@ struct Server::Impl
                                 ErrorCategory::DeadlineExceeded,
                                 "deadline expired mid-prediction; "
                                 "worker recycled"));
+                        uint32_t tid = 0;
                         for (auto wit = workers_.begin();
                              wit != workers_.end(); ++wit) {
                             if ((*wit)->current == active) {
+                                tid = (*wit)->id + 1;
                                 (*wit)->recycled = true;
                                 zombies_.push_back(*wit);
                                 workers_.erase(wit);
@@ -643,6 +755,16 @@ struct Server::Impl
                                 break;
                             }
                         }
+                        traceRequestSlice(active->req.id,
+                                          "deadline-exceeded", tid,
+                                          active->enqueued,
+                                          active->started, now);
+                        traceInstant(
+                            "deadline-exceeded", tid,
+                            {obs::TraceArg::str("id",
+                                                active->req.id),
+                             obs::TraceArg::str("where",
+                                                "running")});
                         it = inflight_.erase(it);
                     } else {
                         ++it;
@@ -701,6 +823,7 @@ struct Server::Impl
     PredictFn fn_;
     ServeOptions opts_;
     obs::RunManifest manifest_;
+    const Clock::time_point t0_ = Clock::now();   ///< trace epoch
     const std::shared_ptr<fault::FaultPlan> legacyPlan_;
 
     mutable std::mutex mu_;

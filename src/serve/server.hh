@@ -55,6 +55,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/export_trace.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "serve/protocol.hh"
@@ -83,6 +84,17 @@ struct ServeOptions
 
     /** Upper bound of the exponential restart backoff. */
     double restartBackoffCapSeconds = 2.0;
+
+    /**
+     * Optional Chrome-trace sink (the same exporter the sweep engine
+     * uses): tid 0 is the admission track (admit / shed / reject /
+     * parse-error instants), each worker gets its own track with one
+     * complete slice per request spanning admission to response
+     * (args: id, outcome, queue_ms, predict_ms), and typed outcomes
+     * (deadline-exceeded, worker-crashed) add instant markers. Must
+     * outlive the Server.
+     */
+    obs::TraceLog *trace = nullptr;
 
     /** @throws ssim::Error (InvalidConfig) on unusable knobs. */
     void validate() const;

@@ -149,6 +149,29 @@ using json::LineScanner;
 
 } // namespace
 
+namespace
+{
+
+/** Append `"key":{"name":value,...}` (the metrics/features shape). */
+void
+appendMetricObject(std::string &out, const char *key,
+                   const std::vector<JournalMetric> &items)
+{
+    out += ",\"";
+    out += key;
+    out += "\":{";
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        appendEscaped(out, items[i].name);
+        out += ':';
+        out += json::doubleToken(items[i].value);
+    }
+    out += '}';
+}
+
+} // namespace
+
 std::string
 JournalRecord::toJson() const
 {
@@ -159,6 +182,12 @@ JournalRecord::toJson() const
         appendHex64(out, "sweep", sweepHash);
         appendU64(out, "points", pointCount);
         appendU64(out, "seed", sweepSeed);
+        if (profileChecksum != 0)
+            appendHex64(out, "profile_checksum", profileChecksum);
+        if (baseConfigHash != 0)
+            appendHex64(out, "base_config", baseConfigHash);
+        if (!features.empty())
+            appendMetricObject(out, "features", features);
         out += '}';
         return out;
     }
@@ -175,15 +204,9 @@ JournalRecord::toJson() const
         appendDouble(out, "wall_s", wallSeconds);
         if (peakRssKb != 0)
             appendU64(out, "peak_rss_kb", peakRssKb);
-        out += ",\"metrics\":{";
-        for (size_t i = 0; i < metrics.size(); ++i) {
-            if (i > 0)
-                out += ',';
-            appendEscaped(out, metrics[i].name);
-            out += ':';
-            out += json::doubleToken(metrics[i].value);
-        }
-        out += '}';
+        appendMetricObject(out, "metrics", metrics);
+        if (!features.empty())
+            appendMetricObject(out, "features", features);
     }
     out += '}';
     return out;
@@ -196,6 +219,26 @@ JournalRecord::parseJson(const std::string &text,
     return tryInvoke([&]() -> JournalRecord {
         LineScanner p(text, file, line);
         JournalRecord rec;
+        const auto parseMetricObject =
+            [&p](const char *what, std::vector<JournalMetric> &into) {
+                if (!p.consume('{'))
+                    throw p.fail(std::string(what) +
+                                 " must be an object");
+                bool mFirst = true;
+                while (!p.consume('}')) {
+                    if (!mFirst && !p.consume(','))
+                        throw p.fail(std::string("expected ',' in ") +
+                                     what);
+                    mFirst = false;
+                    JournalMetric m;
+                    m.name = p.parseString();
+                    if (!p.consume(':'))
+                        throw p.fail(std::string("expected ':' in ") +
+                                     what);
+                    m.value = p.parseDouble();
+                    into.push_back(std::move(m));
+                }
+            };
         if (!p.consume('{'))
             throw p.fail("expected '{'");
         bool first = true;
@@ -232,22 +275,15 @@ JournalRecord::parseJson(const std::string &text,
                 rec.wallSeconds = p.parseDouble();
             else if (key == "peak_rss_kb")
                 rec.peakRssKb = p.parseU64();
-            else if (key == "metrics") {
-                if (!p.consume('{'))
-                    throw p.fail("metrics must be an object");
-                bool mFirst = true;
-                while (!p.consume('}')) {
-                    if (!mFirst && !p.consume(','))
-                        throw p.fail("expected ',' in metrics");
-                    mFirst = false;
-                    JournalMetric m;
-                    m.name = p.parseString();
-                    if (!p.consume(':'))
-                        throw p.fail("expected ':' in metrics");
-                    m.value = p.parseDouble();
-                    rec.metrics.push_back(std::move(m));
-                }
-            } else {
+            else if (key == "profile_checksum")
+                rec.profileChecksum = p.parseHex64String();
+            else if (key == "base_config")
+                rec.baseConfigHash = p.parseHex64String();
+            else if (key == "metrics")
+                parseMetricObject("metrics", rec.metrics);
+            else if (key == "features")
+                parseMetricObject("features", rec.features);
+            else {
                 throw p.fail("unknown field '" + key + "'");
             }
         }

@@ -96,6 +96,17 @@ struct JournalRecord
     uint64_t pointCount = 0;
     uint64_t sweepSeed = 0;
 
+    /**
+     * Provenance of the sweep's inputs, stamped into the header when
+     * known (0 = unknown, field omitted): the canonical digest of the
+     * source statistical profile and the hash of the base
+     * configuration the grid was expanded from. `ssim train` refuses
+     * to pool journals whose profile digests differ — rows from
+     * different programs would silently fit garbage.
+     */
+    uint64_t profileChecksum = 0;
+    uint64_t baseConfigHash = 0;
+
     // Per-point fields ("start" and "done").
     uint64_t point = 0;
     uint32_t attempt = 0;
@@ -116,6 +127,16 @@ struct JournalRecord
      */
     uint64_t peakRssKb = 0;
     std::vector<JournalMetric> metrics;
+
+    /**
+     * Named numeric features of the record, rendered as a nested
+     * `features` object when non-empty. On a "sweep" header these are
+     * the source profile's feature statistics; on a "done" record they
+     * are the point's configuration features — together one training
+     * row for the surrogate predictor (src/proxy). Purely additive:
+     * records without the object parse exactly as before.
+     */
+    std::vector<JournalMetric> features;
 
     /** Render as a single JSON line (no trailing newline). */
     std::string toJson() const;

@@ -67,6 +67,14 @@ class LineScanner
     /** `true` or `false`. */
     bool parseBool();
 
+    /**
+     * Current scan offset into the line. Lets a caller that needs a
+     * raw sub-span (the model loader checksums its payload bytes
+     * exactly as written) mark the start of a value, skip it, and
+     * slice the original text.
+     */
+    size_t pos() const { return pos_; }
+
   private:
     const std::string &text_;
     std::string file_;

@@ -1,0 +1,331 @@
+# CTest script: end-to-end contract of the surrogate predictor CLI —
+# `ssim train` (byte-identical retrains, schema-valid model files,
+# provenance refusal), `ssim rank` (prediction without simulation,
+# corrupted-model rejection), surrogate-pruned sweeps, and the sweep
+# --dry-run planner.
+#
+# Invoked with -DSSIM_CLI=<path-to-ssim> -DWORK_DIR=<scratch-dir>
+#              -DSCHEMA_DIR=<tests/schemas>
+#              -DMODE=<train|prune|dryrun>.
+
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+set(dir "${WORK_DIR}/cli_proxy_${MODE}")
+file(REMOVE_RECURSE "${dir}")
+file(MAKE_DIRECTORY "${dir}")
+
+function(run_ssim rc_var out_var err_var)
+    execute_process(COMMAND "${SSIM_CLI}" ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    set(${rc_var} "${rc}" PARENT_SCOPE)
+    set(${out_var} "${out}" PARENT_SCOPE)
+    set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- Minimal JSON Schema checker (same subset as cli_obs.cmake) ----
+
+function(schema_type_name json_type out_var)
+    string(TOUPPER "${json_type}" upper)
+    if(upper STREQUAL "INTEGER")
+        set(upper "NUMBER")
+    endif()
+    set(${out_var} "${upper}" PARENT_SCOPE)
+endfunction()
+
+function(validate_node doc schema path what)
+    string(JSON nreq ERROR_VARIABLE no_req LENGTH "${schema}" required)
+    if(NOT no_req STREQUAL "NOTFOUND")
+        return()   # no required list at this level
+    endif()
+    math(EXPR last "${nreq} - 1")
+    foreach(i RANGE ${last})
+        string(JSON key GET "${schema}" required ${i})
+        string(JSON have ERROR_VARIABLE missing TYPE "${doc}" ${key})
+        if(NOT missing STREQUAL "NOTFOUND")
+            message(FATAL_ERROR
+                "${what}: required member '${path}.${key}' is "
+                "missing")
+        endif()
+        string(JSON subschema ERROR_VARIABLE no_prop
+            GET "${schema}" properties ${key})
+        if(no_prop STREQUAL "NOTFOUND")
+            string(JSON want ERROR_VARIABLE no_type
+                GET "${subschema}" type)
+            if(no_type STREQUAL "NOTFOUND")
+                schema_type_name("${want}" want)
+                if(NOT have STREQUAL want)
+                    message(FATAL_ERROR
+                        "${what}: ${path}.${key} has type ${have}, "
+                        "schema wants ${want}")
+                endif()
+            endif()
+            if(have STREQUAL "OBJECT")
+                string(JSON sub GET "${doc}" ${key})
+                validate_node("${sub}" "${subschema}"
+                    "${path}.${key}" "${what}")
+            endif()
+        endif()
+    endforeach()
+endfunction()
+
+function(validate_file doc_file schema_file what)
+    file(READ "${doc_file}" doc)
+    file(READ "${schema_file}" schema)
+    string(JSON roottype ERROR_VARIABLE bad TYPE "${doc}")
+    if(NOT bad STREQUAL "NOTFOUND" OR NOT roottype STREQUAL "OBJECT")
+        message(FATAL_ERROR
+            "${what}: ${doc_file} is not a JSON object (${bad})")
+    endif()
+    validate_node("${doc}" "${schema}" "$" "${what}")
+endfunction()
+
+# -------------------------------------------------------------------
+
+# Shared fixture: a small journaled sweep whose `ok` records carry
+# config features and whose header carries profile provenance.
+function(make_journal journal workload)
+    run_ssim(rc out err sweep ${workload}
+        --grid ruu=32,64,128 --grid width=2,4,8
+        --max 50000 --reduction 50 --jobs 2
+        --journal "${journal}" --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "fixture sweep failed (rc=${rc})\n${err}")
+    endif()
+endfunction()
+
+if(MODE STREQUAL "train")
+    set(journal "${dir}/zip.jsonl")
+    make_journal("${journal}" zip)
+
+    # Two identical trains must produce byte-identical model files
+    # (the determinism contract), and the file must satisfy the model
+    # schema.
+    run_ssim(rc out err train "${journal}" -o "${dir}/m1.json"
+        --seed 7 --stats-json "${dir}/cv.json" --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "train 1 failed (rc=${rc})\n${err}")
+    endif()
+    run_ssim(rc out err train "${journal}" -o "${dir}/m2.json"
+        --seed 7 --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "train 2 failed (rc=${rc})\n${err}")
+    endif()
+    file(READ "${dir}/m1.json" m1)
+    file(READ "${dir}/m2.json" m2)
+    if(NOT m1 STREQUAL m2)
+        message(FATAL_ERROR
+            "identical seeded trains produced different model files")
+    endif()
+    validate_file("${dir}/m1.json"
+        "${SCHEMA_DIR}/model.schema.json" "model")
+    validate_file("${dir}/cv.json"
+        "${SCHEMA_DIR}/stats.schema.json" "cv report")
+    file(READ "${dir}/cv.json" cv)
+    if(NOT cv MATCHES "proxy\\.cv\\.ipc\\.mape")
+        message(FATAL_ERROR "CV report lacks proxy.cv.ipc.mape")
+    endif()
+
+    # The gbm variant trains and is deterministic too.
+    run_ssim(rc out err train "${journal}" -o "${dir}/g1.json"
+        --model-kind gbm --rounds 40 --seed 7 --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "gbm train failed (rc=${rc})\n${err}")
+    endif()
+    run_ssim(rc out err train "${journal}" -o "${dir}/g2.json"
+        --model-kind gbm --rounds 40 --seed 7 --quiet)
+    file(READ "${dir}/g1.json" g1)
+    file(READ "${dir}/g2.json" g2)
+    if(NOT g1 STREQUAL g2)
+        message(FATAL_ERROR "gbm retrain is not byte-identical")
+    endif()
+
+    # A journal whose header lost its provenance is refused with the
+    # typed invalid-argument error (exit 2), naming the fix.
+    file(READ "${journal}" jdoc)
+    string(REGEX REPLACE
+        ",\"profile_checksum\":\"[0-9a-f]+\",\"base_config\":\"[0-9a-f]+\""
+        "" jstripped "${jdoc}")
+    file(WRITE "${dir}/stripped.jsonl" "${jstripped}")
+    run_ssim(rc out err train "${dir}/stripped.jsonl"
+        -o "${dir}/bad.json" --quiet)
+    if(NOT rc EQUAL 2)
+        message(FATAL_ERROR
+            "train accepted a journal without provenance "
+            "(rc=${rc})\n${err}")
+    endif()
+    if(NOT err MATCHES "profile_checksum")
+        message(FATAL_ERROR
+            "provenance refusal does not name profile_checksum:\n"
+            "${err}")
+    endif()
+
+    # Journals from two different programs must not mix (exit 2,
+    # naming both files).
+    set(journal2 "${dir}/cc.jsonl")
+    make_journal("${journal2}" cc)
+    run_ssim(rc out err train "${journal}" --journal "${journal2}"
+        -o "${dir}/mix.json" --quiet)
+    if(NOT rc EQUAL 2)
+        message(FATAL_ERROR
+            "train mixed journals from two programs (rc=${rc})")
+    endif()
+    if(NOT err MATCHES "refusing to mix")
+        message(FATAL_ERROR
+            "mixing refusal lacks the diagnostic:\n${err}")
+    endif()
+
+elseif(MODE STREQUAL "prune")
+    set(journal "${dir}/zip.jsonl")
+    make_journal("${journal}" zip)
+    run_ssim(rc out err train "${journal}" -o "${dir}/model.json"
+        --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "train failed (rc=${rc})\n${err}")
+    endif()
+
+    # Rank the grid without simulating: every point predicted, the
+    # Pareto column marked.
+    run_ssim(rc out err rank "${dir}/model.json"
+        --grid ruu=32,64,128 --grid width=2,4,8 --top 0)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "rank failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "9 points by predicted edp")
+        message(FATAL_ERROR "rank did not cover the grid:\n${out}")
+    endif()
+    if(NOT out MATCHES "\\*")
+        message(FATAL_ERROR "rank marked no Pareto point:\n${out}")
+    endif()
+    run_ssim(rc out err rank "${dir}/model.json"
+        --grid ruu=32,64 --by nonsense)
+    if(NOT rc EQUAL 2)
+        message(FATAL_ERROR
+            "rank --by nonsense not rejected (rc=${rc})")
+    endif()
+
+    # A corrupted model file is rejected with corrupt-data (exit 5):
+    # flip payload bytes but keep the header intact.
+    file(READ "${dir}/model.json" mdoc)
+    string(REPLACE "\"kind\":\"ridge\"" "\"kind\":\"RIDGE\""
+        mbad "${mdoc}")
+    file(WRITE "${dir}/corrupt.json" "${mbad}")
+    run_ssim(rc out err rank "${dir}/corrupt.json" --grid ruu=32,64)
+    if(NOT rc EQUAL 5)
+        message(FATAL_ERROR
+            "corrupted model not rejected with exit 5 (rc=${rc})\n"
+            "${err}")
+    endif()
+    # Truncation is also corrupt-data.
+    string(LENGTH "${mdoc}" mlen)
+    math(EXPR half "${mlen} / 2")
+    string(SUBSTRING "${mdoc}" 0 ${half} mtrunc)
+    file(WRITE "${dir}/trunc.json" "${mtrunc}")
+    run_ssim(rc out err rank "${dir}/trunc.json" --grid ruu=32,64)
+    if(NOT rc EQUAL 5)
+        message(FATAL_ERROR
+            "truncated model not rejected with exit 5 (rc=${rc})")
+    endif()
+
+    # Surrogate-pruned sweep into a fresh journal: points off the
+    # predicted frontier settle as pruned (journaled, resumable), and
+    # only the kept points are simulated.
+    run_ssim(rc out err sweep zip
+        --grid ruu=32,64,128 --grid width=2,4,8
+        --max 50000 --reduction 50 --jobs 2
+        --journal "${dir}/pruned.jsonl"
+        --surrogate "${dir}/model.json" --frontier-margin 0 --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "pruned sweep failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "surrogate: keeping ([0-9]+) of 9 points")
+        message(FATAL_ERROR "no surrogate banner:\n${out}")
+    endif()
+    set(kept ${CMAKE_MATCH_1})
+    if(kept GREATER_EQUAL 9)
+        message(FATAL_ERROR
+            "frontier margin 0 pruned nothing (${kept} of 9)")
+    endif()
+    if(NOT out MATCHES "([0-9]+) pruned")
+        message(FATAL_ERROR "summary lacks the pruned count:\n${out}")
+    endif()
+    file(READ "${dir}/pruned.jsonl" pj)
+    if(NOT pj MATCHES "\"status\":\"pruned\"")
+        message(FATAL_ERROR "journal has no pruned done records")
+    endif()
+
+    # A surrogate from a different program is refused (exit 2).
+    run_ssim(rc out err sweep cc
+        --grid ruu=32,64 --max 50000 --reduction 50
+        --surrogate "${dir}/model.json" --quiet)
+    if(NOT rc EQUAL 2)
+        message(FATAL_ERROR
+            "surrogate from another program accepted (rc=${rc})")
+    endif()
+    if(NOT err MATCHES "different profile")
+        message(FATAL_ERROR
+            "profile-mismatch refusal lacks diagnostic:\n${err}")
+    endif()
+
+    # Resuming the pruned journal *without* the surrogate re-queues
+    # the pruned points: the dry-run plan must show them as `run`.
+    run_ssim(rc out err sweep zip
+        --grid ruu=32,64,128 --grid width=2,4,8
+        --max 50000 --reduction 50
+        --journal "${dir}/pruned.jsonl" --resume --dry-run --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "dry-run over pruned journal failed (rc=${rc})\n${err}")
+    endif()
+    math(EXPR pruned_count "9 - ${kept}")
+    if(NOT out MATCHES "${pruned_count} to run")
+        message(FATAL_ERROR
+            "pruned points did not re-queue on maskless resume "
+            "(want ${pruned_count} to run):\n${out}")
+    endif()
+
+elseif(MODE STREQUAL "dryrun")
+    # Fresh dry-run: every point plans as `run`, nothing is written.
+    run_ssim(rc out err sweep zip
+        --grid ruu=32,64 --grid width=2,4
+        --max 50000 --reduction 50
+        --journal "${dir}/never.jsonl" --dry-run --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fresh dry-run failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "4 points -> 4 to run")
+        message(FATAL_ERROR "fresh dry-run plan wrong:\n${out}")
+    endif()
+    if(NOT out MATCHES "nothing was simulated")
+        message(FATAL_ERROR "dry-run banner missing:\n${out}")
+    endif()
+    if(EXISTS "${dir}/never.jsonl")
+        message(FATAL_ERROR "dry-run wrote a journal")
+    endif()
+
+    # After a real sweep, a resumed dry-run reports the journal delta:
+    # everything reused, nothing to run.
+    run_ssim(rc out err sweep zip
+        --grid ruu=32,64 --grid width=2,4
+        --max 50000 --reduction 50 --jobs 2
+        --journal "${dir}/done.jsonl" --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sweep failed (rc=${rc})\n${err}")
+    endif()
+    run_ssim(rc out err sweep zip
+        --grid ruu=32,64 --grid width=2,4
+        --max 50000 --reduction 50
+        --journal "${dir}/done.jsonl" --resume --dry-run --quiet)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "resumed dry-run failed (rc=${rc})\n${err}")
+    endif()
+    if(NOT out MATCHES "0 to run, 0 to retry, 4 reused")
+        message(FATAL_ERROR "resumed dry-run delta wrong:\n${out}")
+    endif()
+
+else()
+    message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -31,6 +31,11 @@
 #   response routed back to the connection that asked. Labeled
 #   `serve` so the sanitizer lane sweeps the full concurrent
 #   transport surface.
+# MODE=trace: `--trace` must export per-request lifecycle spans — an
+#   admission track, named worker tracks, one complete "request"
+#   slice per settled request with its typed outcome and
+#   queue/predict timing args, and instant markers for admissions,
+#   parse failures, and deadline expiries.
 #
 # The process choreography (fifo writers, kill timing) needs a real
 # shell; the script below is written fresh into the scratch dir and
@@ -445,6 +450,64 @@ kill -TERM "$pid"
 wait "$pid"
 rc=$?
 [ "$rc" -eq 10 ] || fail "exit code $rc, want 10 (drained by signal)"
+echo PASS
+]])
+
+elseif(MODE STREQUAL "trace")
+
+file(WRITE "${dir}/driver.sh" [[#!/bin/bash
+# $1 = ssim binary, $2 = scratch dir
+set -u
+cli="$1"
+cd "$2" || exit 99
+
+fail() { echo "FAIL: $*"; echo "--- out:"; cat out 2>/dev/null;
+         echo "--- err:"; cat err 2>/dev/null;
+         echo "--- trace:"; cat trace.json 2>/dev/null; exit 1; }
+
+rm -f out err trace.json
+
+# Three lines through stdin: a request that finishes, a stalled
+# request that outlives the deadline, and one malformed line. EOF
+# drains the daemon cleanly, so the trace file must be written.
+{
+  printf '%s\n' \
+    '{"id":"ok1","workload":"zip","max_insts":20000,"reduction":50}'
+  printf '%s\n' \
+    '{"id":"slow","workload":"zip","max_insts":20000,"reduction":50,"stall_ms":900}'
+  printf 'this is not json\n'
+  sleep 1.2
+} | "$cli" serve --jobs 2 --deadline-ms 300 --trace trace.json \
+      > out 2> err
+rc=$?
+[ "$rc" -eq 0 ] || fail "exit code $rc, want 0 (clean EOF drain)"
+[ -s trace.json ] || fail "--trace produced no trace file"
+
+# Track naming: an admission track on tid 0 plus one named worker
+# track per spawned worker.
+grep -q '"ssim serve"' trace.json || fail "no process_name in trace"
+grep -q '"admission"' trace.json || fail "no admission track in trace"
+grep -q '"worker 0"' trace.json || fail "no worker track in trace"
+
+# Lifecycle spans: one complete "request" slice per settled request,
+# with the typed outcome and the admission->dispatch split in args.
+grep -q '"name":"request"' trace.json \
+  || fail "no request slices in trace"
+grep -q '"outcome":"ok"' trace.json \
+  || fail "completed request slice missing outcome ok"
+grep -q '"outcome":"deadline-exceeded"' trace.json \
+  || fail "expired request slice missing outcome deadline-exceeded"
+grep -q '"queue_ms"' trace.json \
+  || fail "request slices missing queue_ms arg"
+grep -q '"predict_ms"' trace.json \
+  || fail "request slices missing predict_ms arg"
+
+# Typed instant markers for admission decisions and parse failures.
+grep -q '"name":"admit"' trace.json || fail "no admit instants"
+grep -q '"name":"parse-error"' trace.json \
+  || fail "malformed line left no parse-error instant"
+grep -q '"name":"deadline-exceeded"' trace.json \
+  || fail "no deadline-exceeded instant"
 echo PASS
 ]])
 

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Surrogate predictor tests (src/proxy): deterministic feature
+ * extraction, journal-to-dataset loading under interior corruption
+ * and provenance mismatch, train-twice byte stability of the model
+ * file, corrupted-model rejection, Pareto frontier selection, and
+ * the keep-mask pruning / dry-run planning surface of the sweep
+ * engine the surrogate drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/profiler.hh"
+#include "core/serialize.hh"
+#include "experiments/sweep.hh"
+#include "isa/assembler.hh"
+#include "proxy/features.hh"
+#include "proxy/model.hh"
+#include "proxy/model_io.hh"
+#include "proxy/pareto.hh"
+#include "util/error.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+using namespace ssim::proxy;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+/** Tiny counted loop; enough structure to profile meaningfully. */
+isa::Program
+loopProgram(int iterations)
+{
+    isa::Assembler as("loop");
+    isa::Label top = as.newLabel();
+    as.li(3, 0);
+    as.li(4, iterations);
+    as.bind(top);
+    as.addi(3, 3, 1);
+    as.slti(5, 3, 1 << 30);
+    as.add(6, 5, 3);
+    as.blt(3, 4, top);
+    as.halt();
+    return as.finish();
+}
+
+core::StatisticalProfile
+testProfile(int iterations = 400)
+{
+    return core::buildProfile(loopProgram(iterations),
+                              cpu::CoreConfig::baseline());
+}
+
+PointMetrics
+toPointMetrics(const std::vector<util::JournalMetric> &metrics)
+{
+    PointMetrics out;
+    out.reserve(metrics.size());
+    for (const auto &m : metrics)
+        out.emplace_back(m.name, m.value);
+    return out;
+}
+
+/** A small design grid with smooth, deterministic pseudo-metrics. */
+std::vector<cpu::CoreConfig>
+gridConfigs()
+{
+    std::vector<cpu::CoreConfig> cfgs;
+    for (uint32_t ruu : {16u, 32u, 64u, 128u})
+        for (uint32_t w : {2u, 4u, 8u}) {
+            cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+            cfg.ruuSize = ruu;
+            cfg.lsqSize = ruu / 2;
+            cfg.decodeWidth = w;
+            cfg.issueWidth = w;
+            cfg.commitWidth = w;
+            cfgs.push_back(cfg);
+        }
+    return cfgs;
+}
+
+PointMetrics
+pseudoMetrics(const cpu::CoreConfig &cfg)
+{
+    // Monotone-ish responses a regressor can learn exactly enough.
+    const double ipc = 0.4 + 0.35 * std::log2(double(cfg.ruuSize)) +
+                       0.12 * double(cfg.issueWidth);
+    const double epc = 1.0 + 0.02 * double(cfg.ruuSize) +
+                       0.3 * double(cfg.decodeWidth);
+    return {{"epc", epc}, {"ipc", ipc}};
+}
+
+/**
+ * Sweep the grid into @p path with full provenance + feature
+ * stamping — the journal shape `ssim train` consumes.
+ */
+void
+writeTrainingJournal(const std::string &path,
+                     const core::StatisticalProfile &profile)
+{
+    std::remove(path.c_str());
+    const auto cfgs = gridConfigs();
+    std::vector<SweepPoint> points;
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        points.push_back({"g" + std::to_string(i),
+                          configHash(cfgs[i]),
+                          toPointMetrics(configFeatureMetrics(cfgs[i]))});
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.journalPath = path;
+    opts.profileChecksum = core::profileDigest(profile);
+    opts.baseConfigHash = configHash(cpu::CoreConfig::baseline());
+    opts.profileFeatures =
+        toPointMetrics(profileFeatureMetrics(profile));
+    const SweepSummary summary = runSweep(
+        points,
+        [&](size_t p, uint64_t) { return pseudoMetrics(cfgs[p]); },
+        opts);
+    ASSERT_EQ(summary.okCount, cfgs.size());
+}
+
+// --- Feature extraction --------------------------------------------
+
+TEST(Features, DeterministicAndSchemaSized)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const auto a = configFeatures(cfg);
+    const auto b = configFeatures(cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), configFeatureNames().size());
+
+    const core::StatisticalProfile profile = testProfile();
+    const auto pa = profileFeatures(profile);
+    const auto pb = profileFeatures(profile);
+    EXPECT_EQ(pa, pb);
+    EXPECT_EQ(pa.size(), profileFeatureNames().size());
+}
+
+TEST(Features, DistinctConfigsProduceDistinctVectors)
+{
+    cpu::CoreConfig a = cpu::CoreConfig::baseline();
+    cpu::CoreConfig b = a;
+    b.ruuSize *= 2;
+    EXPECT_NE(configFeatures(a), configFeatures(b));
+}
+
+TEST(Features, MetricNamesMatchSchemaOrder)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const auto metrics = configFeatureMetrics(cfg);
+    const auto &names = configFeatureNames();
+    ASSERT_EQ(metrics.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(metrics[i].name, names[i]);
+}
+
+// --- Dataset loading -----------------------------------------------
+
+TEST(Dataset, LoadsFeatureAnnotatedJournal)
+{
+    const std::string path = tempPath("proxy_train.jsonl");
+    const core::StatisticalProfile profile = testProfile();
+    writeTrainingJournal(path, profile);
+
+    const Dataset ds = loadDataset({path});
+    EXPECT_EQ(ds.rows.size(), gridConfigs().size());
+    EXPECT_EQ(ds.profileChecksum, core::profileDigest(profile));
+    EXPECT_EQ(ds.journalCount, 1u);
+    EXPECT_EQ(ds.skippedCorrupt, 0u);
+    ASSERT_EQ(ds.targetNames.size(), 2u);
+    EXPECT_EQ(ds.targetNames[0], "epc");
+    EXPECT_EQ(ds.targetNames[1], "ipc");
+    EXPECT_EQ(ds.featureNames.size(), configFeatureNames().size() +
+                                          profileFeatureNames().size());
+}
+
+TEST(Dataset, ToleratesInteriorCorruptLines)
+{
+    const std::string clean = tempPath("proxy_clean.jsonl");
+    const std::string dirty = tempPath("proxy_dirty.jsonl");
+    const core::StatisticalProfile profile = testProfile();
+    writeTrainingJournal(clean, profile);
+
+    // Splice garbage between records: a half-written JSON line, a
+    // binary blob, and a trailing torn line — the crash shapes a
+    // journal accumulates in practice.
+    std::ifstream in(clean);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_GT(lines.size(), 4u);
+    std::ofstream out(dirty, std::ios::trunc);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        out << lines[i] << "\n";
+        if (i == 1)
+            out << "{\"event\":\"done\",\"point\":\"g0\",\"st\n";
+        if (i == 3)
+            out << "\x01\x02garbage\x7f\n";
+    }
+    out << "{\"event\":\"done\",\"poi";   // torn mid-write, no newline
+    out.close();
+
+    // The torn final line is the expected crash artifact and is
+    // tolerated silently; the two interior splices are counted.
+    const Dataset ds = loadDataset({dirty});
+    EXPECT_EQ(ds.rows.size(), gridConfigs().size());
+    EXPECT_EQ(ds.skippedCorrupt, 2u);
+}
+
+TEST(Dataset, RefusesJournalWithoutProvenance)
+{
+    const std::string path = tempPath("proxy_noprov.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.journalPath = path;   // no profileChecksum stamped
+    std::vector<SweepPoint> points = {{"p0", 1}};
+    runSweep(
+        points,
+        [](size_t, uint64_t) {
+            return PointMetrics{{"ipc", 1.0}};
+        },
+        opts);
+    try {
+        (void)loadDataset({path});
+        FAIL() << "expected InvalidArgument";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("profile_checksum"),
+                  std::string::npos);
+    }
+}
+
+TEST(Dataset, RefusesMixingJournalsFromDifferentProfiles)
+{
+    const std::string a = tempPath("proxy_mix_a.jsonl");
+    const std::string b = tempPath("proxy_mix_b.jsonl");
+    writeTrainingJournal(a, testProfile(400));
+    writeTrainingJournal(b, testProfile(900));   // different program run
+    try {
+        (void)loadDataset({a, b});
+        FAIL() << "expected InvalidArgument";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("mix"),
+                  std::string::npos);
+    }
+}
+
+// --- Training determinism and model IO -----------------------------
+
+TEST(Model, TrainTwiceRendersIdenticalBytes)
+{
+    const std::string path = tempPath("proxy_bytes.jsonl");
+    writeTrainingJournal(path, testProfile());
+    const Dataset ds = loadDataset({path});
+
+    TrainOptions opts;
+    opts.seed = 7;
+    const std::string first = renderModel(trainModel(ds, opts));
+    const std::string second = renderModel(trainModel(ds, opts));
+    EXPECT_EQ(first, second);
+
+    TrainOptions gbm = opts;
+    gbm.kind = ModelKind::Gbm;
+    gbm.rounds = 50;
+    EXPECT_EQ(renderModel(trainModel(ds, gbm)),
+              renderModel(trainModel(ds, gbm)));
+}
+
+TEST(Model, RenderParseRoundTripIsByteStable)
+{
+    const std::string path = tempPath("proxy_roundtrip.jsonl");
+    writeTrainingJournal(path, testProfile());
+    const SurrogateModel model =
+        trainModel(loadDataset({path}), TrainOptions{});
+    const std::string text = renderModel(model);
+    const SurrogateModel reparsed = parseModel(text);
+    EXPECT_EQ(renderModel(reparsed), text);
+    EXPECT_EQ(reparsed.profileChecksum, model.profileChecksum);
+    ASSERT_EQ(reparsed.targets.size(), model.targets.size());
+}
+
+TEST(Model, PredictionsSurviveRoundTrip)
+{
+    const std::string path = tempPath("proxy_pred.jsonl");
+    writeTrainingJournal(path, testProfile());
+    const SurrogateModel model =
+        trainModel(loadDataset({path}), TrainOptions{});
+    const SurrogateModel reparsed = parseModel(renderModel(model));
+
+    const TargetModel *ipc = model.findTarget("ipc");
+    const TargetModel *ipc2 = reparsed.findTarget("ipc");
+    ASSERT_NE(ipc, nullptr);
+    ASSERT_NE(ipc2, nullptr);
+    for (const cpu::CoreConfig &cfg : gridConfigs()) {
+        const auto x = model.featuresFor(cfg);
+        EXPECT_DOUBLE_EQ(model.predict(*ipc, x),
+                         reparsed.predict(*ipc2, x));
+    }
+    EXPECT_EQ(model.findTarget("nonesuch"), nullptr);
+}
+
+TEST(ModelIo, RejectsTruncationBitFlipAndBadVersion)
+{
+    const std::string path = tempPath("proxy_corrupt.jsonl");
+    writeTrainingJournal(path, testProfile());
+    const std::string text =
+        renderModel(trainModel(loadDataset({path}), TrainOptions{}));
+
+    // Truncation: the checksummed header sees it before any field.
+    try {
+        (void)parseModel(text.substr(0, text.size() / 2));
+        FAIL() << "expected CorruptData";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::CorruptData);
+    }
+
+    // A one-byte payload flip fails the checksum.
+    std::string flipped = text;
+    const size_t at = flipped.find("\"kind\":\"ridge\"");
+    ASSERT_NE(at, std::string::npos);
+    flipped[at + 9] = 'R';
+    try {
+        (void)parseModel(flipped);
+        FAIL() << "expected CorruptData";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::CorruptData);
+    }
+
+    // Malformed JSON is a parse error, not a crash.
+    EXPECT_THROW((void)parseModel("not a model\n"), Error);
+
+    // An unknown future format version is a version mismatch.
+    const SurrogateModel model =
+        trainModel(loadDataset({path}), TrainOptions{});
+    SurrogateModel future = model;
+    std::string bumped = renderModel(future);
+    const size_t vat = bumped.find("\"version\":1");
+    ASSERT_NE(vat, std::string::npos);
+    bumped.replace(vat, 11, "\"version\":9");
+    try {
+        (void)parseModel(bumped);
+        FAIL() << "expected VersionMismatch or CorruptData";
+    } catch (const Error &e) {
+        // Header edits also break the checksum; either typed error
+        // is a correct refusal, silence is not.
+        EXPECT_TRUE(e.category() == ErrorCategory::VersionMismatch ||
+                    e.category() == ErrorCategory::CorruptData);
+    }
+}
+
+TEST(ModelIo, SaveLoadFileRoundTrip)
+{
+    const std::string jpath = tempPath("proxy_file.jsonl");
+    const std::string mpath = tempPath("proxy_file_model.json");
+    writeTrainingJournal(jpath, testProfile());
+    const SurrogateModel model =
+        trainModel(loadDataset({jpath}), TrainOptions{});
+    saveModelFile(model, mpath);
+    const SurrogateModel loaded = loadModelFile(mpath);
+    EXPECT_EQ(renderModel(loaded), renderModel(model));
+
+    EXPECT_FALSE(tryLoadModelFile(tempPath("nonesuch_model.json")).ok());
+}
+
+// --- Pareto frontier -----------------------------------------------
+
+TEST(Pareto, FrontierKeepsOnlyNonDominated)
+{
+    //   a (2.0, 1.0) and d (3.0, 2.0) are non-dominated;
+    //   b is dominated by a; c is dominated by d.
+    const std::vector<ParetoPoint> pts = {{0, 2.0, 1.0},
+                                          {1, 1.5, 1.5},
+                                          {2, 2.5, 3.0},
+                                          {3, 3.0, 2.0}};
+    const auto frontier = paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(frontier[0], 3u);   // ipc-descending order
+    EXPECT_EQ(frontier[1], 0u);
+}
+
+TEST(Pareto, DuplicatePointsAllKept)
+{
+    const std::vector<ParetoPoint> pts = {{0, 1.0, 1.0},
+                                          {1, 1.0, 1.0}};
+    EXPECT_EQ(paretoFrontier(pts).size(), 2u);
+}
+
+TEST(Pareto, FrontierMaskPeelsShells)
+{
+    // A diagonal chain: each point dominates the next, so shells are
+    // singletons and the mask keeps exactly margin + 1 points.
+    std::vector<ParetoPoint> pts;
+    for (size_t i = 0; i < 6; ++i)
+        pts.push_back({i, 6.0 - double(i), 1.0 + double(i)});
+    for (unsigned margin = 0; margin < 6; ++margin) {
+        const auto mask = frontierMask(pts, margin);
+        ASSERT_EQ(mask.size(), pts.size());
+        size_t kept = 0;
+        for (uint8_t m : mask)
+            kept += m;
+        EXPECT_EQ(kept, size_t(margin) + 1);
+        // Shells peel in order: the first margin+1 points are kept.
+        for (size_t i = 0; i < pts.size(); ++i)
+            EXPECT_EQ(mask[i] != 0, i <= margin);
+    }
+}
+
+// --- Surrogate pruning through the sweep engine --------------------
+
+TEST(Pruning, KeepMaskSettlesPrunedPointsWithoutSimulating)
+{
+    const std::string path = tempPath("proxy_prune.jsonl");
+    std::remove(path.c_str());
+    std::vector<SweepPoint> points;
+    for (size_t i = 0; i < 6; ++i)
+        points.push_back({"p" + std::to_string(i), 100 + i});
+    const std::vector<uint8_t> keep = {1, 0, 1, 0, 0, 1};
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.journalPath = path;
+    opts.keepMask = &keep;
+    size_t executions = 0;
+    const SweepSummary summary = runSweep(
+        points,
+        [&](size_t, uint64_t) {
+            ++executions;
+            return PointMetrics{{"ipc", 1.0}};
+        },
+        opts);
+    EXPECT_EQ(summary.okCount, 3u);
+    EXPECT_EQ(summary.prunedCount, 3u);
+    EXPECT_EQ(executions, 3u);
+    for (size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(summary.outcomes[i].status,
+                  keep[i] ? PointStatus::Ok : PointStatus::Pruned);
+
+    // Resume without a mask: journaled pruned points re-queue and
+    // run; the ok points are reused untouched.
+    SweepOptions resume = opts;
+    resume.keepMask = nullptr;
+    resume.resume = true;
+    executions = 0;
+    const SweepSummary resumed = runSweep(
+        points,
+        [&](size_t, uint64_t) {
+            ++executions;
+            return PointMetrics{{"ipc", 1.0}};
+        },
+        resume);
+    EXPECT_EQ(resumed.okCount, 6u);
+    EXPECT_EQ(resumed.prunedCount, 0u);
+    EXPECT_EQ(resumed.reusedCount, 3u);
+    EXPECT_EQ(executions, 3u);
+}
+
+TEST(Planning, DryRunPlanMirrorsEngineClassification)
+{
+    const std::string path = tempPath("proxy_plan.jsonl");
+    std::remove(path.c_str());
+    std::vector<SweepPoint> points;
+    for (size_t i = 0; i < 4; ++i)
+        points.push_back({"p" + std::to_string(i), 200 + i});
+
+    // Fresh: everything runs (and a keep-mask turns runs into prunes).
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.journalPath = path;
+    const SweepPlan fresh = planSweep(points, opts);
+    EXPECT_EQ(fresh.runCount, 4u);
+    EXPECT_EQ(fresh.reuseCount, 0u);
+
+    const std::vector<uint8_t> keep = {1, 1, 0, 0};
+    SweepOptions masked = opts;
+    masked.keepMask = &keep;
+    const SweepPlan planned = planSweep(points, masked);
+    EXPECT_EQ(planned.runCount, 2u);
+    EXPECT_EQ(planned.pruneCount, 2u);
+    EXPECT_EQ(planned.points[2].action, PlanAction::Prune);
+
+    // planSweep must not create or touch the journal.
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+
+    // After a real sweep, a resumed plan reuses every point.
+    runSweep(
+        points,
+        [](size_t, uint64_t) {
+            return PointMetrics{{"ipc", 1.0}};
+        },
+        opts);
+    SweepOptions resume = opts;
+    resume.resume = true;
+    const SweepPlan after = planSweep(points, resume);
+    EXPECT_EQ(after.reuseCount, 4u);
+    EXPECT_EQ(after.runCount, 0u);
+    for (const PointPlan &p : after.points) {
+        EXPECT_EQ(p.action, PlanAction::Reuse);
+        EXPECT_EQ(p.journaled, PointStatus::Ok);
+        EXPECT_EQ(p.attempts, 1u);
+    }
+}
+
+} // namespace

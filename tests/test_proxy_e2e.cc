@@ -1,0 +1,258 @@
+/**
+ * @file
+ * End-to-end acceptance gate for the surrogate-pruned design-space
+ * flow over the exact Section 4.6 study: the 1,792-point
+ * RUU x LSQ x width space is fully swept once (journaled), a
+ * surrogate is trained from that journal, and the surrogate's
+ * predicted-frontier keep-mask must then reproduce the study at a
+ * fraction of the cost:
+ *
+ *  - the pruned sweep simulates at most 1/10 of the points;
+ *  - mean absolute relative IPC error on the retained points < 2%;
+ *  - >= 90% of the *true* Pareto frontier survives the pruning;
+ *  - training twice from the same journal and seed yields
+ *    byte-identical model files.
+ *
+ * This is the claim the proxy subsystem exists to make — that a
+ * journal of one full sweep buys cheap, trustworthy exploration —
+ * so it is enforced by ctest rather than documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/generator.hh"
+#include "core/profiler.hh"
+#include "core/serialize.hh"
+#include "core/statsim.hh"
+#include "experiments/sweep.hh"
+#include "proxy/features.hh"
+#include "proxy/model.hh"
+#include "proxy/model_io.hh"
+#include "proxy/pareto.hh"
+#include "util/journal.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+using namespace ssim::experiments;
+using namespace ssim::proxy;
+
+/** The paper's Section 4.6 grid: 28 (ruu, lsq) pairs x 4^3 widths. */
+std::vector<cpu::CoreConfig>
+designSpace()
+{
+    const std::vector<uint32_t> ruus = {8, 16, 32, 48, 64, 96, 128};
+    const std::vector<uint32_t> lsqs = {4, 8, 16, 24, 32, 48, 64};
+    const std::vector<uint32_t> widths = {2, 4, 6, 8};
+    std::vector<cpu::CoreConfig> space;
+    for (size_t ri = 0; ri < ruus.size(); ++ri)
+        for (size_t li = 0; li <= ri; ++li)
+            for (uint32_t dw : widths)
+                for (uint32_t iw : widths)
+                    for (uint32_t cw : widths) {
+                        cpu::CoreConfig cfg =
+                            cpu::CoreConfig::baseline();
+                        cfg.ruuSize = ruus[ri];
+                        cfg.lsqSize = lsqs[li];
+                        cfg.decodeWidth = dw;
+                        cfg.issueWidth = iw;
+                        cfg.commitWidth = cw;
+                        space.push_back(cfg);
+                    }
+    return space;
+}
+
+PointMetrics
+toPointMetrics(const std::vector<util::JournalMetric> &metrics)
+{
+    PointMetrics out;
+    out.reserve(metrics.size());
+    for (const auto &m : metrics)
+        out.emplace_back(m.name, m.value);
+    return out;
+}
+
+TEST(ProxyE2e, SurrogatePrunedSweepReproducesSec46Study)
+{
+    const std::vector<cpu::CoreConfig> space = designSpace();
+    ASSERT_EQ(space.size(), 1792u);
+
+    // One modest profile + synthetic trace serves the whole space
+    // (exactly the bench_sec46 setup, shrunk for test time).
+    core::ProfileOptions popts;
+    popts.maxInsts = 200000;
+    const core::StatisticalProfile profile = core::buildProfile(
+        workloads::build("zip", 1), cpu::CoreConfig::baseline(),
+        popts);
+    core::GenerationOptions gopts;
+    gopts.reductionFactor =
+        std::max<uint64_t>(2, profile.instructions / 50000);
+    const core::SyntheticTrace trace =
+        core::generateSyntheticTrace(profile, gopts);
+
+    std::vector<SweepPoint> points;
+    points.reserve(space.size());
+    for (size_t i = 0; i < space.size(); ++i)
+        points.push_back({"pt" + std::to_string(i),
+                          configHash(space[i]),
+                          toPointMetrics(
+                              configFeatureMetrics(space[i]))});
+
+    SweepOptions sopts;
+    sopts.jobs = 0;   // one worker per hardware thread
+    sopts.profileChecksum = core::profileDigest(profile);
+    sopts.baseConfigHash = configHash(cpu::CoreConfig::baseline());
+    sopts.profileFeatures =
+        toPointMetrics(profileFeatureMetrics(profile));
+
+    const auto simulate = [&](size_t p, uint64_t) {
+        const core::SimResult r =
+            core::simulateSyntheticTrace(trace, space[p]);
+        return PointMetrics{{"epc", r.epc}, {"ipc", r.ipc}};
+    };
+
+    // --- Phase 1: the full (expensive) reference sweep. ------------
+    const std::string fullJournal =
+        testing::TempDir() + "/sec46_full.jsonl";
+    std::remove(fullJournal.c_str());
+    SweepOptions fullOpts = sopts;
+    fullOpts.journalPath = fullJournal;
+    const SweepSummary full = runSweep(points, simulate, fullOpts);
+    ASSERT_EQ(full.okCount, space.size());
+
+    std::vector<double> trueIpc(space.size()), trueEpc(space.size());
+    for (size_t p = 0; p < space.size(); ++p) {
+        trueEpc[p] = full.outcomes[p].metrics[0].second;
+        trueIpc[p] = full.outcomes[p].metrics[1].second;
+    }
+
+    // --- Phase 2: train the surrogate from the journal. ------------
+    const Dataset ds = loadDataset({fullJournal});
+    ASSERT_EQ(ds.rows.size(), space.size());
+
+    // Near-interpolation regime: the frontier of this space is packed
+    // (adjacent shells ~0.3% apart in IPC), so the booster runs until
+    // the training residual is far below the shell spacing. CV is
+    // skipped here — the CLI contract test covers it — because five
+    // extra fits at this depth would dominate the test's budget.
+    TrainOptions topts;
+    topts.kind = ModelKind::Gbm;
+    topts.rounds = 40000;
+    topts.learningRate = 0.2;
+    topts.folds = 0;
+    topts.seed = 7;
+    const SurrogateModel model = trainModel(ds, topts);
+    const SurrogateModel retrained = trainModel(ds, topts);
+    EXPECT_EQ(renderModel(model), renderModel(retrained))
+        << "same journal + seed must give a byte-identical model";
+
+    // --- Phase 3: predict, keep the frontier + margin. -------------
+    const TargetModel *ipcT = model.findTarget("ipc");
+    const TargetModel *epcT = model.findTarget("epc");
+    ASSERT_NE(ipcT, nullptr);
+    ASSERT_NE(epcT, nullptr);
+    std::vector<ParetoPoint> predicted(space.size());
+    for (size_t p = 0; p < space.size(); ++p) {
+        const auto x = model.featuresFor(space[p]);
+        predicted[p] = {p, model.predict(*ipcT, x),
+                        model.predict(*epcT, x)};
+    }
+    // Widest margin that stays within the 1/10 simulation budget —
+    // the selection rule a user of --frontier-margin would apply.
+    const size_t budget = space.size() / 10;
+    const auto countKept = [](const std::vector<uint8_t> &mask) {
+        size_t c = 0;
+        for (uint8_t k : mask)
+            c += k;
+        return c;
+    };
+    unsigned margin = 0;
+    std::vector<uint8_t> keep = frontierMask(predicted, 0);
+    size_t kept = countKept(keep);
+    ASSERT_LE(kept, budget)
+        << "even the bare predicted frontier exceeds the budget";
+    for (;;) {
+        std::vector<uint8_t> wider =
+            frontierMask(predicted, margin + 1);
+        const size_t widerKept = countKept(wider);
+        if (widerKept > budget)
+            break;
+        keep = std::move(wider);
+        kept = widerKept;
+        ++margin;
+    }
+    EXPECT_GE(margin, 1u)
+        << "no room for any safety margin within the budget";
+    ASSERT_GT(kept, 0u);
+    EXPECT_LE(kept, budget)
+        << "pruned sweep must simulate at most 1/10 of the space";
+
+    // Accuracy on the retained points: mean |rel err| of IPC < 2%.
+    double relErrSum = 0.0;
+    for (size_t p = 0; p < space.size(); ++p) {
+        if (!keep[p])
+            continue;
+        const double pred = predicted[p].ipc;
+        relErrSum += std::fabs(pred - trueIpc[p]) / trueIpc[p];
+    }
+    const double mape = relErrSum / double(kept);
+    EXPECT_LT(mape, 0.02)
+        << "surrogate IPC error too high on the retained points";
+
+    // Coverage: >= 90% of the true frontier must be retained.
+    std::vector<ParetoPoint> truth(space.size());
+    for (size_t p = 0; p < space.size(); ++p)
+        truth[p] = {p, trueIpc[p], trueEpc[p]};
+    const std::vector<size_t> trueFrontier = paretoFrontier(truth);
+    ASSERT_FALSE(trueFrontier.empty());
+    size_t covered = 0;
+    for (size_t p : trueFrontier)
+        covered += keep[p];
+    EXPECT_GE(double(covered),
+              0.9 * double(trueFrontier.size()))
+        << "pruning lost more than 10% of the true Pareto frontier ("
+        << covered << "/" << trueFrontier.size() << " retained)";
+
+    // --- Phase 4: the pruned sweep itself. -------------------------
+    const std::string prunedJournal =
+        testing::TempDir() + "/sec46_pruned.jsonl";
+    std::remove(prunedJournal.c_str());
+    SweepOptions prunedOpts = sopts;
+    prunedOpts.journalPath = prunedJournal;
+    prunedOpts.keepMask = &keep;
+    const SweepSummary pruned =
+        runSweep(points, simulate, prunedOpts);
+    EXPECT_EQ(pruned.executedCount, kept);
+    EXPECT_EQ(pruned.prunedCount, space.size() - kept);
+
+    // Retained points reproduce the reference sweep exactly (same
+    // trace, same deterministic simulator), and every pruned point
+    // is journaled as such for a later maskless resume.
+    for (size_t p = 0; p < space.size(); ++p) {
+        if (!keep[p]) {
+            EXPECT_EQ(pruned.outcomes[p].status, PointStatus::Pruned);
+            continue;
+        }
+        ASSERT_EQ(pruned.outcomes[p].status, PointStatus::Ok);
+        EXPECT_DOUBLE_EQ(pruned.outcomes[p].metrics[1].second,
+                         trueIpc[p]);
+        EXPECT_DOUBLE_EQ(pruned.outcomes[p].metrics[0].second,
+                         trueEpc[p]);
+    }
+    auto loaded = util::Journal::load(prunedJournal);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().what();
+    size_t prunedRecords = 0;
+    for (const auto &rec : loaded.value())
+        prunedRecords +=
+            rec.event == "done" && rec.status == "pruned";
+    EXPECT_EQ(prunedRecords, space.size() - kept);
+}
+
+} // namespace

@@ -65,10 +65,15 @@
 #include "obs/export_trace.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "proxy/features.hh"
+#include "proxy/model.hh"
+#include "proxy/model_io.hh"
+#include "proxy/pareto.hh"
 #include "serve/predict.hh"
 #include "serve/server.hh"
 #include "serve/transport.hh"
 #include "util/error.hh"
+#include "util/json_writer.hh"
 #include "util/logging.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
@@ -101,9 +106,23 @@ struct Options
     std::vector<experiments::GridAxis> grids;
     unsigned jobs = 1;
     std::string journal;
+    std::vector<std::string> journals;   ///< every --journal (train)
     bool resume = false;
     double pointTimeout = 0.0;
     unsigned retries = 1;
+    std::string surrogatePath;    ///< --surrogate MODEL
+    unsigned frontierMargin = 1;  ///< --frontier-margin K
+    bool dryRun = false;          ///< --dry-run
+
+    // Train / rank (the surrogate predictor).
+    std::string modelKind = "ridge";  ///< --model-kind ridge|gbm
+    double lambda = 1.0;              ///< --lambda F
+    unsigned folds = 5;               ///< --folds N
+    unsigned rounds = 300;            ///< --rounds N (gbm)
+    double learningRate = 0.1;        ///< --learning-rate F (gbm)
+    std::string profileFile;          ///< --profile FILE (train check)
+    uint64_t topN = 20;               ///< --top N (rank; 0 = all)
+    std::string rankBy = "edp";       ///< --by METRIC (rank)
 
     // Serve.
     size_t queueCapacity = 64;       ///< --queue N
@@ -147,6 +166,10 @@ usage()
         "  eds <workload>            execution-driven simulation\n"
         "  compare <workload>        both, with error report\n"
         "  sweep <workload>          journaled parallel design sweep\n"
+        "  train <journal> -o F      fit a surrogate model from sweep\n"
+        "                            journals (ridge or gbm)\n"
+        "  rank <model>              predict + rank a --grid without\n"
+        "                            simulating\n"
         "  serve                     long-lived prediction daemon\n"
         "  chaos                     seeded fault-injection invariant\n"
         "                            harness over sweep + serve\n"
@@ -160,7 +183,20 @@ usage()
         "sweep options: --grid key=v1,v2,... (repeatable; keys: ruu,\n"
         "  lsq, width, ifq, scale-bpred, scale-cache), --jobs N\n"
         "  (0 = all cores), --journal FILE, --resume,\n"
-        "  --point-timeout SEC, --retries N\n"
+        "  --point-timeout SEC, --retries N, --surrogate MODEL\n"
+        "  (simulate only the predicted Pareto frontier),\n"
+        "  --frontier-margin K (extra frontier shells kept; default\n"
+        "  1), --dry-run (print the expanded grid and the journal\n"
+        "  delta without simulating)\n"
+        "train options: <journal> [--journal FILE]... -o MODEL,\n"
+        "  --model-kind ridge|gbm, --lambda F (ridge; default 1),\n"
+        "  --folds N (cross-validation; default 5), --rounds N and\n"
+        "  --learning-rate F (gbm; defaults 300, 0.1), --seed S,\n"
+        "  --profile FILE (require the journals to come from this\n"
+        "  profile), --stats-json FILE (CV error report)\n"
+        "rank options: <model> --grid key=v1,v2,... (repeatable),\n"
+        "  --by ipc|epc|edp (default edp), --top N (0 = all;\n"
+        "  default 20)\n"
         "serve options: --jobs N (workers; 0 = all cores),\n"
         "  --queue N (admission capacity), --deadline-ms N (default\n"
         "  per-request deadline; 0 = none), --drain-ms N,\n"
@@ -301,13 +337,13 @@ parse(int argc, char **argv)
     opts.command = argv[1];
     int i = 2;
     // `list`, `serve`, and `chaos` take no target; everything else
-    // names a workload or profile file.
+    // names a workload, profile, journal, or model file.
     if (opts.command != "list" && opts.command != "serve" &&
         opts.command != "chaos") {
         if (i >= argc) {
             argError("command '" + opts.command +
-                     "' requires a target (workload name or profile "
-                     "file)");
+                     "' requires a target (a workload name or a "
+                     "profile/journal/model file)");
         }
         opts.target = argv[i++];
     }
@@ -369,6 +405,7 @@ parse(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(uintArg(argc, argv, i));
         } else if (arg == "--journal") {
             opts.journal = valueOf(argc, argv, i);
+            opts.journals.push_back(opts.journal);
         } else if (arg == "--resume") {
             opts.resume = true;
         } else if (arg == "--point-timeout") {
@@ -376,6 +413,33 @@ parse(int argc, char **argv)
         } else if (arg == "--retries") {
             opts.retries = static_cast<unsigned>(
                 uintArg(argc, argv, i));
+        } else if (arg == "--surrogate") {
+            opts.surrogatePath = valueOf(argc, argv, i);
+        } else if (arg == "--frontier-margin") {
+            opts.frontierMargin = static_cast<unsigned>(
+                uintArg(argc, argv, i));
+        } else if (arg == "--dry-run") {
+            opts.dryRun = true;
+        } else if (arg == "--model-kind") {
+            opts.modelKind = valueOf(argc, argv, i);
+        } else if (arg == "--lambda") {
+            opts.lambda = floatArg(argc, argv, i);
+        } else if (arg == "--folds") {
+            // 0 and 1 are meaningful ("skip cross-validation").
+            opts.folds = static_cast<unsigned>(
+                uintArg(argc, argv, i));
+        } else if (arg == "--rounds") {
+            opts.rounds = static_cast<unsigned>(
+                uintArg(argc, argv, i));
+        } else if (arg == "--learning-rate") {
+            opts.learningRate = floatArg(argc, argv, i);
+        } else if (arg == "--profile") {
+            opts.profileFile = valueOf(argc, argv, i);
+        } else if (arg == "--top") {
+            // 0 is meaningful ("print every point").
+            opts.topN = uintArg(argc, argv, i);
+        } else if (arg == "--by") {
+            opts.rankBy = valueOf(argc, argv, i);
         } else if (arg == "--queue") {
             opts.queueCapacity = uintArg(argc, argv, i);
         } else if (arg == "--deadline-ms") {
@@ -610,6 +674,204 @@ cmdCompare(const Options &opts)
     return 0;
 }
 
+/** JournalMetric list -> the sweep engine's (name, value) pairs. */
+experiments::PointMetrics
+toPointMetrics(const std::vector<util::JournalMetric> &metrics)
+{
+    experiments::PointMetrics out;
+    out.reserve(metrics.size());
+    for (const util::JournalMetric &m : metrics)
+        out.emplace_back(m.name, m.value);
+    return out;
+}
+
+int
+cmdTrain(const Options &opts)
+{
+    if (opts.output.empty()) {
+        std::cerr << "train: -o <model-file> is required\n";
+        return 2;
+    }
+    proxy::TrainOptions topts;
+    topts.kind = proxy::modelKindFromName(opts.modelKind);
+    topts.lambda = opts.lambda;
+    topts.folds = opts.folds;
+    topts.seed = opts.generation.seed;
+    topts.rounds = opts.rounds;
+    topts.learningRate = opts.learningRate;
+    topts.validate();
+
+    // The positional target is the first journal; --journal adds
+    // more. All of them must carry the same profile provenance.
+    std::vector<std::string> journals{opts.target};
+    journals.insert(journals.end(), opts.journals.begin(),
+                    opts.journals.end());
+    const proxy::Dataset ds = proxy::loadDataset(journals);
+    if (ds.skippedCorrupt > 0) {
+        warn("train: skipped " + std::to_string(ds.skippedCorrupt) +
+             " corrupt journal line(s)");
+    }
+    if (!opts.profileFile.empty()) {
+        const core::StatisticalProfile profile =
+            core::loadProfileFile(opts.profileFile);
+        const uint64_t digest = core::profileDigest(profile);
+        if (digest != ds.profileChecksum) {
+            throw Error(
+                ErrorCategory::InvalidArgument,
+                "journal(s) were swept from a different profile "
+                "than " + opts.profileFile +
+                " (journal profile digest " + util::json::hex64Token(
+                    ds.profileChecksum) + ", file digest " +
+                util::json::hex64Token(digest) + ")");
+        }
+    }
+
+    const proxy::SurrogateModel model = proxy::trainModel(ds, topts);
+    proxy::saveModelFile(model, opts.output);
+
+    TextTable table;
+    table.setHeader({"target", "space", "cv MAE", "cv RMSE",
+                     "cv MAPE"});
+    for (const proxy::TargetModel &t : model.targets) {
+        table.addRow({t.name, t.logSpace ? "log" : "linear",
+                      model.cvFolds
+                          ? TextTable::num(t.cv.mae, 4)
+                          : std::string("-"),
+                      model.cvFolds
+                          ? TextTable::num(t.cv.rmse, 4)
+                          : std::string("-"),
+                      model.cvFolds ? TextTable::pct(t.cv.mape)
+                                    : std::string("-")});
+    }
+    table.print(std::cout);
+    std::cout << "train: " << proxy::modelKindName(model.kind)
+              << " model over " << model.trainRows << " rows ("
+              << ds.journalCount << " journal(s), "
+              << model.configNames.size() << "+"
+              << model.profileNames.size() << " features, "
+              << (model.cvFolds
+                      ? std::to_string(model.cvFolds) + "-fold CV"
+                      : std::string("CV skipped: too few rows"))
+              << ") -> " << opts.output << "\n";
+
+    if (!opts.statsJson.empty()) {
+        obs::RunManifest manifest = obs::makeManifest("train");
+        manifest.seed = topts.seed;
+        manifest.profileChecksum = ds.profileChecksum;
+        manifest.hasProfileChecksum = true;
+        obs::Registry reg;
+        reg.gauge("proxy.train.rows").set(double(model.trainRows));
+        reg.gauge("proxy.train.journals")
+            .set(double(ds.journalCount));
+        reg.gauge("proxy.train.skipped_corrupt")
+            .set(double(ds.skippedCorrupt));
+        reg.gauge("proxy.train.cv_folds").set(double(model.cvFolds));
+        reg.gauge("proxy.train.features")
+            .set(double(model.configNames.size() +
+                        model.profileNames.size()));
+        for (const proxy::TargetModel &t : model.targets) {
+            reg.gauge("proxy.cv." + t.name + ".mae").set(t.cv.mae);
+            reg.gauge("proxy.cv." + t.name + ".rmse").set(t.cv.rmse);
+            reg.gauge("proxy.cv." + t.name + ".mape").set(t.cv.mape);
+        }
+        const Expected<void> w = obs::writeStatsJson(
+            opts.statsJson, reg.snapshot(), manifest);
+        if (!w)
+            throw w.error();
+    }
+    return 0;
+}
+
+int
+cmdRank(const Options &opts)
+{
+    namespace exp = ssim::experiments;
+    if (opts.grids.empty()) {
+        argError("rank requires at least one --grid axis "
+                 "(e.g. --grid ruu=16,32,64)");
+    }
+    const proxy::SurrogateModel model =
+        proxy::loadModelFile(opts.target);
+    opts.cfg.validate();
+    const std::vector<exp::ConfigPoint> grid =
+        exp::expandConfigGrid(opts.cfg, opts.grids);
+
+    struct Ranked
+    {
+        size_t index = 0;
+        double ipc = 0, epc = 0, edp = 0, key = 0;
+        bool frontier = false;
+    };
+    const proxy::TargetModel *ipcT = model.findTarget("ipc");
+    const proxy::TargetModel *epcT = model.findTarget("epc");
+    const proxy::TargetModel *edpT = model.findTarget("edp");
+    const proxy::TargetModel *keyT = model.findTarget(opts.rankBy);
+    // EDP derives from IPC and EPC when the model never learned it
+    // directly (EDP = EPC / IPC^2).
+    const bool derivedEdp = !edpT && ipcT && epcT;
+    if (!keyT && !(opts.rankBy == "edp" && derivedEdp)) {
+        argError("rank --by " + opts.rankBy +
+                 ": model has no such target");
+    }
+
+    std::vector<Ranked> ranked;
+    ranked.reserve(grid.size());
+    std::vector<proxy::ParetoPoint> preds;
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const std::vector<double> x =
+            model.featuresFor(grid[i].cfg);
+        Ranked r;
+        r.index = i;
+        r.ipc = ipcT ? model.predict(*ipcT, x) : 0.0;
+        r.epc = epcT ? model.predict(*epcT, x) : 0.0;
+        if (edpT)
+            r.edp = model.predict(*edpT, x);
+        else if (derivedEdp && r.ipc > 0)
+            r.edp = r.epc / (r.ipc * r.ipc);
+        r.key = keyT ? model.predict(*keyT, x) : r.edp;
+        ranked.push_back(r);
+        if (ipcT && epcT)
+            preds.push_back({i, r.ipc, r.epc});
+    }
+    if (ipcT && epcT) {
+        for (const size_t idx : proxy::paretoFrontier(preds))
+            ranked[idx].frontier = true;
+    }
+
+    // IPC is a maximize metric; everything else (epc, edp) ranks
+    // ascending. Ties break on grid order for a stable listing.
+    const bool descending = opts.rankBy == "ipc";
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const Ranked &a, const Ranked &b) {
+                  if (a.key != b.key)
+                      return descending ? a.key > b.key
+                                        : a.key < b.key;
+                  return a.index < b.index;
+              });
+
+    const size_t n = opts.topN == 0
+                         ? ranked.size()
+                         : std::min<size_t>(opts.topN,
+                                            ranked.size());
+    TextTable table;
+    table.setHeader({"rank", "point", "pred IPC", "pred EPC (W)",
+                     "pred EDP", "pareto"});
+    for (size_t r = 0; r < n; ++r) {
+        const Ranked &p = ranked[r];
+        table.addRow({std::to_string(r + 1), grid[p.index].name,
+                      ipcT ? TextTable::num(p.ipc) : "-",
+                      epcT ? TextTable::num(p.epc, 2) : "-",
+                      edpT || derivedEdp ? TextTable::num(p.edp, 2)
+                                         : "-",
+                      p.frontier ? "*" : ""});
+    }
+    table.print(std::cout);
+    std::cout << "rank: " << grid.size() << " points by predicted "
+              << opts.rankBy << " (" << proxy::modelKindName(
+                     model.kind) << " model, showing " << n << ")\n";
+    return 0;
+}
+
 int
 cmdSweep(const Options &opts)
 {
@@ -667,9 +929,95 @@ cmdSweep(const Options &opts)
 
     std::vector<exp::SweepPoint> points;
     points.reserve(grid.size());
-    for (const exp::ConfigPoint &point : grid)
-        points.push_back({point.name,
-                          exp::configHash(point.cfg)});
+    for (const exp::ConfigPoint &point : grid) {
+        points.push_back(
+            {point.name, exp::configHash(point.cfg),
+             toPointMetrics(proxy::configFeatureMetrics(point.cfg))});
+    }
+
+    // Provenance + training features for the journal header: the
+    // canonical profile digest names the program-as-profiled, so
+    // `ssim train` can refuse to mix journals from different
+    // profiles, and a --surrogate model is checked against the same
+    // digest. A plain --dry-run skips the profiling pass — it must
+    // stay cheap — unless a surrogate needs validating.
+    if (!opts.dryRun || !opts.surrogatePath.empty()) {
+        const core::StatisticalProfile baseProfile =
+            core::buildProfile(bench.program, opts.cfg,
+                               opts.profile);
+        sopts.profileChecksum = core::profileDigest(baseProfile);
+        sopts.baseConfigHash = exp::configHash(opts.cfg);
+        sopts.profileFeatures = toPointMetrics(
+            proxy::profileFeatureMetrics(baseProfile));
+    }
+
+    // Surrogate pruning: predict every point, keep the predicted
+    // Pareto frontier (IPC up, EPC down) plus --frontier-margin
+    // extra shells, and let the engine journal the rest as pruned.
+    std::vector<uint8_t> keepMask;
+    if (!opts.surrogatePath.empty()) {
+        const proxy::SurrogateModel model =
+            proxy::loadModelFile(opts.surrogatePath);
+        if (model.profileChecksum != sopts.profileChecksum) {
+            throw Error(
+                ErrorCategory::InvalidArgument,
+                "surrogate model " + opts.surrogatePath +
+                    " was trained on a different profile (model "
+                    "digest " + util::json::hex64Token(model.profileChecksum) +
+                    ", this workload profiles to " +
+                    util::json::hex64Token(sopts.profileChecksum) +
+                    "); retrain it from this workload's journals");
+        }
+        const proxy::TargetModel *ipcT = model.findTarget("ipc");
+        const proxy::TargetModel *epcT = model.findTarget("epc");
+        if (!ipcT || !epcT) {
+            throw Error(ErrorCategory::InvalidArgument,
+                        "surrogate pruning needs a model with both "
+                        "ipc and epc targets");
+        }
+        std::vector<proxy::ParetoPoint> preds;
+        preds.reserve(grid.size());
+        for (size_t i = 0; i < grid.size(); ++i) {
+            const std::vector<double> x =
+                model.featuresFor(grid[i].cfg);
+            preds.push_back({i, model.predict(*ipcT, x),
+                             model.predict(*epcT, x)});
+        }
+        keepMask = proxy::frontierMask(preds, opts.frontierMargin);
+        const size_t kept = static_cast<size_t>(std::count(
+            keepMask.begin(), keepMask.end(), uint8_t{1}));
+        std::cout << "surrogate: keeping " << kept << " of "
+                  << grid.size()
+                  << " points (predicted Pareto frontier + margin "
+                  << opts.frontierMargin << ")\n";
+        sopts.keepMask = &keepMask;
+    }
+
+    if (opts.dryRun) {
+        const exp::SweepPlan plan = exp::planSweep(points, sopts);
+        TextTable table;
+        table.setHeader({"point", "action", "journaled",
+                         "attempts"});
+        for (size_t p = 0; p < grid.size(); ++p) {
+            const exp::PointPlan &pl = plan.points[p];
+            table.addRow({grid[p].name,
+                          exp::planActionName(pl.action),
+                          exp::pointStatusName(pl.journaled),
+                          std::to_string(pl.attempts)});
+        }
+        table.print(std::cout);
+        if (plan.skippedCorrupt > 0) {
+            warn("dry-run: skipped " +
+                 std::to_string(plan.skippedCorrupt) +
+                 " corrupt journal line(s)");
+        }
+        std::cout << "dry-run: " << grid.size() << " points -> "
+                  << plan.runCount << " to run, " << plan.retryCount
+                  << " to retry, " << plan.reuseCount
+                  << " reused from journal, " << plan.pruneCount
+                  << " pruned; nothing was simulated\n";
+        return 0;
+    }
 
     const exp::SweepSummary summary = exp::runSweep(
         points,
@@ -731,7 +1079,8 @@ cmdSweep(const Options &opts)
               << summary.errorCount << " error, "
               << summary.timeoutCount << " timeout, "
               << summary.crashedCount << " crashed, "
-              << summary.pendingCount << " pending; re-ran "
+              << summary.pendingCount << " pending, "
+              << summary.prunedCount << " pruned; re-ran "
               << summary.executedCount << " points, reused "
               << summary.reusedCount << " from journal\n";
     if (!opts.journal.empty())
@@ -775,6 +1124,12 @@ cmdServe(const Options &opts)
     sopts.restartBackoffSeconds = opts.restartBackoffMs / 1000.0;
     sopts.restartBackoffCapSeconds =
         std::max(sopts.restartBackoffSeconds, 2.0);
+
+    // --trace records per-request spans (admission -> predict ->
+    // respond) on per-worker tracks, written once at exit.
+    obs::TraceLog traceLog;
+    if (!opts.tracePath.empty())
+        sopts.trace = &traceLog;
     sopts.validate();
 
     obs::RunManifest manifest = obs::makeManifest("serve");
@@ -795,6 +1150,12 @@ cmdServe(const Options &opts)
     if (!opts.statsJson.empty()) {
         const Expected<void> w = obs::writeStatsJson(
             opts.statsJson, server.metricsSnapshot(), manifest);
+        if (!w)
+            throw w.error();
+    }
+    if (!opts.tracePath.empty()) {
+        const Expected<void> w =
+            traceLog.write(opts.tracePath, manifest);
         if (!w)
             throw w.error();
     }
@@ -880,6 +1241,10 @@ main(int argc, char **argv)
             return cmdCompare(opts);
         if (opts.command == "sweep")
             return cmdSweep(opts);
+        if (opts.command == "train")
+            return cmdTrain(opts);
+        if (opts.command == "rank")
+            return cmdRank(opts);
         if (opts.command == "serve")
             return cmdServe(opts);
         if (opts.command == "chaos")
