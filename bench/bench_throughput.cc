@@ -234,6 +234,60 @@ BM_SyntheticEndToEndStreamed(benchmark::State &state)
 BENCHMARK(BM_SyntheticEndToEndStreamed)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Where the simulation wall-clock goes: the streamed run with
+ * per-stage timers on, reported as counters — the share of profiled
+ * stage time per pipeline stage plus the event-driven scheduler's
+ * skipped-cycle accounting. The timers distort the absolute rate
+ * (two clock reads per stage per executed cycle), so read the shares
+ * here and the rates from the uninstrumented benchmarks above.
+ */
+void
+BM_SyntheticStreamStageBreakdown(benchmark::State &state)
+{
+    core::GenerationOptions gopts;
+    gopts.reductionFactor = 4;
+    cpu::StageCost cost;
+    cpu::SchedCounters sched;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        core::StreamingGenerator gen(
+            sharedProfile(), gopts,
+            core::requiredStreamLookback(cfg()));
+        core::StsFrontend frontend(gen, cfg());
+        cpu::OoOCore core(cfg(), frontend);
+        core.enableStageProfile();
+        const cpu::SimStats &stats = core.run();
+        benchmark::DoNotOptimize(stats.committed);
+        insts += gen.generated();
+        cycles += stats.cycles;
+        cost = core.stageCost();
+        sched = core.sched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+
+    double total = 0.0;
+    for (double s : cost.seconds)
+        total += s;
+    const auto share = [&](cpu::StageCost::Stage s) {
+        return total > 0.0 ? cost.seconds[s] / total : 0.0;
+    };
+    state.counters["commit_share"] = share(cpu::StageCost::Commit);
+    state.counters["writeback_share"] =
+        share(cpu::StageCost::Writeback);
+    state.counters["issue_share"] = share(cpu::StageCost::Issue);
+    state.counters["dispatch_share"] =
+        share(cpu::StageCost::Dispatch);
+    state.counters["fetch_share"] = share(cpu::StageCost::Fetch);
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+    state.counters["skipped_cycles"] =
+        static_cast<double>(sched.skippedCycles);
+    state.counters["ff_spans"] = static_cast<double>(sched.ffSpans);
+}
+BENCHMARK(BM_SyntheticStreamStageBreakdown)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -36,6 +36,8 @@ runAndPublish(cpu::OoOCore &core, const cpu::CoreConfig &cfg,
     if (sink->registry) {
         obs::Registry &reg = *sink->registry;
         cpu::publishSimStats(reg, sink->prefix, stats);
+        cpu::publishSchedCounters(reg, sink->prefix + ".sched",
+                                  core.sched());
         tel->publish(reg, sink->prefix);
         if (mem)
             cpu::publishHierarchy(reg, sink->prefix + ".cache", *mem);

@@ -71,7 +71,7 @@ StsFrontend::init()
 }
 
 void
-StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+StsFrontend::fetchCycle(cpu::FetchQueue &ifq, uint32_t maxSlots,
                         uint64_t cycle, SimStats &stats)
 {
     if (fetchTel_.stalled(cycle, stats))
@@ -94,7 +94,9 @@ StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
         const SynthInst &si = *sp;
         ++cursor_;
 
-        DynInst di;
+        // Build the record in its IFQ slot: every path from here
+        // delivers exactly one instruction.
+        DynInst &di = ifq.push();
         di.seq = nextSeq_++;
         if (!wrongPathMode_)
             seqOfPos_[pos % PosRing] = di.seq;
@@ -145,7 +147,6 @@ StsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
                 ++takenSeen;
         }
 
-        ifq.push_back(di);
         ++stats.fetched;
         --budget;
 

@@ -57,7 +57,7 @@ class StsFrontend : public cpu::Frontend
      */
     StsFrontend(SynthInstSource &source, const cpu::CoreConfig &cfg);
 
-    void fetchCycle(std::deque<cpu::DynInst> &ifq, uint32_t maxSlots,
+    void fetchCycle(cpu::FetchQueue &ifq, uint32_t maxSlots,
                     uint64_t cycle, cpu::SimStats &stats) override;
     cpu::DispatchAction atDispatch(cpu::DynInst &di, uint64_t cycle,
                                    cpu::SimStats &stats) override;
@@ -65,6 +65,10 @@ class StsFrontend : public cpu::Frontend
     cpu::MemEvent loadAccess(const cpu::DynInst &di) override;
     cpu::MemEvent storeAccess(const cpu::DynInst &di) override;
     bool done() const override;
+    uint64_t fetchStallUntil() const override
+    {
+        return fetchTel_.stallUntil();
+    }
 
   private:
     void init();

@@ -47,7 +47,7 @@ EdsFrontend::fastForward()
 }
 
 void
-EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+EdsFrontend::fetchCycle(FetchQueue &ifq, uint32_t maxSlots,
                         uint64_t cycle, SimStats &stats)
 {
     if (fetchDone_ || wrongPathStalled_)
@@ -89,7 +89,9 @@ EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
             }
         }
 
-        DynInst di;
+        // Build the record in its IFQ slot: every path from here
+        // delivers exactly one instruction.
+        DynInst &di = ifq.push();
         di.seq = nextSeq_++;
         di.pc = fetchPc_;
         di.op = inst.op;
@@ -124,7 +126,6 @@ EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
                 if (inst.op == isa::Opcode::HALT) {
                     di.outcome = BranchOutcome::Correct;
                     fetchDone_ = true;
-                    ifq.push_back(di);
                     ++stats.fetched;
                     return;
                 }
@@ -159,7 +160,6 @@ EdsFrontend::fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
             fetchDone_ = true;
         }
 
-        ifq.push_back(di);
         ++stats.fetched;
         fetchPc_ = next;
         --budget;

@@ -50,7 +50,7 @@ class EdsFrontend : public Frontend
     EdsFrontend(const isa::Program &prog, const CoreConfig &cfg,
                 EdsOptions opts = {});
 
-    void fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+    void fetchCycle(FetchQueue &ifq, uint32_t maxSlots,
                     uint64_t cycle, SimStats &stats) override;
     DispatchAction atDispatch(DynInst &di, uint64_t cycle,
                               SimStats &stats) override;
@@ -58,6 +58,10 @@ class EdsFrontend : public Frontend
     MemEvent loadAccess(const DynInst &di) override;
     MemEvent storeAccess(const DynInst &di) override;
     bool done() const override;
+    uint64_t fetchStallUntil() const override
+    {
+        return fetchTel_.stallUntil();
+    }
 
     /** The hierarchy, for inspecting miss rates in tests. */
     const MemoryHierarchy &hierarchy() const { return mem_; }

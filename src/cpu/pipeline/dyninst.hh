@@ -50,6 +50,9 @@ struct DynInst
     bool isCtrl = false;
     bool wrongPath = false;
 
+    /** Memory ops occupy an LSQ entry alongside their RUU entry. */
+    bool needsLsq() const { return isLoad || isStore; }
+
     // Control flow (valid when isCtrl).
     bool taken = false;
     BranchOutcome outcome = BranchOutcome::Correct;

@@ -14,13 +14,63 @@
 #ifndef SSIM_CPU_PIPELINE_FRONTEND_HH
 #define SSIM_CPU_PIPELINE_FRONTEND_HH
 
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "dyninst.hh"
 #include "sim_stats.hh"
+#include "util/logging.hh"
 
 namespace ssim::cpu
 {
+
+/**
+ * The fixed-capacity FIFO between fetch and dispatch. The IFQ is
+ * small and bounded by ifqSize, so this is a flat ring over
+ * power-of-two storage — no deque block management on the hottest
+ * producer/consumer path — and push() hands out the slot itself so
+ * frontends build each DynInst in place instead of copying one in.
+ */
+class FetchQueue
+{
+  public:
+    explicit FetchQueue(uint32_t capacity) : capacity_(capacity)
+    {
+        uint32_t storage = 1;
+        while (storage < capacity)
+            storage <<= 1;
+        buf_.resize(storage);
+        mask_ = storage - 1;
+    }
+
+    /**
+     * Claim the next slot, cleared to a default DynInst. The caller
+     * must respect the maxSlots budget handed to fetchCycle(); the
+     * panic is the backstop for a frontend overrunning it.
+     */
+    DynInst &
+    push()
+    {
+        panicIf(size() >= capacity_, "IFQ overrun");
+        DynInst &slot = buf_[static_cast<uint32_t>(tail_) & mask_];
+        slot = DynInst{};
+        ++tail_;
+        return slot;
+    }
+
+    DynInst &front() { return buf_[static_cast<uint32_t>(head_) & mask_]; }
+    void pop_front() { ++head_; }
+    void clear() { head_ = tail_; }
+    bool empty() const { return head_ == tail_; }
+    size_t size() const { return static_cast<size_t>(tail_ - head_); }
+
+  private:
+    std::vector<DynInst> buf_;
+    uint32_t mask_ = 0;
+    uint32_t capacity_ = 0;
+    uint64_t head_ = 0;  ///< absolute position of the oldest entry
+    uint64_t tail_ = 0;  ///< absolute position one past the youngest
+};
 
 /** What the core must do after dispatching an instruction. */
 enum class DispatchAction : uint8_t
@@ -50,7 +100,7 @@ class Frontend
      * Fetch up to @p maxSlots instructions into @p ifq for this cycle,
      * honouring taken-branch limits and I-cache miss stalls.
      */
-    virtual void fetchCycle(std::deque<DynInst> &ifq, uint32_t maxSlots,
+    virtual void fetchCycle(FetchQueue &ifq, uint32_t maxSlots,
                             uint64_t cycle, SimStats &stats) = 0;
 
     /**
@@ -75,6 +125,17 @@ class Frontend
 
     /** No further instructions will ever be produced. */
     virtual bool done() const = 0;
+
+    /**
+     * Probe for the core's idle-cycle fast-forward: the cycle at which
+     * the frontend's pending fetch stall (redirect, mispredict
+     * recovery, I-cache miss) expires. The core uses it to cap a
+     * fast-forwarded span so per-cycle fetch-stall charges replicate
+     * for exactly the cycles the stall would have covered. Returning 0
+     * ("no stall known") is always safe — it merely prevents skipping
+     * across fetch-stalled cycles.
+     */
+    virtual uint64_t fetchStallUntil() const { return 0; }
 };
 
 } // namespace ssim::cpu

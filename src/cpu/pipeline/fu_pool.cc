@@ -83,32 +83,38 @@ fuPowerUnitFor(isa::InstClass cls)
 FuPool::FuPool(const FuConfig &cfg)
     : cfg_(cfg)
 {
-    auto setup = [this](FuType t, uint32_t count) {
+    auto setup = [this](FuType t, uint32_t count, bool nonPipelined) {
         TypeState &st = types_[static_cast<int>(t)];
         st.count = count;
-        st.busyUntil.assign(count, 0);
+        st.hasNonPipelined = nonPipelined;
+        st.busyUntil.assign(nonPipelined ? count : 0, 0);
     };
-    setup(FuType::IntAlu, cfg.intAluCount);
-    setup(FuType::LdSt, cfg.ldStCount);
-    setup(FuType::FpAlu, cfg.fpAluCount);
-    setup(FuType::IntMult, cfg.intMultCount);
-    setup(FuType::FpMult, cfg.fpMultCount);
-}
-
-void
-FuPool::beginCycle(uint64_t cycle)
-{
-    cycle_ = cycle;
-    for (TypeState &st : types_)
-        st.usedThisCycle = 0;
+    // Only the multiply/divide units can be occupied across cycles:
+    // IntDiv maps to IntMult and FpDiv/FpSqrt map to FpMult (see
+    // fuTypeFor), and those are the only non-pipelined classes.
+    setup(FuType::IntAlu, cfg.intAluCount, false);
+    setup(FuType::LdSt, cfg.ldStCount, false);
+    setup(FuType::FpAlu, cfg.fpAluCount, false);
+    setup(FuType::IntMult, cfg.intMultCount, true);
+    setup(FuType::FpMult, cfg.fpMultCount, true);
 }
 
 bool
 FuPool::acquire(isa::InstClass cls)
 {
     TypeState &st = types_[static_cast<int>(fuTypeFor(cls))];
+    if (st.stamp != cycle_) {   // lazy per-cycle issue-slot reset
+        st.stamp = cycle_;
+        st.usedThisCycle = 0;
+    }
     if (st.usedThisCycle >= st.count)
         return false;
+    if (!st.hasNonPipelined) {
+        // Pipelined-only type: every unit is free at cycle start, so
+        // the slot counter alone decides.
+        ++st.usedThisCycle;
+        return true;
+    }
     // Find a unit that is not occupied by a non-pipelined op.
     for (uint32_t i = 0; i < st.count; ++i) {
         if (st.busyUntil[i] <= cycle_) {

@@ -43,16 +43,26 @@ bool fuNonPipelined(isa::InstClass cls);
 PowerUnit fuPowerUnitFor(isa::InstClass cls);
 
 /**
- * Per-cycle FU arbiter. beginCycle() resets issue slots; acquire()
- * claims a unit of the given type for an instruction class.
+ * Per-cycle FU arbiter. beginCycle() publishes the current cycle;
+ * acquire() claims a unit of the given type for an instruction class.
+ *
+ * Issue-slot accounting is lazy: instead of zeroing every type's
+ * usedThisCycle in beginCycle() (a fixed per-cycle cost even on idle
+ * cycles), each type carries the cycle stamp its counter belongs to
+ * and resets on first acquire of a newer cycle. Only the two types
+ * that can host non-pipelined ops (IntMult hosts IntDiv, FpMult hosts
+ * FpDiv/FpSqrt — see fuTypeFor/fuNonPipelined) keep per-unit
+ * busyUntil timestamps; the purely pipelined types (IntAlu, LdSt,
+ * FpAlu) never block across cycles, so a bare counter compare is
+ * exactly equivalent to the old busyUntil scan for them.
  */
 class FuPool
 {
   public:
     explicit FuPool(const FuConfig &cfg);
 
-    /** Start a new cycle. */
-    void beginCycle(uint64_t cycle);
+    /** Start a new cycle (O(1): records the stamp only). */
+    void beginCycle(uint64_t cycle) { cycle_ = cycle; }
 
     /**
      * Try to claim a unit for @p cls in the current cycle.
@@ -65,6 +75,8 @@ class FuPool
     {
         uint32_t count = 0;
         uint32_t usedThisCycle = 0;
+        uint64_t stamp = ~0ull;   ///< cycle usedThisCycle belongs to
+        bool hasNonPipelined = false;
         std::vector<uint64_t> busyUntil;  ///< for non-pipelined ops
     };
 

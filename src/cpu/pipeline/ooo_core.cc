@@ -1,6 +1,9 @@
 #include "ooo_core.hh"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
 
 #include "cpu/pipeline/telemetry.hh"
 #include "util/error.hh"
@@ -10,7 +13,8 @@ namespace ssim::cpu
 {
 
 OoOCore::OoOCore(const CoreConfig &cfg, Frontend &frontend)
-    : cfg_(cfg), frontend_(&frontend), fuPool_(cfg.fu)
+    : cfg_(cfg), frontend_(&frontend), fuPool_(cfg.fu),
+      ifq_(cfg.ifqSize)
 {
     if (cfg.ruuSize == 0 || cfg.lsqSize == 0 || cfg.ifqSize == 0) {
         throw Error(ErrorCategory::InvalidConfig,
@@ -26,7 +30,15 @@ OoOCore::OoOCore(const CoreConfig &cfg, Frontend &frontend)
                     " (every LSQ entry needs an RUU entry)");
     }
     ruu_.resize(cfg.ruuSize);
+    seqAt_.assign(cfg.ruuSize, 0);
     lsq_.resize(cfg.lsqSize);
+    if ((cfg.ruuSize & (cfg.ruuSize - 1)) == 0)
+        ruuMask_ = cfg.ruuSize - 1;
+    if ((cfg.lsqSize & (cfg.lsqSize - 1)) == 0)
+        lsqMask_ = cfg.lsqSize - 1;
+    readyBits_.assign((cfg.ruuSize + 63) / 64, 0);
+    const char *ref = std::getenv("SSIM_SCHED_REFERENCE");
+    reference_ = ref && *ref && *ref != '0';
 }
 
 bool
@@ -38,16 +50,107 @@ OoOCore::drained() const
 const SimStats &
 OoOCore::run(uint64_t maxCycles)
 {
-    uint64_t lastCommitted = 0;
-    uint64_t lastProgress = 0;
+    uint64_t lastCommitted = stats_.committed;
+    uint64_t cyclesSinceProgress = 0;
+    // Fast-forward arming: the previous executed cycle was zero-work
+    // and charged these stall causes.
+    bool prevIdle = false;
+    std::array<uint64_t, NumStallCauses> prevDelta{};
+    const bool allowSkip = !reference_;
+    constexpr int kFetchRedirect =
+        static_cast<int>(StallCause::FetchRedirect);
+    constexpr int kMispredict =
+        static_cast<int>(StallCause::MispredictRecovery);
+    constexpr int kIcacheMiss =
+        static_cast<int>(StallCause::IcacheMiss);
+    constexpr int kICache = static_cast<int>(PowerUnit::ICache);
+    constexpr int kITlb = static_cast<int>(PowerUnit::ITlb);
+    constexpr int kBpred = static_cast<int>(PowerUnit::Bpred);
+
     while (!drained() && now_ < maxCycles) {
+        // All four progress counters are increment-only, so one sum
+        // detects movement in any of them.
+        const uint64_t work0 = stats_.committed + stats_.issued +
+            stats_.dispatched + stats_.fetched;
+        const uint64_t fetchTouches0 = stats_.unitAccesses[kICache] +
+            stats_.unitAccesses[kITlb] + stats_.unitAccesses[kBpred];
+        const size_t completions0 = completions_.size();
+        const std::array<uint64_t, NumStallCauses> stalls0 =
+            stats_.stallCycles;
+
         cycle();
+
         if (stats_.committed != lastCommitted) {
             lastCommitted = stats_.committed;
-            lastProgress = now_;
+            cyclesSinceProgress = 0;
+        } else {
+            // Count *executed* cycles rather than elapsed time so a
+            // legitimate fast-forward over a long memory stall cannot
+            // trip the watchdog, while a genuinely wedged pipeline
+            // (which executes every cycle) still does.
+            panicIf(++cyclesSinceProgress > 200000,
+                    "pipeline made no progress for 200k cycles");
         }
-        panicIf(now_ - lastProgress > 200000,
-                "pipeline made no progress for 200k cycles");
+
+        // A cycle is skippable groundwork only if it moved nothing:
+        // no commit/issue/dispatch/fetch, no completion popped (a
+        // stale pop changes the event heap), and no fetch-side power
+        // touches (zero-fetch cycles touch nothing today; the check
+        // guards the invariant against future frontend changes).
+        const bool zeroWork = stats_.committed + stats_.issued +
+                stats_.dispatched + stats_.fetched == work0 &&
+            completions_.size() == completions0 &&
+            stats_.unitAccesses[kICache] + stats_.unitAccesses[kITlb] +
+                stats_.unitAccesses[kBpred] == fetchTouches0;
+        if (!allowSkip || !zeroWork || completions_.empty()) {
+            prevIdle = false;
+            continue;
+        }
+
+        std::array<uint64_t, NumStallCauses> delta;
+        for (int i = 0; i < NumStallCauses; ++i)
+            delta[i] = stats_.stallCycles[i] - stalls0[i];
+        if (!prevIdle || delta != prevDelta) {
+            // First idle cycle, or the charge pattern is still
+            // settling (one-shot frontend latches — e.g. a trace
+            // exhausting — flip on the first idle cycle): require two
+            // consecutive identical zero-work cycles before jumping.
+            prevIdle = true;
+            prevDelta = delta;
+            continue;
+        }
+
+        // Steady idle state: nothing can change before the next
+        // completion event, except a pending fetch stall expiring —
+        // cap the jump at whichever comes first. The skipped span
+        // replays this cycle's accounting arithmetically.
+        uint64_t target = completions_.top().when;
+        if (delta[kFetchRedirect] || delta[kMispredict] ||
+            delta[kIcacheMiss]) {
+            const uint64_t stallEnd = frontend_->fetchStallUntil();
+            if (stallEnd < target)
+                target = stallEnd;
+        }
+        if (target > maxCycles)
+            target = maxCycles;
+        if (target <= now_)
+            continue;
+
+        const uint64_t span = target - now_;
+        stats_.cycles += span;
+        stats_.ruuOccAccum += span * ruuCount_;
+        stats_.lsqOccAccum += span * lsqCount_;
+        stats_.ifqOccAccum += span * ifq_.size();
+        for (int i = 0; i < NumStallCauses; ++i)
+            stats_.stallCycles[i] += span * delta[i];
+        if (telemetry_) {
+            telemetry_->sampleSpan(now_, span, ruuCount_, lsqCount_,
+                                   ifq_.size(), stats_.committed);
+        }
+        now_ = target;
+        sched_.skippedCycles += span;
+        ++sched_.ffSpans;
+        prevIdle = false;  // the next executed cycle pops an event
     }
     return stats_;
 }
@@ -56,11 +159,28 @@ void
 OoOCore::cycle()
 {
     fuPool_.beginCycle(now_);
-    commitStage();
-    writebackStage();
-    issueStage();
-    dispatchStage();
-    fetchStage();
+    if (profile_) [[unlikely]] {
+        using clock = std::chrono::steady_clock;
+        auto timed = [&](StageCost::Stage s, auto &&stage) {
+            const auto t0 = clock::now();
+            stage();
+            stageCost_.seconds[s] +=
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+        };
+        timed(StageCost::Commit, [&] { commitStage(); });
+        timed(StageCost::Writeback, [&] { writebackStage(); });
+        timed(StageCost::Issue, [&] { issueStage(); });
+        timed(StageCost::Dispatch, [&] { dispatchStage(); });
+        timed(StageCost::Fetch, [&] { fetchStage(); });
+        ++stageCost_.profiledCycles;
+    } else {
+        commitStage();
+        writebackStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+    }
 
     stats_.ruuOccAccum += ruuCount_;
     stats_.lsqOccAccum += lsqCount_;
@@ -103,17 +223,49 @@ OoOCore::commitStage()
         }
 
         if (e.lsqIdx >= 0) {
-            lsq_[lsqIndex(lsqHead_)].valid = false;
+            LsqEntry &le = lsq_[lsqIndex(lsqHead_)];
+            if (le.isStore && le.addr != 0)
+                indexStoreRemove(le.addr, le.bytes);
+            le.valid = false;
             ++lsqHead_;
             --lsqCount_;
         }
-        seqToRuu_.erase(e.di.seq);
         e.valid = false;
         ++ruuHead_;
         --ruuCount_;
         ++stats_.committed;
         ++committed;
     }
+}
+
+int32_t
+OoOCore::findRuuBySeq(uint64_t seq) const
+{
+    uint64_t lo = ruuHead_;
+    uint64_t hi = ruuTail_;
+    if (lo == hi)
+        return -1;
+    if (seq < seqAt_[ruuIndex(lo)] || seq > seqAt_[ruuIndex(hi - 1)])
+        return -1;
+    while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        const uint64_t s = seqAt_[ruuIndex(mid)];
+        if (s == seq)
+            return static_cast<int32_t>(ruuIndex(mid));
+        if (s < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return -1;
+}
+
+void
+OoOCore::readyInsert(uint64_t seq, uint32_t idx)
+{
+    readySetBit(idx);
+    if (reference_) [[unlikely]]
+        readyVec_.emplace_back(seq, idx);
 }
 
 void
@@ -124,8 +276,10 @@ OoOCore::wake(RuuEntry &producer)
         if (!c.valid || c.di.seq != seq)
             continue;  // consumer was squashed
         panicIf(c.srcsPending == 0, "waking a ready instruction");
-        if (--c.srcsPending == 0 && !c.issued)
-            readyList_.emplace_back(c.di.seq, idx);
+        if (--c.srcsPending == 0 && !c.issued) {
+            ++sched_.wakeups;
+            readyInsert(c.di.seq, idx);
+        }
     }
     producer.consumers.clear();
 }
@@ -152,13 +306,55 @@ OoOCore::writebackStage()
     }
 }
 
-bool
-OoOCore::loadMayIssue(const LsqEntry &load, bool &forwarded) const
+uint64_t
+OoOCore::granuleMask(uint64_t addr, uint8_t bytes)
 {
-    forwarded = false;
-    if (load.addr == 0)
-        return true;  // synthetic or wrong-path load: flags only
+    // A zero-length record still participates in the strict-
+    // inequality overlap predicate through its start byte; widen it
+    // to one byte so the mask stays a superset of any overlap.
+    const uint64_t len = bytes ? bytes : 1;
+    const uint64_t g0 = addr >> 3;
+    const uint64_t g1 = (addr + len - 1) >> 3;
+    if (g1 - g0 >= 63)
+        return ~0ull;
+    uint64_t m = 0;
+    for (uint64_t g = g0; g <= g1; ++g)
+        m |= 1ull << (g & 63);
+    return m;
+}
 
+void
+OoOCore::indexStoreAdd(uint64_t addr, uint8_t bytes)
+{
+    ++pendingStores_;
+    uint64_t m = granuleMask(addr, bytes);
+    while (m) {
+        const int b = std::countr_zero(m);
+        m &= m - 1;
+        if (storeGranuleRefs_[b]++ == 0)
+            storeBitmap_ |= 1ull << b;
+    }
+}
+
+void
+OoOCore::indexStoreRemove(uint64_t addr, uint8_t bytes)
+{
+    panicIf(pendingStores_ == 0, "store index underflow");
+    --pendingStores_;
+    uint64_t m = granuleMask(addr, bytes);
+    while (m) {
+        const int b = std::countr_zero(m);
+        m &= m - 1;
+        panicIf(storeGranuleRefs_[b] == 0, "granule refcount underflow");
+        if (--storeGranuleRefs_[b] == 0)
+            storeBitmap_ &= ~(1ull << b);
+    }
+}
+
+bool
+OoOCore::loadScanOlderStores(const LsqEntry &load,
+                             bool &forwarded) const
+{
     // Scan older stores, youngest first, for an overlap.
     for (uint64_t pos = lsqTail_; pos-- > lsqHead_;) {
         const LsqEntry &st = lsq_[lsqIndex(pos)];
@@ -177,6 +373,26 @@ OoOCore::loadMayIssue(const LsqEntry &load, bool &forwarded) const
         return true;
     }
     return true;
+}
+
+bool
+OoOCore::loadMayIssue(const LsqEntry &load, bool &forwarded)
+{
+    forwarded = false;
+    if (load.addr == 0)
+        return true;  // synthetic or wrong-path load: flags only
+    if (!reference_) {
+        // The granule index answers the common no-alias case in O(1):
+        // a miss proves no pending store's byte interval can overlap
+        // the load's (shared byte => shared granule => shared bit).
+        if (pendingStores_ == 0 ||
+            !(storeBitmap_ & granuleMask(load.addr, load.bytes))) {
+            ++sched_.disambIndexHits;
+            return true;
+        }
+        ++sched_.disambIndexScans;
+    }
+    return loadScanOlderStores(load, forwarded);
 }
 
 bool
@@ -223,34 +439,62 @@ OoOCore::issueStage()
         issueStageInOrder();
         return;
     }
-    if (readyList_.empty())
+    if (reference_) [[unlikely]] {
+        issueStageReference();
         return;
-    std::sort(readyList_.begin(), readyList_.end());
+    }
+    if (readyCount_ == 0)
+        return;
 
     uint32_t issuedNow = 0;
-    size_t keep = 0;
     bool sawBlock = false;
     StallCause blockCause = StallCause::FuContention;
-    for (size_t i = 0; i < readyList_.size(); ++i) {
-        const auto [seq, idx] = readyList_[i];
+
+    // Visit one ready slot; false stops the walk (width exhausted).
+    auto visit = [&](uint32_t idx) {
+        if (issuedNow >= cfg_.issueWidth)
+            return false;
         RuuEntry &e = ruu_[idx];
-        if (!e.valid || e.di.seq != seq || e.issued)
-            continue;  // squashed or stale
-        if (issuedNow >= cfg_.issueWidth) {
-            readyList_[keep++] = readyList_[i];
-            continue;
-        }
         if (!tryIssue(e, idx)) {
+            // Blocked entries stay ready; record the first cause.
             if (!sawBlock) {
                 sawBlock = true;
                 blockCause = issueBlock_;
             }
-            readyList_[keep++] = readyList_[i];
-            continue;
+            return true;
         }
+        readyClearBit(idx);
         ++issuedNow;
-    }
-    readyList_.resize(keep);
+        return true;
+    };
+    // Walk set bits over slots [lo, hi); false propagates a stop.
+    auto scanRange = [&](uint32_t lo, uint32_t hi) {
+        if (lo >= hi)
+            return true;
+        uint32_t wi = lo >> 6;
+        const uint32_t wiLast = (hi - 1) >> 6;
+        uint64_t word = readyBits_[wi] & (~0ull << (lo & 63));
+        for (;;) {
+            if (wi == wiLast && (hi & 63) != 0)
+                word &= (1ull << (hi & 63)) - 1;
+            while (word) {
+                const uint32_t idx = (wi << 6) +
+                    static_cast<uint32_t>(std::countr_zero(word));
+                word &= word - 1;
+                if (!visit(idx))
+                    return false;
+            }
+            if (wi == wiLast)
+                return true;
+            word = readyBits_[++wi];
+        }
+    };
+    // Ring-position order is age order: slots from the head slot to
+    // the end, then the wrapped prefix (see readyBits_ in the header).
+    const uint32_t start = ruuIndex(ruuHead_);
+    if (scanRange(start, cfg_.ruuSize))
+        scanRange(0, start);
+
     // A zero-issue cycle with ready work is a structural stall;
     // charge the first blocking reason seen.
     if (issuedNow == 0 && sawBlock)
@@ -258,19 +502,67 @@ OoOCore::issueStage()
 }
 
 void
+OoOCore::issueStageReference()
+{
+    // The pre-event-driven issue loop, verbatim: sort the ready
+    // vector and compact it in place. Kept as the equivalence oracle
+    // behind SSIM_SCHED_REFERENCE.
+    if (readyVec_.empty())
+        return;
+    std::sort(readyVec_.begin(), readyVec_.end());
+
+    uint32_t issuedNow = 0;
+    size_t keep = 0;
+    bool sawBlock = false;
+    StallCause blockCause = StallCause::FuContention;
+    for (size_t i = 0; i < readyVec_.size(); ++i) {
+        const auto [seq, idx] = readyVec_[i];
+        RuuEntry &e = ruu_[idx];
+        if (!e.valid || e.di.seq != seq || e.issued)
+            continue;  // squashed or stale
+        if (issuedNow >= cfg_.issueWidth) {
+            readyVec_[keep++] = readyVec_[i];
+            continue;
+        }
+        if (!tryIssue(e, idx)) {
+            if (!sawBlock) {
+                sawBlock = true;
+                blockCause = issueBlock_;
+            }
+            readyVec_[keep++] = readyVec_[i];
+            continue;
+        }
+        readyClearBit(idx);
+        ++issuedNow;
+    }
+    readyVec_.resize(keep);
+    if (issuedNow == 0 && sawBlock)
+        stats_.stall(blockCause);
+}
+
+void
 OoOCore::issueStageInOrder()
 {
-    // Strict program-order issue: walk from the oldest instruction
-    // and stop at the first that cannot issue this cycle.
-    readyList_.clear();   // the ready list is unused in this mode
+    // Strict program-order issue: walk from the oldest non-issued
+    // instruction and stop at the first that cannot issue this cycle.
+    // The cursor makes a window full of in-flight instructions cost
+    // O(1) per cycle instead of re-walking the issued prefix (this
+    // also removed the old unconditional readyList_.clear(): the
+    // ready bitmap is slot-indexed and cleared per issue, so there is
+    // nothing to flush per cycle).
+    if (reference_) [[unlikely]]
+        readyVec_.clear();   // the ready vector is unused in this mode
+    if (inorderNext_ < ruuHead_)
+        inorderNext_ = ruuHead_;
     uint32_t issuedNow = 0;
-    for (uint64_t pos = ruuHead_;
+    for (uint64_t pos = inorderNext_;
          pos < ruuTail_ && issuedNow < cfg_.issueWidth; ++pos) {
         RuuEntry &e = ruu_[ruuIndex(pos)];
-        if (!e.valid)
+        if (e.issued) {
+            if (pos == inorderNext_)
+                ++inorderNext_;
             continue;
-        if (e.issued)
-            continue;
+        }
         if (e.srcsPending > 0)
             break;   // head-of-line blocking: operands pending
         if (!tryIssue(e, ruuIndex(pos))) {
@@ -278,6 +570,9 @@ OoOCore::issueStageInOrder()
                 stats_.stall(issueBlock_);
             break;   // head-of-line blocking: structural
         }
+        readyClearBit(ruuIndex(pos));
+        if (pos == inorderNext_)
+            ++inorderNext_;
         ++issuedNow;
     }
 }
@@ -290,7 +585,7 @@ OoOCore::dispatchStage()
     StallCause blockCause = StallCause::RuuFull;
     while (dispatched < cfg_.decodeWidth && !ifq_.empty()) {
         DynInst &head = ifq_.front();
-        const bool needsLsq = head.isLoad || head.isStore;
+        const bool needsLsq = head.needsLsq();
         if (ruuFull() || (needsLsq && lsqFull())) {
             windowBlocked = true;
             blockCause = ruuFull() ? StallCause::RuuFull
@@ -298,15 +593,18 @@ OoOCore::dispatchStage()
             break;
         }
 
-        DynInst di = head;
+        // Land the record straight in its RUU slot (the slot is dead
+        // until ruuTail_ advances) instead of staging a local copy.
+        const uint32_t idx = ruuIndex(ruuTail_);
+        RuuEntry &e = ruu_[idx];
+        e.di = head;
+        seqAt_[idx] = head.seq;
         ifq_.pop_front();
 
         const DispatchAction action =
-            frontend_->atDispatch(di, now_, stats_);
+            frontend_->atDispatch(e.di, now_, stats_);
 
-        const uint32_t idx = ruuIndex(ruuTail_);
-        RuuEntry &e = ruu_[idx];
-        e.di = di;
+        const DynInst &di = e.di;
         e.valid = true;
         e.issued = false;
         e.completed = false;
@@ -318,14 +616,12 @@ OoOCore::dispatchStage()
             const uint64_t prodSeq = di.srcProducer[s];
             if (prodSeq == 0)
                 continue;
-            auto it = seqToRuu_.find(prodSeq);
-            if (it == seqToRuu_.end())
-                continue;  // producer already committed
-            RuuEntry &producer = ruu_[it->second];
-            if (!producer.valid || producer.di.seq != prodSeq ||
-                producer.completed) {
+            const int32_t pidx = findRuuBySeq(prodSeq);
+            if (pidx < 0)
+                continue;  // producer already committed or squashed
+            RuuEntry &producer = ruu_[static_cast<uint32_t>(pidx)];
+            if (producer.completed)
                 continue;
-            }
             ++e.srcsPending;
             producer.consumers.emplace_back(idx, di.seq);
         }
@@ -337,13 +633,14 @@ OoOCore::dispatchStage()
             e.lsqIdx = static_cast<int>(li);
             ++lsqTail_;
             ++lsqCount_;
+            if (di.isStore && di.memAddr != 0)
+                indexStoreAdd(di.memAddr, di.memBytes);
         }
 
-        seqToRuu_[di.seq] = idx;
         ++ruuTail_;
         ++ruuCount_;
         if (e.srcsPending == 0)
-            readyList_.emplace_back(di.seq, idx);
+            readyInsert(di.seq, idx);
 
         ++dispatched;
         ++stats_.dispatched;
@@ -383,10 +680,11 @@ OoOCore::recoverFrom(const RuuEntry &branch)
 
     // Squash RUU entries younger than the branch.
     while (ruuCount_ > 0) {
-        RuuEntry &e = ruu_[ruuIndex(ruuTail_ - 1)];
+        const uint32_t idx = ruuIndex(ruuTail_ - 1);
+        RuuEntry &e = ruu_[idx];
         if (e.di.seq <= branchSeq)
             break;
-        seqToRuu_.erase(e.di.seq);
+        readyClearBit(idx);
         e.valid = false;
         --ruuTail_;
         --ruuCount_;
@@ -397,14 +695,20 @@ OoOCore::recoverFrom(const RuuEntry &branch)
         LsqEntry &e = lsq_[lsqIndex(lsqTail_ - 1)];
         if (e.seq <= branchSeq)
             break;
+        if (e.isStore && e.addr != 0)
+            indexStoreRemove(e.addr, e.bytes);
         e.valid = false;
         --lsqTail_;
         --lsqCount_;
     }
-    // Drop stale ready entries.
-    std::erase_if(readyList_, [branchSeq](const auto &p) {
-        return p.first > branchSeq;
-    });
+    if (inorderNext_ > ruuTail_)
+        inorderNext_ = ruuTail_;
+    if (reference_) [[unlikely]] {
+        // Drop stale ready entries.
+        std::erase_if(readyVec_, [branchSeq](const auto &p) {
+            return p.first > branchSeq;
+        });
+    }
 
     stats_.ifqSquashed += ifq_.size();
     ifq_.clear();

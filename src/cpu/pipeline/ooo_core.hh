@@ -9,15 +9,34 @@
  * The core is frontend-agnostic: the execution-driven frontend and the
  * synthetic-trace frontend both drive it (section 2.3: "the synthetic
  * trace simulator is a modified version of sim-outorder").
+ *
+ * Scheduling is event-driven (see DESIGN.md "OoO scheduler"): per-cycle
+ * cost is proportional to work done, not to structure sizes, while
+ * SimStats stays bit-identical to a cycle-by-cycle walk:
+ *
+ *  - idle cycles are fast-forwarded: after two consecutive executed
+ *    cycles with zero work and identical stall charges, the span to
+ *    the next completion event (capped by any pending fetch stall) is
+ *    accounted arithmetically and skipped;
+ *  - ready instructions live in an age-ordered bitmap over RUU slots
+ *    maintained at dispatch/wake/issue/squash — no per-cycle sort;
+ *  - store->load disambiguation answers the common no-alias case from
+ *    a refcounted address-granule bitmap instead of scanning the LSQ;
+ *  - producer lookup binary-searches the monotone seq order of the
+ *    RUU ring instead of hashing.
+ *
+ * Setting SSIM_SCHED_REFERENCE=1 in the environment restores the
+ * cycle-by-cycle reference behaviour (sorted ready vector, linear
+ * disambiguation scan, no fast-forward) — the equivalence test
+ * battery byte-compares SimStats between the two paths.
  */
 
 #ifndef SSIM_CPU_PIPELINE_OOO_CORE_HH
 #define SSIM_CPU_PIPELINE_OOO_CORE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "cpu/config.hh"
@@ -31,6 +50,14 @@ namespace ssim::cpu
 
 class PipelineTelemetry;
 
+/** Wall-clock cost attribution per pipeline stage (bench-only). */
+struct StageCost
+{
+    enum Stage { Commit, Writeback, Issue, Dispatch, Fetch, NumStages };
+    std::array<double, NumStages> seconds{};
+    uint64_t profiledCycles = 0;
+};
+
 /** The cycle-accurate out-of-order engine. */
 class OoOCore
 {
@@ -40,6 +67,8 @@ class OoOCore
     /**
      * Attach an optional per-cycle sampler (occupancy distributions,
      * windowed IPC). Costs one pointer test per cycle when null.
+     * Fast-forwarded spans are batched through sampleSpan(), so the
+     * sampler's output stays identical to a cycle-by-cycle run.
      * @p t must outlive the run.
      */
     void attachTelemetry(PipelineTelemetry *t) { telemetry_ = t; }
@@ -58,6 +87,16 @@ class OoOCore
     bool drained() const;
 
     const SimStats &stats() const { return stats_; }
+
+    /** Scheduler-internal counters (core.sched.*). */
+    const SchedCounters &sched() const { return sched_; }
+
+    /**
+     * Time each stage of every executed cycle (two clock reads per
+     * stage — bench use only, not for the hot path).
+     */
+    void enableStageProfile() { profile_ = true; }
+    const StageCost &stageCost() const { return stageCost_; }
 
   private:
     struct RuuEntry
@@ -82,7 +121,13 @@ class OoOCore
         uint8_t bytes = 0;
     };
 
-    /** Pending completion event. */
+    /**
+     * Pending completion event. The comparator orders by time only:
+     * entries completing in the same cycle pop in whatever order the
+     * heap yields, exactly as the pre-event-driven core did — a seq
+     * tie-break here would reorder same-cycle writebacks and change
+     * ResultBus/RUU touch attribution.
+     */
     struct Completion
     {
         uint64_t when;
@@ -94,6 +139,7 @@ class OoOCore
     void commitStage();
     void writebackStage();
     void issueStage();
+    void issueStageReference();
     void issueStageInOrder();
     void dispatchStage();
     void fetchStage();
@@ -103,29 +149,95 @@ class OoOCore
 
     bool ruuFull() const { return ruuCount_ == cfg_.ruuSize; }
     bool lsqFull() const { return lsqCount_ == cfg_.lsqSize; }
-    uint32_t ruuIndex(uint64_t pos) const { return pos % cfg_.ruuSize; }
-    uint32_t lsqIndex(uint64_t pos) const { return pos % cfg_.lsqSize; }
+    // Ring position -> slot. The modulo is a hardware divide on the
+    // hottest paths (every ring access, seven probes per producer
+    // lookup), so power-of-two sizes — every shipped config — use a
+    // mask instead.
+    uint32_t
+    ruuIndex(uint64_t pos) const
+    {
+        return ruuMask_ ? static_cast<uint32_t>(pos) & ruuMask_
+                        : pos % cfg_.ruuSize;
+    }
+    uint32_t
+    lsqIndex(uint64_t pos) const
+    {
+        return lsqMask_ ? static_cast<uint32_t>(pos) & lsqMask_
+                        : pos % cfg_.lsqSize;
+    }
 
     /** Squash everything younger than @p branch and restart fetch. */
     void recoverFrom(const RuuEntry &branch);
 
     /** True if the load at @p lsqIdx may issue; sets forwarding. */
-    bool loadMayIssue(const LsqEntry &load, bool &forwarded) const;
+    bool loadMayIssue(const LsqEntry &load, bool &forwarded);
+    bool loadScanOlderStores(const LsqEntry &load,
+                             bool &forwarded) const;
 
     void wake(RuuEntry &producer);
     void accountMemEvent(const MemEvent &ev);
 
+    /**
+     * RUU slot of the in-flight producer with sequence number @p seq,
+     * or -1 if it already committed (or was squashed). Seq numbers of
+     * live entries are strictly increasing along the ring positions
+     * [ruuHead_, ruuTail_), so a binary search over positions replaces
+     * the old unordered_map (in-flight seqs are sparse — IFQ squashes
+     * leave gaps — so a direct-mapped table would collide).
+     */
+    int32_t findRuuBySeq(uint64_t seq) const;
+
+    // --- age-ordered ready bitmap -------------------------------
+    void readyInsert(uint64_t seq, uint32_t idx);
+    void
+    readySetBit(uint32_t idx)
+    {
+        uint64_t &w = readyBits_[idx >> 6];
+        const uint64_t bit = 1ull << (idx & 63);
+        if (!(w & bit)) {
+            w |= bit;
+            if (++readyCount_ > sched_.readyPeak)
+                sched_.readyPeak = readyCount_;
+        }
+    }
+    void
+    readyClearBit(uint32_t idx)
+    {
+        uint64_t &w = readyBits_[idx >> 6];
+        const uint64_t bit = 1ull << (idx & 63);
+        if (w & bit) {
+            w &= ~bit;
+            --readyCount_;
+        }
+    }
+
+    // --- store-address granule index ----------------------------
+    /** Bits covered by [addr, addr + bytes) at 8-byte granularity. */
+    static uint64_t granuleMask(uint64_t addr, uint8_t bytes);
+    void indexStoreAdd(uint64_t addr, uint8_t bytes);
+    void indexStoreRemove(uint64_t addr, uint8_t bytes);
+
     CoreConfig cfg_;
     Frontend *frontend_;
+    /** Slot masks when the ring sizes are powers of two, else 0. */
+    uint32_t ruuMask_ = 0;
+    uint32_t lsqMask_ = 0;
     FuPool fuPool_;
     SimStats stats_;
+    SchedCounters sched_;
     PipelineTelemetry *telemetry_ = nullptr;
     /** Why the most recent tryIssue() refused (valid after false). */
     StallCause issueBlock_ = StallCause::FuContention;
 
-    std::deque<DynInst> ifq_;
+    FetchQueue ifq_;
 
     std::vector<RuuEntry> ruu_;
+    /**
+     * di.seq per RUU slot, maintained at dispatch: findRuuBySeq()'s
+     * binary-search probes read this flat array instead of striding
+     * across the much larger RuuEntry records.
+     */
+    std::vector<uint64_t> seqAt_;
     uint64_t ruuHead_ = 0;   ///< absolute position of oldest entry
     uint64_t ruuTail_ = 0;   ///< absolute position one past youngest
     uint32_t ruuCount_ = 0;
@@ -135,11 +247,45 @@ class OoOCore
     uint64_t lsqTail_ = 0;
     uint32_t lsqCount_ = 0;
 
-    std::unordered_map<uint64_t, uint32_t> seqToRuu_;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
-    /** Ready-to-issue candidates: (seq, ruu index). */
-    std::vector<std::pair<uint64_t, uint32_t>> readyList_;
+
+    /**
+     * Ready-to-issue candidates as a bitmap over RUU slots. Age order
+     * falls out of the ring layout: walking slots from ruuIndex(
+     * ruuHead_) with wrap visits live entries oldest-first, which is
+     * exactly the (seq, idx) sort order the reference path uses —
+     * dispatch is in-order and squashes peel from the tail, so ring
+     * position order *is* seq order.
+     */
+    std::vector<uint64_t> readyBits_;
+    uint32_t readyCount_ = 0;
+    /** Reference path only: the old sorted (seq, idx) vector. */
+    std::vector<std::pair<uint64_t, uint32_t>> readyVec_;
+
+    /**
+     * In-order issue cursor: absolute RUU position below which every
+     * live entry has issued. Monotone except for squashes, which clamp
+     * it back to the new tail.
+     */
+    uint64_t inorderNext_ = 0;
+
+    /**
+     * Pending-store address index: one bit per 8-byte granule modulo
+     * 64, with a refcount per bit so overlapping stores compose. A
+     * load whose granule mask misses the bitmap provably has no
+     * older overlapping store (bitmap intersection is a superset of
+     * byte-interval intersection); on a hit the exact LSQ scan runs
+     * and returns the reference verdict.
+     */
+    uint64_t storeBitmap_ = 0;
+    std::array<uint32_t, 64> storeGranuleRefs_{};
+    uint32_t pendingStores_ = 0;
+
+    /** SSIM_SCHED_REFERENCE=1: cycle-by-cycle reference behaviour. */
+    bool reference_ = false;
+    bool profile_ = false;
+    StageCost stageCost_;
 
     uint64_t now_ = 0;
 };

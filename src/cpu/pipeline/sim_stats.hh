@@ -160,6 +160,24 @@ struct SimStats
     }
 };
 
+/**
+ * Scheduler-internal observability, kept deliberately *outside*
+ * SimStats: SimStats is the architectural contract (the equivalence
+ * battery byte-compares it between the event-driven scheduler and the
+ * cycle-by-cycle reference), while these counters describe how the
+ * scheduler did its work and legitimately differ between the two
+ * paths. Published as core.sched.* (see publishSchedCounters).
+ */
+struct SchedCounters
+{
+    uint64_t wakeups = 0;         ///< consumers moved to ready
+    uint64_t skippedCycles = 0;   ///< idle cycles fast-forwarded over
+    uint64_t ffSpans = 0;         ///< fast-forward jumps taken
+    uint64_t readyPeak = 0;       ///< ready-queue high-water mark
+    uint64_t disambIndexHits = 0; ///< O(1) no-alias verdicts
+    uint64_t disambIndexScans = 0;///< fallbacks to the full LSQ scan
+};
+
 } // namespace ssim::cpu
 
 #endif // SSIM_CPU_PIPELINE_SIM_STATS_HH

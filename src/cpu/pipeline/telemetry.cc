@@ -150,6 +150,21 @@ publishSimStats(obs::Registry &reg, const std::string &prefix,
 }
 
 void
+publishSchedCounters(obs::Registry &reg, const std::string &prefix,
+                     const SchedCounters &sched)
+{
+    auto c = [&](const char *name, uint64_t v) {
+        reg.counter(prefix + "." + name).set(v);
+    };
+    c("wakeups", sched.wakeups);
+    c("skipped-cycles", sched.skippedCycles);
+    c("ff-spans", sched.ffSpans);
+    c("ready-peak", sched.readyPeak);
+    c("disamb.index-hits", sched.disambIndexHits);
+    c("disamb.index-scans", sched.disambIndexScans);
+}
+
+void
 publishHierarchy(obs::Registry &reg, const std::string &prefix,
                  const MemoryHierarchy &mem)
 {

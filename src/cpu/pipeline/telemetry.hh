@@ -101,6 +101,13 @@ class FetchTelemetry
         cause_ = StallCause::MispredictRecovery;
     }
 
+    /**
+     * First cycle at which fetch is no longer gated (cycles before
+     * this are charged to the pending cause). Feeds the frontends'
+     * Frontend::fetchStallUntil() probe.
+     */
+    uint64_t stallUntil() const { return stallUntil_; }
+
   private:
     const CoreConfig *cfg_;
     uint64_t stallUntil_ = 0;
@@ -145,6 +152,36 @@ class PipelineTelemetry
         if (windowCycles_ && cycle - windowStartCycle_ + 1 >=
                                  windowCycles_) {
             closeWindow(cycle + 1, committed);
+        }
+    }
+
+    /**
+     * Batch-sample @p span consecutive cycles [cycle, cycle + span)
+     * that all observe the same occupancies and committed count (the
+     * core's idle-cycle fast-forward produces exactly such spans).
+     * Bit-identical to calling sample() span times: bucket counts and
+     * occupancy sums are linear in the number of samples, and every
+     * interval-IPC window boundary inside the span closes with the
+     * same end cycle and committed count a per-cycle walk would use.
+     */
+    void
+    sampleSpan(uint64_t cycle, uint64_t span, uint32_t ruuOcc,
+               uint32_t lsqOcc, size_t ifqOcc, uint64_t committed)
+    {
+        ruuBucketCounts_[ruuBucketOf_[ruuOcc]] += span;
+        lsqBucketCounts_[lsqBucketOf_[lsqOcc]] += span;
+        ifqBucketCounts_[ifqBucketOf_[ifqOcc]] += span;
+        ruuOccSum_ += span * ruuOcc;
+        lsqOccSum_ += span * lsqOcc;
+        ifqOccSum_ += span * ifqOcc;
+        sampledCycles_ += span;
+        if (windowCycles_) {
+            // sample() closes a window at cycle c when
+            // c - windowStart + 1 >= windowCycles, with end c + 1.
+            // The last cycle of this span is cycle + span - 1.
+            while (windowStartCycle_ + windowCycles_ <= cycle + span)
+                closeWindow(windowStartCycle_ + windowCycles_,
+                            committed);
         }
     }
 
@@ -197,6 +234,16 @@ void publishSimStats(obs::Registry &reg, const std::string &prefix,
 /** Publish cache/TLB hit-miss counters under @p prefix. */
 void publishHierarchy(obs::Registry &reg, const std::string &prefix,
                       const MemoryHierarchy &mem);
+
+/**
+ * Publish the scheduler's internal counters under @p prefix
+ * ("core.sched.wakeups", "core.sched.skipped-cycles", ...). The
+ * values are deterministic for a fixed seed/config, so they ride the
+ * byte-stable --stats-json contract like every other counter.
+ */
+void publishSchedCounters(obs::Registry &reg,
+                          const std::string &prefix,
+                          const SchedCounters &sched);
 
 } // namespace ssim::cpu
 

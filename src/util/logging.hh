@@ -74,6 +74,19 @@ panicIf(bool condition, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Literal-message overload: resolves ahead of the std::string one for
+ * string literals, so callers on hot paths do not construct (and, past
+ * the SSO limit, heap-allocate) a std::string per call just to have a
+ * message ready for a panic that never fires.
+ */
+inline void
+panicIf(bool condition, const char *msg)
+{
+    if (condition) [[unlikely]]
+        panic(msg);
+}
+
 /** Fatal unless the condition holds. */
 inline void
 fatalIf(bool condition, const std::string &msg)
