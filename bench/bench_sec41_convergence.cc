@@ -14,6 +14,8 @@
 
 #include <iostream>
 
+#include "core/ensemble.hh"
+#include "core/gen_model.hh"
 #include "experiments/harness.hh"
 #include "util/statistics.hh"
 #include "util/table.hh"
@@ -46,17 +48,26 @@ main()
         const auto profile = profileFor(bench, cfg, knobs);
         std::vector<std::string> row = {bench.name};
         for (size_t i = 0; i < reductions.size(); ++i) {
+            // All seeds of one (benchmark, R) cell walk a single
+            // shared generation model, simulated by the ensemble
+            // pool — the multi-seed shape runSeedEnsemble exists
+            // for. Results are bit-identical to the old per-seed
+            // generate+simulate loop at any thread count.
+            core::GenerationOptions gopts;
+            gopts.reductionFactor = reductions[i];
+            const auto model =
+                core::GenModelCache::instance().get(profile, gopts);
+            std::vector<uint64_t> seedList(
+                static_cast<size_t>(seeds));
+            for (int s = 0; s < seeds; ++s)
+                seedList[static_cast<size_t>(s)] =
+                    static_cast<uint64_t>(s + 1);
+            const std::vector<core::SimResult> results =
+                core::runSeedEnsemble(model, cfg, seedList);
             RunningStats ipc;
-            uint64_t traceLen = 0;
-            for (int s = 1; s <= seeds; ++s) {
-                core::GenerationOptions gopts;
-                gopts.reductionFactor = reductions[i];
-                gopts.seed = static_cast<uint64_t>(s);
-                const core::SyntheticTrace trace =
-                    core::generateSyntheticTrace(*profile, gopts);
-                traceLen = trace.size();
-                ipc.add(core::simulateSyntheticTrace(trace, cfg).ipc);
-            }
+            for (const core::SimResult &res : results)
+                ipc.add(res.ipc);
+            const uint64_t traceLen = results.back().stats.committed;
             row.push_back(TextTable::pct(ipc.cov()) + " (" +
                           std::to_string(traceLen / 1000) + "K)");
             covByR[i].add(ipc.cov());

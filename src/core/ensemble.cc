@@ -1,0 +1,143 @@
+#include "ensemble.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "sts_frontend.hh"
+
+namespace ssim::core
+{
+
+namespace
+{
+
+/** Run one ensemble member on the calling thread. */
+Expected<SimResult>
+runOne(const EnsembleJob &job)
+{
+    return tryInvoke([&] {
+        if (!job.model) {
+            throw Error(ErrorCategory::InvalidConfig,
+                        "runEnsemble: job has a null GenModel");
+        }
+        StreamingGenerator gen(job.model, job.seed,
+                               requiredStreamLookback(job.cfg));
+        // No ObsSink: per-task registry publication from worker
+        // threads would race on metric names; callers publish
+        // ensemble-level counters via publishEnsembleStats instead.
+        return simulateSyntheticStream(gen, job.cfg, nullptr);
+    });
+}
+
+} // namespace
+
+std::vector<Expected<SimResult>>
+runEnsembleExpected(const std::vector<EnsembleJob> &jobs,
+                    const EnsembleOptions &opts, EnsembleStats *stats)
+{
+    const size_t n = jobs.size();
+    unsigned threads = opts.jobs != 0
+        ? opts.jobs
+        : std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<size_t>(threads, std::max<size_t>(1, n)));
+
+    if (stats) {
+        stats->threads = threads;
+        stats->tasks = n;
+        // Every task is enqueued before the first dequeue, so the
+        // backlog high-water mark is the ensemble size (deterministic
+        // by construction — no timing in the number).
+        stats->queuePeak = n;
+    }
+
+    // Slot per task, filled by whichever worker claims the index:
+    // merge order is task order, independent of completion order.
+    std::vector<Expected<SimResult>> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        results.emplace_back(
+            Error(ErrorCategory::Internal, "ensemble task not run"));
+    }
+    if (n == 0)
+        return results;
+
+    std::atomic<size_t> next{0};
+    // Non-ssim exceptions are bugs and must not escape a worker
+    // thread (std::terminate); capture and rethrow the first one in
+    // task order on the calling thread.
+    std::vector<std::exception_ptr> fatal(n);
+
+    const auto worker = [&] {
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                results[i] = runOne(jobs[i]);
+            } catch (...) {
+                fatal[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const std::exception_ptr &e : fatal) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+std::vector<SimResult>
+runEnsemble(const std::vector<EnsembleJob> &jobs,
+            const EnsembleOptions &opts, EnsembleStats *stats)
+{
+    std::vector<Expected<SimResult>> expected =
+        runEnsembleExpected(jobs, opts, stats);
+    std::vector<SimResult> results;
+    results.reserve(expected.size());
+    for (Expected<SimResult> &e : expected) {
+        if (!e.ok())
+            throw Error(e.error());
+        results.push_back(std::move(e.value()));
+    }
+    return results;
+}
+
+std::vector<SimResult>
+runSeedEnsemble(const std::shared_ptr<const GenModel> &model,
+                const cpu::CoreConfig &cfg,
+                const std::vector<uint64_t> &seeds,
+                const EnsembleOptions &opts, EnsembleStats *stats)
+{
+    std::vector<EnsembleJob> jobs;
+    jobs.reserve(seeds.size());
+    for (uint64_t seed : seeds)
+        jobs.push_back({model, cfg, seed});
+    return runEnsemble(jobs, opts, stats);
+}
+
+void
+publishEnsembleStats(obs::Registry &registry, const std::string &prefix,
+                     const EnsembleStats &stats)
+{
+    registry.counter(prefix + ".threads").set(stats.threads);
+    registry.counter(prefix + ".tasks").set(stats.tasks);
+    registry.counter(prefix + ".queue_peak").set(stats.queuePeak);
+}
+
+} // namespace ssim::core

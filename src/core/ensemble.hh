@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parallel ensemble simulation: N seeds × M configurations simulated
+ * concurrently over shared, immutable GenModel state (section 4.1's
+ * multi-seed averages and section 4.6's design-space fleets are the
+ * motivating shapes).
+ *
+ * Determinism contract: each task is an independent, deterministic
+ * (model, config, seed) simulation, and results land in a result
+ * vector indexed by task order — never by completion order — so
+ * runEnsemble() is bit-identical (memcmp on each SimStats) to the
+ * equivalent serial loop, at any thread count, enforced by test.
+ *
+ * Scheduling is a single atomic task index over an internal
+ * std::thread pool: no queue mutation, no work stealing, nothing for
+ * thread interleaving to perturb.
+ */
+
+#ifndef SSIM_CORE_ENSEMBLE_HH
+#define SSIM_CORE_ENSEMBLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "gen_model.hh"
+#include "statsim.hh"
+#include "util/error.hh"
+
+namespace ssim::core
+{
+
+/** One ensemble member: walk @p model with @p seed, simulate on @p cfg. */
+struct EnsembleJob
+{
+    std::shared_ptr<const GenModel> model;
+    cpu::CoreConfig cfg;
+    uint64_t seed = 1;
+};
+
+struct EnsembleOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+};
+
+/** Pool observations; published as core.ensemble.* (obs registry). */
+struct EnsembleStats
+{
+    unsigned threads = 0;   ///< workers actually used
+    uint64_t tasks = 0;     ///< ensemble members executed
+    uint64_t queuePeak = 0; ///< max tasks pending at once (all up front)
+};
+
+/**
+ * Run every job, in parallel, results merged in job order. A job that
+ * fails validation comes back as a failed Expected carrying the typed
+ * error (same contract as the harness try* wrappers); non-ssim
+ * exceptions propagate — they are bugs, not inputs.
+ */
+std::vector<Expected<SimResult>>
+runEnsembleExpected(const std::vector<EnsembleJob> &jobs,
+                    const EnsembleOptions &opts = {},
+                    EnsembleStats *stats = nullptr);
+
+/**
+ * Strict variant: the results in job order, or the first (in job
+ * order, not completion order) failure rethrown.
+ */
+std::vector<SimResult>
+runEnsemble(const std::vector<EnsembleJob> &jobs,
+            const EnsembleOptions &opts = {},
+            EnsembleStats *stats = nullptr);
+
+/**
+ * Convenience: one model, one configuration, many seeds (the §4.1 CoV
+ * shape). seeds[i] produces results[i].
+ */
+std::vector<SimResult>
+runSeedEnsemble(const std::shared_ptr<const GenModel> &model,
+                const cpu::CoreConfig &cfg,
+                const std::vector<uint64_t> &seeds,
+                const EnsembleOptions &opts = {},
+                EnsembleStats *stats = nullptr);
+
+/**
+ * Publish pool counters under `<prefix>.{threads,tasks,queue_peak}`.
+ * Kept out of SimStats on purpose: SimStats stays memcmp-comparable
+ * across serial/parallel runs (same discipline as core.sched.*).
+ */
+void publishEnsembleStats(obs::Registry &registry,
+                          const std::string &prefix,
+                          const EnsembleStats &stats);
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_ENSEMBLE_HH

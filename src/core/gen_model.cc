@@ -1,0 +1,294 @@
+#include "gen_model.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serialize.hh"
+#include "util/error.hh"
+
+namespace ssim::core
+{
+
+void
+GenerationOptions::validate() const
+{
+    if (reductionFactor == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "generation options: reductionFactor = 0 is "
+                    "undefined (R >= 1; R = 1 reproduces the full "
+                    "profiled length)");
+    }
+    if (maxDependencyRetries == 0) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "generation options: maxDependencyRetries = 0 "
+                    "would drop every dependency (the paper uses "
+                    "1000)");
+    }
+}
+
+GenModel::GenModel(const StatisticalProfile &profile,
+                   const GenerationOptions &opts)
+    : reductionFactor_(opts.reductionFactor),
+      maxDependencyRetries_(opts.maxDependencyRetries),
+      benchmark_(profile.benchmark)
+{
+    opts.validate();
+    const auto t0 = std::chrono::steady_clock::now();
+    build(profile);
+    buildSeconds_ = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    // The expected synthetic trace length: a 1/R fraction of the
+    // profiled stream.
+    target_ = std::max<uint64_t>(
+        1, profile.instructions /
+               std::max<uint64_t>(1, reductionFactor_));
+}
+
+void
+GenModel::build(const StatisticalProfile &profile)
+{
+    const uint64_t r = std::max<uint64_t>(1, reductionFactor_);
+
+    for (const BlockShape &shape : profile.shapes)
+        maxBlockLen_ = std::max<uint64_t>(maxBlockLen_, shape.size());
+
+    // Canonical (sorted) node order: generation must be a pure
+    // function of the profile's content, independent of hash-map
+    // iteration order (so a saved/reloaded profile reproduces the
+    // same trace for the same seed).
+    std::vector<const Gram *> grams;
+    grams.reserve(profile.nodes.size());
+    for (const auto &[gram, node] : profile.nodes) {
+        if (node.occurrences / r > 0)
+            grams.push_back(&gram);
+    }
+    std::sort(grams.begin(), grams.end(),
+              [](const Gram *a, const Gram *b) { return *a < *b; });
+
+    std::unordered_map<Gram, uint32_t, GramHash> index;
+    occurrences_.reserve(grams.size());
+    for (const Gram *gram : grams) {
+        const auto &node = profile.nodes.at(*gram);
+        const uint32_t idx = static_cast<uint32_t>(nodes_.size());
+        index.emplace(*gram, idx);
+        ReducedNode rn;
+        rn.blockId = StatisticalProfile::blockOf(*gram);
+        rn.entryPlan = makePlan(profile, rn.blockId, node.entryStats);
+        occurrences_.push_back(node.occurrences / r);
+        nodes_.push_back(std::move(rn));
+    }
+
+    // Surviving edges (both endpoints alive), in ascending
+    // next-block order for the same reason.
+    for (const Gram *gram : grams) {
+        const auto &node = profile.nodes.at(*gram);
+        ReducedNode &rn = nodes_[index.at(*gram)];
+        std::vector<uint32_t> nextBlocks;
+        nextBlocks.reserve(node.edges.size());
+        for (const auto &[nextBlock, edge] : node.edges)
+            nextBlocks.push_back(nextBlock);
+        std::sort(nextBlocks.begin(), nextBlocks.end());
+        std::vector<uint64_t> weights;
+        for (uint32_t nextBlock : nextBlocks) {
+            if (profile.order == 0)
+                continue;  // k = 0: no edges by definition
+            const auto &edge = node.edges.at(nextBlock);
+            Gram destGram = *gram;
+            destGram.erase(destGram.begin());
+            destGram.push_back(nextBlock);
+            const auto dit = index.find(destGram);
+            if (dit == index.end())
+                continue;
+            rn.edges.push_back(
+                {dit->second, makePlan(profile,
+                                       nodes_[dit->second].blockId,
+                                       edge.stats)});
+            weights.push_back(edge.count);
+        }
+        rn.edgeSampler.build(weights);
+        ++aliasTables_;
+    }
+}
+
+/**
+ * Freeze one qualified block's statistics into an emission plan: all
+ * probability ratios the paper's steps 3-8 need, computed once here
+ * instead of per emitted instruction, plus prepared (alias-backed)
+ * dependency-distance distributions. The dependency distributions are
+ * copied into model-owned storage and prepared there — the profile's
+ * lazy-freeze members are never touched, so a profile shared across
+ * threads stays genuinely read-only.
+ */
+const GenModel::EmissionPlan *
+GenModel::makePlan(const StatisticalProfile &profile, uint32_t blockId,
+                   const QBlockStats &stats)
+{
+    const BlockShape &shape = profile.shapes[blockId];
+    const double occ = static_cast<double>(
+        std::max<uint64_t>(1, stats.occurrences));
+
+    EmissionPlan plan;
+    plan.slots.resize(shape.size());
+    for (size_t i = 0; i < shape.size(); ++i) {
+        const SlotShape &slot = shape[i];
+        SlotPlan &sp = plan.slots[i];
+        sp.proto.cls = slot.cls;
+        sp.proto.numSrcs = slot.numSrcs;
+        sp.proto.hasDest = slot.hasDest;
+        sp.proto.isLoad = slot.isLoad;
+        sp.proto.isStore = slot.isStore;
+        sp.proto.isCtrl = slot.isCtrl;
+        sp.proto.blockId = blockId;
+
+        if (i >= stats.slots.size())
+            continue;
+        const SlotStats &ss = stats.slots[i];
+        sp.hasStats = true;
+        for (int p = 0; p < 2; ++p) {
+            if (!ss.depDist[p].empty()) {
+                deps_.push_back(ss.depDist[p]);
+                deps_.back().prepare();
+                sp.dep[p] = &deps_.back();
+                ++aliasTables_;
+            }
+        }
+        sp.pIl1Access = static_cast<double>(ss.il1Access) / occ;
+        if (ss.il1Access > 0) {
+            sp.pIl1Miss = static_cast<double>(ss.il1Miss) /
+                static_cast<double>(ss.il1Access);
+            sp.pItlbMiss = static_cast<double>(ss.itlbMiss) /
+                static_cast<double>(ss.il1Access);
+        }
+        if (ss.il1Miss > 0) {
+            sp.pIl2Miss = static_cast<double>(ss.il2Miss) /
+                static_cast<double>(ss.il1Miss);
+        }
+        if (slot.isLoad) {
+            sp.pDl1Miss = static_cast<double>(ss.dl1Miss) / occ;
+            if (ss.dl1Miss > 0) {
+                sp.pDl2Miss = static_cast<double>(ss.dl2Miss) /
+                    static_cast<double>(ss.dl1Miss);
+            }
+            sp.pDtlbMiss = static_cast<double>(ss.dtlbMiss) / occ;
+        }
+    }
+
+    if (stats.branch.count > 0) {
+        const BranchStats &b = stats.branch;
+        const double total = static_cast<double>(b.count);
+        plan.hasBranchStats = true;
+        plan.pTaken = static_cast<double>(b.taken) / total;
+        plan.pMispredict = static_cast<double>(b.mispredict) / total;
+        plan.pMisOrRedirect = plan.pMispredict +
+            static_cast<double>(b.redirect) / total;
+    }
+
+    plans_.push_back(std::move(plan));
+    return &plans_.back();
+}
+
+GenModelCache &
+GenModelCache::instance()
+{
+    static GenModelCache cache;
+    return cache;
+}
+
+bool
+GenModelCache::enabled()
+{
+    const char *env = std::getenv("SSIM_GEN_MODEL_CACHE");
+    return !env || std::atoi(env) != 0;
+}
+
+uint64_t
+GenModelCache::digestFor(
+    const std::shared_ptr<const StatisticalProfile> &profile)
+{
+    const StatisticalProfile *key = profile.get();
+    {
+        std::lock_guard<std::mutex> lock(digestMu_);
+        auto it = digests_.find(key);
+        // The weak_ptr guards against address reuse: a hit is only a
+        // hit when the memoized owner is still this profile object.
+        if (it != digests_.end() &&
+            it->second.owner.lock() == profile) {
+            return it->second.digest;
+        }
+    }
+    const uint64_t digest = profileDigest(*profile);
+    std::lock_guard<std::mutex> lock(digestMu_);
+    if (digests_.size() > 64) {
+        for (auto it = digests_.begin(); it != digests_.end();) {
+            if (it->second.owner.expired())
+                it = digests_.erase(it);
+            else
+                ++it;
+        }
+    }
+    digests_[key] = {profile, digest};
+    return digest;
+}
+
+std::shared_ptr<const GenModel>
+GenModelCache::get(
+    const std::shared_ptr<const StatisticalProfile> &profile,
+    const GenerationOptions &opts)
+{
+    if (!profile) {
+        throw Error(ErrorCategory::InvalidConfig,
+                    "GenModelCache::get: null profile");
+    }
+    if (!enabled())
+        return std::make_shared<const GenModel>(*profile, opts);
+
+    opts.validate();
+    Key key;
+    key.digest = digestFor(profile);
+    key.reduction = std::max<uint64_t>(1, opts.reductionFactor);
+    key.retries = opts.maxDependencyRetries;
+    return cache_.get(key, [&] {
+        return std::make_shared<const GenModel>(*profile, opts);
+    });
+}
+
+GenModelCacheStats
+GenModelCache::stats() const
+{
+    GenModelCacheStats s;
+    s.hits = cache_.hits();
+    s.misses = cache_.misses();
+    s.evictions = cache_.evictions();
+    return s;
+}
+
+void
+GenModelCache::clear()
+{
+    cache_.clear();
+    std::lock_guard<std::mutex> lock(digestMu_);
+    digests_.clear();
+}
+
+void
+GenModelCache::setCapacity(size_t capacity)
+{
+    cache_.setCapacity(capacity);
+}
+
+void
+publishModelCacheStats(obs::Registry &registry,
+                       const std::string &prefix)
+{
+    const GenModelCacheStats s = GenModelCache::instance().stats();
+    registry.counter(prefix + ".hits").set(s.hits);
+    registry.counter(prefix + ".misses").set(s.misses);
+    registry.counter(prefix + ".evictions").set(s.evictions);
+}
+
+} // namespace ssim::core

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Immutable, thread-shareable generation model: the reduced SFG, the
+ * frozen Walker/Vose alias tables and the per-slot EmissionPlans that
+ * the section 2.2 random walk consumes — everything about generation
+ * that does NOT depend on the seed.
+ *
+ * A GenModel is a pure function of (profile content, GenerationOptions
+ * minus seed). Building one is the expensive part of synthetic trace
+ * generation (graph reduction + alias-table freezing); walking one is
+ * cheap. Splitting the two lets N seeds, M sweep points and concurrent
+ * serve requests share a single build:
+ *
+ *     profile --build once--> GenModel --walk per seed--> trace(s)
+ *
+ * Immutability contract: after the constructor returns, a GenModel is
+ * never written again — every member is logically const, dependency
+ * distributions are *copied* out of the profile and prepared inside
+ * the model (the shared StatisticalProfile is never mutated, not even
+ * through `mutable` lazy-freeze members), and all interior pointers
+ * target model-owned storage. That is what makes handing one
+ * `shared_ptr<const GenModel>` to many simulation threads sound.
+ *
+ * GenModelCache keys models by profile content digest + the
+ * seed-independent generation knobs, with per-key build latches:
+ * concurrent requesters of the same model block only on that key;
+ * distinct keys build in parallel (util::KeyedOnceCache).
+ */
+
+#ifndef SSIM_CORE_GEN_MODEL_HH
+#define SSIM_CORE_GEN_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "profile.hh"
+#include "synth_trace.hh"
+#include "util/distribution.hh"
+#include "util/keyed_once.hh"
+
+namespace ssim::obs
+{
+class Registry;
+}
+
+namespace ssim::core
+{
+
+/** Generation controls. */
+struct GenerationOptions
+{
+    /**
+     * Trace reduction factor R: node occurrences are divided by R and
+     * zero-occurrence nodes removed (typical paper values: 1e3..1e5;
+     * pick R so the synthetic trace has 1e5..1e6 instructions).
+     */
+    uint64_t reductionFactor = 1000;
+
+    /** Random seed (each seed yields an independent trace). */
+    uint64_t seed = 1;
+
+    /**
+     * Maximum resampling attempts when a drawn dependency lands on an
+     * instruction without a destination register (step 4; the paper
+     * uses 1000, after which the dependency is dropped).
+     */
+    uint32_t maxDependencyRetries = 1000;
+
+    /**
+     * @throws ssim::Error (InvalidConfig) for knobs the generation
+     *         walk cannot honour (reduction factor 0, zero dependency
+     *         retries).
+     */
+    void validate() const;
+};
+
+/** Counters the generator accumulates; published via core::ObsSink. */
+struct GeneratorMetrics
+{
+    uint64_t emitted = 0;          ///< instructions produced so far
+    uint64_t blocks = 0;           ///< basic-block instances emitted
+    uint64_t startPicks = 0;       ///< step-1 start-node draws
+    uint64_t walkRestarts = 0;     ///< dead ends + exhausted targets
+    uint64_t depRetries = 0;       ///< step-4 resampling attempts
+    uint64_t depSquashes = 0;      ///< dependencies dropped after retry
+    uint64_t aliasTables = 0;      ///< alias tables frozen at build
+    double buildSeconds = 0.0;     ///< reduced-graph + table build time
+};
+
+/** The seed-independent half of a StreamingGenerator. */
+class GenModel
+{
+  public:
+    /** Precomputed per-slot emission constants (no hot-path divides). */
+    struct SlotPlan
+    {
+        SynthInst proto;         ///< static fields pre-filled
+        const DiscreteDistribution *dep[2] = {nullptr, nullptr};
+        double pIl1Access = 0.0;
+        double pIl1Miss = 0.0;   ///< conditioned on an L1 access
+        double pIl2Miss = 0.0;   ///< conditioned on an L1 miss
+        double pItlbMiss = 0.0;  ///< conditioned on an L1 access
+        double pDl1Miss = 0.0;
+        double pDl2Miss = 0.0;   ///< conditioned on an L1 miss
+        double pDtlbMiss = 0.0;
+        bool hasStats = false;   ///< profiled slot statistics exist
+    };
+
+    /** One qualified block's emission recipe (entry or edge stats). */
+    struct EmissionPlan
+    {
+        std::vector<SlotPlan> slots;
+        double pTaken = 0.0;
+        double pMispredict = 0.0;
+        double pMisOrRedirect = 0.0;
+        bool hasBranchStats = false;
+    };
+
+    /** One node of the reduced statistical flow graph. */
+    struct ReducedNode
+    {
+        uint32_t blockId = 0;
+        const EmissionPlan *entryPlan = nullptr;
+
+        struct ReducedEdge
+        {
+            uint32_t destNode = 0;
+            const EmissionPlan *plan = nullptr;
+        };
+        std::vector<ReducedEdge> edges;
+        AliasTable edgeSampler;
+    };
+
+    /**
+     * Build the model: reduce the SFG by opts.reductionFactor and
+     * freeze every emission plan and alias table. opts.seed is
+     * ignored — it belongs to the per-run cursor. The profile is read
+     * during construction only; the finished model holds no reference
+     * to it.
+     * @throws ssim::Error (InvalidConfig) via opts.validate().
+     */
+    GenModel(const StatisticalProfile &profile,
+             const GenerationOptions &opts);
+
+    // Interior pointers (plans, dep distributions) make the model
+    // address-pinned.
+    GenModel(const GenModel &) = delete;
+    GenModel &operator=(const GenModel &) = delete;
+
+    const std::vector<ReducedNode> &nodes() const { return nodes_; }
+
+    /** Reduced per-node occurrence budget (Fenwick seed per run). */
+    const std::vector<uint64_t> &occurrences() const
+    {
+        return occurrences_;
+    }
+
+    /** Expected trace length (profile instructions / R). */
+    uint64_t target() const { return target_; }
+
+    /** Longest basic block (ring-sizing headroom). */
+    uint64_t maxBlockLen() const { return maxBlockLen_; }
+
+    const std::string &benchmark() const { return benchmark_; }
+    uint64_t reductionFactor() const { return reductionFactor_; }
+    uint32_t maxDependencyRetries() const
+    {
+        return maxDependencyRetries_;
+    }
+
+    /** Alias tables frozen at build (deterministic counter). */
+    uint64_t aliasTables() const { return aliasTables_; }
+
+    /** Wall-clock build time (trace-exporter observation only). */
+    double buildSeconds() const { return buildSeconds_; }
+
+  private:
+    void build(const StatisticalProfile &profile);
+    const EmissionPlan *makePlan(const StatisticalProfile &profile,
+                                 uint32_t blockId,
+                                 const QBlockStats &stats);
+
+    uint64_t reductionFactor_;
+    uint32_t maxDependencyRetries_;
+    std::string benchmark_;
+
+    std::vector<ReducedNode> nodes_;
+    std::deque<EmissionPlan> plans_;         ///< stable storage
+    std::deque<DiscreteDistribution> deps_;  ///< owned prepared copies
+    std::vector<uint64_t> occurrences_;
+
+    uint64_t target_ = 1;
+    uint64_t maxBlockLen_ = 0;
+    uint64_t aliasTables_ = 0;
+    double buildSeconds_ = 0.0;
+};
+
+/** Cache counters, published as core.gen.model_cache.* (obs). */
+struct GenModelCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+/**
+ * Process-wide content-keyed GenModel cache. The key is
+ * (profileDigest(profile), reductionFactor, maxDependencyRetries) —
+ * profile *content*, so two identically-built profiles share a model
+ * regardless of object identity. Digests are memoized per live
+ * profile object, so repeated lookups with the same shared profile
+ * (a sweep's point loop) hash the profile once, not per point.
+ *
+ * Disable with SSIM_GEN_MODEL_CACHE=0 (every call builds a private
+ * model); results are bit-identical either way — the cache only
+ * de-duplicates work.
+ */
+class GenModelCache
+{
+  public:
+    /** Completed models kept (LRU); in-flight builds never evicted. */
+    static constexpr size_t DefaultCapacity = 32;
+
+    static GenModelCache &instance();
+
+    /**
+     * The model for (profile content, opts minus seed): cached build,
+     * per-key latched. Blocks only when another thread is building
+     * this exact key.
+     */
+    std::shared_ptr<const GenModel>
+    get(const std::shared_ptr<const StatisticalProfile> &profile,
+        const GenerationOptions &opts);
+
+    GenModelCacheStats stats() const;
+    void clear();
+    void setCapacity(size_t capacity);
+
+    /** SSIM_GEN_MODEL_CACHE: unset or nonzero = on, 0 = off. */
+    static bool enabled();
+
+  private:
+    GenModelCache() = default;
+
+    struct Key
+    {
+        uint64_t digest = 0;
+        uint64_t reduction = 0;
+        uint32_t retries = 0;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (digest != o.digest)
+                return digest < o.digest;
+            if (reduction != o.reduction)
+                return reduction < o.reduction;
+            return retries < o.retries;
+        }
+    };
+
+    uint64_t
+    digestFor(const std::shared_ptr<const StatisticalProfile> &profile);
+
+    mutable std::mutex digestMu_;
+    struct DigestEntry
+    {
+        std::weak_ptr<const StatisticalProfile> owner;
+        uint64_t digest = 0;
+    };
+    std::map<const StatisticalProfile *, DigestEntry> digests_;
+
+    util::KeyedOnceCache<Key, GenModel> cache_{DefaultCapacity};
+};
+
+/**
+ * Publish the cache counters under `<prefix>.{hits,misses,evictions}`
+ * (satellite of the --stats-json contract: these live in the obs
+ * registry, never in SimStats, so the memcmp equivalence contract
+ * stays honest).
+ */
+void publishModelCacheStats(obs::Registry &registry,
+                            const std::string &prefix);
+
+} // namespace ssim::core
+
+#endif // SSIM_CORE_GEN_MODEL_HH

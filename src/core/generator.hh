@@ -4,19 +4,24 @@
  * trace reduction factor R, then random-walk it with the paper's
  * nine-step algorithm, emitting annotated synthetic instructions.
  *
- * The walk is implemented by StreamingGenerator, an incremental
- * position-addressed instruction source behind a bounded ring buffer:
- * the synthetic-trace simulator consumes instructions as they are
- * generated, so the generate+simulate hot path holds O(ring) memory —
- * independent of the trace length — and generation overlaps
- * simulation. generateSyntheticTrace() drains the same machine into a
- * vector for callers that want the whole trace (tests, trace export),
- * so the streamed and materialized paths emit bit-identical
- * instruction streams for the same seed by construction.
+ * The seed-independent half of the machinery — the reduced graph,
+ * frozen alias tables and per-slot EmissionPlans — lives in GenModel
+ * (gen_model.hh), an immutable object many runs can share across
+ * threads. StreamingGenerator is the per-run cursor over one model:
+ * seed, RNG state, the remaining occurrence budget and a bounded
+ * power-of-two ring of emitted instructions. It implements
+ * SynthInstSource, so the synthetic-trace simulator consumes
+ * instructions as they are generated; the generate+simulate hot path
+ * holds O(ring) memory — independent of the trace length — and
+ * generation overlaps simulation. generateSyntheticTrace() drains the
+ * same machine into a vector for callers that want the whole trace
+ * (tests, trace export), so the streamed and materialized paths emit
+ * bit-identical instruction streams for the same seed by construction.
  *
  * Hot-path costs (see DESIGN.md "generation hot path"):
  *  - every probability ratio is precomputed once per reduced node /
- *    edge at build time (EmissionPlan), not per emitted instruction;
+ *    edge at model build time (EmissionPlan), not per emitted
+ *    instruction;
  *  - edge and dependency-distance draws are O(1) alias-table samples;
  *  - walk restarts pick the start node through a Fenwick sampler in
  *    O(log N) with O(log N) occurrence decrements, replacing the
@@ -27,9 +32,10 @@
 #define SSIM_CORE_GENERATOR_HH
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <vector>
 
+#include "gen_model.hh"
 #include "profile.hh"
 #include "synth_trace.hh"
 #include "util/distribution.hh"
@@ -38,50 +44,10 @@
 namespace ssim::core
 {
 
-/** Generation controls. */
-struct GenerationOptions
-{
-    /**
-     * Trace reduction factor R: node occurrences are divided by R and
-     * zero-occurrence nodes removed (typical paper values: 1e3..1e5;
-     * pick R so the synthetic trace has 1e5..1e6 instructions).
-     */
-    uint64_t reductionFactor = 1000;
-
-    /** Random seed (each seed yields an independent trace). */
-    uint64_t seed = 1;
-
-    /**
-     * Maximum resampling attempts when a drawn dependency lands on an
-     * instruction without a destination register (step 4; the paper
-     * uses 1000, after which the dependency is dropped).
-     */
-    uint32_t maxDependencyRetries = 1000;
-
-    /**
-     * @throws ssim::Error (InvalidConfig) for knobs the generation
-     *         walk cannot honour (reduction factor 0, zero dependency
-     *         retries).
-     */
-    void validate() const;
-};
-
-/** Counters the generator accumulates; published via core::ObsSink. */
-struct GeneratorMetrics
-{
-    uint64_t emitted = 0;          ///< instructions produced so far
-    uint64_t blocks = 0;           ///< basic-block instances emitted
-    uint64_t startPicks = 0;       ///< step-1 start-node draws
-    uint64_t walkRestarts = 0;     ///< dead ends + exhausted targets
-    uint64_t depRetries = 0;       ///< step-4 resampling attempts
-    uint64_t depSquashes = 0;      ///< dependencies dropped after retry
-    uint64_t aliasTables = 0;      ///< alias tables frozen at build
-    double buildSeconds = 0.0;     ///< reduced-graph + table build time
-};
-
 /**
  * The reduction + generation walk as an incremental instruction
- * source (implements SynthInstSource).
+ * source (implements SynthInstSource): a per-run cursor over an
+ * immutable GenModel.
  *
  * Instructions live in a bounded power-of-two ring; at(pos) generates
  * forward on demand and keeps at least lookback() positions behind
@@ -94,8 +60,10 @@ struct GeneratorMetrics
  *
  * Determinism contract: the emitted stream is a pure function of
  * (profile content, options) — the same seed always reproduces the
- * same trace within one build of the simulator. Stability of traces
- * across simulator versions is NOT promised (sampler improvements may
+ * same trace within one build of the simulator, whether the model was
+ * built privately, fetched from the GenModelCache, or shared with
+ * other concurrently-walking cursors. Stability of traces across
+ * simulator versions is NOT promised (sampler improvements may
  * legally change the draw sequence).
  */
 class StreamingGenerator final : public SynthInstSource
@@ -105,12 +73,26 @@ class StreamingGenerator final : public SynthInstSource
     static constexpr uint64_t DefaultRingCapacity = 2048;
 
     /**
+     * Build a private model from @p profile and walk it: the one-shot
+     * convenience path, identical in behaviour to building a GenModel
+     * and handing it to the model constructor below.
      * @param minLookback the revisit window the consumer needs; the
      *        ring is sized to guarantee it (plus the largest block).
      * @throws ssim::Error (InvalidConfig) via opts.validate().
      */
     StreamingGenerator(const StatisticalProfile &profile,
                        const GenerationOptions &opts,
+                       uint64_t minLookback = DefaultRingCapacity);
+
+    /**
+     * Walk a shared (possibly cached, possibly concurrently-walked)
+     * model with @p seed. The model is read-only to the cursor; any
+     * number of cursors may walk the same model from different
+     * threads concurrently.
+     * @throws ssim::Error (InvalidConfig) on a null model.
+     */
+    StreamingGenerator(std::shared_ptr<const GenModel> model,
+                       uint64_t seed,
                        uint64_t minLookback = DefaultRingCapacity);
 
     /** Instruction at @p pos, generating as needed; nullptr at end. */
@@ -129,73 +111,34 @@ class StreamingGenerator final : public SynthInstSource
     bool finished() const { return finished_; }
 
     /** Profiled benchmark name (trace metadata). */
-    const std::string &benchmark() const;
+    const std::string &benchmark() const { return model_->benchmark(); }
 
     /** Options the stream was built with (trace metadata). */
     const GenerationOptions &options() const { return opts_; }
 
+    /** The (possibly shared) model this cursor walks. */
+    const std::shared_ptr<const GenModel> &model() const
+    {
+        return model_;
+    }
+
     const GeneratorMetrics &metrics() const { return metrics_; }
 
   private:
-    /** Precomputed per-slot emission constants (no hot-path divides). */
-    struct SlotPlan
-    {
-        SynthInst proto;         ///< static fields pre-filled
-        const DiscreteDistribution *dep[2] = {nullptr, nullptr};
-        double pIl1Access = 0.0;
-        double pIl1Miss = 0.0;   ///< conditioned on an L1 access
-        double pIl2Miss = 0.0;   ///< conditioned on an L1 miss
-        double pItlbMiss = 0.0;  ///< conditioned on an L1 access
-        double pDl1Miss = 0.0;
-        double pDl2Miss = 0.0;   ///< conditioned on an L1 miss
-        double pDtlbMiss = 0.0;
-        bool hasStats = false;   ///< profiled slot statistics exist
-    };
-
-    /** One qualified block's emission recipe (entry or edge stats). */
-    struct EmissionPlan
-    {
-        std::vector<SlotPlan> slots;
-        double pTaken = 0.0;
-        double pMispredict = 0.0;
-        double pMisOrRedirect = 0.0;
-        bool hasBranchStats = false;
-    };
-
-    /** One node of the reduced statistical flow graph. */
-    struct ReducedNode
-    {
-        uint32_t blockId = 0;
-        const EmissionPlan *entryPlan = nullptr;
-
-        struct ReducedEdge
-        {
-            uint32_t destNode = 0;
-            const EmissionPlan *plan = nullptr;
-        };
-        std::vector<ReducedEdge> edges;
-        AliasTable edgeSampler;
-    };
-
-    void buildReducedGraph();
-    const EmissionPlan *makePlan(uint32_t blockId,
-                                 const QBlockStats &stats);
+    void initRun(uint64_t minLookback);
     void stepBlock();
-    void emitBlock(const EmissionPlan &plan);
+    void emitBlock(const GenModel::EmissionPlan &plan);
     uint16_t sampleDependency(const DiscreteDistribution *dist);
 
-    const StatisticalProfile *profile_;
+    std::shared_ptr<const GenModel> model_;
     GenerationOptions opts_;
     Rng rng_;
 
-    std::vector<ReducedNode> nodes_;
-    std::deque<EmissionPlan> plans_;   ///< stable storage
     FenwickSampler occupancy_;         ///< remaining occurrence budget
 
     std::vector<SynthInst> ring_;
     uint64_t ringMask_ = 0;
     uint64_t lookback_ = 0;
-    uint64_t maxBlockLen_ = 0;
 
     uint64_t target_ = 0;
     uint64_t emitted_ = 0;

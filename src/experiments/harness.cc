@@ -1,11 +1,11 @@
 #include "harness.hh"
 
 #include <cstdlib>
-#include <map>
-#include <mutex>
 #include <sstream>
 
+#include "core/gen_model.hh"
 #include "core/sts_frontend.hh"
+#include "util/keyed_once.hh"
 #include "workloads/workload.hh"
 
 namespace ssim::experiments
@@ -52,13 +52,9 @@ runEds(const Benchmark &bench, cpu::CoreConfig cfg, bool perfectCaches,
     return core::runExecutionDriven(bench.program, cfg);
 }
 
-namespace
-{
-
-/** Profile identity: everything the profile depends on. */
 std::string
-profileKey(const Benchmark &bench, const cpu::CoreConfig &cfg,
-           const StatSimKnobs &knobs)
+profileCacheKey(const Benchmark &bench, const cpu::CoreConfig &cfg,
+                const StatSimKnobs &knobs)
 {
     std::ostringstream key;
     key << bench.name << '|' << knobs.order << '|'
@@ -81,37 +77,29 @@ profileKey(const Benchmark &bench, const cpu::CoreConfig &cfg,
     return key.str();
 }
 
-} // namespace
-
 std::shared_ptr<const core::StatisticalProfile>
 profileFor(const Benchmark &bench, const cpu::CoreConfig &cfg,
            const StatSimKnobs &knobs)
 {
-    // Guarded for parallel sweep workers. The mutex is held across
-    // the build on purpose: racing workers asking for the same key
-    // would otherwise all pay for the expensive profiling pass.
-    static std::mutex cacheMutex;
-    static std::map<std::string,
-                    std::shared_ptr<const core::StatisticalProfile>>
+    // Per-key build latches (util::KeyedOnceCache): concurrent sweep
+    // workers asking for the same key share one profiling pass, while
+    // workers asking for *different* keys build fully in parallel —
+    // the old single mutex held across buildProfile serialized them.
+    static util::KeyedOnceCache<std::string, core::StatisticalProfile>
         cache;
-    const std::string key = profileKey(bench, cfg, knobs);
-    std::lock_guard<std::mutex> lock(cacheMutex);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    core::ProfileOptions opts;
-    opts.order = knobs.order;
-    opts.branchMode = knobs.branchMode;
-    opts.perfectCaches = knobs.perfectCaches;
-    opts.perfectBpred = knobs.perfectBpred;
-    opts.skipInsts = knobs.skipInsts;
-    if (knobs.maxInsts != 0)
-        opts.maxInsts = knobs.maxInsts;
-    auto profile = std::make_shared<core::StatisticalProfile>(
-        core::buildProfile(bench.program, cfg, opts));
-    cache.emplace(key, profile);
-    return profile;
+    const std::string key = profileCacheKey(bench, cfg, knobs);
+    return cache.get(key, [&] {
+        core::ProfileOptions opts;
+        opts.order = knobs.order;
+        opts.branchMode = knobs.branchMode;
+        opts.perfectCaches = knobs.perfectCaches;
+        opts.perfectBpred = knobs.perfectBpred;
+        opts.skipInsts = knobs.skipInsts;
+        if (knobs.maxInsts != 0)
+            opts.maxInsts = knobs.maxInsts;
+        return std::make_shared<const core::StatisticalProfile>(
+            core::buildProfile(bench.program, cfg, opts));
+    });
 }
 
 Expected<core::SimResult>
@@ -140,9 +128,15 @@ runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,
     core::GenerationOptions gopts;
     gopts.reductionFactor = knobs.reductionFactor;
     gopts.seed = knobs.seed;
+    // The seed-independent generation model (reduced graph + alias
+    // tables) is content-cached: sweep points and serve requests that
+    // differ only in seed or core knobs share one build. Results are
+    // bit-identical to a private build (SSIM_GEN_MODEL_CACHE=0).
+    const auto model =
+        core::GenModelCache::instance().get(profile, gopts);
     // Stream: the synthetic trace is consumed as it is generated and
     // never materialized (peak memory independent of trace length).
-    core::StreamingGenerator gen(*profile, gopts,
+    core::StreamingGenerator gen(model, gopts.seed,
                                  core::requiredStreamLookback(cfg));
     return core::simulateSyntheticStream(gen, cfg);
 }

@@ -67,13 +67,28 @@ core::SimResult runEds(const Benchmark &bench,
  * benchmark and an equivalent profiling configuration reuse the
  * profile, which is how a designer amortizes profiling across a
  * design-space sweep — a new profile is only needed when the
- * predictor or cache configuration changes). Thread-safe: the cache
- * is mutex-guarded so parallel sweep workers share one profile;
- * concurrent first requests for the same key serialize on the build.
+ * predictor or cache configuration changes). Thread-safe with per-key
+ * build latches: parallel sweep workers share one profile, concurrent
+ * first requests for the same key block on that key's build only, and
+ * requests for different keys build in parallel.
  */
 std::shared_ptr<const core::StatisticalProfile> profileFor(
     const Benchmark &bench, const cpu::CoreConfig &cfg,
     const StatSimKnobs &knobs);
+
+/**
+ * The cache key profileFor() files @p bench under: a string over
+ * everything the profile depends on (benchmark name, profiling knobs,
+ * and the front-end/cache/predictor configuration fields). Two
+ * configurations with equal keys share one profiling pass — and,
+ * since the generation model is a pure function of (profile,
+ * reduction factor), one generation-model build. `ssim sweep
+ * --dry-run` uses this to annotate which points build a model and
+ * which reuse a cached one.
+ */
+std::string profileCacheKey(const Benchmark &bench,
+                            const cpu::CoreConfig &cfg,
+                            const StatSimKnobs &knobs);
 
 /** Full statistical simulation (profile -> generate -> simulate). */
 core::SimResult runStatSim(const Benchmark &bench, cpu::CoreConfig cfg,

@@ -1,10 +1,14 @@
 #include "predict.hh"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
+#include "core/ensemble.hh"
+#include "core/gen_model.hh"
 #include "experiments/harness.hh"
 #include "experiments/sweep.hh"
 #include "workloads/workload.hh"
@@ -50,6 +54,62 @@ class BenchmarkCache
         cache_;
 };
 
+/** A request resolved to concrete simulation inputs. */
+struct ResolvedRequest
+{
+    cpu::CoreConfig cfg;
+    exp::StatSimKnobs knobs;
+    std::shared_ptr<const exp::Benchmark> bench;
+};
+
+/**
+ * Validate and resolve one predict payload: config grid-key
+ * overrides, knobs, benchmark program. Throws the same typed errors
+ * a bad --grid or workload name gets from the sweep CLI.
+ */
+ResolvedRequest
+resolve(BenchmarkCache &cache, const PredictRequest &req)
+{
+    // The request's config object rides through the same grid
+    // layer the sweep CLI uses: every key is validated against
+    // sweepGridKeys() and every value against the knob's domain,
+    // so a bad request gets the identical InvalidArgument /
+    // InvalidConfig diagnostics a bad --grid would.
+    std::vector<exp::GridAxis> axes;
+    axes.reserve(req.config.size());
+    for (const auto &[key, value] : req.config)
+        axes.push_back({key, {value}});
+    cpu::CoreConfig base = cpu::CoreConfig::baseline();
+    base.perfectCaches = req.perfectCaches;
+    base.perfectBpred = req.perfectBpred;
+    const std::vector<exp::ConfigPoint> grid =
+        exp::expandConfigGrid(base, axes);
+
+    ResolvedRequest out;
+    out.cfg = grid.empty() ? base : grid.front().cfg;
+    out.cfg.validate();
+
+    out.knobs.seed = req.seed;
+    out.knobs.reductionFactor = req.reduction;
+    out.knobs.maxInsts = req.maxInsts;
+    out.knobs.perfectCaches = req.perfectCaches;
+    out.knobs.perfectBpred = req.perfectBpred;
+
+    out.bench = cache.get(req.workload, req.workloadScale);
+    return out;
+}
+
+Metrics
+metricsOf(const core::SimResult &res)
+{
+    return Metrics{
+        {"ipc", res.ipc},
+        {"epc", res.epc},
+        {"edp", res.edp},
+        {"cycles", static_cast<double>(res.stats.cycles)},
+    };
+}
+
 } // namespace
 
 PredictFn
@@ -57,41 +117,69 @@ makeStatSimPredictFn()
 {
     auto cache = std::make_shared<BenchmarkCache>();
     return [cache](const PredictRequest &req) -> Metrics {
-        // The request's config object rides through the same grid
-        // layer the sweep CLI uses: every key is validated against
-        // sweepGridKeys() and every value against the knob's domain,
-        // so a bad request gets the identical InvalidArgument /
-        // InvalidConfig diagnostics a bad --grid would.
-        std::vector<exp::GridAxis> axes;
-        axes.reserve(req.config.size());
-        for (const auto &[key, value] : req.config)
-            axes.push_back({key, {value}});
-        cpu::CoreConfig base = cpu::CoreConfig::baseline();
-        base.perfectCaches = req.perfectCaches;
-        base.perfectBpred = req.perfectBpred;
-        const std::vector<exp::ConfigPoint> grid =
-            exp::expandConfigGrid(base, axes);
-        const cpu::CoreConfig cfg =
-            grid.empty() ? base : grid.front().cfg;
-        cfg.validate();
-
-        exp::StatSimKnobs knobs;
-        knobs.seed = req.seed;
-        knobs.reductionFactor = req.reduction;
-        knobs.maxInsts = req.maxInsts;
-        knobs.perfectCaches = req.perfectCaches;
-        knobs.perfectBpred = req.perfectBpred;
-
-        const std::shared_ptr<const exp::Benchmark> bench =
-            cache->get(req.workload, req.workloadScale);
+        const ResolvedRequest r = resolve(*cache, req);
+        cpu::CoreConfig cfg = r.cfg;
         const core::SimResult res =
-            exp::runStatSim(*bench, cfg, knobs);
-        return Metrics{
-            {"ipc", res.ipc},
-            {"epc", res.epc},
-            {"edp", res.edp},
-            {"cycles", static_cast<double>(res.stats.cycles)},
-        };
+            exp::runStatSim(*r.bench, cfg, r.knobs);
+        return metricsOf(res);
+    };
+}
+
+BatchFn
+makeStatSimBatchFn()
+{
+    auto cache = std::make_shared<BenchmarkCache>();
+    return [cache](const std::vector<PredictRequest> &items,
+                   unsigned jobs) -> std::vector<BatchItemResult> {
+        std::vector<BatchItemResult> out(items.size());
+
+        // Resolution phase: profiles and generation models come out
+        // of their shared caches here, so items that agree on the
+        // profile-affecting knobs reuse one profiling pass and one
+        // model build no matter how the ensemble schedules them.
+        std::vector<core::EnsembleJob> ensemble;
+        std::vector<size_t> ensembleIndex;   // ensemble -> item slot
+        for (size_t i = 0; i < items.size(); ++i) {
+            out[i].seed = items[i].seed;
+            try {
+                const ResolvedRequest r = resolve(*cache, items[i]);
+                cpu::CoreConfig cfg = r.cfg;
+                cfg.perfectCaches = r.knobs.perfectCaches;
+                cfg.perfectBpred = r.knobs.perfectBpred;
+                const auto profile =
+                    exp::profileFor(*r.bench, cfg, r.knobs);
+                core::GenerationOptions gopts;
+                gopts.reductionFactor = r.knobs.reductionFactor;
+                gopts.seed = r.knobs.seed;
+                const auto model =
+                    core::GenModelCache::instance().get(profile,
+                                                        gopts);
+                ensemble.push_back({model, cfg, r.knobs.seed});
+                ensembleIndex.push_back(i);
+            } catch (const Error &e) {
+                out[i].category = e.category();
+                out[i].message = e.message();
+            }
+        }
+
+        core::EnsembleOptions eopts;
+        eopts.jobs = std::max(
+            1u, std::min(jobs, std::max(
+                1u, std::thread::hardware_concurrency())));
+        const std::vector<Expected<core::SimResult>> results =
+            core::runEnsembleExpected(ensemble, eopts);
+
+        for (size_t j = 0; j < results.size(); ++j) {
+            BatchItemResult &r = out[ensembleIndex[j]];
+            if (results[j].ok()) {
+                r.ok = true;
+                r.metrics = metricsOf(results[j].value());
+            } else {
+                r.category = results[j].error().category();
+                r.message = results[j].error().message();
+            }
+        }
+        return out;
     };
 }
 

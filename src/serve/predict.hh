@@ -32,6 +32,19 @@ namespace ssim::serve
  */
 PredictFn makeStatSimPredictFn();
 
+/**
+ * The batch counterpart: all items of a batch request run through
+ * core::runEnsembleExpected over shared GenModel/profile state —
+ * items that differ only in seed (or core knobs that do not affect
+ * the profile) share one model build via the content-keyed
+ * GenModelCache, and the walk+simulate work spreads across the
+ * requested thread count (clamped to the hardware). Per-item results
+ * are bit-identical to the same items sent as individual predict
+ * requests. Item failures (unknown workload, invalid config) come
+ * back in that item's result slot; the batch itself still succeeds.
+ */
+BatchFn makeStatSimBatchFn();
+
 } // namespace ssim::serve
 
 #endif // SSIM_SERVE_PREDICT_HH

@@ -24,12 +24,14 @@ requestTypeFromName(const std::string &name, const LineScanner &p)
 {
     if (name == "predict")
         return RequestType::Predict;
+    if (name == "batch")
+        return RequestType::Batch;
     if (name == "health")
         return RequestType::Health;
     if (name == "metrics")
         return RequestType::Metrics;
     throw p.fail("unknown request type '" + name +
-                 "' (expected predict, health, or metrics)");
+                 "' (expected predict, batch, health, or metrics)");
 }
 
 /** Milliseconds field -> seconds, rejecting negatives and NaN. */
@@ -39,6 +41,75 @@ secondsFromMs(double ms, const char *key, const LineScanner &p)
     if (!(ms >= 0.0))
         throw p.fail(std::string(key) + " must be >= 0");
     return ms / 1000.0;
+}
+
+/**
+ * One predict-payload field (shared between a top-level predict
+ * request and a batch item). Returns false when @p key is not a
+ * predict field.
+ */
+bool
+parsePredictField(LineScanner &p, const std::string &key,
+                  PredictRequest &out)
+{
+    if (key == "workload") {
+        out.workload = p.parseString();
+    } else if (key == "config") {
+        if (!p.consume('{'))
+            throw p.fail("config must be an object");
+        bool cFirst = true;
+        while (!p.consume('}')) {
+            if (!cFirst && !p.consume(','))
+                throw p.fail("expected ',' in config");
+            cFirst = false;
+            const std::string knob = p.parseString();
+            if (!p.consume(':'))
+                throw p.fail("expected ':' in config");
+            out.config.emplace_back(knob, p.parseDouble());
+        }
+    } else if (key == "perfect_caches") {
+        out.perfectCaches = p.parseBool();
+    } else if (key == "perfect_bpred") {
+        out.perfectBpred = p.parseBool();
+    } else if (key == "seed") {
+        out.seed = p.parseU64();
+    } else if (key == "reduction") {
+        out.reduction = p.parseU64();
+    } else if (key == "max_insts") {
+        out.maxInsts = p.parseU64();
+    } else if (key == "workload_scale") {
+        out.workloadScale = p.parseU64();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** One element of a batch request's `requests` array. */
+PredictRequest
+parseBatchItem(LineScanner &p)
+{
+    PredictRequest item;
+    if (!p.consume('{'))
+        throw p.fail("batch item must be an object");
+    bool first = true;
+    while (!p.consume('}')) {
+        if (!first && !p.consume(','))
+            throw p.fail("expected ',' between batch item fields");
+        first = false;
+        const std::string key = p.parseString();
+        if (!p.consume(':'))
+            throw p.fail("expected ':' after key '" + key + "'");
+        if (!parsePredictField(p, key, item)) {
+            throw p.fail("unknown batch item field '" + key +
+                         "' (per-item id/type/deadline_ms/stall_ms "
+                         "are not supported; they belong to the "
+                         "batch request)");
+        }
+    }
+    if (item.workload.empty())
+        throw p.fail("batch item needs a \"workload\"");
+    return item;
 }
 
 } // namespace
@@ -59,46 +130,43 @@ parseRequestLine(const std::string &line)
             const std::string key = p.parseString();
             if (!p.consume(':'))
                 throw p.fail("expected ':' after key '" + key + "'");
-            if (key == "id")
+            if (key == "id") {
                 req.id = p.parseString();
-            else if (key == "type")
+            } else if (key == "type") {
                 req.type = requestTypeFromName(p.parseString(), p);
-            else if (key == "workload")
-                req.predict.workload = p.parseString();
-            else if (key == "config") {
-                if (!p.consume('{'))
-                    throw p.fail("config must be an object");
-                bool cFirst = true;
-                while (!p.consume('}')) {
-                    if (!cFirst && !p.consume(','))
-                        throw p.fail("expected ',' in config");
-                    cFirst = false;
-                    const std::string knob = p.parseString();
-                    if (!p.consume(':'))
-                        throw p.fail("expected ':' in config");
-                    req.predict.config.emplace_back(knob,
-                                                    p.parseDouble());
-                }
-            } else if (key == "perfect_caches")
-                req.predict.perfectCaches = p.parseBool();
-            else if (key == "perfect_bpred")
-                req.predict.perfectBpred = p.parseBool();
-            else if (key == "seed")
-                req.predict.seed = p.parseU64();
-            else if (key == "reduction")
-                req.predict.reduction = p.parseU64();
-            else if (key == "max_insts")
-                req.predict.maxInsts = p.parseU64();
-            else if (key == "workload_scale")
-                req.predict.workloadScale = p.parseU64();
-            else if (key == "deadline_ms")
+            } else if (key == "deadline_ms") {
                 req.deadlineSeconds = secondsFromMs(
                     p.parseDouble(), "deadline_ms", p);
-            else if (key == "stall_ms")
+            } else if (key == "stall_ms") {
                 req.predict.stallSeconds = secondsFromMs(
                     p.parseDouble(), "stall_ms", p);
-            else
+            } else if (key == "jobs") {
+                const uint64_t jobs = p.parseU64();
+                if (jobs == 0 || jobs > 64)
+                    throw p.fail("jobs must be in 1..64");
+                req.batchJobs = static_cast<unsigned>(jobs);
+            } else if (key == "requests") {
+                if (!p.consume('['))
+                    throw p.fail("requests must be an array");
+                bool rFirst = true;
+                while (!p.consume(']')) {
+                    if (!rFirst && !p.consume(','))
+                        throw p.fail("expected ',' between batch "
+                                     "items");
+                    rFirst = false;
+                    if (req.batch.size() >= MaxBatchItems) {
+                        throw p.fail(
+                            "batch exceeds " +
+                            std::to_string(MaxBatchItems) +
+                            " items");
+                    }
+                    req.batch.push_back(parseBatchItem(p));
+                }
+            } else if (parsePredictField(p, key, req.predict)) {
+                // handled
+            } else {
                 throw p.fail("unknown field '" + key + "'");
+            }
         }
         if (!p.atEnd())
             throw p.fail("trailing characters after request");
@@ -107,6 +175,9 @@ parseRequestLine(const std::string &line)
         if (req.type == RequestType::Predict &&
             req.predict.workload.empty())
             throw p.fail("predict request needs a \"workload\"");
+        if (req.type == RequestType::Batch && req.batch.empty())
+            throw p.fail("batch request needs a non-empty "
+                         "\"requests\" array");
         return req;
     });
 }
@@ -129,6 +200,45 @@ renderOkResponse(const std::string &id, uint64_t seed,
         out += doubleToken(value);
     }
     out += '}';
+    appendDouble(out, "wall_ms", wallMs);
+    out += '}';
+    return out;
+}
+
+std::string
+renderBatchResponse(const std::string &id,
+                    const std::vector<BatchItemResult> &results,
+                    double wallMs)
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    appendBool(out, "ok", true);
+    appendKey(out, "results");
+    out += '[';
+    bool first = true;
+    for (const BatchItemResult &r : results) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '{';
+        appendBool(out, "ok", r.ok);
+        if (r.ok) {
+            appendU64(out, "seed", r.seed);
+            appendKey(out, "metrics");
+            out += '{';
+            for (const auto &[name, value] : r.metrics) {
+                appendKey(out, name.c_str());
+                out += doubleToken(value);
+            }
+            out += '}';
+        } else {
+            appendField(out, "error", errorCategoryName(r.category));
+            if (!r.message.empty())
+                appendField(out, "message", r.message);
+        }
+        out += '}';
+    }
+    out += ']';
     appendDouble(out, "wall_ms", wallMs);
     out += '}';
     return out;

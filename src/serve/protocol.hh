@@ -10,8 +10,18 @@
  *   {"id":"r1","type":"predict","workload":"route",
  *    "config":{"ruu":32,"width":4},"seed":7,"reduction":50,
  *    "max_insts":120000,"deadline_ms":2000}
+ *   {"id":"b1","type":"batch","jobs":4,"requests":[
+ *    {"workload":"zip","seed":1},{"workload":"zip","seed":2}]}
  *   {"id":"h1","type":"health"}
  *   {"id":"m1","type":"metrics"}
+ *
+ * A batch request carries an array of predict payloads (same fields
+ * as a predict request minus id/type/deadline_ms/stall_ms) and is
+ * admitted, deadlined and answered as ONE request: a single response
+ * line with a per-item `results` array, item order preserved. `jobs`
+ * asks the ensemble engine for that many worker threads; seeds and
+ * configurations that share a generation model share one build
+ * (core::GenModelCache), which is the point of batching.
  *
  * `config` keys are the sweep grid keys (ruu, lsq, width, ifq,
  * scale-bpred, scale-cache); unknown keys are rejected with the same
@@ -53,6 +63,7 @@ namespace ssim::serve
 enum class RequestType : uint8_t
 {
     Predict,   ///< run one statistical simulation
+    Batch,     ///< run an ensemble of statistical simulations
     Health,    ///< liveness + queue state, answered inline
     Metrics,   ///< full obs registry snapshot, answered inline
 };
@@ -75,6 +86,9 @@ struct PredictRequest
     double stallSeconds = 0.0;    ///< fault injection (stall_ms)
 };
 
+/** Hard cap on batch size: bounded admission, item-count edition. */
+constexpr size_t MaxBatchItems = 256;
+
 /** One parsed request line. */
 struct Request
 {
@@ -82,6 +96,11 @@ struct Request
     RequestType type = RequestType::Predict;
     double deadlineSeconds = 0.0;   ///< 0 = server default
     PredictRequest predict;
+
+    /** Batch payload (type == Batch): the items, in wire order. */
+    std::vector<PredictRequest> batch;
+    /** Requested ensemble threads for the batch (wire field "jobs"). */
+    unsigned batchJobs = 1;
 };
 
 /**
@@ -94,6 +113,25 @@ Expected<Request> parseRequestLine(const std::string &line);
 /** Success response with the prediction metrics. */
 std::string renderOkResponse(const std::string &id, uint64_t seed,
                              const Metrics &metrics, double wallMs);
+
+/** Outcome of one batch item (results array element). */
+struct BatchItemResult
+{
+    bool ok = false;
+    uint64_t seed = 0;
+    Metrics metrics;                ///< valid when ok
+    ErrorCategory category = ErrorCategory::Internal;
+    std::string message;            ///< valid when !ok
+};
+
+/**
+ * Batch response: one line, `results` in item order. Item failures
+ * are reported per element with the same error-category vocabulary
+ * as a failed predict; the batch itself is still `ok`.
+ */
+std::string renderBatchResponse(const std::string &id,
+                                const std::vector<BatchItemResult> &results,
+                                double wallMs);
 
 /**
  * Typed failure response. @p retryAfterMs > 0 adds the backoff hint

@@ -557,6 +557,9 @@ struct Server::Impl
             }
 
             Metrics metrics;
+            std::vector<BatchItemResult> batchResults;
+            const bool isBatch =
+                active->req.type == RequestType::Batch;
             bool failed = false;
             ErrorCategory category = ErrorCategory::Internal;
             std::string message;
@@ -566,7 +569,10 @@ struct Server::Impl
                                 std::string("injected fault: ") +
                                     std::strerror(reqFault.err));
                 }
-                metrics = fn_(active->req.predict);
+                if (isBatch)
+                    batchResults = runBatch(active->req);
+                else
+                    metrics = fn_(active->req.predict);
             } catch (const Error &e) {
                 failed = true;
                 category = e.category();
@@ -609,9 +615,12 @@ struct Server::Impl
                     // overload retry hint.
                     ewmaLatency_ = 0.8 * ewmaLatency_ +
                                    0.2 * (wallMs / 1000.0);
-                    line = renderOkResponse(active->req.id,
-                                            active->req.predict.seed,
-                                            metrics, wallMs);
+                    line = isBatch
+                        ? renderBatchResponse(active->req.id,
+                                              batchResults, wallMs)
+                        : renderOkResponse(active->req.id,
+                                           active->req.predict.seed,
+                                           metrics, wallMs);
                 }
                 // A completed request proves the pool is healthy
                 // again: the crash-restart backoff resets.
@@ -682,6 +691,38 @@ struct Server::Impl
                      {obs::TraceArg::str("id", active->req.id)});
         if (respond)
             respond(line);
+    }
+
+    /**
+     * Execute a batch request on the dispatching worker: the
+     * installed BatchFn (the ensemble path) when one exists,
+     * otherwise a per-item loop over the PredictFn. Per-item errors
+     * land in the item's result slot; only infrastructure failures
+     * (and non-ssim exceptions) escape to the caller's catch.
+     */
+    std::vector<BatchItemResult>
+    runBatch(const Request &req)
+    {
+        if (batchFn_)
+            return batchFn_(req.batch, req.batchJobs);
+        std::vector<BatchItemResult> out;
+        out.reserve(req.batch.size());
+        for (const PredictRequest &item : req.batch) {
+            BatchItemResult r;
+            r.seed = item.seed;
+            try {
+                r.metrics = fn_(item);
+                r.ok = true;
+            } catch (const Error &e) {
+                r.category = e.category();
+                r.message = e.message();
+            } catch (const std::exception &e) {
+                r.category = ErrorCategory::Internal;
+                r.message = e.what();
+            }
+            out.push_back(std::move(r));
+        }
+        return out;
     }
 
     void
@@ -821,6 +862,7 @@ struct Server::Impl
     // --- state ----------------------------------------------------
 
     PredictFn fn_;
+    BatchFn batchFn_;   ///< set before start(); never mutated after
     ServeOptions opts_;
     obs::RunManifest manifest_;
     const Clock::time_point t0_ = Clock::now();   ///< trace epoch
@@ -867,6 +909,12 @@ Server::Server(PredictFn fn, const ServeOptions &opts,
 Server::~Server()
 {
     impl_->stop();
+}
+
+void
+Server::setBatchFn(BatchFn fn)
+{
+    impl_->batchFn_ = std::move(fn);
 }
 
 void

@@ -112,6 +112,18 @@ constexpr int ServeDrainedExitCode = 10;
 using PredictFn = std::function<Metrics(const PredictRequest &)>;
 
 /**
+ * The ensemble behind a batch request: all items, answered in item
+ * order, with per-item outcomes (an item failure does not fail its
+ * neighbours). @p jobs is the client's requested thread count; the
+ * implementation may clamp it. Like PredictFn, must be callable
+ * concurrently from multiple workers. Optional: a server without one
+ * answers batches by looping the PredictFn over the items on the
+ * dispatching worker.
+ */
+using BatchFn = std::function<std::vector<BatchItemResult>(
+    const std::vector<PredictRequest> &items, unsigned jobs)>;
+
+/**
  * Completion callback: receives the rendered response line (no
  * trailing newline) exactly once per submitted request, from an
  * arbitrary thread. Must be safe to call after the submitting
@@ -129,6 +141,9 @@ class Server
     ~Server();
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
+
+    /** Install the batch ensemble path. Call before start(). */
+    void setBatchFn(BatchFn fn);
 
     /** Spawn the worker pool and the watchdog. */
     void start();

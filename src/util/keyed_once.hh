@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Per-key build-once cache with build latches.
+ *
+ * The naive "one mutex around a map, held across the build" cache has
+ * a concurrency bug this type exists to fix: two threads asking for
+ * *different* keys serialize behind each other's expensive builds.
+ * KeyedOnceCache holds its mutex only for map bookkeeping; the build
+ * itself runs outside the lock behind a per-key latch
+ * (std::shared_future), so
+ *
+ *  - concurrent requests for the same key run the build exactly once
+ *    and everyone else blocks on that key's latch;
+ *  - requests for distinct keys build fully in parallel;
+ *  - a build that throws wakes its waiters with the exception and
+ *    removes the entry, so a later request retries instead of caching
+ *    the failure forever.
+ *
+ * Values are immutable once published (shared_ptr<const V>), which is
+ * what makes handing the same object to many threads sound. An
+ * optional capacity bounds the cache with LRU eviction over
+ * *completed* entries (in-flight builds are never evicted).
+ */
+
+#ifndef SSIM_UTIL_KEYED_ONCE_HH
+#define SSIM_UTIL_KEYED_ONCE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace ssim::util
+{
+
+template <typename K, typename V>
+class KeyedOnceCache
+{
+  public:
+    using Ptr = std::shared_ptr<const V>;
+
+    /** @param capacity max completed entries kept; 0 = unbounded. */
+    explicit KeyedOnceCache(size_t capacity = 0) : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Return the value for @p key, running @p build (a callable
+     * returning Ptr) at most once per cached lifetime of the key.
+     * Blocks only when another thread is already building this key.
+     * A wait on an in-flight build counts as a hit — the work was
+     * shared. @p hitOut (optional) reports hit/miss for this call.
+     */
+    template <typename BuildFn>
+    Ptr
+    get(const K &key, BuildFn &&build, bool *hitOut = nullptr)
+    {
+        std::promise<Ptr> promise;
+        std::shared_future<Ptr> future;
+        uint64_t id = 0;
+        bool builder = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(key);
+            if (it != map_.end()) {
+                ++hits_;
+                it->second.lastUse = ++useClock_;
+                future = it->second.future;
+            } else {
+                ++misses_;
+                builder = true;
+                Entry e;
+                e.id = id = ++idClock_;
+                e.lastUse = ++useClock_;
+                future = e.future = promise.get_future().share();
+                map_.emplace(key, std::move(e));
+            }
+        }
+        if (hitOut)
+            *hitOut = !builder;
+        if (!builder)
+            return future.get();
+
+        try {
+            Ptr value = build();
+            promise.set_value(value);
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(key);
+            if (it != map_.end() && it->second.id == id)
+                it->second.ready = true;
+            evictLocked();
+            return value;
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(key);
+            // Guard on id: clear() may have dropped the failed entry
+            // and a fresh build may already occupy the key.
+            if (it != map_.end() && it->second.id == id)
+                map_.erase(it);
+            throw;
+        }
+    }
+
+    uint64_t
+    hits() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return hits_;
+    }
+
+    uint64_t
+    misses() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return misses_;
+    }
+
+    uint64_t
+    evictions() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return evictions_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return map_.size();
+    }
+
+    /** Drop all entries (counters are kept; in-flight builds finish). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.clear();
+    }
+
+    /** Change the completed-entry bound; 0 = unbounded. */
+    void
+    setCapacity(size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        capacity_ = capacity;
+        evictLocked();
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_future<Ptr> future;
+        uint64_t id = 0;
+        uint64_t lastUse = 0;
+        bool ready = false;
+    };
+
+    void
+    evictLocked()
+    {
+        if (capacity_ == 0)
+            return;
+        while (true) {
+            size_t readyCount = 0;
+            auto victim = map_.end();
+            for (auto it = map_.begin(); it != map_.end(); ++it) {
+                if (!it->second.ready)
+                    continue;
+                ++readyCount;
+                if (victim == map_.end() ||
+                    it->second.lastUse < victim->second.lastUse) {
+                    victim = it;
+                }
+            }
+            if (readyCount <= capacity_ || victim == map_.end())
+                return;
+            map_.erase(victim);
+            ++evictions_;
+        }
+    }
+
+    mutable std::mutex mu_;
+    std::map<K, Entry> map_;
+    size_t capacity_;
+    uint64_t useClock_ = 0;
+    uint64_t idClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace ssim::util
+
+#endif // SSIM_UTIL_KEYED_ONCE_HH

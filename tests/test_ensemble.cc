@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Shared generation models + parallel ensemble simulation.
+ *
+ * The load-bearing properties:
+ *  - util::KeyedOnceCache builds once per key, shares in-flight
+ *    builds, lets *distinct* keys build concurrently (the bug the
+ *    type exists to fix), retries failed builds, and evicts LRU;
+ *  - a GenModel cursor is bit-identical whether the model was built
+ *    fresh, came from the cache, or is shared across threads;
+ *  - core::runEnsemble is bit-identical (memcmp on each SimStats) to
+ *    the serial loop, for OoO and in-order cores, streamed and
+ *    materialized alike;
+ *  - typed per-job failures come back as failed Expecteds in job
+ *    order; SSIM_GEN_MODEL_CACHE=0 changes performance, never bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ensemble.hh"
+#include "core/gen_model.hh"
+#include "core/statsim.hh"
+#include "core/sts_frontend.hh"
+#include "experiments/harness.hh"
+#include "util/keyed_once.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ssim;
+
+// ---------------------------------------------------------------
+// KeyedOnceCache
+// ---------------------------------------------------------------
+
+TEST(KeyedOnce, SameKeyBuildsOnceAndShares)
+{
+    util::KeyedOnceCache<int, int> cache;
+    std::atomic<int> builds{0};
+    std::vector<std::shared_ptr<const int>> values(8);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < values.size(); ++t) {
+        threads.emplace_back([&, t] {
+            values[t] = cache.get(7, [&] {
+                ++builds;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                return std::make_shared<const int>(42);
+            });
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(builds.load(), 1);
+    for (const auto &v : values) {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v, values[0]) << "waiters must share one object";
+    }
+    // A wait on an in-flight build counts as a hit: the work was
+    // shared even though nothing was cached yet when the wait began.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), values.size() - 1);
+}
+
+TEST(KeyedOnce, DistinctKeysBuildConcurrently)
+{
+    util::KeyedOnceCache<int, int> cache;
+    std::promise<void> aStarted, bStarted;
+    std::shared_future<void> aFut = aStarted.get_future().share();
+    std::shared_future<void> bFut = bStarted.get_future().share();
+    // Each build waits for the *other* build to have started. Under
+    // the old one-mutex-held-across-build cache the second build
+    // cannot start until the first finishes, so this choreography
+    // times out; with per-key latches both run at once.
+    std::thread ta([&] {
+        cache.get(1, [&] {
+            aStarted.set_value();
+            EXPECT_EQ(bFut.wait_for(std::chrono::seconds(20)),
+                      std::future_status::ready)
+                << "key 2's build never started while key 1's was "
+                   "in flight: builds are serialized";
+            return std::make_shared<const int>(1);
+        });
+    });
+    std::thread tb([&] {
+        cache.get(2, [&] {
+            bStarted.set_value();
+            EXPECT_EQ(aFut.wait_for(std::chrono::seconds(20)),
+                      std::future_status::ready);
+            return std::make_shared<const int>(2);
+        });
+    });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(KeyedOnce, ThrowingBuildIsRetried)
+{
+    util::KeyedOnceCache<int, int> cache;
+    int calls = 0;
+    auto boom = [&]() -> std::shared_ptr<const int> {
+        ++calls;
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(cache.get(1, boom), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u) << "failed builds must not linger";
+    const auto v = cache.get(1, [&] {
+        ++calls;
+        return std::make_shared<const int>(9);
+    });
+    EXPECT_EQ(*v, 9);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(KeyedOnce, EvictsLeastRecentlyUsedBeyondCapacity)
+{
+    util::KeyedOnceCache<int, int> cache(2);
+    auto build = [](int x) {
+        return [x] { return std::make_shared<const int>(x); };
+    };
+    (void)cache.get(1, build(1));
+    (void)cache.get(2, build(2));
+    (void)cache.get(1, build(1));   // 1 now more recent than 2
+    (void)cache.get(3, build(3));   // evicts 2
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    bool hit = true;
+    (void)cache.get(2, build(2), &hit);
+    EXPECT_FALSE(hit) << "2 should have been the LRU victim";
+    // Re-inserting 2 pushed the cache over capacity again; 1 (the
+    // oldest touch by now) is the next victim, 3 survives.
+    EXPECT_EQ(cache.evictions(), 2u);
+    (void)cache.get(3, build(3), &hit);
+    EXPECT_TRUE(hit) << "3 was recent and must have survived";
+}
+
+// ---------------------------------------------------------------
+// Harness profile cache (the per-key-latch regression surface)
+// ---------------------------------------------------------------
+
+TEST(ProfileCache, ConcurrentSameKeyRequestsShareOneProfile)
+{
+    namespace exp = ssim::experiments;
+    const exp::Benchmark bench{
+        "cc", "", workloads::build("cc", 1)};
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    exp::StatSimKnobs knobs;
+    knobs.maxInsts = 40000;
+
+    std::vector<std::shared_ptr<const core::StatisticalProfile>>
+        profiles(4);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < profiles.size(); ++t) {
+        threads.emplace_back([&, t] {
+            profiles[t] = exp::profileFor(bench, cfg, knobs);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (const auto &p : profiles) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p.get(), profiles[0].get())
+            << "same key must resolve to one shared profile object";
+    }
+}
+
+// ---------------------------------------------------------------
+// GenModel / GenModelCache determinism
+// ---------------------------------------------------------------
+
+class EnsembleFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        const isa::Program prog = workloads::build("zip", 1);
+        core::ProfileOptions popts;
+        popts.maxInsts = 80000;
+        profile_ =
+            std::make_shared<const core::StatisticalProfile>(
+                core::buildProfile(prog,
+                                   cpu::CoreConfig::baseline(),
+                                   popts));
+    }
+
+    static core::GenerationOptions genOpts(uint64_t seed)
+    {
+        core::GenerationOptions gopts;
+        gopts.reductionFactor = 8;
+        gopts.seed = seed;
+        return gopts;
+    }
+
+    static core::SimResult
+    simulateStreamed(const std::shared_ptr<const core::GenModel> &m,
+                     uint64_t seed, const cpu::CoreConfig &cfg)
+    {
+        core::StreamingGenerator gen(
+            m, seed, core::requiredStreamLookback(cfg));
+        return core::simulateSyntheticStream(gen, cfg, nullptr);
+    }
+
+    static void
+    expectSameStats(const core::SimResult &a, const core::SimResult &b,
+                    const char *what)
+    {
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles) << what;
+        EXPECT_EQ(a.stats.committed, b.stats.committed) << what;
+        EXPECT_EQ(std::memcmp(&a.stats, &b.stats,
+                              sizeof(cpu::SimStats)),
+                  0)
+            << what;
+    }
+
+    static std::shared_ptr<const core::StatisticalProfile> profile_;
+};
+
+std::shared_ptr<const core::StatisticalProfile>
+    EnsembleFixture::profile_;
+
+TEST_F(EnsembleFixture, FreshCachedAndCrossThreadModelsAgree)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const core::GenerationOptions gopts = genOpts(3);
+
+    // Fresh build: the profile-taking constructor builds a private
+    // model internally (the pre-split code path, byte for byte).
+    core::StreamingGenerator fresh(
+        *profile_, gopts, core::requiredStreamLookback(cfg));
+    const core::SimResult a =
+        core::simulateSyntheticStream(fresh, cfg, nullptr);
+
+    core::GenModelCache::instance().clear();
+    const auto m1 =
+        core::GenModelCache::instance().get(profile_, gopts);
+    const auto m2 =
+        core::GenModelCache::instance().get(profile_, gopts);
+    EXPECT_EQ(m1.get(), m2.get()) << "second get must be a cache hit";
+
+    const core::SimResult b = simulateStreamed(m1, 3, cfg);
+    const core::SimResult c = simulateStreamed(m2, 3, cfg);
+
+    core::SimResult d;
+    std::thread worker(
+        [&] { d = simulateStreamed(m1, 3, cfg); });
+    worker.join();
+
+    expectSameStats(a, b, "fresh build vs cache miss");
+    expectSameStats(b, c, "cache miss vs cache hit");
+    expectSameStats(b, d, "same model across threads");
+
+    // The generator metrics feeding core.gen.* registry counters
+    // must be byte-stable too: a cache-hit cursor reports the
+    // model's deterministic alias-table count, not zero.
+    core::StreamingGenerator g1(m1, 3);
+    core::StreamingGenerator g2(m2, 3);
+    EXPECT_EQ(g1.metrics().aliasTables, g2.metrics().aliasTables);
+    EXPECT_GT(g1.metrics().aliasTables, 0u);
+}
+
+TEST_F(EnsembleFixture, CacheCountersTrackHitsMissesEvictions)
+{
+    auto &cache = core::GenModelCache::instance();
+    cache.clear();
+    const core::GenModelCacheStats before = cache.stats();
+    (void)cache.get(profile_, genOpts(1));        // miss (R=8)
+    (void)cache.get(profile_, genOpts(5));        // hit: seed ignored
+    core::GenerationOptions other = genOpts(1);
+    other.reductionFactor = 16;
+    (void)cache.get(profile_, other);             // miss (R=16)
+    const core::GenModelCacheStats after = cache.stats();
+    EXPECT_EQ(after.misses - before.misses, 2u);
+    EXPECT_EQ(after.hits - before.hits, 1u);
+}
+
+TEST_F(EnsembleFixture, DisabledCacheIsByteIdentical)
+{
+    const cpu::CoreConfig cfg = cpu::CoreConfig::baseline();
+    const core::GenerationOptions gopts = genOpts(7);
+
+    core::GenModelCache::instance().clear();
+    const auto cached =
+        core::GenModelCache::instance().get(profile_, gopts);
+    const core::SimResult a = simulateStreamed(cached, 7, cfg);
+
+    ::setenv("SSIM_GEN_MODEL_CACHE", "0", 1);
+    const auto unshared =
+        core::GenModelCache::instance().get(profile_, gopts);
+    ::unsetenv("SSIM_GEN_MODEL_CACHE");
+    EXPECT_NE(unshared.get(), cached.get())
+        << "disabled cache must build privately";
+    const core::SimResult b = simulateStreamed(unshared, 7, cfg);
+    expectSameStats(a, b, "SSIM_GEN_MODEL_CACHE=0");
+}
+
+// ---------------------------------------------------------------
+// runEnsemble vs the serial loop
+// ---------------------------------------------------------------
+
+TEST_F(EnsembleFixture, MatchesSerialLoopStreamedAndMaterialized)
+{
+    cpu::CoreConfig ooo = cpu::CoreConfig::baseline();
+    cpu::CoreConfig inorder = cpu::CoreConfig::baseline();
+    inorder.inOrderIssue = true;
+
+    const std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
+    for (const cpu::CoreConfig &cfg : {ooo, inorder}) {
+        const auto model = core::GenModelCache::instance().get(
+            profile_, genOpts(1));
+
+        core::EnsembleOptions eopts;
+        eopts.jobs = 4;
+        core::EnsembleStats estats;
+        const std::vector<core::SimResult> parallelResults =
+            core::runSeedEnsemble(model, cfg, seeds, eopts, &estats);
+        ASSERT_EQ(parallelResults.size(), seeds.size());
+        EXPECT_EQ(estats.tasks, seeds.size());
+        EXPECT_EQ(estats.queuePeak, seeds.size());
+        EXPECT_GE(estats.threads, 1u);
+
+        // Single-thread ensemble must agree with the multi-thread
+        // one (same code path, no pool) ...
+        core::EnsembleOptions serialOpts;
+        serialOpts.jobs = 1;
+        const std::vector<core::SimResult> singleResults =
+            core::runSeedEnsemble(model, cfg, seeds, serialOpts);
+
+        for (size_t s = 0; s < seeds.size(); ++s) {
+            // ... and both must agree with the plain serial loop,
+            // streamed and materialized alike.
+            const core::SimResult streamed =
+                simulateStreamed(model, seeds[s], cfg);
+            const core::SyntheticTrace trace =
+                core::generateSyntheticTrace(*profile_,
+                                             genOpts(seeds[s]));
+            const core::SimResult materialized =
+                core::simulateSyntheticTrace(trace, cfg);
+
+            expectSameStats(parallelResults[s], singleResults[s],
+                            "jobs=4 vs jobs=1");
+            expectSameStats(parallelResults[s], streamed,
+                            "ensemble vs serial streamed loop");
+            expectSameStats(parallelResults[s], materialized,
+                            "ensemble vs materialized loop");
+        }
+    }
+}
+
+TEST_F(EnsembleFixture, MixedConfigJobsKeepJobOrder)
+{
+    const auto model =
+        core::GenModelCache::instance().get(profile_, genOpts(1));
+    cpu::CoreConfig small = cpu::CoreConfig::baseline();
+    small.ruuSize = 8;
+    small.lsqSize = 4;
+    std::vector<core::EnsembleJob> jobs = {
+        {model, cpu::CoreConfig::baseline(), 2},
+        {model, small, 2},
+        {model, cpu::CoreConfig::baseline(), 9},
+    };
+    core::EnsembleOptions eopts;
+    eopts.jobs = 3;
+    const std::vector<core::SimResult> results =
+        core::runEnsemble(jobs, eopts);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        core::StreamingGenerator gen(
+            jobs[j].model, jobs[j].seed,
+            core::requiredStreamLookback(jobs[j].cfg));
+        const core::SimResult serial =
+            core::simulateSyntheticStream(gen, jobs[j].cfg, nullptr);
+        expectSameStats(results[j], serial, "mixed-config job");
+    }
+    // Different configs genuinely produced different machines.
+    EXPECT_NE(results[0].stats.cycles, results[1].stats.cycles);
+}
+
+TEST_F(EnsembleFixture, TypedJobFailuresComeBackInJobOrder)
+{
+    const auto model =
+        core::GenModelCache::instance().get(profile_, genOpts(1));
+    std::vector<core::EnsembleJob> jobs = {
+        {model, cpu::CoreConfig::baseline(), 1},
+        {nullptr, cpu::CoreConfig::baseline(), 2},   // typed failure
+        {model, cpu::CoreConfig::baseline(), 3},
+    };
+    core::EnsembleOptions eopts;
+    eopts.jobs = 2;
+    const std::vector<Expected<core::SimResult>> results =
+        core::runEnsembleExpected(jobs, eopts);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok());
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].error().category(),
+              ErrorCategory::InvalidConfig);
+    EXPECT_TRUE(results[2].ok())
+        << "a bad job must not poison its neighbours";
+
+    // The strict variant rethrows the first failure in *job* order.
+    try {
+        (void)core::runEnsemble(jobs, eopts);
+        FAIL() << "runEnsemble must rethrow the job-1 failure";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidConfig);
+    }
+}
+
+TEST_F(EnsembleFixture, EmptyEnsembleIsANoOp)
+{
+    core::EnsembleStats estats;
+    const std::vector<core::SimResult> results =
+        core::runEnsemble({}, {}, &estats);
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(estats.tasks, 0u);
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -364,6 +365,212 @@ TEST(ServeServer, RealPredictFnReplaysByteIdenticalMetrics)
     const std::string b = metricsOf(second);
     EXPECT_EQ(a, b);
     EXPECT_NE(a.find("\"ipc\":"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParsesBatchRequest)
+{
+    const Expected<Request> req = parseRequestLine(
+        "{\"id\":\"b1\",\"type\":\"batch\",\"jobs\":4,"
+        "\"deadline_ms\":2000,\"requests\":["
+        "{\"workload\":\"route\",\"seed\":1,\"reduction\":50},"
+        "{\"workload\":\"route\",\"seed\":2,"
+        "\"config\":{\"ruu\":32}}]}");
+    ASSERT_TRUE(req.ok()) << req.error().what();
+    const Request &r = req.value();
+    EXPECT_EQ(r.type, RequestType::Batch);
+    EXPECT_EQ(r.batchJobs, 4u);
+    EXPECT_DOUBLE_EQ(r.deadlineSeconds, 2.0);
+    ASSERT_EQ(r.batch.size(), 2u);
+    EXPECT_EQ(r.batch[0].workload, "route");
+    EXPECT_EQ(r.batch[0].seed, 1u);
+    EXPECT_EQ(r.batch[0].reduction, 50u);
+    EXPECT_EQ(r.batch[1].seed, 2u);
+    ASSERT_EQ(r.batch[1].config.size(), 1u);
+    EXPECT_EQ(r.batch[1].config[0].first, "ruu");
+}
+
+TEST(ServeProtocol, RejectsBadBatchRequests)
+{
+    for (const char *bad : {
+             // empty / missing requests array
+             "{\"id\":\"b\",\"type\":\"batch\"}",
+             "{\"id\":\"b\",\"type\":\"batch\",\"requests\":[]}",
+             // items are predict payloads only: no per-item
+             // id/type/deadline
+             "{\"id\":\"b\",\"type\":\"batch\",\"requests\":"
+             "[{\"id\":\"x\",\"workload\":\"w\"}]}",
+             "{\"id\":\"b\",\"type\":\"batch\",\"requests\":"
+             "[{\"workload\":\"w\",\"deadline_ms\":5}]}",
+             // an item without a workload
+             "{\"id\":\"b\",\"type\":\"batch\",\"requests\":"
+             "[{\"seed\":3}]}",
+             // jobs out of range
+             "{\"id\":\"b\",\"type\":\"batch\",\"jobs\":0,"
+             "\"requests\":[{\"workload\":\"w\"}]}",
+             "{\"id\":\"b\",\"type\":\"batch\",\"jobs\":65,"
+             "\"requests\":[{\"workload\":\"w\"}]}",
+         }) {
+        const Expected<Request> req = parseRequestLine(bad);
+        EXPECT_FALSE(req.ok()) << "accepted: " << bad;
+        if (!req.ok()) {
+            EXPECT_EQ(req.error().category(),
+                      ErrorCategory::ParseError);
+        }
+    }
+
+    // The item cap: MaxBatchItems parse, one more is refused.
+    std::string big = "{\"id\":\"b\",\"type\":\"batch\","
+                      "\"requests\":[";
+    for (size_t i = 0; i <= MaxBatchItems; ++i) {
+        if (i)
+            big += ',';
+        big += "{\"workload\":\"w\"}";
+    }
+    big += "]}";
+    const Expected<Request> req = parseRequestLine(big);
+    ASSERT_FALSE(req.ok());
+    EXPECT_NE(req.error().message().find("exceeds"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, RendersBatchResponsesPerItem)
+{
+    BatchItemResult ok;
+    ok.ok = true;
+    ok.seed = 7;
+    ok.metrics = {{"ipc", 1.25}};
+    BatchItemResult bad;
+    bad.ok = false;
+    bad.category = ErrorCategory::UnknownWorkload;
+    bad.message = "no such workload";
+    const std::string out =
+        renderBatchResponse("b1", {ok, bad}, 3.5);
+    EXPECT_NE(out.find("\"id\":\"b1\""), std::string::npos);
+    EXPECT_NE(out.find("\"results\":[{\"ok\":true,\"seed\":7,"
+                       "\"metrics\":{\"ipc\":1.25}},"
+                       "{\"ok\":false,"
+                       "\"error\":\"unknown-workload\","
+                       "\"message\":\"no such workload\"}]"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"wall_ms\":3.5"), std::string::npos);
+}
+
+TEST(ServeServer, BatchWithoutBatchFnLoopsThePredictFn)
+{
+    // No setBatchFn: the dispatching worker answers the batch by
+    // looping the PredictFn, with per-item outcomes — a bad item
+    // fails alone, the batch itself still succeeds.
+    Server server(stubPredict(), ServeOptions{});
+    server.start();
+    ResponseSink sink;
+    server.submitLine(
+        "{\"id\":\"b1\",\"type\":\"batch\",\"requests\":["
+        "{\"workload\":\"stub\",\"seed\":3},"
+        "{\"workload\":\"explode\"},"
+        "{\"workload\":\"stub\",\"seed\":5}]}",
+        sink.responder());
+    ASSERT_TRUE(sink.waitFor(1));
+    const std::string resp = sink.lines().at(0);
+    EXPECT_NE(resp.find("\"id\":\"b1\",\"ok\":true"),
+              std::string::npos);
+    EXPECT_NE(resp.find("{\"ok\":true,\"seed\":3,"
+                        "\"metrics\":{\"value\":6}}"),
+              std::string::npos);
+    EXPECT_NE(resp.find("\"error\":\"unknown-workload\""),
+              std::string::npos);
+    EXPECT_NE(resp.find("{\"ok\":true,\"seed\":5,"
+                        "\"metrics\":{\"value\":10}}"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServeServer, BatchFnReceivesItemsAndRequestedJobs)
+{
+    Server server(stubPredict(), ServeOptions{});
+    std::atomic<unsigned> seenJobs{0};
+    std::atomic<size_t> seenItems{0};
+    server.setBatchFn(
+        [&](const std::vector<PredictRequest> &items,
+            unsigned jobs) -> std::vector<BatchItemResult> {
+            seenJobs = jobs;
+            seenItems = items.size();
+            std::vector<BatchItemResult> out(items.size());
+            for (size_t i = 0; i < items.size(); ++i) {
+                out[i].ok = true;
+                out[i].seed = items[i].seed;
+                out[i].metrics = {
+                    {"value", static_cast<double>(items[i].seed)}};
+            }
+            return out;
+        });
+    server.start();
+    ResponseSink sink;
+    server.submitLine(
+        "{\"id\":\"b2\",\"type\":\"batch\",\"jobs\":3,"
+        "\"requests\":[{\"workload\":\"stub\",\"seed\":11},"
+        "{\"workload\":\"stub\",\"seed\":12}]}",
+        sink.responder());
+    ASSERT_TRUE(sink.waitFor(1));
+    EXPECT_EQ(seenJobs.load(), 3u);
+    EXPECT_EQ(seenItems.load(), 2u);
+    // Item order is preserved: seed 11 before seed 12.
+    const std::string resp = sink.lines().at(0);
+    EXPECT_LT(resp.find("\"seed\":11"), resp.find("\"seed\":12"));
+    server.stop();
+}
+
+TEST(ServeServer, RealBatchMatchesIndividualPredicts)
+{
+    // The ensemble batch path must be bit-identical to the same
+    // items sent as individual predict requests: shared generation
+    // models and parallel scheduling change wall-clock, never bytes.
+    const char *items[2] = {
+        "\"workload\":\"route\",\"seed\":9,\"reduction\":50,"
+        "\"max_insts\":60000,\"config\":{\"ruu\":32}",
+        "\"workload\":\"route\",\"seed\":10,\"reduction\":50,"
+        "\"max_insts\":60000,\"config\":{\"ruu\":32}",
+    };
+
+    Server single(makeStatSimPredictFn(), ServeOptions{});
+    single.start();
+    ResponseSink singleSink;
+    for (int i = 0; i < 2; ++i) {
+        single.submitLine("{\"id\":\"s" + std::to_string(i) + "\"," +
+                              items[i] + "}",
+                          singleSink.responder());
+    }
+    ASSERT_TRUE(singleSink.waitFor(2, 60.0));
+    single.stop();
+    std::string expect[2];
+    for (const std::string &resp : singleSink.lines()) {
+        const size_t begin = resp.find("\"metrics\":");
+        const size_t end = resp.find(",\"wall_ms\"");
+        ASSERT_NE(begin, std::string::npos);
+        const int slot =
+            resp.find("\"seed\":9") != std::string::npos ? 0 : 1;
+        expect[slot] = resp.substr(begin, end - begin);
+    }
+
+    Server batch(makeStatSimPredictFn(), ServeOptions{});
+    batch.setBatchFn(makeStatSimBatchFn());
+    batch.start();
+    ResponseSink batchSink;
+    batch.submitLine(std::string("{\"id\":\"b\",\"type\":\"batch\","
+                                 "\"jobs\":2,\"requests\":[{") +
+                         items[0] + "},{" + items[1] + "}]}",
+                     batchSink.responder());
+    ASSERT_TRUE(batchSink.waitFor(1, 60.0));
+    batch.stop();
+    const std::string resp = batchSink.lines().at(0);
+    EXPECT_NE(resp.find("\"ok\":true"), std::string::npos);
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_FALSE(expect[i].empty());
+        EXPECT_NE(resp.find(expect[i]), std::string::npos)
+            << "batch item " << i
+            << " diverged from its individual predict:\n"
+            << resp << "\nexpected to contain:\n"
+            << expect[i];
+    }
 }
 
 TEST(ServeOptionsTest, ValidateRejectsBadKnobs)

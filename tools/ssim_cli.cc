@@ -50,9 +50,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "core/ensemble.hh"
+#include "core/gen_model.hh"
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "core/statsim.hh"
@@ -98,6 +101,7 @@ struct Options
 
     // Generation.
     core::GenerationOptions generation{20, 1, 1000};
+    unsigned seeds = 1;          ///< --seeds N (simulate ensemble)
 
     uint64_t workloadScale = 1;
     bool report = false;
@@ -178,6 +182,9 @@ usage()
         "              --perfect-caches --perfect-bpred\n"
         "profile options: --order K --immediate --skip N --max N\n"
         "generation options: --reduction R --seed S\n"
+        "simulate ensemble: --seeds N (simulate seeds S..S+N-1 over\n"
+        "  one shared generation model), --jobs N (ensemble threads;\n"
+        "  0 = all cores; results are bit-identical at any count)\n"
         "workload options: --workload-scale N\n"
         "output options: --report (detailed pipeline/power tables)\n"
         "sweep options: --grid key=v1,v2,... (repeatable; keys: ruu,\n"
@@ -187,7 +194,8 @@ usage()
         "  (simulate only the predicted Pareto frontier),\n"
         "  --frontier-margin K (extra frontier shells kept; default\n"
         "  1), --dry-run (print the expanded grid and the journal\n"
-        "  delta without simulating)\n"
+        "  delta without simulating; annotates which points build a\n"
+        "  generation model and which reuse a cached one)\n"
         "train options: <journal> [--journal FILE]... -o MODEL,\n"
         "  --model-kind ridge|gbm, --lambda F (ridge; default 1),\n"
         "  --folds N (cross-validation; default 5), --rounds N and\n"
@@ -202,7 +210,9 @@ usage()
         "  per-request deadline; 0 = none), --drain-ms N,\n"
         "  --restart-backoff-ms N, --socket PATH (Unix socket\n"
         "  instead of stdin/stdout), --stats-json FILE (final\n"
-        "  serve.* snapshot on exit)\n"
+        "  serve.* snapshot on exit); batch requests\n"
+        "  ({\"type\":\"batch\",\"jobs\":N,\"requests\":[...]}) run as one\n"
+        "  parallel ensemble over shared generation models\n"
         "chaos options: --schedules N (default 100), --seed S,\n"
         "  --mode all|sweep|serve, --points N (sweep size),\n"
         "  --requests N (serve load), --replay-verify N,\n"
@@ -395,6 +405,11 @@ parse(int argc, char **argv)
                 uintArg(argc, argv, i);
         } else if (arg == "--seed") {
             opts.generation.seed = uintArg(argc, argv, i);
+        } else if (arg == "--seeds") {
+            const uint64_t n = uintArg(argc, argv, i);
+            if (n == 0 || n > 4096)
+                argError("option --seeds: expected 1..4096");
+            opts.seeds = static_cast<unsigned>(n);
         } else if (arg == "--report") {
             opts.report = true;
         } else if (arg == "--workload-scale") {
@@ -598,6 +613,59 @@ cmdProfile(const Options &opts)
     return 0;
 }
 
+/**
+ * `simulate --seeds N`: seeds S..S+N-1 walked over one shared
+ * generation model and simulated by the ensemble pool (--jobs
+ * threads). Per-seed results are bit-identical to N serial
+ * single-seed runs; the table is followed by the mean and
+ * coefficient of variation the paper's section 4.1 uses to argue
+ * one seed suffices.
+ */
+int
+simulateEnsemble(const Options &opts,
+                 core::StatisticalProfile &&profile, ObsOutputs &out)
+{
+    auto shared = std::make_shared<const core::StatisticalProfile>(
+        std::move(profile));
+    const std::shared_ptr<const core::GenModel> model =
+        core::GenModelCache::instance().get(shared, opts.generation);
+    std::vector<uint64_t> seeds(opts.seeds);
+    for (unsigned s = 0; s < opts.seeds; ++s)
+        seeds[s] = opts.generation.seed + s;
+    core::EnsembleOptions eopts;
+    eopts.jobs = opts.jobs;
+    core::EnsembleStats estats;
+    const std::vector<core::SimResult> results =
+        core::runSeedEnsemble(model, opts.cfg, seeds, eopts, &estats);
+
+    TextTable table;
+    table.setHeader({"seed", "IPC", "EPC (W)", "EDP", "cycles"});
+    RunningStats ipc;
+    for (size_t s = 0; s < results.size(); ++s) {
+        const core::SimResult &res = results[s];
+        ipc.add(res.ipc);
+        table.addRow({std::to_string(seeds[s]),
+                      TextTable::num(res.ipc),
+                      TextTable::num(res.epc, 2),
+                      TextTable::num(res.edp, 2),
+                      std::to_string(res.stats.cycles)});
+    }
+    table.print(std::cout);
+    std::cout << "ensemble: " << opts.seeds << " seeds on "
+              << estats.threads << " thread(s), one shared model (R="
+              << opts.generation.reductionFactor
+              << ", streamed); IPC mean " << TextTable::num(ipc.mean())
+              << ", CoV " << TextTable::pct(ipc.cov()) << "\n";
+    if (out.sink.registry) {
+        core::publishEnsembleStats(*out.sink.registry, "core.ensemble",
+                                   estats);
+        core::publishModelCacheStats(*out.sink.registry,
+                                     "core.gen.model_cache");
+    }
+    out.writeFiles(opts);
+    return 0;
+}
+
 int
 cmdSimulate(const Options &opts)
 {
@@ -605,14 +673,16 @@ cmdSimulate(const Options &opts)
     // anything: a bad knob should not cost a generation pass.
     opts.cfg.validate();
     opts.generation.validate();
-    const core::StatisticalProfile profile =
+    core::StatisticalProfile profile =
         core::loadProfileFile(opts.target);
+    ObsOutputs out(opts, onDiskProfileChecksum(opts.target), true);
+    if (opts.seeds > 1)
+        return simulateEnsemble(opts, std::move(profile), out);
     // Streamed: instructions are generated into a bounded ring and
     // consumed by the core directly, never materialized as a vector.
     core::StreamingGenerator gen(
         profile, opts.generation,
         core::requiredStreamLookback(opts.cfg));
-    ObsOutputs out(opts, onDiskProfileChecksum(opts.target), true);
     const core::SimResult res =
         core::simulateSyntheticStream(gen, opts.cfg, out.sinkPtr());
     std::cout << "synthetic trace: " << gen.generated()
@@ -995,15 +1065,35 @@ cmdSweep(const Options &opts)
 
     if (opts.dryRun) {
         const exp::SweepPlan plan = exp::planSweep(points, sopts);
+        // Generation-model annotation: the model is a pure function
+        // of (profile, reduction factor), and the profile of
+        // everything in profileCacheKey(), so among the points that
+        // will actually simulate, the first with a given key builds
+        // the model and every later one reuses it from the cache.
+        std::set<std::string> modelKeys;
         TextTable table;
-        table.setHeader({"point", "action", "journaled",
-                         "attempts"});
+        table.setHeader({"point", "action", "journaled", "attempts",
+                         "gen model"});
         for (size_t p = 0; p < grid.size(); ++p) {
             const exp::PointPlan &pl = plan.points[p];
+            std::string genModel = "-";
+            if (pl.action == exp::PlanAction::Run ||
+                pl.action == exp::PlanAction::Retry) {
+                exp::StatSimKnobs knobs = baseKnobs;
+                cpu::CoreConfig pcfg = grid[p].cfg;
+                pcfg.perfectCaches = knobs.perfectCaches;
+                pcfg.perfectBpred = knobs.perfectBpred;
+                genModel = modelKeys
+                               .insert(exp::profileCacheKey(
+                                   bench, pcfg, knobs))
+                               .second
+                               ? "build"
+                               : "cached";
+            }
             table.addRow({grid[p].name,
                           exp::planActionName(pl.action),
                           exp::pointStatusName(pl.journaled),
-                          std::to_string(pl.attempts)});
+                          std::to_string(pl.attempts), genModel});
         }
         table.print(std::cout);
         if (plan.skippedCorrupt > 0) {
@@ -1137,6 +1227,9 @@ cmdServe(const Options &opts)
 
     serve::Server server(serve::makeStatSimPredictFn(), sopts,
                          &manifest);
+    // Batch requests bypass the per-item loop: one shared-model
+    // ensemble per batch, at the request's `jobs` thread count.
+    server.setBatchFn(serve::makeStatSimBatchFn());
     server.start();
     serve::TransportOptions topts;
     topts.handleSignals = true;
